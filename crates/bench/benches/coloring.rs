@@ -1,0 +1,49 @@
+//! Criterion bench: the Table-1 coloring suite — one benchmark per table
+//! row, new algorithm vs its classical baseline on the same workload.
+
+use algos::baselines::{ArbLinialFull, ArbLinialOneShot};
+use algos::coloring::{
+    a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN, delta_plus_one::DeltaPlusOneColoring,
+    ka::ColoringKa, ka2::ColoringKa2, oa_recolor::ColoringOaRecolor,
+};
+use algos::one_plus_eta::OnePlusEtaArbCol;
+use algos::rand_coloring::{a_loglog::RandALogLog, delta_plus_one::RandDeltaPlusOne};
+use benchharness::{forest_workload, hub_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphcore::IdAssignment;
+use simlocal::{run, Protocol, RunConfig};
+
+const N: usize = 1 << 12;
+
+fn timed<P: Protocol>(c: &mut Criterion, name: &str, p: &P, gg: &graphcore::gen::GenGraph) {
+    let ids = IdAssignment::identity(gg.graph.n());
+    c.bench_function(name, |b| {
+        b.iter(|| run(p, &gg.graph, &ids, RunConfig::default()).unwrap())
+    });
+}
+
+fn bench_table1_rows(c: &mut Criterion) {
+    let gg = forest_workload(N, 2, 3);
+    timed(c, "t1_ka_k2", &ColoringKa::new(2, 2), &gg);
+    timed(c, "t1_ka2_k2", &ColoringKa2::new(2, 2), &gg);
+    timed(c, "t1_a2logn", &ColoringA2LogN::new(2), &gg);
+    timed(c, "t1_a2_loglog", &ColoringA2LogLog::new(2), &gg);
+    timed(c, "t1_oa_recolor", &ColoringOaRecolor::new(2), &gg);
+    timed(c, "t1_baseline_oneshot", &ArbLinialOneShot::new(2), &gg);
+    timed(c, "t1_baseline_full", &ArbLinialFull::new(2), &gg);
+    timed(c, "t1_rand_delta_plus_one", &RandDeltaPlusOne::new(), &gg);
+    timed(c, "t1_rand_a_loglog", &RandALogLog::new(2), &gg);
+
+    let gg16 = forest_workload(N, 16, 4);
+    timed(c, "t1_one_plus_eta_a16", &OnePlusEtaArbCol::new(16, 4), &gg16);
+
+    let hub = hub_workload(N, 2, 64, 5);
+    timed(c, "t1_delta_plus_one_hub", &DeltaPlusOneColoring::new(2), &hub);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1_rows
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: the simulator engine itself — sequential vs
+//! Rayon-parallel round execution (ablation AB.4), and raw round
+//! throughput on a cheap protocol.
+
+use algos::coloring::a2_loglog::ColoringA2LogLog;
+use algos::Partition;
+use benchharness::forest_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphcore::IdAssignment;
+use simlocal::{run, RunConfig};
+
+fn bench_engine_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_seq_vs_par");
+    for n in [1usize << 12, 1 << 15] {
+        let gg = forest_workload(n, 2, 7);
+        let ids = IdAssignment::identity(n);
+        let p = ColoringA2LogLog::new(2);
+        group.bench_with_input(BenchmarkId::new("seq", n), &gg, |b, gg| {
+            b.iter(|| run(&p, &gg.graph, &ids, RunConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("par", n), &gg, |b, gg| {
+            b.iter(|| {
+                run(&p, &gg.graph, &ids, RunConfig { parallel: true, ..Default::default() })
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let gg = forest_workload(1 << 16, 2, 8);
+    let ids = IdAssignment::identity(1 << 16);
+    c.bench_function("engine_partition_64k", |b| {
+        b.iter(|| run(&Partition::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_modes, bench_round_throughput
+}
+criterion_main!(benches);

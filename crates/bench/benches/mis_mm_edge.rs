@@ -1,0 +1,41 @@
+//! Criterion bench: the Table-2 problems — MIS, maximal matching, and
+//! `(2Δ−1)`-edge-coloring via the extension framework, plus the Luby MIS
+//! baseline.
+
+use algos::edge_coloring::EdgeColoringExtension;
+use algos::matching::MatchingExtension;
+use algos::mis::{LubyMis, MisExtension};
+use benchharness::forest_workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphcore::IdAssignment;
+use simlocal::{run, RunConfig};
+
+const N: usize = 1 << 11;
+
+fn bench_table2(c: &mut Criterion) {
+    let gg = forest_workload(N, 2, 6);
+    let ids = IdAssignment::identity(N);
+    c.bench_function("t2_mis_extension", |b| {
+        b.iter(|| run(&MisExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+    });
+    c.bench_function("t2_mis_luby", |b| {
+        b.iter(|| run(&LubyMis, &gg.graph, &ids, RunConfig::default()).unwrap())
+    });
+    c.bench_function("t2_matching_extension", |b| {
+        b.iter(|| {
+            run(&MatchingExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap()
+        })
+    });
+    c.bench_function("t2_edge_coloring_extension", |b| {
+        b.iter(|| {
+            run(&EdgeColoringExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: Procedure Partition and the forest decompositions —
+//! the engine of every table row. Measures wall-clock of the simulated
+//! execution; the round metrics themselves are asserted in tests and
+//! printed by the `figures` binary.
+
+use algos::forests::{ForestDecompositionBaseline, ParallelizedForestDecomposition};
+use algos::Partition;
+use benchharness::forest_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphcore::IdAssignment;
+use simlocal::{run, RunConfig};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let gg = forest_workload(n, 2, 1);
+        let ids = IdAssignment::identity(n);
+        group.bench_with_input(BenchmarkId::new("procedure_partition", n), &gg, |b, gg| {
+            b.iter(|| run(&Partition::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_decomposition");
+    for n in [1usize << 10, 1 << 12] {
+        let gg = forest_workload(n, 3, 2);
+        let ids = IdAssignment::identity(n);
+        group.bench_with_input(BenchmarkId::new("parallelized", n), &gg, |b, gg| {
+            b.iter(|| {
+                run(
+                    &ParallelizedForestDecomposition::new(3),
+                    &gg.graph,
+                    &ids,
+                    RunConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &gg, |b, gg| {
+            b.iter(|| {
+                run(
+                    &ForestDecompositionBaseline::new(3),
+                    &gg.graph,
+                    &ids,
+                    RunConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partition, bench_forest_decomposition
+}
+criterion_main!(benches);

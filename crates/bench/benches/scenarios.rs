@@ -1,0 +1,34 @@
+//! Criterion bench: scenario X.1 — wall-clock of sequentially simulating
+//! the whole network, vertex-averaged-optimized vs classical (§1.2: the
+//! simulation work is proportional to `RoundSum(V)`).
+
+use algos::baselines::ArbLinialOneShot;
+use algos::coloring::a2logn::ColoringA2LogN;
+use benchharness::forest_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphcore::IdAssignment;
+use simlocal::{run, RunConfig};
+
+fn bench_simulation_efficiency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_efficiency");
+    for n in [1usize << 12, 1 << 14] {
+        let gg = forest_workload(n, 2, 9);
+        let ids = IdAssignment::identity(n);
+        group.bench_with_input(BenchmarkId::new("va_optimized", n), &gg, |b, gg| {
+            b.iter(|| run(&ColoringA2LogN::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("classical", n), &gg, |b, gg| {
+            b.iter(|| {
+                run(&ArbLinialOneShot::new(2), &gg.graph, &ids, RunConfig::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation_efficiency
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablations over the design parameters DESIGN.md calls out:
+//!
+//! * `AB.1` — ε in Procedure Partition: smaller ε tightens the degree
+//!   threshold `A = ⌊(2+ε)a⌋` (fewer forests / colors) but slows the
+//!   active-set decay (higher VA and WC);
+//! * `AB.2` — k in the segmentation scheme: the colors × rounds frontier
+//!   (also rendered as figure F.6);
+//! * `AB.3` — C in One-Plus-Eta-Arb-Col: larger C means fewer recursion
+//!   levels and smaller η (fewer colors) but wider per-level windows;
+//! * `AB.4` — sequential vs Rayon-parallel engine equivalence (results
+//!   must be identical; wall-clock is reported).
+//!
+//! Usage: `ablations [--quick] [AB.1 ...]`
+
+use algos::one_plus_eta::OnePlusEtaArbCol;
+use algos::partition::{degree_cap, run_partition};
+use benchharness::{coloring_row, forest_workload, print_rows, run_coloring, Cli};
+use graphcore::IdAssignment;
+use simlocal::{run, RunConfig};
+use std::time::Instant;
+
+fn main() {
+    let cli = Cli::parse();
+    let n = if cli.quick { 1 << 12 } else { 1 << 15 };
+
+    if cli.wants("AB.1") {
+        println!("\n== AB.1: ε in Procedure Partition ==");
+        println!("{:>6} {:>6} {:>9} {:>6}", "eps", "A", "va", "wc");
+        let gg = forest_workload(n, 2, 81);
+        for eps in [0.25, 0.5, 1.0, 2.0] {
+            let (_, m) = run_partition(&gg.graph, 2, eps);
+            println!(
+                "{:>6.2} {:>6} {:>9.3} {:>6}",
+                eps,
+                degree_cap(2, eps),
+                m.vertex_averaged(),
+                m.worst_case()
+            );
+            println!(
+                "#series,AB.1,{eps},{},{:.4},{}",
+                degree_cap(2, eps),
+                m.vertex_averaged(),
+                m.worst_case()
+            );
+        }
+    }
+
+    if cli.wants("AB.2") {
+        let gg = forest_workload(n, 2, 82);
+        let rho = algos::itlog::rho(n as u64);
+        let mut rows = Vec::new();
+        for k in 2..=rho {
+            rows.push(coloring_row("AB.2", "ka2", &gg, k, 0));
+        }
+        print_rows("AB.2: segmentation k — colors vs VA", &rows);
+    }
+
+    if cli.wants("AB.3") {
+        let gg = forest_workload(n.min(1 << 13), 16, 83);
+        let mut rows = Vec::new();
+        for c in [2usize, 4, 8] {
+            let p = OnePlusEtaArbCol::new(16, c);
+            rows.push(run_coloring("AB.3", &format!("one_plus_eta C={c}"), &p, &gg, 0));
+        }
+        print_rows("AB.3: One-Plus-Eta — constant C vs colors and VA", &rows);
+    }
+
+    if cli.wants("AB.4") {
+        println!("\n== AB.4: sequential vs parallel engine ==");
+        let gg = forest_workload(n, 2, 84);
+        let ids = IdAssignment::identity(gg.graph.n());
+        let p = algos::coloring::a2_loglog::ColoringA2LogLog::new(2);
+        let t0 = Instant::now();
+        let seq = run(&p, &gg.graph, &ids, RunConfig::default()).unwrap();
+        let t_seq = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let par = run(
+            &p,
+            &gg.graph,
+            &ids,
+            RunConfig { parallel: true, ..Default::default() },
+        )
+        .unwrap();
+        let t_par = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(seq.outputs, par.outputs, "engines must agree bit-for-bit");
+        assert_eq!(seq.metrics, par.metrics);
+        println!("identical outputs: yes   seq {t_seq:.2} ms   par {t_par:.2} ms");
+        println!("#series,AB.4,{n},{t_seq:.3},{t_par:.3}");
+    }
+}

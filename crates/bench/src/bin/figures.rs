@@ -1,0 +1,136 @@
+//! Regenerates the paper's analytic claims as **figures** (data series
+//! printed as `#series` lines, ready for plotting):
+//!
+//! * `F.1` — Lemma 6.1: the active-vertex count under Procedure Partition
+//!   decays geometrically, `n_i ≤ (2/(2+ε))^{i-1} n`;
+//! * `F.2` — Lemma 6.2 / Theorem 6.3: `RoundSum(V) = O(n)`, so the
+//!   vertex-averaged complexity of Procedure Partition is flat in `n`
+//!   while its worst case grows like `log n`;
+//! * `F.3` — Theorem 7.1: the same for Parallelized-Forest-Decomposition;
+//! * `F.4` — Theorems 7.6 / 7.13: `O(log log n)` and `O(log^(k) n)` VA
+//!   curves against the `Θ(log n)` baselines;
+//! * `F.5` — Theorem 9.1: the randomized `(Δ+1)` VA distribution over
+//!   seeds is concentrated and flat in `n`;
+//! * `F.6` — the §7.5 segmentation frontier: colors × VA as `k` sweeps.
+//!
+//! Usage: `figures [--quick] [F.1 ...]`
+
+use algos::partition::run_partition;
+use benchharness::{coloring_row, forest_workload, n_sweep, print_rows, run_forest_baseline, run_forest_fast, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let ns = n_sweep(cli.quick);
+
+    if cli.wants("F.1") {
+        println!("\n== F.1: Lemma 6.1 — active-vertex decay ==");
+        let gg = forest_workload(1 << 14, 2, 61);
+        let (_, m) = run_partition(&gg.graph, 2, 2.0);
+        println!("{:>5} {:>10} {:>14}", "round", "active", "lemma bound");
+        let n = gg.graph.n() as f64;
+        for (i, &a) in m.active_per_round.iter().enumerate() {
+            let bound = (0.5f64).powi(i as i32) * n;
+            println!("{:>5} {:>10} {:>14.1}", i + 1, a, bound);
+            println!("#series,F.1,{},{},{:.1}", i + 1, a, bound);
+        }
+    }
+
+    if cli.wants("F.2") {
+        println!("\n== F.2: Theorem 6.3 — Partition VA flat, WC grows ==");
+        println!("{:>14} {:>8} {:>10} {:>8} {:>8}", "family", "n", "roundsum", "va", "wc");
+        for &n in &ns {
+            let gg = forest_workload(n, 2, 62);
+            let (_, m) = run_partition(&gg.graph, 2, 2.0);
+            println!(
+                "{:>14} {:>8} {:>10} {:>8.3} {:>8}",
+                gg.family,
+                n,
+                m.round_sum(),
+                m.vertex_averaged(),
+                m.worst_case()
+            );
+            println!("#series,F.2,{},{},{},{:.4},{}", gg.family, n, m.round_sum(), m.vertex_averaged(), m.worst_case());
+        }
+        // The adversarial nested-shell witness: one shell retires per
+        // O(1) rounds, so the worst case is Θ(log n) while the average
+        // stays O(1) (run with ε = 0.5 so the threshold bites).
+        let max_levels = if cli.quick { 12 } else { 16 };
+        for levels in (8..=max_levels).step_by(2) {
+            let gg = graphcore::gen::nested_shells(levels, 3);
+            let (_, m) = run_partition(&gg.graph, 3, 0.5);
+            println!(
+                "{:>14} {:>8} {:>10} {:>8.3} {:>8}",
+                gg.family,
+                gg.graph.n(),
+                m.round_sum(),
+                m.vertex_averaged(),
+                m.worst_case()
+            );
+            println!(
+                "#series,F.2,{},{},{},{:.4},{}",
+                gg.family,
+                gg.graph.n(),
+                m.round_sum(),
+                m.vertex_averaged(),
+                m.worst_case()
+            );
+        }
+    }
+
+    if cli.wants("F.3") {
+        let mut rows = Vec::new();
+        for &n in &ns {
+            let gg = forest_workload(n, 3, 63);
+            rows.push(run_forest_fast("F.3", &gg, 0));
+            rows.push(run_forest_baseline("F.3b", &gg, 0));
+        }
+        print_rows("F.3: Theorem 7.1 — forest decomposition VA O(1) vs WC Θ(log n)", &rows);
+    }
+
+    if cli.wants("F.4") {
+        let mut rows = Vec::new();
+        for &n in &ns {
+            let gg = forest_workload(n, 2, 64);
+            rows.push(coloring_row("F.4", "a2_loglog", &gg, 0, 0));
+            rows.push(coloring_row("F.4", "ka2", &gg, 2, 0));
+            rows.push(coloring_row("F.4", "ka2_rho", &gg, 0, 0));
+            rows.push(coloring_row("F.4b", "arb_linial_full", &gg, 0, 0));
+        }
+        print_rows("F.4: VA growth curves vs the Θ(log n) baseline", &rows);
+    }
+
+    if cli.wants("F.5") {
+        let mut rows = Vec::new();
+        let seeds = if cli.quick { 5 } else { 20 };
+        for &n in &ns {
+            let gg = forest_workload(n, 2, 65);
+            for seed in 0..seeds {
+                rows.push(coloring_row("F.5", "rand_delta_plus_one", &gg, 0, seed));
+            }
+        }
+        print_rows("F.5: randomized (Δ+1) VA across seeds (concentration)", &rows);
+        // Aggregate: per n, min/mean/max VA.
+        println!("{:>8} {:>8} {:>8} {:>8}", "n", "min", "mean", "max");
+        for &n in &ns {
+            let vas: Vec<f64> =
+                rows.iter().filter(|r| r.n == n).map(|r| r.va).collect();
+            let mean = vas.iter().sum::<f64>() / vas.len() as f64;
+            let min = vas.iter().cloned().fold(f64::MAX, f64::min);
+            let max = vas.iter().cloned().fold(0.0, f64::max);
+            println!("{:>8} {:>8.3} {:>8.3} {:>8.3}", n, min, mean, max);
+            println!("#series,F.5,{n},{min:.4},{mean:.4},{max:.4}");
+        }
+    }
+
+    if cli.wants("F.6") {
+        let mut rows = Vec::new();
+        let n = if cli.quick { 1 << 12 } else { 1 << 16 };
+        let gg = forest_workload(n, 2, 66);
+        let rho = algos::itlog::rho(n as u64);
+        for k in 2..=rho {
+            rows.push(coloring_row("F.6", "ka2", &gg, k, 0));
+            rows.push(coloring_row("F.6", "ka", &gg, k, 0));
+        }
+        print_rows("F.6: segmentation frontier — colors vs VA as k sweeps", &rows);
+    }
+}

@@ -1,0 +1,344 @@
+#![warn(missing_docs)]
+
+//! # benchharness — regenerating the paper's tables and figures
+//!
+//! Shared machinery for the harness binaries (`table1`, `table2`,
+//! `figures`, `scenarios`, `ablations`) and the Criterion benches: a
+//! uniform way to run every algorithm in the suite on a workload and
+//! collect one [`Row`] of measurements (vertex-averaged complexity,
+//! worst case, percentiles, colors used, validity).
+//!
+//! Every row is printed in a fixed-width table **and** as a CSV-ish
+//! `#csv` line so results can be scraped; EXPERIMENTS.md records the
+//! paper-vs-measured comparison per experiment id.
+
+use algos::{baselines, coloring, edge_coloring, forests, itlog, matching, mis, rand_coloring};
+use graphcore::{gen::GenGraph, verify, IdAssignment};
+use simlocal::{run, Protocol, RoundMetrics, RunConfig};
+
+/// One measurement row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Experiment id (e.g. "T1.4").
+    pub exp: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Workload label.
+    pub family: String,
+    /// Vertices.
+    pub n: usize,
+    /// Arboricity parameter the algorithm was run with.
+    pub a: usize,
+    /// Vertex-averaged complexity (rounds).
+    pub va: f64,
+    /// Worst-case complexity (rounds).
+    pub wc: u32,
+    /// Median termination round.
+    pub median: u32,
+    /// 95th percentile termination round.
+    pub p95: u32,
+    /// Number of distinct colors in the output (0 for set problems).
+    pub colors: usize,
+    /// Whether the output passed its verifier.
+    pub valid: bool,
+}
+
+impl Row {
+    /// Builds a row from metrics plus solution facts.
+    #[allow(clippy::too_many_arguments)] // one argument per table column
+    pub fn from_metrics(
+        exp: &str,
+        algo: &str,
+        family: &str,
+        n: usize,
+        a: usize,
+        m: &RoundMetrics,
+        colors: usize,
+        valid: bool,
+    ) -> Row {
+        Row {
+            exp: exp.into(),
+            algo: algo.into(),
+            family: family.into(),
+            n,
+            a,
+            va: m.vertex_averaged(),
+            wc: m.worst_case(),
+            median: m.median(),
+            p95: m.percentile(95.0),
+            colors,
+            valid,
+        }
+    }
+}
+
+/// Prints a header followed by rows, both human-readable and as `#csv`.
+pub fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6}",
+        "exp", "algo", "family", "n", "a", "va", "wc", "med", "p95", "colors", "valid"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6}",
+            r.exp, r.algo, r.family, r.n, r.a, r.va, r.wc, r.median, r.p95, r.colors, r.valid
+        );
+    }
+    for r in rows {
+        println!(
+            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{}",
+            r.exp, r.algo, r.family, r.n, r.a, r.va, r.wc, r.median, r.p95, r.colors, r.valid
+        );
+    }
+}
+
+/// Standard run configuration for harness experiments.
+pub fn cfg(seed: u64) -> RunConfig {
+    RunConfig { seed, parallel: false, max_rounds: None }
+}
+
+/// Runs a coloring-style protocol (output `u64`) and verifies propriety.
+pub fn run_coloring<P: Protocol<Output = u64>>(
+    exp: &str,
+    algo: &str,
+    p: &P,
+    gg: &GenGraph,
+    seed: u64,
+) -> Row {
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = run(p, &gg.graph, &ids, cfg(seed)).expect("protocol terminates");
+    let valid = verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX).is_ok();
+    let colors = verify::count_distinct(&out.outputs);
+    Row::from_metrics(exp, algo, gg.family, gg.graph.n(), gg.arboricity, &out.metrics, colors, valid)
+}
+
+/// Runs the §8 MIS protocol.
+pub fn run_mis_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+    let p = mis::MisExtension::new(gg.arboricity);
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
+    Row::from_metrics(exp, "mis_extension", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, 0, valid)
+}
+
+/// Runs Luby's MIS baseline.
+pub fn run_mis_luby(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = run(&mis::LubyMis, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
+    Row::from_metrics(exp, "mis_luby", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, 0, valid)
+}
+
+/// Runs the §8 edge-coloring protocol (commit metrics).
+pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+    let p = edge_coloring::EdgeColoringExtension::new(gg.arboricity);
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let (colors, commit) = edge_coloring::assemble(&gg.graph, &out).expect("assembles");
+    let valid = verify::proper_edge_coloring(
+        &gg.graph,
+        &colors,
+        edge_coloring::EdgeColoringExtension::palette(&gg.graph) as usize,
+    )
+    .is_ok();
+    let used = verify::count_distinct(&colors);
+    Row::from_metrics(exp, "edge_col_extension", gg.family, gg.graph.n(), gg.arboricity, &commit, used, valid)
+}
+
+/// Runs the §8 maximal-matching protocol (commit metrics).
+pub fn run_matching_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+    let p = matching::MatchingExtension::new(gg.arboricity);
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let (mm, commit) = matching::assemble(&gg.graph, &out).expect("assembles");
+    let valid = verify::maximal_matching(&gg.graph, &mm).is_ok();
+    Row::from_metrics(exp, "matching_extension", gg.family, gg.graph.n(), gg.arboricity, &commit, 0, valid)
+}
+
+/// Runs Procedure Parallelized-Forest-Decomposition and verifies.
+pub fn run_forest_fast(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+    let p = forests::ParallelizedForestDecomposition::new(gg.arboricity);
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let valid = forests::assemble(&gg.graph, &out.outputs)
+        .map(|(labels, heads)| {
+            verify::forest_decomposition(&gg.graph, &labels, &heads, p.cap()).is_ok()
+        })
+        .unwrap_or(false);
+    Row::from_metrics(exp, "forest_parallelized", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, p.cap(), valid)
+}
+
+/// Runs the worst-case forest-decomposition baseline.
+pub fn run_forest_baseline(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+    let p = forests::ForestDecompositionBaseline::new(gg.arboricity);
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let valid = forests::assemble(&gg.graph, &out.outputs).is_ok();
+    Row::from_metrics(exp, "forest_baseline", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, 0, valid)
+}
+
+/// All coloring algorithm constructors keyed by a short name, so binaries
+/// can sweep them uniformly.
+pub fn coloring_row(exp: &str, name: &str, gg: &GenGraph, k: u32, seed: u64) -> Row {
+    let a = gg.arboricity;
+    let n = gg.graph.n() as u64;
+    match name {
+        "a2logn" => run_coloring(exp, name, &coloring::a2logn::ColoringA2LogN::new(a), gg, seed),
+        "a2_loglog" => {
+            run_coloring(exp, name, &coloring::a2_loglog::ColoringA2LogLog::new(a), gg, seed)
+        }
+        "oa_recolor" => {
+            run_coloring(exp, name, &coloring::oa_recolor::ColoringOaRecolor::new(a), gg, seed)
+        }
+        "ka2" => run_coloring(exp, name, &coloring::ka2::ColoringKa2::new(a, k), gg, seed),
+        "ka2_rho" => {
+            run_coloring(exp, name, &coloring::ka2::ColoringKa2::rho_instance(a, n), gg, seed)
+        }
+        "ka" => run_coloring(exp, name, &coloring::ka::ColoringKa::new(a, k), gg, seed),
+        "ka_rho" => {
+            run_coloring(exp, name, &coloring::ka::ColoringKa::rho_instance(a, n), gg, seed)
+        }
+        "delta_plus_one" => run_coloring(
+            exp,
+            name,
+            &coloring::delta_plus_one::DeltaPlusOneColoring::new(a),
+            gg,
+            seed,
+        ),
+        "legal_coloring" => run_coloring(
+            exp,
+            name,
+            &algos::legal_coloring::LegalColoring::new(a.max(1), 6),
+            gg,
+            seed,
+        ),
+        "one_plus_eta" => run_coloring(
+            exp,
+            name,
+            &algos::one_plus_eta::OnePlusEtaArbCol::new(a, 4),
+            gg,
+            seed,
+        ),
+        "rand_delta_plus_one" => run_coloring(
+            exp,
+            name,
+            &rand_coloring::delta_plus_one::RandDeltaPlusOne::new(),
+            gg,
+            seed,
+        ),
+        "rand_a_loglog" => {
+            run_coloring(exp, name, &rand_coloring::a_loglog::RandALogLog::new(a), gg, seed)
+        }
+        "arb_color_baseline" => {
+            run_coloring(exp, name, &algos::arb_color::ArbColor::new(a), gg, seed)
+        }
+        "arb_linial_oneshot" => {
+            run_coloring(exp, name, &baselines::ArbLinialOneShot::new(a), gg, seed)
+        }
+        "arb_linial_full" => {
+            run_coloring(exp, name, &baselines::ArbLinialFull::new(a), gg, seed)
+        }
+        "global_linial" => run_coloring(exp, name, &baselines::GlobalLinial::new(), gg, seed),
+        "global_linial_kw" => {
+            run_coloring(exp, name, &baselines::GlobalLinialKw::new(), gg, seed)
+        }
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// Standard n-sweep for scaling experiments (trimmed by `quick`).
+pub fn n_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1 << 10, 1 << 12]
+    } else {
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    }
+}
+
+/// Convenience: `log* n` for annotations.
+pub fn log_star(n: usize) -> u32 {
+    itlog::log_star(n as u64)
+}
+
+/// Builds the default bounded-arboricity workload.
+pub fn forest_workload(n: usize, a: usize, seed: u64) -> GenGraph {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    gen_forest(n, a, &mut rng)
+}
+
+fn gen_forest(n: usize, a: usize, rng: &mut rand_chacha::ChaCha8Rng) -> GenGraph {
+    graphcore::gen::forest_union(n, a, rng)
+}
+
+/// Builds the `a ≪ Δ` hub workload.
+pub fn hub_workload(n: usize, a: usize, hub_degree: usize, seed: u64) -> GenGraph {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    graphcore::gen::hub_forest(n, a.saturating_sub(1).max(1), 4, hub_degree, &mut rng)
+}
+
+/// Parses the common CLI flags: `--quick` plus optional experiment-id
+/// filters (raw args).
+pub struct Cli {
+    /// Trim sweeps for smoke runs.
+    pub quick: bool,
+    /// Experiment ids to run (empty = all).
+    pub filters: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut quick = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                quick = true;
+            } else {
+                filters.push(arg);
+            }
+        }
+        Cli { quick, filters }
+    }
+
+    /// Whether experiment `id` should run.
+    pub fn wants(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.starts_with(f.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coloring_rows_run_and_validate() {
+        let gg = forest_workload(256, 2, 1);
+        for name in ["a2logn", "a2_loglog", "ka2", "arb_color_baseline"] {
+            let row = coloring_row("T", name, &gg, 2, 0);
+            assert!(row.valid, "{name} produced an invalid coloring");
+            assert!(row.va > 0.0 && row.wc >= row.median);
+        }
+    }
+
+    #[test]
+    fn set_problem_rows_validate() {
+        let gg = forest_workload(200, 2, 2);
+        assert!(run_mis_ext("T", &gg, 0).valid);
+        assert!(run_mis_luby("T", &gg, 0).valid);
+        assert!(run_matching_ext("T", &gg, 0).valid);
+        assert!(run_edge_coloring_ext("T", &gg, 0).valid);
+        assert!(run_forest_fast("T", &gg, 0).valid);
+    }
+
+    #[test]
+    fn cli_filters() {
+        let cli = Cli { quick: true, filters: vec!["T1.2".into()] };
+        assert!(cli.wants("T1.2"));
+        assert!(!cli.wants("T1.3"));
+        let all = Cli { quick: false, filters: vec![] };
+        assert!(all.wants("anything"));
+    }
+}

@@ -1,0 +1,7 @@
+//! The vertex-coloring suite of §7 and §8.
+pub mod a2_loglog;
+pub mod a2logn;
+pub mod delta_plus_one;
+pub mod ka;
+pub mod ka2;
+pub mod oa_recolor;

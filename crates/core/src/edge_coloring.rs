@@ -1,0 +1,413 @@
+//! Corollary 8.6 — deterministic `(2Δ−1)`-edge-coloring in `O(poly(a) +
+//! log* n)` vertex-averaged rounds (output-commit definition; see
+//! [`crate::extension`]).
+//!
+//! Extension-framework instantiation. Inside the window of H-set `H_i`:
+//!
+//! * **𝒜 (in-set edges).** An in-set `(A+1)`-vertex-coloring provides a
+//!   conflict-free schedule; then, per forest label `f` and vertex color
+//!   `ĉ`, every vertex with in-set color `ĉ` assigns colors to the edges
+//!   of its forest-`f` *children* (in-set neighbors whose label-`f`
+//!   out-edge points at it). Within a sub-slot the assigned edges form
+//!   disjoint stars around non-adjacent centers, so simultaneous picks
+//!   never collide; each sub-slot takes two rounds (assign + relay) so
+//!   the endpoint tables neighbors consult are always current.
+//! * **ℬ (edges to earlier sets).** Cross edges are grouped by the label
+//!   the *earlier* endpoint gave them; an earlier endpoint has at most one
+//!   label-`j` out-edge in total, so in sub-slot `j` each earlier vertex
+//!   has at most one incident edge being colored and no conflicts arise.
+//!
+//! Every choice avoids the published incident-color tables of both
+//! endpoints (≤ `2Δ−2` blocked colors), so the `2Δ−1` palette always has
+//! a free color — the extension property of edge coloring. A vertex
+//! *commits* its output at the end of its window; it then keeps relaying
+//! its table (adopting colors that later neighbors give its remaining
+//! cross edges) until all incident edges are colored, and terminates.
+
+use crate::extension::{metrics_from_commits, IterationSchedule};
+use crate::forests::decide_out_edges;
+use crate::inset::DeltaPlusOneSchedule;
+use crate::itlog;
+use crate::partition::{degree_cap, partition_step};
+use graphcore::{EdgeId, Graph, IdAssignment, VertexId};
+use simlocal::{Protocol, RoundMetrics, SimOutcome, StepCtx, Transition};
+use std::sync::OnceLock;
+
+/// Working data carried by a vertex from H-set membership to termination.
+#[derive(Clone, Debug)]
+pub struct EcCore {
+    /// H-set index.
+    pub h: u32,
+    /// My out-edges `(neighbor, forest label)`, fixed one round after
+    /// joining.
+    pub out_labels: Vec<(VertexId, u32)>,
+    /// Current in-set coloring value (ID until the window's coloring part
+    /// completes, then the final slot color).
+    pub c: u64,
+    /// Colors of incident edges this vertex knows, `(neighbor, color)`.
+    pub table: Vec<(VertexId, u64)>,
+    /// Entries of `table` this vertex assigned itself (its output share).
+    pub assigned: Vec<(VertexId, u64)>,
+    /// Round in which the output was committed (end of the window).
+    pub committed: Option<u32>,
+}
+
+impl EcCore {
+    fn knows(&self, u: VertexId) -> bool {
+        self.table.iter().any(|&(w, _)| w == u)
+    }
+
+    fn label_to(&self, u: VertexId) -> Option<u32> {
+        self.out_labels.iter().find(|&&(w, _)| w == u).map(|&(_, l)| l)
+    }
+}
+
+/// Per-vertex state.
+#[derive(Clone, Debug)]
+/// Field conventions: `h` is the 1-based H-set index, `c` a current
+/// Linial/KW color value, `local` a final in-set color, `rec` a
+/// recolored palette entry.
+#[allow(missing_docs)] // field meanings are shared across the state machines (see the note above)
+pub enum SEc {
+    /// Running Procedure Partition.
+    Active,
+    /// Joined H-set `h`; labels are decided next round.
+    Joined { h: u32 },
+    /// Labeled and working (before, during, or after the window).
+    Run(EcCore),
+}
+
+/// Per-vertex output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EcOut {
+    /// Round in which this vertex's output was committed.
+    pub commit_round: u32,
+    /// Edge colors this vertex assigned, as `(neighbor, color)`.
+    pub assigned: Vec<(VertexId, u64)>,
+}
+
+/// The Corollary 8.6 protocol.
+#[derive(Debug)]
+pub struct EdgeColoringExtension {
+    /// Known arboricity.
+    pub arboricity: usize,
+    /// ε ∈ (0, 2].
+    pub epsilon: f64,
+    sched: OnceLock<(DeltaPlusOneSchedule, IterationSchedule)>,
+}
+
+impl EdgeColoringExtension {
+    /// Standard instance (ε = 2).
+    pub fn new(arboricity: usize) -> Self {
+        EdgeColoringExtension { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+    }
+
+    /// Degree threshold `A`.
+    pub fn cap(&self) -> usize {
+        degree_cap(self.arboricity, self.epsilon)
+    }
+
+    /// Edge palette `2Δ − 1`.
+    pub fn palette(g: &Graph) -> u64 {
+        (2 * g.max_degree()).saturating_sub(1).max(1) as u64
+    }
+
+    fn schedules(&self, ids: &IdAssignment) -> &(DeltaPlusOneSchedule, IterationSchedule) {
+        self.sched.get_or_init(|| {
+            let inset = DeltaPlusOneSchedule::new(ids.id_space().max(2), self.cap() as u64);
+            let cap = self.cap() as u32;
+            // d coloring rounds + 2 rounds per in-set sub-slot (label ×
+            // color) + 2 per ℬ sub-slot (label).
+            let dur = inset.rounds() + 2 * cap * (cap + 1) + 2 * cap;
+            (inset, IterationSchedule::new(dur))
+        })
+    }
+}
+
+impl Protocol for EdgeColoringExtension {
+    type State = SEc;
+    type Output = EcOut;
+
+    fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SEc {
+        SEc::Active
+    }
+
+    fn step(&self, ctx: StepCtx<'_, SEc>) -> Transition<SEc, EcOut> {
+        match ctx.state.clone() {
+            SEc::Active => {
+                let active =
+                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SEc::Active)).count();
+                if partition_step(active, self.cap()) {
+                    Transition::Continue(SEc::Joined { h: ctx.round })
+                } else {
+                    Transition::Continue(SEc::Active)
+                }
+            }
+            SEc::Joined { h } => {
+                let out_labels = decide_out_edges(&ctx, h, |s| match s {
+                    SEc::Active => None,
+                    SEc::Joined { h } => Some(*h),
+                    SEc::Run(core) => Some(core.h),
+                });
+                Transition::Continue(SEc::Run(EcCore {
+                    h,
+                    out_labels,
+                    c: ctx.my_id(),
+                    table: Vec::new(),
+                    assigned: Vec::new(),
+                    committed: None,
+                }))
+            }
+            SEc::Run(mut core) => {
+                // Always adopt colors that neighbors assigned to my edges.
+                self.adopt(&ctx, &mut core);
+                if core.committed.is_some() {
+                    return self.relay_or_finish(&ctx, core);
+                }
+                let (inset, iters) = self.schedules(ctx.ids);
+                let d = inset.rounds();
+                let cap = self.cap() as u32;
+                let Some(local) = iters.local_round(core.h, ctx.round) else {
+                    return Transition::Continue(SEc::Run(core));
+                };
+                if local < d {
+                    // In-set vertex coloring.
+                    let h = core.h;
+                    let peers: Vec<u64> = ctx
+                        .view
+                        .neighbors()
+                        .filter_map(|(u, s)| match s {
+                            SEc::Run(c2) if c2.h == h => Some(c2.c),
+                            SEc::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
+                            _ => None,
+                        })
+                        .collect();
+                    core.c = inset.step(local, core.c, &peers);
+                    if local + 1 == d {
+                        core.c = inset.finish(core.c);
+                    }
+                    return Transition::Continue(SEc::Run(core));
+                }
+                if d == 0 && local == 0 {
+                    // Degenerate tiny instance: ID already < A+1.
+                    core.c = inset.finish(core.c);
+                }
+                let t = local - d;
+                let sa = 2 * cap * (cap + 1);
+                if t < sa {
+                    if t % 2 == 0 {
+                        let sub = t / 2;
+                        let (f, chat) = (sub / (cap + 1), (sub % (cap + 1)) as u64);
+                        if core.c == chat {
+                            self.assign_in_set_children(&ctx, &mut core, f);
+                        }
+                    }
+                    return Transition::Continue(SEc::Run(core));
+                }
+                let t = t - sa;
+                if t < 2 * cap {
+                    if t.is_multiple_of(2) {
+                        self.assign_cross_from_earlier(&ctx, &mut core, t / 2);
+                    }
+                    return Transition::Continue(SEc::Run(core));
+                }
+                // Window over: commit, then relay until complete.
+                core.committed = Some(ctx.round);
+                self.relay_or_finish(&ctx, core)
+            }
+        }
+    }
+
+    fn max_rounds(&self, g: &Graph) -> u32 {
+        let n = g.n() as u64;
+        let inset = DeltaPlusOneSchedule::new(n.max(2), self.cap() as u64);
+        let cap = self.cap() as u32;
+        let dur = inset.rounds() + 2 * cap * (cap + 1) + 2 * cap;
+        IterationSchedule::new(dur).window_end(itlog::partition_round_bound(n, self.epsilon)) + 16
+    }
+}
+
+impl EdgeColoringExtension {
+    /// Adopts colors neighbors assigned to edges incident on me.
+    fn adopt(&self, ctx: &StepCtx<'_, SEc>, core: &mut EcCore) {
+        let me = ctx.v;
+        for (u, s) in ctx.view.neighbors() {
+            if core.knows(u) {
+                continue;
+            }
+            if let SEc::Run(other) = s {
+                if let Some(&(_, color)) = other.table.iter().find(|&&(w, _)| w == me) {
+                    core.table.push((u, color));
+                }
+            }
+        }
+    }
+
+    /// Sub-slot (f, ĉ): assign distinct free colors to my forest-`f`
+    /// child edges (in-set neighbors whose label-`f` out-edge names me).
+    fn assign_in_set_children(&self, ctx: &StepCtx<'_, SEc>, core: &mut EcCore, f: u32) {
+        let me = ctx.v;
+        let palette = Self::palette(ctx.graph);
+        for (u, s) in ctx.view.neighbors() {
+            let SEc::Run(child) = s else { continue };
+            if child.h != core.h || child.label_to(me) != Some(f) || core.knows(u) {
+                continue;
+            }
+            let mut blocked: Vec<u64> =
+                core.table.iter().map(|&(_, c)| c).collect();
+            blocked.extend(child.table.iter().map(|&(_, c)| c));
+            let color = (0..palette)
+                .find(|c| !blocked.contains(c))
+                .expect("2Δ−1 palette vs ≤ 2Δ−2 blocked colors");
+            core.table.push((u, color));
+            core.assigned.push((u, color));
+        }
+    }
+
+    /// ℬ sub-slot `j`: color cross edges from earlier sets whose earlier
+    /// endpoint labeled them `j`.
+    fn assign_cross_from_earlier(&self, ctx: &StepCtx<'_, SEc>, core: &mut EcCore, j: u32) {
+        let me = ctx.v;
+        let palette = Self::palette(ctx.graph);
+        for (u, s) in ctx.view.neighbors() {
+            let SEc::Run(earlier) = s else { continue };
+            if earlier.h >= core.h || earlier.label_to(me) != Some(j) || core.knows(u) {
+                continue;
+            }
+            let mut blocked: Vec<u64> = core.table.iter().map(|&(_, c)| c).collect();
+            blocked.extend(earlier.table.iter().map(|&(_, c)| c));
+            let color = (0..palette)
+                .find(|c| !blocked.contains(c))
+                .expect("2Δ−1 palette vs ≤ 2Δ−2 blocked colors");
+            core.table.push((u, color));
+            core.assigned.push((u, color));
+        }
+    }
+
+    /// After committing: relay until every incident edge is colored.
+    fn relay_or_finish(&self, ctx: &StepCtx<'_, SEc>, core: EcCore) -> Transition<SEc, EcOut> {
+        if core.table.len() == ctx.degree() {
+            let out = EcOut {
+                commit_round: core.committed.expect("committed before finishing"),
+                assigned: core.assigned.clone(),
+            };
+            Transition::Terminate(SEc::Run(core), out)
+        } else {
+            Transition::Continue(SEc::Run(core))
+        }
+    }
+}
+
+/// Assembles per-vertex outputs into a per-edge color array and the
+/// commit-round metrics. Errors if an edge is colored twice or never.
+pub fn assemble(
+    g: &Graph,
+    out: &SimOutcome<EcOut>,
+) -> Result<(Vec<u64>, RoundMetrics), String> {
+    let mut colors = vec![u64::MAX; g.m()];
+    let mut owner: Vec<Option<VertexId>> = vec![None; g.m()];
+    for v in g.vertices() {
+        for &(u, c) in &out.outputs[v as usize].assigned {
+            let e: EdgeId = g
+                .edge_between(v, u)
+                .ok_or_else(|| format!("vertex {v} colored non-edge ({v},{u})"))?;
+            if let Some(o) = owner[e as usize] {
+                return Err(format!("edge {e} colored by both {o} and {v}"));
+            }
+            owner[e as usize] = Some(v);
+            colors[e as usize] = c;
+        }
+    }
+    for (e, _) in g.edges() {
+        if owner[e as usize].is_none() {
+            return Err(format!("edge {e} never colored"));
+        }
+    }
+    let commits: Vec<u32> = out.outputs.iter().map(|o| o.commit_round).collect();
+    Ok((colors, metrics_from_commits(&commits)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::{gen, verify, IdAssignment};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_and_verify(g: &Graph, a: usize) -> (f64, u32, f64) {
+        let p = EdgeColoringExtension::new(a);
+        let ids = IdAssignment::identity(g.n());
+        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let (colors, commit_metrics) = assemble(g, &out).unwrap();
+        verify::assert_ok(verify::proper_edge_coloring(
+            g,
+            &colors,
+            EdgeColoringExtension::palette(g) as usize,
+        ));
+        commit_metrics.check_identities().unwrap();
+        (
+            commit_metrics.vertex_averaged(),
+            commit_metrics.worst_case(),
+            out.metrics.vertex_averaged(),
+        )
+    }
+
+    #[test]
+    fn proper_on_small_families() {
+        run_and_verify(&gen::path(60), 1);
+        run_and_verify(&gen::cycle(61), 2);
+        run_and_verify(&gen::star(25), 1);
+        run_and_verify(&gen::grid(7, 9), 2);
+    }
+
+    #[test]
+    fn proper_on_forest_unions_and_hubs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(110);
+        for a in [2usize, 3] {
+            let gg = gen::forest_union(400, a, &mut rng);
+            run_and_verify(&gg.graph, a);
+        }
+        let hub = gen::hub_forest(800, 1, 3, 40, &mut rng);
+        run_and_verify(&hub.graph, hub.arboricity);
+    }
+
+    #[test]
+    fn commit_va_flat_in_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(111);
+        let g1 = gen::forest_union(512, 2, &mut rng);
+        let g2 = gen::forest_union(8192, 2, &mut rng);
+        let (va1, _, _) = run_and_verify(&g1.graph, 2);
+        let (va2, _, _) = run_and_verify(&g2.graph, 2);
+        assert!(va2 <= va1 * 1.6 + 3.0, "commit VA grew too fast: {va1} -> {va2}");
+    }
+
+    #[test]
+    fn star_uses_delta_colors() {
+        // K_{1,n}: Δ = n−1 edges all share the center: exactly Δ colors.
+        let g = gen::star(12);
+        let p = EdgeColoringExtension::new(1);
+        let ids = IdAssignment::identity(12);
+        let out = simlocal::run_seq(&p, &g, &ids).unwrap();
+        let (colors, _) = assemble(&g, &out).unwrap();
+        let distinct = verify::count_distinct(&colors);
+        assert_eq!(distinct, 11);
+    }
+
+    #[test]
+    fn relay_tail_exceeds_commit_rounds() {
+        // Engine termination (with relays) is later than commit rounds,
+        // never earlier.
+        let mut rng = ChaCha8Rng::seed_from_u64(112);
+        let gg = gen::forest_union(400, 2, &mut rng);
+        let p = EdgeColoringExtension::new(2);
+        let ids = IdAssignment::identity(400);
+        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let (_, commit_metrics) = assemble(&gg.graph, &out).unwrap();
+        for v in gg.graph.vertices() {
+            assert!(
+                out.metrics.termination_round[v as usize]
+                    >= commit_metrics.termination_round[v as usize]
+            );
+        }
+    }
+}

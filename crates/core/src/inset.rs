@@ -1,0 +1,281 @@
+//! In-H-set coloring subroutines shared by the §7 and §8 protocols.
+//!
+//! Procedure Partition guarantees every vertex at most `A = ⌊(2+ε)a⌋`
+//! neighbors inside its own H-set (and ahead of it), so inside a set the
+//! maximum relevant degree is `A` no matter how large Δ(G) is. Two
+//! deterministic subroutines exploit this:
+//!
+//! * [`LinialSchedule`] — iterated Linial color reduction
+//!   (Procedure Arb-Linial-Coloring's engine): from ID-colors down to the
+//!   `O(A²)` fixpoint in `O(log* n)` synchronized steps;
+//! * [`KwSchedule`] — Kuhn–Wattenhofer batched color reduction: from the
+//!   `O(A²)` palette down to exactly `A + 1` colors in `O(A log A)`
+//!   synchronized steps. Together they give the `(Δ+1)`-coloring-within-a-
+//!   set used as "the (Δ+1)-coloring algorithm of \[7\]" in §7.4/§7.7/§8
+//!   (substitution documented in DESIGN.md: `O(A log A + log* n)` instead
+//!   of \[7\]'s `O(A + log* n)`; both depend on `a` only).
+//!
+//! Both schedules are pure functions of globally known quantities
+//! (`id_space`, `A`), so every vertex derives the same round layout — the
+//! synchronization the paper's phase analyses assume.
+
+use crate::coverfree::{reduction_schedule, CoverFree};
+
+/// Iterated Linial reduction schedule.
+#[derive(Clone, Debug)]
+pub struct LinialSchedule {
+    fams: Vec<CoverFree>,
+    p0: u64,
+}
+
+impl LinialSchedule {
+    /// Schedule reducing a palette of `p0` initial colors (typically the
+    /// ID space) against unions of up to `a_bound` conflicting sets.
+    pub fn new(p0: u64, a_bound: u64) -> Self {
+        LinialSchedule { fams: reduction_schedule(p0, a_bound), p0: p0.max(2) }
+    }
+
+    /// Number of synchronized rounds (`O(log* p0)`).
+    pub fn rounds(&self) -> u32 {
+        self.fams.len() as u32
+    }
+
+    /// Palette size after the full schedule (`O(a_bound²)`).
+    pub fn final_palette(&self) -> u64 {
+        self.fams.last().map(|f| f.ground_size()).unwrap_or(self.p0)
+    }
+
+    /// Executes step `i ∈ 0..rounds()`: `my` is this vertex's current
+    /// color, `others` the current colors of its conflicting neighbors
+    /// (≤ `a_bound` of them). Returns the new color.
+    pub fn step(&self, i: u32, my: u64, others: &[u64]) -> u64 {
+        self.fams[i as usize].reduce(my, others)
+    }
+}
+
+/// Kuhn–Wattenhofer batched color reduction schedule: palette `p0` down to
+/// `k = cap + 1` colors, where `cap` bounds the relevant degree.
+///
+/// Each *pass* splits the palette into blocks of `2k` colors and spends
+/// `k` rounds folding the upper half of every block into the lower half
+/// (one color class per round re-picks a free color among its ≤ `cap`
+/// relevant neighbors); a pass maps palette `p` to `⌈p/(2k)⌉·k`.
+#[derive(Clone, Debug)]
+pub struct KwSchedule {
+    /// Target palette size (`cap + 1`).
+    k: u64,
+    /// Palette size before each pass.
+    passes: Vec<u64>,
+}
+
+impl KwSchedule {
+    /// Builds the schedule from the starting palette and the degree cap.
+    pub fn new(p0: u64, cap: u64) -> Self {
+        let k = cap + 1;
+        let mut passes = Vec::new();
+        let mut p = p0;
+        while p > k {
+            passes.push(p);
+            p = p.div_ceil(2 * k) * k;
+            assert!(passes.len() <= 64, "KW schedule failed to converge");
+        }
+        KwSchedule { k, passes }
+    }
+
+    /// Final palette size `k = cap + 1`.
+    pub fn final_palette(&self) -> u64 {
+        self.k
+    }
+
+    /// Total synchronized rounds: `k` per pass.
+    pub fn rounds(&self) -> u32 {
+        (self.passes.len() as u64 * self.k) as u32
+    }
+
+    /// Executes KW round `i ∈ 0..rounds()` for a vertex currently colored
+    /// `my`, with `others` the current colors of its relevant neighbors.
+    /// Returns the (possibly unchanged) new color.
+    ///
+    /// Colors live in `0..passes[pass]` during a pass and are compacted to
+    /// `0..⌈p/(2k)⌉·k` at the pass boundary (a pure relabeling folded into
+    /// the first round of the next pass — callers never see it).
+    pub fn step(&self, i: u32, my: u64, others: &[u64]) -> u64 {
+        let k = self.k;
+        let pass = (i as u64 / k) as usize;
+        let t = i as u64 % k;
+        let my = if t == 0 && pass > 0 { Self::compact(self.passes[pass - 1], k, my) } else { my };
+        let block = my / (2 * k);
+        let pos = my % (2 * k);
+        if pos != k + t {
+            return my;
+        }
+        // Re-pick: smallest position in [0, k) not used by a relevant
+        // neighbor currently sitting in the lower half of my block.
+        // Neighbors' colors may still be in the previous pass's space on
+        // the compaction round, so compact them the same way.
+        let mut used = vec![false; k as usize];
+        for &oc in others {
+            let oc =
+                if t == 0 && pass > 0 { Self::compact(self.passes[pass - 1], k, oc) } else { oc };
+            if oc / (2 * k) == block && oc % (2 * k) < k {
+                used[(oc % (2 * k)) as usize] = true;
+            }
+        }
+        let free = used.iter().position(|&u| !u).expect("cap+1 candidates vs ≤ cap neighbors") as u64;
+        block * (2 * k) + free
+    }
+
+    /// Pass-boundary relabeling: color in block layout `2k` → dense layout
+    /// `k` per block.
+    fn compact(_prev_palette: u64, k: u64, c: u64) -> u64 {
+        let block = c / (2 * k);
+        let pos = c % (2 * k);
+        debug_assert!(pos < k, "compaction requires the upper half to be empty");
+        block * k + pos
+    }
+
+    /// The color each vertex should report after the last round (applies
+    /// the final pass's compaction).
+    pub fn finish(&self, my: u64) -> u64 {
+        if self.passes.is_empty() {
+            my
+        } else {
+            Self::compact(*self.passes.last().unwrap(), self.k, my)
+        }
+    }
+}
+
+/// The full in-set `(cap+1)`-coloring schedule: iterated Linial from IDs,
+/// then KW reduction to `cap + 1` colors.
+#[derive(Clone, Debug)]
+pub struct DeltaPlusOneSchedule {
+    /// Phase 1.
+    pub linial: LinialSchedule,
+    /// Phase 2.
+    pub kw: KwSchedule,
+}
+
+impl DeltaPlusOneSchedule {
+    /// Builds the schedule for vertices with IDs in `0..id_space` and
+    /// relevant degree at most `cap`.
+    pub fn new(id_space: u64, cap: u64) -> Self {
+        let linial = LinialSchedule::new(id_space, cap);
+        let kw = KwSchedule::new(linial.final_palette(), cap);
+        DeltaPlusOneSchedule { linial, kw }
+    }
+
+    /// Total synchronized rounds (`O(log* n + cap·log cap)`).
+    pub fn rounds(&self) -> u32 {
+        self.linial.rounds() + self.kw.rounds()
+    }
+
+    /// Executes round `i ∈ 0..rounds()`; colors start as IDs.
+    pub fn step(&self, i: u32, my: u64, others: &[u64]) -> u64 {
+        if i < self.linial.rounds() {
+            self.linial.step(i, my, others)
+        } else {
+            self.kw.step(i - self.linial.rounds(), my, others)
+        }
+    }
+
+    /// Final color extraction after the last round: in `0..cap+1`.
+    pub fn finish(&self, my: u64) -> u64 {
+        self.kw.finish(my)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::{gen, verify, Graph};
+
+    /// Centralized synchronous driver over an arbitrary graph: every
+    /// vertex applies the schedule against ALL its neighbors. Validity
+    /// requires max degree ≤ cap.
+    fn drive_delta_plus_one(g: &Graph, cap: u64) -> Vec<u64> {
+        let sched = DeltaPlusOneSchedule::new(g.n() as u64, cap);
+        let mut colors: Vec<u64> = (0..g.n() as u64).collect();
+        for i in 0..sched.rounds() {
+            let prev = colors.clone();
+            for v in g.vertices() {
+                let others: Vec<u64> =
+                    g.neighbors(v).iter().map(|&u| prev[u as usize]).collect();
+                colors[v as usize] = sched.step(i, prev[v as usize], &others);
+            }
+        }
+        colors.iter().map(|&c| sched.finish(c)).collect()
+    }
+
+    #[test]
+    fn linial_schedule_properties() {
+        let s = LinialSchedule::new(1 << 20, 4);
+        assert!(s.rounds() >= 1 && s.rounds() <= 8);
+        assert!(s.final_palette() <= 2000);
+    }
+
+    #[test]
+    fn kw_schedule_shrinks_to_cap_plus_one() {
+        let s = KwSchedule::new(500, 4);
+        assert_eq!(s.final_palette(), 5);
+        assert!(s.rounds() > 0);
+        // Pass count ~ log(500/5)/log(10): a handful.
+        assert!(s.rounds() <= 5 * 10);
+    }
+
+    #[test]
+    fn kw_noop_when_already_small() {
+        let s = KwSchedule::new(4, 5);
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.finish(3), 3);
+    }
+
+    #[test]
+    fn full_schedule_colors_cycle() {
+        let g = gen::cycle(97);
+        let colors = drive_delta_plus_one(&g, 2);
+        verify::assert_ok(verify::proper_vertex_coloring(&g, &colors, 3));
+        assert!(colors.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn full_schedule_colors_grid() {
+        let g = gen::grid(12, 12);
+        let colors = drive_delta_plus_one(&g, 4);
+        verify::assert_ok(verify::proper_vertex_coloring(&g, &colors, 5));
+    }
+
+    #[test]
+    fn full_schedule_colors_path_and_star() {
+        let p = gen::path(64);
+        let colors = drive_delta_plus_one(&p, 2);
+        verify::assert_ok(verify::proper_vertex_coloring(&p, &colors, 3));
+        let s = gen::star(20);
+        let colors = drive_delta_plus_one(&s, 19);
+        verify::assert_ok(verify::proper_vertex_coloring(&s, &colors, 20));
+    }
+
+    #[test]
+    fn intermediate_linial_colorings_stay_proper() {
+        let g = gen::cycle(50);
+        let sched = LinialSchedule::new(50, 2);
+        let mut colors: Vec<u64> = (0..50).collect();
+        for i in 0..sched.rounds() {
+            let prev = colors.clone();
+            for v in g.vertices() {
+                let others: Vec<u64> =
+                    g.neighbors(v).iter().map(|&u| prev[u as usize]).collect();
+                colors[v as usize] = sched.step(i, prev[v as usize], &others);
+            }
+            verify::assert_ok(verify::proper_vertex_coloring(&g, &colors, usize::MAX));
+        }
+        assert!(colors.iter().all(|&c| c < sched.final_palette()));
+    }
+
+    #[test]
+    fn rounds_scale_with_cap_not_n() {
+        // Linial rounds grow like log* n; KW rounds like cap·log(cap).
+        let small = DeltaPlusOneSchedule::new(1 << 10, 4).rounds();
+        let big = DeltaPlusOneSchedule::new(1 << 40, 4).rounds();
+        assert!(big <= small + 4 * 3, "rounds grew too fast: {small} -> {big}");
+    }
+}

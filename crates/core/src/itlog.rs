@@ -1,0 +1,199 @@
+//! Integer logarithm utilities: `log₂`, the iterated logarithm `log^(k)`,
+//! `log* n`, and the paper's `ρ(n)` (§7.5).
+//!
+//! All functions work on `u64` and round the real logarithm **up** to stay
+//! on the safe side of schedule lengths (a schedule one round too long only
+//! adds O(1) idle rounds; one round too short breaks correctness).
+
+/// `⌈log₂ n⌉` for `n ≥ 1`; 0 for `n ≤ 1`.
+pub fn ceil_log2(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// `⌊log₂ n⌋` for `n ≥ 1`. Panics on 0.
+pub fn floor_log2(n: u64) -> u32 {
+    assert!(n >= 1, "log of zero");
+    63 - n.leading_zeros()
+}
+
+/// The `k`-times iterated ceiling logarithm `log^(k) n` (`k ≥ 1`),
+/// clamped below at 1 so it can serve as a schedule length.
+///
+/// `log^(1) n = ⌈log₂ n⌉`, `log^(i) n = ⌈log₂ log^(i-1) n⌉`.
+pub fn iterated_log(n: u64, k: u32) -> u64 {
+    assert!(k >= 1, "iterated_log needs k ≥ 1");
+    let mut x = n;
+    for _ in 0..k {
+        x = (ceil_log2(x) as u64).max(1);
+    }
+    x
+}
+
+/// `log* n`: the number of times `log₂` must be iterated (starting from
+/// `n`) before the value drops to ≤ 2. `log*(n) = 0` for `n ≤ 2`.
+pub fn log_star(n: u64) -> u32 {
+    let mut x = n;
+    let mut k = 0;
+    while x > 2 {
+        x = ceil_log2(x) as u64;
+        k += 1;
+    }
+    k
+}
+
+/// The paper's `ρ(n)` (§7.5): the largest integer such that
+/// `log^(ρ(n)-1) n ≥ log* n`. For tiny `n` (where even `log^(1) n < log* n`
+/// cannot happen, since `log^(1) n ≥ log* n` for all n) this is well
+/// defined and ≥ 2 whenever `n ≥ 4`.
+pub fn rho(n: u64) -> u32 {
+    let target = log_star(n) as u64;
+    let mut k: u32 = 1;
+    // Find the largest k with log^(k-1) n ≥ log* n; log^(0) n = n.
+    let mut val = n;
+    loop {
+        // val = log^(k-1) n at loop head.
+        let next = (ceil_log2(val) as u64).max(1);
+        if next >= target && next < val {
+            val = next;
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    k.max(2)
+}
+
+/// Worst-case round bound for Procedure Partition with parameter `ε`
+/// (§6.1): `⌈log_{(2+ε)/2} n⌉ + 1` rounds suffice for every vertex to join
+/// an H-set on a graph of the stated arboricity.
+pub fn partition_round_bound(n: u64, epsilon: f64) -> u32 {
+    assert!(epsilon > 0.0 && epsilon <= 2.0, "ε must be in (0, 2]");
+    if n <= 1 {
+        return 1;
+    }
+    let base = (2.0 + epsilon) / 2.0;
+    ((n as f64).ln() / base.ln()).ceil() as u32 + 1
+}
+
+/// Number of H-sets the paper's ℓ denotes: `⌊(2/ε)·log₂ n⌋`, clamped ≥ 1.
+pub fn ell(n: u64, epsilon: f64) -> u32 {
+    (((2.0 / epsilon) * (n.max(2) as f64).log2()).floor() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(floor_log2(1024), 10);
+    }
+
+    #[test]
+    fn iterated_log_values() {
+        assert_eq!(iterated_log(1 << 16, 1), 16);
+        assert_eq!(iterated_log(1 << 16, 2), 4);
+        assert_eq!(iterated_log(1 << 16, 3), 2);
+        assert_eq!(iterated_log(1 << 16, 4), 1);
+        assert_eq!(iterated_log(2, 5), 1);
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 0);
+        assert_eq!(log_star(3), 1); // ceil_log2(3)=2
+        assert_eq!(log_star(4), 1);
+        assert_eq!(log_star(5), 2); // 5 -> 3 -> 2
+        assert_eq!(log_star(16), 2); // 16 -> 4 -> 2
+        assert_eq!(log_star(65536), 3); // 65536 -> 16 -> 4 -> 2
+        assert_eq!(log_star(u64::MAX), 4);
+    }
+
+    #[test]
+    fn rho_definition_holds() {
+        for n in [16u64, 256, 1 << 16, 1 << 32, 1 << 50] {
+            let r = rho(n);
+            let ls = log_star(n) as u64;
+            // log^(ρ-1) n ≥ log* n must hold (log^(0) n = n).
+            let val = if r == 1 { n } else { iterated_log(n, r - 1) };
+            assert!(val >= ls, "n={n}: log^({}) = {val} < log* = {ls}", r - 1);
+            // and ρ ≤ log* n + O(1): sanity that rho isn't runaway.
+            assert!(r as u64 <= ls + 2, "n={n}: rho={r} too large vs log*={ls}");
+        }
+    }
+
+    #[test]
+    fn rho_at_least_two() {
+        assert!(rho(4) >= 2);
+        assert!(rho(1 << 20) >= 2);
+    }
+
+    #[test]
+    fn partition_bound_monotone_and_sane() {
+        // ε = 2 gives base 2: bound ≈ log2 n + 1.
+        assert_eq!(partition_round_bound(1024, 2.0), 11);
+        assert!(partition_round_bound(1024, 0.5) > partition_round_bound(1024, 2.0));
+        assert_eq!(partition_round_bound(1, 1.0), 1);
+    }
+
+    #[test]
+    fn ell_values() {
+        assert_eq!(ell(1024, 2.0), 10);
+        assert_eq!(ell(1024, 1.0), 20);
+        assert!(ell(2, 2.0) >= 1);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+
+    #[test]
+    fn iterated_log_monotone_in_k_and_n() {
+        for n in [16u64, 1 << 20, 1 << 50] {
+            for k in 1..6 {
+                assert!(iterated_log(n, k) >= iterated_log(n, k + 1));
+            }
+        }
+        for k in 1..5 {
+            assert!(iterated_log(1 << 40, k) >= iterated_log(1 << 10, k));
+        }
+    }
+
+    #[test]
+    fn log_star_via_iterated_log() {
+        // log*(n) is the smallest k with log^(k) n ≤ 2 (for n > 2).
+        for n in [3u64, 17, 1 << 16, 1 << 40] {
+            let ls = log_star(n);
+            assert!(iterated_log(n, ls) <= 2, "log^({ls}) of {n} should be ≤ 2");
+            if ls > 1 {
+                assert!(iterated_log(n, ls - 1) > 2);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_bound_covers_decay() {
+        // (2/(2+ε))^L · n < 1 must hold at the bound for several ε.
+        for eps in [0.5f64, 1.0, 2.0] {
+            for n in [64u64, 4096, 1 << 20] {
+                let l = partition_round_bound(n, eps);
+                let shrink = (2.0 / (2.0 + eps)).powi(l as i32) * n as f64;
+                assert!(shrink < 1.0, "ε={eps} n={n}: residue {shrink}");
+            }
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Randomized algorithms of §9.
+pub mod a_loglog;
+pub mod delta_plus_one;

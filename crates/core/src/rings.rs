@@ -1,0 +1,304 @@
+//! §3 — the prior results on rings that motivated the paper (\[12\],
+//! Feuilloley).
+//!
+//! * [`LeaderElection`] — the *positive* prior result: on a cycle, leader
+//!   election has vertex-averaged complexity `O(log n)` although its
+//!   worst case is `Θ(n)`. A vertex retires as non-leader the moment a
+//!   larger ID reaches it along the ring; only the maximum must wait for
+//!   its probe to circle half the ring. The worst ID assignment makes
+//!   `Σ_v dist(v, nearest larger ID) = Θ(n log n)` — vertex-averaged
+//!   `Θ(log n)`.
+//! * [`RingThreeColoring`] — the *negative* prior result: 3-coloring a
+//!   cycle has the **same** `Θ(log* n)` vertex-averaged and worst-case
+//!   complexity (no early retirement is possible), via Cole–Vishkin
+//!   color reduction. This is the contrast the paper's general-graph
+//!   results break: on rings the decay trick is unavailable, in general
+//!   bounded-arboricity graphs it is.
+//!
+//! Both protocols double as extra substrate tests for the simulator: the
+//! leader election exercises data-dependent termination times spanning
+//! `Θ(n)` rounds, the Cole–Vishkin reduction exercises the bit-trick
+//! pipeline.
+
+use graphcore::{Graph, IdAssignment, VertexId};
+use simlocal::{Protocol, StepCtx, Transition};
+
+/// Leader election on a cycle (every vertex must have degree exactly 2).
+///
+/// Each round a vertex forwards the largest ID it has seen; it *commits*
+/// the output "non-leader" the round it first learns of an ID larger than
+/// its own — its measured running time under the first definition of \[12\]
+/// (§2): the output is fixed, the vertex merely keeps relaying so larger
+/// IDs are not blocked behind it. The maximum-ID vertex commits "leader"
+/// after `⌈n/2⌉ + 1` rounds (its ID has met itself around the ring). The
+/// engine terminates everyone together at that point; vertex-averaged
+/// complexity is computed from the commit rounds via
+/// [`crate::extension::metrics_from_commits`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeaderElection;
+
+/// Published state: largest ID seen, plus the commit round if decided.
+#[derive(Clone, Copy, Debug)]
+pub struct LeState {
+    /// Largest ID seen so far (relay value).
+    pub best: u64,
+    /// Round the non-leader output was committed.
+    pub committed: Option<u32>,
+}
+
+/// Output: commit round and the verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeOut {
+    /// Round in which the output was fixed.
+    pub commit_round: u32,
+    /// Whether this vertex is the leader.
+    pub is_leader: bool,
+}
+
+impl Protocol for LeaderElection {
+    type State = LeState;
+    type Output = LeOut;
+
+    fn init(&self, g: &Graph, ids: &IdAssignment, v: VertexId) -> LeState {
+        assert_eq!(g.degree(v), 2, "leader election runs on cycles");
+        LeState { best: ids.id(v), committed: None }
+    }
+
+    fn step(&self, ctx: StepCtx<'_, LeState>) -> Transition<LeState, LeOut> {
+        let my_id = ctx.my_id();
+        let best = ctx
+            .view
+            .neighbors()
+            .map(|(_, s)| s.best)
+            .chain([ctx.state.best])
+            .max()
+            .expect("cycle vertices have neighbors");
+        let committed = match ctx.state.committed {
+            Some(r) => Some(r),
+            None if best > my_id => Some(ctx.round),
+            None => None,
+        };
+        let next = LeState { best, committed };
+        // After ⌈n/2⌉ + 1 rounds the maximum ID has reached every vertex;
+        // everyone terminates, leaders being those that never saw larger.
+        if ctx.round > (ctx.graph.n() as u32).div_ceil(2) {
+            let out = LeOut {
+                commit_round: committed.unwrap_or(ctx.round),
+                is_leader: committed.is_none(),
+            };
+            Transition::Terminate(next, out)
+        } else {
+            Transition::Continue(next)
+        }
+    }
+
+    fn max_rounds(&self, g: &Graph) -> u32 {
+        g.n() as u32 + 4
+    }
+}
+
+/// Cole–Vishkin 3-coloring of an oriented cycle.
+///
+/// The orientation is by vertex index (successor `(v+1) mod n`, matching
+/// [`graphcore::gen::cycle`]). Colors start as IDs; each round, a vertex
+/// compares its color with its successor's bit-by-bit and encodes
+/// (position, bit) — dropping the palette from `p` to `O(log p)` — until
+/// six colors remain; three final rounds retire colors 5, 4, 3 by greedy
+/// re-pick. Every vertex runs the full schedule: vertex-averaged =
+/// worst-case = `Θ(log* n)`, the paper's §3 negative example.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RingThreeColoring;
+
+/// Published state: the current color.
+pub type CvState = u64;
+
+/// Number of Cole–Vishkin reduction rounds needed from palette `p` down
+/// to ≤ 6 colors.
+pub fn cv_rounds(p: u64) -> u32 {
+    let mut p = p.max(2);
+    let mut rounds = 0;
+    while p > 6 {
+        let bits = 64 - (p - 1).leading_zeros() as u64;
+        p = 2 * bits;
+        rounds += 1;
+        assert!(rounds < 64, "CV reduction must converge");
+    }
+    rounds
+}
+
+/// One Cole–Vishkin step: the lowest bit position where `mine` and
+/// `succ` differ, paired with my bit there.
+fn cv_step(mine: u64, succ: u64) -> u64 {
+    debug_assert_ne!(mine, succ, "CV requires a proper coloring");
+    let pos = (mine ^ succ).trailing_zeros() as u64;
+    2 * pos + ((mine >> pos) & 1)
+}
+
+impl RingThreeColoring {
+    /// My successor on the oriented ring: the neighbor `(v + 1) mod n`.
+    /// Cole–Vishkin requires a consistently oriented cycle; this protocol
+    /// takes the canonical orientation of [`graphcore::gen::cycle`] and
+    /// fails loudly (rather than silently mis-coloring) on any other
+    /// vertex labeling.
+    fn successor(g: &Graph, v: VertexId) -> VertexId {
+        let n = g.n() as VertexId;
+        let s = (v + 1) % n;
+        assert!(
+            g.has_edge(v, s),
+            "RingThreeColoring needs the canonical cycle orientation \
+             (vertex v adjacent to (v+1) mod n)"
+        );
+        s
+    }
+
+    /// Total schedule: CV reductions + 3 shoot-down rounds.
+    pub fn rounds(&self, ids: &IdAssignment) -> u32 {
+        cv_rounds(ids.id_space().max(2)) + 3
+    }
+}
+
+impl Protocol for RingThreeColoring {
+    type State = CvState;
+    type Output = u64;
+
+    fn init(&self, g: &Graph, ids: &IdAssignment, v: VertexId) -> CvState {
+        assert_eq!(g.degree(v), 2, "ring coloring runs on cycles");
+        ids.id(v)
+    }
+
+    fn step(&self, ctx: StepCtx<'_, CvState>) -> Transition<CvState, u64> {
+        let total_cv = cv_rounds(ctx.ids.id_space().max(2));
+        let i = ctx.round - 1;
+        let next = if i < total_cv {
+            let succ = Self::successor(ctx.graph, ctx.v);
+            cv_step(*ctx.state, *ctx.view.state_of(succ))
+        } else {
+            // Shoot-down: colors 5, 4, 3 re-pick in separate rounds.
+            let target = 5 - (i - total_cv) as u64; // 5, then 4, then 3
+            if *ctx.state == target {
+                let used: Vec<u64> =
+                    ctx.view.neighbors().map(|(_, &s)| s).collect();
+                (0..3).find(|c| !used.contains(c)).expect("3 colors vs 2 neighbors")
+            } else {
+                *ctx.state
+            }
+        };
+        if ctx.round >= total_cv + 3 {
+            Transition::Terminate(next, next)
+        } else {
+            Transition::Continue(next)
+        }
+    }
+
+    fn max_rounds(&self, g: &Graph) -> u32 {
+        cv_rounds(g.n().max(2) as u64) + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::{gen, verify, IdAssignment};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn commit_metrics(out: &simlocal::SimOutcome<LeOut>) -> simlocal::RoundMetrics {
+        let commits: Vec<u32> = out.outputs.iter().map(|o| o.commit_round).collect();
+        crate::extension::metrics_from_commits(&commits)
+    }
+
+    #[test]
+    fn leader_election_unique_leader() {
+        for n in [3usize, 10, 257] {
+            let g = gen::cycle(n);
+            let ids = IdAssignment::identity(n);
+            let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
+            let leaders: Vec<_> =
+                g.vertices().filter(|&v| out.outputs[v as usize].is_leader).collect();
+            assert_eq!(leaders, vec![n as u32 - 1], "max-ID vertex must win");
+            out.metrics.check_identities().unwrap();
+        }
+    }
+
+    #[test]
+    fn leader_election_unique_leader_random_ids() {
+        let mut rng = ChaCha8Rng::seed_from_u64(303);
+        for n in [64usize, 1024] {
+            let g = gen::cycle(n);
+            let ids = IdAssignment::random_permutation(n, &mut rng);
+            let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
+            let leaders: Vec<_> =
+                g.vertices().filter(|&v| out.outputs[v as usize].is_leader).collect();
+            assert_eq!(leaders.len(), 1);
+            assert_eq!(ids.id(leaders[0]), n as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn leader_election_commit_va_below_worst_case() {
+        // Feuilloley's separation: WC Θ(n), commit-VA O(log n).
+        let mut rng = ChaCha8Rng::seed_from_u64(300);
+        let n = 4096;
+        let g = gen::cycle(n);
+        let ids = IdAssignment::random_permutation(n, &mut rng);
+        let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
+        let m = commit_metrics(&out);
+        let va = m.vertex_averaged();
+        let wc = m.worst_case();
+        assert!(wc >= (n as u32) / 2, "leader commits at ~n/2: wc={wc}");
+        assert!(va <= 20.0, "commit VA should be O(log n): va={va}");
+    }
+
+    #[test]
+    fn leader_election_sorted_ids_commit_fast() {
+        // Sorted IDs: every non-max vertex sees a larger neighbor
+        // immediately; nearly everyone commits in round 1.
+        let n = 1024;
+        let g = gen::cycle(n);
+        let ids = IdAssignment::identity(n);
+        let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
+        let quick = out.outputs.iter().filter(|o| o.commit_round <= 2).count();
+        assert!(quick as f64 > 0.95 * n as f64);
+    }
+
+    #[test]
+    fn cv_rounds_is_log_star_like() {
+        assert_eq!(cv_rounds(6), 0);
+        assert!(cv_rounds(1 << 16) <= 4);
+        assert!(cv_rounds(u64::MAX) <= 6);
+        assert!(cv_rounds(1 << 60) >= cv_rounds(1 << 8));
+    }
+
+    #[test]
+    fn ring_three_coloring_proper_with_three_colors() {
+        for n in [3usize, 5, 64, 501] {
+            let g = gen::cycle(n);
+            let ids = IdAssignment::identity(n);
+            let out = simlocal::run_seq(&RingThreeColoring, &g, &ids).unwrap();
+            verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, 3));
+            assert!(out.outputs.iter().all(|&c| c < 3));
+        }
+    }
+
+    #[test]
+    fn ring_three_coloring_va_equals_worst_case() {
+        // The §3 negative result: no early retirement on rings.
+        let g = gen::cycle(2048);
+        let ids = IdAssignment::identity(2048);
+        let out = simlocal::run_seq(&RingThreeColoring, &g, &ids).unwrap();
+        assert_eq!(out.metrics.vertex_averaged(), out.metrics.worst_case() as f64);
+        // And the schedule is log*-short.
+        assert!(out.metrics.worst_case() <= 10);
+    }
+
+    #[test]
+    fn cv_schedule_runs_to_its_declared_length() {
+        let g = gen::cycle(97);
+        let ids = IdAssignment::identity(97);
+        let p = RingThreeColoring;
+        let rounds = p.rounds(&ids);
+        assert!(rounds >= 3);
+        let out = simlocal::run_seq(&p, &g, &ids).unwrap();
+        assert_eq!(out.metrics.worst_case(), rounds);
+    }
+}

@@ -1,0 +1,203 @@
+//! §7.5 — the *segmentation* scheme.
+//!
+//! The vertices are retired in `k` **segments**: segment `k` is formed
+//! first and consists of the first `≈ c·log^(k) n` H-sets, segment `k−1`
+//! of the next `≈ c·log^(k−1) n`, …, down to segment 1, which absorbs
+//! whatever remains of the full partition schedule. Because the active set
+//! decays exponentially (Lemma 6.1), only `O(n / log^(s) n)` vertices
+//! survive to segment `s < k`, so even though later segments pay longer
+//! windows, the vertex-averaged total is dominated by segment `k`'s
+//! `O(log^(k) n)`.
+//!
+//! This module computes the deterministic global round layout every vertex
+//! derives from `(n, k, ε)`: the partition window of each segment and the
+//! start of its algorithm-𝒞 window. The instantiations live in
+//! [`crate::coloring::ka2`] (𝒞 = iterated Arb-Linial, Theorem 7.13) and
+//! [`crate::coloring::ka`] (𝒜 = in-set (Δ+1)-coloring, 𝒞 = recoloring,
+//! Theorem 7.16).
+
+use crate::itlog;
+
+/// Deterministic segment layout for one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentSchedule {
+    /// `windows[i] = (segment index s, first round, last round)` in
+    /// formation order (`i = 0` is segment `k`). Segment indices run from
+    /// `k` down to 1; rounds are inclusive.
+    windows: Vec<(u32, u32, u32)>,
+}
+
+impl SegmentSchedule {
+    /// Builds the layout for `k ∈ [2, ρ(n)]` segments (values above
+    /// `ρ(n)` are clamped, matching the paper's parameter range).
+    pub fn new(n: u64, k: u32, epsilon: f64) -> Self {
+        assert!(k >= 2, "segmentation needs k ≥ 2");
+        let k = k.min(itlog::rho(n)).max(2);
+        let c = (2.0 / epsilon).ceil() as u64;
+        let full = itlog::partition_round_bound(n, epsilon) as u64;
+        let mut windows = Vec::with_capacity(k as usize);
+        let mut next_start: u64 = 1;
+        for s in (2..=k).rev() {
+            let len = (c * itlog::iterated_log(n, s)).max(1);
+            windows.push((s, next_start as u32, (next_start + len - 1) as u32));
+            next_start += len;
+        }
+        // Segment 1 covers the rest of the full partition schedule (and at
+        // least c·log n rounds), guaranteeing every vertex joins a window.
+        let len1 = (c * itlog::iterated_log(n, 1)).max(full.saturating_sub(next_start - 1)).max(1);
+        windows.push((1, next_start as u32, (next_start + len1 - 1) as u32));
+        SegmentSchedule { windows }
+    }
+
+    /// Number of segments.
+    pub fn k(&self) -> u32 {
+        self.windows.len() as u32
+    }
+
+    /// The segment whose partition window contains round `h` (i.e. the
+    /// segment of a vertex that joined H-set `H_h`). Rounds beyond the
+    /// last window belong to segment 1.
+    pub fn segment_of(&self, h: u32) -> u32 {
+        for &(s, start, end) in &self.windows {
+            if h >= start && h <= end {
+                return s;
+            }
+        }
+        1
+    }
+
+    /// Inclusive partition window `(first, last)` of segment `s`.
+    pub fn window(&self, s: u32) -> (u32, u32) {
+        let &(_, start, end) = self
+            .windows
+            .iter()
+            .find(|&&(seg, _, _)| seg == s)
+            .expect("segment index out of range");
+        (start, end)
+    }
+
+    /// Last round of the whole partition layout.
+    pub fn total_partition_rounds(&self) -> u32 {
+        self.windows.last().expect("nonempty").2
+    }
+
+    /// First round of segment `s`'s algorithm-𝒞 window, given that the
+    /// per-H-set algorithms 𝒜/ℬ take `d_ab` deterministic rounds after a
+    /// set forms: all sets of the segment are formed by `window(s).1` and
+    /// have finished 𝒜/ℬ `d_ab` rounds later.
+    pub fn c_start(&self, s: u32, d_ab: u32) -> u32 {
+        self.window(s).1 + d_ab + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_contiguous_and_ordered() {
+        let sch = SegmentSchedule::new(1 << 16, 3, 2.0);
+        assert_eq!(sch.k(), 3);
+        let (s3, e3) = sch.window(3);
+        let (s2, e2) = sch.window(2);
+        let (s1, e1) = sch.window(1);
+        assert_eq!(s3, 1);
+        assert_eq!(s2, e3 + 1);
+        assert_eq!(s1, e2 + 1);
+        assert!(e1 >= itlog::partition_round_bound(1 << 16, 2.0));
+    }
+
+    #[test]
+    fn window_lengths_follow_iterated_logs() {
+        let n = 1u64 << 16;
+        let sch = SegmentSchedule::new(n, 3, 2.0);
+        // ε=2 ⇒ c=1: segment 3 has log^(3) n = 2 rounds, segment 2 has
+        // log^(2) n = 4 rounds.
+        let (a, b) = sch.window(3);
+        assert_eq!(b - a + 1, itlog::iterated_log(n, 3) as u32);
+        let (a, b) = sch.window(2);
+        assert_eq!(b - a + 1, itlog::iterated_log(n, 2) as u32);
+    }
+
+    #[test]
+    fn segment_of_maps_every_round() {
+        let sch = SegmentSchedule::new(1 << 12, 4, 2.0);
+        let mut seen = std::collections::BTreeSet::new();
+        for h in 1..=sch.total_partition_rounds() {
+            let s = sch.segment_of(h);
+            assert!(s >= 1 && s <= sch.k());
+            seen.insert(s);
+        }
+        // Every segment is hit, and rounds past the end fall into 1.
+        assert_eq!(seen.len() as u32, sch.k());
+        assert_eq!(sch.segment_of(sch.total_partition_rounds() + 5), 1);
+    }
+
+    #[test]
+    fn k_clamped_to_rho() {
+        let n = 1u64 << 16; // ρ(65536) is small
+        let sch = SegmentSchedule::new(n, 99, 2.0);
+        assert!(sch.k() <= itlog::rho(n));
+        assert!(sch.k() >= 2);
+    }
+
+    #[test]
+    fn c_start_after_window_and_dab() {
+        let sch = SegmentSchedule::new(1 << 16, 2, 2.0);
+        let (_, end) = sch.window(2);
+        assert_eq!(sch.c_start(2, 7), end + 8);
+    }
+
+    #[test]
+    fn smaller_epsilon_longer_windows() {
+        let a = SegmentSchedule::new(1 << 16, 2, 2.0);
+        let b = SegmentSchedule::new(1 << 16, 2, 0.5);
+        assert!(b.total_partition_rounds() > a.total_partition_rounds());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn schedules_deterministic_and_total_per_k() {
+        for k in 2..6u32 {
+            for n in [256u64, 1 << 14, 1 << 20] {
+                let a = SegmentSchedule::new(n, k, 2.0);
+                let b = SegmentSchedule::new(n, k, 2.0);
+                assert_eq!(a, b, "schedule must be deterministic");
+                // Total partition rounds cover the analytic bound.
+                assert!(
+                    a.total_partition_rounds() >= itlog::partition_round_bound(n, 2.0),
+                    "n={n}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_indices_decrease_along_rounds() {
+        let sch = SegmentSchedule::new(1 << 16, 4, 2.0);
+        let mut last = u32::MAX;
+        for h in 1..=sch.total_partition_rounds() {
+            let s = sch.segment_of(h);
+            assert!(s <= last, "segment index must be non-increasing over rounds");
+            last = s;
+        }
+        assert_eq!(last, 1);
+    }
+
+    #[test]
+    fn later_segments_have_geometrically_longer_windows() {
+        let n = 1u64 << 32;
+        let sch = SegmentSchedule::new(n, 4, 2.0);
+        let mut prev_len = 0u32;
+        for s in (1..=sch.k()).rev() {
+            let (a, b) = sch.window(s);
+            let len = b - a + 1;
+            assert!(len >= prev_len, "segment {s} window shrank: {len} < {prev_len}");
+            prev_len = len;
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Edge-list graph construction.
+
+use crate::csr::{EdgeId, Graph, VertexId};
+
+/// Builds an undirected simple [`Graph`] from an edge list.
+///
+/// Self-loops are rejected (panic) and parallel edges are deduplicated
+/// silently — generators may produce the same edge twice (e.g. overlapping
+/// forests in [`crate::gen::forest_union`]) and the union is what's wanted.
+///
+/// ```
+/// use graphcore::GraphBuilder;
+/// let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (1, 0)]).build();
+/// assert_eq!(g.m(), 2); // (1,0) deduplicated against (0,1)
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex count exceeds u32 index space");
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Adds a single undirected edge `{u, v}`.
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push(u, v);
+        self
+    }
+
+    /// Adds many edges.
+    pub fn edges<I: IntoIterator<Item = (VertexId, VertexId)>>(mut self, it: I) -> Self {
+        for (u, v) in it {
+            self.push(u, v);
+        }
+        self
+    }
+
+    /// In-place edge insertion for loop-heavy generators.
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        assert_ne!(u, v, "self-loop {{{u},{u}}} rejected");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Number of (not yet deduplicated) edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a CSR [`Graph`], deduplicating parallel edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let edges = self.edges;
+
+        // Count degrees.
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+
+        // Prefix sums -> offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc = acc.checked_add(*d).expect("half-edge count overflows u32");
+            offsets.push(acc);
+        }
+
+        // Fill adjacency; edges are sorted by (u, v) so each vertex's
+        // neighbor list ends up sorted (fill position walks forward).
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc as usize];
+        let mut edge_ids = vec![0 as EdgeId; acc as usize];
+        // First pass in sorted order places the higher endpoint's list
+        // entries also in sorted order because for fixed v the partners u
+        // appear in increasing order.
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            let e = e as EdgeId;
+            let cu = cursor[u as usize] as usize;
+            neighbors[cu] = v;
+            edge_ids[cu] = e;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            neighbors[cv] = u;
+            edge_ids[cv] = e;
+            cursor[v as usize] += 1;
+        }
+        // The pass above does NOT leave each list sorted in general
+        // (a vertex interleaves roles as lower/higher endpoint), so sort
+        // each list by neighbor id, carrying edge ids along.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let mut pairs: Vec<(VertexId, EdgeId)> =
+                neighbors[lo..hi].iter().copied().zip(edge_ids[lo..hi].iter().copied()).collect();
+            pairs.sort_unstable();
+            for (i, (nb, ei)) in pairs.into_iter().enumerate() {
+                neighbors[lo + i] = nb;
+                edge_ids[lo + i] = ei;
+            }
+        }
+
+        Graph::from_parts(offsets, neighbors, edge_ids, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_parallel_edges() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 0), (0, 1), (2, 3)]).build();
+        assert_eq!(g.m(), 2);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        GraphBuilder::new(2).edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        GraphBuilder::new(2).edge(0, 2);
+    }
+
+    #[test]
+    fn sorted_adjacency_after_interleaved_roles() {
+        // Vertex 2 is higher endpoint for (0,2),(1,2) and lower for (2,3),(2,4).
+        let g = GraphBuilder::new(5).edges([(2, 4), (0, 2), (2, 3), (1, 2)]).build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_consistent() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        let mut seen = vec![false; g.m()];
+        for (e, (u, v)) in g.edges() {
+            assert!(!seen[e as usize]);
+            seen[e as usize] = true;
+            assert_eq!(g.edge_between(u, v), Some(e));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

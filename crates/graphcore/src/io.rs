@@ -1,0 +1,170 @@
+//! Plain-text graph serialization.
+//!
+//! Two formats:
+//!
+//! * **edge list** — one `u v` pair per line, `#`-comments allowed; the
+//!   header line `n <count>` pins the vertex count (isolated vertices
+//!   would otherwise be lost);
+//! * **DIMACS-like** — `p edge <n> <m>` header and `e u v` lines with
+//!   1-based endpoints, for interchange with classic graph tooling.
+//!
+//! Both round-trip through [`crate::Graph`]; parse errors carry the line
+//! number.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use std::fmt::Write as _;
+
+/// Serializes a graph as an edge list with an `n` header.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut s = String::with_capacity(16 + g.m() * 8);
+    let _ = writeln!(s, "n {}", g.n());
+    for (_, (u, v)) in g.edges() {
+        let _ = writeln!(s, "{u} {v}");
+    }
+    s
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+pub fn from_edge_list(text: &str) -> Result<Graph, String> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("n") => {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing vertex count", lineno + 1))?;
+                n = Some(
+                    val.parse()
+                        .map_err(|e| format!("line {}: bad vertex count: {e}", lineno + 1))?,
+                );
+            }
+            Some(tok) => {
+                let u: VertexId = tok
+                    .parse()
+                    .map_err(|e| format!("line {}: bad endpoint: {e}", lineno + 1))?;
+                let v: VertexId = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing second endpoint", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: bad endpoint: {e}", lineno + 1))?;
+                edges.push((u, v));
+            }
+            None => unreachable!("non-empty line yields a token"),
+        }
+    }
+    let n = n.ok_or("missing `n <count>` header")?;
+    let mut b = GraphBuilder::new(n);
+    for (i, (u, v)) in edges.into_iter().enumerate() {
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(format!("edge {i}: endpoint out of range for n={n}"));
+        }
+        if u == v {
+            return Err(format!("edge {i}: self-loop {u}"));
+        }
+        b.push(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serializes in DIMACS-like format (1-based endpoints).
+pub fn to_dimacs(g: &Graph) -> String {
+    let mut s = String::with_capacity(32 + g.m() * 10);
+    let _ = writeln!(s, "p edge {} {}", g.n(), g.m());
+    for (_, (u, v)) in g.edges() {
+        let _ = writeln!(s, "e {} {}", u + 1, v + 1);
+    }
+    s
+}
+
+/// Parses the DIMACS-like format produced by [`to_dimacs`].
+pub fn from_dimacs(text: &str) -> Result<Graph, String> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["p", "edge", n, _m] => {
+                let n: usize =
+                    n.parse().map_err(|e| format!("line {}: bad n: {e}", lineno + 1))?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            ["e", u, v] => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| format!("line {}: edge before header", lineno + 1))?;
+                let u: u64 =
+                    u.parse().map_err(|e| format!("line {}: bad u: {e}", lineno + 1))?;
+                let v: u64 =
+                    v.parse().map_err(|e| format!("line {}: bad v: {e}", lineno + 1))?;
+                if u == 0 || v == 0 {
+                    return Err(format!("line {}: DIMACS endpoints are 1-based", lineno + 1));
+                }
+                b.push((u - 1) as VertexId, (v - 1) as VertexId);
+            }
+            _ => return Err(format!("line {}: unrecognized: {line}", lineno + 1)),
+        }
+    }
+    Ok(builder.ok_or("missing `p edge` header")?.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = gen::grid(5, 7);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn edge_list_preserves_isolated_vertices() {
+        let g = crate::GraphBuilder::new(5).edges([(0, 4)]).build();
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back.n(), 5);
+        assert_eq!(back.m(), 1);
+    }
+
+    #[test]
+    fn edge_list_comments_and_blanks() {
+        let g = from_edge_list("# comment\n\nn 3\n0 1\n# another\n1 2\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn edge_list_errors() {
+        assert!(from_edge_list("0 1\n").is_err()); // no header
+        assert!(from_edge_list("n 2\n0 5\n").is_err()); // out of range
+        assert!(from_edge_list("n 2\n1 1\n").is_err()); // self-loop
+        assert!(from_edge_list("n x\n").is_err()); // bad count
+        assert!(from_edge_list("n 2\n0\n").is_err()); // missing endpoint
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = gen::cycle(9);
+        let back = from_dimacs(&to_dimacs(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(from_dimacs("e 1 2\n").is_err()); // edge before header
+        assert!(from_dimacs("p edge 3 1\ne 0 1\n").is_err()); // 0-based
+        assert!(from_dimacs("p edge 3 1\nq 1 2\n").is_err()); // unknown line
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # graphcore
+//!
+//! Static graph substrate for the LOCAL-model reproduction of
+//! *"Distributed Symmetry-Breaking with Improved Vertex-Averaged Complexity"*
+//! (Barenboim & Tzur, SPAA 2018).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — an immutable CSR (compressed sparse row) undirected graph,
+//!   the shared substrate every simulated protocol runs on;
+//! * [`builder::GraphBuilder`] — edge-list construction with deduplication
+//!   and self-loop rejection;
+//! * [`gen`] — graph generators whose **arboricity is known by construction**
+//!   (the paper assumes each vertex knows the arboricity `a`, §6.1);
+//! * [`arboricity`] — degeneracy peeling and Nash–Williams density bounds
+//!   for graphs of unknown provenance;
+//! * [`orientation`] — edge orientations: acyclicity checks, out-degrees,
+//!   orientation *length* (longest directed path), as defined in §5;
+//! * [`verify`] — checkers for every solution concept in the paper: proper
+//!   vertex/edge colorings, list colorings, defective and arbdefective
+//!   colorings, MIS, maximal matching, forest decompositions, H-partitions;
+//! * [`subgraph`] — vertex-induced subgraph views.
+//!
+//! All vertex identifiers are `u32` indices (`VertexId`); the paper's
+//! "unique IDs" are modeled by an explicit ID assignment so adversarial /
+//! permuted ID experiments are possible (see [`ids`]).
+
+pub mod arboricity;
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod ids;
+pub mod io;
+pub mod orientation;
+pub mod stats;
+pub mod subgraph;
+pub mod verify;
+
+pub use builder::GraphBuilder;
+pub use csr::{EdgeId, Graph, VertexId};
+pub use ids::IdAssignment;
+pub use orientation::Orientation;
+pub use subgraph::InducedSubgraph;

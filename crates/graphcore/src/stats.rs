@@ -1,0 +1,169 @@
+//! Structural statistics used to characterize benchmark workloads:
+//! connected components, BFS distances, diameter estimation, and degree
+//! histograms.
+
+use crate::csr::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Connected-component labeling; labels are dense `0..count`.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id per vertex.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: u32,
+}
+
+/// Computes connected components by BFS.
+pub fn components(g: &Graph) -> Components {
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in g.vertices() {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+/// BFS distances from `source` (`u32::MAX` for unreachable vertices).
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source` within its component.
+pub fn eccentricity(g: &Graph, source: VertexId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower bound on the diameter via double-sweep BFS (exact on trees,
+/// usually tight in practice). Returns 0 for graphs with < 2 vertices.
+pub fn diameter_lower_bound(g: &Graph) -> u32 {
+    if g.n() < 2 {
+        return 0;
+    }
+    // Sweep 1 from vertex 0 to the farthest reachable u; sweep 2 from u.
+    let d0 = bfs_distances(g, 0);
+    let u = d0
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != u32::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| i as VertexId)
+        .unwrap_or(0);
+    eccentricity(g, u)
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Summary line for benchmark logs.
+pub fn summary(g: &Graph) -> String {
+    let comps = components(g);
+    format!(
+        "n={} m={} Δ={} avg_deg={:.2} components={} diam≥{}",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        g.avg_degree(),
+        comps.count,
+        diameter_lower_bound(g),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let g = GraphBuilder::new(6).edges([(0, 1), (1, 2), (3, 4)]).build();
+        let c = components(&g);
+        assert_eq!(c.count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(c.label[0], c.label[2]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_ne!(c.label[3], c.label[5]);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = gen::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = GraphBuilder::new(3).edges([(0, 1)]).build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn diameter_exact_on_trees_and_paths() {
+        assert_eq!(diameter_lower_bound(&gen::path(10)), 9);
+        assert_eq!(diameter_lower_bound(&gen::star(10)), 2);
+        // Complete binary tree on 15 vertices has depth 3: leaf-to-leaf
+        // through the root is 6 edges.
+        assert_eq!(diameter_lower_bound(&gen::binary_tree(15)), 6);
+    }
+
+    #[test]
+    fn diameter_cycle_bound() {
+        // Exact diameter of C_10 is 5; double sweep finds it.
+        let d = diameter_lower_bound(&gen::cycle(10));
+        assert_eq!(d, 5);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = gen::grid(4, 6);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.n());
+        // Grid corners have degree 2.
+        assert_eq!(h[2], 4);
+    }
+
+    #[test]
+    fn summary_contains_fields() {
+        let s = summary(&gen::cycle(8));
+        assert!(s.contains("n=8"));
+        assert!(s.contains("components=1"));
+    }
+}

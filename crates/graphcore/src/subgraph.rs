@@ -1,0 +1,94 @@
+//! Vertex-induced subgraph views.
+//!
+//! Many of the paper's procedures run an auxiliary algorithm "on the
+//! subgraph `G(H_i)` induced by an H-set" (§6.2). In the distributed
+//! implementation a vertex restricts attention to neighbors in its own set,
+//! but verifiers and centralized reference computations need a materialized
+//! induced subgraph with a mapping back to the parent graph.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+
+/// A materialized induced subgraph `G(S)` plus the vertex mapping.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The induced subgraph with vertices renumbered `0..S.len()`.
+    pub graph: Graph,
+    /// `local -> parent` vertex map (sorted ascending).
+    pub to_parent: Vec<VertexId>,
+    /// `parent -> local` map; `u32::MAX` for vertices outside `S`.
+    pub to_local: Vec<u32>,
+}
+
+impl InducedSubgraph {
+    /// Builds the subgraph of `g` induced by the vertex set `members`
+    /// (`members[v] == true` means `v ∈ S`).
+    pub fn new(g: &Graph, members: &[bool]) -> Self {
+        assert_eq!(members.len(), g.n());
+        let to_parent: Vec<VertexId> =
+            g.vertices().filter(|&v| members[v as usize]).collect();
+        let mut to_local = vec![u32::MAX; g.n()];
+        for (i, &v) in to_parent.iter().enumerate() {
+            to_local[v as usize] = i as u32;
+        }
+        let mut b = GraphBuilder::new(to_parent.len());
+        for &v in &to_parent {
+            for u in g.neighbors(v).iter().copied() {
+                if u > v && members[u as usize] {
+                    b.push(to_local[v as usize], to_local[u as usize]);
+                }
+            }
+        }
+        InducedSubgraph { graph: b.build(), to_parent, to_local }
+    }
+
+    /// Builds from an explicit vertex list.
+    pub fn from_vertices(g: &Graph, vs: &[VertexId]) -> Self {
+        let mut members = vec![false; g.n()];
+        for &v in vs {
+            members[v as usize] = true;
+        }
+        Self::new(g, &members)
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn induced_triangle_from_k4() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let s = InducedSubgraph::from_vertices(&g, &[0, 2, 3]);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.graph.m(), 3);
+        assert_eq!(s.to_parent, vec![0, 2, 3]);
+        assert_eq!(s.to_local[2], 1);
+        assert_eq!(s.to_local[1], u32::MAX);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = GraphBuilder::new(3).edges([(0, 1)]).build();
+        let s = InducedSubgraph::new(&g, &[false, false, false]);
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.graph.m(), 0);
+    }
+
+    #[test]
+    fn drops_crossing_edges() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let s = InducedSubgraph::from_vertices(&g, &[0, 1, 3]);
+        // Only edge (0,1) survives; (1,2) and (2,3) cross the boundary.
+        assert_eq!(s.graph.m(), 1);
+        assert!(s.graph.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,350 @@
+//! The synchronous round engine.
+//!
+//! Two execution modes with byte-identical results:
+//!
+//! * [`run_seq`] — deterministic vertex-order loop, minimal overhead;
+//! * [`run`] — each round's active vertices stepped in parallel with Rayon
+//!   (every step reads only the previous round's snapshot, so parallelism
+//!   cannot change the outcome; a property test asserts equality).
+
+use crate::metrics::RoundMetrics;
+use crate::protocol::{NeighborView, Protocol, StepCtx, Transition};
+use graphcore::{Graph, IdAssignment, VertexId};
+use rayon::prelude::*;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct RunConfig {
+    /// Seed for randomized protocols (ignored by deterministic ones).
+    pub seed: u64,
+    /// Run each round's steps in parallel with Rayon.
+    pub parallel: bool,
+    /// Override the protocol's round cap (`None` = ask the protocol).
+    pub max_rounds: Option<u32>,
+}
+
+
+/// A completed simulation: every vertex's output plus the round metrics.
+#[derive(Clone, Debug)]
+pub struct SimOutcome<O> {
+    /// Final output of each vertex.
+    pub outputs: Vec<O>,
+    /// Termination rounds and activity series.
+    pub metrics: RoundMetrics,
+}
+
+/// Engine failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings are shared across the state machines (see the note above)
+pub enum EngineError {
+    /// Some vertices were still active after the round cap — the protocol
+    /// livelocked or the cap is too tight. Carries the cap and the number
+    /// of vertices still active.
+    RoundLimitExceeded { max_rounds: u32, still_active: usize },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::RoundLimitExceeded { max_rounds, still_active } => write!(
+                f,
+                "{still_active} vertices still active after {max_rounds} rounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Runs `protocol` on `g` under `cfg`.
+pub fn run<P: Protocol>(
+    protocol: &P,
+    g: &Graph,
+    ids: &IdAssignment,
+    cfg: RunConfig,
+) -> Result<SimOutcome<P::Output>, EngineError> {
+    assert_eq!(ids.len(), g.n(), "ID assignment must cover all vertices");
+    let n = g.n();
+    let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
+
+    let mut prev: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
+    let mut next: Vec<P::State> = prev.clone();
+    let mut terminated = vec![false; n];
+    let mut outputs: Vec<Option<P::Output>> = vec![None; n];
+    let mut termination_round = vec![0u32; n];
+    let mut active: Vec<VertexId> = g.vertices().collect();
+    let mut active_per_round = Vec::new();
+
+    let mut round: u32 = 0;
+    while !active.is_empty() {
+        round += 1;
+        if round > max_rounds {
+            return Err(EngineError::RoundLimitExceeded {
+                max_rounds,
+                still_active: active.len(),
+            });
+        }
+        active_per_round.push(active.len());
+
+        let step_one = |&v: &VertexId| {
+            let ctx = StepCtx {
+                graph: g,
+                ids,
+                v,
+                round,
+                state: &prev[v as usize],
+                view: NeighborView { graph: g, v, states: &prev, terminated: &terminated },
+                run_seed: cfg.seed,
+            };
+            (v, protocol.step(ctx))
+        };
+
+        #[allow(clippy::type_complexity)]
+        let transitions: Vec<(VertexId, Transition<P::State, P::Output>)> = if cfg.parallel {
+            active.par_iter().map(step_one).collect()
+        } else {
+            active.iter().map(step_one).collect()
+        };
+
+        let mut still_active = Vec::with_capacity(active.len());
+        for (v, t) in transitions {
+            match t {
+                Transition::Continue(s) => {
+                    next[v as usize] = s;
+                    still_active.push(v);
+                }
+                Transition::Terminate(s, o) => {
+                    next[v as usize] = s;
+                    outputs[v as usize] = Some(o);
+                    terminated[v as usize] = true;
+                    termination_round[v as usize] = round;
+                }
+            }
+        }
+        active = still_active;
+        // Publish: next becomes the readable snapshot. Terminated and
+        // inactive vertices keep their last published state because `next`
+        // was cloned from `prev` initially and only updated entries change.
+        for &v in &active {
+            prev[v as usize] = next[v as usize].clone();
+        }
+        // Also publish final states of vertices that terminated this round.
+        for v in g.vertices() {
+            if terminated[v as usize] && termination_round[v as usize] == round {
+                prev[v as usize] = next[v as usize].clone();
+            }
+        }
+    }
+
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("terminated vertex must have an output"))
+        .collect();
+    Ok(SimOutcome {
+        outputs,
+        metrics: RoundMetrics { termination_round, active_per_round },
+    })
+}
+
+/// Sequential run with default config (seed 0).
+pub fn run_seq<P: Protocol>(
+    protocol: &P,
+    g: &Graph,
+    ids: &IdAssignment,
+) -> Result<SimOutcome<P::Output>, EngineError> {
+    run(protocol, g, ids, RunConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Protocol, StepCtx, Transition};
+    use graphcore::{gen, Graph, IdAssignment, VertexId};
+    use rand::Rng;
+
+    /// Terminates in round 1 outputting its own ID: the trivial protocol.
+    struct Instant;
+    impl Protocol for Instant {
+        type State = ();
+        type Output = u64;
+        fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u64> {
+            Transition::Terminate((), ctx.my_id())
+        }
+    }
+
+    /// Vertex v waits v rounds then outputs the round it terminated in.
+    struct Staircase;
+    impl Protocol for Staircase {
+        type State = ();
+        type Output = u32;
+        fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
+            if ctx.round > ctx.v {
+                Transition::Terminate((), ctx.round)
+            } else {
+                Transition::Continue(())
+            }
+        }
+    }
+
+    /// Flood-max: publish the largest ID seen; terminate after `diam+1`
+    /// rounds of no change (here: fixed 3 rounds on a path of 3).
+    struct FloodMax {
+        rounds: u32,
+    }
+    impl Protocol for FloodMax {
+        type State = u64;
+        type Output = u64;
+        fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
+            ids.id(v)
+        }
+        fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
+            let best =
+                ctx.view.neighbors().map(|(_, &s)| s).chain([*ctx.state]).max().unwrap();
+            if ctx.round >= self.rounds {
+                Transition::Terminate(best, best)
+            } else {
+                Transition::Continue(best)
+            }
+        }
+    }
+
+    /// Never terminates — must hit the round cap.
+    struct Livelock;
+    impl Protocol for Livelock {
+        type State = ();
+        type Output = ();
+        fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn step(&self, _: StepCtx<'_, ()>) -> Transition<(), ()> {
+            Transition::Continue(())
+        }
+        fn max_rounds(&self, _: &Graph) -> u32 {
+            10
+        }
+    }
+
+    /// Coin-flip terminator: exercises the RNG plumbing.
+    struct CoinFlip;
+    impl Protocol for CoinFlip {
+        type State = ();
+        type Output = u32;
+        fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
+            if ctx.rng().gen_bool(0.5) {
+                Transition::Terminate((), ctx.round)
+            } else {
+                Transition::Continue(())
+            }
+        }
+    }
+
+    fn ids(n: usize) -> IdAssignment {
+        IdAssignment::identity(n)
+    }
+
+    #[test]
+    fn instant_protocol_metrics() {
+        let g = gen::cycle(5);
+        let out = run_seq(&Instant, &g, &ids(5)).unwrap();
+        assert_eq!(out.metrics.worst_case(), 1);
+        assert_eq!(out.metrics.vertex_averaged(), 1.0);
+        assert_eq!(out.outputs, vec![0, 1, 2, 3, 4]);
+        out.metrics.check_identities().unwrap();
+    }
+
+    #[test]
+    fn staircase_round_counts() {
+        let g = gen::path(4);
+        let out = run_seq(&Staircase, &g, &ids(4)).unwrap();
+        assert_eq!(out.metrics.termination_round, vec![1, 2, 3, 4]);
+        assert_eq!(out.metrics.active_per_round, vec![4, 3, 2, 1]);
+        assert_eq!(out.metrics.round_sum(), 10);
+        out.metrics.check_identities().unwrap();
+    }
+
+    #[test]
+    fn flood_max_converges_on_path() {
+        let g = gen::path(3);
+        let out = run_seq(&FloodMax { rounds: 3 }, &g, &ids(3)).unwrap();
+        assert_eq!(out.outputs, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn terminated_neighbor_state_stays_readable() {
+        // Staircase: vertex 0 terminates in round 1; vertex 1 reads 0's
+        // state in round 2 without stepping it.
+        struct ReadsDead;
+        impl Protocol for ReadsDead {
+            type State = u32;
+            type Output = u32;
+            fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> u32 {
+                0
+            }
+            fn step(&self, ctx: StepCtx<'_, u32>) -> Transition<u32, u32> {
+                if ctx.v == 0 {
+                    return Transition::Terminate(77, 77);
+                }
+                // Vertex 1 waits until it can read 0's final state.
+                if ctx.view.is_terminated(0) {
+                    Transition::Terminate(0, *ctx.view.state_of(0))
+                } else {
+                    Transition::Continue(0)
+                }
+            }
+        }
+        let g = gen::path(2);
+        let out = run_seq(&ReadsDead, &g, &ids(2)).unwrap();
+        assert_eq!(out.outputs[1], 77);
+        assert_eq!(out.metrics.termination_round, vec![1, 2]);
+    }
+
+    #[test]
+    fn livelock_reports_error() {
+        let g = gen::cycle(4);
+        let err = run_seq(&Livelock, &g, &ids(4)).unwrap_err();
+        assert_eq!(err, EngineError::RoundLimitExceeded { max_rounds: 10, still_active: 4 });
+        assert!(err.to_string().contains("still active"));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_deterministic() {
+        let g = gen::grid(6, 7);
+        let n = g.n();
+        let seq = run(&Staircase, &g, &ids(n), RunConfig::default()).unwrap();
+        let par =
+            run(&Staircase, &g, &ids(n), RunConfig { parallel: true, ..Default::default() })
+                .unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.metrics, par.metrics);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_randomized() {
+        let g = gen::cycle(64);
+        let cfg = RunConfig { seed: 1234, ..Default::default() };
+        let seq = run(&CoinFlip, &g, &ids(64), cfg).unwrap();
+        let par = run(&CoinFlip, &g, &ids(64), RunConfig { parallel: true, ..cfg }).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.metrics, par.metrics);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = gen::cycle(64);
+        let a = run(&CoinFlip, &g, &ids(64), RunConfig { seed: 1, ..Default::default() })
+            .unwrap();
+        let b = run(&CoinFlip, &g, &ids(64), RunConfig { seed: 2, ..Default::default() })
+            .unwrap();
+        assert_ne!(a.metrics.termination_round, b.metrics.termination_round);
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = graphcore::GraphBuilder::new(0).build();
+        let out = run_seq(&Instant, &g, &ids(0)).unwrap();
+        assert_eq!(out.metrics.n(), 0);
+        assert_eq!(out.metrics.worst_case(), 0);
+    }
+}

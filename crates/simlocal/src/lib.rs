@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # simlocal — a synchronous LOCAL-model round simulator
+//!
+//! The substrate the paper reasons about (§1.1): an `n`-vertex graph whose
+//! vertices are processors operating in synchronous rounds, exchanging
+//! messages of unbounded size with their neighbors. With unbounded messages,
+//! "send anything" is equivalent to "publish your whole state each round and
+//! read your neighbors' previous-round states" — this crate implements that
+//! state-read formulation, which makes per-vertex protocols ordinary pure
+//! state machines.
+//!
+//! ## Termination semantics (§2 of the paper)
+//!
+//! The paper's convention: once a vertex decides its final output it sends
+//! the output once to all neighbors and terminates completely — no further
+//! computation or communication. Here, a terminating vertex's final state
+//! stays readable by neighbors forever (the one final broadcast, remembered
+//! by the recipients), and the vertex is never stepped again. A vertex's
+//! *running time* is the index of the round in which it terminates; the
+//! engine records it for every vertex, giving
+//!
+//! * **vertex-averaged complexity** `Σ_v r(v) / n` ([`metrics::RoundMetrics::vertex_averaged`]),
+//! * **worst-case complexity** `max_v r(v)` ([`metrics::RoundMetrics::worst_case`]),
+//! * the active-vertex decay series `active[i]` used by Lemma 6.1 figures.
+//!
+//! ## Determinism
+//!
+//! Randomized protocols draw from a per-`(run seed, vertex, round)` ChaCha
+//! stream ([`rng::vertex_round_rng`]), so a step is a pure function of its
+//! inputs; the sequential and the Rayon-parallel engines produce identical
+//! executions (tested).
+
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod rng;
+
+pub use engine::{run, run_seq, EngineError, RunConfig, SimOutcome};
+pub use metrics::RoundMetrics;
+pub use protocol::{NeighborView, Protocol, StepCtx, Transition};

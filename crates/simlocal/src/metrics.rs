@@ -1,0 +1,168 @@
+//! Round-complexity metrics (§2 of the paper).
+
+/// Per-run complexity record produced by the engine.
+///
+/// The *running time* of a vertex is the round in which it terminated
+/// (decides + final broadcast); the vertex-averaged complexity of the run
+/// is `round_sum / n`, the worst-case complexity is the maximum.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundMetrics {
+    /// Termination round of each vertex (1-based).
+    pub termination_round: Vec<u32>,
+    /// `active_per_round[i]` = number of vertices active during round
+    /// `i + 1` (the paper's `n_i` with `i` 1-based).
+    pub active_per_round: Vec<usize>,
+}
+
+impl RoundMetrics {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.termination_round.len()
+    }
+
+    /// `RoundSum(V)` — the total number of rounds performed by all vertices
+    /// (Equation 1 of the paper: equals `Σ_i n_i`).
+    pub fn round_sum(&self) -> u64 {
+        self.termination_round.iter().map(|&r| r as u64).sum()
+    }
+
+    /// Vertex-averaged complexity `RoundSum(V) / n` (0.0 for empty graphs).
+    pub fn vertex_averaged(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.round_sum() as f64 / self.n() as f64
+        }
+    }
+
+    /// Worst-case complexity: rounds until the last vertex terminated.
+    pub fn worst_case(&self) -> u32 {
+        self.termination_round.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Median termination round (0 for empty graphs).
+    pub fn median(&self) -> u32 {
+        if self.n() == 0 {
+            return 0;
+        }
+        let mut v = self.termination_round.clone();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+
+    /// The `p`-th percentile termination round, `p ∈ [0, 100]`.
+    pub fn percentile(&self, p: f64) -> u32 {
+        assert!((0.0..=100.0).contains(&p));
+        if self.n() == 0 {
+            return 0;
+        }
+        let mut v = self.termination_round.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx]
+    }
+
+    /// Consistency check: `Σ_i n_i == RoundSum(V)` (Equation 1) and the
+    /// active series is non-increasing.
+    pub fn check_identities(&self) -> Result<(), String> {
+        let from_series: u64 = self.active_per_round.iter().map(|&a| a as u64).sum();
+        if from_series != self.round_sum() {
+            return Err(format!(
+                "Σ active[i] = {from_series} but RoundSum = {}",
+                self.round_sum()
+            ));
+        }
+        if self.active_per_round.windows(2).any(|w| w[0] < w[1]) {
+            return Err("active-per-round series increased".into());
+        }
+        if self.active_per_round.len() != self.worst_case() as usize {
+            return Err(format!(
+                "series length {} != worst case {}",
+                self.active_per_round.len(),
+                self.worst_case()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoundMetrics {
+        // 3 vertices terminating in rounds 1, 2, 2:
+        // round 1: 3 active; round 2: 2 active.
+        RoundMetrics { termination_round: vec![1, 2, 2], active_per_round: vec![3, 2] }
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = sample();
+        assert_eq!(m.round_sum(), 5);
+        assert!((m.vertex_averaged() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.worst_case(), 2);
+        assert_eq!(m.median(), 2);
+        assert_eq!(m.percentile(0.0), 1);
+        assert_eq!(m.percentile(100.0), 2);
+    }
+
+    #[test]
+    fn identities_hold() {
+        assert!(sample().check_identities().is_ok());
+    }
+
+    #[test]
+    fn identities_catch_mismatch() {
+        let m = RoundMetrics { termination_round: vec![1, 1], active_per_round: vec![2, 1] };
+        assert!(m.check_identities().is_err());
+    }
+
+    #[test]
+    fn empty() {
+        let m = RoundMetrics { termination_round: vec![], active_per_round: vec![] };
+        assert_eq!(m.vertex_averaged(), 0.0);
+        assert_eq!(m.worst_case(), 0);
+        assert!(m.check_identities().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolation_points() {
+        let m = RoundMetrics {
+            termination_round: vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            active_per_round: vec![10, 9, 8, 7, 6, 5, 4, 3, 2, 1],
+        };
+        assert_eq!(m.percentile(0.0), 1);
+        // Index round(0.5 · 9) = 5 into the sorted values 1..=10 is 6.
+        assert_eq!(m.percentile(50.0), 6);
+        assert_eq!(m.percentile(100.0), 10);
+        assert!(m.check_identities().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_out_of_range_panics() {
+        let m = RoundMetrics { termination_round: vec![1], active_per_round: vec![1] };
+        m.percentile(101.0);
+    }
+
+    #[test]
+    fn single_vertex_graph_metrics() {
+        let m = RoundMetrics { termination_round: vec![4], active_per_round: vec![1, 1, 1, 1] };
+        assert_eq!(m.vertex_averaged(), 4.0);
+        assert_eq!(m.median(), 4);
+        assert!(m.check_identities().is_ok());
+    }
+
+    #[test]
+    fn identities_catch_series_length_mismatch() {
+        // Sum matches but the series is longer than the worst case.
+        let m = RoundMetrics { termination_round: vec![2, 2], active_per_round: vec![2, 1, 1] };
+        assert!(m.check_identities().is_err());
+    }
+}

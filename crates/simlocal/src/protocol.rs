@@ -1,0 +1,157 @@
+//! The per-vertex protocol abstraction and the neighbor view.
+
+use graphcore::{Graph, IdAssignment, VertexId};
+use rand_chacha::ChaCha8Rng;
+
+/// What a vertex does after a step.
+#[derive(Clone, Debug)]
+pub enum Transition<S, O> {
+    /// Stay active with the new state (published to neighbors next round).
+    Continue(S),
+    /// Publish the final state, record the output, and terminate.
+    ///
+    /// The round in which this transition happens is the vertex's running
+    /// time (the decide-and-broadcast round of the paper's §2 convention).
+    Terminate(S, O),
+}
+
+/// A distributed algorithm: one instance shared by all vertices, holding
+/// the global parameters every processor is assumed to know (`n`, the
+/// arboricity `a`, `Δ`, `ε`, …) but **no per-vertex mutable data** — all
+/// per-vertex data lives in `State`.
+pub trait Protocol: Sync {
+    /// Per-vertex state, published to neighbors each round.
+    type State: Clone + Send + Sync;
+    /// Per-vertex final output.
+    type Output: Clone + Send + Sync;
+
+    /// State of vertex `v` before round 1 (what neighbors see in round 1).
+    fn init(&self, g: &Graph, ids: &IdAssignment, v: VertexId) -> Self::State;
+
+    /// One synchronous round for an active vertex.
+    fn step(&self, ctx: StepCtx<'_, Self::State>) -> Transition<Self::State, Self::Output>;
+
+    /// Upper bound on rounds before the engine declares the protocol stuck.
+    /// Generous default; override for protocols with known round bounds.
+    fn max_rounds(&self, g: &Graph) -> u32 {
+        let n = g.n().max(2) as u32;
+        // 64 (log2 n)^2 + 1024: comfortably above every bound in the paper
+        // for simulable sizes, small enough to fail fast on livelock bugs.
+        64 * n.ilog2() * n.ilog2() + 1024
+    }
+}
+
+/// Everything a vertex can see when it steps: its own identity and state,
+/// the global round number, and its neighbors' previous-round states.
+pub struct StepCtx<'a, S> {
+    /// The topology (a processor may freely inspect its own incident edges;
+    /// global queries are available to protocols but correct LOCAL
+    /// protocols only use local ones — tests enforce outputs, not access).
+    pub graph: &'a Graph,
+    /// ID assignment (read your own ID or a neighbor's — IDs travel with
+    /// first-round messages in the LOCAL model).
+    pub ids: &'a IdAssignment,
+    /// This vertex.
+    pub v: VertexId,
+    /// Current round number, starting at 1.
+    pub round: u32,
+    /// This vertex's state coming into the round.
+    pub state: &'a S,
+    /// Neighbor states as of the end of the previous round.
+    pub view: NeighborView<'a, S>,
+    /// Run seed for deriving this step's RNG.
+    pub(crate) run_seed: u64,
+}
+
+impl<'a, S> StepCtx<'a, S> {
+    /// This vertex's unique ID.
+    #[inline]
+    pub fn my_id(&self) -> u64 {
+        self.ids.id(self.v)
+    }
+
+    /// Degree of this vertex.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.v)
+    }
+
+    /// Fresh deterministic RNG for this `(vertex, round)`.
+    pub fn rng(&self) -> ChaCha8Rng {
+        crate::rng::vertex_round_rng(self.run_seed, self.v, self.round)
+    }
+}
+
+/// Read-only access to the previous-round states of the whole graph,
+/// scoped to a vertex's neighborhood by the convenience methods.
+pub struct NeighborView<'a, S> {
+    pub(crate) graph: &'a Graph,
+    pub(crate) v: VertexId,
+    pub(crate) states: &'a [S],
+    pub(crate) terminated: &'a [bool],
+}
+
+impl<'a, S> NeighborView<'a, S> {
+    /// Previous-round state of an arbitrary vertex (normally a neighbor).
+    #[inline]
+    pub fn state_of(&self, u: VertexId) -> &'a S {
+        &self.states[u as usize]
+    }
+
+    /// Whether `u` had terminated before this round began.
+    #[inline]
+    pub fn is_terminated(&self, u: VertexId) -> bool {
+        self.terminated[u as usize]
+    }
+
+    /// Iterator over `(neighbor, state)` pairs.
+    pub fn neighbors(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
+        self.graph.neighbors(self.v).iter().map(move |&u| (u, &self.states[u as usize]))
+    }
+
+    /// Iterator over neighbors that are still active.
+    pub fn active_neighbors(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
+        self.graph
+            .neighbors(self.v)
+            .iter()
+            .filter(move |&&u| !self.terminated[u as usize])
+            .map(move |&u| (u, &self.states[u as usize]))
+    }
+
+    /// Iterator over neighbors that have terminated (final states).
+    pub fn terminated_neighbors(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
+        self.graph
+            .neighbors(self.v)
+            .iter()
+            .filter(move |&&u| self.terminated[u as usize])
+            .map(move |&u| (u, &self.states[u as usize]))
+    }
+
+    /// Count of still-active neighbors.
+    pub fn active_degree(&self) -> usize {
+        self.graph.neighbors(self.v).iter().filter(|&&u| !self.terminated[u as usize]).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::gen;
+
+    #[test]
+    fn neighbor_view_filters() {
+        let g = gen::path(3);
+        let states = vec![10u32, 20, 30];
+        let terminated = vec![true, false, false];
+        let view = NeighborView { graph: &g, v: 1, states: &states, terminated: &terminated };
+        let all: Vec<_> = view.neighbors().map(|(u, &s)| (u, s)).collect();
+        assert_eq!(all, vec![(0, 10), (2, 30)]);
+        let act: Vec<_> = view.active_neighbors().map(|(u, _)| u).collect();
+        assert_eq!(act, vec![2]);
+        let term: Vec<_> = view.terminated_neighbors().map(|(u, _)| u).collect();
+        assert_eq!(term, vec![0]);
+        assert_eq!(view.active_degree(), 1);
+        assert!(view.is_terminated(0));
+        assert_eq!(*view.state_of(2), 30);
+    }
+}

@@ -1,0 +1,21 @@
+//! # distsym — distributed symmetry-breaking with improved vertex-averaged complexity
+//!
+//! Facade crate for the reproduction of Barenboim & Tzur, *"Distributed
+//! Symmetry-Breaking with Improved Vertex-Averaged Complexity"* (SPAA 2018).
+//!
+//! Re-exports the three library layers:
+//!
+//! * [`graphcore`] — graphs, generators with known arboricity, verifiers;
+//! * [`simlocal`] — the synchronous LOCAL-model round simulator and its
+//!   vertex-averaged complexity metrics;
+//! * [`algos`] — the paper's algorithms (Procedure Partition, forest
+//!   decompositions, the coloring suite, MIS / maximal matching /
+//!   edge-coloring via the extension framework, randomized algorithms) and
+//!   the worst-case baselines the tables compare against.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory.
+
+pub use algos;
+pub use graphcore;
+pub use simlocal;

@@ -1,0 +1,400 @@
+//! `distsym` — command-line front end for the library.
+//!
+//! ```text
+//! distsym run   --algo <name> --family <name> --n <N> [--a <A>] [--k <K>] [--seed <S>] [--eps <E>]
+//! distsym list                          # available algorithms and families
+//! distsym graph --family <name> --n <N> [--a <A>] [--out <path>]   # emit an edge list
+//! ```
+//!
+//! `run` builds the workload, executes the protocol on the LOCAL-model
+//! simulator, verifies the output, and prints the vertex-averaged /
+//! worst-case metrics — the one-command version of the benchmark harness.
+
+use distsym::algos::{self, itlog};
+use distsym::graphcore::{gen, io, stats, verify, IdAssignment};
+use distsym::simlocal::{run, Protocol, RunConfig};
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const ALGOS: &[&str] = &[
+    "partition",
+    "forest",
+    "a2logn",
+    "a2_loglog",
+    "oa_recolor",
+    "ka",
+    "ka2",
+    "ka_rho",
+    "ka2_rho",
+    "delta_plus_one",
+    "one_plus_eta",
+    "rand_delta_plus_one",
+    "rand_a_loglog",
+    "mis",
+    "mis_luby",
+    "matching",
+    "edge_coloring",
+    "arb_color",
+    "arb_linial_oneshot",
+    "arb_linial_full",
+    "global_linial",
+    "global_linial_kw",
+    "ring_leader",
+    "ring_3coloring",
+];
+
+const FAMILIES: &[&str] = &[
+    "forest_union",
+    "random_tree",
+    "grid",
+    "toroid",
+    "cycle",
+    "path",
+    "hub_forest",
+    "nested_shells",
+    "preferential_attachment",
+    "gnp",
+    "gnm",
+    "hypercube",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&parse_flags(&args[1..])),
+        Some("graph") => cmd_graph(&parse_flags(&args[1..])),
+        Some("list") => {
+            println!("algorithms: {}", ALGOS.join(", "));
+            println!("families:   {}", FAMILIES.join(", "));
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: distsym <run|graph|list> [--flag value ...]");
+            eprintln!("  distsym run --algo a2logn --family forest_union --n 4096 --a 2");
+            eprintln!("  distsym graph --family grid --n 1024 --out grid.txt");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = it.next().cloned().unwrap_or_else(|| "true".into());
+            m.insert(key.to_string(), val);
+        } else {
+            eprintln!("warning: ignoring stray argument {a}");
+        }
+    }
+    m
+}
+
+fn get<T: std::str::FromStr>(flags: &BTreeMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --{key} needs a valid value (got {v:?})");
+            std::process::exit(2)
+        }),
+    }
+}
+
+fn build_workload(flags: &BTreeMap<String, String>) -> gen::GenGraph {
+    let family = flags.get("family").map(String::as_str).unwrap_or("forest_union");
+    let n: usize = get(flags, "n", 4096);
+    let a: usize = get(flags, "a", 2);
+    let seed: u64 = get(flags, "seed", 0);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    match family {
+        "forest_union" => gen::forest_union(n, a, &mut rng),
+        "random_tree" => gen::random_tree(n, &mut rng),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            gen::GenGraph { graph: gen::grid(side, side), arboricity: 2, family: "grid" }
+        }
+        "toroid" => {
+            let side = ((n as f64).sqrt().ceil() as usize).max(3);
+            gen::GenGraph { graph: gen::toroid(side, side), arboricity: 3, family: "toroid" }
+        }
+        "cycle" => gen::GenGraph { graph: gen::cycle(n.max(3)), arboricity: 2, family: "cycle" },
+        "path" => gen::GenGraph { graph: gen::path(n), arboricity: 1, family: "path" },
+        "hub_forest" => {
+            gen::hub_forest(n, a, 4, get(flags, "hub-degree", (n as f64).sqrt() as usize), &mut rng)
+        }
+        "nested_shells" => {
+            let levels = (n.max(4) as u64).ilog2().saturating_sub(1).max(2);
+            gen::nested_shells(levels, a.max(1))
+        }
+        "preferential_attachment" => gen::preferential_attachment(n, a.max(1), &mut rng),
+        "gnp" => gen::gnp(n, get(flags, "p", 2.0 * a as f64 / n as f64), &mut rng),
+        "gnm" => gen::gnm(n, a * n, &mut rng),
+        "hypercube" => {
+            let d = (n.max(2) as u64).ilog2();
+            gen::GenGraph { graph: gen::hypercube(d), arboricity: d as usize, family: "hypercube" }
+        }
+        other => {
+            eprintln!("unknown family {other}; see `distsym list`");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn cmd_graph(flags: &BTreeMap<String, String>) -> ExitCode {
+    let gg = build_workload(flags);
+    let text = io::to_edge_list(&gg.graph);
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} ({})", path, stats::summary(&gg.graph));
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_metrics(m: &distsym::simlocal::RoundMetrics) {
+    println!(
+        "rounds: vertex-averaged {:.3} | median {} | p95 {} | worst case {} | RoundSum {}",
+        m.vertex_averaged(),
+        m.median(),
+        m.percentile(95.0),
+        m.worst_case(),
+        m.round_sum()
+    );
+}
+
+fn run_coloring_cli<P: Protocol<Output = u64>>(
+    p: &P,
+    gg: &gen::GenGraph,
+    seed: u64,
+    palette_note: &str,
+) -> ExitCode {
+    let ids = IdAssignment::identity(gg.graph.n());
+    let out = match run(p, &gg.graph, &ids, RunConfig { seed, ..Default::default() }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX) {
+        Ok(()) => println!(
+            "coloring: PROPER, {} colors used {palette_note}",
+            verify::count_distinct(&out.outputs)
+        ),
+        Err(e) => {
+            eprintln!("coloring INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    report_metrics(&out.metrics);
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
+    let gg = build_workload(flags);
+    let n = gg.graph.n();
+    let a = gg.arboricity;
+    let seed: u64 = get(flags, "seed", 0);
+    let k: u32 = get(flags, "k", 2);
+    let algo = flags.get("algo").map(String::as_str).unwrap_or("a2logn");
+    println!("workload: {} | {}", gg.family, stats::summary(&gg.graph));
+    println!("algorithm: {algo} (a={a}, seed={seed})");
+    let ids = IdAssignment::identity(n);
+
+    match algo {
+        "partition" => {
+            let (h, m) = algos::partition::run_partition(&gg.graph, a, get(flags, "eps", 2.0));
+            let cap = algos::partition::degree_cap(a, get(flags, "eps", 2.0));
+            match verify::h_partition(&gg.graph, &h, cap) {
+                Ok(()) => println!(
+                    "H-partition: VALID, {} sets, threshold A={cap}",
+                    h.iter().max().copied().unwrap_or(0)
+                ),
+                Err(e) => {
+                    eprintln!("H-partition INVALID: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            report_metrics(&m);
+            ExitCode::SUCCESS
+        }
+        "forest" => {
+            let p = algos::forests::ParallelizedForestDecomposition::new(a);
+            let out = run(&p, &gg.graph, &ids, RunConfig::default()).expect("terminates");
+            let (labels, heads) = match algos::forests::assemble(&gg.graph, &out.outputs) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("assembly failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match verify::forest_decomposition(&gg.graph, &labels, &heads, p.cap()) {
+                Ok(()) => println!("forest decomposition: VALID, ≤ {} forests", p.cap()),
+                Err(e) => {
+                    eprintln!("forest decomposition INVALID: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            report_metrics(&out.metrics);
+            ExitCode::SUCCESS
+        }
+        "a2logn" => run_coloring_cli(&algos::coloring::a2logn::ColoringA2LogN::new(a), &gg, seed, "(O(a² log n))"),
+        "a2_loglog" => run_coloring_cli(&algos::coloring::a2_loglog::ColoringA2LogLog::new(a), &gg, seed, "(O(a²))"),
+        "oa_recolor" => run_coloring_cli(&algos::coloring::oa_recolor::ColoringOaRecolor::new(a), &gg, seed, "(O(a))"),
+        "ka" => run_coloring_cli(&algos::coloring::ka::ColoringKa::new(a, k), &gg, seed, "(O(ka))"),
+        "ka2" => run_coloring_cli(&algos::coloring::ka2::ColoringKa2::new(a, k), &gg, seed, "(O(ka²))"),
+        "ka_rho" => run_coloring_cli(&algos::coloring::ka::ColoringKa::rho_instance(a, n as u64), &gg, seed, "(O(a log* n))"),
+        "ka2_rho" => run_coloring_cli(&algos::coloring::ka2::ColoringKa2::rho_instance(a, n as u64), &gg, seed, "(O(a² log* n))"),
+        "delta_plus_one" => run_coloring_cli(&algos::coloring::delta_plus_one::DeltaPlusOneColoring::new(a), &gg, seed, "(Δ+1)"),
+        "one_plus_eta" => run_coloring_cli(&algos::one_plus_eta::OnePlusEtaArbCol::new(a, get(flags, "c", 4)), &gg, seed, "(O(a^{1+η}))"),
+        "rand_delta_plus_one" => run_coloring_cli(&algos::rand_coloring::delta_plus_one::RandDeltaPlusOne::new(), &gg, seed, "(Δ+1, randomized)"),
+        "rand_a_loglog" => run_coloring_cli(&algos::rand_coloring::a_loglog::RandALogLog::new(a), &gg, seed, "(O(a log log n), randomized)"),
+        "arb_color" => run_coloring_cli(&algos::arb_color::ArbColor::new(a), &gg, seed, "(O(a), worst-case baseline)"),
+        "arb_linial_oneshot" => run_coloring_cli(&algos::baselines::ArbLinialOneShot::new(a), &gg, seed, "(baseline)"),
+        "arb_linial_full" => run_coloring_cli(&algos::baselines::ArbLinialFull::new(a), &gg, seed, "(baseline)"),
+        "global_linial" => run_coloring_cli(&algos::baselines::GlobalLinial::new(), &gg, seed, "(O(Δ²), baseline)"),
+        "global_linial_kw" => run_coloring_cli(&algos::baselines::GlobalLinialKw::new(), &gg, seed, "(Δ+1, baseline)"),
+        "mis" => {
+            let p = algos::mis::MisExtension::new(a);
+            let out = run(&p, &gg.graph, &ids, RunConfig::default()).expect("terminates");
+            match verify::maximal_independent_set(&gg.graph, &out.outputs) {
+                Ok(()) => println!(
+                    "MIS: VALID, {} members",
+                    out.outputs.iter().filter(|&&b| b).count()
+                ),
+                Err(e) => {
+                    eprintln!("MIS INVALID: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            report_metrics(&out.metrics);
+            ExitCode::SUCCESS
+        }
+        "mis_luby" => {
+            let out = run(&algos::mis::LubyMis, &gg.graph, &ids, RunConfig { seed, ..Default::default() })
+                .expect("terminates");
+            match verify::maximal_independent_set(&gg.graph, &out.outputs) {
+                Ok(()) => println!(
+                    "MIS (Luby): VALID, {} members",
+                    out.outputs.iter().filter(|&&b| b).count()
+                ),
+                Err(e) => {
+                    eprintln!("MIS INVALID: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            report_metrics(&out.metrics);
+            ExitCode::SUCCESS
+        }
+        "matching" => {
+            let p = algos::matching::MatchingExtension::new(a);
+            let out = run(&p, &gg.graph, &ids, RunConfig::default()).expect("terminates");
+            let (mm, commit) = match algos::matching::assemble(&gg.graph, &out) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("assembly failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match verify::maximal_matching(&gg.graph, &mm) {
+                Ok(()) => println!(
+                    "matching: VALID, {} edges (commit metrics below)",
+                    mm.iter().filter(|&&b| b).count()
+                ),
+                Err(e) => {
+                    eprintln!("matching INVALID: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            report_metrics(&commit);
+            ExitCode::SUCCESS
+        }
+        "edge_coloring" => {
+            let p = algos::edge_coloring::EdgeColoringExtension::new(a);
+            let out = run(&p, &gg.graph, &ids, RunConfig::default()).expect("terminates");
+            let (colors, commit) = match algos::edge_coloring::assemble(&gg.graph, &out) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("assembly failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let budget = algos::edge_coloring::EdgeColoringExtension::palette(&gg.graph);
+            match verify::proper_edge_coloring(&gg.graph, &colors, budget as usize) {
+                Ok(()) => println!(
+                    "edge coloring: PROPER, {} colors (budget 2Δ−1 = {budget}; commit metrics below)",
+                    verify::count_distinct(&colors)
+                ),
+                Err(e) => {
+                    eprintln!("edge coloring INVALID: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            report_metrics(&commit);
+            ExitCode::SUCCESS
+        }
+        "ring_leader" => {
+            let out = run(&algos::rings::LeaderElection, &gg.graph, &ids, RunConfig::default())
+                .expect("terminates");
+            let leaders = out.outputs.iter().filter(|o| o.is_leader).count();
+            println!("leader election: {leaders} leader(s)");
+            let commits: Vec<u32> = out.outputs.iter().map(|o| o.commit_round).collect();
+            report_metrics(&algos::extension::metrics_from_commits(&commits));
+            ExitCode::SUCCESS
+        }
+        "ring_3coloring" => {
+            run_coloring_cli(&algos::rings::RingThreeColoring, &gg, seed, "(3 colors, rings)")
+        }
+        other => {
+            eprintln!("unknown algorithm {other}; see `distsym list` (log* n here = {})", itlog::log_star(n as u64));
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_pairs_and_bare() {
+        let args: Vec<String> =
+            ["--algo", "mis", "--n", "128", "--quick"].iter().map(|s| s.to_string()).collect();
+        let flags = parse_flags(&args);
+        assert_eq!(flags.get("algo").unwrap(), "mis");
+        assert_eq!(get::<usize>(&flags, "n", 0), 128);
+        assert_eq!(flags.get("quick").unwrap(), "true");
+        assert_eq!(get::<u64>(&flags, "seed", 7), 7); // default applies
+    }
+
+    #[test]
+    fn build_workload_families() {
+        for fam in ["forest_union", "grid", "cycle", "path", "nested_shells", "hypercube"] {
+            let mut flags = BTreeMap::new();
+            flags.insert("family".to_string(), fam.to_string());
+            flags.insert("n".to_string(), "200".to_string());
+            let gg = build_workload(&flags);
+            assert!(gg.graph.n() >= 32, "{fam} produced a tiny graph");
+            assert!(gg.arboricity >= 1);
+        }
+    }
+
+    #[test]
+    fn algo_and_family_lists_are_distinct() {
+        let mut a = ALGOS.to_vec();
+        a.sort_unstable();
+        a.dedup();
+        assert_eq!(a.len(), ALGOS.len());
+        let mut f = FAMILIES.to_vec();
+        f.sort_unstable();
+        f.dedup();
+        assert_eq!(f.len(), FAMILIES.len());
+    }
+}

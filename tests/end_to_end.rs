@@ -1,0 +1,153 @@
+//! Cross-crate integration: generate → simulate → verify → metrics, for
+//! every algorithm family on a common set of workloads.
+
+use distsym::algos::{
+    arb_color::ArbColor,
+    baselines::{ArbLinialFull, ArbLinialOneShot, GlobalLinial, GlobalLinialKw},
+    coloring::{
+        a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN,
+        delta_plus_one::DeltaPlusOneColoring, ka::ColoringKa, ka2::ColoringKa2,
+        oa_recolor::ColoringOaRecolor,
+    },
+    edge_coloring::{self, EdgeColoringExtension},
+    forests::{self, ParallelizedForestDecomposition},
+    matching::{self, MatchingExtension},
+    mis::{LubyMis, MisExtension},
+    one_plus_eta::OnePlusEtaArbCol,
+    rand_coloring::{a_loglog::RandALogLog, delta_plus_one::RandDeltaPlusOne},
+};
+use distsym::graphcore::{gen, verify, Graph, IdAssignment};
+use distsym::simlocal::{run, Protocol, RunConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The common workload set: (graph, arboricity parameter).
+fn workloads() -> Vec<(Graph, usize, &'static str)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7777);
+    let mut w = Vec::new();
+    w.push((gen::path(97), 1, "path"));
+    w.push((gen::cycle(96), 2, "cycle"));
+    w.push((gen::grid(9, 11), 2, "grid"));
+    w.push((gen::binary_tree(127), 1, "binary_tree"));
+    w.push((gen::star(60), 1, "star"));
+    let fu = gen::forest_union(300, 3, &mut rng);
+    w.push((fu.graph, 3, "forest_union_3"));
+    let hub = gen::hub_forest(400, 1, 2, 40, &mut rng);
+    w.push((hub.graph, hub.arboricity, "hub_forest"));
+    w
+}
+
+fn run_coloring<P: Protocol<Output = u64>>(p: &P, g: &Graph, seed: u64) -> Vec<u64> {
+    let ids = IdAssignment::identity(g.n());
+    let out = run(p, g, &ids, RunConfig { seed, ..Default::default() }).expect("terminates");
+    out.metrics.check_identities().expect("metric identities");
+    verify::assert_ok(verify::proper_vertex_coloring(g, &out.outputs, usize::MAX));
+    out.outputs
+}
+
+#[test]
+fn every_coloring_algorithm_on_every_workload() {
+    for (g, a, name) in workloads() {
+        run_coloring(&ColoringA2LogN::new(a), &g, 0);
+        run_coloring(&ColoringA2LogLog::new(a), &g, 0);
+        run_coloring(&ColoringOaRecolor::new(a), &g, 0);
+        run_coloring(&ColoringKa2::new(a, 2), &g, 0);
+        run_coloring(&ColoringKa::new(a, 2), &g, 0);
+        run_coloring(&DeltaPlusOneColoring::new(a), &g, 0);
+        run_coloring(&OnePlusEtaArbCol::new(a, 4), &g, 0);
+        run_coloring(&ArbColor::new(a), &g, 0);
+        run_coloring(&ArbLinialOneShot::new(a), &g, 0);
+        run_coloring(&ArbLinialFull::new(a), &g, 0);
+        run_coloring(&GlobalLinial::new(), &g, 0);
+        run_coloring(&GlobalLinialKw::new(), &g, 0);
+        run_coloring(&RandDeltaPlusOne::new(), &g, 1);
+        run_coloring(&RandALogLog::new(a), &g, 1);
+        println!("workload {name} ok");
+    }
+}
+
+#[test]
+fn mis_mm_edge_coloring_on_every_workload() {
+    for (g, a, name) in workloads() {
+        let ids = IdAssignment::identity(g.n());
+        let out = run(&MisExtension::new(a), &g, &ids, RunConfig::default()).unwrap();
+        verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
+
+        let out = run(&LubyMis, &g, &ids, RunConfig { seed: 5, ..Default::default() }).unwrap();
+        verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
+
+        let out = run(&MatchingExtension::new(a), &g, &ids, RunConfig::default()).unwrap();
+        let (mm, commit) = matching::assemble(&g, &out).unwrap();
+        verify::assert_ok(verify::maximal_matching(&g, &mm));
+        commit.check_identities().unwrap();
+
+        let out = run(&EdgeColoringExtension::new(a), &g, &ids, RunConfig::default()).unwrap();
+        let (colors, commit) = edge_coloring::assemble(&g, &out).unwrap();
+        verify::assert_ok(verify::proper_edge_coloring(
+            &g,
+            &colors,
+            EdgeColoringExtension::palette(&g) as usize,
+        ));
+        commit.check_identities().unwrap();
+        println!("workload {name} ok");
+    }
+}
+
+#[test]
+fn forest_decomposition_on_every_workload() {
+    for (g, a, _) in workloads() {
+        let p = ParallelizedForestDecomposition::new(a);
+        let ids = IdAssignment::identity(g.n());
+        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        let (labels, heads) = forests::assemble(&g, &out.outputs).unwrap();
+        verify::assert_ok(verify::forest_decomposition(&g, &labels, &heads, p.cap()));
+    }
+}
+
+#[test]
+fn determinism_under_fixed_seed_across_engines() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let gg = gen::forest_union(500, 2, &mut rng);
+    let ids = IdAssignment::identity(500);
+    for seed in [0u64, 9] {
+        let cfg_seq = RunConfig { seed, ..Default::default() };
+        let cfg_par = RunConfig { seed, parallel: true, ..Default::default() };
+        let a = run(&RandDeltaPlusOne::new(), &gg.graph, &ids, cfg_seq).unwrap();
+        let b = run(&RandDeltaPlusOne::new(), &gg.graph, &ids, cfg_par).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}
+
+#[test]
+fn adversarial_id_assignments_stay_correct() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31337);
+    let gg = gen::forest_union(400, 2, &mut rng);
+    for ids in [
+        IdAssignment::identity(400),
+        IdAssignment::random_permutation(400, &mut rng),
+        IdAssignment::random_sparse(400, 1 << 24, &mut rng),
+        // Reverse order: adversarial for ID-based orientations.
+        IdAssignment::from_vec((0..400u64).rev().collect()),
+    ] {
+        let out = run(&ColoringA2LogN::new(2), &gg.graph, &ids, RunConfig::default()).unwrap();
+        verify::assert_ok(verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX));
+        let out = run(&MisExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap();
+        verify::assert_ok(verify::maximal_independent_set(&gg.graph, &out.outputs));
+    }
+}
+
+#[test]
+fn headline_separation_partition_scales() {
+    // The paper's core claim at integration level: Procedure Partition's
+    // VA stays O(1) while its worst case grows with n.
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let mut wcs = Vec::new();
+    for n in [1usize << 10, 1 << 13, 1 << 16] {
+        let gg = gen::forest_union(n, 2, &mut rng);
+        let (_, m) = distsym::algos::partition::run_partition(&gg.graph, 2, 2.0);
+        assert!(m.vertex_averaged() <= 2.0, "VA must stay ≤ (2+ε)/ε");
+        wcs.push(m.worst_case());
+    }
+    assert!(wcs[2] > wcs[0], "worst case must grow with n: {wcs:?}");
+}

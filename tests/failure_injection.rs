@@ -1,0 +1,123 @@
+//! Failure injection: the system must *fail loudly* — wrong parameters
+//! hit the engine's round cap instead of silently producing garbage,
+//! corrupted outputs are rejected by the verifiers, and API misuse panics
+//! with a diagnosis.
+
+use distsym::algos::coloring::a2logn::ColoringA2LogN;
+use distsym::algos::mis::MisExtension;
+use distsym::algos::Partition;
+use distsym::graphcore::{gen, verify, GraphBuilder, IdAssignment};
+use distsym::simlocal::{run, run_seq, EngineError, RunConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn under_declared_arboricity_reports_livelock() {
+    // A clique declared as arboricity 1: nobody's degree ever drops below
+    // the threshold, so the engine must return the round-cap error.
+    let g = gen::clique(24);
+    let ids = IdAssignment::identity(24);
+    let err = run_seq(&Partition::new(1), &g, &ids).unwrap_err();
+    let EngineError::RoundLimitExceeded { still_active, .. } = err;
+    assert_eq!(still_active, 24, "everyone should still be stuck");
+}
+
+#[test]
+fn under_declared_arboricity_in_composed_protocol() {
+    let g = gen::clique(20);
+    let ids = IdAssignment::identity(20);
+    assert!(run_seq(&ColoringA2LogN::new(1), &g, &ids).is_err());
+    assert!(run_seq(&MisExtension::new(1), &g, &ids).is_err());
+}
+
+#[test]
+fn over_declared_arboricity_still_correct_just_more_colors() {
+    // Declaring a LARGER arboricity is safe: the threshold loosens, the
+    // palette grows, correctness is preserved.
+    let mut rng = ChaCha8Rng::seed_from_u64(600);
+    let gg = gen::forest_union(300, 2, &mut rng);
+    let ids = IdAssignment::identity(300);
+    let out = run_seq(&ColoringA2LogN::new(10), &gg.graph, &ids).unwrap();
+    verify::assert_ok(verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX));
+}
+
+#[test]
+fn corrupted_outputs_are_rejected_by_verifiers() {
+    let mut rng = ChaCha8Rng::seed_from_u64(601);
+    let gg = gen::forest_union(200, 2, &mut rng);
+    let ids = IdAssignment::identity(200);
+
+    // Corrupt a proper coloring on one endpoint of some edge.
+    let out = run_seq(&ColoringA2LogN::new(2), &gg.graph, &ids).unwrap();
+    let mut colors = out.outputs.clone();
+    let (_, (u, v)) = gg.graph.edges().next().expect("has edges");
+    colors[u as usize] = colors[v as usize];
+    assert!(verify::proper_vertex_coloring(&gg.graph, &colors, usize::MAX).is_err());
+
+    // Corrupt an MIS by adding a dominated vertex.
+    let out = run_seq(&MisExtension::new(2), &gg.graph, &ids).unwrap();
+    let mut mis = out.outputs.clone();
+    let outsider = gg
+        .graph
+        .vertices()
+        .find(|&w| !mis[w as usize])
+        .expect("some vertex is outside the MIS");
+    mis[outsider as usize] = true;
+    assert!(verify::maximal_independent_set(&gg.graph, &mis).is_err());
+
+    // And by removing a member (maximality breaks).
+    let mut mis = out.outputs.clone();
+    let member = gg.graph.vertices().find(|&w| mis[w as usize]).unwrap();
+    mis[member as usize] = false;
+    // Either independence still holds but maximality fails, or the vertex
+    // was someone's only dominator — both must be rejected.
+    assert!(verify::maximal_independent_set(&gg.graph, &mis).is_err());
+}
+
+#[test]
+fn round_cap_override_trips_early() {
+    let mut rng = ChaCha8Rng::seed_from_u64(602);
+    let gg = gen::forest_union(500, 2, &mut rng);
+    let ids = IdAssignment::identity(500);
+    // MIS needs its iteration windows; a cap of 3 rounds must fail.
+    let err = run(
+        &MisExtension::new(2),
+        &gg.graph,
+        &ids,
+        RunConfig { max_rounds: Some(3), ..Default::default() },
+    )
+    .unwrap_err();
+    assert!(matches!(err, EngineError::RoundLimitExceeded { max_rounds: 3, .. }));
+    assert!(err.to_string().contains("after 3 rounds"));
+}
+
+#[test]
+#[should_panic(expected = "ID assignment must cover all vertices")]
+fn id_assignment_size_mismatch_panics() {
+    let g = gen::path(5);
+    let ids = IdAssignment::identity(4);
+    let _ = run_seq(&Partition::new(1), &g, &ids);
+}
+
+#[test]
+fn verifier_rejects_wrong_length_vectors() {
+    let g = gen::path(4);
+    assert!(verify::proper_vertex_coloring(&g, &[0, 1], 2).is_err());
+    assert!(verify::maximal_independent_set(&g, &[true]).is_err());
+    assert!(verify::maximal_matching(&g, &[true]).is_err());
+    assert!(verify::h_partition(&g, &[1, 1], 4).is_err());
+}
+
+#[test]
+fn builder_rejects_malformed_graphs() {
+    let r = std::panic::catch_unwind(|| GraphBuilder::new(3).edge(1, 1));
+    assert!(r.is_err(), "self-loop must panic");
+    let r = std::panic::catch_unwind(|| GraphBuilder::new(3).edge(0, 7));
+    assert!(r.is_err(), "out-of-range endpoint must panic");
+}
+
+#[test]
+fn io_parser_surfaces_line_numbers() {
+    let err = distsym::graphcore::io::from_edge_list("n 3\n0 1\nbogus\n").unwrap_err();
+    assert!(err.contains("line 3"), "error should name the offending line: {err}");
+}

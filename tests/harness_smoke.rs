@@ -1,0 +1,80 @@
+//! Smoke tests over the benchmark harness pathways used by the table
+//! binaries — every algorithm name the harness knows must run, validate,
+//! and produce sane metrics on a small workload.
+
+use benchharness::{
+    coloring_row, forest_workload, hub_workload, run_edge_coloring_ext, run_forest_baseline,
+    run_forest_fast, run_matching_ext, run_mis_ext, run_mis_luby,
+};
+
+const ALL_COLORINGS: &[&str] = &[
+    "a2logn",
+    "a2_loglog",
+    "oa_recolor",
+    "ka",
+    "ka2",
+    "ka_rho",
+    "ka2_rho",
+    "delta_plus_one",
+    "one_plus_eta",
+    "legal_coloring",
+    "rand_delta_plus_one",
+    "rand_a_loglog",
+    "arb_color_baseline",
+    "arb_linial_oneshot",
+    "arb_linial_full",
+    "global_linial",
+    "global_linial_kw",
+];
+
+#[test]
+fn every_harness_coloring_name_runs_and_validates() {
+    let gg = forest_workload(220, 2, 11);
+    for name in ALL_COLORINGS {
+        let row = coloring_row("smoke", name, &gg, 2, 1);
+        assert!(row.valid, "{name} invalid");
+        assert!(row.va >= 1.0, "{name} VA below one round");
+        assert!(row.wc >= row.median && row.p95 >= row.median, "{name} percentile order");
+        assert!(row.colors >= 2, "{name} used suspiciously few colors");
+    }
+}
+
+#[test]
+fn set_problem_runners_on_hub_workload() {
+    let hub = hub_workload(400, 2, 20, 12);
+    for row in [
+        run_mis_ext("smoke", &hub, 0),
+        run_mis_luby("smoke", &hub, 0),
+        run_matching_ext("smoke", &hub, 0),
+        run_edge_coloring_ext("smoke", &hub, 0),
+        run_forest_fast("smoke", &hub, 0),
+        run_forest_baseline("smoke", &hub, 0),
+    ] {
+        assert!(row.valid, "{} invalid on hub workload", row.algo);
+    }
+}
+
+#[test]
+fn headline_rows_ordering_at_small_scale() {
+    // Even at n = 1024 the T1.4 ordering must hold: the O(1)-VA coloring
+    // beats the classical one-shot on vertex-average by a wide margin.
+    let gg = forest_workload(1024, 2, 13);
+    let fast = coloring_row("T1.4", "a2logn", &gg, 0, 0);
+    let slow = coloring_row("T1.4b", "arb_linial_oneshot", &gg, 0, 0);
+    assert!(fast.valid && slow.valid);
+    assert!(fast.va * 3.0 < slow.va, "fast {} vs slow {}", fast.va, slow.va);
+    // Identical colorings by construction (same family, same decisions).
+    assert_eq!(fast.colors, slow.colors);
+}
+
+#[test]
+fn randomized_rows_vary_with_seed_but_stay_valid() {
+    let gg = forest_workload(512, 2, 14);
+    let a = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, 1);
+    let b = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, 2);
+    assert!(a.valid && b.valid);
+    assert!(
+        (a.va - b.va).abs() > 1e-9 || a.wc != b.wc,
+        "different seeds should differ somewhere"
+    );
+}

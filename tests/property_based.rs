@@ -1,0 +1,195 @@
+//! Property-based tests (proptest): arbitrary bounded-arboricity graphs →
+//! every protocol's output verifies, the engine's invariants hold, and
+//! the combinatorial substrates keep their promises.
+
+use distsym::algos::coloring::a2logn::ColoringA2LogN;
+use distsym::algos::coverfree::CoverFree;
+use distsym::algos::forests::{self, ParallelizedForestDecomposition};
+use distsym::algos::mis::MisExtension;
+use distsym::algos::partition::{degree_cap, run_partition};
+use distsym::algos::rand_coloring::delta_plus_one::RandDeltaPlusOne;
+use distsym::graphcore::{gen, verify, Graph, IdAssignment};
+use distsym::simlocal::{run, RunConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a forest-union graph with known arboricity.
+fn forest_graph() -> impl Strategy<Value = (Graph, usize)> {
+    (8usize..220, 1usize..5, any::<u64>()).prop_map(|(n, a, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let gg = gen::forest_union(n, a, &mut rng);
+        (gg.graph, a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partition_h_property_holds((g, a) in forest_graph()) {
+        let (h, m) = run_partition(&g, a, 2.0);
+        prop_assert!(verify::h_partition(&g, &h, degree_cap(a, 2.0)).is_ok());
+        prop_assert!(m.check_identities().is_ok());
+        // Lemma 6.2: RoundSum ≤ 2n for ε = 2 (geometric sum bound).
+        prop_assert!(m.round_sum() <= 2 * g.n() as u64 + 2);
+    }
+
+    #[test]
+    fn forest_decomposition_always_valid((g, a) in forest_graph()) {
+        let p = ParallelizedForestDecomposition::new(a);
+        let ids = IdAssignment::identity(g.n());
+        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        let (labels, heads) = forests::assemble(&g, &out.outputs).unwrap();
+        prop_assert!(verify::forest_decomposition(&g, &labels, &heads, p.cap()).is_ok());
+    }
+
+    #[test]
+    fn coloring_always_proper((g, a) in forest_graph()) {
+        let p = ColoringA2LogN::new(a);
+        let ids = IdAssignment::identity(g.n());
+        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        prop_assert!(
+            verify::proper_vertex_coloring(&g, &out.outputs, usize::MAX).is_ok()
+        );
+    }
+
+    #[test]
+    fn mis_always_valid((g, a) in forest_graph()) {
+        let p = MisExtension::new(a);
+        let ids = IdAssignment::identity(g.n());
+        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        prop_assert!(verify::maximal_independent_set(&g, &out.outputs).is_ok());
+    }
+
+    #[test]
+    fn randomized_coloring_proper_any_seed((g, _a) in forest_graph(), seed in any::<u64>()) {
+        let p = RandDeltaPlusOne::new();
+        let ids = IdAssignment::identity(g.n());
+        let out = run(&p, &g, &ids, RunConfig { seed, ..Default::default() }).unwrap();
+        prop_assert!(
+            verify::proper_vertex_coloring(&g, &out.outputs, g.max_degree() + 1).is_ok()
+        );
+    }
+
+    #[test]
+    fn seq_and_parallel_engines_agree((g, a) in forest_graph(), seed in any::<u64>()) {
+        let p = RandDeltaPlusOne::new();
+        let ids = IdAssignment::identity(g.n());
+        let s = run(&p, &g, &ids, RunConfig { seed, ..Default::default() }).unwrap();
+        let r = run(&p, &g, &ids, RunConfig { seed, parallel: true, ..Default::default() })
+            .unwrap();
+        prop_assert_eq!(s.outputs, r.outputs);
+        prop_assert_eq!(s.metrics, r.metrics);
+        let _ = a;
+    }
+
+    #[test]
+    fn cover_free_property_random_probes(
+        p0 in 64u64..100_000,
+        a in 1u64..8,
+        picks in proptest::collection::vec(any::<u64>(), 2..8)
+    ) {
+        let fam = CoverFree::for_palette(p0, a);
+        let vals: Vec<u64> = picks.iter().map(|x| x % p0).collect();
+        let mine = vals[0];
+        let others: Vec<u64> =
+            vals[1..].iter().copied().filter(|&v| v != mine).take(a as usize).collect();
+        let c = fam.reduce(mine, &others);
+        // The chosen element is in F_mine and in no F_other.
+        prop_assert!(fam.set_of(mine).any(|e| e == c));
+        for &o in &others {
+            prop_assert!(!fam.set_of(o).any(|e| e == c));
+        }
+    }
+
+    #[test]
+    fn degeneracy_brackets_construction_arboricity((g, a) in forest_graph()) {
+        let est = distsym::graphcore::arboricity::estimate(&g);
+        prop_assert!(est.lower <= a.max(1), "NW bound {} exceeds construction {a}", est.lower);
+        prop_assert!(est.upper <= 2 * a.max(1), "degeneracy {} > 2a", est.upper);
+    }
+
+    #[test]
+    fn subgraph_roundtrip(members in proptest::collection::vec(any::<bool>(), 10..60)) {
+        let n = members.len();
+        let g = gen::cycle(n.max(3));
+        let members = if members.len() == g.n() { members } else { vec![true; g.n()] };
+        let sub = distsym::graphcore::InducedSubgraph::new(&g, &members);
+        // Every subgraph edge maps to a parent edge with both endpoints in.
+        for (_, (u, v)) in sub.graph.edges() {
+            let pu = sub.to_parent[u as usize];
+            let pv = sub.to_parent[v as usize];
+            prop_assert!(g.has_edge(pu, pv));
+            prop_assert!(members[pu as usize] && members[pv as usize]);
+        }
+        prop_assert!(sub.graph.check_invariants());
+    }
+}
+
+/// Second battery: substrate-level properties.
+mod substrate {
+    use distsym::algos::inset::KwSchedule;
+    use distsym::graphcore::{gen, io, orientation, Graph};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn any_graph() -> impl Strategy<Value = Graph> {
+        (3usize..150, 0.0f64..0.2, any::<u64>()).prop_map(|(n, p, seed)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            gen::gnp(n, p, &mut rng).graph
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn edge_list_roundtrips(g in any_graph()) {
+            let back = io::from_edge_list(&io::to_edge_list(&g)).unwrap();
+            prop_assert_eq!(&g, &back);
+            let back = io::from_dimacs(&io::to_dimacs(&g)).unwrap();
+            prop_assert_eq!(g, back);
+        }
+
+        #[test]
+        fn orient_by_key_always_acyclic(g in any_graph(), salt in any::<u64>()) {
+            // Any injective-ish key gives an acyclic orientation; ties are
+            // broken by index, so even a constant key works.
+            let o = orientation::orient_by_key(&g, |v| (v as u64).wrapping_mul(salt | 1));
+            prop_assert!(o.is_total());
+            prop_assert!(o.is_acyclic(&g));
+            // Handshake: out-degrees sum to m.
+            let total: usize = g.vertices().map(|v| o.out_degree(&g, v)).sum();
+            prop_assert_eq!(total, g.m());
+        }
+
+        #[test]
+        fn kw_schedule_monotone_and_reaches_target(p0 in 2u64..5000, cap in 1u64..24) {
+            let s = KwSchedule::new(p0, cap);
+            prop_assert_eq!(s.final_palette(), cap + 1);
+            // Rounds bounded by k · ceil(log2(p0 / k) + 1) + k.
+            let k = cap + 1;
+            let bound = k as u32 * (64 - (p0 / k).leading_zeros() + 2);
+            prop_assert!(s.rounds() <= bound, "rounds {} > bound {}", s.rounds(), bound);
+        }
+
+        #[test]
+        fn components_partition_vertices(g in any_graph()) {
+            let c = distsym::graphcore::stats::components(&g);
+            prop_assert!(c.count as usize <= g.n().max(1));
+            for (_, (u, v)) in g.edges() {
+                prop_assert_eq!(c.label[u as usize], c.label[v as usize]);
+            }
+        }
+
+        #[test]
+        fn degree_histogram_consistent(g in any_graph()) {
+            let h = distsym::graphcore::stats::degree_histogram(&g);
+            prop_assert_eq!(h.iter().sum::<usize>(), g.n());
+            let half_edges: usize = h.iter().enumerate().map(|(d, &c)| d * c).sum();
+            prop_assert_eq!(half_edges, 2 * g.m());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Degenerate inputs: single vertices, single edges, and triangles must
+//! flow through every protocol without panics and with valid outputs —
+//! the schedules collapse to their clamped minima here.
+
+use distsym::algos::{
+    arb_color::ArbColor,
+    arbdefective::ArbdefectiveColoring,
+    baselines::{ArbLinialFull, ArbLinialOneShot, GlobalLinial, GlobalLinialKw},
+    coloring::{
+        a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN,
+        delta_plus_one::DeltaPlusOneColoring, ka::ColoringKa, ka2::ColoringKa2,
+        oa_recolor::ColoringOaRecolor,
+    },
+    edge_coloring::{self, EdgeColoringExtension},
+    legal_coloring::LegalColoring,
+    matching::{self, MatchingExtension},
+    mis::{LubyMis, MisExtension},
+    one_plus_eta::OnePlusEtaArbCol,
+    pipeline::ColorThenCensus,
+    rand_coloring::{a_loglog::RandALogLog, delta_plus_one::RandDeltaPlusOne},
+    Partition,
+};
+use distsym::graphcore::{gen, verify, Graph, GraphBuilder, IdAssignment};
+use distsym::simlocal::run_seq;
+
+fn tiny_graphs() -> Vec<Graph> {
+    vec![
+        GraphBuilder::new(1).build(),            // isolated vertex
+        GraphBuilder::new(2).edge(0, 1).build(), // one edge
+        gen::path(3),
+        gen::clique(3),                          // triangle
+        GraphBuilder::new(4).edges([(0, 1)]).build(), // edge + 2 isolated
+    ]
+}
+
+#[test]
+fn colorings_survive_tiny_graphs() {
+    for g in tiny_graphs() {
+        let ids = IdAssignment::identity(g.n());
+        let a = 2; // safe over-declaration for all of these
+        macro_rules! check {
+            ($p:expr) => {{
+                let out = run_seq(&$p, &g, &ids).unwrap();
+                verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, usize::MAX));
+                out.metrics.check_identities().unwrap();
+            }};
+        }
+        check!(ColoringA2LogN::new(a));
+        check!(ColoringA2LogLog::new(a));
+        check!(ColoringOaRecolor::new(a));
+        check!(ColoringKa::new(a, 2));
+        check!(ColoringKa2::new(a, 2));
+        check!(DeltaPlusOneColoring::new(a));
+        check!(OnePlusEtaArbCol::new(a, 4));
+        check!(LegalColoring::new(a, 6));
+        check!(ArbColor::new(a));
+        check!(ArbLinialOneShot::new(a));
+        check!(ArbLinialFull::new(a));
+        check!(GlobalLinial::new());
+        check!(GlobalLinialKw::new());
+        check!(RandDeltaPlusOne::new());
+        check!(RandALogLog::new(a));
+    }
+}
+
+#[test]
+fn set_problems_survive_tiny_graphs() {
+    for g in tiny_graphs() {
+        let ids = IdAssignment::identity(g.n());
+        let out = run_seq(&Partition::new(2), &g, &ids).unwrap();
+        assert!(out.outputs.iter().all(|&h| h >= 1));
+
+        let out = run_seq(&MisExtension::new(2), &g, &ids).unwrap();
+        verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
+
+        let out = run_seq(&LubyMis, &g, &ids).unwrap();
+        verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
+
+        let out = run_seq(&MatchingExtension::new(2), &g, &ids).unwrap();
+        let (mm, _) = matching::assemble(&g, &out).unwrap();
+        verify::assert_ok(verify::maximal_matching(&g, &mm));
+
+        let out = run_seq(&EdgeColoringExtension::new(2), &g, &ids).unwrap();
+        let (colors, _) = edge_coloring::assemble(&g, &out).unwrap();
+        verify::assert_ok(verify::proper_edge_coloring(
+            &g,
+            &colors,
+            EdgeColoringExtension::palette(&g) as usize,
+        ));
+
+        let out = run_seq(&ArbdefectiveColoring::new(2, 4), &g, &ids).unwrap();
+        assert_eq!(out.outputs.len(), g.n());
+    }
+}
+
+#[test]
+fn pipeline_survives_tiny_graphs() {
+    for g in tiny_graphs() {
+        let ids = IdAssignment::identity(g.n());
+        let out = run_seq(&ColorThenCensus::new(2, 3), &g, &ids).unwrap();
+        for v in g.vertices() {
+            let o = &out.outputs[v as usize];
+            // Closed-neighborhood census on tiny graphs is deg + 1 when
+            // all colors are distinct (they are, on these inputs).
+            assert_eq!(o.distinct_in_neighborhood, g.degree(v) + 1);
+        }
+    }
+}
+
+#[test]
+fn single_vertex_terminates_in_constant_rounds() {
+    let g = GraphBuilder::new(1).build();
+    let ids = IdAssignment::identity(1);
+    let out = run_seq(&ColoringA2LogN::new(1), &g, &ids).unwrap();
+    assert!(out.metrics.worst_case() <= 3);
+}
