@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo gate: formatting, lints (warnings are errors), full test suite.
+# Run from the repo root. Offline — no network access required.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace"
+cargo test --workspace -q
+
+echo "CI gate passed."

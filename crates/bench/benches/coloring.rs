@@ -11,14 +11,14 @@ use algos::rand_coloring::{a_loglog::RandALogLog, delta_plus_one::RandDeltaPlusO
 use benchharness::{forest_workload, hub_workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphcore::IdAssignment;
-use simlocal::{run, Protocol, RunConfig};
+use simlocal::{Protocol, Runner};
 
 const N: usize = 1 << 12;
 
 fn timed<P: Protocol>(c: &mut Criterion, name: &str, p: &P, gg: &graphcore::gen::GenGraph) {
     let ids = IdAssignment::identity(gg.graph.n());
     c.bench_function(name, |b| {
-        b.iter(|| run(p, &gg.graph, &ids, RunConfig::default()).unwrap())
+        b.iter(|| Runner::new(p, &gg.graph, &ids).run().unwrap())
     });
 }
 
@@ -35,10 +35,20 @@ fn bench_table1_rows(c: &mut Criterion) {
     timed(c, "t1_rand_a_loglog", &RandALogLog::new(2), &gg);
 
     let gg16 = forest_workload(N, 16, 4);
-    timed(c, "t1_one_plus_eta_a16", &OnePlusEtaArbCol::new(16, 4), &gg16);
+    timed(
+        c,
+        "t1_one_plus_eta_a16",
+        &OnePlusEtaArbCol::new(16, 4),
+        &gg16,
+    );
 
     let hub = hub_workload(N, 2, 64, 5);
-    timed(c, "t1_delta_plus_one_hub", &DeltaPlusOneColoring::new(2), &hub);
+    timed(
+        c,
+        "t1_delta_plus_one_hub",
+        &DeltaPlusOneColoring::new(2),
+        &hub,
+    );
 }
 
 criterion_group! {

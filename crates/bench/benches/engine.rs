@@ -1,13 +1,47 @@
 //! Criterion bench: the simulator engine itself — sequential vs
-//! Rayon-parallel round execution (ablation AB.4), and raw round
-//! throughput on a cheap protocol.
+//! parallel round execution (ablation AB.4), raw round throughput on a
+//! cheap protocol, and the sparse engine against the retained dense
+//! reference on a fast-decay workload (the gap that motivated the
+//! sparse-round redesign: work ∝ RoundSum vs work ∝ n × rounds).
 
 use algos::coloring::a2_loglog::ColoringA2LogLog;
 use algos::Partition;
 use benchharness::forest_workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graphcore::IdAssignment;
-use simlocal::{run, RunConfig};
+use graphcore::{Graph, IdAssignment, VertexId};
+use simlocal::{run_reference, Protocol, Runner, StepCtx, Transition};
+
+/// Synthetic fast-decay protocol with a chunky (32-byte) state: vertex
+/// `v` terminates in round `1 + trailing_zeros(v+1)`, so half the graph
+/// leaves every round — RoundSum ≈ 2n against a Θ(log n) worst case.
+/// The state size makes the dense engine's per-round full-buffer clone
+/// visible; the sparse engine never touches retired vertices.
+struct GeomDecay;
+
+impl Protocol for GeomDecay {
+    type State = [u64; 4];
+    type Output = u64;
+
+    fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> [u64; 4] {
+        [ids.id(v), 0, 0, 0]
+    }
+
+    fn step(&self, ctx: StepCtx<'_, [u64; 4]>) -> Transition<[u64; 4], u64> {
+        let best = ctx
+            .view
+            .neighbors()
+            .map(|(_, s)| s[0])
+            .chain([ctx.state[0]])
+            .max()
+            .unwrap();
+        let life = 1 + (ctx.v as u64 + 1).trailing_zeros();
+        if ctx.round >= life {
+            Transition::Terminate([best, 0, 0, 0], best)
+        } else {
+            Transition::Continue([best, ctx.round as u64, 0, 0])
+        }
+    }
+}
 
 fn bench_engine_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_seq_vs_par");
@@ -16,13 +50,10 @@ fn bench_engine_modes(c: &mut Criterion) {
         let ids = IdAssignment::identity(n);
         let p = ColoringA2LogLog::new(2);
         group.bench_with_input(BenchmarkId::new("seq", n), &gg, |b, gg| {
-            b.iter(|| run(&p, &gg.graph, &ids, RunConfig::default()).unwrap())
+            b.iter(|| Runner::new(&p, &gg.graph, &ids).run().unwrap())
         });
         group.bench_with_input(BenchmarkId::new("par", n), &gg, |b, gg| {
-            b.iter(|| {
-                run(&p, &gg.graph, &ids, RunConfig { parallel: true, ..Default::default() })
-                    .unwrap()
-            })
+            b.iter(|| Runner::new(&p, &gg.graph, &ids).parallel().run().unwrap())
         });
     }
     group.finish();
@@ -32,13 +63,44 @@ fn bench_round_throughput(c: &mut Criterion) {
     let gg = forest_workload(1 << 16, 2, 8);
     let ids = IdAssignment::identity(1 << 16);
     c.bench_function("engine_partition_64k", |b| {
-        b.iter(|| run(&Partition::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+        b.iter(|| {
+            Runner::new(&Partition::new(2), &gg.graph, &ids)
+                .run()
+                .unwrap()
+        })
     });
+}
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    // Partition on nested shells (the Theorem 6.3 separation witness)
+    // peels one shell per round with ε < 1: worst case Θ(log n), VA O(1).
+    // RoundSum stays ≈ 2n while the dense engine touches n × Θ(log n)
+    // vertices — the configuration where sparse rounds win the most.
+    let mut group = c.benchmark_group("engine_sparse_vs_dense");
+    for levels in [14u32, 16] {
+        let gg = graphcore::gen::nested_shells(levels, 2);
+        let n = gg.graph.n();
+        let ids = IdAssignment::identity(n);
+        let p = Partition::with_epsilon(2, 0.5);
+        group.bench_with_input(BenchmarkId::new("partition_sparse", n), &gg, |b, gg| {
+            b.iter(|| Runner::new(&p, &gg.graph, &ids).run().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("partition_dense", n), &gg, |b, gg| {
+            b.iter(|| run_reference(&p, &gg.graph, &ids, 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("geom_decay_sparse", n), &gg, |b, gg| {
+            b.iter(|| Runner::new(&GeomDecay, &gg.graph, &ids).run().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("geom_decay_dense", n), &gg, |b, gg| {
+            b.iter(|| run_reference(&GeomDecay, &gg.graph, &ids, 0).unwrap())
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_modes, bench_round_throughput
+    targets = bench_engine_modes, bench_round_throughput, bench_sparse_vs_dense
 }
 criterion_main!(benches);

@@ -8,7 +8,7 @@ use algos::mis::{LubyMis, MisExtension};
 use benchharness::forest_workload;
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphcore::IdAssignment;
-use simlocal::{run, RunConfig};
+use simlocal::Runner;
 
 const N: usize = 1 << 11;
 
@@ -16,19 +16,27 @@ fn bench_table2(c: &mut Criterion) {
     let gg = forest_workload(N, 2, 6);
     let ids = IdAssignment::identity(N);
     c.bench_function("t2_mis_extension", |b| {
-        b.iter(|| run(&MisExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+        b.iter(|| {
+            Runner::new(&MisExtension::new(2), &gg.graph, &ids)
+                .run()
+                .unwrap()
+        })
     });
     c.bench_function("t2_mis_luby", |b| {
-        b.iter(|| run(&LubyMis, &gg.graph, &ids, RunConfig::default()).unwrap())
+        b.iter(|| Runner::new(&LubyMis, &gg.graph, &ids).run().unwrap())
     });
     c.bench_function("t2_matching_extension", |b| {
         b.iter(|| {
-            run(&MatchingExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap()
+            Runner::new(&MatchingExtension::new(2), &gg.graph, &ids)
+                .run()
+                .unwrap()
         })
     });
     c.bench_function("t2_edge_coloring_extension", |b| {
         b.iter(|| {
-            run(&EdgeColoringExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap()
+            Runner::new(&EdgeColoringExtension::new(2), &gg.graph, &ids)
+                .run()
+                .unwrap()
         })
     });
 }

@@ -8,7 +8,7 @@ use algos::Partition;
 use benchharness::forest_workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphcore::IdAssignment;
-use simlocal::{run, RunConfig};
+use simlocal::Runner;
 
 fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition");
@@ -16,7 +16,11 @@ fn bench_partition(c: &mut Criterion) {
         let gg = forest_workload(n, 2, 1);
         let ids = IdAssignment::identity(n);
         group.bench_with_input(BenchmarkId::new("procedure_partition", n), &gg, |b, gg| {
-            b.iter(|| run(&Partition::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+            b.iter(|| {
+                Runner::new(&Partition::new(2), &gg.graph, &ids)
+                    .run()
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -29,24 +33,16 @@ fn bench_forest_decomposition(c: &mut Criterion) {
         let ids = IdAssignment::identity(n);
         group.bench_with_input(BenchmarkId::new("parallelized", n), &gg, |b, gg| {
             b.iter(|| {
-                run(
-                    &ParallelizedForestDecomposition::new(3),
-                    &gg.graph,
-                    &ids,
-                    RunConfig::default(),
-                )
-                .unwrap()
+                Runner::new(&ParallelizedForestDecomposition::new(3), &gg.graph, &ids)
+                    .run()
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &gg, |b, gg| {
             b.iter(|| {
-                run(
-                    &ForestDecompositionBaseline::new(3),
-                    &gg.graph,
-                    &ids,
-                    RunConfig::default(),
-                )
-                .unwrap()
+                Runner::new(&ForestDecompositionBaseline::new(3), &gg.graph, &ids)
+                    .run()
+                    .unwrap()
             })
         });
     }

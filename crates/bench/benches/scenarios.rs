@@ -7,7 +7,7 @@ use algos::coloring::a2logn::ColoringA2LogN;
 use benchharness::forest_workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphcore::IdAssignment;
-use simlocal::{run, RunConfig};
+use simlocal::Runner;
 
 fn bench_simulation_efficiency(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_efficiency");
@@ -15,11 +15,17 @@ fn bench_simulation_efficiency(c: &mut Criterion) {
         let gg = forest_workload(n, 2, 9);
         let ids = IdAssignment::identity(n);
         group.bench_with_input(BenchmarkId::new("va_optimized", n), &gg, |b, gg| {
-            b.iter(|| run(&ColoringA2LogN::new(2), &gg.graph, &ids, RunConfig::default()).unwrap())
+            b.iter(|| {
+                Runner::new(&ColoringA2LogN::new(2), &gg.graph, &ids)
+                    .run()
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("classical", n), &gg, |b, gg| {
             b.iter(|| {
-                run(&ArbLinialOneShot::new(2), &gg.graph, &ids, RunConfig::default()).unwrap()
+                Runner::new(&ArbLinialOneShot::new(2), &gg.graph, &ids)
+                    .run()
+                    .unwrap()
             })
         });
     }

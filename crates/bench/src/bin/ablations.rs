@@ -16,7 +16,7 @@ use algos::one_plus_eta::OnePlusEtaArbCol;
 use algos::partition::{degree_cap, run_partition};
 use benchharness::{coloring_row, forest_workload, print_rows, run_coloring, Cli};
 use graphcore::IdAssignment;
-use simlocal::{run, RunConfig};
+use simlocal::Runner;
 use std::time::Instant;
 
 fn main() {
@@ -60,7 +60,13 @@ fn main() {
         let mut rows = Vec::new();
         for c in [2usize, 4, 8] {
             let p = OnePlusEtaArbCol::new(16, c);
-            rows.push(run_coloring("AB.3", &format!("one_plus_eta C={c}"), &p, &gg, 0));
+            rows.push(run_coloring(
+                "AB.3",
+                &format!("one_plus_eta C={c}"),
+                &p,
+                &gg,
+                0,
+            ));
         }
         print_rows("AB.3: One-Plus-Eta — constant C vs colors and VA", &rows);
     }
@@ -71,16 +77,10 @@ fn main() {
         let ids = IdAssignment::identity(gg.graph.n());
         let p = algos::coloring::a2_loglog::ColoringA2LogLog::new(2);
         let t0 = Instant::now();
-        let seq = run(&p, &gg.graph, &ids, RunConfig::default()).unwrap();
+        let seq = Runner::new(&p, &gg.graph, &ids).run().unwrap();
         let t_seq = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let par = run(
-            &p,
-            &gg.graph,
-            &ids,
-            RunConfig { parallel: true, ..Default::default() },
-        )
-        .unwrap();
+        let par = Runner::new(&p, &gg.graph, &ids).parallel().run().unwrap();
         let t_par = t1.elapsed().as_secs_f64() * 1e3;
         assert_eq!(seq.outputs, par.outputs, "engines must agree bit-for-bit");
         assert_eq!(seq.metrics, par.metrics);

@@ -16,7 +16,9 @@
 //! Usage: `figures [--quick] [F.1 ...]`
 
 use algos::partition::run_partition;
-use benchharness::{coloring_row, forest_workload, n_sweep, print_rows, run_forest_baseline, run_forest_fast, Cli};
+use benchharness::{
+    coloring_row, forest_workload, n_sweep, print_rows, run_forest_baseline, run_forest_fast, Cli,
+};
 
 fn main() {
     let cli = Cli::parse();
@@ -37,7 +39,10 @@ fn main() {
 
     if cli.wants("F.2") {
         println!("\n== F.2: Theorem 6.3 — Partition VA flat, WC grows ==");
-        println!("{:>14} {:>8} {:>10} {:>8} {:>8}", "family", "n", "roundsum", "va", "wc");
+        println!(
+            "{:>14} {:>8} {:>10} {:>8} {:>8}",
+            "family", "n", "roundsum", "va", "wc"
+        );
         for &n in &ns {
             let gg = forest_workload(n, 2, 62);
             let (_, m) = run_partition(&gg.graph, 2, 2.0);
@@ -49,7 +54,14 @@ fn main() {
                 m.vertex_averaged(),
                 m.worst_case()
             );
-            println!("#series,F.2,{},{},{},{:.4},{}", gg.family, n, m.round_sum(), m.vertex_averaged(), m.worst_case());
+            println!(
+                "#series,F.2,{},{},{},{:.4},{}",
+                gg.family,
+                n,
+                m.round_sum(),
+                m.vertex_averaged(),
+                m.worst_case()
+            );
         }
         // The adversarial nested-shell witness: one shell retires per
         // O(1) rounds, so the worst case is Θ(log n) while the average
@@ -84,7 +96,10 @@ fn main() {
             rows.push(run_forest_fast("F.3", &gg, 0));
             rows.push(run_forest_baseline("F.3b", &gg, 0));
         }
-        print_rows("F.3: Theorem 7.1 — forest decomposition VA O(1) vs WC Θ(log n)", &rows);
+        print_rows(
+            "F.3: Theorem 7.1 — forest decomposition VA O(1) vs WC Θ(log n)",
+            &rows,
+        );
     }
 
     if cli.wants("F.4") {
@@ -108,12 +123,14 @@ fn main() {
                 rows.push(coloring_row("F.5", "rand_delta_plus_one", &gg, 0, seed));
             }
         }
-        print_rows("F.5: randomized (Δ+1) VA across seeds (concentration)", &rows);
+        print_rows(
+            "F.5: randomized (Δ+1) VA across seeds (concentration)",
+            &rows,
+        );
         // Aggregate: per n, min/mean/max VA.
         println!("{:>8} {:>8} {:>8} {:>8}", "n", "min", "mean", "max");
         for &n in &ns {
-            let vas: Vec<f64> =
-                rows.iter().filter(|r| r.n == n).map(|r| r.va).collect();
+            let vas: Vec<f64> = rows.iter().filter(|r| r.n == n).map(|r| r.va).collect();
             let mean = vas.iter().sum::<f64>() / vas.len() as f64;
             let min = vas.iter().cloned().fold(f64::MAX, f64::min);
             let max = vas.iter().cloned().fold(0.0, f64::max);
@@ -131,6 +148,9 @@ fn main() {
             rows.push(coloring_row("F.6", "ka2", &gg, k, 0));
             rows.push(coloring_row("F.6", "ka", &gg, k, 0));
         }
-        print_rows("F.6: segmentation frontier — colors vs VA as k sweeps", &rows);
+        print_rows(
+            "F.6: segmentation frontier — colors vs VA as k sweeps",
+            &rows,
+        );
     }
 }

@@ -14,13 +14,13 @@
 //!
 //! Usage: `scenarios [--quick] [X.1 ...]`
 
+use algos::baselines::ArbLinialOneShot;
+use algos::coloring::a2logn::ColoringA2LogN;
 use algos::mis::MisExtension;
 use algos::pipeline::ColorThenCensus;
-use algos::coloring::a2logn::ColoringA2LogN;
-use algos::baselines::ArbLinialOneShot;
 use benchharness::{forest_workload, n_sweep, Cli};
 use graphcore::IdAssignment;
-use simlocal::{run, RunConfig};
+use simlocal::Runner;
 use std::time::Instant;
 
 fn main() {
@@ -39,10 +39,10 @@ fn main() {
             let fast = ColoringA2LogN::new(2);
             let slow = ArbLinialOneShot::new(2);
             let t0 = Instant::now();
-            let out_fast = run(&fast, &gg.graph, &ids, RunConfig::default()).unwrap();
+            let out_fast = Runner::new(&fast, &gg.graph, &ids).run().unwrap();
             let ms_fast = t0.elapsed().as_secs_f64() * 1e3;
             let t1 = Instant::now();
-            let out_slow = run(&slow, &gg.graph, &ids, RunConfig::default()).unwrap();
+            let out_slow = Runner::new(&slow, &gg.graph, &ids).run().unwrap();
             let ms_slow = t1.elapsed().as_secs_f64() * 1e3;
             let rs_f = out_fast.metrics.round_sum();
             let rs_s = out_slow.metrics.round_sum();
@@ -73,7 +73,7 @@ fn main() {
             // vertex-averaged vs worst-case spread (≈62 vs ≈133 rounds on
             // this workload), so the pipelining gain is visible.
             let fast = MisExtension::new(2);
-            let out = run(&fast, &gg.graph, &ids, RunConfig::default()).unwrap();
+            let out = Runner::new(&fast, &gg.graph, &ids).run().unwrap();
             // Pipelined: vertex v finishes ℬ at term(v) + B rounds.
             let pipe: f64 = out
                 .metrics
@@ -84,7 +84,13 @@ fn main() {
                 / n as f64;
             // Synchronized: everyone waits for the last 𝒜 vertex.
             let sync = (out.metrics.worst_case() + TASK_B_ROUNDS) as f64;
-            println!("{:>8} {:>14.2} {:>14.2} {:>8.2}", n, pipe, sync, sync / pipe);
+            println!(
+                "{:>8} {:>14.2} {:>14.2} {:>8.2}",
+                n,
+                pipe,
+                sync,
+                sync / pipe
+            );
             println!("#series,X.2,{n},{pipe:.3},{sync:.3}");
         }
     }
@@ -99,11 +105,17 @@ fn main() {
             let gg = forest_workload(n, 2, 73);
             let ids = IdAssignment::identity(n);
             let p = ColorThenCensus::new(2, 8);
-            let out = run(&p, &gg.graph, &ids, RunConfig::default()).unwrap();
+            let out = Runner::new(&p, &gg.graph, &ids).run().unwrap();
             let async_avg = out.metrics.vertex_averaged();
             let a_worst = out.outputs.iter().map(|o| o.a_done_round).max().unwrap();
             let sync_avg = (a_worst + 1 + 8) as f64;
-            println!("{:>8} {:>12.2} {:>12.2} {:>8.2}", n, async_avg, sync_avg, sync_avg / async_avg);
+            println!(
+                "{:>8} {:>12.2} {:>12.2} {:>8.2}",
+                n,
+                async_avg,
+                sync_avg,
+                sync_avg / async_avg
+            );
             println!("#series,X.3,{n},{async_avg:.3},{sync_avg:.3}");
         }
     }

@@ -22,8 +22,7 @@ fn main() {
         for &n in &ns {
             for a in [2usize, 4] {
                 let gg = forest_workload(n, a, 42);
-                for (exp, name, k) in
-                    [("T1.1", "ka", 2), ("T1.1", "ka", 3), ("T1.2", "ka_rho", 0)]
+                for (exp, name, k) in [("T1.1", "ka", 2), ("T1.1", "ka", 3), ("T1.2", "ka_rho", 0)]
                 {
                     rows.push(coloring_row(exp, name, &gg, k, 0));
                 }
@@ -84,7 +83,10 @@ fn main() {
                 rows.push(coloring_row("T1.7b", "global_linial_kw", &gg, 0, 0));
             }
         }
-        print_rows("T1.7: det. (Δ+1)-coloring — a-dependent VA vs Δ-dependent WC", &rows);
+        print_rows(
+            "T1.7: det. (Δ+1)-coloring — a-dependent VA vs Δ-dependent WC",
+            &rows,
+        );
     }
 
     // T1.8 — randomized Δ+1 in O(1) VA.

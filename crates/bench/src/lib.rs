@@ -14,7 +14,7 @@
 
 use algos::{baselines, coloring, edge_coloring, forests, itlog, matching, mis, rand_coloring};
 use graphcore::{gen::GenGraph, verify, IdAssignment};
-use simlocal::{run, Protocol, RoundMetrics, RunConfig};
+use simlocal::{EngineStats, Protocol, RoundMetrics, RunConfig, Runner};
 
 /// One measurement row.
 #[derive(Clone, Debug)]
@@ -41,10 +41,16 @@ pub struct Row {
     pub colors: usize,
     /// Whether the output passed its verifier.
     pub valid: bool,
+    /// Engine wall-clock time for the run, in milliseconds.
+    pub wall_ms: f64,
+    /// States published by the engine (equals the run's RoundSum).
+    pub pubs: u64,
 }
 
 impl Row {
-    /// Builds a row from metrics plus solution facts.
+    /// Builds a row from metrics plus solution facts. Wall time and
+    /// publication counts come from the engine's [`EngineStats`]; use
+    /// [`Row::with_stats`] to attach them.
     #[allow(clippy::too_many_arguments)] // one argument per table column
     pub fn from_metrics(
         exp: &str,
@@ -68,7 +74,16 @@ impl Row {
             p95: m.percentile(95.0),
             colors,
             valid,
+            wall_ms: 0.0,
+            pubs: 0,
         }
+    }
+
+    /// Attaches the engine's wall-time and publication telemetry.
+    pub fn with_stats(mut self, stats: &EngineStats) -> Row {
+        self.wall_ms = stats.wall.as_secs_f64() * 1e3;
+        self.pubs = stats.publications;
+        self
     }
 }
 
@@ -76,26 +91,62 @@ impl Row {
 pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
     println!(
-        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6}",
-        "exp", "algo", "family", "n", "a", "va", "wc", "med", "p95", "colors", "valid"
+        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9} {:>10}",
+        "exp",
+        "algo",
+        "family",
+        "n",
+        "a",
+        "va",
+        "wc",
+        "med",
+        "p95",
+        "colors",
+        "valid",
+        "wall_ms",
+        "pubs"
     );
     for r in rows {
         println!(
-            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6}",
-            r.exp, r.algo, r.family, r.n, r.a, r.va, r.wc, r.median, r.p95, r.colors, r.valid
+            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9.3} {:>10}",
+            r.exp,
+            r.algo,
+            r.family,
+            r.n,
+            r.a,
+            r.va,
+            r.wc,
+            r.median,
+            r.p95,
+            r.colors,
+            r.valid,
+            r.wall_ms,
+            r.pubs
         );
     }
     for r in rows {
         println!(
-            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{}",
-            r.exp, r.algo, r.family, r.n, r.a, r.va, r.wc, r.median, r.p95, r.colors, r.valid
+            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{},{:.4},{}",
+            r.exp,
+            r.algo,
+            r.family,
+            r.n,
+            r.a,
+            r.va,
+            r.wc,
+            r.median,
+            r.p95,
+            r.colors,
+            r.valid,
+            r.wall_ms,
+            r.pubs
         );
     }
 }
 
 /// Standard run configuration for harness experiments.
 pub fn cfg(seed: u64) -> RunConfig {
-    RunConfig { seed, parallel: false, max_rounds: None }
+    RunConfig::seeded(seed)
 }
 
 /// Runs a coloring-style protocol (output `u64`) and verifies propriety.
@@ -107,34 +158,76 @@ pub fn run_coloring<P: Protocol<Output = u64>>(
     seed: u64,
 ) -> Row {
     let ids = IdAssignment::identity(gg.graph.n());
-    let out = run(p, &gg.graph, &ids, cfg(seed)).expect("protocol terminates");
+    let out = Runner::new(p, &gg.graph, &ids)
+        .config(cfg(seed))
+        .run()
+        .expect("protocol terminates");
     let valid = verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX).is_ok();
     let colors = verify::count_distinct(&out.outputs);
-    Row::from_metrics(exp, algo, gg.family, gg.graph.n(), gg.arboricity, &out.metrics, colors, valid)
+    Row::from_metrics(
+        exp,
+        algo,
+        gg.family,
+        gg.graph.n(),
+        gg.arboricity,
+        &out.metrics,
+        colors,
+        valid,
+    )
+    .with_stats(&out.stats)
 }
 
 /// Runs the §8 MIS protocol.
 pub fn run_mis_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
     let p = mis::MisExtension::new(gg.arboricity);
     let ids = IdAssignment::identity(gg.graph.n());
-    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let out = Runner::new(&p, &gg.graph, &ids)
+        .config(cfg(seed))
+        .run()
+        .expect("terminates");
     let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
-    Row::from_metrics(exp, "mis_extension", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, 0, valid)
+    Row::from_metrics(
+        exp,
+        "mis_extension",
+        gg.family,
+        gg.graph.n(),
+        gg.arboricity,
+        &out.metrics,
+        0,
+        valid,
+    )
+    .with_stats(&out.stats)
 }
 
 /// Runs Luby's MIS baseline.
 pub fn run_mis_luby(exp: &str, gg: &GenGraph, seed: u64) -> Row {
     let ids = IdAssignment::identity(gg.graph.n());
-    let out = run(&mis::LubyMis, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let out = Runner::new(&mis::LubyMis, &gg.graph, &ids)
+        .config(cfg(seed))
+        .run()
+        .expect("terminates");
     let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
-    Row::from_metrics(exp, "mis_luby", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, 0, valid)
+    Row::from_metrics(
+        exp,
+        "mis_luby",
+        gg.family,
+        gg.graph.n(),
+        gg.arboricity,
+        &out.metrics,
+        0,
+        valid,
+    )
+    .with_stats(&out.stats)
 }
 
 /// Runs the §8 edge-coloring protocol (commit metrics).
 pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
     let p = edge_coloring::EdgeColoringExtension::new(gg.arboricity);
     let ids = IdAssignment::identity(gg.graph.n());
-    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let out = Runner::new(&p, &gg.graph, &ids)
+        .config(cfg(seed))
+        .run()
+        .expect("terminates");
     let (colors, commit) = edge_coloring::assemble(&gg.graph, &out).expect("assembles");
     let valid = verify::proper_edge_coloring(
         &gg.graph,
@@ -143,39 +236,88 @@ pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
     )
     .is_ok();
     let used = verify::count_distinct(&colors);
-    Row::from_metrics(exp, "edge_col_extension", gg.family, gg.graph.n(), gg.arboricity, &commit, used, valid)
+    Row::from_metrics(
+        exp,
+        "edge_col_extension",
+        gg.family,
+        gg.graph.n(),
+        gg.arboricity,
+        &commit,
+        used,
+        valid,
+    )
+    .with_stats(&out.stats)
 }
 
 /// Runs the §8 maximal-matching protocol (commit metrics).
 pub fn run_matching_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
     let p = matching::MatchingExtension::new(gg.arboricity);
     let ids = IdAssignment::identity(gg.graph.n());
-    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let out = Runner::new(&p, &gg.graph, &ids)
+        .config(cfg(seed))
+        .run()
+        .expect("terminates");
     let (mm, commit) = matching::assemble(&gg.graph, &out).expect("assembles");
     let valid = verify::maximal_matching(&gg.graph, &mm).is_ok();
-    Row::from_metrics(exp, "matching_extension", gg.family, gg.graph.n(), gg.arboricity, &commit, 0, valid)
+    Row::from_metrics(
+        exp,
+        "matching_extension",
+        gg.family,
+        gg.graph.n(),
+        gg.arboricity,
+        &commit,
+        0,
+        valid,
+    )
+    .with_stats(&out.stats)
 }
 
 /// Runs Procedure Parallelized-Forest-Decomposition and verifies.
 pub fn run_forest_fast(exp: &str, gg: &GenGraph, seed: u64) -> Row {
     let p = forests::ParallelizedForestDecomposition::new(gg.arboricity);
     let ids = IdAssignment::identity(gg.graph.n());
-    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let out = Runner::new(&p, &gg.graph, &ids)
+        .config(cfg(seed))
+        .run()
+        .expect("terminates");
     let valid = forests::assemble(&gg.graph, &out.outputs)
         .map(|(labels, heads)| {
             verify::forest_decomposition(&gg.graph, &labels, &heads, p.cap()).is_ok()
         })
         .unwrap_or(false);
-    Row::from_metrics(exp, "forest_parallelized", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, p.cap(), valid)
+    Row::from_metrics(
+        exp,
+        "forest_parallelized",
+        gg.family,
+        gg.graph.n(),
+        gg.arboricity,
+        &out.metrics,
+        p.cap(),
+        valid,
+    )
+    .with_stats(&out.stats)
 }
 
 /// Runs the worst-case forest-decomposition baseline.
 pub fn run_forest_baseline(exp: &str, gg: &GenGraph, seed: u64) -> Row {
     let p = forests::ForestDecompositionBaseline::new(gg.arboricity);
     let ids = IdAssignment::identity(gg.graph.n());
-    let out = run(&p, &gg.graph, &ids, cfg(seed)).expect("terminates");
+    let out = Runner::new(&p, &gg.graph, &ids)
+        .config(cfg(seed))
+        .run()
+        .expect("terminates");
     let valid = forests::assemble(&gg.graph, &out.outputs).is_ok();
-    Row::from_metrics(exp, "forest_baseline", gg.family, gg.graph.n(), gg.arboricity, &out.metrics, 0, valid)
+    Row::from_metrics(
+        exp,
+        "forest_baseline",
+        gg.family,
+        gg.graph.n(),
+        gg.arboricity,
+        &out.metrics,
+        0,
+        valid,
+    )
+    .with_stats(&out.stats)
 }
 
 /// All coloring algorithm constructors keyed by a short name, so binaries
@@ -184,21 +326,43 @@ pub fn coloring_row(exp: &str, name: &str, gg: &GenGraph, k: u32, seed: u64) -> 
     let a = gg.arboricity;
     let n = gg.graph.n() as u64;
     match name {
-        "a2logn" => run_coloring(exp, name, &coloring::a2logn::ColoringA2LogN::new(a), gg, seed),
-        "a2_loglog" => {
-            run_coloring(exp, name, &coloring::a2_loglog::ColoringA2LogLog::new(a), gg, seed)
-        }
-        "oa_recolor" => {
-            run_coloring(exp, name, &coloring::oa_recolor::ColoringOaRecolor::new(a), gg, seed)
-        }
+        "a2logn" => run_coloring(
+            exp,
+            name,
+            &coloring::a2logn::ColoringA2LogN::new(a),
+            gg,
+            seed,
+        ),
+        "a2_loglog" => run_coloring(
+            exp,
+            name,
+            &coloring::a2_loglog::ColoringA2LogLog::new(a),
+            gg,
+            seed,
+        ),
+        "oa_recolor" => run_coloring(
+            exp,
+            name,
+            &coloring::oa_recolor::ColoringOaRecolor::new(a),
+            gg,
+            seed,
+        ),
         "ka2" => run_coloring(exp, name, &coloring::ka2::ColoringKa2::new(a, k), gg, seed),
-        "ka2_rho" => {
-            run_coloring(exp, name, &coloring::ka2::ColoringKa2::rho_instance(a, n), gg, seed)
-        }
+        "ka2_rho" => run_coloring(
+            exp,
+            name,
+            &coloring::ka2::ColoringKa2::rho_instance(a, n),
+            gg,
+            seed,
+        ),
         "ka" => run_coloring(exp, name, &coloring::ka::ColoringKa::new(a, k), gg, seed),
-        "ka_rho" => {
-            run_coloring(exp, name, &coloring::ka::ColoringKa::rho_instance(a, n), gg, seed)
-        }
+        "ka_rho" => run_coloring(
+            exp,
+            name,
+            &coloring::ka::ColoringKa::rho_instance(a, n),
+            gg,
+            seed,
+        ),
         "delta_plus_one" => run_coloring(
             exp,
             name,
@@ -227,22 +391,22 @@ pub fn coloring_row(exp: &str, name: &str, gg: &GenGraph, k: u32, seed: u64) -> 
             gg,
             seed,
         ),
-        "rand_a_loglog" => {
-            run_coloring(exp, name, &rand_coloring::a_loglog::RandALogLog::new(a), gg, seed)
-        }
+        "rand_a_loglog" => run_coloring(
+            exp,
+            name,
+            &rand_coloring::a_loglog::RandALogLog::new(a),
+            gg,
+            seed,
+        ),
         "arb_color_baseline" => {
             run_coloring(exp, name, &algos::arb_color::ArbColor::new(a), gg, seed)
         }
         "arb_linial_oneshot" => {
             run_coloring(exp, name, &baselines::ArbLinialOneShot::new(a), gg, seed)
         }
-        "arb_linial_full" => {
-            run_coloring(exp, name, &baselines::ArbLinialFull::new(a), gg, seed)
-        }
+        "arb_linial_full" => run_coloring(exp, name, &baselines::ArbLinialFull::new(a), gg, seed),
         "global_linial" => run_coloring(exp, name, &baselines::GlobalLinial::new(), gg, seed),
-        "global_linial_kw" => {
-            run_coloring(exp, name, &baselines::GlobalLinialKw::new(), gg, seed)
-        }
+        "global_linial_kw" => run_coloring(exp, name, &baselines::GlobalLinialKw::new(), gg, seed),
         other => panic!("unknown algorithm {other}"),
     }
 }
@@ -335,10 +499,16 @@ mod tests {
 
     #[test]
     fn cli_filters() {
-        let cli = Cli { quick: true, filters: vec!["T1.2".into()] };
+        let cli = Cli {
+            quick: true,
+            filters: vec!["T1.2".into()],
+        };
         assert!(cli.wants("T1.2"));
         assert!(!cli.wants("T1.3"));
-        let all = Cli { quick: false, filters: vec![] };
+        let all = Cli {
+            quick: false,
+            filters: vec![],
+        };
         assert!(all.wants("anything"));
     }
 }

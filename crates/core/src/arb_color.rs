@@ -52,7 +52,11 @@ pub struct ArbColor {
 impl ArbColor {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ArbColor { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+        ArbColor {
+            arboricity,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`; the final palette is `A + 1` colors.
@@ -89,10 +93,16 @@ impl Protocol for ArbColor {
         let d = sched.rounds();
         match ctx.state.clone() {
             SArb::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SArb::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SArb::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
-                    Transition::Continue(SArb::InSet { h: ctx.round, c: ctx.my_id() })
+                    Transition::Continue(SArb::InSet {
+                        h: ctx.round,
+                        c: ctx.my_id(),
+                    })
                 } else {
                     Transition::Continue(SArb::Active)
                 }
@@ -112,7 +122,10 @@ impl Protocol for ArbColor {
                     .collect();
                 let next = sched.step(i, c, &peers);
                 if i + 1 == d {
-                    Transition::Continue(SArb::Wait { h, local: sched.finish(next) })
+                    Transition::Continue(SArb::Wait {
+                        h,
+                        local: sched.finish(next),
+                    })
                 } else {
                     Transition::Continue(SArb::InSet { h, c: next })
                 }
@@ -162,8 +175,18 @@ impl ArbColor {
                 }
             }
         }
-        let rec = used.iter().position(|&u| !u).expect("A+1 palette vs ≤ A parents") as u64;
-        Transition::Terminate(SArb::Done { h, local: my_local, rec }, rec)
+        let rec = used
+            .iter()
+            .position(|&u| !u)
+            .expect("A+1 palette vs ≤ A parents") as u64;
+        Transition::Terminate(
+            SArb::Done {
+                h,
+                local: my_local,
+                rec,
+            },
+            rec,
+        )
     }
 }
 
@@ -177,8 +200,12 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize) -> (f64, u32) {
         let p = ArbColor::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
-        verify::assert_ok(verify::proper_vertex_coloring(g, &out.outputs, p.palette() as usize));
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
+        verify::assert_ok(verify::proper_vertex_coloring(
+            g,
+            &out.outputs,
+            p.palette() as usize,
+        ));
         (out.metrics.vertex_averaged(), out.metrics.worst_case())
     }
 
@@ -202,7 +229,7 @@ mod tests {
         let gg = gen::forest_union(4096, 2, &mut rng);
         let p = ArbColor::new(2);
         let ids = IdAssignment::identity(4096);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         let l = itlog::partition_round_bound(4096, 2.0) as f64;
         assert!(out.metrics.vertex_averaged() >= l);
     }
@@ -220,6 +247,9 @@ mod tests {
         let g2 = gen::forest_union(8192, 2, &mut rng);
         let (va1, _) = run_and_verify(&g1.graph, 2);
         let (va2, _) = run_and_verify(&g2.graph, 2);
-        assert!(va2 > va1 + 2.0, "baseline VA should grow with n: {va1} -> {va2}");
+        assert!(
+            va2 > va1 + 2.0,
+            "baseline VA should grow with n: {va1} -> {va2}"
+        );
     }
 }

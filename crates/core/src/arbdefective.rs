@@ -59,7 +59,12 @@ impl ArbdefectiveColoring {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize, k: u32) -> Self {
         assert!(k >= 1);
-        ArbdefectiveColoring { arboricity, k, epsilon: 2.0, sched: OnceLock::new() }
+        ArbdefectiveColoring {
+            arboricity,
+            k,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A` — the orientation's out-degree bound.
@@ -91,10 +96,16 @@ impl Protocol for ArbdefectiveColoring {
         let d = sched.rounds();
         match ctx.state.clone() {
             SArbDef::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SArbDef::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SArbDef::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
-                    Transition::Continue(SArbDef::InSet { h: ctx.round, c: ctx.my_id() })
+                    Transition::Continue(SArbDef::InSet {
+                        h: ctx.round,
+                        c: ctx.my_id(),
+                    })
                 } else {
                     Transition::Continue(SArbDef::Active)
                 }
@@ -114,7 +125,10 @@ impl Protocol for ArbdefectiveColoring {
                     .collect();
                 let next = sched.step(i, c, &peers);
                 if i + 1 == d {
-                    Transition::Continue(SArbDef::Wait { h, local: sched.finish(next) })
+                    Transition::Continue(SArbDef::Wait {
+                        h,
+                        local: sched.finish(next),
+                    })
                 } else {
                     Transition::Continue(SArbDef::InSet { h, c: next })
                 }
@@ -138,12 +152,7 @@ impl ArbdefectiveColoring {
     /// Waits for every parent under the partial orientation (same-set
     /// higher in-set color, later set, or still active / still coloring)
     /// to pick; then takes the group least used among them.
-    fn pick(
-        &self,
-        ctx: &StepCtx<'_, SArbDef>,
-        h: u32,
-        my_local: u64,
-    ) -> Transition<SArbDef, u32> {
+    fn pick(&self, ctx: &StepCtx<'_, SArbDef>, h: u32, my_local: u64) -> Transition<SArbDef, u32> {
         let stay = SArbDef::Wait { h, local: my_local };
         let mut counts = vec![0u32; self.k as usize];
         for (_, s) in ctx.view.neighbors() {
@@ -173,7 +182,14 @@ impl ArbdefectiveColoring {
             .min_by_key(|&(_, c)| *c)
             .map(|(i, _)| i as u32)
             .expect("k ≥ 1 groups");
-        Transition::Terminate(SArbDef::Done { h, local: my_local, g }, g)
+        Transition::Terminate(
+            SArbDef::Done {
+                h,
+                local: my_local,
+                g,
+            },
+            g,
+        )
     }
 }
 
@@ -187,7 +203,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize, k: u32) {
         let p = ArbdefectiveColoring::new(a, k);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         let colors: Vec<u64> = out.outputs.iter().map(|&g| g as u64).collect();
         verify::assert_ok(verify::arbdefective_coloring(
             g,
@@ -224,7 +240,7 @@ mod tests {
         let p = ArbdefectiveColoring::new(2, 64);
         assert_eq!(p.arbdefect(), 0);
         let ids = IdAssignment::identity(300);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         let colors: Vec<u64> = out.outputs.iter().map(|&g| g as u64).collect();
         // Arbdefect 0 means the coloring is a *proper* coloring.
         verify::assert_ok(verify::proper_vertex_coloring(&gg.graph, &colors, 64));
@@ -239,7 +255,7 @@ mod tests {
         let p = ArbdefectiveColoring::new(8, 20);
         assert!(p.arbdefect() < 8);
         let ids = IdAssignment::identity(800);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         for g_idx in 0..20u32 {
             let members: Vec<bool> = out.outputs.iter().map(|&g| g == g_idx).collect();
             let sub = graphcore::InducedSubgraph::new(&gg.graph, &members);

@@ -40,7 +40,9 @@ pub struct GlobalLinial {
 impl GlobalLinial {
     /// Fresh instance.
     pub fn new() -> Self {
-        GlobalLinial { sched: OnceLock::new() }
+        GlobalLinial {
+            sched: OnceLock::new(),
+        }
     }
 
     fn schedule(&self, g: &Graph, ids: &IdAssignment) -> &LinialSchedule {
@@ -94,7 +96,9 @@ pub struct GlobalLinialKw {
 impl GlobalLinialKw {
     /// Fresh instance.
     pub fn new() -> Self {
-        GlobalLinialKw { sched: OnceLock::new() }
+        GlobalLinialKw {
+            sched: OnceLock::new(),
+        }
     }
 
     fn schedule(&self, g: &Graph, ids: &IdAssignment) -> &DeltaPlusOneSchedule {
@@ -147,7 +151,11 @@ pub struct ArbLinialOneShot {
 impl ArbLinialOneShot {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ArbLinialOneShot { arboricity, epsilon: 2.0, fam: OnceLock::new() }
+        ArbLinialOneShot {
+            arboricity,
+            epsilon: 2.0,
+            fam: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -175,8 +183,11 @@ impl Protocol for ArbLinialOneShot {
         let l = itlog::partition_round_bound(ctx.graph.n() as u64, self.epsilon);
         let next = match ctx.state.clone() {
             FState::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, FState::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, FState::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     FState::Joined { h: ctx.round }
                 } else {
@@ -189,7 +200,9 @@ impl Protocol for ArbLinialOneShot {
             return Transition::Continue(next);
         }
         // Round L+1: everyone knows every join round; one Linial step.
-        let FState::Joined { h } = next else { unreachable!("partition done by L") };
+        let FState::Joined { h } = next else {
+            unreachable!("partition done by L")
+        };
         let my_id = ctx.my_id();
         let parents: Vec<u64> = ctx
             .view
@@ -238,7 +251,11 @@ pub enum SAlf {
 impl ArbLinialFull {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ArbLinialFull { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+        ArbLinialFull {
+            arboricity,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -348,21 +365,26 @@ mod tests {
         let g = gen::grid(10, 10);
         let ids = IdAssignment::identity(g.n());
         let p = GlobalLinial::new();
-        let out = simlocal::run_seq(&p, &g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             &g,
             &out.outputs,
             p.palette(&g, &ids) as usize,
         ));
         // log*-ish uniform termination.
-        assert_eq!(out.metrics.worst_case() as f64, out.metrics.vertex_averaged());
+        assert_eq!(
+            out.metrics.worst_case() as f64,
+            out.metrics.vertex_averaged()
+        );
     }
 
     #[test]
     fn global_linial_kw_is_delta_plus_one() {
         let g = gen::cycle(200);
         let ids = IdAssignment::identity(200);
-        let out = simlocal::run_seq(&GlobalLinialKw::new(), &g, &ids).unwrap();
+        let out = simlocal::Runner::new(&GlobalLinialKw::new(), &g, &ids)
+            .run()
+            .unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, 3));
     }
 
@@ -374,14 +396,14 @@ mod tests {
         let gg = gen::forest_union(1024, 2, &mut rng);
         let ids = IdAssignment::identity(1024);
         let base = ArbLinialOneShot::new(2);
-        let slow = simlocal::run_seq(&base, &gg.graph, &ids).unwrap();
+        let slow = simlocal::Runner::new(&base, &gg.graph, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             &gg.graph,
             &slow.outputs,
             base.family(&ids).ground_size() as usize,
         ));
         let fast = crate::coloring::a2logn::ColoringA2LogN::new(2);
-        let quick = simlocal::run_seq(&fast, &gg.graph, &ids).unwrap();
+        let quick = simlocal::Runner::new(&fast, &gg.graph, &ids).run().unwrap();
         assert_eq!(slow.outputs, quick.outputs);
         assert!(
             slow.metrics.vertex_averaged() > 3.0 * quick.metrics.vertex_averaged(),
@@ -397,7 +419,7 @@ mod tests {
         let gg = gen::forest_union(2048, 2, &mut rng);
         let ids = IdAssignment::identity(2048);
         let p = ArbLinialFull::new(2);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             &gg.graph,
             &out.outputs,

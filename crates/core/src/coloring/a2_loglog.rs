@@ -58,7 +58,11 @@ pub struct ColoringA2LogLog {
 impl ColoringA2LogLog {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ColoringA2LogLog { arboricity, epsilon: 2.0, sched: std::sync::OnceLock::new() }
+        ColoringA2LogLog {
+            arboricity,
+            epsilon: 2.0,
+            sched: std::sync::OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -137,8 +141,11 @@ impl Protocol for ColoringA2LogLog {
         let n = ctx.graph.n() as u64;
         match ctx.state.clone() {
             S73::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, S73::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, S73::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(S73::Joined { h: ctx.round })
                 } else {
@@ -184,10 +191,7 @@ impl ColoringA2LogLog {
         let phase = self.phase_of(n, h);
         if i >= sched.rounds() {
             // Empty schedule (tiny instance): the ID itself is the color.
-            return Transition::Terminate(
-                S73::Coloring { h, color: cur },
-                self.encode(cur, phase),
-            );
+            return Transition::Terminate(S73::Coloring { h, color: cur }, self.encode(cur, phase));
         }
         let t = self.phase1_sets(n);
         let in_my_phase = |j: u32| (j <= t) == (h <= t);
@@ -222,7 +226,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize) -> (f64, u32, usize) {
         let p = ColoringA2LogLog::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             g,
             &out.outputs,
@@ -230,7 +234,11 @@ mod tests {
         ));
         out.metrics.check_identities().unwrap();
         let used = verify::count_distinct(&out.outputs);
-        (out.metrics.vertex_averaged(), out.metrics.worst_case(), used)
+        (
+            out.metrics.vertex_averaged(),
+            out.metrics.worst_case(),
+            used,
+        )
     }
 
     #[test]
@@ -277,11 +285,11 @@ mod tests {
             let t = p.phase1_sets(n as u64);
             let ids = IdAssignment::identity(n);
             let budget = (t + p.schedule(&ids).rounds() + 2) as f64;
-            assert!(va <= budget, "n={n}: VA={va} exceeds loglog budget {budget}");
             assert!(
-                (wc as f64) >= va,
-                "worst case must dominate the average"
+                va <= budget,
+                "n={n}: VA={va} exceeds loglog budget {budget}"
             );
+            assert!((wc as f64) >= va, "worst case must dominate the average");
         }
     }
 
@@ -291,7 +299,7 @@ mod tests {
         let gg = gen::forest_union(4096, 2, &mut rng);
         let p = ColoringA2LogLog::new(2);
         let ids = IdAssignment::identity(4096);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         // Phase-2 vertices terminate around L + log* n.
         let l = p.full_rounds(4096);
         assert!(out.metrics.worst_case() <= l + p.schedule(&ids).rounds() + 1);

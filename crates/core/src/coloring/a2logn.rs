@@ -36,7 +36,11 @@ pub struct ColoringA2LogN {
 impl ColoringA2LogN {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ColoringA2LogN { arboricity, epsilon: 2.0, fam: std::sync::OnceLock::new() }
+        ColoringA2LogN {
+            arboricity,
+            epsilon: 2.0,
+            fam: std::sync::OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -68,8 +72,11 @@ impl Protocol for ColoringA2LogN {
     fn step(&self, ctx: StepCtx<'_, FState>) -> Transition<FState, u64> {
         match *ctx.state {
             FState::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, FState::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, FState::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(FState::Joined { h: ctx.round })
                 } else {
@@ -107,19 +114,23 @@ mod tests {
     use graphcore::{gen, verify, IdAssignment};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use simlocal::{run, RunConfig};
+    use simlocal::Runner;
 
     fn run_and_verify(g: &Graph, a: usize) -> (f64, u32, u64) {
         let p = ColoringA2LogN::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             g,
             &out.outputs,
             p.palette(&ids) as usize,
         ));
         let used = verify::count_distinct(&out.outputs);
-        (out.metrics.vertex_averaged(), out.metrics.worst_case(), used as u64)
+        (
+            out.metrics.vertex_averaged(),
+            out.metrics.worst_case(),
+            used as u64,
+        )
     }
 
     #[test]
@@ -162,7 +173,7 @@ mod tests {
         let gg = gen::forest_union(400, 3, &mut rng);
         let ids = IdAssignment::random_sparse(400, 1 << 20, &mut rng);
         let p = ColoringA2LogN::new(3);
-        let out = run(&p, &gg.graph, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&p, &gg.graph, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             &gg.graph,
             &out.outputs,
@@ -190,9 +201,8 @@ mod tests {
         let gg = gen::forest_union(1000, 2, &mut rng);
         let ids = IdAssignment::identity(1000);
         let p = ColoringA2LogN::new(2);
-        let a = run(&p, &gg.graph, &ids, RunConfig::default()).unwrap();
-        let b = run(&p, &gg.graph, &ids, RunConfig { parallel: true, ..Default::default() })
-            .unwrap();
+        let a = Runner::new(&p, &gg.graph, &ids).run().unwrap();
+        let b = Runner::new(&p, &gg.graph, &ids).parallel().run().unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.metrics, b.metrics);
     }

@@ -57,7 +57,11 @@ pub struct DeltaPlusOneColoring {
 impl DeltaPlusOneColoring {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        DeltaPlusOneColoring { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+        DeltaPlusOneColoring {
+            arboricity,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -87,26 +91,31 @@ impl Protocol for DeltaPlusOneColoring {
         let d = inset.rounds();
         match ctx.state.clone() {
             SDp1::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SDp1::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SDp1::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SDp1::Joined { h: ctx.round })
                 } else {
                     Transition::Continue(SDp1::Active)
                 }
             }
-            SDp1::Joined { h } => {
-                match iters.local_round(h, ctx.round) {
-                    None => Transition::Continue(SDp1::Joined { h }),
-                    Some(_) => self.inset_step(&ctx, h, ctx.my_id(), 0, d),
-                }
-            }
+            SDp1::Joined { h } => match iters.local_round(h, ctx.round) {
+                None => Transition::Continue(SDp1::Joined { h }),
+                Some(_) => self.inset_step(&ctx, h, ctx.my_id(), 0, d),
+            },
             SDp1::InSet { h, c } => {
-                let i = iters.local_round(h, ctx.round).expect("window already open");
+                let i = iters
+                    .local_round(h, ctx.round)
+                    .expect("window already open");
                 self.inset_step(&ctx, h, c, i, d)
             }
             SDp1::Await { h, slot } => {
-                let i = iters.local_round(h, ctx.round).expect("window already open");
+                let i = iters
+                    .local_round(h, ctx.round)
+                    .expect("window already open");
                 self.slot_step(&ctx, h, slot, i - d)
             }
             SDp1::Fin { .. } => unreachable!("terminal"),
@@ -149,7 +158,10 @@ impl DeltaPlusOneColoring {
             .collect();
         let next = inset.step(i, cur, &peers);
         if i + 1 == d {
-            Transition::Continue(SDp1::Await { h, slot: inset.finish(next) })
+            Transition::Continue(SDp1::Await {
+                h,
+                slot: inset.finish(next),
+            })
         } else {
             Transition::Continue(SDp1::InSet { h, c: next })
         }
@@ -174,7 +186,10 @@ impl DeltaPlusOneColoring {
                 used[*color as usize] = true;
             }
         }
-        let color = used.iter().position(|&u| !u).expect("Δ+1 list vs ≤ Δ neighbors") as u64;
+        let color = used
+            .iter()
+            .position(|&u| !u)
+            .expect("Δ+1 list vs ≤ Δ neighbors") as u64;
         Transition::Terminate(SDp1::Fin { h, color }, color)
     }
 }
@@ -189,7 +204,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize) -> (f64, u32) {
         let p = DeltaPlusOneColoring::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             g,
             &out.outputs,
@@ -225,7 +240,7 @@ mod tests {
         let g = gen::star(30);
         let p = DeltaPlusOneColoring::new(1);
         let ids = IdAssignment::identity(30);
-        let out = simlocal::run_seq(&p, &g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &g, &ids).run().unwrap();
         assert!(out.outputs.iter().all(|&c| c <= 29));
         verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, 30));
     }
@@ -251,14 +266,11 @@ mod tests {
         let gg = gen::forest_union(500, 2, &mut rng);
         let ids = IdAssignment::identity(500);
         let p = DeltaPlusOneColoring::new(2);
-        let a = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
-        let b = simlocal::run(
-            &p,
-            &gg.graph,
-            &ids,
-            simlocal::RunConfig { parallel: true, ..Default::default() },
-        )
-        .unwrap();
+        let a = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
+        let b = simlocal::Runner::new(&p, &gg.graph, &ids)
+            .parallel()
+            .run()
+            .unwrap();
         assert_eq!(a.outputs, b.outputs);
     }
 }

@@ -53,7 +53,12 @@ pub struct ColoringKa {
 impl ColoringKa {
     /// Instance with `ε = 2`.
     pub fn new(arboricity: usize, k: u32) -> Self {
-        ColoringKa { arboricity, k, epsilon: 2.0, sched: OnceLock::new() }
+        ColoringKa {
+            arboricity,
+            k,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// The `k = ρ(n)` instance of Corollary 7.17.
@@ -96,10 +101,16 @@ impl Protocol for ColoringKa {
         let d = inset.rounds();
         match ctx.state.clone() {
             SKa::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SKa::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SKa::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
-                    Transition::Continue(SKa::InSet { h: ctx.round, c: ctx.my_id() })
+                    Transition::Continue(SKa::InSet {
+                        h: ctx.round,
+                        c: ctx.my_id(),
+                    })
                 } else {
                     Transition::Continue(SKa::Active)
                 }
@@ -119,7 +130,10 @@ impl Protocol for ColoringKa {
                     .collect();
                 let next = inset.step(i, c, &peers);
                 if i + 1 == d {
-                    Transition::Continue(SKa::Wait { h, local: inset.finish(next) })
+                    Transition::Continue(SKa::Wait {
+                        h,
+                        local: inset.finish(next),
+                    })
                 } else {
                     Transition::Continue(SKa::InSet { h, c: next })
                 }
@@ -177,9 +191,19 @@ impl ColoringKa {
                 }
             }
         }
-        let rec = used.iter().position(|&u| !u).expect("A+1 palette vs ≤ A parents") as u64;
+        let rec = used
+            .iter()
+            .position(|&u| !u)
+            .expect("A+1 palette vs ≤ A parents") as u64;
         let fin = (seg as u64 - 1) * (self.cap() as u64 + 1) + rec;
-        Transition::Terminate(SKa::Done { h, local: my_local, rec }, fin)
+        Transition::Terminate(
+            SKa::Done {
+                h,
+                local: my_local,
+                rec,
+            },
+            fin,
+        )
     }
 }
 
@@ -193,7 +217,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize, k: u32) -> (f64, u32, usize) {
         let p = ColoringKa::new(a, k);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             g,
             &out.outputs,
@@ -231,7 +255,7 @@ mod tests {
         let gg = gen::forest_union(4096, 2, &mut rng);
         let p = ColoringKa::rho_instance(2, 4096);
         let ids = IdAssignment::identity(4096);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             &gg.graph,
             &out.outputs,
@@ -254,7 +278,7 @@ mod tests {
         let ids = IdAssignment::identity(4096);
         let (_, _, used_ka) = run_and_verify(&gg.graph, 4, 2);
         let pk2 = crate::coloring::ka2::ColoringKa2::new(4, 2);
-        let out = simlocal::run_seq(&pk2, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&pk2, &gg.graph, &ids).run().unwrap();
         let used_ka2 = verify::count_distinct(&out.outputs);
         assert!(
             used_ka <= used_ka2,

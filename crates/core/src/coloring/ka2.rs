@@ -52,7 +52,12 @@ pub struct ColoringKa2 {
 impl ColoringKa2 {
     /// Instance with `ε = 2`.
     pub fn new(arboricity: usize, k: u32) -> Self {
-        ColoringKa2 { arboricity, k, epsilon: 2.0, sched: OnceLock::new() }
+        ColoringKa2 {
+            arboricity,
+            k,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// The `k = ρ(n)` instance of Corollary 7.14 (maximum segmentation).
@@ -99,8 +104,11 @@ impl Protocol for ColoringKa2 {
         let (segs, linial) = self.schedules(n, ctx.ids);
         match ctx.state.clone() {
             SKa2::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SKa2::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SKa2::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SKa2::Joined { h: ctx.round })
                 } else {
@@ -157,8 +165,8 @@ impl ColoringKa2 {
                     SKa2::Joined { h: j } => (*j, ctx.ids.id(u)),
                     SKa2::Coloring { h: j, color } => (*j, *color),
                 };
-                let is_parent = segs.segment_of(j) == seg
-                    && (j > h || (j == h && ctx.ids.id(u) > my_id));
+                let is_parent =
+                    segs.segment_of(j) == seg && (j > h || (j == h && ctx.ids.id(u) > my_id));
                 is_parent.then_some(col)
             })
             .collect();
@@ -181,7 +189,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize, k: u32) -> (f64, u32, usize) {
         let p = ColoringKa2::new(a, k);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             g,
             &out.outputs,
@@ -220,7 +228,7 @@ mod tests {
         let gg = gen::forest_union(4096, 2, &mut rng);
         let p = ColoringKa2::rho_instance(2, 4096);
         let ids = IdAssignment::identity(4096);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             &gg.graph,
             &out.outputs,

@@ -59,7 +59,11 @@ pub struct ColoringOaRecolor {
 impl ColoringOaRecolor {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ColoringOaRecolor { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+        ColoringOaRecolor {
+            arboricity,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -117,10 +121,16 @@ impl Protocol for ColoringOaRecolor {
         let d = sched.rounds();
         match ctx.state.clone() {
             S74::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, S74::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, S74::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
-                    Transition::Continue(S74::InSet { h: ctx.round, c: ctx.my_id() })
+                    Transition::Continue(S74::InSet {
+                        h: ctx.round,
+                        c: ctx.my_id(),
+                    })
                 } else {
                     Transition::Continue(S74::Active)
                 }
@@ -142,7 +152,10 @@ impl Protocol for ColoringOaRecolor {
                     .collect();
                 let next = sched.step(i, c, &peers);
                 if i + 1 == d {
-                    Transition::Continue(S74::WaitRecolor { h, local: sched.finish(next) })
+                    Transition::Continue(S74::WaitRecolor {
+                        h,
+                        local: sched.finish(next),
+                    })
                 } else {
                     Transition::Continue(S74::InSet { h, c: next })
                 }
@@ -206,9 +219,19 @@ impl ColoringOaRecolor {
                 }
             }
         }
-        let rec = used.iter().position(|&u| !u).expect("A+1 palette vs ≤ A parents") as u64;
+        let rec = used
+            .iter()
+            .position(|&u| !u)
+            .expect("A+1 palette vs ≤ A parents") as u64;
         let fin = rec * 2 + self.phase_bit(n, h);
-        Transition::Terminate(S74::Done { h, local: my_local, rec }, fin)
+        Transition::Terminate(
+            S74::Done {
+                h,
+                local: my_local,
+                rec,
+            },
+            fin,
+        )
     }
 }
 
@@ -222,8 +245,12 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize) -> (f64, u32, usize) {
         let p = ColoringOaRecolor::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
-        verify::assert_ok(verify::proper_vertex_coloring(g, &out.outputs, p.palette() as usize));
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
+        verify::assert_ok(verify::proper_vertex_coloring(
+            g,
+            &out.outputs,
+            p.palette() as usize,
+        ));
         out.metrics.check_identities().unwrap();
         (
             out.metrics.vertex_averaged(),
@@ -295,7 +322,7 @@ mod tests {
         let gg = gen::forest_union(500, 3, &mut rng);
         let ids = IdAssignment::random_permutation(500, &mut rng);
         let p = ColoringOaRecolor::new(3);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             &gg.graph,
             &out.outputs,

@@ -84,7 +84,11 @@ pub struct Compose<A> {
 impl<A: HSetAlgo> Compose<A> {
     /// Standard composition (ε = 2).
     pub fn new(arboricity: usize, algo: A) -> Self {
-        Compose { arboricity, epsilon: 2.0, algo }
+        Compose {
+            arboricity,
+            epsilon: 2.0,
+            algo,
+        }
     }
 
     /// Degree threshold `A` — also the max in-set degree 𝒜 sees.
@@ -124,9 +128,7 @@ impl<A: HSetAlgo> Protocol for Compose<A> {
     }
 
     fn max_rounds(&self, g: &Graph) -> u32 {
-        itlog::partition_round_bound(g.n() as u64, self.epsilon)
-            + self.algo.round_bound(g)
-            + 8
+        itlog::partition_round_bound(g.n() as u64, self.epsilon) + self.algo.round_bound(g) + 8
     }
 }
 
@@ -151,9 +153,11 @@ impl<A: HSetAlgo> Compose<A> {
             })
             .collect();
         match self.algo.step(ctx, h, local, &sub, &peers) {
-            SubStep::Continue(next) => {
-                Transition::Continue(ComposeState::Running { h, local: local + 1, sub: next })
-            }
+            SubStep::Continue(next) => Transition::Continue(ComposeState::Running {
+                h,
+                local: local + 1,
+                sub: next,
+            }),
             SubStep::Done(out) => {
                 Transition::Terminate(ComposeState::Running { h, local, sub }, out)
             }
@@ -240,7 +244,7 @@ mod tests {
             let ids = IdAssignment::identity(n);
             for t in [1u32, 5, 20] {
                 let p = Compose::new(2, Delay { t });
-                let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+                let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
                 let va = out.metrics.vertex_averaged();
                 // Corollary 6.4 with ε = 2: VA ≤ 2·(T + 1) + 1 comfortably.
                 assert!(
@@ -262,8 +266,13 @@ mod tests {
         let gg = gen::forest_union(600, 3, &mut rng);
         let ids = IdAssignment::identity(600);
         let cap = degree_cap(3, 2.0) as u64;
-        let p = Compose::new(3, InSetColoring { sched: DeltaPlusOneSchedule::new(600, cap) });
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let p = Compose::new(
+            3,
+            InSetColoring {
+                sched: DeltaPlusOneSchedule::new(600, cap),
+            },
+        );
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         // Colors are proper within each H-set (pair them with the H-index
         // = termination round minus the in-set duration — simpler: check
         // every edge whose endpoints terminated in the same round).
@@ -284,10 +293,13 @@ mod tests {
             .graph
             .vertices()
             .map(|v| {
-                out.outputs[v as usize] * 10_000
-                    + out.metrics.termination_round[v as usize] as u64
+                out.outputs[v as usize] * 10_000 + out.metrics.termination_round[v as usize] as u64
             })
             .collect();
-        verify::assert_ok(verify::proper_vertex_coloring(&gg.graph, &paired, usize::MAX));
+        verify::assert_ok(verify::proper_vertex_coloring(
+            &gg.graph,
+            &paired,
+            usize::MAX,
+        ));
     }
 }

@@ -189,7 +189,10 @@ pub fn reduction_schedule(p0: u64, a_bound: u64) -> Vec<CoverFree> {
 
 /// Final palette size after the full reduction schedule.
 pub fn fixpoint_palette(p0: u64, a_bound: u64) -> u64 {
-    reduction_schedule(p0, a_bound).last().map(|f| f.ground_size()).unwrap_or(p0.max(2))
+    reduction_schedule(p0, a_bound)
+        .last()
+        .map(|f| f.ground_size())
+        .unwrap_or(p0.max(2))
 }
 
 #[cfg(test)]
@@ -232,7 +235,11 @@ mod tests {
                 continue;
             }
             let inter = f.set_of(y).filter(|e| a.contains(e)).count() as u64;
-            assert!(inter <= f.d, "colors 123,{y} intersect in {inter} > d={}", f.d);
+            assert!(
+                inter <= f.d,
+                "colors 123,{y} intersect in {inter} > d={}",
+                f.d
+            );
         }
     }
 
@@ -294,6 +301,9 @@ mod tests {
         let s_small = reduction_schedule(1 << 8, 2).len();
         let s_big = reduction_schedule(1 << 60, 2).len();
         assert!(s_big >= s_small);
-        assert!(s_big - s_small <= 3, "growth {s_small}->{s_big} not log*-like");
+        assert!(
+            s_big - s_small <= 3,
+            "growth {s_small}->{s_big} not log*-like"
+        );
     }
 }

@@ -58,7 +58,10 @@ impl EcCore {
     }
 
     fn label_to(&self, u: VertexId) -> Option<u32> {
-        self.out_labels.iter().find(|&&(w, _)| w == u).map(|&(_, l)| l)
+        self.out_labels
+            .iter()
+            .find(|&&(w, _)| w == u)
+            .map(|&(_, l)| l)
     }
 }
 
@@ -99,7 +102,11 @@ pub struct EdgeColoringExtension {
 impl EdgeColoringExtension {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        EdgeColoringExtension { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+        EdgeColoringExtension {
+            arboricity,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -135,8 +142,11 @@ impl Protocol for EdgeColoringExtension {
     fn step(&self, ctx: StepCtx<'_, SEc>) -> Transition<SEc, EcOut> {
         match ctx.state.clone() {
             SEc::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SEc::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SEc::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SEc::Joined { h: ctx.round })
                 } else {
@@ -253,8 +263,7 @@ impl EdgeColoringExtension {
             if child.h != core.h || child.label_to(me) != Some(f) || core.knows(u) {
                 continue;
             }
-            let mut blocked: Vec<u64> =
-                core.table.iter().map(|&(_, c)| c).collect();
+            let mut blocked: Vec<u64> = core.table.iter().map(|&(_, c)| c).collect();
             blocked.extend(child.table.iter().map(|&(_, c)| c));
             let color = (0..palette)
                 .find(|c| !blocked.contains(c))
@@ -300,10 +309,7 @@ impl EdgeColoringExtension {
 
 /// Assembles per-vertex outputs into a per-edge color array and the
 /// commit-round metrics. Errors if an edge is colored twice or never.
-pub fn assemble(
-    g: &Graph,
-    out: &SimOutcome<EcOut>,
-) -> Result<(Vec<u64>, RoundMetrics), String> {
+pub fn assemble(g: &Graph, out: &SimOutcome<EcOut>) -> Result<(Vec<u64>, RoundMetrics), String> {
     let mut colors = vec![u64::MAX; g.m()];
     let mut owner: Vec<Option<VertexId>> = vec![None; g.m()];
     for v in g.vertices() {
@@ -337,7 +343,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize) -> (f64, u32, f64) {
         let p = EdgeColoringExtension::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         let (colors, commit_metrics) = assemble(g, &out).unwrap();
         verify::assert_ok(verify::proper_edge_coloring(
             g,
@@ -378,7 +384,10 @@ mod tests {
         let g2 = gen::forest_union(8192, 2, &mut rng);
         let (va1, _, _) = run_and_verify(&g1.graph, 2);
         let (va2, _, _) = run_and_verify(&g2.graph, 2);
-        assert!(va2 <= va1 * 1.6 + 3.0, "commit VA grew too fast: {va1} -> {va2}");
+        assert!(
+            va2 <= va1 * 1.6 + 3.0,
+            "commit VA grew too fast: {va1} -> {va2}"
+        );
     }
 
     #[test]
@@ -387,7 +396,7 @@ mod tests {
         let g = gen::star(12);
         let p = EdgeColoringExtension::new(1);
         let ids = IdAssignment::identity(12);
-        let out = simlocal::run_seq(&p, &g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &g, &ids).run().unwrap();
         let (colors, _) = assemble(&g, &out).unwrap();
         let distinct = verify::count_distinct(&colors);
         assert_eq!(distinct, 11);
@@ -401,7 +410,7 @@ mod tests {
         let gg = gen::forest_union(400, 2, &mut rng);
         let p = EdgeColoringExtension::new(2);
         let ids = IdAssignment::identity(400);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         let (_, commit_metrics) = assemble(&gg.graph, &out).unwrap();
         for v in gg.graph.vertices() {
             assert!(

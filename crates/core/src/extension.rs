@@ -92,7 +92,10 @@ pub fn metrics_from_commits(commits: &[u32]) -> RoundMetrics {
             *slot += 1;
         }
     }
-    RoundMetrics { termination_round: commits.to_vec(), active_per_round: active }
+    RoundMetrics {
+        termination_round: commits.to_vec(),
+        active_per_round: active,
+    }
 }
 
 #[cfg(test)]

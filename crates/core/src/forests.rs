@@ -68,8 +68,8 @@ pub fn decide_out_edges<S>(
     for (u, s) in ctx.view.neighbors() {
         let outgoing = match set_of(s) {
             Some(j) if j == h => ctx.ids.id(u) > my_id, // same set: toward higher ID
-            Some(j) => j > h, // cross-set edges point at the later set
-            None => true,     // still active -> will join a later set -> toward u
+            Some(j) => j > h,                           // cross-set edges point at the later set
+            None => true, // still active -> will join a later set -> toward u
         };
         if outgoing {
             let label = out.len() as u32;
@@ -91,7 +91,10 @@ pub struct ParallelizedForestDecomposition {
 impl ParallelizedForestDecomposition {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ParallelizedForestDecomposition { arboricity, epsilon: 2.0 }
+        ParallelizedForestDecomposition {
+            arboricity,
+            epsilon: 2.0,
+        }
     }
 
     /// Threshold `A` = number of forests produced.
@@ -128,7 +131,13 @@ impl Protocol for ParallelizedForestDecomposition {
                     FState::Active => None,
                     FState::Joined { h } => Some(*h),
                 });
-                Transition::Terminate(FState::Joined { h }, ForestOut { h_index: h, out_edges: out })
+                Transition::Terminate(
+                    FState::Joined { h },
+                    ForestOut {
+                        h_index: h,
+                        out_edges: out,
+                    },
+                )
             }
         }
     }
@@ -153,7 +162,10 @@ pub struct ForestDecompositionBaseline {
 impl ForestDecompositionBaseline {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        ForestDecompositionBaseline { arboricity, epsilon: 2.0 }
+        ForestDecompositionBaseline {
+            arboricity,
+            epsilon: 2.0,
+        }
     }
 
     fn schedule_end(&self, g: &Graph) -> u32 {
@@ -195,7 +207,13 @@ impl Protocol for ForestDecompositionBaseline {
                 FState::Active => None,
                 FState::Joined { h } => Some(*h),
             });
-            Transition::Terminate(next, ForestOut { h_index: h, out_edges: out })
+            Transition::Terminate(
+                next,
+                ForestOut {
+                    h_index: h,
+                    out_edges: out,
+                },
+            )
         } else {
             Transition::Continue(next)
         }
@@ -245,7 +263,7 @@ mod tests {
     fn check_decomposition(g: &Graph, a: usize) -> (f64, u32) {
         let p = ParallelizedForestDecomposition::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         let (labels, heads) = assemble(g, &out.outputs).unwrap();
         verify::assert_ok(verify::forest_decomposition(g, &labels, &heads, p.cap()));
         // H-partition property as well.
@@ -282,7 +300,7 @@ mod tests {
         let gg = gen::forest_union(1024, 2, &mut rng);
         let ids = IdAssignment::identity(gg.graph.n());
         let base = ForestDecompositionBaseline::new(2);
-        let out = simlocal::run_seq(&base, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&base, &gg.graph, &ids).run().unwrap();
         let l = itlog::partition_round_bound(1024, 2.0);
         assert!(out.metrics.worst_case() == l + 1);
         // Every vertex pays the full schedule: VA == worst case.
@@ -302,10 +320,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(23);
         let gg = gen::forest_union(4096, 3, &mut rng);
         let ids = IdAssignment::identity(gg.graph.n());
-        let fast = simlocal::run_seq(&ParallelizedForestDecomposition::new(3), &gg.graph, &ids)
+        let fast = simlocal::Runner::new(&ParallelizedForestDecomposition::new(3), &gg.graph, &ids)
+            .run()
             .unwrap();
-        let slow =
-            simlocal::run_seq(&ForestDecompositionBaseline::new(3), &gg.graph, &ids).unwrap();
+        let slow = simlocal::Runner::new(&ForestDecompositionBaseline::new(3), &gg.graph, &ids)
+            .run()
+            .unwrap();
         assert!(fast.metrics.vertex_averaged() * 3.0 < slow.metrics.vertex_averaged());
         // Same H-indices, hence same orientation.
         let fh: Vec<u32> = fast.outputs.iter().map(|o| o.h_index).collect();
@@ -319,7 +339,7 @@ mod tests {
         let gg = gen::forest_union(400, 2, &mut rng);
         let p = ParallelizedForestDecomposition::new(2);
         let ids = IdAssignment::identity(gg.graph.n());
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         for o in &out.outputs {
             assert!(o.out_edges.len() <= p.cap());
             for (i, &(_, label)) in o.out_edges.iter().enumerate() {
@@ -332,9 +352,18 @@ mod tests {
     fn assemble_rejects_incomplete() {
         let g = gen::path(3);
         let outs = vec![
-            ForestOut { h_index: 1, out_edges: vec![(1, 0)] },
-            ForestOut { h_index: 1, out_edges: vec![] }, // edge (1,2) unclaimed
-            ForestOut { h_index: 1, out_edges: vec![] },
+            ForestOut {
+                h_index: 1,
+                out_edges: vec![(1, 0)],
+            },
+            ForestOut {
+                h_index: 1,
+                out_edges: vec![],
+            }, // edge (1,2) unclaimed
+            ForestOut {
+                h_index: 1,
+                out_edges: vec![],
+            },
         ];
         assert!(assemble(&g, &outs).is_err());
     }

@@ -32,7 +32,10 @@ impl LinialSchedule {
     /// Schedule reducing a palette of `p0` initial colors (typically the
     /// ID space) against unions of up to `a_bound` conflicting sets.
     pub fn new(p0: u64, a_bound: u64) -> Self {
-        LinialSchedule { fams: reduction_schedule(p0, a_bound), p0: p0.max(2) }
+        LinialSchedule {
+            fams: reduction_schedule(p0, a_bound),
+            p0: p0.max(2),
+        }
     }
 
     /// Number of synchronized rounds (`O(log* p0)`).
@@ -103,7 +106,11 @@ impl KwSchedule {
         let k = self.k;
         let pass = (i as u64 / k) as usize;
         let t = i as u64 % k;
-        let my = if t == 0 && pass > 0 { Self::compact(self.passes[pass - 1], k, my) } else { my };
+        let my = if t == 0 && pass > 0 {
+            Self::compact(self.passes[pass - 1], k, my)
+        } else {
+            my
+        };
         let block = my / (2 * k);
         let pos = my % (2 * k);
         if pos != k + t {
@@ -115,13 +122,19 @@ impl KwSchedule {
         // the compaction round, so compact them the same way.
         let mut used = vec![false; k as usize];
         for &oc in others {
-            let oc =
-                if t == 0 && pass > 0 { Self::compact(self.passes[pass - 1], k, oc) } else { oc };
+            let oc = if t == 0 && pass > 0 {
+                Self::compact(self.passes[pass - 1], k, oc)
+            } else {
+                oc
+            };
             if oc / (2 * k) == block && oc % (2 * k) < k {
                 used[(oc % (2 * k)) as usize] = true;
             }
         }
-        let free = used.iter().position(|&u| !u).expect("cap+1 candidates vs ≤ cap neighbors") as u64;
+        let free = used
+            .iter()
+            .position(|&u| !u)
+            .expect("cap+1 candidates vs ≤ cap neighbors") as u64;
         block * (2 * k) + free
     }
 
@@ -198,8 +211,7 @@ mod tests {
         for i in 0..sched.rounds() {
             let prev = colors.clone();
             for v in g.vertices() {
-                let others: Vec<u64> =
-                    g.neighbors(v).iter().map(|&u| prev[u as usize]).collect();
+                let others: Vec<u64> = g.neighbors(v).iter().map(|&u| prev[u as usize]).collect();
                 colors[v as usize] = sched.step(i, prev[v as usize], &others);
             }
         }
@@ -262,8 +274,7 @@ mod tests {
         for i in 0..sched.rounds() {
             let prev = colors.clone();
             for v in g.vertices() {
-                let others: Vec<u64> =
-                    g.neighbors(v).iter().map(|&u| prev[u as usize]).collect();
+                let others: Vec<u64> = g.neighbors(v).iter().map(|&u| prev[u as usize]).collect();
                 colors[v as usize] = sched.step(i, prev[v as usize], &others);
             }
             verify::assert_ok(verify::proper_vertex_coloring(&g, &colors, usize::MAX));
@@ -276,6 +287,9 @@ mod tests {
         // Linial rounds grow like log* n; KW rounds like cap·log(cap).
         let small = DeltaPlusOneSchedule::new(1 << 10, 4).rounds();
         let big = DeltaPlusOneSchedule::new(1 << 40, 4).rounds();
-        assert!(big <= small + 4 * 3, "rounds grew too fast: {small} -> {big}");
+        assert!(
+            big <= small + 4 * 3,
+            "rounds grew too fast: {small} -> {big}"
+        );
     }
 }

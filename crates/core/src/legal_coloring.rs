@@ -95,7 +95,12 @@ impl LegalColoring {
     /// Instance with ε = 2.
     pub fn new(arboricity: usize, p: u32) -> Self {
         assert!(p >= 6, "p must exceed 3+ε = 5 for the budget to shrink");
-        LegalColoring { arboricity, p, epsilon: 2.0, sched: OnceLock::new() }
+        LegalColoring {
+            arboricity,
+            p,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     fn schedule(&self, n: u64, ids: &IdAssignment) -> &LcSchedule {
@@ -120,7 +125,14 @@ impl LegalColoring {
             }
             let leaf_cap = degree_cap(alpha, self.epsilon);
             let leaf_inset = DeltaPlusOneSchedule::new(ids_space, leaf_cap as u64);
-            LcSchedule { levels, starts, full, leaf_cap, insets, leaf_inset }
+            LcSchedule {
+                levels,
+                starts,
+                full,
+                leaf_cap,
+                insets,
+                leaf_inset,
+            }
         })
     }
 
@@ -144,9 +156,15 @@ impl Protocol for LegalColoring {
 
     fn init(&self, g: &Graph, ids: &IdAssignment, _: VertexId) -> LcState {
         let s = self.schedule(g.n() as u64, ids);
-        let mode =
-            if s.levels.is_empty() { LcMode::LeafPart { h: None } } else { LcMode::Part { h: None } };
-        LcState { prefix: Vec::new(), mode }
+        let mode = if s.levels.is_empty() {
+            LcMode::LeafPart { h: None }
+        } else {
+            LcMode::Part { h: None }
+        };
+        LcState {
+            prefix: Vec::new(),
+            mode,
+        }
     }
 
     fn step(&self, ctx: StepCtx<'_, LcState>) -> Transition<LcState, u64> {
@@ -167,11 +185,16 @@ impl Protocol for LegalColoring {
                     })
                     .count();
                 let mode = if partition_step(active, cap) {
-                    LcMode::Part { h: Some(round - s.starts[lev] + 1) }
+                    LcMode::Part {
+                        h: Some(round - s.starts[lev] + 1),
+                    }
                 } else {
                     LcMode::Part { h: None }
                 };
-                Transition::Continue(LcState { prefix: st.prefix, mode })
+                Transition::Continue(LcState {
+                    prefix: st.prefix,
+                    mode,
+                })
             }
             LcMode::Part { h: Some(h) } => {
                 let cstart = s.starts[lev] + s.full + 1;
@@ -196,13 +219,15 @@ impl Protocol for LegalColoring {
                             return Transition::Continue(st)
                         }
                         LcMode::Wait { h: j, local: l2 }
-                            if (*j > h || (*j == h && *l2 > local)) => {
-                                return Transition::Continue(st);
-                            }
+                            if (*j > h || (*j == h && *l2 > local)) =>
+                        {
+                            return Transition::Continue(st);
+                        }
                         LcMode::Picked { h: j, local: l2, g }
-                            if (*j > h || (*j == h && *l2 > local)) => {
-                                counts[*g as usize] += 1;
-                            }
+                            if (*j > h || (*j == h && *l2 > local)) =>
+                        {
+                            counts[*g as usize] += 1;
+                        }
                         _ => {}
                     }
                 }
@@ -244,11 +269,16 @@ impl Protocol for LegalColoring {
                     })
                     .count();
                 let mode = if partition_step(active, s.leaf_cap) {
-                    LcMode::LeafPart { h: Some(round - leaf_start + 1) }
+                    LcMode::LeafPart {
+                        h: Some(round - leaf_start + 1),
+                    }
                 } else {
                     LcMode::LeafPart { h: None }
                 };
-                Transition::Continue(LcState { prefix: st.prefix, mode })
+                Transition::Continue(LcState {
+                    prefix: st.prefix,
+                    mode,
+                })
             }
             LcMode::LeafPart { h: Some(h) } => {
                 let cstart = s.starts.last().unwrap() + s.full + 1;
@@ -273,21 +303,30 @@ impl Protocol for LegalColoring {
                             return Transition::Continue(st)
                         }
                         LcMode::LeafWait { h: j, local: l2 }
-                            if (*j > h || (*j == h && *l2 > local)) => {
-                                return Transition::Continue(st);
-                            }
-                        LcMode::Done { h: j, local: l2, rec }
-                            if (*j > h || (*j == h && *l2 > local)) => {
-                                used[*rec as usize] = true;
-                            }
+                            if (*j > h || (*j == h && *l2 > local)) =>
+                        {
+                            return Transition::Continue(st);
+                        }
+                        LcMode::Done {
+                            h: j,
+                            local: l2,
+                            rec,
+                        } if (*j > h || (*j == h && *l2 > local)) => {
+                            used[*rec as usize] = true;
+                        }
                         _ => {}
                     }
                 }
-                let rec =
-                    used.iter().position(|&u| !u).expect("A+1 palette vs ≤ A parents") as u64;
+                let rec = used
+                    .iter()
+                    .position(|&u| !u)
+                    .expect("A+1 palette vs ≤ A parents") as u64;
                 let value = self.encode(&st.prefix, rec);
                 Transition::Terminate(
-                    LcState { prefix: st.prefix, mode: LcMode::Done { h, local, rec } },
+                    LcState {
+                        prefix: st.prefix,
+                        mode: LcMode::Done { h, local, rec },
+                    },
                     value,
                 )
             }
@@ -299,10 +338,8 @@ impl Protocol for LegalColoring {
         let n = g.n() as u64;
         let ids = IdAssignment::identity(g.n().max(1));
         let s = self.schedule(n, &ids);
-        let leaf_tail = s.full
-            + s.leaf_inset.rounds()
-            + (s.leaf_cap as u32 + 1) * (s.full + 1)
-            + 32;
+        let leaf_tail =
+            s.full + s.leaf_inset.rounds() + (s.leaf_cap as u32 + 1) * (s.full + 1) + 32;
         s.starts.last().unwrap() + leaf_tail
     }
 }
@@ -323,7 +360,10 @@ impl LegalColoring {
         if i >= d {
             return Transition::Continue(LcState {
                 prefix,
-                mode: LcMode::Wait { h, local: inset.finish(cur) },
+                mode: LcMode::Wait {
+                    h,
+                    local: inset.finish(cur),
+                },
             });
         }
         let peers: Vec<u64> = ctx
@@ -342,7 +382,10 @@ impl LegalColoring {
             .collect();
         let next = inset.step(i, cur, &peers);
         let mode = if i + 1 == d {
-            LcMode::Wait { h, local: inset.finish(next) }
+            LcMode::Wait {
+                h,
+                local: inset.finish(next),
+            }
         } else {
             LcMode::InSet { h, c: next }
         };
@@ -363,7 +406,10 @@ impl LegalColoring {
         if i >= d {
             return Transition::Continue(LcState {
                 prefix,
-                mode: LcMode::LeafWait { h, local: inset.finish(cur) },
+                mode: LcMode::LeafWait {
+                    h,
+                    local: inset.finish(cur),
+                },
             });
         }
         let peers: Vec<u64> = ctx
@@ -382,7 +428,10 @@ impl LegalColoring {
             .collect();
         let next = inset.step(i, cur, &peers);
         let mode = if i + 1 == d {
-            LcMode::LeafWait { h, local: inset.finish(next) }
+            LcMode::LeafWait {
+                h,
+                local: inset.finish(next),
+            }
         } else {
             LcMode::LeafInSet { h, c: next }
         };
@@ -400,7 +449,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize, p: u32) -> usize {
         let pr = LegalColoring::new(a, p);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&pr, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&pr, g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(g, &out.outputs, usize::MAX));
         out.metrics.check_identities().unwrap();
         verify::count_distinct(&out.outputs)
@@ -447,8 +496,11 @@ mod tests {
         let legal = run_and_verify(&gg.graph, 8, 6);
         let ids = IdAssignment::identity(800);
         let ope = crate::one_plus_eta::OnePlusEtaArbCol::new(8, 4);
-        let out = simlocal::run_seq(&ope, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&ope, &gg.graph, &ids).run().unwrap();
         let ope_colors = verify::count_distinct(&out.outputs);
-        assert!(legal < 400 && ope_colors < 400, "legal={legal} ope={ope_colors}");
+        assert!(
+            legal < 400 && ope_colors < 400,
+            "legal={legal} ope={ope_colors}"
+        );
     }
 }

@@ -39,8 +39,8 @@ pub mod edge_coloring;
 pub mod extension;
 pub mod forests;
 pub mod inset;
-pub mod legal_coloring;
 pub mod itlog;
+pub mod legal_coloring;
 pub mod matching;
 pub mod mis;
 pub mod one_plus_eta;

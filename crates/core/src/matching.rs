@@ -48,7 +48,10 @@ pub struct MmCore {
 
 impl MmCore {
     fn label_to(&self, u: VertexId) -> Option<u32> {
-        self.out_labels.iter().find(|&&(w, _)| w == u).map(|&(_, l)| l)
+        self.out_labels
+            .iter()
+            .find(|&&(w, _)| w == u)
+            .map(|&(_, l)| l)
     }
 }
 
@@ -89,7 +92,11 @@ pub struct MatchingExtension {
 impl MatchingExtension {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        MatchingExtension { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+        MatchingExtension {
+            arboricity,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -118,8 +125,11 @@ impl Protocol for MatchingExtension {
     fn step(&self, ctx: StepCtx<'_, SMm>) -> Transition<SMm, MmOut> {
         match ctx.state.clone() {
             SMm::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SMm::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SMm::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SMm::Joined { h: ctx.round })
                 } else {
@@ -235,8 +245,7 @@ impl MatchingExtension {
         let me = ctx.v;
         for (u, s) in ctx.view.neighbors() {
             let SMm::Run(earlier) = s else { continue };
-            if earlier.h < core.h && earlier.label_to(me) == Some(j) && earlier.matched.is_none()
-            {
+            if earlier.h < core.h && earlier.label_to(me) == Some(j) && earlier.matched.is_none() {
                 core.matched = Some(u);
                 return;
             }
@@ -248,8 +257,7 @@ impl MatchingExtension {
     fn park_or_finish(&self, ctx: &StepCtx<'_, SMm>, core: MmCore) -> Transition<SMm, MmOut> {
         let done = core.matched.is_some()
             || ctx.view.neighbors().all(|(u, s)| {
-                ctx.view.is_terminated(u)
-                    || matches!(s, SMm::Run(o) if o.committed.is_some())
+                ctx.view.is_terminated(u) || matches!(s, SMm::Run(o) if o.committed.is_some())
             });
         if done {
             let out = MmOut {
@@ -265,10 +273,7 @@ impl MatchingExtension {
 
 /// Assembles per-vertex outputs into the per-edge matching indicator and
 /// the commit-round metrics. Errors on asymmetric claims.
-pub fn assemble(
-    g: &Graph,
-    out: &SimOutcome<MmOut>,
-) -> Result<(Vec<bool>, RoundMetrics), String> {
+pub fn assemble(g: &Graph, out: &SimOutcome<MmOut>) -> Result<(Vec<bool>, RoundMetrics), String> {
     let mut in_matching = vec![false; g.m()];
     for v in g.vertices() {
         if let Some(u) = out.outputs[v as usize].matched {
@@ -298,11 +303,14 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize) -> (f64, u32) {
         let p = MatchingExtension::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         let (mm, commit_metrics) = assemble(g, &out).unwrap();
         verify::assert_ok(verify::maximal_matching(g, &mm));
         commit_metrics.check_identities().unwrap();
-        (commit_metrics.vertex_averaged(), commit_metrics.worst_case())
+        (
+            commit_metrics.vertex_averaged(),
+            commit_metrics.worst_case(),
+        )
     }
 
     #[test]
@@ -331,7 +339,7 @@ mod tests {
             let g = gen::path(2);
             let p = MatchingExtension::new(1);
             let ids = IdAssignment::identity(2);
-            let out = simlocal::run_seq(&p, &g, &ids).unwrap();
+            let out = simlocal::Runner::new(&p, &g, &ids).run().unwrap();
             assemble(&g, &out).unwrap()
         };
         assert_eq!(mm, vec![true]);
@@ -344,6 +352,9 @@ mod tests {
         let g2 = gen::forest_union(8192, 2, &mut rng);
         let (va1, _) = run_and_verify(&g1.graph, 2);
         let (va2, _) = run_and_verify(&g2.graph, 2);
-        assert!(va2 <= va1 * 1.6 + 3.0, "commit VA grew too fast: {va1} -> {va2}");
+        assert!(
+            va2 <= va1 * 1.6 + 3.0,
+            "commit VA grew too fast: {va1} -> {va2}"
+        );
     }
 }

@@ -50,7 +50,11 @@ pub struct MisExtension {
 impl MisExtension {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        MisExtension { arboricity, epsilon: 2.0, sched: OnceLock::new() }
+        MisExtension {
+            arboricity,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Degree threshold `A`.
@@ -80,8 +84,11 @@ impl Protocol for MisExtension {
         let d = inset.rounds();
         match ctx.state.clone() {
             SMis::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SMis::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SMis::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SMis::Joined { h: ctx.round })
                 } else {
@@ -138,7 +145,10 @@ impl MisExtension {
             .collect();
         let next = inset.step(i, cur, &peers);
         if i + 1 == d {
-            Transition::Continue(SMis::Await { h, slot: inset.finish(next) })
+            Transition::Continue(SMis::Await {
+                h,
+                slot: inset.finish(next),
+            })
         } else {
             Transition::Continue(SMis::InSet { h, c: next })
         }
@@ -158,7 +168,13 @@ impl MisExtension {
             .view
             .neighbors()
             .any(|(_, s)| matches!(s, SMis::Fin { in_mis: true, .. }));
-        Transition::Terminate(SMis::Fin { h, in_mis: !blocked }, !blocked)
+        Transition::Terminate(
+            SMis::Fin {
+                h,
+                in_mis: !blocked,
+            },
+            !blocked,
+        )
     }
 }
 
@@ -211,11 +227,12 @@ impl Protocol for LubyMis {
                     };
                     // Retire if a neighbor won the previous resolution
                     // (terminated winners keep publishing `Winner`).
-                    if ctx.view.neighbors().any(|(_, s)| matches!(s, SLuby::Winner)) {
-                        return Transition::Terminate(
-                            SLuby::Drawing { priority: my },
-                            false,
-                        );
+                    if ctx
+                        .view
+                        .neighbors()
+                        .any(|(_, s)| matches!(s, SLuby::Winner))
+                    {
+                        return Transition::Terminate(SLuby::Drawing { priority: my }, false);
                     }
                     let beats_all = ctx.view.active_neighbors().all(|(_, s)| match s {
                         SLuby::Drawing { priority } => my > *priority,
@@ -244,12 +261,11 @@ mod tests {
     use graphcore::{gen, verify, IdAssignment};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use simlocal::RunConfig;
 
     fn run_mis(g: &Graph, a: usize) -> (f64, u32) {
         let p = MisExtension::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         verify::assert_ok(verify::maximal_independent_set(g, &out.outputs));
         out.metrics.check_identities().unwrap();
         (out.metrics.vertex_averaged(), out.metrics.worst_case())
@@ -291,13 +307,10 @@ mod tests {
         let gg = gen::forest_union(600, 3, &mut rng);
         let ids = IdAssignment::identity(600);
         for seed in 0..5 {
-            let out = simlocal::run(
-                &LubyMis,
-                &gg.graph,
-                &ids,
-                RunConfig { seed, ..Default::default() },
-            )
-            .unwrap();
+            let out = simlocal::Runner::new(&LubyMis, &gg.graph, &ids)
+                .seed(seed)
+                .run()
+                .unwrap();
             verify::assert_ok(verify::maximal_independent_set(&gg.graph, &out.outputs));
         }
     }
@@ -305,10 +318,20 @@ mod tests {
     #[test]
     fn luby_on_clique_and_star() {
         let ids = IdAssignment::identity(30);
-        let out = simlocal::run_seq(&LubyMis, &gen::clique(30), &ids).unwrap();
-        verify::assert_ok(verify::maximal_independent_set(&gen::clique(30), &out.outputs));
+        let out = simlocal::Runner::new(&LubyMis, &gen::clique(30), &ids)
+            .run()
+            .unwrap();
+        verify::assert_ok(verify::maximal_independent_set(
+            &gen::clique(30),
+            &out.outputs,
+        ));
         assert_eq!(out.outputs.iter().filter(|&&b| b).count(), 1);
-        let out = simlocal::run_seq(&LubyMis, &gen::star(30), &ids).unwrap();
-        verify::assert_ok(verify::maximal_independent_set(&gen::star(30), &out.outputs));
+        let out = simlocal::Runner::new(&LubyMis, &gen::star(30), &ids)
+            .run()
+            .unwrap();
+        verify::assert_ok(verify::maximal_independent_set(
+            &gen::star(30),
+            &out.outputs,
+        ));
     }
 }

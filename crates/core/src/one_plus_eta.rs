@@ -62,7 +62,12 @@ pub enum Mode {
     /// Base iterated-Linial coloring.
     BaseColor { h: u32, c: u64 },
     /// Terminal: kind 0 = base, 1 = residual; `rec` is the leaf color.
-    Done { h: u32, local: u64, rec: u64, kind: u8 },
+    Done {
+        h: u32,
+        local: u64,
+        rec: u64,
+        kind: u8,
+    },
 }
 
 /// Published per-vertex state.
@@ -127,7 +132,12 @@ impl OnePlusEtaArbCol {
     /// Instance with ε = 2 and the given `C`.
     pub fn new(arboricity: usize, c_const: usize) -> Self {
         assert!(c_const >= 2, "C must be at least 2");
-        OnePlusEtaArbCol { arboricity, c_const, epsilon: 2.0, sched: OnceLock::new() }
+        OnePlusEtaArbCol {
+            arboricity,
+            c_const,
+            epsilon: 2.0,
+            sched: OnceLock::new(),
+        }
     }
 
     /// Number of groups per recursive level, `q = 5C` (the paper's
@@ -149,7 +159,13 @@ impl OnePlusEtaArbCol {
                 let inset = DeltaPlusOneSchedule::new(ids_space, cap as u64);
                 let d = inset.rounds();
                 let w = (cap as u32 + 2) * r + 2;
-                levels.push(LevelInfo { a, cap, start, d, w });
+                levels.push(LevelInfo {
+                    a,
+                    cap,
+                    start,
+                    d,
+                    w,
+                });
                 level_inset.push(inset);
                 start += r + d + w;
                 a /= self.c_const;
@@ -235,7 +251,10 @@ impl Protocol for OnePlusEtaArbCol {
         } else {
             Mode::LevelPart { h: None }
         };
-        OpeState { prefix: Vec::new(), mode }
+        OpeState {
+            prefix: Vec::new(),
+            mode,
+        }
     }
 
     fn step(&self, ctx: StepCtx<'_, OpeState>) -> Transition<OpeState, u64> {
@@ -243,7 +262,9 @@ impl Protocol for OnePlusEtaArbCol {
         let s = self.schedule(n, ctx.ids);
         let st = ctx.state.clone();
         match st.mode {
-            Mode::LevelPart { .. } | Mode::LevelInSet { .. } | Mode::LevelWait { .. }
+            Mode::LevelPart { .. }
+            | Mode::LevelInSet { .. }
+            | Mode::LevelWait { .. }
             | Mode::LevelPicked { .. } => self.level_step(&ctx, s, st),
             Mode::ResPart { .. } | Mode::ResInSet { .. } | Mode::ResWait { .. } => {
                 self.residual_step(&ctx, s, st)
@@ -260,8 +281,7 @@ impl Protocol for OnePlusEtaArbCol {
         // Residual branches end by their start + L + d + cascade; the base
         // ends by base_start + L + linial; take a generous union bound.
         let tail = s.full
-            + DeltaPlusOneSchedule::new(n.max(2), degree_cap(self.arboricity, 2.0) as u64)
-                .rounds()
+            + DeltaPlusOneSchedule::new(n.max(2), degree_cap(self.arboricity, 2.0) as u64).rounds()
             + (degree_cap(self.arboricity, 2.0) as u32 + 2) * (s.full + 2)
             + s.base_linial.rounds();
         s.base_start + tail + 64
@@ -299,11 +319,16 @@ impl OnePlusEtaArbCol {
                     })
                     .count();
                 let mode = if partition_step(active, info.cap) {
-                    Mode::LevelPart { h: Some(round - info.start + 1) }
+                    Mode::LevelPart {
+                        h: Some(round - info.start + 1),
+                    }
                 } else {
                     Mode::LevelPart { h: None }
                 };
-                Transition::Continue(OpeState { prefix: st.prefix.clone(), mode })
+                Transition::Continue(OpeState {
+                    prefix: st.prefix.clone(),
+                    mode,
+                })
             }
             Mode::LevelPart { h: Some(h) } => {
                 // Wait for the in-set coloring window, then run it.
@@ -397,7 +422,10 @@ impl OnePlusEtaArbCol {
         if i >= d {
             return Transition::Continue(OpeState {
                 prefix,
-                mode: Mode::LevelWait { h, local: inset.finish(cur) },
+                mode: Mode::LevelWait {
+                    h,
+                    local: inset.finish(cur),
+                },
             });
         }
         let peers: Vec<u64> = ctx
@@ -416,7 +444,10 @@ impl OnePlusEtaArbCol {
             .collect();
         let next = inset.step(i, cur, &peers);
         let mode = if i + 1 == d {
-            Mode::LevelWait { h, local: inset.finish(next) }
+            Mode::LevelWait {
+                h,
+                local: inset.finish(next),
+            }
         } else {
             Mode::LevelInSet { h, c: next }
         };
@@ -445,11 +476,16 @@ impl OnePlusEtaArbCol {
                     })
                     .count();
                 let mode = if partition_step(active, info.cap) {
-                    Mode::ResPart { h: Some(round - rs + 1) }
+                    Mode::ResPart {
+                        h: Some(round - rs + 1),
+                    }
                 } else {
                     Mode::ResPart { h: None }
                 };
-                Transition::Continue(OpeState { prefix: st.prefix.clone(), mode })
+                Transition::Continue(OpeState {
+                    prefix: st.prefix.clone(),
+                    mode,
+                })
             }
             Mode::ResPart { h: Some(h) } => {
                 // In-set coloring window opens after the full partition
@@ -477,25 +513,34 @@ impl OnePlusEtaArbCol {
                         Mode::ResPart { .. } | Mode::ResInSet { .. } => {
                             return Transition::Continue(st)
                         }
-                        Mode::ResWait { h: j, local: l2 }
-                            if (j > h || (j == h && l2 > local)) => {
-                                return Transition::Continue(st);
-                            }
-                        Mode::Done { h: j, local: l2, rec, kind: 1 }
-                            if (j > h || (j == h && l2 > local)) => {
-                                used[rec as usize] = true;
-                            }
+                        Mode::ResWait { h: j, local: l2 } if (j > h || (j == h && l2 > local)) => {
+                            return Transition::Continue(st);
+                        }
+                        Mode::Done {
+                            h: j,
+                            local: l2,
+                            rec,
+                            kind: 1,
+                        } if (j > h || (j == h && l2 > local)) => {
+                            used[rec as usize] = true;
+                        }
                         _ => {}
                     }
                 }
-                let rec =
-                    used.iter().position(|&u| !u).expect("cap+1 palette vs ≤ cap parents")
-                        as u64;
+                let rec = used
+                    .iter()
+                    .position(|&u| !u)
+                    .expect("cap+1 palette vs ≤ cap parents") as u64;
                 let value = self.encode(prefix, 1, rec);
                 Transition::Terminate(
                     OpeState {
                         prefix: st.prefix.clone(),
-                        mode: Mode::Done { h, local, rec, kind: 1 },
+                        mode: Mode::Done {
+                            h,
+                            local,
+                            rec,
+                            kind: 1,
+                        },
                     },
                     value,
                 )
@@ -519,7 +564,10 @@ impl OnePlusEtaArbCol {
         if i >= d {
             return Transition::Continue(OpeState {
                 prefix,
-                mode: Mode::ResWait { h, local: inset.finish(cur) },
+                mode: Mode::ResWait {
+                    h,
+                    local: inset.finish(cur),
+                },
             });
         }
         let peers: Vec<u64> = ctx
@@ -538,7 +586,10 @@ impl OnePlusEtaArbCol {
             .collect();
         let next = inset.step(i, cur, &peers);
         let mode = if i + 1 == d {
-            Mode::ResWait { h, local: inset.finish(next) }
+            Mode::ResWait {
+                h,
+                local: inset.finish(next),
+            }
         } else {
             Mode::ResInSet { h, c: next }
         };
@@ -561,16 +612,20 @@ impl OnePlusEtaArbCol {
                     .view
                     .neighbors()
                     .filter(|(_, o)| {
-                        same_base_branch(prefix, o)
-                            && matches!(o.mode, Mode::BasePart { h: None })
+                        same_base_branch(prefix, o) && matches!(o.mode, Mode::BasePart { h: None })
                     })
                     .count();
                 let mode = if partition_step(active, s.base_cap) {
-                    Mode::BasePart { h: Some(round - bs + 1) }
+                    Mode::BasePart {
+                        h: Some(round - bs + 1),
+                    }
                 } else {
                     Mode::BasePart { h: None }
                 };
-                Transition::Continue(OpeState { prefix: st.prefix.clone(), mode })
+                Transition::Continue(OpeState {
+                    prefix: st.prefix.clone(),
+                    mode,
+                })
             }
             Mode::BasePart { h: Some(h) } => {
                 let start = self.base_window_start(s, h);
@@ -611,7 +666,15 @@ impl OnePlusEtaArbCol {
             let rec = 2 * cur + phase_bit;
             let value = self.encode(&prefix, 0, rec);
             return Transition::Terminate(
-                OpeState { prefix, mode: Mode::Done { h, local: cur, rec, kind: 0 } },
+                OpeState {
+                    prefix,
+                    mode: Mode::Done {
+                        h,
+                        local: cur,
+                        rec,
+                        kind: 0,
+                    },
+                },
                 value,
             );
         }
@@ -629,8 +692,7 @@ impl OnePlusEtaArbCol {
                     Mode::BaseColor { h: j, c } => (j, c),
                     _ => return None,
                 };
-                (in_my_phase(j) && (j > h || (j == h && ctx.ids.id(u) > my_id)))
-                    .then_some(col)
+                (in_my_phase(j) && (j > h || (j == h && ctx.ids.id(u) > my_id))).then_some(col)
             })
             .collect();
         let next = sched.step(i, cur, &parents);
@@ -638,11 +700,22 @@ impl OnePlusEtaArbCol {
             let rec = 2 * next + phase_bit;
             let value = self.encode(&prefix, 0, rec);
             Transition::Terminate(
-                OpeState { prefix, mode: Mode::Done { h, local: next, rec, kind: 0 } },
+                OpeState {
+                    prefix,
+                    mode: Mode::Done {
+                        h,
+                        local: next,
+                        rec,
+                        kind: 0,
+                    },
+                },
                 value,
             )
         } else {
-            Transition::Continue(OpeState { prefix, mode: Mode::BaseColor { h, c: next } })
+            Transition::Continue(OpeState {
+                prefix,
+                mode: Mode::BaseColor { h, c: next },
+            })
         }
     }
 }
@@ -657,7 +730,7 @@ mod tests {
     fn run_and_verify(g: &Graph, a: usize, c: usize) -> (f64, u32, usize) {
         let p = OnePlusEtaArbCol::new(a, c);
         let ids = IdAssignment::identity(g.n());
-        let out = simlocal::run_seq(&p, g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(g, &out.outputs, usize::MAX));
         out.metrics.check_identities().unwrap();
         (

@@ -43,13 +43,19 @@ pub struct Partition {
 impl Partition {
     /// Standard instance with `ε = 2` (threshold `4a`).
     pub fn new(arboricity: usize) -> Self {
-        Partition { arboricity, epsilon: 2.0 }
+        Partition {
+            arboricity,
+            epsilon: 2.0,
+        }
     }
 
     /// Instance with explicit ε.
     pub fn with_epsilon(arboricity: usize, epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon <= 2.0);
-        Partition { arboricity, epsilon }
+        Partition {
+            arboricity,
+            epsilon,
+        }
     }
 
     /// The threshold `A` this instance uses.
@@ -88,7 +94,9 @@ pub fn run_partition(
 ) -> (Vec<u32>, simlocal::RoundMetrics) {
     let p = Partition::with_epsilon(arboricity, epsilon);
     let ids = IdAssignment::identity(g.n());
-    let out = simlocal::run_seq(&p, g, &ids).expect("partition terminates on valid arboricity");
+    let out = simlocal::Runner::new(&p, g, &ids)
+        .run()
+        .expect("partition terminates on valid arboricity");
     (out.outputs, out.metrics)
 }
 
@@ -209,6 +217,6 @@ mod tests {
         let g = gen::clique(20);
         let p = Partition::new(1);
         let ids = IdAssignment::identity(20);
-        assert!(simlocal::run_seq(&p, &g, &ids).is_err());
+        assert!(simlocal::Runner::new(&p, &g, &ids).run().is_err());
     }
 }

@@ -40,7 +40,12 @@ pub enum SPipe {
     /// (ℬ readiness).
     Colored { color: u64, at: u32 },
     /// ℬ: gossiping the census.
-    Census { color: u64, at: u32, seen: Vec<u64>, left: u32 },
+    Census {
+        color: u64,
+        at: u32,
+        seen: Vec<u64>,
+        left: u32,
+    },
 }
 
 /// Output of the pipeline.
@@ -70,7 +75,12 @@ pub struct ColorThenCensus {
 impl ColorThenCensus {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize, b_rounds: u32) -> Self {
-        ColorThenCensus { arboricity, epsilon: 2.0, b_rounds: b_rounds.max(1), fam: OnceLock::new() }
+        ColorThenCensus {
+            arboricity,
+            epsilon: 2.0,
+            b_rounds: b_rounds.max(1),
+            fam: OnceLock::new(),
+        }
     }
 
     fn cap(&self) -> usize {
@@ -103,8 +113,11 @@ impl Protocol for ColorThenCensus {
     fn step(&self, ctx: StepCtx<'_, SPipe>) -> Transition<SPipe, PipeOut> {
         match ctx.state.clone() {
             SPipe::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SPipe::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SPipe::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SPipe::Joined { h: ctx.round })
                 } else {
@@ -125,7 +138,10 @@ impl Protocol for ColorThenCensus {
                     .map(|(u, _)| ctx.ids.id(u))
                     .collect();
                 let color = self.family(ctx.ids).reduce(my_id, &parents);
-                Transition::Continue(SPipe::Colored { color, at: ctx.round })
+                Transition::Continue(SPipe::Colored {
+                    color,
+                    at: ctx.round,
+                })
             }
             SPipe::Colored { color, at } => {
                 // ℬ readiness: every neighbor holds an 𝒜-output.
@@ -135,9 +151,12 @@ impl Protocol for ColorThenCensus {
                     Transition::Continue(SPipe::Colored { color, at })
                 }
             }
-            SPipe::Census { color, at, seen, left } => {
-                self.census_step(&ctx, color, at, seen, left)
-            }
+            SPipe::Census {
+                color,
+                at,
+                seen,
+                left,
+            } => self.census_step(&ctx, color, at, seen, left),
         }
     }
 
@@ -171,9 +190,22 @@ impl ColorThenCensus {
                 a_done_round: at,
                 distinct_in_neighborhood: seen.len(),
             };
-            Transition::Terminate(SPipe::Census { color, at, seen, left: 0 }, out)
+            Transition::Terminate(
+                SPipe::Census {
+                    color,
+                    at,
+                    seen,
+                    left: 0,
+                },
+                out,
+            )
         } else {
-            Transition::Continue(SPipe::Census { color, at, seen, left: left - 1 })
+            Transition::Continue(SPipe::Census {
+                color,
+                at,
+                seen,
+                left: left - 1,
+            })
         }
     }
 }
@@ -191,9 +223,13 @@ mod tests {
         let gg = gen::forest_union(400, 2, &mut rng);
         let ids = IdAssignment::identity(400);
         let p = ColorThenCensus::new(2, 5);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         let colors: Vec<u64> = out.outputs.iter().map(|o| o.color).collect();
-        verify::assert_ok(verify::proper_vertex_coloring(&gg.graph, &colors, usize::MAX));
+        verify::assert_ok(verify::proper_vertex_coloring(
+            &gg.graph,
+            &colors,
+            usize::MAX,
+        ));
         // The census must count at least the closed-neighborhood truth
         // (gossip can only add colors from 2-hop ripples of ℬ overlap —
         // here neighbors republish only their own colors, so equality).
@@ -222,13 +258,12 @@ mod tests {
         let ids = IdAssignment::identity(8192);
         let b = 6;
         let p = ColorThenCensus::new(2, b);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         // Average completion with async start…
         let async_avg = out.metrics.vertex_averaged();
         // …vs the synchronized discipline: everyone waits for the global
         // 𝒜 worst case before running ℬ.
-        let a_worst =
-            out.outputs.iter().map(|o| o.a_done_round).max().unwrap();
+        let a_worst = out.outputs.iter().map(|o| o.a_done_round).max().unwrap();
         let sync_avg = (a_worst + 1 + b) as f64;
         assert!(
             async_avg + 1.0 < sync_avg,
@@ -246,7 +281,7 @@ mod tests {
         let gg = gen::forest_union(600, 3, &mut rng);
         let ids = IdAssignment::identity(600);
         let p = ColorThenCensus::new(3, 4);
-        let out = simlocal::run_seq(&p, &gg.graph, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids).run().unwrap();
         for v in gg.graph.vertices() {
             let term = out.metrics.termination_round[v as usize];
             for &u in gg.graph.neighbors(v) {

@@ -64,7 +64,10 @@ pub struct RandALogLog {
 impl RandALogLog {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
-        RandALogLog { arboricity, epsilon: 2.0 }
+        RandALogLog {
+            arboricity,
+            epsilon: 2.0,
+        }
     }
 
     /// Degree threshold `A`; per-copy palette is `A + 1`.
@@ -100,8 +103,11 @@ impl Protocol for RandALogLog {
         let a1 = self.cap() as u64 + 1;
         match ctx.state.clone() {
             SRal::Active => {
-                let active =
-                    ctx.view.neighbors().filter(|(_, s)| matches!(s, SRal::Active)).count();
+                let active = ctx
+                    .view
+                    .neighbors()
+                    .filter(|(_, s)| matches!(s, SRal::Active))
+                    .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SRal::Idle { h: ctx.round })
                 } else {
@@ -138,8 +144,7 @@ impl Protocol for RandALogLog {
                     .neighbors()
                     .filter_map(|(_, s)| match s {
                         SRal::Final { h: j, c } => {
-                            let relevant =
-                                if phase2 { *j > t } else { *j == h };
+                            let relevant = if phase2 { *j > t } else { *j == h };
                             // Decode back to the local color.
                             relevant.then(|| *c % a1)
                         }
@@ -147,7 +152,9 @@ impl Protocol for RandALogLog {
                     })
                     .collect();
                 let free: Vec<u64> = (0..a1).filter(|c| !taken.contains(c)).collect();
-                let &c = free.choose(&mut rng).expect("A+1 colors vs ≤ A relevant neighbors");
+                let &c = free
+                    .choose(&mut rng)
+                    .expect("A+1 colors vs ≤ A relevant neighbors");
                 Transition::Continue(SRal::Proposed { h, c })
             }
             SRal::Proposed { h, c } => {
@@ -192,13 +199,11 @@ mod tests {
     use graphcore::{gen, verify, IdAssignment};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use simlocal::RunConfig;
 
     fn run_seeded(g: &Graph, a: usize, seed: u64) -> (f64, u32, usize) {
         let p = RandALogLog::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out =
-            simlocal::run(&p, g, &ids, RunConfig { seed, ..Default::default() }).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).seed(seed).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             g,
             &out.outputs,

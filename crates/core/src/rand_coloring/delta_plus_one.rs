@@ -119,19 +119,21 @@ mod tests {
     use graphcore::{gen, verify, IdAssignment};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use simlocal::RunConfig;
 
     fn run_seeded(g: &Graph, seed: u64) -> (Vec<u64>, f64, u32) {
         let p = RandDeltaPlusOne::new();
         let ids = IdAssignment::identity(g.n());
-        let out =
-            simlocal::run(&p, g, &ids, RunConfig { seed, ..Default::default() }).unwrap();
+        let out = simlocal::Runner::new(&p, g, &ids).seed(seed).run().unwrap();
         verify::assert_ok(verify::proper_vertex_coloring(
             g,
             &out.outputs,
             g.max_degree() + 1,
         ));
-        (out.outputs, out.metrics.vertex_averaged(), out.metrics.worst_case())
+        (
+            out.outputs,
+            out.metrics.vertex_averaged(),
+            out.metrics.worst_case(),
+        )
     }
 
     #[test]

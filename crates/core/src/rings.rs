@@ -61,7 +61,10 @@ impl Protocol for LeaderElection {
 
     fn init(&self, g: &Graph, ids: &IdAssignment, v: VertexId) -> LeState {
         assert_eq!(g.degree(v), 2, "leader election runs on cycles");
-        LeState { best: ids.id(v), committed: None }
+        LeState {
+            best: ids.id(v),
+            committed: None,
+        }
     }
 
     fn step(&self, ctx: StepCtx<'_, LeState>) -> Transition<LeState, LeOut> {
@@ -176,9 +179,10 @@ impl Protocol for RingThreeColoring {
             // Shoot-down: colors 5, 4, 3 re-pick in separate rounds.
             let target = 5 - (i - total_cv) as u64; // 5, then 4, then 3
             if *ctx.state == target {
-                let used: Vec<u64> =
-                    ctx.view.neighbors().map(|(_, &s)| s).collect();
-                (0..3).find(|c| !used.contains(c)).expect("3 colors vs 2 neighbors")
+                let used: Vec<u64> = ctx.view.neighbors().map(|(_, &s)| s).collect();
+                (0..3)
+                    .find(|c| !used.contains(c))
+                    .expect("3 colors vs 2 neighbors")
             } else {
                 *ctx.state
             }
@@ -212,9 +216,13 @@ mod tests {
         for n in [3usize, 10, 257] {
             let g = gen::cycle(n);
             let ids = IdAssignment::identity(n);
-            let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
-            let leaders: Vec<_> =
-                g.vertices().filter(|&v| out.outputs[v as usize].is_leader).collect();
+            let out = simlocal::Runner::new(&LeaderElection, &g, &ids)
+                .run()
+                .unwrap();
+            let leaders: Vec<_> = g
+                .vertices()
+                .filter(|&v| out.outputs[v as usize].is_leader)
+                .collect();
             assert_eq!(leaders, vec![n as u32 - 1], "max-ID vertex must win");
             out.metrics.check_identities().unwrap();
         }
@@ -226,9 +234,13 @@ mod tests {
         for n in [64usize, 1024] {
             let g = gen::cycle(n);
             let ids = IdAssignment::random_permutation(n, &mut rng);
-            let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
-            let leaders: Vec<_> =
-                g.vertices().filter(|&v| out.outputs[v as usize].is_leader).collect();
+            let out = simlocal::Runner::new(&LeaderElection, &g, &ids)
+                .run()
+                .unwrap();
+            let leaders: Vec<_> = g
+                .vertices()
+                .filter(|&v| out.outputs[v as usize].is_leader)
+                .collect();
             assert_eq!(leaders.len(), 1);
             assert_eq!(ids.id(leaders[0]), n as u64 - 1);
         }
@@ -241,7 +253,9 @@ mod tests {
         let n = 4096;
         let g = gen::cycle(n);
         let ids = IdAssignment::random_permutation(n, &mut rng);
-        let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
+        let out = simlocal::Runner::new(&LeaderElection, &g, &ids)
+            .run()
+            .unwrap();
         let m = commit_metrics(&out);
         let va = m.vertex_averaged();
         let wc = m.worst_case();
@@ -256,7 +270,9 @@ mod tests {
         let n = 1024;
         let g = gen::cycle(n);
         let ids = IdAssignment::identity(n);
-        let out = simlocal::run_seq(&LeaderElection, &g, &ids).unwrap();
+        let out = simlocal::Runner::new(&LeaderElection, &g, &ids)
+            .run()
+            .unwrap();
         let quick = out.outputs.iter().filter(|o| o.commit_round <= 2).count();
         assert!(quick as f64 > 0.95 * n as f64);
     }
@@ -274,7 +290,9 @@ mod tests {
         for n in [3usize, 5, 64, 501] {
             let g = gen::cycle(n);
             let ids = IdAssignment::identity(n);
-            let out = simlocal::run_seq(&RingThreeColoring, &g, &ids).unwrap();
+            let out = simlocal::Runner::new(&RingThreeColoring, &g, &ids)
+                .run()
+                .unwrap();
             verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, 3));
             assert!(out.outputs.iter().all(|&c| c < 3));
         }
@@ -285,8 +303,13 @@ mod tests {
         // The §3 negative result: no early retirement on rings.
         let g = gen::cycle(2048);
         let ids = IdAssignment::identity(2048);
-        let out = simlocal::run_seq(&RingThreeColoring, &g, &ids).unwrap();
-        assert_eq!(out.metrics.vertex_averaged(), out.metrics.worst_case() as f64);
+        let out = simlocal::Runner::new(&RingThreeColoring, &g, &ids)
+            .run()
+            .unwrap();
+        assert_eq!(
+            out.metrics.vertex_averaged(),
+            out.metrics.worst_case() as f64
+        );
         // And the schedule is log*-short.
         assert!(out.metrics.worst_case() <= 10);
     }
@@ -298,7 +321,7 @@ mod tests {
         let p = RingThreeColoring;
         let rounds = p.rounds(&ids);
         assert!(rounds >= 3);
-        let out = simlocal::run_seq(&p, &g, &ids).unwrap();
+        let out = simlocal::Runner::new(&p, &g, &ids).run().unwrap();
         assert_eq!(out.metrics.worst_case(), rounds);
     }
 }

@@ -44,7 +44,9 @@ impl SegmentSchedule {
         }
         // Segment 1 covers the rest of the full partition schedule (and at
         // least c·log n rounds), guaranteeing every vertex joins a window.
-        let len1 = (c * itlog::iterated_log(n, 1)).max(full.saturating_sub(next_start - 1)).max(1);
+        let len1 = (c * itlog::iterated_log(n, 1))
+            .max(full.saturating_sub(next_start - 1))
+            .max(1);
         windows.push((1, next_start as u32, (next_start + len1 - 1) as u32));
         SegmentSchedule { windows }
     }
@@ -182,7 +184,10 @@ mod more_tests {
         let mut last = u32::MAX;
         for h in 1..=sch.total_partition_rounds() {
             let s = sch.segment_of(h);
-            assert!(s <= last, "segment index must be non-increasing over rounds");
+            assert!(
+                s <= last,
+                "segment index must be non-increasing over rounds"
+            );
             last = s;
         }
         assert_eq!(last, 1);
@@ -196,7 +201,10 @@ mod more_tests {
         for s in (1..=sch.k()).rev() {
             let (a, b) = sch.window(s);
             let len = b - a + 1;
-            assert!(len >= prev_len, "segment {s} window shrank: {len} < {prev_len}");
+            assert!(
+                len >= prev_len,
+                "segment {s} window shrank: {len} < {prev_len}"
+            );
             prev_len = len;
         }
     }

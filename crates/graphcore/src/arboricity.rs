@@ -101,7 +101,11 @@ pub fn nash_williams_lower_bound(g: &Graph) -> usize {
     let mut edges = 0usize;
     let mut best = if g.m() > 0 { 1 } else { 0 };
     for (k, &v) in order.iter().enumerate().rev() {
-        edges += g.neighbors(v).iter().filter(|&&u| in_suffix[u as usize]).count();
+        edges += g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| in_suffix[u as usize])
+            .count();
         in_suffix[v as usize] = true;
         let size = n - k;
         if size >= 2 {
@@ -113,7 +117,10 @@ pub fn nash_williams_lower_bound(g: &Graph) -> usize {
 
 /// Full bracket estimate.
 pub fn estimate(g: &Graph) -> ArboricityEstimate {
-    ArboricityEstimate { lower: nash_williams_lower_bound(g), upper: degeneracy(g).max(1) }
+    ArboricityEstimate {
+        lower: nash_williams_lower_bound(g),
+        upper: degeneracy(g).max(1),
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +131,9 @@ mod tests {
 
     #[test]
     fn tree_is_1_degenerate() {
-        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (1, 3), (3, 4)]).build();
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+            .build();
         assert_eq!(degeneracy(&g), 1);
         assert_eq!(nash_williams_lower_bound(&g), 1);
     }
@@ -167,8 +176,11 @@ mod tests {
             pos[v as usize] = i;
         }
         for (i, &v) in order.iter().enumerate() {
-            let later =
-                g.neighbors(v).iter().filter(|&&u| pos[u as usize] > i).count();
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| pos[u as usize] > i)
+                .count();
             assert!(later <= d, "vertex {v} has {later} later neighbors, d={d}");
         }
         assert_eq!(d, 2); // grids are 2-degenerate

@@ -22,8 +22,14 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph on `n` vertices `0..n`.
     pub fn new(n: usize) -> Self {
-        assert!(n < u32::MAX as usize, "vertex count exceeds u32 index space");
-        GraphBuilder { n, edges: Vec::new() }
+        assert!(
+            n < u32::MAX as usize,
+            "vertex count exceeds u32 index space"
+        );
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a single undirected edge `{u, v}`.
@@ -106,8 +112,11 @@ impl GraphBuilder {
         for v in 0..n {
             let lo = offsets[v] as usize;
             let hi = offsets[v + 1] as usize;
-            let mut pairs: Vec<(VertexId, EdgeId)> =
-                neighbors[lo..hi].iter().copied().zip(edge_ids[lo..hi].iter().copied()).collect();
+            let mut pairs: Vec<(VertexId, EdgeId)> = neighbors[lo..hi]
+                .iter()
+                .copied()
+                .zip(edge_ids[lo..hi].iter().copied())
+                .collect();
             pairs.sort_unstable();
             for (i, (nb, ei)) in pairs.into_iter().enumerate() {
                 neighbors[lo + i] = nb;
@@ -125,7 +134,9 @@ mod tests {
 
     #[test]
     fn dedup_parallel_edges() {
-        let g = GraphBuilder::new(4).edges([(0, 1), (1, 0), (0, 1), (2, 3)]).build();
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 0), (0, 1), (2, 3)])
+            .build();
         assert_eq!(g.m(), 2);
         assert!(g.check_invariants());
     }
@@ -145,14 +156,18 @@ mod tests {
     #[test]
     fn sorted_adjacency_after_interleaved_roles() {
         // Vertex 2 is higher endpoint for (0,2),(1,2) and lower for (2,3),(2,4).
-        let g = GraphBuilder::new(5).edges([(2, 4), (0, 2), (2, 3), (1, 2)]).build();
+        let g = GraphBuilder::new(5)
+            .edges([(2, 4), (0, 2), (2, 3), (1, 2)])
+            .build();
         assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
         assert!(g.check_invariants());
     }
 
     #[test]
     fn edge_ids_are_dense_and_consistent() {
-        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
         let mut seen = vec![false; g.m()];
         for (e, (u, v)) in g.edges() {
             assert!(!seen[e as usize]);

@@ -42,8 +42,16 @@ impl Graph {
     ) -> Self {
         debug_assert_eq!(neighbors.len(), edge_ids.len());
         debug_assert_eq!(neighbors.len(), 2 * edges.len());
-        debug_assert_eq!(*offsets.last().expect("nonempty offsets") as usize, neighbors.len());
-        let g = Graph { offsets, neighbors, edge_ids, edges };
+        debug_assert_eq!(
+            *offsets.last().expect("nonempty offsets") as usize,
+            neighbors.len()
+        );
+        let g = Graph {
+            offsets,
+            neighbors,
+            edge_ids,
+            edges,
+        };
         debug_assert!(g.check_invariants());
         g
     }
@@ -96,7 +104,10 @@ impl Graph {
     /// Pairs `(neighbor, edge id)` incident on `v`.
     #[inline]
     pub fn incidences(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.incident_edges(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.incident_edges(v).iter().copied())
     }
 
     /// Endpoints `(u, v)` with `u < v` of undirected edge `e`.
@@ -107,7 +118,11 @@ impl Graph {
 
     /// Iterator over `(edge id, (u, v))` for all undirected edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, (VertexId, VertexId))> + '_ {
-        self.edges.iter().copied().enumerate().map(|(e, uv)| (e as EdgeId, uv))
+        self.edges
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(e, uv)| (e as EdgeId, uv))
     }
 
     /// Whether `{u, v}` is an edge. `O(log deg(u))`.
@@ -175,7 +190,13 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}, Δ={})", self.n(), self.m(), self.max_degree())
+        write!(
+            f,
+            "Graph(n={}, m={}, Δ={})",
+            self.n(),
+            self.m(),
+            self.max_degree()
+        )
     }
 }
 

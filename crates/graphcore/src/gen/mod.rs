@@ -193,7 +193,11 @@ pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> GenGraph {
     for (u, v) in random_tree_edges(n, rng) {
         b.push(u, v);
     }
-    GenGraph { graph: b.build(), arboricity: 1, family: "random_tree" }
+    GenGraph {
+        graph: b.build(),
+        arboricity: 1,
+        family: "random_tree",
+    }
 }
 
 /// Union of `k` independent random spanning trees on `0..n`.
@@ -210,7 +214,11 @@ pub fn forest_union<R: Rng>(n: usize, k: usize, rng: &mut R) -> GenGraph {
             b.push(u, v);
         }
     }
-    GenGraph { graph: b.build(), arboricity: k, family: "forest_union" }
+    GenGraph {
+        graph: b.build(),
+        arboricity: k,
+        family: "forest_union",
+    }
 }
 
 /// Nested shells — the adversarial instance for Procedure Partition.
@@ -251,7 +259,11 @@ pub fn nested_shells(levels: u32, w: usize) -> GenGraph {
             }
         }
     }
-    GenGraph { graph: b.build(), arboricity: w, family: "nested_shells" }
+    GenGraph {
+        graph: b.build(),
+        arboricity: w,
+        family: "nested_shells",
+    }
 }
 
 /// Forest-union with planted hubs: arboricity stays ≤ `k + 1` while the
@@ -267,7 +279,10 @@ pub fn hub_forest<R: Rng>(
     hub_degree: usize,
     rng: &mut R,
 ) -> GenGraph {
-    assert!(hubs * hub_degree <= n.saturating_sub(hubs), "hub edges must fit disjointly");
+    assert!(
+        hubs * hub_degree <= n.saturating_sub(hubs),
+        "hub edges must fit disjointly"
+    );
     let mut g = forest_union(n, k, rng);
     let mut b = GraphBuilder::new(n);
     for (_, (u, v)) in g.graph.edges() {
@@ -360,7 +375,11 @@ mod tests {
             );
             // Degeneracy can reach 2k−1 but never exceeds it for a k-forest
             // union.
-            assert!(est.upper <= 2 * k, "degeneracy {} too large for k={k}", est.upper);
+            assert!(
+                est.upper <= 2 * k,
+                "degeneracy {} too large for k={k}",
+                est.upper
+            );
         }
     }
 
@@ -371,11 +390,15 @@ mod tests {
         // edges; interior in-degree is 2w.
         assert_eq!(g.graph.n(), (1usize << 9) - 1);
         let est = arboricity::estimate(&g.graph);
-        assert!(est.lower >= 2 && est.lower <= 3, "NW density near w: {}", est.lower);
+        assert!(
+            est.lower >= 2 && est.lower <= 3,
+            "NW density near w: {}",
+            est.lower
+        );
         assert!(est.upper <= 2 * 3);
         // Interior degrees ≈ 3w.
         let deg_mid = g.graph.degree(300);
-        assert!(deg_mid >= 6 && deg_mid <= 12, "interior degree {deg_mid}");
+        assert!((6..=12).contains(&deg_mid), "interior degree {deg_mid}");
     }
 
     fn gen_shells(levels: u32, w: usize) -> super::GenGraph {
@@ -388,7 +411,11 @@ mod tests {
         let g = hub_forest(2000, 2, 4, 100, &mut rng);
         assert!(g.graph.max_degree() >= 100);
         let est = arboricity::estimate(&g.graph);
-        assert!(est.lower <= 3, "hubs must not raise density: lower={}", est.lower);
+        assert!(
+            est.lower <= 3,
+            "hubs must not raise density: lower={}",
+            est.lower
+        );
     }
 
     #[test]

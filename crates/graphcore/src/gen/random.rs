@@ -12,7 +12,10 @@ use rand::Rng;
 /// known by construction.
 pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> GenGraph {
     let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_m, "requested m={m} exceeds simple-graph maximum {max_m}");
+    assert!(
+        m <= max_m,
+        "requested m={m} exceeds simple-graph maximum {max_m}"
+    );
     let mut b = GraphBuilder::new(n);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     while chosen.len() < m {
@@ -28,7 +31,11 @@ pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> GenGraph {
     }
     let graph = b.build();
     let a = arboricity::estimate(&graph).safe_a();
-    GenGraph { graph, arboricity: a, family: "gnm" }
+    GenGraph {
+        graph,
+        arboricity: a,
+        family: "gnm",
+    }
 }
 
 /// Erdős–Rényi `G(n, p)` via geometric skipping (O(n + m) expected).
@@ -63,7 +70,11 @@ pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> GenGraph {
     }
     let graph = b.build();
     let a = arboricity::estimate(&graph).safe_a();
-    GenGraph { graph, arboricity: a, family: "gnp" }
+    GenGraph {
+        graph,
+        arboricity: a,
+        family: "gnp",
+    }
 }
 
 /// Barabási–Albert preferential attachment: starts from a clique on
@@ -103,7 +114,11 @@ pub fn preferential_attachment<R: Rng>(n: usize, m0: usize, rng: &mut R) -> GenG
     }
     let graph = b.build();
     let a = arboricity::estimate(&graph).safe_a();
-    GenGraph { graph, arboricity: a, family: "preferential_attachment" }
+    GenGraph {
+        graph,
+        arboricity: a,
+        family: "preferential_attachment",
+    }
 }
 
 /// Random geometric graph: `n` points uniform in the unit square, edges
@@ -116,7 +131,9 @@ pub fn preferential_attachment<R: Rng>(n: usize, m0: usize, rng: &mut R) -> GenG
 /// small.
 pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> GenGraph {
     assert!(radius > 0.0 && radius <= 1.0);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cells = ((1.0 / radius).floor() as usize).clamp(1, 4096);
     let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
     let mut grid: Vec<Vec<VertexId>> = vec![Vec::new(); cells * cells];
@@ -148,7 +165,11 @@ pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> GenGraph 
     }
     let graph = b.build();
     let a = arboricity::estimate(&graph).safe_a();
-    GenGraph { graph, arboricity: a, family: "random_geometric" }
+    GenGraph {
+        graph,
+        arboricity: a,
+        family: "random_geometric",
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +200,10 @@ mod tests {
         let g = gnp(400, 0.05, &mut rng);
         let expected = 0.05 * (400.0 * 399.0 / 2.0);
         let m = g.graph.m() as f64;
-        assert!((m - expected).abs() < 0.25 * expected, "m={m}, expected≈{expected}");
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "m={m}, expected≈{expected}"
+        );
     }
 
     #[test]
@@ -199,8 +223,9 @@ mod tests {
         let radius = 0.17;
         // Re-derive the points with the same seed to brute-force check.
         let g = random_geometric(n, radius, &mut rng.clone());
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let mut expected = 0usize;
         for i in 0..n {
             for j in (i + 1)..n {
@@ -222,7 +247,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(17);
         let n = 3000;
         let g = random_geometric(n, 1.5 / (n as f64).sqrt(), &mut rng);
-        assert!(g.arboricity <= 10, "sparse RGG degeneracy too high: {}", g.arboricity);
+        assert!(
+            g.arboricity <= 10,
+            "sparse RGG degeneracy too high: {}",
+            g.arboricity
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub struct IdAssignment {
 impl IdAssignment {
     /// The identity assignment: vertex `v` has ID `v`.
     pub fn identity(n: usize) -> Self {
-        IdAssignment { ids: (0..n as u64).collect() }
+        IdAssignment {
+            ids: (0..n as u64).collect(),
+        }
     }
 
     /// A uniformly random permutation of `0..n` as IDs.
@@ -55,7 +57,10 @@ impl IdAssignment {
     pub fn from_vec(ids: Vec<u64>) -> Self {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
-        assert!(sorted.windows(2).all(|w| w[0] != w[1]), "IDs must be distinct");
+        assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "IDs must be distinct"
+        );
         IdAssignment { ids }
     }
 

@@ -94,18 +94,21 @@ pub fn from_dimacs(text: &str) -> Result<Graph, String> {
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks.as_slice() {
             ["p", "edge", n, _m] => {
-                let n: usize =
-                    n.parse().map_err(|e| format!("line {}: bad n: {e}", lineno + 1))?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|e| format!("line {}: bad n: {e}", lineno + 1))?;
                 builder = Some(GraphBuilder::new(n));
             }
             ["e", u, v] => {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| format!("line {}: edge before header", lineno + 1))?;
-                let u: u64 =
-                    u.parse().map_err(|e| format!("line {}: bad u: {e}", lineno + 1))?;
-                let v: u64 =
-                    v.parse().map_err(|e| format!("line {}: bad v: {e}", lineno + 1))?;
+                let u: u64 = u
+                    .parse()
+                    .map_err(|e| format!("line {}: bad u: {e}", lineno + 1))?;
+                let v: u64 = v
+                    .parse()
+                    .map_err(|e| format!("line {}: bad v: {e}", lineno + 1))?;
                 if u == 0 || v == 0 {
                     return Err(format!("line {}: DIMACS endpoints are 1-based", lineno + 1));
                 }

@@ -30,7 +30,9 @@ pub struct Orientation {
 impl Orientation {
     /// An all-unoriented orientation over `m` edges.
     pub fn unoriented(m: usize) -> Self {
-        Orientation { dirs: vec![Dir::None; m] }
+        Orientation {
+            dirs: vec![Dir::None; m],
+        }
     }
 
     /// Builds from a per-edge "head" map: `head[e] = Some(v)` orients edge
@@ -100,12 +102,18 @@ impl Orientation {
 
     /// Out-degree of vertex `v` under this orientation.
     pub fn out_degree(&self, g: &Graph, v: VertexId) -> usize {
-        g.incident_edges(v).iter().filter(|&&e| self.tail(g, e) == Some(v)).count()
+        g.incident_edges(v)
+            .iter()
+            .filter(|&&e| self.tail(g, e) == Some(v))
+            .count()
     }
 
     /// Maximum out-degree over all vertices — the paper's "out-degree of μ".
     pub fn max_out_degree(&self, g: &Graph) -> usize {
-        g.vertices().map(|v| self.out_degree(g, v)).max().unwrap_or(0)
+        g.vertices()
+            .map(|v| self.out_degree(g, v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Out-neighbors ("parents under μ", §5) of `v`.
@@ -133,7 +141,8 @@ impl Orientation {
     /// Length of the orientation: number of edges on the longest directed
     /// path (§5). Returns `None` if the oriented subgraph has a cycle.
     pub fn length(&self, g: &Graph) -> Option<usize> {
-        self.topo_depths(g).map(|d| d.into_iter().max().unwrap_or(0))
+        self.topo_depths(g)
+            .map(|d| d.into_iter().max().unwrap_or(0))
     }
 
     /// Longest-directed-path-ending-at-v table via Kahn's algorithm;
@@ -146,8 +155,7 @@ impl Orientation {
                 indeg[h as usize] += 1;
             }
         }
-        let mut queue: Vec<VertexId> =
-            g.vertices().filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: Vec<VertexId> = g.vertices().filter(|&v| indeg[v as usize] == 0).collect();
         let mut depth = vec![0usize; n];
         let mut processed = 0usize;
         while let Some(v) = queue.pop() {
@@ -180,7 +188,11 @@ pub fn orient_by_key<K: Ord>(g: &Graph, key: impl Fn(VertexId) -> K) -> Orientat
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => u < v,
         };
-        o.dirs[e as usize] = if toward_v { Dir::LowToHigh } else { Dir::HighToLow };
+        o.dirs[e as usize] = if toward_v {
+            Dir::LowToHigh
+        } else {
+            Dir::HighToLow
+        };
     }
     o
 }
@@ -238,7 +250,9 @@ mod tests {
 
     #[test]
     fn star_out_degree() {
-        let g = GraphBuilder::new(5).edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+            .build();
         // Orient all edges away from the center.
         let o = orient_by_key(&g, |v| if v == 0 { 0 } else { 1 });
         assert_eq!(o.out_degree(&g, 0), 4);
@@ -249,8 +263,7 @@ mod tests {
     #[test]
     fn from_heads_roundtrip() {
         let g = path4();
-        let heads: Vec<Option<VertexId>> =
-            g.edges().map(|(_, (u, _))| Some(u)).collect();
+        let heads: Vec<Option<VertexId>> = g.edges().map(|(_, (u, _))| Some(u)).collect();
         let o = Orientation::from_heads(&g, &heads);
         for (e, (u, _)) in g.edges() {
             assert_eq!(o.head(&g, e), Some(u));

@@ -25,8 +25,7 @@ impl InducedSubgraph {
     /// (`members[v] == true` means `v ∈ S`).
     pub fn new(g: &Graph, members: &[bool]) -> Self {
         assert_eq!(members.len(), g.n());
-        let to_parent: Vec<VertexId> =
-            g.vertices().filter(|&v| members[v as usize]).collect();
+        let to_parent: Vec<VertexId> = g.vertices().filter(|&v| members[v as usize]).collect();
         let mut to_local = vec![u32::MAX; g.n()];
         for (i, &v) in to_parent.iter().enumerate() {
             to_local[v as usize] = i as u32;
@@ -39,7 +38,11 @@ impl InducedSubgraph {
                 }
             }
         }
-        InducedSubgraph { graph: b.build(), to_parent, to_local }
+        InducedSubgraph {
+            graph: b.build(),
+            to_parent,
+            to_local,
+        }
     }
 
     /// Builds from an explicit vertex list.

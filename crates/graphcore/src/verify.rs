@@ -17,7 +17,11 @@ pub type Check = Result<(), String>;
 /// `usize::MAX` to skip the palette-size check).
 pub fn proper_vertex_coloring(g: &Graph, colors: &[u64], max_colors: usize) -> Check {
     if colors.len() != g.n() {
-        return Err(format!("color vector has {} entries for n={}", colors.len(), g.n()));
+        return Err(format!(
+            "color vector has {} entries for n={}",
+            colors.len(),
+            g.n()
+        ));
     }
     for (e, (u, v)) in g.edges() {
         if colors[u as usize] == colors[v as usize] {
@@ -60,11 +64,18 @@ pub fn list_coloring(g: &Graph, colors: &[u64], lists: &[Vec<u64>]) -> Check {
 /// sharing its color (§7.8: an `⌊a/t⌋`-defective `O(t²)`-coloring).
 pub fn defective_coloring(g: &Graph, colors: &[u64], d: usize, max_colors: usize) -> Check {
     if colors.len() != g.n() {
-        return Err(format!("color vector has {} entries for n={}", colors.len(), g.n()));
+        return Err(format!(
+            "color vector has {} entries for n={}",
+            colors.len(),
+            g.n()
+        ));
     }
     for v in g.vertices() {
-        let defect =
-            g.neighbors(v).iter().filter(|&&u| colors[u as usize] == colors[v as usize]).count();
+        let defect = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| colors[u as usize] == colors[v as usize])
+            .count();
         if defect > d {
             return Err(format!("vertex {v} has defect {defect} > {d}"));
         }
@@ -107,14 +118,21 @@ pub fn arbdefective_coloring(g: &Graph, colors: &[u64], b: usize, max_colors: us
 /// edges sharing an endpoint get distinct colors.
 pub fn proper_edge_coloring(g: &Graph, colors: &[u64], max_colors: usize) -> Check {
     if colors.len() != g.m() {
-        return Err(format!("edge-color vector has {} entries for m={}", colors.len(), g.m()));
+        return Err(format!(
+            "edge-color vector has {} entries for m={}",
+            colors.len(),
+            g.m()
+        ));
     }
     for v in g.vertices() {
         let inc = g.incident_edges(v);
         let mut seen: Vec<u64> = inc.iter().map(|&e| colors[e as usize]).collect();
         seen.sort_unstable();
         if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
-            return Err(format!("vertex {v} has two incident edges colored {}", w[0]));
+            return Err(format!(
+                "vertex {v} has two incident edges colored {}",
+                w[0]
+            ));
         }
     }
     let used = count_distinct(colors);
@@ -127,18 +145,24 @@ pub fn proper_edge_coloring(g: &Graph, colors: &[u64], max_colors: usize) -> Che
 /// Checks that `in_set` is a maximal independent set.
 pub fn maximal_independent_set(g: &Graph, in_set: &[bool]) -> Check {
     if in_set.len() != g.n() {
-        return Err(format!("MIS vector has {} entries for n={}", in_set.len(), g.n()));
+        return Err(format!(
+            "MIS vector has {} entries for n={}",
+            in_set.len(),
+            g.n()
+        ));
     }
     for (e, (u, v)) in g.edges() {
         if in_set[u as usize] && in_set[v as usize] {
-            return Err(format!("edge {e} = ({u},{v}) has both endpoints in the set"));
+            return Err(format!(
+                "edge {e} = ({u},{v}) has both endpoints in the set"
+            ));
         }
     }
     for v in g.vertices() {
-        if !in_set[v as usize]
-            && !g.neighbors(v).iter().any(|&u| in_set[u as usize])
-        {
-            return Err(format!("vertex {v} is outside the set and has no neighbor inside"));
+        if !in_set[v as usize] && !g.neighbors(v).iter().any(|&u| in_set[u as usize]) {
+            return Err(format!(
+                "vertex {v} is outside the set and has no neighbor inside"
+            ));
         }
     }
     Ok(())
@@ -159,7 +183,9 @@ pub fn maximal_matching(g: &Graph, in_matching: &[bool]) -> Check {
         if in_matching[e as usize] {
             for w in [u, v] {
                 if covered[w as usize] {
-                    return Err(format!("vertex {w} covered by two matching edges (edge {e})"));
+                    return Err(format!(
+                        "vertex {w} covered by two matching edges (edge {e})"
+                    ));
                 }
                 covered[w as usize] = true;
             }
@@ -168,7 +194,9 @@ pub fn maximal_matching(g: &Graph, in_matching: &[bool]) -> Check {
     // Maximality: every non-matching edge touches a covered vertex.
     for (e, (u, v)) in g.edges() {
         if !in_matching[e as usize] && !covered[u as usize] && !covered[v as usize] {
-            return Err(format!("edge {e} = ({u},{v}) could be added to the matching"));
+            return Err(format!(
+                "edge {e} = ({u},{v}) could be added to the matching"
+            ));
         }
     }
     Ok(())
@@ -201,7 +229,8 @@ pub fn forest_decomposition(
     }
     // Out-degree within each label: each vertex has at most one outgoing
     // edge per label (edges out of v with label ℓ).
-    let mut out_label: std::collections::HashSet<(VertexId, u32)> = std::collections::HashSet::new();
+    let mut out_label: std::collections::HashSet<(VertexId, u32)> =
+        std::collections::HashSet::new();
     for (e, (u, v)) in g.edges() {
         let head = heads[e as usize].unwrap();
         let tail = if head == u { v } else { u };
@@ -225,14 +254,22 @@ pub fn forest_decomposition(
 /// `H_i ∪ H_{i+1} ∪ …`.
 pub fn h_partition(g: &Graph, h_index: &[u32], bound: usize) -> Check {
     if h_index.len() != g.n() {
-        return Err(format!("h_index has {} entries for n={}", h_index.len(), g.n()));
+        return Err(format!(
+            "h_index has {} entries for n={}",
+            h_index.len(),
+            g.n()
+        ));
     }
     for v in g.vertices() {
         if h_index[v as usize] == 0 {
             return Err(format!("vertex {v} was never assigned to an H-set"));
         }
         let i = h_index[v as usize];
-        let ahead = g.neighbors(v).iter().filter(|&&u| h_index[u as usize] >= i).count();
+        let ahead = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| h_index[u as usize] >= i)
+            .count();
         if ahead > bound {
             return Err(format!(
                 "vertex {v} in H_{i} has {ahead} neighbors in H_≥{i}, bound {bound}"
@@ -331,8 +368,10 @@ mod tests {
         // Star center 0 with all edges oriented away from 0, same label:
         // vertex 0 has out-degree 3 in one label.
         let g = gen::star(4);
-        let heads: Vec<Option<VertexId>> =
-            g.edges().map(|(_, (u, v))| Some(if u == 0 { v } else { u })).collect();
+        let heads: Vec<Option<VertexId>> = g
+            .edges()
+            .map(|(_, (u, v))| Some(if u == 0 { v } else { u }))
+            .collect();
         let labels = vec![0u32; g.m()];
         assert!(forest_decomposition(&g, &labels, &heads, 1).is_err());
         // Distinct labels per out-edge make it valid.
@@ -346,7 +385,7 @@ mod tests {
         let g = p3();
         assert!(h_partition(&g, &[1, 2, 1], 2).is_ok());
         assert!(h_partition(&g, &[1, 0, 1], 2).is_err()); // unassigned
-        // Clique with everyone in H_1, bound 1: each vertex sees 2 ahead.
+                                                          // Clique with everyone in H_1, bound 1: each vertex sees 2 ahead.
         let k = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
         assert!(h_partition(&k, &[1, 1, 1], 1).is_err());
         assert!(h_partition(&k, &[1, 1, 1], 2).is_ok());

@@ -1,53 +1,161 @@
-//! The synchronous round engine.
+//! The synchronous round engine, redesigned around *sparse rounds*: per-
+//! round work is proportional to the number of **active** vertices, so the
+//! wall-clock cost of a whole simulation tracks `RoundSum(V) = Σ_v r(v)`
+//! (the paper's Equation 1) instead of `n × worst-case`.
 //!
-//! Two execution modes with byte-identical results:
+//! What makes a round sparse:
 //!
-//! * [`run_seq`] — deterministic vertex-order loop, minimal overhead;
-//! * [`run`] — each round's active vertices stepped in parallel with Rayon
-//!   (every step reads only the previous round's snapshot, so parallelism
-//!   cannot change the outcome; a property test asserts equality).
+//! * one `published` state buffer — a stepped vertex's new state is moved
+//!   (not cloned) into place after all of the round's reads are done, and
+//!   vertices that did not step are simply never touched;
+//! * the transition scratch buffer is reused across rounds;
+//! * terminating vertices publish their final state in the same pass that
+//!   records their output — there is no end-of-round `O(n)` scan;
+//! * an adaptive sequential/parallel cutover: rounds whose active set is
+//!   below [`RunConfig::par_threshold`] run on the calling thread even in
+//!   parallel mode, so the long low-activity tail of a decaying protocol
+//!   never pays thread coordination costs.
+//!
+//! The entry point is [`Runner`], a builder that optionally attaches an
+//! [`Observer`](crate::observer::Observer) for per-round telemetry. An
+//! unobserved run is monomorphized with [`NoObserver`] and compiles to the
+//! bare engine — no clocks, no callbacks.
+//!
+//! Sequential and parallel modes produce byte-identical outcomes: every
+//! step reads only the previous round's snapshot, and transitions are
+//! applied in deterministic vertex order. A property test checks both
+//! modes against the retained naive engine in [`crate::reference`].
 
 use crate::metrics::RoundMetrics;
+use crate::observer::{NoObserver, Observer, RoundRecord};
 use crate::protocol::{NeighborView, Protocol, StepCtx, Transition};
 use graphcore::{Graph, IdAssignment, VertexId};
-use rayon::prelude::*;
+use std::time::{Duration, Instant};
 
-/// Engine configuration.
+/// Default active-set size above which a parallel-mode round fans out to
+/// worker threads. Below it, thread spawn/join overhead dominates the
+/// step work of typical protocols.
+pub const DEFAULT_PAR_THRESHOLD: usize = 4096;
+
+/// Engine configuration. Buildable:
+///
+/// ```
+/// use simlocal::RunConfig;
+/// let cfg = RunConfig::seeded(7).parallel().with_max_rounds(100);
+/// assert_eq!(cfg.seed, 7);
+/// assert!(cfg.parallel);
+/// ```
 #[derive(Clone, Copy, Debug)]
-#[derive(Default)]
 pub struct RunConfig {
     /// Seed for randomized protocols (ignored by deterministic ones).
     pub seed: u64,
-    /// Run each round's steps in parallel with Rayon.
+    /// Allow rounds to fan out across threads (subject to the cutover).
     pub parallel: bool,
     /// Override the protocol's round cap (`None` = ask the protocol).
     pub max_rounds: Option<u32>,
+    /// Minimum active-set size for a parallel-mode round to actually use
+    /// worker threads (the adaptive seq/par cutover).
+    pub par_threshold: usize,
 }
 
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            parallel: false,
+            max_rounds: None,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+        }
+    }
+}
 
-/// A completed simulation: every vertex's output plus the round metrics.
+impl RunConfig {
+    /// Config with the given seed, otherwise default.
+    pub fn seeded(seed: u64) -> RunConfig {
+        RunConfig {
+            seed,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Enables parallel round execution.
+    pub fn parallel(mut self) -> RunConfig {
+        self.parallel = true;
+        self
+    }
+
+    /// Forces sequential round execution.
+    pub fn sequential(mut self) -> RunConfig {
+        self.parallel = false;
+        self
+    }
+
+    /// Overrides the protocol's round cap.
+    pub fn with_max_rounds(mut self, cap: u32) -> RunConfig {
+        self.max_rounds = Some(cap);
+        self
+    }
+
+    /// Sets the parallel cutover threshold.
+    pub fn with_par_threshold(mut self, threshold: usize) -> RunConfig {
+        self.par_threshold = threshold;
+        self
+    }
+}
+
+/// What the engine itself measured about a completed run (independent of
+/// any observer).
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Total `step` invocations — equals `RoundSum(V)`; in the sparse
+    /// engine this is also the total number of vertex touches.
+    pub steps: u64,
+    /// Total states published (one per step, final broadcasts included).
+    pub publications: u64,
+    /// Estimated bytes published: `publications × size_of::<State>()`
+    /// (shallow size — heap payloads inside states are not counted).
+    pub state_bytes: u64,
+    /// Rounds that actually fanned out to worker threads.
+    pub parallel_rounds: u32,
+}
+
+/// A completed simulation: every vertex's output, the round metrics, and
+/// the engine's own run statistics.
 #[derive(Clone, Debug)]
 pub struct SimOutcome<O> {
     /// Final output of each vertex.
     pub outputs: Vec<O>,
     /// Termination rounds and activity series.
     pub metrics: RoundMetrics,
+    /// Wall time and work accounting for the run.
+    pub stats: EngineStats,
 }
 
 /// Engine failure modes.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[allow(missing_docs)] // field meanings are shared across the state machines (see the note above)
 pub enum EngineError {
     /// Some vertices were still active after the round cap — the protocol
     /// livelocked or the cap is too tight. Carries the cap and the number
     /// of vertices still active.
-    RoundLimitExceeded { max_rounds: u32, still_active: usize },
+    RoundLimitExceeded {
+        /// The cap that was hit.
+        max_rounds: u32,
+        /// Vertices that had not terminated.
+        still_active: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::RoundLimitExceeded { max_rounds, still_active } => write!(
+            EngineError::RoundLimitExceeded {
+                max_rounds,
+                still_active,
+            } => write!(
                 f,
                 "{still_active} vertices still active after {max_rounds} rounds"
             ),
@@ -57,24 +165,132 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Runs `protocol` on `g` under `cfg`.
-pub fn run<P: Protocol>(
+/// The execution entry point: borrows a protocol, a graph, and an ID
+/// assignment, then runs after optional configuration.
+///
+/// ```
+/// use simlocal::{Protocol, Runner, StepCtx, Transition};
+/// use graphcore::{gen, Graph, IdAssignment, VertexId};
+///
+/// struct EmitId;
+/// impl Protocol for EmitId {
+///     type State = ();
+///     type Output = u64;
+///     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+///     fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u64> {
+///         Transition::Terminate((), ctx.my_id())
+///     }
+/// }
+///
+/// let g = gen::cycle(5);
+/// let ids = IdAssignment::identity(5);
+/// let out = Runner::new(&EmitId, &g, &ids).run().unwrap();
+/// assert_eq!(out.outputs, vec![0, 1, 2, 3, 4]);
+/// ```
+pub struct Runner<'a, P: Protocol> {
+    protocol: &'a P,
+    graph: &'a Graph,
+    ids: &'a IdAssignment,
+    cfg: RunConfig,
+}
+
+impl<'a, P: Protocol> Runner<'a, P> {
+    /// New runner with the default [`RunConfig`].
+    pub fn new(protocol: &'a P, graph: &'a Graph, ids: &'a IdAssignment) -> Self {
+        Runner {
+            protocol,
+            graph,
+            ids,
+            cfg: RunConfig::default(),
+        }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: RunConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the run seed (randomized protocols).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Enables parallel round execution (subject to the cutover).
+    pub fn parallel(mut self) -> Self {
+        self.cfg.parallel = true;
+        self
+    }
+
+    /// Forces sequential round execution (the default).
+    pub fn sequential(mut self) -> Self {
+        self.cfg.parallel = false;
+        self
+    }
+
+    /// Overrides the protocol's round cap.
+    pub fn max_rounds(mut self, cap: u32) -> Self {
+        self.cfg.max_rounds = Some(cap);
+        self
+    }
+
+    /// Sets the active-set size at which parallel mode engages threads.
+    pub fn par_threshold(mut self, threshold: usize) -> Self {
+        self.cfg.par_threshold = threshold;
+        self
+    }
+
+    /// Runs unobserved — the zero-overhead path.
+    pub fn run(self) -> Result<SimOutcome<P::Output>, EngineError> {
+        self.run_with(&mut NoObserver)
+    }
+
+    /// Runs with `observer` attached (per-round telemetry enabled).
+    pub fn run_with<Ob: Observer>(
+        self,
+        observer: &mut Ob,
+    ) -> Result<SimOutcome<P::Output>, EngineError> {
+        execute(self.protocol, self.graph, self.ids, self.cfg, observer)
+    }
+}
+
+/// A stepped vertex paired with the transition it chose.
+type Stepped<P> = (
+    VertexId,
+    Transition<<P as Protocol>::State, <P as Protocol>::Output>,
+);
+
+/// The sparse-round engine body, monomorphized over the observer.
+fn execute<P: Protocol, Ob: Observer>(
     protocol: &P,
     g: &Graph,
     ids: &IdAssignment,
     cfg: RunConfig,
+    observer: &mut Ob,
 ) -> Result<SimOutcome<P::Output>, EngineError> {
     assert_eq!(ids.len(), g.n(), "ID assignment must cover all vertices");
     let n = g.n();
     let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
+    let state_size = std::mem::size_of::<P::State>() as u64;
+    let workers = if cfg.parallel {
+        std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
 
-    let mut prev: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
-    let mut next: Vec<P::State> = prev.clone();
+    let run_t0 = Instant::now();
+    let mut published: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
     let mut terminated = vec![false; n];
     let mut outputs: Vec<Option<P::Output>> = vec![None; n];
     let mut termination_round = vec![0u32; n];
     let mut active: Vec<VertexId> = g.vertices().collect();
+    let mut next_active: Vec<VertexId> = Vec::with_capacity(n);
+    let mut transitions: Vec<Stepped<P>> = Vec::with_capacity(n);
     let mut active_per_round = Vec::new();
+    let mut stats = EngineStats::default();
 
     let mut round: u32 = 0;
     while !active.is_empty() {
@@ -85,80 +301,113 @@ pub fn run<P: Protocol>(
                 still_active: active.len(),
             });
         }
-        active_per_round.push(active.len());
+        let stepped = active.len();
+        observer.on_round_start(round, stepped);
+        let round_t0 = if Ob::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        active_per_round.push(stepped);
 
+        // Step phase: read-only against `published`; every active vertex's
+        // transition lands in the reusable scratch buffer. `step_one` is a
+        // pure function of the previous round's snapshot, so the parallel
+        // fan-out below cannot change the outcome.
         let step_one = |&v: &VertexId| {
             let ctx = StepCtx {
                 graph: g,
                 ids,
                 v,
                 round,
-                state: &prev[v as usize],
-                view: NeighborView { graph: g, v, states: &prev, terminated: &terminated },
+                state: &published[v as usize],
+                view: NeighborView {
+                    graph: g,
+                    v,
+                    states: &published,
+                    terminated: &terminated,
+                },
                 run_seed: cfg.seed,
             };
             (v, protocol.step(ctx))
         };
-
-        #[allow(clippy::type_complexity)]
-        let transitions: Vec<(VertexId, Transition<P::State, P::Output>)> = if cfg.parallel {
-            active.par_iter().map(step_one).collect()
+        let fan_out = cfg.parallel && workers > 1 && stepped >= cfg.par_threshold;
+        if fan_out {
+            stats.parallel_rounds += 1;
+            let chunk = stepped.div_ceil(workers);
+            let parts: Vec<Vec<Stepped<P>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = active
+                    .chunks(chunk)
+                    .map(|part| scope.spawn(move || part.iter().map(step_one).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("step panicked"))
+                    .collect()
+            });
+            for part in parts {
+                transitions.extend(part);
+            }
         } else {
-            active.iter().map(step_one).collect()
-        };
+            transitions.extend(active.iter().map(step_one));
+        }
 
-        let mut still_active = Vec::with_capacity(active.len());
-        for (v, t) in transitions {
+        // Publish phase: touches exactly the stepped vertices, in
+        // deterministic vertex order. A terminating vertex's final state
+        // is published right here — no end-of-round scan.
+        next_active.clear();
+        for (v, t) in transitions.drain(..) {
+            observer.on_step(v, round);
             match t {
                 Transition::Continue(s) => {
-                    next[v as usize] = s;
-                    still_active.push(v);
+                    published[v as usize] = s;
+                    next_active.push(v);
                 }
                 Transition::Terminate(s, o) => {
-                    next[v as usize] = s;
+                    published[v as usize] = s;
                     outputs[v as usize] = Some(o);
                     terminated[v as usize] = true;
                     termination_round[v as usize] = round;
+                    observer.on_terminate(v, round);
                 }
             }
         }
-        active = still_active;
-        // Publish: next becomes the readable snapshot. Terminated and
-        // inactive vertices keep their last published state because `next`
-        // was cloned from `prev` initially and only updated entries change.
-        for &v in &active {
-            prev[v as usize] = next[v as usize].clone();
-        }
-        // Also publish final states of vertices that terminated this round.
-        for v in g.vertices() {
-            if terminated[v as usize] && termination_round[v as usize] == round {
-                prev[v as usize] = next[v as usize].clone();
-            }
+        std::mem::swap(&mut active, &mut next_active);
+
+        stats.steps += stepped as u64;
+        stats.publications += stepped as u64;
+        stats.state_bytes += stepped as u64 * state_size;
+        if Ob::ENABLED {
+            observer.on_round_end(&RoundRecord {
+                round,
+                active: stepped,
+                publications: stepped,
+                state_bytes: stepped as u64 * state_size,
+                wall: round_t0.expect("timed when enabled").elapsed(),
+            });
         }
     }
 
+    stats.rounds = round;
+    stats.wall = run_t0.elapsed();
     let outputs = outputs
         .into_iter()
         .map(|o| o.expect("terminated vertex must have an output"))
         .collect();
     Ok(SimOutcome {
         outputs,
-        metrics: RoundMetrics { termination_round, active_per_round },
+        metrics: RoundMetrics {
+            termination_round,
+            active_per_round,
+        },
+        stats,
     })
-}
-
-/// Sequential run with default config (seed 0).
-pub fn run_seq<P: Protocol>(
-    protocol: &P,
-    g: &Graph,
-    ids: &IdAssignment,
-) -> Result<SimOutcome<P::Output>, EngineError> {
-    run(protocol, g, ids, RunConfig::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::Telemetry;
     use crate::protocol::{Protocol, StepCtx, Transition};
     use graphcore::{gen, Graph, IdAssignment, VertexId};
     use rand::Rng;
@@ -189,8 +438,7 @@ mod tests {
         }
     }
 
-    /// Flood-max: publish the largest ID seen; terminate after `diam+1`
-    /// rounds of no change (here: fixed 3 rounds on a path of 3).
+    /// Flood-max: publish the largest ID seen; terminate after `rounds`.
     struct FloodMax {
         rounds: u32,
     }
@@ -201,8 +449,13 @@ mod tests {
             ids.id(v)
         }
         fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
-            let best =
-                ctx.view.neighbors().map(|(_, &s)| s).chain([*ctx.state]).max().unwrap();
+            let best = ctx
+                .view
+                .neighbors()
+                .map(|(_, &s)| s)
+                .chain([*ctx.state])
+                .max()
+                .unwrap();
             if ctx.round >= self.rounds {
                 Transition::Terminate(best, best)
             } else {
@@ -247,7 +500,7 @@ mod tests {
     #[test]
     fn instant_protocol_metrics() {
         let g = gen::cycle(5);
-        let out = run_seq(&Instant, &g, &ids(5)).unwrap();
+        let out = Runner::new(&Instant, &g, &ids(5)).run().unwrap();
         assert_eq!(out.metrics.worst_case(), 1);
         assert_eq!(out.metrics.vertex_averaged(), 1.0);
         assert_eq!(out.outputs, vec![0, 1, 2, 3, 4]);
@@ -257,7 +510,7 @@ mod tests {
     #[test]
     fn staircase_round_counts() {
         let g = gen::path(4);
-        let out = run_seq(&Staircase, &g, &ids(4)).unwrap();
+        let out = Runner::new(&Staircase, &g, &ids(4)).run().unwrap();
         assert_eq!(out.metrics.termination_round, vec![1, 2, 3, 4]);
         assert_eq!(out.metrics.active_per_round, vec![4, 3, 2, 1]);
         assert_eq!(out.metrics.round_sum(), 10);
@@ -265,16 +518,31 @@ mod tests {
     }
 
     #[test]
+    fn engine_work_equals_round_sum() {
+        let g = gen::path(6);
+        let out = Runner::new(&Staircase, &g, &ids(6)).run().unwrap();
+        assert_eq!(out.stats.steps, out.metrics.round_sum());
+        assert_eq!(out.stats.publications, out.metrics.round_sum());
+        assert_eq!(out.stats.rounds, out.metrics.worst_case());
+        assert_eq!(out.stats.state_bytes, 0, "() states publish zero bytes");
+        assert_eq!(out.stats.parallel_rounds, 0);
+    }
+
+    #[test]
     fn flood_max_converges_on_path() {
         let g = gen::path(3);
-        let out = run_seq(&FloodMax { rounds: 3 }, &g, &ids(3)).unwrap();
+        let out = Runner::new(&FloodMax { rounds: 3 }, &g, &ids(3))
+            .run()
+            .unwrap();
         assert_eq!(out.outputs, vec![2, 2, 2]);
+        // Three rounds × three vertices × 8-byte states.
+        assert_eq!(out.stats.state_bytes, 9 * 8);
     }
 
     #[test]
     fn terminated_neighbor_state_stays_readable() {
-        // Staircase: vertex 0 terminates in round 1; vertex 1 reads 0's
-        // state in round 2 without stepping it.
+        // Vertex 0 terminates in round 1; vertex 1 reads 0's final state
+        // in round 2 without 0 being stepped again.
         struct ReadsDead;
         impl Protocol for ReadsDead {
             type State = u32;
@@ -286,7 +554,6 @@ mod tests {
                 if ctx.v == 0 {
                     return Transition::Terminate(77, 77);
                 }
-                // Vertex 1 waits until it can read 0's final state.
                 if ctx.view.is_terminated(0) {
                     Transition::Terminate(0, *ctx.view.state_of(0))
                 } else {
@@ -295,7 +562,7 @@ mod tests {
             }
         }
         let g = gen::path(2);
-        let out = run_seq(&ReadsDead, &g, &ids(2)).unwrap();
+        let out = Runner::new(&ReadsDead, &g, &ids(2)).run().unwrap();
         assert_eq!(out.outputs[1], 77);
         assert_eq!(out.metrics.termination_round, vec![1, 2]);
     }
@@ -303,48 +570,134 @@ mod tests {
     #[test]
     fn livelock_reports_error() {
         let g = gen::cycle(4);
-        let err = run_seq(&Livelock, &g, &ids(4)).unwrap_err();
-        assert_eq!(err, EngineError::RoundLimitExceeded { max_rounds: 10, still_active: 4 });
+        let err = Runner::new(&Livelock, &g, &ids(4)).run().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RoundLimitExceeded {
+                max_rounds: 10,
+                still_active: 4
+            }
+        );
         assert!(err.to_string().contains("still active"));
+    }
+
+    #[test]
+    fn max_rounds_override_wins() {
+        let g = gen::cycle(4);
+        let err = Runner::new(&Livelock, &g, &ids(4))
+            .max_rounds(3)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RoundLimitExceeded {
+                max_rounds: 3,
+                still_active: 4
+            }
+        );
     }
 
     #[test]
     fn parallel_equals_sequential_deterministic() {
         let g = gen::grid(6, 7);
         let n = g.n();
-        let seq = run(&Staircase, &g, &ids(n), RunConfig::default()).unwrap();
-        let par =
-            run(&Staircase, &g, &ids(n), RunConfig { parallel: true, ..Default::default() })
-                .unwrap();
+        let seq = Runner::new(&Staircase, &g, &ids(n)).run().unwrap();
+        // par_threshold 1 forces genuine thread fan-out on every round.
+        let par = Runner::new(&Staircase, &g, &ids(n))
+            .parallel()
+            .par_threshold(1)
+            .run()
+            .unwrap();
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.metrics, par.metrics);
+        assert_eq!(seq.stats.steps, par.stats.steps);
+        if std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(par.stats.parallel_rounds > 0, "cutover at 1 must fan out");
+        }
     }
 
     #[test]
     fn parallel_equals_sequential_randomized() {
         let g = gen::cycle(64);
-        let cfg = RunConfig { seed: 1234, ..Default::default() };
-        let seq = run(&CoinFlip, &g, &ids(64), cfg).unwrap();
-        let par = run(&CoinFlip, &g, &ids(64), RunConfig { parallel: true, ..cfg }).unwrap();
+        let seq = Runner::new(&CoinFlip, &g, &ids(64))
+            .seed(1234)
+            .run()
+            .unwrap();
+        let par = Runner::new(&CoinFlip, &g, &ids(64))
+            .seed(1234)
+            .parallel()
+            .par_threshold(1)
+            .run()
+            .unwrap();
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.metrics, par.metrics);
     }
 
     #[test]
+    fn adaptive_cutover_keeps_small_rounds_sequential() {
+        let g = gen::cycle(16);
+        let out = Runner::new(&Staircase, &g, &ids(16))
+            .parallel()
+            .par_threshold(1000)
+            .run()
+            .unwrap();
+        assert_eq!(
+            out.stats.parallel_rounds, 0,
+            "active set never reaches threshold"
+        );
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let g = gen::cycle(64);
-        let a = run(&CoinFlip, &g, &ids(64), RunConfig { seed: 1, ..Default::default() })
-            .unwrap();
-        let b = run(&CoinFlip, &g, &ids(64), RunConfig { seed: 2, ..Default::default() })
-            .unwrap();
+        let a = Runner::new(&CoinFlip, &g, &ids(64)).seed(1).run().unwrap();
+        let b = Runner::new(&CoinFlip, &g, &ids(64)).seed(2).run().unwrap();
         assert_ne!(a.metrics.termination_round, b.metrics.termination_round);
     }
 
     #[test]
     fn empty_graph_runs() {
         let g = graphcore::GraphBuilder::new(0).build();
-        let out = run_seq(&Instant, &g, &ids(0)).unwrap();
+        let out = Runner::new(&Instant, &g, &ids(0)).run().unwrap();
         assert_eq!(out.metrics.n(), 0);
         assert_eq!(out.metrics.worst_case(), 0);
+        assert_eq!(out.stats.rounds, 0);
+        assert_eq!(out.stats.steps, 0);
+    }
+
+    #[test]
+    fn telemetry_matches_engine_accounting() {
+        let g = gen::path(5);
+        let mut t = Telemetry::new();
+        let out = Runner::new(&Staircase, &g, &ids(5))
+            .run_with(&mut t)
+            .unwrap();
+        assert_eq!(t.active, out.metrics.active_per_round);
+        assert_eq!(t.total_publications(), out.stats.publications);
+        assert_eq!(t.total_state_bytes(), out.stats.state_bytes);
+        assert_eq!(t.rounds() as u32, out.stats.rounds);
+        // Every vertex terminates exactly once, at its recorded round.
+        let mut seen = [0u32; 5];
+        for &(v, r) in &t.terminations {
+            seen[v as usize] += 1;
+            assert_eq!(out.metrics.termination_round[v as usize], r);
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn config_builder_reaches_engine() {
+        let g = gen::cycle(8);
+        let cfg = RunConfig::seeded(9).sequential().with_par_threshold(123);
+        let out = Runner::new(&CoinFlip, &g, &ids(8))
+            .config(cfg)
+            .run()
+            .unwrap();
+        let again = Runner::new(&CoinFlip, &g, &ids(8)).seed(9).run().unwrap();
+        assert_eq!(out.outputs, again.outputs);
     }
 }

@@ -28,14 +28,45 @@
 //!
 //! Randomized protocols draw from a per-`(run seed, vertex, round)` ChaCha
 //! stream ([`rng::vertex_round_rng`]), so a step is a pure function of its
-//! inputs; the sequential and the Rayon-parallel engines produce identical
-//! executions (tested).
+//! inputs; sequential and parallel execution produce byte-identical
+//! outcomes (tested against the naive engine in [`reference`]).
+//!
+//! ## Execution API
+//!
+//! [`Runner`] is the single entry point — a builder over a protocol,
+//! graph, and ID assignment:
+//!
+//! ```
+//! # use simlocal::{Protocol, Runner, StepCtx, Transition};
+//! # use graphcore::{gen, Graph, IdAssignment, VertexId};
+//! # struct P;
+//! # impl Protocol for P {
+//! #     type State = ();
+//! #     type Output = u64;
+//! #     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+//! #     fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u64> {
+//! #         Transition::Terminate((), ctx.my_id())
+//! #     }
+//! # }
+//! # let (g, ids) = (gen::cycle(4), IdAssignment::identity(4));
+//! let outcome = Runner::new(&P, &g, &ids).seed(7).parallel().run().unwrap();
+//! assert_eq!(outcome.stats.steps, outcome.metrics.round_sum());
+//! ```
+//!
+//! `run()` is the zero-overhead unobserved path; `run_with(&mut observer)`
+//! attaches an [`Observer`] for per-round telemetry (see [`observer`]).
+//! The engine does sparse rounds — per-round work proportional to the
+//! active set — so wall time tracks `RoundSum`, not `n × worst-case`.
 
 pub mod engine;
 pub mod metrics;
+pub mod observer;
 pub mod protocol;
+pub mod reference;
 pub mod rng;
 
-pub use engine::{run, run_seq, EngineError, RunConfig, SimOutcome};
+pub use engine::{EngineError, EngineStats, RunConfig, Runner, SimOutcome, DEFAULT_PAR_THRESHOLD};
 pub use metrics::RoundMetrics;
+pub use observer::{NoObserver, Observer, RoundRecord, Telemetry};
 pub use protocol::{NeighborView, Protocol, StepCtx, Transition};
+pub use reference::run_reference;

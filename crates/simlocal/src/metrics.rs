@@ -93,7 +93,10 @@ mod tests {
     fn sample() -> RoundMetrics {
         // 3 vertices terminating in rounds 1, 2, 2:
         // round 1: 3 active; round 2: 2 active.
-        RoundMetrics { termination_round: vec![1, 2, 2], active_per_round: vec![3, 2] }
+        RoundMetrics {
+            termination_round: vec![1, 2, 2],
+            active_per_round: vec![3, 2],
+        }
     }
 
     #[test]
@@ -114,13 +117,19 @@ mod tests {
 
     #[test]
     fn identities_catch_mismatch() {
-        let m = RoundMetrics { termination_round: vec![1, 1], active_per_round: vec![2, 1] };
+        let m = RoundMetrics {
+            termination_round: vec![1, 1],
+            active_per_round: vec![2, 1],
+        };
         assert!(m.check_identities().is_err());
     }
 
     #[test]
     fn empty() {
-        let m = RoundMetrics { termination_round: vec![], active_per_round: vec![] };
+        let m = RoundMetrics {
+            termination_round: vec![],
+            active_per_round: vec![],
+        };
         assert_eq!(m.vertex_averaged(), 0.0);
         assert_eq!(m.worst_case(), 0);
         assert!(m.check_identities().is_ok());
@@ -147,13 +156,19 @@ mod more_tests {
     #[test]
     #[should_panic]
     fn percentile_out_of_range_panics() {
-        let m = RoundMetrics { termination_round: vec![1], active_per_round: vec![1] };
+        let m = RoundMetrics {
+            termination_round: vec![1],
+            active_per_round: vec![1],
+        };
         m.percentile(101.0);
     }
 
     #[test]
     fn single_vertex_graph_metrics() {
-        let m = RoundMetrics { termination_round: vec![4], active_per_round: vec![1, 1, 1, 1] };
+        let m = RoundMetrics {
+            termination_round: vec![4],
+            active_per_round: vec![1, 1, 1, 1],
+        };
         assert_eq!(m.vertex_averaged(), 4.0);
         assert_eq!(m.median(), 4);
         assert!(m.check_identities().is_ok());
@@ -162,7 +177,10 @@ mod more_tests {
     #[test]
     fn identities_catch_series_length_mismatch() {
         // Sum matches but the series is longer than the worst case.
-        let m = RoundMetrics { termination_round: vec![2, 2], active_per_round: vec![2, 1, 1] };
+        let m = RoundMetrics {
+            termination_round: vec![2, 2],
+            active_per_round: vec![2, 1, 1],
+        };
         assert!(m.check_identities().is_err());
     }
 }

@@ -1,0 +1,173 @@
+//! Execution observers: pluggable per-round instrumentation.
+//!
+//! The engine is monomorphized over an [`Observer`] type. The default,
+//! [`NoObserver`], has `ENABLED = false` and empty inline hooks, so an
+//! unobserved run compiles to exactly the bare engine — no timestamps are
+//! taken and no callback code is emitted. Attaching an observer (e.g.
+//! [`Telemetry`]) turns on per-round wall-clock timing and the full hook
+//! sequence:
+//!
+//! 1. [`Observer::on_round_start`] — before any vertex steps;
+//! 2. [`Observer::on_step`] — once per `(active vertex, round)`, in
+//!    deterministic vertex order, after the round's transitions are
+//!    computed (identical in sequential and parallel modes);
+//! 3. [`Observer::on_terminate`] — once per vertex, in its final round;
+//! 4. [`Observer::on_round_end`] — with the round's [`RoundRecord`].
+
+use graphcore::VertexId;
+use std::time::Duration;
+
+/// Everything the engine measured about one completed round.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// Round number (1-based).
+    pub round: u32,
+    /// Vertices that stepped this round (the paper's `n_i`).
+    pub active: usize,
+    /// States published this round — every stepped vertex publishes once,
+    /// including the final broadcast of vertices that terminate.
+    pub publications: usize,
+    /// Estimated bytes published: `publications × size_of::<State>()`
+    /// (shallow size; heap payloads inside states are not counted).
+    pub state_bytes: u64,
+    /// Wall-clock time of the round (step + publish phases).
+    pub wall: Duration,
+}
+
+/// Per-round instrumentation hooks. All hooks default to no-ops; see the
+/// module docs for the exact firing sequence.
+pub trait Observer {
+    /// When `false`, the engine skips per-round clock reads entirely.
+    /// [`NoObserver`] is the only implementation that should disable this.
+    const ENABLED: bool = true;
+
+    /// A round is about to execute with `active` live vertices.
+    fn on_round_start(&mut self, round: u32, active: usize) {
+        let _ = (round, active);
+    }
+
+    /// Vertex `v` stepped in `round` (fires exactly once per active
+    /// vertex per round, in deterministic vertex order).
+    fn on_step(&mut self, v: VertexId, round: u32) {
+        let _ = (v, round);
+    }
+
+    /// Vertex `v` terminated in `round` (fires exactly once per vertex).
+    fn on_terminate(&mut self, v: VertexId, round: u32) {
+        let _ = (v, round);
+    }
+
+    /// A round finished; `record` carries its telemetry.
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        let _ = record;
+    }
+}
+
+/// The zero-cost default observer: all hooks compile to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoObserver;
+
+impl Observer for NoObserver {
+    const ENABLED: bool = false;
+}
+
+/// Built-in telemetry collector: per-round wall time, publication counts,
+/// byte estimates, and the active-set decay series.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// `active[i]` = vertices stepped in round `i + 1`.
+    pub active: Vec<usize>,
+    /// `publications[i]` = states published in round `i + 1`.
+    pub publications: Vec<u64>,
+    /// `state_bytes[i]` = estimated bytes published in round `i + 1`.
+    pub state_bytes: Vec<u64>,
+    /// `wall[i]` = wall-clock duration of round `i + 1`.
+    pub wall: Vec<Duration>,
+    /// `(vertex, round)` termination events in engine order.
+    pub terminations: Vec<(VertexId, u32)>,
+}
+
+impl Telemetry {
+    /// Fresh, empty collector.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Number of rounds observed.
+    pub fn rounds(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total states published across the run (equals `RoundSum`).
+    pub fn total_publications(&self) -> u64 {
+        self.publications.iter().sum()
+    }
+
+    /// Total estimated bytes published across the run.
+    pub fn total_state_bytes(&self) -> u64 {
+        self.state_bytes.iter().sum()
+    }
+
+    /// Total wall-clock time across all observed rounds.
+    pub fn total_wall(&self) -> Duration {
+        self.wall.iter().sum()
+    }
+}
+
+impl Observer for Telemetry {
+    fn on_terminate(&mut self, v: VertexId, round: u32) {
+        self.terminations.push((v, round));
+    }
+
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        debug_assert_eq!(record.round as usize, self.active.len() + 1);
+        self.active.push(record.active);
+        self.publications.push(record.publications as u64);
+        self.state_bytes.push(record.state_bytes);
+        self.wall.push(record.wall);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_accumulates() {
+        let mut t = Telemetry::new();
+        t.on_round_start(1, 3);
+        t.on_step(0, 1);
+        t.on_terminate(2, 1);
+        t.on_round_end(&RoundRecord {
+            round: 1,
+            active: 3,
+            publications: 3,
+            state_bytes: 24,
+            wall: Duration::from_micros(5),
+        });
+        t.on_round_end(&RoundRecord {
+            round: 2,
+            active: 2,
+            publications: 2,
+            state_bytes: 16,
+            wall: Duration::from_micros(3),
+        });
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.active, vec![3, 2]);
+        assert_eq!(t.total_publications(), 5);
+        assert_eq!(t.total_state_bytes(), 40);
+        assert_eq!(t.total_wall(), Duration::from_micros(8));
+        assert_eq!(t.terminations, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn no_observer_is_disabled() {
+        // Read through a generic fn so the flag is checked the way the
+        // engine sees it (and clippy accepts the non-literal assert).
+        fn enabled<Ob: Observer>() -> bool {
+            Ob::ENABLED
+        }
+        assert!(!enabled::<NoObserver>());
+        assert!(enabled::<Telemetry>());
+    }
+}

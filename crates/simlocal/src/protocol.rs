@@ -106,7 +106,10 @@ impl<'a, S> NeighborView<'a, S> {
 
     /// Iterator over `(neighbor, state)` pairs.
     pub fn neighbors(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
-        self.graph.neighbors(self.v).iter().map(move |&u| (u, &self.states[u as usize]))
+        self.graph
+            .neighbors(self.v)
+            .iter()
+            .map(move |&u| (u, &self.states[u as usize]))
     }
 
     /// Iterator over neighbors that are still active.
@@ -129,7 +132,11 @@ impl<'a, S> NeighborView<'a, S> {
 
     /// Count of still-active neighbors.
     pub fn active_degree(&self) -> usize {
-        self.graph.neighbors(self.v).iter().filter(|&&u| !self.terminated[u as usize]).count()
+        self.graph
+            .neighbors(self.v)
+            .iter()
+            .filter(|&&u| !self.terminated[u as usize])
+            .count()
     }
 }
 
@@ -143,7 +150,12 @@ mod tests {
         let g = gen::path(3);
         let states = vec![10u32, 20, 30];
         let terminated = vec![true, false, false];
-        let view = NeighborView { graph: &g, v: 1, states: &states, terminated: &terminated };
+        let view = NeighborView {
+            graph: &g,
+            v: 1,
+            states: &states,
+            terminated: &terminated,
+        };
         let all: Vec<_> = view.neighbors().map(|(u, &s)| (u, s)).collect();
         assert_eq!(all, vec![(0, 10), (2, 30)]);
         let act: Vec<_> = view.active_neighbors().map(|(u, _)| u).collect();

@@ -1,0 +1,246 @@
+//! The sparse engine is an optimization, not a semantics change: across
+//! graph families, seeds, and execution modes it must produce outcomes
+//! identical to the retained naive engine (`simlocal::reference`), and
+//! its observer hooks must fire exactly per contract.
+
+use graphcore::{gen, Graph, IdAssignment, VertexId};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use simlocal::{run_reference, Observer, Protocol, RoundRecord, Runner, StepCtx, Transition};
+
+/// Randomized geometric decay: each vertex terminates with probability
+/// 1/2 per round, outputting its termination round — the canonical
+/// fast-decay workload (active set halves every round in expectation).
+struct CoinFlip;
+impl Protocol for CoinFlip {
+    type State = ();
+    type Output = u32;
+    fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+    fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
+        if ctx.rng().gen_bool(0.5) {
+            Transition::Terminate((), ctx.round)
+        } else {
+            Transition::Continue(())
+        }
+    }
+}
+
+/// Deterministic neighbor-reading protocol: flood the maximum ID for a
+/// few rounds, then everyone outputs the best seen. Exercises the
+/// published-state buffer (every step reads neighbors).
+struct FloodMax;
+impl Protocol for FloodMax {
+    type State = u64;
+    type Output = u64;
+    fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
+        ids.id(v)
+    }
+    fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
+        let best = ctx
+            .view
+            .neighbors()
+            .map(|(_, &s)| s)
+            .chain([*ctx.state])
+            .max()
+            .unwrap();
+        if ctx.round >= 4 {
+            Transition::Terminate(best, best)
+        } else {
+            Transition::Continue(best)
+        }
+    }
+}
+
+/// Mixed-lifetime protocol that reads *terminated* neighbors: a vertex
+/// retires once its index-parity round arrives and a terminated neighbor
+/// (if any) has been observed — staggers terminations across rounds and
+/// checks the final-broadcast semantics.
+struct Stagger;
+impl Protocol for Stagger {
+    type State = u32;
+    type Output = u32;
+    fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> u32 {
+        0
+    }
+    fn step(&self, ctx: StepCtx<'_, u32>) -> Transition<u32, u32> {
+        let dead = ctx.view.terminated_neighbors().count() as u32;
+        if ctx.round > ctx.v % 7 {
+            Transition::Terminate(dead, ctx.round + dead)
+        } else {
+            Transition::Continue(dead)
+        }
+    }
+}
+
+/// A graph from one of four families, chosen by `pick`.
+fn family_graph(pick: u8, n: usize, a: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match pick % 4 {
+        0 => gen::forest_union(n, a, &mut rng).graph,
+        1 => gen::gnp(n, 3.0 / n as f64, &mut rng).graph,
+        2 => gen::cycle(n.max(3)),
+        _ => gen::grid(3, n.div_ceil(3).max(2)),
+    }
+}
+
+fn assert_outcomes_identical<P>(p: &P, g: &Graph, seed: u64)
+where
+    P: Protocol,
+    P::Output: PartialEq + std::fmt::Debug,
+{
+    let ids = IdAssignment::identity(g.n());
+    let sparse = Runner::new(p, g, &ids).seed(seed).run().unwrap();
+    let par = Runner::new(p, g, &ids)
+        .seed(seed)
+        .parallel()
+        .par_threshold(1)
+        .run()
+        .unwrap();
+    let dense = run_reference(p, g, &ids, seed).unwrap();
+    assert_eq!(sparse.outputs, dense.outputs, "sparse vs reference outputs");
+    assert_eq!(sparse.metrics, dense.metrics, "sparse vs reference metrics");
+    assert_eq!(sparse.outputs, par.outputs, "seq vs par outputs");
+    assert_eq!(sparse.metrics, par.metrics, "seq vs par metrics");
+    assert_eq!(sparse.stats.steps, par.stats.steps, "seq vs par work");
+    // The publications identity: exactly one publication per step, and
+    // total steps equal RoundSum — in every mode.
+    assert_eq!(sparse.stats.steps, sparse.metrics.round_sum());
+    assert_eq!(sparse.stats.publications, sparse.metrics.round_sum());
+    assert_eq!(par.stats.publications, sparse.metrics.round_sum());
+    // The dense engine publishes the same states but touches n per round.
+    assert_eq!(dense.stats.publications, sparse.stats.publications);
+    assert_eq!(dense.stats.rounds as u64 * g.n() as u64, dense.stats.steps);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn coinflip_identical_across_engines(
+        pick in any::<u8>(),
+        n in 4usize..120,
+        a in 1usize..4,
+        gseed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let g = family_graph(pick, n, a, gseed);
+        assert_outcomes_identical(&CoinFlip, &g, seed);
+    }
+
+    #[test]
+    fn floodmax_identical_across_engines(
+        pick in any::<u8>(),
+        n in 4usize..120,
+        gseed in any::<u64>(),
+    ) {
+        let g = family_graph(pick, n, 2, gseed);
+        assert_outcomes_identical(&FloodMax, &g, 0);
+    }
+
+    #[test]
+    fn stagger_identical_across_engines(
+        pick in any::<u8>(),
+        n in 4usize..120,
+        gseed in any::<u64>(),
+    ) {
+        let g = family_graph(pick, n, 2, gseed);
+        assert_outcomes_identical(&Stagger, &g, 0);
+    }
+
+    #[test]
+    fn telemetry_series_match_metrics(n in 4usize..100, seed in any::<u64>()) {
+        let g = gen::cycle(n.max(3));
+        let ids = IdAssignment::identity(g.n());
+        let mut t = simlocal::Telemetry::new();
+        let out = Runner::new(&CoinFlip, &g, &ids).seed(seed).run_with(&mut t).unwrap();
+        prop_assert_eq!(&t.active, &out.metrics.active_per_round);
+        let pubs: Vec<u64> = out.metrics.active_per_round.iter().map(|&a| a as u64).collect();
+        prop_assert_eq!(&t.publications, &pubs);
+        prop_assert_eq!(t.total_publications(), out.metrics.round_sum());
+        prop_assert_eq!(t.terminations.len(), g.n());
+    }
+}
+
+/// Observer that counts every hook invocation.
+#[derive(Default)]
+struct Counting {
+    round_starts: Vec<(u32, usize)>,
+    round_ends: Vec<RoundRecord>,
+    steps: Vec<(VertexId, u32)>,
+    terminates: Vec<(VertexId, u32)>,
+}
+
+impl Observer for Counting {
+    fn on_round_start(&mut self, round: u32, active: usize) {
+        self.round_starts.push((round, active));
+    }
+    fn on_step(&mut self, v: VertexId, round: u32) {
+        self.steps.push((v, round));
+    }
+    fn on_terminate(&mut self, v: VertexId, round: u32) {
+        self.terminates.push((v, round));
+    }
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        self.round_ends.push(record.clone());
+    }
+}
+
+#[test]
+fn observer_hooks_fire_exactly_per_contract() {
+    let g = gen::grid(4, 5);
+    let ids = IdAssignment::identity(g.n());
+    let mut obs = Counting::default();
+    let out = Runner::new(&Stagger, &g, &ids).run_with(&mut obs).unwrap();
+    let rounds = out.stats.rounds as usize;
+
+    // Round hooks: once per round, in order, with the active-set size.
+    assert_eq!(obs.round_starts.len(), rounds);
+    assert_eq!(obs.round_ends.len(), rounds);
+    for (i, &(round, active)) in obs.round_starts.iter().enumerate() {
+        assert_eq!(round as usize, i + 1);
+        assert_eq!(active, out.metrics.active_per_round[i]);
+        assert_eq!(obs.round_ends[i].round as usize, i + 1);
+        assert_eq!(obs.round_ends[i].active, active);
+        assert_eq!(obs.round_ends[i].publications, active);
+    }
+
+    // on_step: exactly once per (active vertex, round) — i.e. for every
+    // vertex, rounds 1..=termination_round, and nothing else.
+    let mut expected_steps = Vec::new();
+    for v in g.vertices() {
+        for r in 1..=out.metrics.termination_round[v as usize] {
+            expected_steps.push((v, r));
+        }
+    }
+    let mut got = obs.steps.clone();
+    got.sort_unstable();
+    expected_steps.sort_unstable();
+    assert_eq!(got, expected_steps);
+    assert_eq!(obs.steps.len() as u64, out.metrics.round_sum());
+
+    // on_terminate: exactly once per vertex, at its termination round.
+    assert_eq!(obs.terminates.len(), g.n());
+    for &(v, r) in &obs.terminates {
+        assert_eq!(out.metrics.termination_round[v as usize], r);
+    }
+    let mut vs: Vec<VertexId> = obs.terminates.iter().map(|&(v, _)| v).collect();
+    vs.sort_unstable();
+    vs.dedup();
+    assert_eq!(vs.len(), g.n());
+}
+
+#[test]
+fn observed_and_unobserved_runs_are_identical() {
+    let g = gen::grid(5, 6);
+    let ids = IdAssignment::identity(g.n());
+    let plain = Runner::new(&CoinFlip, &g, &ids).seed(11).run().unwrap();
+    let mut t = simlocal::Telemetry::new();
+    let observed = Runner::new(&CoinFlip, &g, &ids)
+        .seed(11)
+        .run_with(&mut t)
+        .unwrap();
+    assert_eq!(plain.outputs, observed.outputs);
+    assert_eq!(plain.metrics, observed.metrics);
+    assert_eq!(plain.stats.steps, observed.stats.steps);
+}

@@ -13,7 +13,7 @@
 use distsym::algos::coloring::a2logn::ColoringA2LogN;
 use distsym::algos::mis::MisExtension;
 use distsym::graphcore::{arboricity, io, stats, verify, IdAssignment};
-use distsym::simlocal::{run, RunConfig};
+use distsym::simlocal::Runner;
 
 const DEMO: &str = "\
 # A wheel: hub 0 plus an 8-cycle rim — arboricity 2ish, Δ = 8.
@@ -63,7 +63,7 @@ fn main() {
     let ids = IdAssignment::identity(g.n());
 
     let coloring = ColoringA2LogN::new(est.safe_a());
-    let out = run(&coloring, &g, &ids, RunConfig::default()).expect("terminates");
+    let out = Runner::new(&coloring, &g, &ids).run().expect("terminates");
     verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, usize::MAX));
     println!(
         "coloring: {} colors | VA {:.2} | worst case {}",
@@ -73,7 +73,7 @@ fn main() {
     );
 
     let mis = MisExtension::new(est.safe_a());
-    let out = run(&mis, &g, &ids, RunConfig::default()).expect("terminates");
+    let out = Runner::new(&mis, &g, &ids).run().expect("terminates");
     verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
     println!(
         "MIS: {} members | VA {:.2} | worst case {}",

@@ -14,7 +14,7 @@
 use distsym::algos::baselines::ArbLinialFull;
 use distsym::algos::coloring::ka2::ColoringKa2;
 use distsym::graphcore::{gen, verify, IdAssignment};
-use distsym::simlocal::{run, RunConfig};
+use distsym::simlocal::Runner;
 
 fn main() {
     let side = 200; // 40,000 intersections
@@ -25,8 +25,12 @@ fn main() {
 
     // The paper's algorithm at maximum segmentation k = ρ(n).
     let fast = ColoringKa2::rho_instance(a, g.n() as u64);
-    let out_fast = run(&fast, &g, &ids, RunConfig::default()).expect("terminates");
-    verify::assert_ok(verify::proper_vertex_coloring(&g, &out_fast.outputs, usize::MAX));
+    let out_fast = Runner::new(&fast, &g, &ids).run().expect("terminates");
+    verify::assert_ok(verify::proper_vertex_coloring(
+        &g,
+        &out_fast.outputs,
+        usize::MAX,
+    ));
     println!(
         "segmentation (k = ρ(n)): {:>4} colors | VA {:>7.2} | worst case {:>4}",
         verify::count_distinct(&out_fast.outputs),
@@ -37,8 +41,12 @@ fn main() {
     // The classical discipline: full forest decomposition first, then
     // iterated Arb-Linial — everyone pays Θ(log n).
     let slow = ArbLinialFull::new(a);
-    let out_slow = run(&slow, &g, &ids, RunConfig::default()).expect("terminates");
-    verify::assert_ok(verify::proper_vertex_coloring(&g, &out_slow.outputs, usize::MAX));
+    let out_slow = Runner::new(&slow, &g, &ids).run().expect("terminates");
+    verify::assert_ok(verify::proper_vertex_coloring(
+        &g,
+        &out_slow.outputs,
+        usize::MAX,
+    ));
     println!(
         "classical Arb-Linial:    {:>4} colors | VA {:>7.2} | worst case {:>4}",
         verify::count_distinct(&out_slow.outputs),

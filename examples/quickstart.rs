@@ -9,7 +9,7 @@
 use distsym::algos::coloring::a2logn::ColoringA2LogN;
 use distsym::algos::forests::{self, ParallelizedForestDecomposition};
 use distsym::graphcore::{gen, verify, IdAssignment};
-use distsym::simlocal::{run, RunConfig};
+use distsym::simlocal::Runner;
 use rand::SeedableRng;
 
 fn main() {
@@ -19,12 +19,18 @@ fn main() {
     let gg = gen::forest_union(10_000, 3, &mut rng);
     let g = &gg.graph;
     let ids = IdAssignment::identity(g.n());
-    println!("graph: n={}, m={}, Δ={}, arboricity ≤ {}", g.n(), g.m(), g.max_degree(), gg.arboricity);
+    println!(
+        "graph: n={}, m={}, Δ={}, arboricity ≤ {}",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        gg.arboricity
+    );
 
     // 1. Procedure Parallelized-Forest-Decomposition (§7.1): O(a) forests
     //    with O(1) vertex-averaged complexity.
     let fd = ParallelizedForestDecomposition::new(gg.arboricity);
-    let out = run(&fd, g, &ids, RunConfig::default()).expect("terminates");
+    let out = Runner::new(&fd, g, &ids).run().expect("terminates");
     let (labels, heads) = forests::assemble(g, &out.outputs).expect("complete orientation");
     verify::assert_ok(verify::forest_decomposition(g, &labels, &heads, fd.cap()));
     println!(
@@ -36,7 +42,7 @@ fn main() {
 
     // 2. The §7.2 coloring: O(a² log n)-ish colors, O(1) vertex-averaged.
     let col = ColoringA2LogN::new(gg.arboricity);
-    let out = run(&col, g, &ids, RunConfig::default()).expect("terminates");
+    let out = Runner::new(&col, g, &ids).run().expect("terminates");
     verify::assert_ok(verify::proper_vertex_coloring(g, &out.outputs, usize::MAX));
     let used = verify::count_distinct(&out.outputs);
     println!(

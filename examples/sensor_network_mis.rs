@@ -15,7 +15,7 @@
 
 use distsym::algos::mis::{LubyMis, MisExtension};
 use distsym::graphcore::{gen, verify, IdAssignment};
-use distsym::simlocal::{run, RunConfig};
+use distsym::simlocal::Runner;
 use rand::SeedableRng;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
     );
 
     let ext = MisExtension::new(gg.arboricity);
-    let out = run(&ext, g, &ids, RunConfig::default()).expect("terminates");
+    let out = Runner::new(&ext, g, &ids).run().expect("terminates");
     verify::assert_ok(verify::maximal_independent_set(g, &out.outputs));
     let heads = out.outputs.iter().filter(|&&b| b).count();
     println!(
@@ -44,7 +44,9 @@ fn main() {
         out.metrics.worst_case()
     );
 
-    let out = run(&LubyMis, g, &ids, RunConfig { seed: 3, ..Default::default() })
+    let out = Runner::new(&LubyMis, g, &ids)
+        .seed(3)
+        .run()
         .expect("terminates");
     verify::assert_ok(verify::maximal_independent_set(g, &out.outputs));
     let heads = out.outputs.iter().filter(|&&b| b).count();

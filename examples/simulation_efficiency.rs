@@ -15,7 +15,7 @@
 use distsym::algos::baselines::ArbLinialOneShot;
 use distsym::algos::coloring::a2logn::ColoringA2LogN;
 use distsym::graphcore::{gen, IdAssignment};
-use distsym::simlocal::{run, RunConfig};
+use distsym::simlocal::Runner;
 use rand::SeedableRng;
 use std::time::Instant;
 
@@ -31,11 +31,15 @@ fn main() {
         let ids = IdAssignment::identity(n);
 
         let t0 = Instant::now();
-        let fast = run(&ColoringA2LogN::new(2), &gg.graph, &ids, RunConfig::default()).unwrap();
+        let fast = Runner::new(&ColoringA2LogN::new(2), &gg.graph, &ids)
+            .run()
+            .unwrap();
         let ms_new = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();
-        let slow = run(&ArbLinialOneShot::new(2), &gg.graph, &ids, RunConfig::default()).unwrap();
+        let slow = Runner::new(&ArbLinialOneShot::new(2), &gg.graph, &ids)
+            .run()
+            .unwrap();
         let ms_old = t1.elapsed().as_secs_f64() * 1e3;
 
         println!(
@@ -49,5 +53,7 @@ fn main() {
             ms_old / ms_new,
         );
     }
-    println!("\nThe round-sum ratio grows like Θ(log n): the predicted sequential-simulation speedup.");
+    println!(
+        "\nThe round-sum ratio grows like Θ(log n): the predicted sequential-simulation speedup."
+    );
 }

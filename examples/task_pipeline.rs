@@ -15,14 +15,14 @@
 use distsym::algos::baselines::ArbLinialOneShot;
 use distsym::algos::coloring::a2logn::ColoringA2LogN;
 use distsym::graphcore::{gen, IdAssignment};
-use distsym::simlocal::{run, Protocol, RunConfig};
+use distsym::simlocal::{Protocol, Runner};
 use rand::SeedableRng;
 
 const TASK_B_ROUNDS: u32 = 12;
 
 fn report<P: Protocol<Output = u64>>(label: &str, p: &P, g: &distsym::graphcore::Graph) {
     let ids = IdAssignment::identity(g.n());
-    let out = run(p, g, &ids, RunConfig::default()).expect("terminates");
+    let out = Runner::new(p, g, &ids).run().expect("terminates");
     let n = g.n() as f64;
     let pipelined: f64 = out
         .metrics
@@ -41,9 +41,21 @@ fn report<P: Protocol<Output = u64>>(label: &str, p: &P, g: &distsym::graphcore:
 fn main() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
     let gg = gen::forest_union(30_000, 2, &mut rng);
-    println!("workload: forest union, n={}, a={}", gg.graph.n(), gg.arboricity);
+    println!(
+        "workload: forest union, n={}, a={}",
+        gg.graph.n(),
+        gg.arboricity
+    );
     println!("task ℬ length: {TASK_B_ROUNDS} rounds\n");
 
-    report("𝒜 = §7.2 coloring (VA O(1))", &ColoringA2LogN::new(2), &gg.graph);
-    report("𝒜 = classical Arb-Linial", &ArbLinialOneShot::new(2), &gg.graph);
+    report(
+        "𝒜 = §7.2 coloring (VA O(1))",
+        &ColoringA2LogN::new(2),
+        &gg.graph,
+    );
+    report(
+        "𝒜 = classical Arb-Linial",
+        &ArbLinialOneShot::new(2),
+        &gg.graph,
+    );
 }

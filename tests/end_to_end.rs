@@ -5,9 +5,8 @@ use distsym::algos::{
     arb_color::ArbColor,
     baselines::{ArbLinialFull, ArbLinialOneShot, GlobalLinial, GlobalLinialKw},
     coloring::{
-        a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN,
-        delta_plus_one::DeltaPlusOneColoring, ka::ColoringKa, ka2::ColoringKa2,
-        oa_recolor::ColoringOaRecolor,
+        a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN, delta_plus_one::DeltaPlusOneColoring,
+        ka::ColoringKa, ka2::ColoringKa2, oa_recolor::ColoringOaRecolor,
     },
     edge_coloring::{self, EdgeColoringExtension},
     forests::{self, ParallelizedForestDecomposition},
@@ -17,19 +16,20 @@ use distsym::algos::{
     rand_coloring::{a_loglog::RandALogLog, delta_plus_one::RandDeltaPlusOne},
 };
 use distsym::graphcore::{gen, verify, Graph, IdAssignment};
-use distsym::simlocal::{run, Protocol, RunConfig};
+use distsym::simlocal::{Protocol, Runner};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// The common workload set: (graph, arboricity parameter).
 fn workloads() -> Vec<(Graph, usize, &'static str)> {
     let mut rng = ChaCha8Rng::seed_from_u64(7777);
-    let mut w = Vec::new();
-    w.push((gen::path(97), 1, "path"));
-    w.push((gen::cycle(96), 2, "cycle"));
-    w.push((gen::grid(9, 11), 2, "grid"));
-    w.push((gen::binary_tree(127), 1, "binary_tree"));
-    w.push((gen::star(60), 1, "star"));
+    let mut w = vec![
+        (gen::path(97), 1, "path"),
+        (gen::cycle(96), 2, "cycle"),
+        (gen::grid(9, 11), 2, "grid"),
+        (gen::binary_tree(127), 1, "binary_tree"),
+        (gen::star(60), 1, "star"),
+    ];
     let fu = gen::forest_union(300, 3, &mut rng);
     w.push((fu.graph, 3, "forest_union_3"));
     let hub = gen::hub_forest(400, 1, 2, 40, &mut rng);
@@ -39,7 +39,10 @@ fn workloads() -> Vec<(Graph, usize, &'static str)> {
 
 fn run_coloring<P: Protocol<Output = u64>>(p: &P, g: &Graph, seed: u64) -> Vec<u64> {
     let ids = IdAssignment::identity(g.n());
-    let out = run(p, g, &ids, RunConfig { seed, ..Default::default() }).expect("terminates");
+    let out = Runner::new(p, g, &ids)
+        .seed(seed)
+        .run()
+        .expect("terminates");
     out.metrics.check_identities().expect("metric identities");
     verify::assert_ok(verify::proper_vertex_coloring(g, &out.outputs, usize::MAX));
     out.outputs
@@ -70,18 +73,22 @@ fn every_coloring_algorithm_on_every_workload() {
 fn mis_mm_edge_coloring_on_every_workload() {
     for (g, a, name) in workloads() {
         let ids = IdAssignment::identity(g.n());
-        let out = run(&MisExtension::new(a), &g, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&MisExtension::new(a), &g, &ids).run().unwrap();
         verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
 
-        let out = run(&LubyMis, &g, &ids, RunConfig { seed: 5, ..Default::default() }).unwrap();
+        let out = Runner::new(&LubyMis, &g, &ids).seed(5).run().unwrap();
         verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
 
-        let out = run(&MatchingExtension::new(a), &g, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&MatchingExtension::new(a), &g, &ids)
+            .run()
+            .unwrap();
         let (mm, commit) = matching::assemble(&g, &out).unwrap();
         verify::assert_ok(verify::maximal_matching(&g, &mm));
         commit.check_identities().unwrap();
 
-        let out = run(&EdgeColoringExtension::new(a), &g, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&EdgeColoringExtension::new(a), &g, &ids)
+            .run()
+            .unwrap();
         let (colors, commit) = edge_coloring::assemble(&g, &out).unwrap();
         verify::assert_ok(verify::proper_edge_coloring(
             &g,
@@ -98,7 +105,7 @@ fn forest_decomposition_on_every_workload() {
     for (g, a, _) in workloads() {
         let p = ParallelizedForestDecomposition::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&p, &g, &ids).run().unwrap();
         let (labels, heads) = forests::assemble(&g, &out.outputs).unwrap();
         verify::assert_ok(verify::forest_decomposition(&g, &labels, &heads, p.cap()));
     }
@@ -110,10 +117,16 @@ fn determinism_under_fixed_seed_across_engines() {
     let gg = gen::forest_union(500, 2, &mut rng);
     let ids = IdAssignment::identity(500);
     for seed in [0u64, 9] {
-        let cfg_seq = RunConfig { seed, ..Default::default() };
-        let cfg_par = RunConfig { seed, parallel: true, ..Default::default() };
-        let a = run(&RandDeltaPlusOne::new(), &gg.graph, &ids, cfg_seq).unwrap();
-        let b = run(&RandDeltaPlusOne::new(), &gg.graph, &ids, cfg_par).unwrap();
+        let a = Runner::new(&RandDeltaPlusOne::new(), &gg.graph, &ids)
+            .seed(seed)
+            .run()
+            .unwrap();
+        let b = Runner::new(&RandDeltaPlusOne::new(), &gg.graph, &ids)
+            .seed(seed)
+            .parallel()
+            .par_threshold(1)
+            .run()
+            .unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.metrics, b.metrics);
     }
@@ -130,9 +143,17 @@ fn adversarial_id_assignments_stay_correct() {
         // Reverse order: adversarial for ID-based orientations.
         IdAssignment::from_vec((0..400u64).rev().collect()),
     ] {
-        let out = run(&ColoringA2LogN::new(2), &gg.graph, &ids, RunConfig::default()).unwrap();
-        verify::assert_ok(verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX));
-        let out = run(&MisExtension::new(2), &gg.graph, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&ColoringA2LogN::new(2), &gg.graph, &ids)
+            .run()
+            .unwrap();
+        verify::assert_ok(verify::proper_vertex_coloring(
+            &gg.graph,
+            &out.outputs,
+            usize::MAX,
+        ));
+        let out = Runner::new(&MisExtension::new(2), &gg.graph, &ids)
+            .run()
+            .unwrap();
         verify::assert_ok(verify::maximal_independent_set(&gg.graph, &out.outputs));
     }
 }

@@ -7,7 +7,7 @@ use distsym::algos::coloring::a2logn::ColoringA2LogN;
 use distsym::algos::mis::MisExtension;
 use distsym::algos::Partition;
 use distsym::graphcore::{gen, verify, GraphBuilder, IdAssignment};
-use distsym::simlocal::{run, run_seq, EngineError, RunConfig};
+use distsym::simlocal::{EngineError, Runner};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -17,7 +17,7 @@ fn under_declared_arboricity_reports_livelock() {
     // the threshold, so the engine must return the round-cap error.
     let g = gen::clique(24);
     let ids = IdAssignment::identity(24);
-    let err = run_seq(&Partition::new(1), &g, &ids).unwrap_err();
+    let err = Runner::new(&Partition::new(1), &g, &ids).run().unwrap_err();
     let EngineError::RoundLimitExceeded { still_active, .. } = err;
     assert_eq!(still_active, 24, "everyone should still be stuck");
 }
@@ -26,8 +26,10 @@ fn under_declared_arboricity_reports_livelock() {
 fn under_declared_arboricity_in_composed_protocol() {
     let g = gen::clique(20);
     let ids = IdAssignment::identity(20);
-    assert!(run_seq(&ColoringA2LogN::new(1), &g, &ids).is_err());
-    assert!(run_seq(&MisExtension::new(1), &g, &ids).is_err());
+    assert!(Runner::new(&ColoringA2LogN::new(1), &g, &ids)
+        .run()
+        .is_err());
+    assert!(Runner::new(&MisExtension::new(1), &g, &ids).run().is_err());
 }
 
 #[test]
@@ -37,8 +39,14 @@ fn over_declared_arboricity_still_correct_just_more_colors() {
     let mut rng = ChaCha8Rng::seed_from_u64(600);
     let gg = gen::forest_union(300, 2, &mut rng);
     let ids = IdAssignment::identity(300);
-    let out = run_seq(&ColoringA2LogN::new(10), &gg.graph, &ids).unwrap();
-    verify::assert_ok(verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX));
+    let out = Runner::new(&ColoringA2LogN::new(10), &gg.graph, &ids)
+        .run()
+        .unwrap();
+    verify::assert_ok(verify::proper_vertex_coloring(
+        &gg.graph,
+        &out.outputs,
+        usize::MAX,
+    ));
 }
 
 #[test]
@@ -48,14 +56,18 @@ fn corrupted_outputs_are_rejected_by_verifiers() {
     let ids = IdAssignment::identity(200);
 
     // Corrupt a proper coloring on one endpoint of some edge.
-    let out = run_seq(&ColoringA2LogN::new(2), &gg.graph, &ids).unwrap();
+    let out = Runner::new(&ColoringA2LogN::new(2), &gg.graph, &ids)
+        .run()
+        .unwrap();
     let mut colors = out.outputs.clone();
     let (_, (u, v)) = gg.graph.edges().next().expect("has edges");
     colors[u as usize] = colors[v as usize];
     assert!(verify::proper_vertex_coloring(&gg.graph, &colors, usize::MAX).is_err());
 
     // Corrupt an MIS by adding a dominated vertex.
-    let out = run_seq(&MisExtension::new(2), &gg.graph, &ids).unwrap();
+    let out = Runner::new(&MisExtension::new(2), &gg.graph, &ids)
+        .run()
+        .unwrap();
     let mut mis = out.outputs.clone();
     let outsider = gg
         .graph
@@ -80,14 +92,14 @@ fn round_cap_override_trips_early() {
     let gg = gen::forest_union(500, 2, &mut rng);
     let ids = IdAssignment::identity(500);
     // MIS needs its iteration windows; a cap of 3 rounds must fail.
-    let err = run(
-        &MisExtension::new(2),
-        &gg.graph,
-        &ids,
-        RunConfig { max_rounds: Some(3), ..Default::default() },
-    )
-    .unwrap_err();
-    assert!(matches!(err, EngineError::RoundLimitExceeded { max_rounds: 3, .. }));
+    let err = Runner::new(&MisExtension::new(2), &gg.graph, &ids)
+        .max_rounds(3)
+        .run()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::RoundLimitExceeded { max_rounds: 3, .. }
+    ));
     assert!(err.to_string().contains("after 3 rounds"));
 }
 
@@ -96,7 +108,7 @@ fn round_cap_override_trips_early() {
 fn id_assignment_size_mismatch_panics() {
     let g = gen::path(5);
     let ids = IdAssignment::identity(4);
-    let _ = run_seq(&Partition::new(1), &g, &ids);
+    let _ = Runner::new(&Partition::new(1), &g, &ids).run();
 }
 
 #[test]
@@ -119,5 +131,8 @@ fn builder_rejects_malformed_graphs() {
 #[test]
 fn io_parser_surfaces_line_numbers() {
     let err = distsym::graphcore::io::from_edge_list("n 3\n0 1\nbogus\n").unwrap_err();
-    assert!(err.contains("line 3"), "error should name the offending line: {err}");
+    assert!(
+        err.contains("line 3"),
+        "error should name the offending line: {err}"
+    );
 }

@@ -34,7 +34,10 @@ fn every_harness_coloring_name_runs_and_validates() {
         let row = coloring_row("smoke", name, &gg, 2, 1);
         assert!(row.valid, "{name} invalid");
         assert!(row.va >= 1.0, "{name} VA below one round");
-        assert!(row.wc >= row.median && row.p95 >= row.median, "{name} percentile order");
+        assert!(
+            row.wc >= row.median && row.p95 >= row.median,
+            "{name} percentile order"
+        );
         assert!(row.colors >= 2, "{name} used suspiciously few colors");
     }
 }
@@ -62,7 +65,12 @@ fn headline_rows_ordering_at_small_scale() {
     let fast = coloring_row("T1.4", "a2logn", &gg, 0, 0);
     let slow = coloring_row("T1.4b", "arb_linial_oneshot", &gg, 0, 0);
     assert!(fast.valid && slow.valid);
-    assert!(fast.va * 3.0 < slow.va, "fast {} vs slow {}", fast.va, slow.va);
+    assert!(
+        fast.va * 3.0 < slow.va,
+        "fast {} vs slow {}",
+        fast.va,
+        slow.va
+    );
     // Identical colorings by construction (same family, same decisions).
     assert_eq!(fast.colors, slow.colors);
 }

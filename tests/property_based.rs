@@ -9,7 +9,7 @@ use distsym::algos::mis::MisExtension;
 use distsym::algos::partition::{degree_cap, run_partition};
 use distsym::algos::rand_coloring::delta_plus_one::RandDeltaPlusOne;
 use distsym::graphcore::{gen, verify, Graph, IdAssignment};
-use distsym::simlocal::{run, RunConfig};
+use distsym::simlocal::Runner;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -39,7 +39,7 @@ proptest! {
     fn forest_decomposition_always_valid((g, a) in forest_graph()) {
         let p = ParallelizedForestDecomposition::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&p, &g, &ids).run().unwrap();
         let (labels, heads) = forests::assemble(&g, &out.outputs).unwrap();
         prop_assert!(verify::forest_decomposition(&g, &labels, &heads, p.cap()).is_ok());
     }
@@ -48,7 +48,7 @@ proptest! {
     fn coloring_always_proper((g, a) in forest_graph()) {
         let p = ColoringA2LogN::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&p, &g, &ids).run().unwrap();
         prop_assert!(
             verify::proper_vertex_coloring(&g, &out.outputs, usize::MAX).is_ok()
         );
@@ -58,7 +58,7 @@ proptest! {
     fn mis_always_valid((g, a) in forest_graph()) {
         let p = MisExtension::new(a);
         let ids = IdAssignment::identity(g.n());
-        let out = run(&p, &g, &ids, RunConfig::default()).unwrap();
+        let out = Runner::new(&p, &g, &ids).run().unwrap();
         prop_assert!(verify::maximal_independent_set(&g, &out.outputs).is_ok());
     }
 
@@ -66,7 +66,7 @@ proptest! {
     fn randomized_coloring_proper_any_seed((g, _a) in forest_graph(), seed in any::<u64>()) {
         let p = RandDeltaPlusOne::new();
         let ids = IdAssignment::identity(g.n());
-        let out = run(&p, &g, &ids, RunConfig { seed, ..Default::default() }).unwrap();
+        let out = Runner::new(&p, &g, &ids).seed(seed).run().unwrap();
         prop_assert!(
             verify::proper_vertex_coloring(&g, &out.outputs, g.max_degree() + 1).is_ok()
         );
@@ -76,9 +76,8 @@ proptest! {
     fn seq_and_parallel_engines_agree((g, a) in forest_graph(), seed in any::<u64>()) {
         let p = RandDeltaPlusOne::new();
         let ids = IdAssignment::identity(g.n());
-        let s = run(&p, &g, &ids, RunConfig { seed, ..Default::default() }).unwrap();
-        let r = run(&p, &g, &ids, RunConfig { seed, parallel: true, ..Default::default() })
-            .unwrap();
+        let s = Runner::new(&p, &g, &ids).seed(seed).run().unwrap();
+        let r = Runner::new(&p, &g, &ids).seed(seed).parallel().par_threshold(1).run().unwrap();
         prop_assert_eq!(s.outputs, r.outputs);
         prop_assert_eq!(s.metrics, r.metrics);
         let _ = a;

@@ -7,9 +7,8 @@ use distsym::algos::{
     arbdefective::ArbdefectiveColoring,
     baselines::{ArbLinialFull, ArbLinialOneShot, GlobalLinial, GlobalLinialKw},
     coloring::{
-        a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN,
-        delta_plus_one::DeltaPlusOneColoring, ka::ColoringKa, ka2::ColoringKa2,
-        oa_recolor::ColoringOaRecolor,
+        a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN, delta_plus_one::DeltaPlusOneColoring,
+        ka::ColoringKa, ka2::ColoringKa2, oa_recolor::ColoringOaRecolor,
     },
     edge_coloring::{self, EdgeColoringExtension},
     legal_coloring::LegalColoring,
@@ -21,14 +20,14 @@ use distsym::algos::{
     Partition,
 };
 use distsym::graphcore::{gen, verify, Graph, GraphBuilder, IdAssignment};
-use distsym::simlocal::run_seq;
+use distsym::simlocal::Runner;
 
 fn tiny_graphs() -> Vec<Graph> {
     vec![
         GraphBuilder::new(1).build(),            // isolated vertex
         GraphBuilder::new(2).edge(0, 1).build(), // one edge
         gen::path(3),
-        gen::clique(3),                          // triangle
+        gen::clique(3),                               // triangle
         GraphBuilder::new(4).edges([(0, 1)]).build(), // edge + 2 isolated
     ]
 }
@@ -40,7 +39,7 @@ fn colorings_survive_tiny_graphs() {
         let a = 2; // safe over-declaration for all of these
         macro_rules! check {
             ($p:expr) => {{
-                let out = run_seq(&$p, &g, &ids).unwrap();
+                let out = Runner::new(&$p, &g, &ids).run().unwrap();
                 verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, usize::MAX));
                 out.metrics.check_identities().unwrap();
             }};
@@ -67,20 +66,24 @@ fn colorings_survive_tiny_graphs() {
 fn set_problems_survive_tiny_graphs() {
     for g in tiny_graphs() {
         let ids = IdAssignment::identity(g.n());
-        let out = run_seq(&Partition::new(2), &g, &ids).unwrap();
+        let out = Runner::new(&Partition::new(2), &g, &ids).run().unwrap();
         assert!(out.outputs.iter().all(|&h| h >= 1));
 
-        let out = run_seq(&MisExtension::new(2), &g, &ids).unwrap();
+        let out = Runner::new(&MisExtension::new(2), &g, &ids).run().unwrap();
         verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
 
-        let out = run_seq(&LubyMis, &g, &ids).unwrap();
+        let out = Runner::new(&LubyMis, &g, &ids).run().unwrap();
         verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
 
-        let out = run_seq(&MatchingExtension::new(2), &g, &ids).unwrap();
+        let out = Runner::new(&MatchingExtension::new(2), &g, &ids)
+            .run()
+            .unwrap();
         let (mm, _) = matching::assemble(&g, &out).unwrap();
         verify::assert_ok(verify::maximal_matching(&g, &mm));
 
-        let out = run_seq(&EdgeColoringExtension::new(2), &g, &ids).unwrap();
+        let out = Runner::new(&EdgeColoringExtension::new(2), &g, &ids)
+            .run()
+            .unwrap();
         let (colors, _) = edge_coloring::assemble(&g, &out).unwrap();
         verify::assert_ok(verify::proper_edge_coloring(
             &g,
@@ -88,7 +91,9 @@ fn set_problems_survive_tiny_graphs() {
             EdgeColoringExtension::palette(&g) as usize,
         ));
 
-        let out = run_seq(&ArbdefectiveColoring::new(2, 4), &g, &ids).unwrap();
+        let out = Runner::new(&ArbdefectiveColoring::new(2, 4), &g, &ids)
+            .run()
+            .unwrap();
         assert_eq!(out.outputs.len(), g.n());
     }
 }
@@ -97,7 +102,9 @@ fn set_problems_survive_tiny_graphs() {
 fn pipeline_survives_tiny_graphs() {
     for g in tiny_graphs() {
         let ids = IdAssignment::identity(g.n());
-        let out = run_seq(&ColorThenCensus::new(2, 3), &g, &ids).unwrap();
+        let out = Runner::new(&ColorThenCensus::new(2, 3), &g, &ids)
+            .run()
+            .unwrap();
         for v in g.vertices() {
             let o = &out.outputs[v as usize];
             // Closed-neighborhood census on tiny graphs is deg + 1 when
@@ -111,6 +118,8 @@ fn pipeline_survives_tiny_graphs() {
 fn single_vertex_terminates_in_constant_rounds() {
     let g = GraphBuilder::new(1).build();
     let ids = IdAssignment::identity(1);
-    let out = run_seq(&ColoringA2LogN::new(1), &g, &ids).unwrap();
+    let out = Runner::new(&ColoringA2LogN::new(1), &g, &ids)
+        .run()
+        .unwrap();
     assert!(out.metrics.worst_case() <= 3);
 }
