@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repo gate: formatting, lints (warnings are errors), full test suite.
-# Run from the repo root. Offline — no network access required.
+# Repo gate: formatting, lints (warnings are errors), full test suite,
+# and the bench-diff regression gate against the committed results
+# baseline. Run from the repo root. Offline — no network access required.
 set -eu
 
 cd "$(dirname "$0")"
@@ -13,5 +14,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test --workspace"
 cargo test --workspace -q
+
+echo "== regression gate: table2 --quick vs committed baseline"
+# table2 is the cheapest harness binary (~10 s with this sweep); it also
+# enforces its own bound checks (validity, palette caps, flat VA) and
+# exits nonzero on violation. The flags must match the committed
+# baseline's configuration exactly.
+cargo build --release -q -p benchharness
+./target/release/table2 --quick --seeds 2 --ids identity,random \
+    --json target/ci-results/table2.quick.json > /dev/null
+./target/release/bench-diff --check \
+    results/table2.quick.json target/ci-results/table2.quick.json
 
 echo "CI gate passed."

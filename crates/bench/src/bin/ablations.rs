@@ -10,11 +10,17 @@
 //! * `AB.4` — sequential vs Rayon-parallel engine equivalence (results
 //!   must be identical; wall-clock is reported).
 //!
-//! Usage: `ablations [--quick] [AB.1 ...]`
+//! Row-producing ablations run over the trial sweep and are checked for
+//! validity and palette caps before exit.
+//!
+//! Usage: `ablations [--quick] [--seeds N] [--ids LIST] [--json PATH] [AB.1 ...]`
 
 use algos::one_plus_eta::OnePlusEtaArbCol;
 use algos::partition::{degree_cap, run_partition};
-use benchharness::{coloring_row, forest_workload, print_rows, run_coloring, Cli};
+use benchharness::{
+    bounds, coloring_row, forest_workload, print_rows, print_summaries, run_coloring, summarize,
+    Bound, Cli, SuiteResult,
+};
 use graphcore::IdAssignment;
 use simlocal::Runner;
 use std::time::Instant;
@@ -22,6 +28,8 @@ use std::time::Instant;
 fn main() {
     let cli = Cli::parse();
     let n = if cli.quick { 1 << 12 } else { 1 << 15 };
+    let sweep = cli.sweep();
+    let mut all = Vec::new();
 
     if cli.wants("AB.1") {
         println!("\n== AB.1: ε in Procedure Partition ==");
@@ -49,26 +57,34 @@ fn main() {
         let gg = forest_workload(n, 2, 82);
         let rho = algos::itlog::rho(n as u64);
         let mut rows = Vec::new();
-        for k in 2..=rho {
-            rows.push(coloring_row("AB.2", "ka2", &gg, k, 0));
+        for t in sweep.trials() {
+            for k in 2..=rho {
+                rows.push(coloring_row("AB.2", "ka2", &gg, k, t));
+            }
         }
         print_rows("AB.2: segmentation k — colors vs VA", &rows);
+        all.extend(rows);
     }
 
     if cli.wants("AB.3") {
         let gg = forest_workload(n.min(1 << 13), 16, 83);
+        let nn = gg.graph.n() as u64;
         let mut rows = Vec::new();
-        for c in [2usize, 4, 8] {
-            let p = OnePlusEtaArbCol::new(16, c);
-            rows.push(run_coloring(
-                "AB.3",
-                &format!("one_plus_eta C={c}"),
-                &p,
-                &gg,
-                0,
-            ));
+        for t in sweep.trials() {
+            for c in [2usize, 4, 8] {
+                let p = OnePlusEtaArbCol::new(16, c);
+                rows.push(run_coloring(
+                    "AB.3",
+                    &format!("one_plus_eta C={c}"),
+                    &p,
+                    &gg,
+                    t,
+                    |ids| p.palette_bound(nn, ids) as usize,
+                ));
+            }
         }
         print_rows("AB.3: One-Plus-Eta — constant C vs colors and VA", &rows);
+        all.extend(rows);
     }
 
     if cli.wants("AB.4") {
@@ -87,4 +103,29 @@ fn main() {
         println!("identical outputs: yes   seq {t_seq:.2} ms   par {t_par:.2} ms");
         println!("#series,AB.4,{n},{t_seq:.3},{t_par:.3}");
     }
+
+    let summaries = summarize(&all);
+    if !summaries.is_empty() {
+        print_summaries(
+            "ablations summary (per experiment configuration)",
+            &summaries,
+        );
+    }
+    if let Some(path) = &cli.json {
+        SuiteResult::new(
+            "ablations",
+            cli.quick,
+            cli.seeds,
+            cli.id_mode_labels(),
+            summaries.clone(),
+        )
+        .write(path)
+        .expect("write results JSON");
+        println!("results written to {}", path.display());
+    }
+    bounds::enforce(
+        "ablations",
+        &[Bound::AllValid, Bound::PaletteWithinCap],
+        &summaries,
+    );
 }

@@ -1,0 +1,95 @@
+//! `bench-diff` — the regression gate over committed results JSON.
+//!
+//! Compares a fresh harness run against a committed baseline produced by
+//! the same binary with the same flags (`--json`), using a relative
+//! tolerance on every compared numeric (wall-clock statistics are
+//! machine-dependent and ignored). Exits nonzero on any drift, missing
+//! or extra experiment configuration, validity flip, or schema mismatch,
+//! so CI catches a behavioral regression the moment a table row moves.
+//!
+//! Usage: `bench-diff --check BASELINE.json FRESH.json [--tol 0.05]`
+
+use benchharness::results::{diff, SuiteResult};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    tol: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tol = 0.05;
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--tol" => {
+                let v = it.next().ok_or("--tol requires a value")?;
+                tol = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("--tol requires a non-negative number, got `{v}`"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            _ if baseline.is_none() => baseline = Some(PathBuf::from(arg)),
+            _ if fresh.is_none() => fresh = Some(PathBuf::from(arg)),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if !check {
+        return Err("missing --check (the only supported mode)".into());
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("missing BASELINE.json argument")?,
+        fresh: fresh.ok_or("missing FRESH.json argument")?,
+        tol,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: bench-diff --check BASELINE.json FRESH.json [--tol 0.05]");
+            exit(2);
+        }
+    };
+    let load = |path: &PathBuf| match SuiteResult::read(path) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            exit(2);
+        }
+    };
+    let baseline = load(&args.baseline);
+    let fresh = load(&args.fresh);
+    let drifts = diff(&baseline, &fresh, args.tol);
+    if drifts.is_empty() {
+        println!(
+            "bench-diff: {} matches {} ({} summaries, tol {})",
+            args.fresh.display(),
+            args.baseline.display(),
+            baseline.summaries.len(),
+            args.tol
+        );
+        return;
+    }
+    eprintln!(
+        "bench-diff: {} DRIFTED from {}:",
+        args.fresh.display(),
+        args.baseline.display()
+    );
+    for d in &drifts {
+        eprintln!("  - {d}");
+    }
+    exit(1);
+}

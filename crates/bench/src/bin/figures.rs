@@ -13,16 +13,25 @@
 //!   seeds is concentrated and flat in `n`;
 //! * `F.6` — the §7.5 segmentation frontier: colors × VA as `k` sweeps.
 //!
-//! Usage: `figures [--quick] [F.1 ...]`
+//! Row-producing experiments run over the trial sweep; the F.1/F.2
+//! series additionally assert their lemma bounds inline, and every
+//! violation makes the binary exit nonzero.
+//!
+//! Usage: `figures [--quick] [--seeds N] [--ids LIST] [--json PATH] [F.1 ...]`
 
 use algos::partition::run_partition;
 use benchharness::{
-    coloring_row, forest_workload, n_sweep, print_rows, run_forest_baseline, run_forest_fast, Cli,
+    bounds, coloring_row, forest_workload, n_sweep, print_rows, print_summaries,
+    run_forest_baseline, run_forest_fast, summarize, Bound, Cli, SuiteResult,
 };
 
 fn main() {
     let cli = Cli::parse();
     let ns = n_sweep(cli.quick);
+    let sweep = cli.sweep();
+    let mut all = Vec::new();
+    // Inline violations from the non-Row series (F.1, F.2).
+    let mut inline: Vec<String> = Vec::new();
 
     if cli.wants("F.1") {
         println!("\n== F.1: Lemma 6.1 — active-vertex decay ==");
@@ -34,6 +43,14 @@ fn main() {
             let bound = (0.5f64).powi(i as i32) * n;
             println!("{:>5} {:>10} {:>14.1}", i + 1, a, bound);
             println!("#series,F.1,{},{},{:.1}", i + 1, a, bound);
+            if a as f64 > bound {
+                inline.push(format!(
+                    "F.1: round {} has {} active vertices, above the Lemma 6.1 bound {:.1}",
+                    i + 1,
+                    a,
+                    bound
+                ));
+            }
         }
     }
 
@@ -62,6 +79,13 @@ fn main() {
                 m.vertex_averaged(),
                 m.worst_case()
             );
+            // Lemma 6.2: RoundSum(V) ≤ c·n for a constant c.
+            if m.round_sum() > 6 * n as u64 {
+                inline.push(format!(
+                    "F.2: RoundSum {} exceeds 6·n on the n={n} forest workload",
+                    m.round_sum()
+                ));
+            }
         }
         // The adversarial nested-shell witness: one shell retires per
         // O(1) rounds, so the worst case is Θ(log n) while the average
@@ -86,6 +110,14 @@ fn main() {
                 m.vertex_averaged(),
                 m.worst_case()
             );
+            // Lemma 6.2 with ε = 0.5: va ≤ (2+ε)/ε + 1 = 6.
+            if m.vertex_averaged() > 6.0 {
+                inline.push(format!(
+                    "F.2: nested-shell va {:.3} exceeds the (2+ε)/ε + 1 bound at {} levels",
+                    m.vertex_averaged(),
+                    levels
+                ));
+            }
         }
     }
 
@@ -93,34 +125,40 @@ fn main() {
         let mut rows = Vec::new();
         for &n in &ns {
             let gg = forest_workload(n, 3, 63);
-            rows.push(run_forest_fast("F.3", &gg, 0));
-            rows.push(run_forest_baseline("F.3b", &gg, 0));
+            for t in sweep.trials() {
+                rows.push(run_forest_fast("F.3", &gg, t));
+                rows.push(run_forest_baseline("F.3b", &gg, t));
+            }
         }
         print_rows(
             "F.3: Theorem 7.1 — forest decomposition VA O(1) vs WC Θ(log n)",
             &rows,
         );
+        all.extend(rows);
     }
 
     if cli.wants("F.4") {
         let mut rows = Vec::new();
         for &n in &ns {
             let gg = forest_workload(n, 2, 64);
-            rows.push(coloring_row("F.4", "a2_loglog", &gg, 0, 0));
-            rows.push(coloring_row("F.4", "ka2", &gg, 2, 0));
-            rows.push(coloring_row("F.4", "ka2_rho", &gg, 0, 0));
-            rows.push(coloring_row("F.4b", "arb_linial_full", &gg, 0, 0));
+            for t in sweep.trials() {
+                rows.push(coloring_row("F.4", "a2_loglog", &gg, 0, t));
+                rows.push(coloring_row("F.4", "ka2", &gg, 2, t));
+                rows.push(coloring_row("F.4", "ka2_rho", &gg, 0, t));
+                rows.push(coloring_row("F.4b", "arb_linial_full", &gg, 0, t));
+            }
         }
         print_rows("F.4: VA growth curves vs the Θ(log n) baseline", &rows);
+        all.extend(rows);
     }
 
     if cli.wants("F.5") {
         let mut rows = Vec::new();
-        let seeds = if cli.quick { 5 } else { 20 };
+        let sw = cli.sweep_with_min_seeds(if cli.quick { 5 } else { 20 });
         for &n in &ns {
             let gg = forest_workload(n, 2, 65);
-            for seed in 0..seeds {
-                rows.push(coloring_row("F.5", "rand_delta_plus_one", &gg, 0, seed));
+            for t in sw.trials() {
+                rows.push(coloring_row("F.5", "rand_delta_plus_one", &gg, 0, t));
             }
         }
         print_rows(
@@ -137,6 +175,7 @@ fn main() {
             println!("{:>8} {:>8.3} {:>8.3} {:>8.3}", n, min, mean, max);
             println!("#series,F.5,{n},{min:.4},{mean:.4},{max:.4}");
         }
+        all.extend(rows);
     }
 
     if cli.wants("F.6") {
@@ -144,13 +183,61 @@ fn main() {
         let n = if cli.quick { 1 << 12 } else { 1 << 16 };
         let gg = forest_workload(n, 2, 66);
         let rho = algos::itlog::rho(n as u64);
-        for k in 2..=rho {
-            rows.push(coloring_row("F.6", "ka2", &gg, k, 0));
-            rows.push(coloring_row("F.6", "ka", &gg, k, 0));
+        for t in sweep.trials() {
+            for k in 2..=rho {
+                rows.push(coloring_row("F.6", "ka2", &gg, k, t));
+                rows.push(coloring_row("F.6", "ka", &gg, k, t));
+            }
         }
         print_rows(
             "F.6: segmentation frontier — colors vs VA as k sweeps",
             &rows,
         );
+        all.extend(rows);
     }
+
+    let summaries = summarize(&all);
+    if !summaries.is_empty() {
+        print_summaries("figures summary (per experiment configuration)", &summaries);
+    }
+    if let Some(path) = &cli.json {
+        SuiteResult::new(
+            "figures",
+            cli.quick,
+            cli.seeds,
+            cli.id_mode_labels(),
+            summaries.clone(),
+        )
+        .write(path)
+        .expect("write results JSON");
+        println!("results written to {}", path.display());
+    }
+    if !inline.is_empty() {
+        eprintln!("\n[figures] INLINE BOUND VIOLATIONS:");
+        for v in &inline {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    bounds::enforce(
+        "figures",
+        &[
+            Bound::AllValid,
+            Bound::PaletteWithinCap,
+            // Theorem 7.1: forest decomposition has linear RoundSum …
+            Bound::RoundSumLinear { exp: "F.3", c: 6.0 },
+            // … and flat VA, while F.5's randomized (Δ+1) stays flat too.
+            Bound::VaFlat {
+                exp: "F.3",
+                factor: 1.5,
+                slack: 0.5,
+            },
+            Bound::VaFlat {
+                exp: "F.5",
+                factor: 1.5,
+                slack: 0.5,
+            },
+        ],
+        &summaries,
+    );
 }

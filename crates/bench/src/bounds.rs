@@ -1,0 +1,272 @@
+//! Paper-derived bound checks evaluated against [`TrialSummary`]s.
+//!
+//! Each harness binary declares the bounds its experiments are supposed to
+//! witness — palette sizes within each algorithm's claimed cap, the
+//! Lemma 6.2 `RoundSum ≤ c·n` family, and the vertex-averaged-vs-`n`
+//! shape (flat for the paper's algorithms, growing for the worst-case
+//! baselines) — and [`enforce`] exits nonzero on any violation. This turns
+//! every harness run into a conformance check, not just a table printer.
+
+use crate::trials::TrialSummary;
+
+/// A checkable claim about a set of summaries.
+#[derive(Clone, Debug)]
+pub enum Bound {
+    /// Every summary's verifier conjunction must hold.
+    AllValid,
+    /// Every summary with a finite cap must satisfy `colors_max ≤ cap`.
+    PaletteWithinCap,
+    /// For summaries of experiment `exp`: `round_sum_max ≤ c·n`
+    /// (the Lemma 6.2 linear-RoundSum family).
+    RoundSumLinear {
+        /// Experiment id prefix the bound applies to.
+        exp: &'static str,
+        /// Linear coefficient.
+        c: f64,
+    },
+    /// For experiment `exp`, mean vertex-averaged complexity must stay flat
+    /// in `n`: comparing the smallest-`n` and largest-`n` summaries of each
+    /// `(algo, family, a)` group, the large-`n` mean must be at most
+    /// `factor · small-n mean + slack`.
+    VaFlat {
+        /// Experiment id prefix the bound applies to.
+        exp: &'static str,
+        /// Multiplicative allowance.
+        factor: f64,
+        /// Additive allowance (absorbs tiny absolute means).
+        slack: f64,
+    },
+    /// For experiment `exp`, mean vertex-averaged complexity must *grow*
+    /// with `n` (the worst-case-baseline contrast): the largest-`n` mean
+    /// must strictly exceed the smallest-`n` mean.
+    VaGrowing {
+        /// Experiment id prefix the bound applies to.
+        exp: &'static str,
+    },
+}
+
+fn matches_exp(s: &TrialSummary, exp: &str) -> bool {
+    s.exp == exp || s.exp.starts_with(&format!("{exp}."))
+}
+
+/// Smallest-`n` and largest-`n` summary per `(algo, family, a)` group of
+/// the matching experiment. Groups with a single `n` are skipped — there
+/// is no shape to check.
+fn n_extremes<'a>(
+    summaries: &'a [TrialSummary],
+    exp: &str,
+) -> Vec<(&'a TrialSummary, &'a TrialSummary)> {
+    let mut groups: Vec<(String, Vec<&TrialSummary>)> = Vec::new();
+    for s in summaries.iter().filter(|s| matches_exp(s, exp)) {
+        let key = format!("{}/{}/{}", s.algo, s.family, s.a);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(s),
+            None => groups.push((key, vec![s])),
+        }
+    }
+    groups
+        .into_iter()
+        .filter_map(|(_, g)| {
+            let lo = g.iter().min_by_key(|s| s.n)?;
+            let hi = g.iter().max_by_key(|s| s.n)?;
+            (lo.n < hi.n).then_some((*lo, *hi))
+        })
+        .collect()
+}
+
+impl Bound {
+    /// Messages describing every way `summaries` violates this bound
+    /// (empty when the bound holds). A filtered run that produced no
+    /// matching summaries yields no violations.
+    pub fn violations(&self, summaries: &[TrialSummary]) -> Vec<String> {
+        let mut out = Vec::new();
+        match self {
+            Bound::AllValid => {
+                for s in summaries.iter().filter(|s| !s.valid) {
+                    out.push(format!(
+                        "{}/{} n={}: verifier rejected at least one trial",
+                        s.exp, s.algo, s.n
+                    ));
+                }
+            }
+            Bound::PaletteWithinCap => {
+                for s in summaries
+                    .iter()
+                    .filter(|s| s.cap != usize::MAX && s.colors_max > s.cap)
+                {
+                    out.push(format!(
+                        "{}/{} n={}: {} colors exceeds claimed palette cap {}",
+                        s.exp, s.algo, s.n, s.colors_max, s.cap
+                    ));
+                }
+            }
+            Bound::RoundSumLinear { exp, c } => {
+                for s in summaries.iter().filter(|s| matches_exp(s, exp)) {
+                    let limit = c * s.n as f64;
+                    if s.round_sum_max as f64 > limit {
+                        out.push(format!(
+                            "{}/{} n={}: RoundSum {} exceeds {c}·n = {limit}",
+                            s.exp, s.algo, s.n, s.round_sum_max
+                        ));
+                    }
+                }
+            }
+            Bound::VaFlat { exp, factor, slack } => {
+                for (lo, hi) in n_extremes(summaries, exp) {
+                    let limit = factor * lo.va.mean + slack;
+                    if hi.va.mean > limit {
+                        out.push(format!(
+                            "{}/{}: va grew {:.3} (n={}) -> {:.3} (n={}), limit {:.3} \
+                             ({factor}·small + {slack})",
+                            hi.exp, hi.algo, lo.va.mean, lo.n, hi.va.mean, hi.n, limit
+                        ));
+                    }
+                }
+            }
+            Bound::VaGrowing { exp } => {
+                for (lo, hi) in n_extremes(summaries, exp) {
+                    if hi.va.mean <= lo.va.mean {
+                        out.push(format!(
+                            "{}/{}: va did not grow with n ({:.3} at n={} vs {:.3} at n={})",
+                            hi.exp, hi.algo, lo.va.mean, lo.n, hi.va.mean, hi.n
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collects violations across all `bounds`.
+pub fn check(bounds: &[Bound], summaries: &[TrialSummary]) -> Vec<String> {
+    bounds
+        .iter()
+        .flat_map(|b| b.violations(summaries))
+        .collect()
+}
+
+/// Prints a pass/fail report and exits nonzero on any violation — the
+/// tail call of every harness binary.
+pub fn enforce(suite: &str, bounds: &[Bound], summaries: &[TrialSummary]) {
+    let violations = check(bounds, summaries);
+    if violations.is_empty() {
+        println!("\n[{suite}] all {} bound checks passed", bounds.len());
+        return;
+    }
+    eprintln!("\n[{suite}] BOUND VIOLATIONS:");
+    for v in &violations {
+        eprintln!("  - {v}");
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trials::Stats;
+
+    fn summary(exp: &str, n: usize, va_mean: f64) -> TrialSummary {
+        TrialSummary {
+            exp: exp.into(),
+            algo: "algo".into(),
+            family: "fam".into(),
+            n,
+            a: 2,
+            trials: 1,
+            valid: true,
+            colors_max: 5,
+            cap: 10,
+            round_sum_max: (va_mean * n as f64) as u64,
+            va: Stats {
+                mean: va_mean,
+                ..Stats::from_samples(&[va_mean])
+            },
+            wc: Stats::from_samples(&[4.0]),
+            p95: Stats::from_samples(&[3.0]),
+            wall_ms: Stats::from_samples(&[1.0]),
+        }
+    }
+
+    #[test]
+    fn all_valid_flags_invalid_groups() {
+        let mut s = summary("E", 100, 2.0);
+        assert!(Bound::AllValid.violations(&[s.clone()]).is_empty());
+        s.valid = false;
+        assert_eq!(Bound::AllValid.violations(&[s]).len(), 1);
+    }
+
+    #[test]
+    fn palette_cap_flags_overflow_and_skips_uncapped() {
+        let mut s = summary("E", 100, 2.0);
+        s.colors_max = 11; // cap is 10
+        assert_eq!(Bound::PaletteWithinCap.violations(&[s.clone()]).len(), 1);
+        s.cap = usize::MAX;
+        assert!(Bound::PaletteWithinCap.violations(&[s]).is_empty());
+    }
+
+    #[test]
+    fn round_sum_linear_bound() {
+        let s = summary("T1.4", 100, 2.0); // RoundSum 200
+        let b = Bound::RoundSumLinear {
+            exp: "T1.4",
+            c: 3.0,
+        };
+        assert!(b.violations(std::slice::from_ref(&s)).is_empty());
+        let tight = Bound::RoundSumLinear {
+            exp: "T1.4",
+            c: 1.0,
+        };
+        assert_eq!(tight.violations(std::slice::from_ref(&s)).len(), 1);
+        // Prefix matching: T1.4 must not capture T1.40.
+        let other = summary("T1.40", 100, 99.0);
+        assert!(tight.violations(&[other]).is_empty());
+    }
+
+    #[test]
+    fn va_flat_and_growing_shapes() {
+        let flat = [summary("E", 100, 2.0), summary("E", 10_000, 2.1)];
+        let growing = [summary("E", 100, 2.0), summary("E", 10_000, 9.0)];
+        let f = Bound::VaFlat {
+            exp: "E",
+            factor: 1.5,
+            slack: 0.5,
+        };
+        assert!(f.violations(&flat).is_empty());
+        assert_eq!(f.violations(&growing).len(), 1);
+        let g = Bound::VaGrowing { exp: "E" };
+        assert!(g.violations(&growing).is_empty());
+        assert_eq!(g.violations(&flat[..]).len(), 0, "2.0 -> 2.1 still grows");
+        let truly_flat = [summary("E", 100, 2.0), summary("E", 10_000, 2.0)];
+        assert_eq!(g.violations(&truly_flat).len(), 1);
+    }
+
+    #[test]
+    fn single_n_groups_are_skipped() {
+        let one = [summary("E", 100, 2.0)];
+        assert!(Bound::VaFlat {
+            exp: "E",
+            factor: 1.0,
+            slack: 0.0
+        }
+        .violations(&one)
+        .is_empty());
+        assert!(Bound::VaGrowing { exp: "E" }.violations(&one).is_empty());
+    }
+
+    #[test]
+    fn empty_summaries_pass_everything() {
+        let bounds = [
+            Bound::AllValid,
+            Bound::PaletteWithinCap,
+            Bound::RoundSumLinear { exp: "X", c: 1.0 },
+            Bound::VaFlat {
+                exp: "X",
+                factor: 1.0,
+                slack: 0.0,
+            },
+            Bound::VaGrowing { exp: "X" },
+        ];
+        assert!(check(&bounds, &[]).is_empty());
+    }
+}

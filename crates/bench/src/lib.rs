@@ -3,20 +3,36 @@
 //! # benchharness — regenerating the paper's tables and figures
 //!
 //! Shared machinery for the harness binaries (`table1`, `table2`,
-//! `figures`, `scenarios`, `ablations`) and the Criterion benches: a
-//! uniform way to run every algorithm in the suite on a workload and
-//! collect one [`Row`] of measurements (vertex-averaged complexity,
-//! worst case, percentiles, colors used, validity).
+//! `figures`, `scenarios`, `ablations`, `bench-diff`) and the Criterion
+//! benches: a uniform way to run every algorithm in the suite on a
+//! workload and collect one [`Row`] of measurements (vertex-averaged
+//! complexity, worst case, percentiles, colors used, validity against the
+//! algorithm's *claimed* palette cap).
+//!
+//! The conformance layer lives in three submodules: [`trials`] sweeps each
+//! experiment over engine seeds × ID assignments and aggregates rows into
+//! [`TrialSummary`]s, [`results`] serializes summaries to schema-versioned
+//! JSON under `results/` (compared by the `bench-diff` regression gate),
+//! and [`bounds`] holds the paper-derived checks every harness binary
+//! enforces before exiting.
 //!
 //! Every row is printed in a fixed-width table **and** as a CSV-ish
 //! `#csv` line so results can be scraped; EXPERIMENTS.md records the
 //! paper-vs-measured comparison per experiment id.
 
+pub mod bounds;
+pub mod results;
+pub mod trials;
+
+pub use bounds::Bound;
+pub use results::{diff, SuiteResult, SCHEMA_VERSION};
+pub use trials::{print_summaries, summarize, IdMode, Stats, Sweep, Trial, TrialSummary};
+
 use algos::{baselines, coloring, edge_coloring, forests, itlog, matching, mis, rand_coloring};
 use graphcore::{gen::GenGraph, verify, IdAssignment};
 use simlocal::{EngineStats, Protocol, RoundMetrics, RunConfig, Runner};
 
-/// One measurement row.
+/// One measurement row — a single trial of one experiment configuration.
 #[derive(Clone, Debug)]
 pub struct Row {
     /// Experiment id (e.g. "T1.4").
@@ -39,18 +55,26 @@ pub struct Row {
     pub p95: u32,
     /// Number of distinct colors in the output (0 for set problems).
     pub colors: usize,
-    /// Whether the output passed its verifier.
+    /// Whether the output passed its verifier *within the palette cap*.
     pub valid: bool,
     /// Engine wall-clock time for the run, in milliseconds.
     pub wall_ms: f64,
     /// States published by the engine (equals the run's RoundSum).
     pub pubs: u64,
+    /// The algorithm's claimed palette cap the output was verified
+    /// against (`usize::MAX` for set problems with no palette).
+    pub cap: usize,
+    /// Engine seed this trial ran with.
+    pub seed: u64,
+    /// ID-assignment mode label ([`IdMode::label`]).
+    pub ids: &'static str,
 }
 
 impl Row {
     /// Builds a row from metrics plus solution facts. Wall time and
-    /// publication counts come from the engine's [`EngineStats`]; use
-    /// [`Row::with_stats`] to attach them.
+    /// publication counts come from the engine's [`EngineStats`]
+    /// ([`Row::with_stats`]); trial provenance and the palette cap are
+    /// attached with [`Row::with_trial`] and [`Row::with_cap`].
     #[allow(clippy::too_many_arguments)] // one argument per table column
     pub fn from_metrics(
         exp: &str,
@@ -76,6 +100,9 @@ impl Row {
             valid,
             wall_ms: 0.0,
             pubs: 0,
+            cap: usize::MAX,
+            seed: 0,
+            ids: "identity",
         }
     }
 
@@ -85,13 +112,26 @@ impl Row {
         self.pubs = stats.publications;
         self
     }
+
+    /// Records which trial (seed + ID mode) produced this row.
+    pub fn with_trial(mut self, trial: &Trial) -> Row {
+        self.seed = trial.seed;
+        self.ids = trial.id_mode.label();
+        self
+    }
+
+    /// Records the palette cap the output was verified against.
+    pub fn with_cap(mut self, cap: usize) -> Row {
+        self.cap = cap;
+        self
+    }
 }
 
 /// Prints a header followed by rows, both human-readable and as `#csv`.
 pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
     println!(
-        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9} {:>10}",
+        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9} {:>10} {:>5} {:<11}",
         "exp",
         "algo",
         "family",
@@ -104,11 +144,13 @@ pub fn print_rows(title: &str, rows: &[Row]) {
         "colors",
         "valid",
         "wall_ms",
-        "pubs"
+        "pubs",
+        "seed",
+        "ids"
     );
     for r in rows {
         println!(
-            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9.3} {:>10}",
+            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9.3} {:>10} {:>5} {:<11}",
             r.exp,
             r.algo,
             r.family,
@@ -121,12 +163,14 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.colors,
             r.valid,
             r.wall_ms,
-            r.pubs
+            r.pubs,
+            r.seed,
+            r.ids
         );
     }
     for r in rows {
         println!(
-            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{},{:.4},{}",
+            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{},{:.4},{},{},{}",
             r.exp,
             r.algo,
             r.family,
@@ -139,7 +183,9 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.colors,
             r.valid,
             r.wall_ms,
-            r.pubs
+            r.pubs,
+            r.seed,
+            r.ids
         );
     }
 }
@@ -149,20 +195,29 @@ pub fn cfg(seed: u64) -> RunConfig {
     RunConfig::seeded(seed)
 }
 
-/// Runs a coloring-style protocol (output `u64`) and verifies propriety.
+/// Runs a coloring-style protocol (output `u64`) and verifies propriety
+/// against the algorithm's claimed palette cap.
+///
+/// `cap_of` receives the trial's ID assignment (several caps — Linial
+/// schedules, cover-free families — depend on the ID space) and returns
+/// the maximum number of distinct colors the algorithm claims to use; the
+/// verifier rejects outputs that exceed it, so a protocol quietly blowing
+/// its palette now fails the run instead of slipping through.
 pub fn run_coloring<P: Protocol<Output = u64>>(
     exp: &str,
     algo: &str,
     p: &P,
     gg: &GenGraph,
-    seed: u64,
+    trial: &Trial,
+    cap_of: impl FnOnce(&IdAssignment) -> usize,
 ) -> Row {
-    let ids = IdAssignment::identity(gg.graph.n());
+    let ids = trial.ids(gg.graph.n());
+    let cap = cap_of(&ids);
     let out = Runner::new(p, &gg.graph, &ids)
-        .config(cfg(seed))
+        .config(cfg(trial.seed))
         .run()
         .expect("protocol terminates");
-    let valid = verify::proper_vertex_coloring(&gg.graph, &out.outputs, usize::MAX).is_ok();
+    let valid = verify::proper_vertex_coloring(&gg.graph, &out.outputs, cap).is_ok();
     let colors = verify::count_distinct(&out.outputs);
     Row::from_metrics(
         exp,
@@ -175,14 +230,16 @@ pub fn run_coloring<P: Protocol<Output = u64>>(
         valid,
     )
     .with_stats(&out.stats)
+    .with_trial(trial)
+    .with_cap(cap)
 }
 
 /// Runs the §8 MIS protocol.
-pub fn run_mis_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+pub fn run_mis_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = mis::MisExtension::new(gg.arboricity);
-    let ids = IdAssignment::identity(gg.graph.n());
+    let ids = trial.ids(gg.graph.n());
     let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(seed))
+        .config(cfg(trial.seed))
         .run()
         .expect("terminates");
     let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
@@ -197,13 +254,14 @@ pub fn run_mis_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
         valid,
     )
     .with_stats(&out.stats)
+    .with_trial(trial)
 }
 
 /// Runs Luby's MIS baseline.
-pub fn run_mis_luby(exp: &str, gg: &GenGraph, seed: u64) -> Row {
-    let ids = IdAssignment::identity(gg.graph.n());
+pub fn run_mis_luby(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
+    let ids = trial.ids(gg.graph.n());
     let out = Runner::new(&mis::LubyMis, &gg.graph, &ids)
-        .config(cfg(seed))
+        .config(cfg(trial.seed))
         .run()
         .expect("terminates");
     let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
@@ -218,23 +276,20 @@ pub fn run_mis_luby(exp: &str, gg: &GenGraph, seed: u64) -> Row {
         valid,
     )
     .with_stats(&out.stats)
+    .with_trial(trial)
 }
 
 /// Runs the §8 edge-coloring protocol (commit metrics).
-pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = edge_coloring::EdgeColoringExtension::new(gg.arboricity);
-    let ids = IdAssignment::identity(gg.graph.n());
+    let ids = trial.ids(gg.graph.n());
     let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(seed))
+        .config(cfg(trial.seed))
         .run()
         .expect("terminates");
     let (colors, commit) = edge_coloring::assemble(&gg.graph, &out).expect("assembles");
-    let valid = verify::proper_edge_coloring(
-        &gg.graph,
-        &colors,
-        edge_coloring::EdgeColoringExtension::palette(&gg.graph) as usize,
-    )
-    .is_ok();
+    let cap = edge_coloring::EdgeColoringExtension::palette(&gg.graph) as usize;
+    let valid = verify::proper_edge_coloring(&gg.graph, &colors, cap).is_ok();
     let used = verify::count_distinct(&colors);
     Row::from_metrics(
         exp,
@@ -247,14 +302,16 @@ pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
         valid,
     )
     .with_stats(&out.stats)
+    .with_trial(trial)
+    .with_cap(cap)
 }
 
 /// Runs the §8 maximal-matching protocol (commit metrics).
-pub fn run_matching_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+pub fn run_matching_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = matching::MatchingExtension::new(gg.arboricity);
-    let ids = IdAssignment::identity(gg.graph.n());
+    let ids = trial.ids(gg.graph.n());
     let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(seed))
+        .config(cfg(trial.seed))
         .run()
         .expect("terminates");
     let (mm, commit) = matching::assemble(&gg.graph, &out).expect("assembles");
@@ -270,14 +327,15 @@ pub fn run_matching_ext(exp: &str, gg: &GenGraph, seed: u64) -> Row {
         valid,
     )
     .with_stats(&out.stats)
+    .with_trial(trial)
 }
 
 /// Runs Procedure Parallelized-Forest-Decomposition and verifies.
-pub fn run_forest_fast(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+pub fn run_forest_fast(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = forests::ParallelizedForestDecomposition::new(gg.arboricity);
-    let ids = IdAssignment::identity(gg.graph.n());
+    let ids = trial.ids(gg.graph.n());
     let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(seed))
+        .config(cfg(trial.seed))
         .run()
         .expect("terminates");
     let valid = forests::assemble(&gg.graph, &out.outputs)
@@ -296,14 +354,15 @@ pub fn run_forest_fast(exp: &str, gg: &GenGraph, seed: u64) -> Row {
         valid,
     )
     .with_stats(&out.stats)
+    .with_trial(trial)
 }
 
 /// Runs the worst-case forest-decomposition baseline.
-pub fn run_forest_baseline(exp: &str, gg: &GenGraph, seed: u64) -> Row {
+pub fn run_forest_baseline(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = forests::ForestDecompositionBaseline::new(gg.arboricity);
-    let ids = IdAssignment::identity(gg.graph.n());
+    let ids = trial.ids(gg.graph.n());
     let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(seed))
+        .config(cfg(trial.seed))
         .run()
         .expect("terminates");
     let valid = forests::assemble(&gg.graph, &out.outputs).is_ok();
@@ -318,95 +377,101 @@ pub fn run_forest_baseline(exp: &str, gg: &GenGraph, seed: u64) -> Row {
         valid,
     )
     .with_stats(&out.stats)
+    .with_trial(trial)
 }
 
 /// All coloring algorithm constructors keyed by a short name, so binaries
-/// can sweep them uniformly.
-pub fn coloring_row(exp: &str, name: &str, gg: &GenGraph, k: u32, seed: u64) -> Row {
+/// can sweep them uniformly. Each arm supplies its algorithm's claimed
+/// palette cap to [`run_coloring`], so every row is verified against the
+/// bound the paper (or the baseline's analysis) actually claims.
+pub fn coloring_row(exp: &str, name: &str, gg: &GenGraph, k: u32, trial: &Trial) -> Row {
     let a = gg.arboricity;
     let n = gg.graph.n() as u64;
     match name {
-        "a2logn" => run_coloring(
-            exp,
-            name,
-            &coloring::a2logn::ColoringA2LogN::new(a),
-            gg,
-            seed,
-        ),
-        "a2_loglog" => run_coloring(
-            exp,
-            name,
-            &coloring::a2_loglog::ColoringA2LogLog::new(a),
-            gg,
-            seed,
-        ),
-        "oa_recolor" => run_coloring(
-            exp,
-            name,
-            &coloring::oa_recolor::ColoringOaRecolor::new(a),
-            gg,
-            seed,
-        ),
-        "ka2" => run_coloring(exp, name, &coloring::ka2::ColoringKa2::new(a, k), gg, seed),
-        "ka2_rho" => run_coloring(
-            exp,
-            name,
-            &coloring::ka2::ColoringKa2::rho_instance(a, n),
-            gg,
-            seed,
-        ),
-        "ka" => run_coloring(exp, name, &coloring::ka::ColoringKa::new(a, k), gg, seed),
-        "ka_rho" => run_coloring(
-            exp,
-            name,
-            &coloring::ka::ColoringKa::rho_instance(a, n),
-            gg,
-            seed,
-        ),
-        "delta_plus_one" => run_coloring(
-            exp,
-            name,
-            &coloring::delta_plus_one::DeltaPlusOneColoring::new(a),
-            gg,
-            seed,
-        ),
-        "legal_coloring" => run_coloring(
-            exp,
-            name,
-            &algos::legal_coloring::LegalColoring::new(a.max(1), 6),
-            gg,
-            seed,
-        ),
-        "one_plus_eta" => run_coloring(
-            exp,
-            name,
-            &algos::one_plus_eta::OnePlusEtaArbCol::new(a, 4),
-            gg,
-            seed,
-        ),
-        "rand_delta_plus_one" => run_coloring(
-            exp,
-            name,
-            &rand_coloring::delta_plus_one::RandDeltaPlusOne::new(),
-            gg,
-            seed,
-        ),
-        "rand_a_loglog" => run_coloring(
-            exp,
-            name,
-            &rand_coloring::a_loglog::RandALogLog::new(a),
-            gg,
-            seed,
-        ),
+        "a2logn" => {
+            let p = coloring::a2logn::ColoringA2LogN::new(a);
+            run_coloring(exp, name, &p, gg, trial, |ids| p.palette(ids) as usize)
+        }
+        "a2_loglog" => {
+            let p = coloring::a2_loglog::ColoringA2LogLog::new(a);
+            run_coloring(exp, name, &p, gg, trial, |ids| p.palette(ids) as usize)
+        }
+        "oa_recolor" => {
+            let p = coloring::oa_recolor::ColoringOaRecolor::new(a);
+            run_coloring(exp, name, &p, gg, trial, |_| p.palette() as usize)
+        }
+        // k-parameterized algorithms carry k in the label so sweeps over k
+        // summarize as distinct configurations.
+        "ka2" => {
+            let p = coloring::ka2::ColoringKa2::new(a, k);
+            let label = format!("ka2:k{k}");
+            run_coloring(exp, &label, &p, gg, trial, |ids| p.palette(n, ids) as usize)
+        }
+        "ka2_rho" => {
+            let p = coloring::ka2::ColoringKa2::rho_instance(a, n);
+            run_coloring(exp, name, &p, gg, trial, |ids| p.palette(n, ids) as usize)
+        }
+        "ka" => {
+            let p = coloring::ka::ColoringKa::new(a, k);
+            let label = format!("ka:k{k}");
+            run_coloring(exp, &label, &p, gg, trial, |_| p.palette(n) as usize)
+        }
+        "ka_rho" => {
+            let p = coloring::ka::ColoringKa::rho_instance(a, n);
+            run_coloring(exp, name, &p, gg, trial, |_| p.palette(n) as usize)
+        }
+        "delta_plus_one" => {
+            let p = coloring::delta_plus_one::DeltaPlusOneColoring::new(a);
+            run_coloring(exp, name, &p, gg, trial, |_| gg.graph.max_degree() + 1)
+        }
+        "legal_coloring" => {
+            let p = algos::legal_coloring::LegalColoring::new(a.max(1), 6);
+            run_coloring(exp, name, &p, gg, trial, |ids| {
+                p.palette_bound(n, ids) as usize
+            })
+        }
+        "one_plus_eta" => {
+            let p = algos::one_plus_eta::OnePlusEtaArbCol::new(a, 4);
+            run_coloring(exp, name, &p, gg, trial, |ids| {
+                p.palette_bound(n, ids) as usize
+            })
+        }
+        "rand_delta_plus_one" => {
+            let p = rand_coloring::delta_plus_one::RandDeltaPlusOne::new();
+            run_coloring(exp, name, &p, gg, trial, |_| {
+                p.palette_on(&gg.graph) as usize
+            })
+        }
+        "rand_a_loglog" => {
+            let p = rand_coloring::a_loglog::RandALogLog::new(a);
+            run_coloring(exp, name, &p, gg, trial, |_| p.palette(n) as usize)
+        }
         "arb_color_baseline" => {
-            run_coloring(exp, name, &algos::arb_color::ArbColor::new(a), gg, seed)
+            let p = algos::arb_color::ArbColor::new(a);
+            run_coloring(exp, name, &p, gg, trial, |_| p.palette() as usize)
         }
         "arb_linial_oneshot" => {
-            run_coloring(exp, name, &baselines::ArbLinialOneShot::new(a), gg, seed)
+            let p = baselines::ArbLinialOneShot::new(a);
+            run_coloring(exp, name, &p, gg, trial, |ids| {
+                p.family(ids).ground_size() as usize
+            })
         }
-        "arb_linial_full" => run_coloring(exp, name, &baselines::ArbLinialFull::new(a), gg, seed),
-        "global_linial" => run_coloring(exp, name, &baselines::GlobalLinial::new(), gg, seed),
-        "global_linial_kw" => run_coloring(exp, name, &baselines::GlobalLinialKw::new(), gg, seed),
+        "arb_linial_full" => {
+            let p = baselines::ArbLinialFull::new(a);
+            run_coloring(exp, name, &p, gg, trial, |ids| {
+                p.schedule(ids).final_palette() as usize
+            })
+        }
+        "global_linial" => {
+            let p = baselines::GlobalLinial::new();
+            run_coloring(exp, name, &p, gg, trial, |ids| {
+                p.palette(&gg.graph, ids) as usize
+            })
+        }
+        "global_linial_kw" => {
+            let p = baselines::GlobalLinialKw::new();
+            run_coloring(exp, name, &p, gg, trial, |_| gg.graph.max_degree() + 1)
+        }
         other => panic!("unknown algorithm {other}"),
     }
 }
@@ -436,40 +501,136 @@ fn gen_forest(n: usize, a: usize, rng: &mut rand_chacha::ChaCha8Rng) -> GenGraph
     graphcore::gen::forest_union(n, a, rng)
 }
 
-/// Builds the `a ≪ Δ` hub workload.
+/// Builds the `a ≪ Δ` hub workload with realized arboricity exactly `a`.
+///
+/// The hub edges form one extra forest on top of `a − 1` random forests,
+/// so `a ≥ 2` is required — asking for `a = 1` used to be silently
+/// rewritten to arboricity 2, corrupting the `a` column; now it panics.
+/// The returned [`GenGraph`] reports the generator's realized arboricity,
+/// which rows record.
 pub fn hub_workload(n: usize, a: usize, hub_degree: usize, seed: u64) -> GenGraph {
     use rand::SeedableRng;
+    assert!(
+        a >= 2,
+        "hub workload requires arboricity ≥ 2 (hub edges form one of the {a} forests)"
+    );
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    graphcore::gen::hub_forest(n, a.saturating_sub(1).max(1), 4, hub_degree, &mut rng)
+    let gg = graphcore::gen::hub_forest(n, a - 1, 4, hub_degree, &mut rng);
+    debug_assert_eq!(
+        gg.arboricity, a,
+        "generator must realize the requested arboricity"
+    );
+    gg
 }
 
-/// Parses the common CLI flags: `--quick` plus optional experiment-id
-/// filters (raw args).
+/// Parsed CLI for the harness binaries.
+///
+/// `--quick` trims sweeps, `--seeds N` sets engine seeds per ID mode,
+/// `--ids identity,random,adversarial` picks ID-assignment modes,
+/// `--json PATH` writes the run's [`SuiteResult`]; every other `--` flag
+/// is an error (a typo used to be swallowed as an experiment filter and
+/// silently deselect everything). Bare arguments filter by experiment id.
 pub struct Cli {
     /// Trim sweeps for smoke runs.
     pub quick: bool,
+    /// Engine seeds per ID mode (`0..seeds`).
+    pub seeds: u64,
+    /// ID-assignment modes to sweep.
+    pub id_modes: Vec<IdMode>,
+    /// Where to write the JSON results, if requested.
+    pub json: Option<std::path::PathBuf>,
     /// Experiment ids to run (empty = all).
     pub filters: Vec<String>,
 }
 
 impl Cli {
-    /// Parses `std::env::args`.
-    pub fn parse() -> Cli {
-        let mut quick = false;
-        let mut filters = Vec::new();
-        for arg in std::env::args().skip(1) {
-            if arg == "--quick" {
-                quick = true;
-            } else {
-                filters.push(arg);
+    /// Parses an argument list (without the program name).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut cli = Cli {
+            quick: false,
+            seeds: 1,
+            id_modes: vec![IdMode::Identity],
+            json: None,
+            filters: Vec::new(),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--seeds" => {
+                    let v = it.next().ok_or("--seeds requires a value")?;
+                    cli.seeds =
+                        v.parse::<u64>().ok().filter(|&s| s >= 1).ok_or_else(|| {
+                            format!("--seeds requires a positive integer, got `{v}`")
+                        })?;
+                }
+                "--ids" => {
+                    let v = it.next().ok_or("--ids requires a value")?;
+                    cli.id_modes = v
+                        .split(',')
+                        .map(IdMode::parse)
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json requires a path")?;
+                    cli.json = Some(v.into());
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!(
+                        "unknown flag `{other}` (expected --quick, --seeds N, \
+                         --ids LIST, or --json PATH)"
+                    ));
+                }
+                _ => cli.filters.push(arg),
             }
         }
-        Cli { quick, filters }
+        Ok(cli)
     }
 
-    /// Whether experiment `id` should run.
+    /// Parses `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Cli {
+        match Cli::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--quick] [--seeds N] [--ids identity,random,adversarial] \
+                     [--json PATH] [EXPERIMENT_ID...]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Whether experiment `id` should run: a filter selects its exact id
+    /// or any dotted descendant (`T1` matches `T1.1`; `T1.1` does **not**
+    /// match `T1.10`).
     pub fn wants(&self, id: &str) -> bool {
-        self.filters.is_empty() || self.filters.iter().any(|f| id.starts_with(f.as_str()))
+        self.filters.is_empty()
+            || self
+                .filters
+                .iter()
+                .any(|f| id == f || id.starts_with(&format!("{f}.")))
+    }
+
+    /// The seed × ID-mode sweep this invocation asks for.
+    pub fn sweep(&self) -> Sweep {
+        Sweep::new(self.seeds, &self.id_modes)
+    }
+
+    /// Like [`Cli::sweep`] but with at least `min` seeds — for randomized
+    /// experiments whose headline numbers need more than a point sample
+    /// even in a default run.
+    pub fn sweep_with_min_seeds(&self, min: u64) -> Sweep {
+        Sweep::new(self.seeds.max(min), &self.id_modes)
+    }
+
+    /// Labels of the selected ID modes (for [`SuiteResult`]).
+    pub fn id_mode_labels(&self) -> Vec<String> {
+        self.id_modes
+            .iter()
+            .map(|m| m.label().to_string())
+            .collect()
     }
 }
 
@@ -480,35 +641,95 @@ mod tests {
     #[test]
     fn coloring_rows_run_and_validate() {
         let gg = forest_workload(256, 2, 1);
+        let trial = Trial::identity(0);
         for name in ["a2logn", "a2_loglog", "ka2", "arb_color_baseline"] {
-            let row = coloring_row("T", name, &gg, 2, 0);
+            let row = coloring_row("T", name, &gg, 2, &trial);
             assert!(row.valid, "{name} produced an invalid coloring");
             assert!(row.va > 0.0 && row.wc >= row.median);
+            assert_ne!(row.cap, usize::MAX, "{name} must claim a palette cap");
+            assert!(
+                row.colors <= row.cap,
+                "{name} used {} colors against cap {}",
+                row.colors,
+                row.cap
+            );
         }
     }
 
     #[test]
     fn set_problem_rows_validate() {
         let gg = forest_workload(200, 2, 2);
-        assert!(run_mis_ext("T", &gg, 0).valid);
-        assert!(run_mis_luby("T", &gg, 0).valid);
-        assert!(run_matching_ext("T", &gg, 0).valid);
-        assert!(run_edge_coloring_ext("T", &gg, 0).valid);
-        assert!(run_forest_fast("T", &gg, 0).valid);
+        let t = Trial::identity(0);
+        assert!(run_mis_ext("T", &gg, &t).valid);
+        assert!(run_mis_luby("T", &gg, &t).valid);
+        assert!(run_matching_ext("T", &gg, &t).valid);
+        assert!(run_edge_coloring_ext("T", &gg, &t).valid);
+        assert!(run_forest_fast("T", &gg, &t).valid);
     }
 
     #[test]
-    fn cli_filters() {
+    fn hub_workload_realizes_requested_arboricity() {
+        let gg = hub_workload(300, 2, 16, 7);
+        assert_eq!(gg.arboricity, 2);
+        let gg3 = hub_workload(300, 3, 16, 7);
+        assert_eq!(gg3.arboricity, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arboricity ≥ 2")]
+    fn hub_workload_rejects_a1() {
+        hub_workload(300, 1, 16, 7);
+    }
+
+    #[test]
+    fn cli_filters_match_exact_or_dotted_prefix() {
         let cli = Cli {
             quick: true,
-            filters: vec!["T1.2".into()],
+            seeds: 1,
+            id_modes: vec![IdMode::Identity],
+            json: None,
+            filters: vec!["T1.1".into()],
         };
-        assert!(cli.wants("T1.2"));
-        assert!(!cli.wants("T1.3"));
-        let all = Cli {
-            quick: false,
-            filters: vec![],
+        assert!(cli.wants("T1.1"));
+        assert!(cli.wants("T1.1.a"));
+        assert!(!cli.wants("T1.10"), "T1.1 must not select T1.10");
+        assert!(!cli.wants("T1.2"));
+        let group = Cli {
+            filters: vec!["T1".into()],
+            ..Cli::parse_from(Vec::new()).unwrap()
         };
+        assert!(group.wants("T1.2") && group.wants("T1.10"));
+        assert!(!group.wants("T2.1"));
+        let all = Cli::parse_from(Vec::new()).unwrap();
         assert!(all.wants("anything"));
+    }
+
+    #[test]
+    fn cli_parses_flags_and_rejects_typos() {
+        let cli = Cli::parse_from(
+            [
+                "--quick",
+                "--seeds",
+                "5",
+                "--ids",
+                "identity,adversarial",
+                "T2.1",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(cli.quick);
+        assert_eq!(cli.seeds, 5);
+        assert_eq!(cli.id_modes, vec![IdMode::Identity, IdMode::Adversarial]);
+        assert_eq!(cli.filters, vec!["T2.1"]);
+        assert_eq!(cli.sweep().trials().len(), 10);
+        assert_eq!(cli.sweep_with_min_seeds(8).trials().len(), 16);
+
+        // The original bug: `--seeds 5` parsed as two filters, silently
+        // deselecting every experiment. Unknown flags are now errors.
+        assert!(Cli::parse_from(["--seed", "5"].map(String::from)).is_err());
+        assert!(Cli::parse_from(["--seeds", "0"].map(String::from)).is_err());
+        assert!(Cli::parse_from(["--seeds"].map(String::from)).is_err());
+        assert!(Cli::parse_from(["--ids", "bogus"].map(String::from)).is_err());
     }
 }

@@ -1,0 +1,393 @@
+//! Trial sweeps: seed × ID-assignment sweeps and summary statistics.
+//!
+//! Every number the harness reports used to come from a single engine seed
+//! under the identity ID assignment. The paper's claims are stated for
+//! *arbitrary* unique IDs (the `max_{I ∈ ID}` in the §2 vertex-averaged
+//! definition) and per-node termination is known to be ID-sensitive, so a
+//! point sample is not evidence. This module runs each experiment over a
+//! sweep of engine seeds × ID-assignment modes and aggregates the
+//! per-trial [`Row`]s into a [`TrialSummary`] (mean, stddev, min/max and a
+//! 95% CI for every metric, an all-trials `valid` conjunction, and the
+//! worst color count / `RoundSum` seen).
+
+use crate::Row;
+use graphcore::IdAssignment;
+use rand::SeedableRng;
+
+/// How vertex IDs are assigned for a trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdMode {
+    /// Vertex `v` has ID `v` ([`IdAssignment::identity`]).
+    Identity,
+    /// A seed-derived uniformly random permutation of `0..n`.
+    Random,
+    /// The reversed-order assignment ([`IdAssignment::adversarial`]).
+    Adversarial,
+}
+
+impl IdMode {
+    /// Every mode, in sweep order.
+    pub const ALL: [IdMode; 3] = [IdMode::Identity, IdMode::Random, IdMode::Adversarial];
+
+    /// Stable label used in tables, CSV lines, and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IdMode::Identity => "identity",
+            IdMode::Random => "random",
+            IdMode::Adversarial => "adversarial",
+        }
+    }
+
+    /// Parses a label (as accepted by `--ids`).
+    pub fn parse(s: &str) -> Result<IdMode, String> {
+        match s {
+            "identity" => Ok(IdMode::Identity),
+            "random" => Ok(IdMode::Random),
+            "adversarial" => Ok(IdMode::Adversarial),
+            other => Err(format!(
+                "unknown ID mode `{other}` (expected identity|random|adversarial)"
+            )),
+        }
+    }
+
+    /// Builds the assignment for an `n`-vertex graph. `seed` only matters
+    /// for [`IdMode::Random`], where it selects the permutation (decorrelated
+    /// from the engine's per-round streams by a fixed constant).
+    pub fn build(&self, n: usize, seed: u64) -> IdAssignment {
+        match self {
+            IdMode::Identity => IdAssignment::identity(n),
+            IdMode::Random => {
+                let mut rng =
+                    rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x1d5_0c0de_u64.rotate_left(17));
+                IdAssignment::random_permutation(n, &mut rng)
+            }
+            IdMode::Adversarial => IdAssignment::adversarial(n),
+        }
+    }
+}
+
+/// One trial configuration: engine seed plus ID-assignment mode.
+#[derive(Clone, Copy, Debug)]
+pub struct Trial {
+    /// Engine seed (feeds randomized protocols and the random ID mode).
+    pub seed: u64,
+    /// How IDs are assigned.
+    pub id_mode: IdMode,
+}
+
+impl Trial {
+    /// The identity-IDs trial with the given seed — the seed repo's
+    /// original single-sample configuration.
+    pub fn identity(seed: u64) -> Trial {
+        Trial {
+            seed,
+            id_mode: IdMode::Identity,
+        }
+    }
+
+    /// Builds this trial's ID assignment for an `n`-vertex graph.
+    pub fn ids(&self, n: usize) -> IdAssignment {
+        self.id_mode.build(n, self.seed)
+    }
+}
+
+/// The full seed × ID-mode sweep an experiment is run over.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    trials: Vec<Trial>,
+}
+
+impl Sweep {
+    /// `seeds` engine seeds (`0..seeds`) crossed with `modes`.
+    pub fn new(seeds: u64, modes: &[IdMode]) -> Sweep {
+        assert!(seeds >= 1, "a sweep needs at least one seed");
+        assert!(!modes.is_empty(), "a sweep needs at least one ID mode");
+        let mut trials = Vec::with_capacity(seeds as usize * modes.len());
+        for &id_mode in modes {
+            for seed in 0..seeds {
+                trials.push(Trial { seed, id_mode });
+            }
+        }
+        Sweep { trials }
+    }
+
+    /// The trials, in deterministic order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Runs `f` once per trial and collects the rows.
+    pub fn rows(&self, f: impl FnMut(&Trial) -> Row) -> Vec<Row> {
+        self.trials.iter().map(f).collect()
+    }
+}
+
+/// Summary statistics over one metric's per-trial samples.
+///
+/// `ci95` is the half-width of the normal-approximation 95% confidence
+/// interval for the mean, `1.96·σ/√k` (0 for a single trial).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (k−1 denominator; 0 for one sample).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// 95% CI half-width for the mean (normal approximation).
+    pub ci95: f64,
+}
+
+impl Stats {
+    /// Computes the statistics of a non-empty sample.
+    pub fn from_samples(xs: &[f64]) -> Stats {
+        assert!(!xs.is_empty(), "stats need at least one sample");
+        let k = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / k;
+        let var = if xs.len() > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (k - 1.0)
+        } else {
+            0.0
+        };
+        let stddev = var.sqrt();
+        Stats {
+            mean,
+            stddev,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            ci95: 1.96 * stddev / k.sqrt(),
+        }
+    }
+}
+
+/// Aggregate of all trials of one experiment configuration — the unit the
+/// JSON results, the bound checks, and the `bench-diff` gate operate on.
+#[derive(Clone, Debug)]
+pub struct TrialSummary {
+    /// Experiment id (e.g. "T1.4").
+    pub exp: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Workload family label.
+    pub family: String,
+    /// Vertices.
+    pub n: usize,
+    /// Arboricity parameter.
+    pub a: usize,
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Conjunction of every trial's verifier outcome.
+    pub valid: bool,
+    /// Largest distinct-color count over all trials.
+    pub colors_max: usize,
+    /// Palette cap the rows were verified against (`usize::MAX` = none).
+    pub cap: usize,
+    /// Largest engine `RoundSum` (publications) over all trials.
+    pub round_sum_max: u64,
+    /// Vertex-averaged complexity statistics.
+    pub va: Stats,
+    /// Worst-case complexity statistics.
+    pub wc: Stats,
+    /// 95th-percentile termination-round statistics.
+    pub p95: Stats,
+    /// Engine wall-clock statistics (milliseconds).
+    pub wall_ms: Stats,
+}
+
+/// Groups rows by `(exp, algo, family, n, a)` — the experiment
+/// configuration — and aggregates each group's trials into a
+/// [`TrialSummary`]. Group order follows first appearance in `rows`.
+pub fn summarize(rows: &[Row]) -> Vec<TrialSummary> {
+    let mut order: Vec<(String, String, String, usize, usize)> = Vec::new();
+    let mut groups: Vec<Vec<&Row>> = Vec::new();
+    for r in rows {
+        let key = (r.exp.clone(), r.algo.clone(), r.family.clone(), r.n, r.a);
+        match order.iter().position(|k| *k == key) {
+            Some(i) => groups[i].push(r),
+            None => {
+                order.push(key);
+                groups.push(vec![r]);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .zip(groups)
+        .map(|((exp, algo, family, n, a), g)| {
+            let f = |sel: fn(&Row) -> f64| {
+                Stats::from_samples(&g.iter().map(|r| sel(r)).collect::<Vec<_>>())
+            };
+            TrialSummary {
+                exp,
+                algo,
+                family,
+                n,
+                a,
+                trials: g.len(),
+                valid: g.iter().all(|r| r.valid),
+                colors_max: g.iter().map(|r| r.colors).max().unwrap_or(0),
+                cap: g.iter().map(|r| r.cap).max().unwrap_or(usize::MAX),
+                round_sum_max: g.iter().map(|r| r.pubs).max().unwrap_or(0),
+                va: f(|r| r.va),
+                wc: f(|r| r.wc as f64),
+                p95: f(|r| r.p95 as f64),
+                wall_ms: f(|r| r.wall_ms),
+            }
+        })
+        .collect()
+}
+
+/// Prints summaries as a fixed-width mean ± stddev table plus `#sum` CSV
+/// lines (the scrape format for EXPERIMENTS.md regeneration).
+pub fn print_summaries(title: &str, summaries: &[TrialSummary]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>6} {:>16} {:>14} {:>14} {:>8} {:>6}",
+        "exp",
+        "algo",
+        "family",
+        "n",
+        "a",
+        "trials",
+        "va(mean±sd)",
+        "wc(mean±sd)",
+        "p95(mean±sd)",
+        "colors",
+        "valid"
+    );
+    for s in summaries {
+        println!(
+            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>6} {:>9.2}±{:<6.2} {:>8.1}±{:<5.1} {:>8.1}±{:<5.1} {:>8} {:>6}",
+            s.exp,
+            s.algo,
+            s.family,
+            s.n,
+            s.a,
+            s.trials,
+            s.va.mean,
+            s.va.stddev,
+            s.wc.mean,
+            s.wc.stddev,
+            s.p95.mean,
+            s.p95.stddev,
+            s.colors_max,
+            s.valid
+        );
+    }
+    for s in summaries {
+        println!(
+            "#sum,{},{},{},{},{},{},{:.4},{:.4},{:.2},{:.2},{:.2},{:.2},{},{},{}",
+            s.exp,
+            s.algo,
+            s.family,
+            s.n,
+            s.a,
+            s.trials,
+            s.va.mean,
+            s.va.stddev,
+            s.wc.mean,
+            s.wc.stddev,
+            s.p95.mean,
+            s.p95.stddev,
+            s.colors_max,
+            s.valid,
+            s.round_sum_max
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(exp: &str, n: usize, va: f64, colors: usize, valid: bool) -> Row {
+        Row {
+            exp: exp.into(),
+            algo: "algo".into(),
+            family: "fam".into(),
+            n,
+            a: 2,
+            va,
+            wc: va.ceil() as u32,
+            median: 1,
+            p95: 2,
+            colors,
+            valid,
+            wall_ms: 0.5,
+            pubs: (va * n as f64) as u64,
+            cap: 10,
+            seed: 0,
+            ids: "identity",
+        }
+    }
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let s = Stats::from_samples(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!((s.min, s.max), (3.0, 3.0));
+    }
+
+    #[test]
+    fn stats_spread() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_cross_product() {
+        let sw = Sweep::new(2, &[IdMode::Identity, IdMode::Adversarial]);
+        assert_eq!(sw.trials().len(), 4);
+        let labels: Vec<_> = sw
+            .trials()
+            .iter()
+            .map(|t| (t.seed, t.id_mode.label()))
+            .collect();
+        assert!(labels.contains(&(1, "adversarial")));
+        assert!(labels.contains(&(0, "identity")));
+    }
+
+    #[test]
+    fn id_modes_build_expected_assignments() {
+        let id = IdMode::Identity.build(4, 9);
+        assert_eq!(id.id(0), 0);
+        let adv = IdMode::Adversarial.build(4, 9);
+        assert_eq!(adv.id(0), 3);
+        let r1 = IdMode::Random.build(100, 1);
+        let r2 = IdMode::Random.build(100, 1);
+        let r3 = IdMode::Random.build(100, 2);
+        assert_eq!(r1, r2, "same seed must give the same permutation");
+        assert_ne!(r1, r3, "different seeds must give different permutations");
+    }
+
+    #[test]
+    fn summarize_groups_and_conjoins_valid() {
+        let rows = vec![
+            row("E", 100, 2.0, 5, true),
+            row("E", 100, 4.0, 7, false),
+            row("E", 200, 3.0, 6, true),
+        ];
+        let s = summarize(&rows);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].trials, 2);
+        assert!(!s[0].valid, "one invalid trial poisons the group");
+        assert_eq!(s[0].colors_max, 7);
+        assert!((s[0].va.mean - 3.0).abs() < 1e-12);
+        assert!(s[1].valid);
+        assert_eq!(s[1].n, 200);
+    }
+
+    #[test]
+    fn id_mode_parse_round_trips() {
+        for m in IdMode::ALL {
+            assert_eq!(IdMode::parse(m.label()).unwrap(), m);
+        }
+        assert!(IdMode::parse("bogus").is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Conformance tests for the trials/results/bounds subsystem: engine
+//! determinism under the seed × ID-assignment sweep, palette-cap
+//! enforcement end-to-end, and the JSON results round-trip through disk.
+
+use benchharness::{
+    bounds, coloring_row, forest_workload, run_coloring, summarize, Bound, IdMode, SuiteResult,
+    Sweep, Trial,
+};
+use graphcore::verify;
+use simlocal::{RunConfig, Runner};
+
+/// Same engine seed, different ID assignments: every trial must produce a
+/// valid output on the same graph, and the round metrics must *generally*
+/// differ — per-vertex termination is ID-driven, so if all three modes
+/// agreed exactly the sweep would be measuring nothing.
+#[test]
+fn same_seed_different_ids_valid_but_distinct_metrics() {
+    let gg = forest_workload(600, 2, 3);
+    let mut metric_tuples = Vec::new();
+    for id_mode in IdMode::ALL {
+        let trial = Trial { seed: 7, id_mode };
+        // delta_plus_one's in-set slot order is ID-driven, so its
+        // per-vertex termination rounds are ID-sensitive.
+        let row = coloring_row("det", "delta_plus_one", &gg, 0, &trial);
+        assert!(row.valid, "invalid under {} IDs", id_mode.label());
+        assert_eq!(row.n, 600);
+        metric_tuples.push((row.va.to_bits(), row.wc, row.median, row.p95));
+    }
+    let mut distinct = metric_tuples.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(
+        distinct.len() >= 2,
+        "all ID modes produced identical metrics: {metric_tuples:?}"
+    );
+}
+
+/// Identical seed + identical IDs: the engine is fully deterministic, so
+/// two runs of a *randomized* protocol must agree byte-for-byte in both
+/// outputs and metrics.
+#[test]
+fn identical_seed_and_ids_are_bit_identical() {
+    let gg = forest_workload(500, 2, 4);
+    let trial = Trial {
+        seed: 5,
+        id_mode: IdMode::Random,
+    };
+    let ids_a = trial.ids(gg.graph.n());
+    let ids_b = trial.ids(gg.graph.n());
+    assert_eq!(ids_a, ids_b, "ID construction must be seed-deterministic");
+    let run = |ids| {
+        let p = algos::rand_coloring::delta_plus_one::RandDeltaPlusOne::new();
+        Runner::new(&p, &gg.graph, ids)
+            .config(RunConfig::seeded(trial.seed))
+            .run()
+            .expect("terminates")
+    };
+    let a = run(&ids_a);
+    let b = run(&ids_b);
+    assert_eq!(a.outputs, b.outputs, "outputs must be byte-identical");
+    assert_eq!(a.metrics, b.metrics, "metrics must be byte-identical");
+    assert!(verify::proper_vertex_coloring(&gg.graph, &a.outputs, usize::MAX).is_ok());
+}
+
+/// Threading a deliberately-too-small cap through `run_coloring` must
+/// mark the row invalid, and the bound checks must then reject the
+/// summary — the satellite bugfix for the old `usize::MAX` validation.
+#[test]
+fn too_small_palette_cap_fails_verification_and_bounds() {
+    let gg = forest_workload(300, 2, 5);
+    let p = algos::coloring::a2logn::ColoringA2LogN::new(2);
+    let trial = Trial::identity(0);
+    let row = run_coloring("capcheck", "a2logn", &p, &gg, &trial, |_| 2);
+    assert!(!row.valid, "a 2-color cap cannot hold for this workload");
+    assert!(row.colors > row.cap);
+    let summaries = summarize(&[row]);
+    assert!(!Bound::AllValid.violations(&summaries).is_empty());
+    assert!(!Bound::PaletteWithinCap.violations(&summaries).is_empty());
+    // The honest cap passes.
+    let good = run_coloring("capcheck", "a2logn", &p, &gg, &trial, |ids| {
+        p.palette(ids) as usize
+    });
+    assert!(good.valid);
+    let summaries = summarize(&[good]);
+    assert!(bounds::check(&[Bound::AllValid, Bound::PaletteWithinCap], &summaries).is_empty());
+}
+
+/// Summaries survive the write → read → diff cycle through an actual
+/// file, and a corrupted file is rejected.
+#[test]
+fn results_round_trip_through_disk() {
+    let gg = forest_workload(256, 2, 6);
+    let sweep = Sweep::new(2, &[IdMode::Identity, IdMode::Adversarial]);
+    let rows = sweep.rows(|t| coloring_row("RT", "a2logn", &gg, 0, t));
+    assert_eq!(rows.len(), 4);
+    let summaries = summarize(&rows);
+    assert_eq!(summaries.len(), 1);
+    assert_eq!(summaries[0].trials, 4);
+    let suite = SuiteResult::new(
+        "conformance-test",
+        true,
+        2,
+        vec!["identity".into(), "adversarial".into()],
+        summaries,
+    );
+    let dir = std::env::temp_dir().join("benchharness-conformance");
+    let path = dir.join("round_trip.json");
+    suite.write(&path).expect("write results file");
+    let back = SuiteResult::read(&path).expect("read results file");
+    // The writer keeps 6 decimal places, so round-trip agreement is to
+    // ~1e-6 relative — far inside the 5% gate tolerance.
+    assert!(
+        benchharness::diff(&suite, &back, 1e-5).is_empty(),
+        "round-trip must be drift-free"
+    );
+    let corrupt = path.with_file_name("corrupt.json");
+    std::fs::write(&corrupt, suite.to_json().replace("{", "")).unwrap();
+    assert!(SuiteResult::read(&corrupt).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The sweep × summarize pipeline records per-trial provenance: each row
+/// carries its seed and ID-mode label, and randomized algorithms show
+/// real spread across trials.
+#[test]
+fn sweep_provenance_and_spread() {
+    let gg = forest_workload(400, 2, 8);
+    let sweep = Sweep::new(3, &[IdMode::Identity]);
+    let rows = sweep.rows(|t| coloring_row("SP", "rand_delta_plus_one", &gg, 0, t));
+    assert_eq!(
+        rows.iter().map(|r| r.seed).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    assert!(rows.iter().all(|r| r.ids == "identity" && r.valid));
+    let s = &summarize(&rows)[0];
+    assert_eq!(s.trials, 3);
+    assert!(s.va.min <= s.va.mean && s.va.mean <= s.va.max);
+    assert!(s.colors_max <= s.cap);
+}

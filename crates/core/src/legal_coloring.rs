@@ -145,6 +145,15 @@ impl LegalColoring {
         enc * (1 << 16) + rec
     }
 
+    /// Loose palette bound for verification: distinct encodings possible.
+    /// The prefix part of [`LegalColoring::encode`] is bounded by
+    /// `(p+1)^(depth+1)` and the leaf color occupies the low 16 bits; the
+    /// bound is deliberately loose — tests count used colors.
+    pub fn palette_bound(&self, n: u64, ids: &IdAssignment) -> u64 {
+        let depth = self.schedule(n, ids).levels.len() as u32;
+        (self.p as u64 + 1).pow(depth + 1) * (1 << 16)
+    }
+
     fn same_branch(my_prefix: &[u32], other: &LcState) -> bool {
         my_prefix == other.prefix.as_slice()
     }

@@ -35,6 +35,24 @@ impl IdAssignment {
         IdAssignment { ids }
     }
 
+    /// The adversarial assignment: vertex `v` has ID `n − 1 − v`.
+    ///
+    /// The vertex-averaged complexity definition (§2) takes a maximum over
+    /// all legal ID assignments, so experiments must not be read off the
+    /// identity assignment alone. Reversing the vertex order is the classic
+    /// adversarial choice for this codebase's algorithms: the generators
+    /// attach each vertex to earlier-ordered vertices, and the protocols
+    /// break ties toward *larger* IDs, so reversed IDs anti-correlate the
+    /// tie-breaking order with the construction order and lengthen
+    /// ID-driven dependency chains. The ID space is `n`, identical to
+    /// [`IdAssignment::identity`], so reduction schedules are comparable
+    /// across modes.
+    pub fn adversarial(n: usize) -> Self {
+        IdAssignment {
+            ids: (0..n as u64).rev().collect(),
+        }
+    }
+
     /// Random distinct IDs from `[0, span)`, `span ≥ n` (sparse ID space,
     /// exercising algorithms whose round counts depend on the ID range).
     pub fn random_sparse<R: Rng>(n: usize, span: u64, rng: &mut R) -> Self {
@@ -98,6 +116,14 @@ mod tests {
         assert_eq!(a.id(3), 3);
         assert_eq!(a.id_space(), 4);
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn adversarial_reverses_identity() {
+        let a = IdAssignment::adversarial(5);
+        assert_eq!((0..5).map(|v| a.id(v)).collect::<Vec<_>>(), [4, 3, 2, 1, 0]);
+        // Same ID space as identity, so schedules stay comparable.
+        assert_eq!(a.id_space(), IdAssignment::identity(5).id_space());
     }
 
     #[test]

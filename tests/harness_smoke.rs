@@ -1,10 +1,11 @@
 //! Smoke tests over the benchmark harness pathways used by the table
-//! binaries — every algorithm name the harness knows must run, validate,
-//! and produce sane metrics on a small workload.
+//! binaries — every algorithm name the harness knows must run, validate
+//! against its claimed palette cap, and produce sane metrics on a small
+//! workload, under every ID-assignment mode.
 
 use benchharness::{
     coloring_row, forest_workload, hub_workload, run_edge_coloring_ext, run_forest_baseline,
-    run_forest_fast, run_matching_ext, run_mis_ext, run_mis_luby,
+    run_forest_fast, run_matching_ext, run_mis_ext, run_mis_luby, IdMode, Trial,
 };
 
 const ALL_COLORINGS: &[&str] = &[
@@ -30,30 +31,47 @@ const ALL_COLORINGS: &[&str] = &[
 #[test]
 fn every_harness_coloring_name_runs_and_validates() {
     let gg = forest_workload(220, 2, 11);
-    for name in ALL_COLORINGS {
-        let row = coloring_row("smoke", name, &gg, 2, 1);
-        assert!(row.valid, "{name} invalid");
-        assert!(row.va >= 1.0, "{name} VA below one round");
-        assert!(
-            row.wc >= row.median && row.p95 >= row.median,
-            "{name} percentile order"
-        );
-        assert!(row.colors >= 2, "{name} used suspiciously few colors");
+    for id_mode in IdMode::ALL {
+        let trial = Trial { seed: 1, id_mode };
+        for name in ALL_COLORINGS {
+            let row = coloring_row("smoke", name, &gg, 2, &trial);
+            let lbl = id_mode.label();
+            assert!(row.valid, "{name} invalid under {lbl} IDs");
+            assert!(row.va >= 1.0, "{name} VA below one round under {lbl} IDs");
+            assert!(
+                row.wc >= row.median && row.p95 >= row.median,
+                "{name} percentile order under {lbl} IDs"
+            );
+            assert!(
+                row.colors >= 2,
+                "{name} used suspiciously few colors under {lbl} IDs"
+            );
+            assert_ne!(row.cap, usize::MAX, "{name} must claim a palette cap");
+            assert!(
+                row.colors <= row.cap,
+                "{name} used {} colors against cap {} under {lbl} IDs",
+                row.colors,
+                row.cap
+            );
+            assert_eq!(row.ids, lbl);
+        }
     }
 }
 
 #[test]
 fn set_problem_runners_on_hub_workload() {
     let hub = hub_workload(400, 2, 20, 12);
+    let t = Trial::identity(0);
     for row in [
-        run_mis_ext("smoke", &hub, 0),
-        run_mis_luby("smoke", &hub, 0),
-        run_matching_ext("smoke", &hub, 0),
-        run_edge_coloring_ext("smoke", &hub, 0),
-        run_forest_fast("smoke", &hub, 0),
-        run_forest_baseline("smoke", &hub, 0),
+        run_mis_ext("smoke", &hub, &t),
+        run_mis_luby("smoke", &hub, &t),
+        run_matching_ext("smoke", &hub, &t),
+        run_edge_coloring_ext("smoke", &hub, &t),
+        run_forest_fast("smoke", &hub, &t),
+        run_forest_baseline("smoke", &hub, &t),
     ] {
         assert!(row.valid, "{} invalid on hub workload", row.algo);
+        assert_eq!(row.a, 2, "rows must report the realized arboricity");
     }
 }
 
@@ -62,8 +80,9 @@ fn headline_rows_ordering_at_small_scale() {
     // Even at n = 1024 the T1.4 ordering must hold: the O(1)-VA coloring
     // beats the classical one-shot on vertex-average by a wide margin.
     let gg = forest_workload(1024, 2, 13);
-    let fast = coloring_row("T1.4", "a2logn", &gg, 0, 0);
-    let slow = coloring_row("T1.4b", "arb_linial_oneshot", &gg, 0, 0);
+    let t = Trial::identity(0);
+    let fast = coloring_row("T1.4", "a2logn", &gg, 0, &t);
+    let slow = coloring_row("T1.4b", "arb_linial_oneshot", &gg, 0, &t);
     assert!(fast.valid && slow.valid);
     assert!(
         fast.va * 3.0 < slow.va,
@@ -78,8 +97,8 @@ fn headline_rows_ordering_at_small_scale() {
 #[test]
 fn randomized_rows_vary_with_seed_but_stay_valid() {
     let gg = forest_workload(512, 2, 14);
-    let a = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, 1);
-    let b = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, 2);
+    let a = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, &Trial::identity(1));
+    let b = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, &Trial::identity(2));
     assert!(a.valid && b.valid);
     assert!(
         (a.va - b.va).abs() > 1e-9 || a.wc != b.wc,
