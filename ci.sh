@@ -26,4 +26,15 @@ cargo build --release -q -p benchharness
 ./target/release/bench-diff --check \
     results/table2.quick.json target/ci-results/table2.quick.json
 
+echo "== trace smoke: export + self-validate JSONL and Chrome-trace"
+# Runs a small randomized-coloring workload under the full tracing stack;
+# the binary re-reads both artifacts and exits nonzero unless they parse,
+# Chrome-trace timestamps are monotone, event counts match the engine's
+# statistics, per-phase RoundSums total the run's RoundSum, and the
+# active-set series passes the Lemma 6.1 geometric-decay check.
+./target/release/trace --algo rand_delta_plus_one --n 4096 --a 2 --seed 1 \
+    --out target/ci-trace > /dev/null
+test -s target/ci-trace/trace.jsonl
+test -s target/ci-trace/trace.chrome.json
+
 echo "CI gate passed."

@@ -3,13 +3,14 @@
 //! Compares a fresh harness run against a committed baseline produced by
 //! the same binary with the same flags (`--json`), using a relative
 //! tolerance on every compared numeric (wall-clock statistics are
-//! machine-dependent and ignored). Exits nonzero on any drift, missing
+//! machine-dependent: large swings are printed as informational notes but
+//! never gate the check). Exits nonzero on any drift, missing
 //! or extra experiment configuration, validity flip, or schema mismatch,
 //! so CI catches a behavioral regression the moment a table row moves.
 //!
 //! Usage: `bench-diff --check BASELINE.json FRESH.json [--tol 0.05]`
 
-use benchharness::results::{diff, SuiteResult};
+use benchharness::results::{diff, wall_notes, SuiteResult};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -73,6 +74,10 @@ fn main() {
     let baseline = load(&args.baseline);
     let fresh = load(&args.fresh);
     let drifts = diff(&baseline, &fresh, args.tol);
+    // Wall time is machine-dependent: report large swings but never gate.
+    for note in wall_notes(&baseline, &fresh, args.tol) {
+        println!("bench-diff: note: {note}");
+    }
     if drifts.is_empty() {
         println!(
             "bench-diff: {} matches {} ({} summaries, tol {})",

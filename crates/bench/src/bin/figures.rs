@@ -237,6 +237,22 @@ fn main() {
                 factor: 1.5,
                 slack: 0.5,
             },
+            // Lemma 6.1 geometric active-set decay (warm-up round exempt;
+            // see table1 for the constants' rationale).
+            Bound::ActiveDecay {
+                exp: "F.3",
+                ratio: 0.5,
+                stride: 1,
+                floor: 8.0,
+                grace: 1,
+            },
+            Bound::ActiveDecay {
+                exp: "F.5",
+                ratio: 0.9,
+                stride: 2,
+                floor: 16.0,
+                grace: 1,
+            },
         ],
         &summaries,
     );

@@ -187,6 +187,26 @@ fn main() {
             },
             // The classical baseline's VA must keep growing with n.
             Bound::VaGrowing { exp: "T1.1b" },
+            // Lemma 6.1: active sets decay geometrically. T1.4's partition
+            // keeps everyone active for one warm-up round (grace 1), then
+            // the active set at least halves per round. T1.8's two-round
+            // propose/resolve phases shrink the undecided set by ≥ ¼ per
+            // phase in expectation; 0.9 per 2-round window is a loose
+            // w.h.p. envelope over seed noise.
+            Bound::ActiveDecay {
+                exp: "T1.4",
+                ratio: 0.5,
+                stride: 1,
+                floor: 8.0,
+                grace: 1,
+            },
+            Bound::ActiveDecay {
+                exp: "T1.8",
+                ratio: 0.9,
+                stride: 2,
+                floor: 16.0,
+                grace: 1,
+            },
         ],
         &summaries,
     );

@@ -1,0 +1,349 @@
+//! `trace` — run one algorithm under the full tracing observer stack and
+//! export its event stream.
+//!
+//! Attaches [`Telemetry`], [`PhaseBreakdown`], [`TraceLog`], and
+//! [`Profile`] (composed with [`Tee`]) to a single observed run, then:
+//!
+//! * prints the per-phase `RoundSum` breakdown and the termination-round /
+//!   round-wall histograms,
+//! * asserts the trace-level accounting identities (per-phase `RoundSum`s
+//!   total the engine's step count; trace event counts match
+//!   [`EngineStats`]; terminations == `n`),
+//! * checks the Lemma 6.1 geometric active-set decay where the algorithm
+//!   claims it,
+//! * writes `<out>/trace.jsonl` (one event object per line) and
+//!   `<out>/trace.chrome.json` (Chrome trace event format — open in
+//!   `chrome://tracing` or the Perfetto UI), and
+//! * re-reads both files, validating that they parse, that Chrome-trace
+//!   timestamps are monotone, and that event counts match the engine.
+//!
+//! Exits nonzero if any check fails, so CI can use a small run as a smoke
+//! test of the whole observability layer.
+//!
+//! Usage: `trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR]
+//! [--parallel]` with NAME one of `rand_delta_plus_one` (default),
+//! `a2logn`, `mis_extension`, `color_then_census`.
+
+use algos::{coloring, mis, pipeline, rand_coloring};
+use benchharness::bounds::geometric_decay_violations;
+use benchharness::forest_workload;
+use benchharness::results::Json;
+use simlocal::{
+    EngineStats, PhaseBreakdown, Profile, Protocol, RunConfig, Runner, Tee, Telemetry, TraceLog,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+struct Args {
+    algo: String,
+    n: usize,
+    a: usize,
+    seed: u64,
+    out: PathBuf,
+    parallel: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        algo: "rand_delta_plus_one".into(),
+        n: 4096,
+        a: 2,
+        seed: 1,
+        out: PathBuf::from("target/trace"),
+        parallel: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or(format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--algo" => args.algo = val("--algo")?,
+            "--n" => args.n = val("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--a" => args.a = val("--a")?.parse().map_err(|e| format!("--a: {e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = PathBuf::from(val("--out")?),
+            "--parallel" => args.parallel = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Per-window Lemma 6.1 decay requirement: `(ratio, stride, floor, grace)`
+/// (see [`geometric_decay_violations`]). `None` = no decay claim for this
+/// algorithm.
+type DecayClaim = Option<(f64, usize, f64, usize)>;
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR] [--parallel]"
+            );
+            exit(2);
+        }
+    };
+    let gg = forest_workload(args.n, args.a, args.seed);
+    // Constants mirror the harness bound declarations in table1/figures:
+    // the randomized algorithm halves the undecided set per 2-round
+    // propose/resolve phase (0.9 is a loose w.h.p. envelope); the §7.2
+    // coloring at least halves the active set per round after the one-
+    // round partition warm-up.
+    let failures = match args.algo.as_str() {
+        "rand_delta_plus_one" => {
+            let p = rand_coloring::delta_plus_one::RandDeltaPlusOne::new();
+            trace_run(&p, &gg.graph, &args, Some((0.9, 2, 32.0, 2)))
+        }
+        "a2logn" => {
+            let p = coloring::a2logn::ColoringA2LogN::new(args.a);
+            trace_run(&p, &gg.graph, &args, Some((0.5, 1, 8.0, 1)))
+        }
+        // MIS and the pipeline hold terminations back in windows/subtasks,
+        // so no per-window decay claim — the trace identities still apply.
+        "mis_extension" => {
+            let p = mis::MisExtension::new(args.a);
+            trace_run(&p, &gg.graph, &args, None)
+        }
+        "color_then_census" => {
+            let p = pipeline::ColorThenCensus::new(args.a, 4);
+            trace_run(&p, &gg.graph, &args, None)
+        }
+        other => {
+            eprintln!(
+                "error: unknown algo `{other}` (expected rand_delta_plus_one, a2logn, \
+                 mis_extension, color_then_census)"
+            );
+            exit(2);
+        }
+    };
+    if !failures.is_empty() {
+        eprintln!("\n[trace] FAILURES:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        exit(1);
+    }
+    println!("\n[trace] all checks passed");
+}
+
+/// Runs `p` under the full observer stack, prints the report, writes and
+/// validates both export files. Returns failure messages (empty = pass).
+fn trace_run<P: Protocol>(
+    p: &P,
+    g: &graphcore::Graph,
+    args: &Args,
+    decay: DecayClaim,
+) -> Vec<String> {
+    let ids = graphcore::IdAssignment::identity(g.n());
+    let mut cfg = RunConfig::seeded(args.seed);
+    if args.parallel {
+        cfg = cfg.parallel();
+    }
+    let names = p.phase_names();
+    let mut obs = Tee(
+        Tee(Telemetry::new(), PhaseBreakdown::new(names)),
+        Tee(TraceLog::with_phases(names), Profile::new()),
+    );
+    let out = Runner::new(p, g, &ids)
+        .config(cfg)
+        .run_with(&mut obs)
+        .expect("protocol terminates");
+    let Tee(Tee(telemetry, breakdown), Tee(log, profile)) = &obs;
+    let stats = &out.stats;
+    let n = g.n();
+
+    println!(
+        "trace: {} on forest_union (n={}, a={}, seed={}, {})",
+        args.algo,
+        n,
+        args.a,
+        args.seed,
+        if args.parallel {
+            "parallel"
+        } else {
+            "sequential"
+        }
+    );
+    println!(
+        "  rounds {}  RoundSum {}  VA {:.3}  WC {}",
+        stats.rounds,
+        stats.steps,
+        out.metrics.vertex_averaged(),
+        out.metrics.worst_case()
+    );
+    println!("  per-phase breakdown (phase, RoundSum, VA share, terminations):");
+    for (phase, round_sum, terms) in breakdown.rows() {
+        println!(
+            "    {phase:<14} {round_sum:>10}  {:>8.3}  {terms:>8}",
+            round_sum as f64 / n as f64
+        );
+    }
+    println!();
+    print!(
+        "{}",
+        profile.termination_rounds.render("termination rounds")
+    );
+    print!("{}", profile.round_wall_us.render("round wall time (us)"));
+
+    let mut failures = Vec::new();
+
+    // Accounting identities between the observers and the engine.
+    if breakdown.total_round_sum() != stats.steps {
+        failures.push(format!(
+            "per-phase RoundSums total {} but the engine counted {} steps",
+            breakdown.total_round_sum(),
+            stats.steps
+        ));
+    }
+    if log.step_events() != stats.steps {
+        failures.push(format!(
+            "trace recorded {} step events but the engine counted {} steps",
+            log.step_events(),
+            stats.steps
+        ));
+    }
+    if log.terminate_events() != n as u64 {
+        failures.push(format!(
+            "trace recorded {} terminations for {} vertices",
+            log.terminate_events(),
+            n
+        ));
+    }
+    if log.rounds() != stats.rounds {
+        failures.push(format!(
+            "trace recorded {} rounds but the engine ran {}",
+            log.rounds(),
+            stats.rounds
+        ));
+    }
+
+    // Lemma 6.1: the active set decays geometrically where claimed.
+    if let Some((ratio, stride, floor, grace)) = decay {
+        let active: Vec<f64> = telemetry.active.iter().map(|&a| a as f64).collect();
+        failures.extend(geometric_decay_violations(
+            &format!("{} n={n}", args.algo),
+            &active,
+            ratio,
+            stride,
+            floor,
+            grace,
+        ));
+    }
+
+    // Export and re-validate both artifact files.
+    if let Err(e) = fs::create_dir_all(&args.out) {
+        failures.push(format!("create {}: {e}", args.out.display()));
+        return failures;
+    }
+    let jsonl_path = args.out.join("trace.jsonl");
+    let chrome_path = args.out.join("trace.chrome.json");
+    match fs::File::create(&jsonl_path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| log.write_jsonl(io_buf(f)).map_err(|e| e.to_string()))
+    {
+        Ok(()) => println!("\nwrote {}", jsonl_path.display()),
+        Err(e) => failures.push(format!("write {}: {e}", jsonl_path.display())),
+    }
+    match fs::File::create(&chrome_path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| log.write_chrome_trace(io_buf(f)).map_err(|e| e.to_string()))
+    {
+        Ok(()) => println!("wrote {}", chrome_path.display()),
+        Err(e) => failures.push(format!("write {}: {e}", chrome_path.display())),
+    }
+    failures.extend(validate_jsonl(&jsonl_path, stats, n));
+    failures.extend(validate_chrome(&chrome_path, stats));
+    failures
+}
+
+fn io_buf(f: fs::File) -> std::io::BufWriter<fs::File> {
+    std::io::BufWriter::new(f)
+}
+
+/// Re-reads the JSONL export: every line parses, and the per-kind event
+/// counts match the engine's statistics.
+fn validate_jsonl(path: &Path, stats: &EngineStats, n: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("read {}: {e}", path.display())],
+    };
+    let (mut steps, mut terms, mut rounds) = (0u64, 0u64, 0u32);
+    for (i, line) in text.lines().enumerate() {
+        let ev = match Json::parse(line).and_then(|v| Ok(v.get("ev")?.as_str()?.to_string())) {
+            Ok(ev) => ev,
+            Err(e) => {
+                failures.push(format!("{} line {}: {e}", path.display(), i + 1));
+                continue;
+            }
+        };
+        match ev.as_str() {
+            "step" => steps += 1,
+            "terminate" => terms += 1,
+            "round_end" => rounds += 1,
+            _ => {}
+        }
+    }
+    for (what, got, want) in [
+        ("step events", steps, stats.steps),
+        ("terminate events", terms, n as u64),
+        ("round_end events", rounds as u64, stats.rounds as u64),
+    ] {
+        if got != want {
+            failures.push(format!("{}: {what} {got} != engine {want}", path.display()));
+        }
+    }
+    failures
+}
+
+/// Re-reads the Chrome-trace export: the document parses, timestamps are
+/// monotone non-decreasing in array order, and the round slices match the
+/// engine's round count and step total.
+fn validate_chrome(path: &Path, stats: &EngineStats) -> Vec<String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("read {}: {e}", path.display())],
+    };
+    let check = || -> Result<Vec<String>, String> {
+        let doc = Json::parse(&text)?;
+        let events = doc.get("traceEvents")?.as_array()?;
+        let mut failures = Vec::new();
+        let mut last_ts = f64::NEG_INFINITY;
+        let (mut slices, mut slice_active) = (0u64, 0u64);
+        for e in events {
+            let ts = e.get("ts")?.as_f64()?;
+            if ts < last_ts {
+                failures.push(format!(
+                    "{}: timestamp {ts} after {last_ts} — not monotone",
+                    path.display()
+                ));
+            }
+            last_ts = ts;
+            if e.get("ph")?.as_str()? == "X" {
+                slices += 1;
+                slice_active += e.get("args")?.get("active")?.as_f64()? as u64;
+            }
+        }
+        if slices != stats.rounds as u64 {
+            failures.push(format!(
+                "{}: {slices} round slices != engine {} rounds",
+                path.display(),
+                stats.rounds
+            ));
+        }
+        if slice_active != stats.steps {
+            failures.push(format!(
+                "{}: slice active counts total {slice_active} != engine {} steps",
+                path.display(),
+                stats.steps
+            ));
+        }
+        Ok(failures)
+    };
+    match check() {
+        Ok(failures) => failures,
+        Err(e) => vec![format!("{}: {e}", path.display())],
+    }
+}

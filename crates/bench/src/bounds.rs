@@ -43,6 +43,59 @@ pub enum Bound {
         /// Experiment id prefix the bound applies to.
         exp: &'static str,
     },
+    /// For experiment `exp`, the recorded mean active-set series must decay
+    /// geometrically in the Lemma 6.1 sense: once per `stride`-round window,
+    /// the active count must shrink by at least `ratio` relative to the
+    /// window `stride` rounds earlier (checked via
+    /// [`geometric_decay_violations`]).
+    ActiveDecay {
+        /// Experiment id prefix the bound applies to.
+        exp: &'static str,
+        /// Required per-window shrink factor in `(0, 1)`.
+        ratio: f64,
+        /// Window width in rounds over which `ratio` must be achieved.
+        stride: usize,
+        /// Counts at or below this floor are exempt (tail noise).
+        floor: f64,
+        /// Number of leading windows exempt from the check (warm-up, e.g.
+        /// a partition phase that keeps every vertex active).
+        grace: usize,
+    },
+}
+
+/// Lemma 6.1-style geometric-decay check on an active-set series.
+///
+/// Compares `active[i]` against `active[i - stride]` for every
+/// `i ≥ stride·(grace+1)`: each window must satisfy
+/// `active[i] ≤ ratio · active[i - stride]`, unless the earlier value is
+/// already at or below `floor` (the tail, where integer counts are too
+/// coarse for a ratio test). Returns one message per violated window.
+pub fn geometric_decay_violations(
+    label: &str,
+    active: &[f64],
+    ratio: f64,
+    stride: usize,
+    floor: f64,
+    grace: usize,
+) -> Vec<String> {
+    assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0,1)");
+    assert!(stride > 0, "stride must be positive");
+    let mut out = Vec::new();
+    for i in (stride * (grace + 1)..active.len()).step_by(stride) {
+        let prev = active[i - stride];
+        if prev <= floor {
+            continue;
+        }
+        let cur = active[i];
+        if cur > ratio * prev {
+            out.push(format!(
+                "{label}: active set decayed {prev:.1} -> {cur:.1} over rounds {}..{i}, \
+                 above the Lemma 6.1 factor {ratio} (floor {floor})",
+                i - stride
+            ));
+        }
+    }
+    out
 }
 
 fn matches_exp(s: &TrialSummary, exp: &str) -> bool {
@@ -133,6 +186,25 @@ impl Bound {
                     }
                 }
             }
+            Bound::ActiveDecay {
+                exp,
+                ratio,
+                stride,
+                floor,
+                grace,
+            } => {
+                for s in summaries.iter().filter(|s| matches_exp(s, exp)) {
+                    let label = format!("{}/{} n={}", s.exp, s.algo, s.n);
+                    out.extend(geometric_decay_violations(
+                        &label,
+                        &s.active_decay,
+                        *ratio,
+                        *stride,
+                        *floor,
+                        *grace,
+                    ));
+                }
+            }
         }
         out
     }
@@ -185,6 +257,8 @@ mod tests {
             wc: Stats::from_samples(&[4.0]),
             p95: Stats::from_samples(&[3.0]),
             wall_ms: Stats::from_samples(&[1.0]),
+            active_decay: Vec::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -252,6 +326,44 @@ mod tests {
         .violations(&one)
         .is_empty());
         assert!(Bound::VaGrowing { exp: "E" }.violations(&one).is_empty());
+    }
+
+    #[test]
+    fn geometric_decay_check() {
+        // Halving every round passes a ratio-0.6 per-round check.
+        let good = [1000.0, 500.0, 250.0, 125.0, 62.0, 31.0];
+        assert!(geometric_decay_violations("g", &good, 0.6, 1, 4.0, 0).is_empty());
+        // A stall in the middle is flagged.
+        let stalled = [1000.0, 500.0, 490.0, 480.0];
+        let v = geometric_decay_violations("s", &stalled, 0.6, 1, 4.0, 0);
+        assert_eq!(v.len(), 2, "{v:?}");
+        // Grace exempts leading windows: a flat warm-up phase passes.
+        let warmup = [1000.0, 1000.0, 500.0, 250.0];
+        assert!(!geometric_decay_violations("w", &warmup, 0.6, 1, 4.0, 0).is_empty());
+        assert!(geometric_decay_violations("w", &warmup, 0.6, 1, 4.0, 1).is_empty());
+        // Floor exempts the tail where counts are too small for ratios.
+        let tail = [1000.0, 500.0, 3.0, 3.0, 2.0];
+        assert!(geometric_decay_violations("t", &tail, 0.6, 1, 4.0, 0).is_empty());
+        // Stride 2 compares windows, not adjacent rounds.
+        let two_round_phases = [1000.0, 1000.0, 400.0, 400.0, 160.0, 160.0];
+        assert!(!geometric_decay_violations("p", &two_round_phases, 0.6, 1, 4.0, 0).is_empty());
+        assert!(geometric_decay_violations("p", &two_round_phases, 0.6, 2, 4.0, 0).is_empty());
+    }
+
+    #[test]
+    fn active_decay_bound_filters_by_exp() {
+        let mut s = summary("T1.4", 100, 2.0);
+        s.active_decay = vec![100.0, 90.0, 85.0, 80.0];
+        let b = Bound::ActiveDecay {
+            exp: "T1.4",
+            ratio: 0.6,
+            stride: 1,
+            floor: 4.0,
+            grace: 0,
+        };
+        assert!(!b.violations(std::slice::from_ref(&s)).is_empty());
+        s.exp = "T1.5".into();
+        assert!(b.violations(&[s]).is_empty(), "other experiments exempt");
     }
 
     #[test]

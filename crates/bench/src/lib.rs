@@ -30,7 +30,19 @@ pub use trials::{print_summaries, summarize, IdMode, Stats, Sweep, Trial, TrialS
 
 use algos::{baselines, coloring, edge_coloring, forests, itlog, matching, mis, rand_coloring};
 use graphcore::{gen::GenGraph, verify, IdAssignment};
-use simlocal::{EngineStats, Protocol, RoundMetrics, RunConfig, Runner};
+use simlocal::{
+    EngineStats, PhaseBreakdown, Protocol, RoundMetrics, RunConfig, Runner, Tee, Telemetry,
+};
+
+/// One phase's share of a run's `RoundSum`, as reported by the protocol's
+/// [`Protocol::phase_of`] attribution (see `simlocal::PhaseBreakdown`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSum {
+    /// Phase name (from [`Protocol::phase_names`]).
+    pub name: String,
+    /// Rounds this phase consumed, summed over all vertices.
+    pub round_sum: u64,
+}
 
 /// One measurement row — a single trial of one experiment configuration.
 #[derive(Clone, Debug)]
@@ -68,6 +80,11 @@ pub struct Row {
     pub seed: u64,
     /// ID-assignment mode label ([`IdMode::label`]).
     pub ids: &'static str,
+    /// Per-round active-set series (`active_series[i]` = vertices active
+    /// in round `i + 1`, the paper's `n_i`) — the Lemma 6.1 decay data.
+    pub active_series: Vec<u64>,
+    /// Per-phase `RoundSum` breakdown; the sums total [`Row::pubs`].
+    pub phases: Vec<PhaseSum>,
 }
 
 impl Row {
@@ -86,6 +103,8 @@ impl Row {
         colors: usize,
         valid: bool,
     ) -> Row {
+        // One sort answers both quantile queries (median + p95 per row).
+        let pct = m.percentiles();
         Row {
             exp: exp.into(),
             algo: algo.into(),
@@ -94,8 +113,8 @@ impl Row {
             a,
             va: m.vertex_averaged(),
             wc: m.worst_case(),
-            median: m.median(),
-            p95: m.percentile(95.0),
+            median: pct.median(),
+            p95: pct.rank(95.0),
             colors,
             valid,
             wall_ms: 0.0,
@@ -103,6 +122,8 @@ impl Row {
             cap: usize::MAX,
             seed: 0,
             ids: "identity",
+            active_series: m.active_per_round.iter().map(|&a| a as u64).collect(),
+            phases: Vec::new(),
         }
     }
 
@@ -125,6 +146,26 @@ impl Row {
         self.cap = cap;
         self
     }
+
+    /// Attaches the observer data every harness run now collects: the
+    /// [`Telemetry`] active-set series (engine rounds, even when the row's
+    /// headline metrics are commit-based) and the per-phase `RoundSum`
+    /// breakdown.
+    pub fn with_trace(mut self, telemetry: &Telemetry, breakdown: &PhaseBreakdown) -> Row {
+        self.active_series = telemetry.active.iter().map(|&a| a as u64).collect();
+        self.phases = breakdown
+            .rows()
+            .into_iter()
+            .map(|(name, round_sum, _)| PhaseSum { name, round_sum })
+            .collect();
+        self
+    }
+}
+
+/// The observer pair every harness runner attaches: telemetry for the
+/// active-decay series, phase breakdown for the per-subroutine RoundSum.
+pub fn harness_observer<P: Protocol>(p: &P) -> Tee<Telemetry, PhaseBreakdown> {
+    Tee(Telemetry::new(), PhaseBreakdown::new(p.phase_names()))
 }
 
 /// Prints a header followed by rows, both human-readable and as `#csv`.
@@ -213,9 +254,10 @@ pub fn run_coloring<P: Protocol<Output = u64>>(
 ) -> Row {
     let ids = trial.ids(gg.graph.n());
     let cap = cap_of(&ids);
+    let mut obs = harness_observer(p);
     let out = Runner::new(p, &gg.graph, &ids)
         .config(cfg(trial.seed))
-        .run()
+        .run_with(&mut obs)
         .expect("protocol terminates");
     let valid = verify::proper_vertex_coloring(&gg.graph, &out.outputs, cap).is_ok();
     let colors = verify::count_distinct(&out.outputs);
@@ -232,15 +274,17 @@ pub fn run_coloring<P: Protocol<Output = u64>>(
     .with_stats(&out.stats)
     .with_trial(trial)
     .with_cap(cap)
+    .with_trace(&obs.0, &obs.1)
 }
 
 /// Runs the §8 MIS protocol.
 pub fn run_mis_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = mis::MisExtension::new(gg.arboricity);
     let ids = trial.ids(gg.graph.n());
+    let mut obs = harness_observer(&p);
     let out = Runner::new(&p, &gg.graph, &ids)
         .config(cfg(trial.seed))
-        .run()
+        .run_with(&mut obs)
         .expect("terminates");
     let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
     Row::from_metrics(
@@ -255,14 +299,16 @@ pub fn run_mis_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     )
     .with_stats(&out.stats)
     .with_trial(trial)
+    .with_trace(&obs.0, &obs.1)
 }
 
 /// Runs Luby's MIS baseline.
 pub fn run_mis_luby(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let ids = trial.ids(gg.graph.n());
+    let mut obs = harness_observer(&mis::LubyMis);
     let out = Runner::new(&mis::LubyMis, &gg.graph, &ids)
         .config(cfg(trial.seed))
-        .run()
+        .run_with(&mut obs)
         .expect("terminates");
     let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
     Row::from_metrics(
@@ -277,15 +323,17 @@ pub fn run_mis_luby(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     )
     .with_stats(&out.stats)
     .with_trial(trial)
+    .with_trace(&obs.0, &obs.1)
 }
 
 /// Runs the §8 edge-coloring protocol (commit metrics).
 pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = edge_coloring::EdgeColoringExtension::new(gg.arboricity);
     let ids = trial.ids(gg.graph.n());
+    let mut obs = harness_observer(&p);
     let out = Runner::new(&p, &gg.graph, &ids)
         .config(cfg(trial.seed))
-        .run()
+        .run_with(&mut obs)
         .expect("terminates");
     let (colors, commit) = edge_coloring::assemble(&gg.graph, &out).expect("assembles");
     let cap = edge_coloring::EdgeColoringExtension::palette(&gg.graph) as usize;
@@ -304,15 +352,17 @@ pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     .with_stats(&out.stats)
     .with_trial(trial)
     .with_cap(cap)
+    .with_trace(&obs.0, &obs.1)
 }
 
 /// Runs the §8 maximal-matching protocol (commit metrics).
 pub fn run_matching_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = matching::MatchingExtension::new(gg.arboricity);
     let ids = trial.ids(gg.graph.n());
+    let mut obs = harness_observer(&p);
     let out = Runner::new(&p, &gg.graph, &ids)
         .config(cfg(trial.seed))
-        .run()
+        .run_with(&mut obs)
         .expect("terminates");
     let (mm, commit) = matching::assemble(&gg.graph, &out).expect("assembles");
     let valid = verify::maximal_matching(&gg.graph, &mm).is_ok();
@@ -328,15 +378,17 @@ pub fn run_matching_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     )
     .with_stats(&out.stats)
     .with_trial(trial)
+    .with_trace(&obs.0, &obs.1)
 }
 
 /// Runs Procedure Parallelized-Forest-Decomposition and verifies.
 pub fn run_forest_fast(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = forests::ParallelizedForestDecomposition::new(gg.arboricity);
     let ids = trial.ids(gg.graph.n());
+    let mut obs = harness_observer(&p);
     let out = Runner::new(&p, &gg.graph, &ids)
         .config(cfg(trial.seed))
-        .run()
+        .run_with(&mut obs)
         .expect("terminates");
     let valid = forests::assemble(&gg.graph, &out.outputs)
         .map(|(labels, heads)| {
@@ -355,15 +407,17 @@ pub fn run_forest_fast(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     )
     .with_stats(&out.stats)
     .with_trial(trial)
+    .with_trace(&obs.0, &obs.1)
 }
 
 /// Runs the worst-case forest-decomposition baseline.
 pub fn run_forest_baseline(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     let p = forests::ForestDecompositionBaseline::new(gg.arboricity);
     let ids = trial.ids(gg.graph.n());
+    let mut obs = harness_observer(&p);
     let out = Runner::new(&p, &gg.graph, &ids)
         .config(cfg(trial.seed))
-        .run()
+        .run_with(&mut obs)
         .expect("terminates");
     let valid = forests::assemble(&gg.graph, &out.outputs).is_ok();
     Row::from_metrics(
@@ -378,6 +432,7 @@ pub fn run_forest_baseline(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
     )
     .with_stats(&out.stats)
     .with_trial(trial)
+    .with_trace(&obs.0, &obs.1)
 }
 
 /// All coloring algorithm constructors keyed by a short name, so binaries

@@ -10,13 +10,16 @@
 //! hand-rolled JSON writer plus a minimal recursive-descent parser —
 //! only what the schema needs, kept honest by round-trip tests.
 
-use crate::trials::{Stats, TrialSummary};
+use crate::trials::{PhaseAgg, Stats, TrialSummary};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// Version of the JSON schema written by [`SuiteResult::to_json`]. Bump on
 /// any incompatible change; `bench-diff` refuses mismatched versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: summaries gained `active_decay` (per-round mean active-set series)
+/// and `phases` (per-phase mean `RoundSum` breakdown).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A whole harness run: configuration plus one summary per experiment
 /// configuration.
@@ -77,11 +80,24 @@ impl SuiteResult {
             } else {
                 s.cap.to_string()
             };
+            let decay: Vec<String> = s.active_decay.iter().map(|&x| fnum(x)).collect();
+            let phases: Vec<String> = s
+                .phases
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"name\": {}, \"round_sum_mean\": {}}}",
+                        quote(&p.name),
+                        fnum(p.round_sum_mean)
+                    )
+                })
+                .collect();
             let _ = writeln!(
                 out,
                 "    {{\"exp\": {}, \"algo\": {}, \"family\": {}, \"n\": {}, \"a\": {}, \
                  \"trials\": {}, \"valid\": {}, \"colors_max\": {}, \"cap\": {}, \
-                 \"round_sum_max\": {},\n     \"va\": {}, \"wc\": {}, \"p95\": {}, \"wall_ms\": {}}}{}",
+                 \"round_sum_max\": {},\n     \"va\": {}, \"wc\": {}, \"p95\": {}, \"wall_ms\": {},\n     \
+                 \"active_decay\": [{}],\n     \"phases\": [{}]}}{}",
                 quote(&s.exp),
                 quote(&s.algo),
                 quote(&s.family),
@@ -96,6 +112,8 @@ impl SuiteResult {
                 stats_json(&s.wc),
                 stats_json(&s.p95),
                 stats_json(&s.wall_ms),
+                decay.join(", "),
+                phases.join(", "),
                 comma
             );
         }
@@ -217,6 +235,23 @@ fn parse_summary(v: &Json) -> Result<TrialSummary, String> {
         wc: stats("wc")?,
         p95: stats("p95")?,
         wall_ms: stats("wall_ms")?,
+        active_decay: v
+            .get("active_decay")?
+            .as_array()?
+            .iter()
+            .map(|x| x.as_f64())
+            .collect::<Result<Vec<_>, _>>()?,
+        phases: v
+            .get("phases")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                Ok(PhaseAgg {
+                    name: p.get("name")?.as_str()?.to_string(),
+                    round_sum_mean: p.get("round_sum_mean")?.as_f64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
     })
 }
 
@@ -269,28 +304,89 @@ pub fn diff(baseline: &SuiteResult, fresh: &SuiteResult, tol: f64) -> Vec<String
                 f.valid
             ));
         }
-        let mut num = |name: &str, bv: f64, fv: f64| {
+        fn drifted(bv: f64, fv: f64, tol: f64) -> bool {
             let scale = bv.abs().max(1.0);
-            if (fv - bv).abs() > tol * scale {
+            (fv - bv).abs() > tol * scale
+        }
+        let num = |out: &mut Vec<String>, name: &str, bv: f64, fv: f64| {
+            if drifted(bv, fv, tol) {
                 out.push(format!(
                     "{}: {name} drifted {bv} -> {fv} (tolerance {tol})",
                     key(b)
                 ));
             }
         };
-        num("colors_max", b.colors_max as f64, f.colors_max as f64);
         num(
+            &mut out,
+            "colors_max",
+            b.colors_max as f64,
+            f.colors_max as f64,
+        );
+        num(
+            &mut out,
             "round_sum_max",
             b.round_sum_max as f64,
             f.round_sum_max as f64,
         );
-        num("va.mean", b.va.mean, f.va.mean);
-        num("wc.mean", b.wc.mean, f.wc.mean);
-        num("p95.mean", b.p95.mean, f.p95.mean);
+        num(&mut out, "va.mean", b.va.mean, f.va.mean);
+        num(&mut out, "wc.mean", b.wc.mean, f.wc.mean);
+        num(&mut out, "p95.mean", b.p95.mean, f.p95.mean);
+        for bp in &b.phases {
+            match f.phases.iter().find(|fp| fp.name == bp.name) {
+                Some(fp) => num(
+                    &mut out,
+                    &format!("phase[{}].round_sum_mean", bp.name),
+                    bp.round_sum_mean,
+                    fp.round_sum_mean,
+                ),
+                None => out.push(format!(
+                    "{}: phase `{}` missing from fresh run",
+                    key(b),
+                    bp.name
+                )),
+            }
+        }
+        // The active-decay series is deterministic given the recorded seeds,
+        // so it is gated like the other shape statistics.
+        if b.active_decay.len() != f.active_decay.len() {
+            out.push(format!(
+                "{}: active_decay length changed {} -> {}",
+                key(b),
+                b.active_decay.len(),
+                f.active_decay.len()
+            ));
+        }
+        for (i, (&bv, &fv)) in b.active_decay.iter().zip(&f.active_decay).enumerate() {
+            num(&mut out, &format!("active_decay[{i}]"), bv, fv);
+        }
     }
     for f in &fresh.summaries {
         if !baseline.summaries.iter().any(|b| key(b) == key(f)) {
             out.push(format!("{}: not present in baseline", key(f)));
+        }
+    }
+    out
+}
+
+/// Informational wall-clock drift notes.
+///
+/// Wall time is machine-dependent, so [`diff`] never gates on it; this
+/// companion reports large swings (relative change beyond `tol`, with a
+/// 0.25 ms absolute floor to mute timer noise on sub-millisecond rows) so
+/// `bench-diff` can surface them without failing the check.
+pub fn wall_notes(baseline: &SuiteResult, fresh: &SuiteResult, tol: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    let key = |s: &TrialSummary| format!("{}/{}/{}/n={}/a={}", s.exp, s.algo, s.family, s.n, s.a);
+    for b in &baseline.summaries {
+        let Some(f) = fresh.summaries.iter().find(|f| key(f) == key(b)) else {
+            continue;
+        };
+        let (bv, fv) = (b.wall_ms.mean, f.wall_ms.mean);
+        if (fv - bv).abs() > (tol * bv.abs()).max(0.25) {
+            out.push(format!(
+                "{}: wall_ms.mean {bv} -> {fv} (informational; wall time is not gated)",
+                key(b)
+            ));
         }
     }
     out
@@ -582,6 +678,17 @@ mod tests {
             wc: Stats::from_samples(&[3.0, 4.0]),
             p95: Stats::from_samples(&[3.0]),
             wall_ms: Stats::from_samples(&[1.25]),
+            active_decay: vec![1024.0, 512.5, 130.25, 8.0],
+            phases: vec![
+                PhaseAgg {
+                    name: "partition".into(),
+                    round_sum_mean: 1400.0,
+                },
+                PhaseAgg {
+                    name: "arb_linial".into(),
+                    round_sum_mean: 700.0,
+                },
+            ],
         }
     }
 
@@ -612,14 +719,73 @@ mod tests {
         assert!((back.summaries[0].va.mean - 2.04).abs() < 1e-9);
         assert_eq!(back.summaries[0].cap, 196);
         assert_eq!(back.summaries[1].cap, usize::MAX, "null cap round-trips");
+        assert_eq!(
+            back.summaries[0].active_decay,
+            vec![1024.0, 512.5, 130.25, 8.0]
+        );
+        assert_eq!(back.summaries[0].phases, suite.summaries[0].phases);
         assert!(diff(&suite, &back, 1e-6).is_empty());
     }
 
     #[test]
+    fn wall_only_perturbation_passes_gate() {
+        // Satellite: wall-clock statistics are informational, never gated.
+        let base = sample_suite();
+        let mut fresh = base.clone();
+        fresh.summaries[0].wall_ms = Stats::from_samples(&[400.0]); // 320x slower
+        assert!(
+            diff(&base, &fresh, 0.05).is_empty(),
+            "wall-only drift must not fail the gate"
+        );
+        let notes = wall_notes(&base, &fresh, 0.05);
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert!(notes[0].contains("informational"), "{notes:?}");
+    }
+
+    #[test]
+    fn va_perturbation_fails_gate() {
+        let base = sample_suite();
+        let mut fresh = base.clone();
+        fresh.summaries[0].va.mean = 3.5;
+        assert!(
+            diff(&base, &fresh, 0.05)
+                .iter()
+                .any(|m| m.contains("va.mean")),
+            "VA drift must fail the gate"
+        );
+    }
+
+    #[test]
+    fn diff_flags_phase_and_decay_drift() {
+        let base = sample_suite();
+        let mut fresh = base.clone();
+        fresh.summaries[0].phases[1].round_sum_mean = 1200.0;
+        fresh.summaries[0].active_decay[2] = 600.0;
+        let msgs = diff(&base, &fresh, 0.05);
+        assert!(
+            msgs.iter().any(|m| m.contains("phase[arb_linial]")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("active_decay[2]")),
+            "{msgs:?}"
+        );
+        let mut truncated = base.clone();
+        truncated.summaries[0].active_decay.pop();
+        assert!(
+            diff(&base, &truncated, 0.05)
+                .iter()
+                .any(|m| m.contains("length")),
+            "series truncation must be flagged"
+        );
+    }
+
+    #[test]
     fn schema_version_is_enforced() {
-        let text = sample_suite()
-            .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let text = sample_suite().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+        );
         let err = SuiteResult::from_json(&text).unwrap_err();
         assert!(err.contains("schema version"), "{err}");
     }

@@ -162,6 +162,15 @@ impl Stats {
     }
 }
 
+/// Mean per-phase `RoundSum` over a group's trials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseAgg {
+    /// Phase name (from the protocol's `phase_names`).
+    pub name: String,
+    /// Mean of the phase's `RoundSum` over the trials.
+    pub round_sum_mean: f64,
+}
+
 /// Aggregate of all trials of one experiment configuration — the unit the
 /// JSON results, the bound checks, and the `bench-diff` gate operate on.
 #[derive(Clone, Debug)]
@@ -194,6 +203,12 @@ pub struct TrialSummary {
     pub p95: Stats,
     /// Engine wall-clock statistics (milliseconds).
     pub wall_ms: Stats,
+    /// Element-wise mean of the trials' per-round active-set series
+    /// (`active_decay[i]` ≈ the paper's `n_{i+1}`; trials that finished
+    /// before round `i + 1` contribute 0). The Lemma 6.1 decay data.
+    pub active_decay: Vec<f64>,
+    /// Mean per-phase `RoundSum` breakdown, in `PhaseId` order.
+    pub phases: Vec<PhaseAgg>,
 }
 
 /// Groups rows by `(exp, algo, family, n, a)` — the experiment
@@ -234,7 +249,54 @@ pub fn summarize(rows: &[Row]) -> Vec<TrialSummary> {
                 wc: f(|r| r.wc as f64),
                 p95: f(|r| r.p95 as f64),
                 wall_ms: f(|r| r.wall_ms),
+                active_decay: mean_series(&g),
+                phases: mean_phases(&g),
             }
+        })
+        .collect()
+}
+
+/// Element-wise mean of the group's active-set series; a trial shorter
+/// than round `i + 1` contributes 0 there (it had no active vertices).
+fn mean_series(g: &[&Row]) -> Vec<f64> {
+    let len = g.iter().map(|r| r.active_series.len()).max().unwrap_or(0);
+    let k = g.len() as f64;
+    (0..len)
+        .map(|i| {
+            g.iter()
+                .map(|r| r.active_series.get(i).copied().unwrap_or(0) as f64)
+                .sum::<f64>()
+                / k
+        })
+        .collect()
+}
+
+/// Mean per-phase `RoundSum` over the group, keyed by phase name in the
+/// order of the first trial that reported phases. All trials of a group
+/// run the same protocol, so phase lists agree; a missing name (e.g. a
+/// phase no vertex entered in some trial) contributes 0.
+fn mean_phases(g: &[&Row]) -> Vec<PhaseAgg> {
+    let names: Vec<&str> = g
+        .iter()
+        .find(|r| !r.phases.is_empty())
+        .map(|r| r.phases.iter().map(|p| p.name.as_str()).collect())
+        .unwrap_or_default();
+    let k = g.len() as f64;
+    names
+        .into_iter()
+        .map(|name| PhaseAgg {
+            name: name.to_string(),
+            round_sum_mean: g
+                .iter()
+                .map(|r| {
+                    r.phases
+                        .iter()
+                        .find(|p| p.name == name)
+                        .map(|p| p.round_sum as f64)
+                        .unwrap_or(0.0)
+                })
+                .sum::<f64>()
+                / k,
         })
         .collect()
 }
@@ -296,6 +358,41 @@ pub fn print_summaries(title: &str, summaries: &[TrialSummary]) {
             s.round_sum_max
         );
     }
+    // Per-phase RoundSum breakdowns and active-decay series as scrape
+    // lines (means over the group's trials).
+    for s in summaries {
+        if !s.phases.is_empty() {
+            let cells: Vec<String> = s
+                .phases
+                .iter()
+                .map(|p| format!("{}={:.1}", p.name, p.round_sum_mean))
+                .collect();
+            println!(
+                "#phase,{},{},{},{},{}",
+                s.exp,
+                s.algo,
+                s.n,
+                s.a,
+                cells.join(",")
+            );
+        }
+        if !s.active_decay.is_empty() {
+            let cells: Vec<String> = s
+                .active_decay
+                .iter()
+                .take(24) // the tail is noise; full series lives in the JSON
+                .map(|x| format!("{x:.1}"))
+                .collect();
+            println!(
+                "#decay,{},{},{},{},{}",
+                s.exp,
+                s.algo,
+                s.n,
+                s.a,
+                cells.join(",")
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +417,11 @@ mod tests {
             cap: 10,
             seed: 0,
             ids: "identity",
+            active_series: vec![n as u64, n as u64 / 2],
+            phases: vec![crate::PhaseSum {
+                name: "main".into(),
+                round_sum: (va * n as f64) as u64,
+            }],
         }
     }
 
@@ -381,6 +483,50 @@ mod tests {
         assert!((s[0].va.mean - 3.0).abs() < 1e-12);
         assert!(s[1].valid);
         assert_eq!(s[1].n, 200);
+    }
+
+    #[test]
+    fn summarize_averages_series_and_phases() {
+        let mut r1 = row("E", 100, 2.0, 5, true);
+        r1.active_series = vec![100, 40, 10];
+        r1.phases = vec![
+            crate::PhaseSum {
+                name: "partition".into(),
+                round_sum: 120,
+            },
+            crate::PhaseSum {
+                name: "inset".into(),
+                round_sum: 80,
+            },
+        ];
+        let mut r2 = row("E", 100, 4.0, 5, true);
+        r2.active_series = vec![100, 60]; // shorter: round 3 contributes 0
+        r2.phases = vec![
+            crate::PhaseSum {
+                name: "partition".into(),
+                round_sum: 140,
+            },
+            crate::PhaseSum {
+                name: "inset".into(),
+                round_sum: 120,
+            },
+        ];
+        let s = summarize(&[r1, r2]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].active_decay, vec![100.0, 50.0, 5.0]);
+        assert_eq!(
+            s[0].phases,
+            vec![
+                PhaseAgg {
+                    name: "partition".into(),
+                    round_sum_mean: 130.0
+                },
+                PhaseAgg {
+                    name: "inset".into(),
+                    round_sum_mean: 100.0
+                },
+            ]
+        );
     }
 
     #[test]

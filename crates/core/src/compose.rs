@@ -130,6 +130,18 @@ impl<A: HSetAlgo> Protocol for Compose<A> {
     fn max_rounds(&self, g: &Graph) -> u32 {
         itlog::partition_round_bound(g.n() as u64, self.epsilon) + self.algo.round_bound(g) + 8
     }
+
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["partition", "inset"]
+    }
+
+    fn phase_of(&self, state: &Self::State) -> simlocal::PhaseId {
+        match state {
+            ComposeState::Active => 0,
+            // A `Joined` vertex spends its round entering 𝒜.
+            ComposeState::Joined { .. } | ComposeState::Running { .. } => 1,
+        }
+    }
 }
 
 impl<A: HSetAlgo> Compose<A> {
@@ -258,6 +270,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn phase_breakdown_partitions_round_sum() {
+        use simlocal::{PhaseBreakdown, Protocol as _};
+        let mut rng = ChaCha8Rng::seed_from_u64(202);
+        let gg = gen::forest_union(512, 2, &mut rng);
+        let ids = IdAssignment::identity(512);
+        let p = Compose::new(2, Delay { t: 4 });
+        let mut pb = PhaseBreakdown::new(p.phase_names());
+        let out = simlocal::Runner::new(&p, &gg.graph, &ids)
+            .run_with(&mut pb)
+            .unwrap();
+        assert_eq!(pb.total_round_sum(), out.metrics.round_sum());
+        assert_eq!(pb.total_round_sum(), out.stats.steps);
+        // Every vertex spends Delay's T rounds in the in-set phase plus
+        // one Joined entry round.
+        assert_eq!(pb.round_sum(1), 512 * 4);
+        assert!(pb.round_sum(0) > 0, "partition phase consumed rounds");
+        // All terminations happen inside 𝒜.
+        assert_eq!(pb.terminations(1), 512);
+        assert_eq!(pb.terminations(0), 0);
+        let va_sum: f64 = (0..pb.phases()).map(|i| pb.vertex_averaged(i, 512)).sum();
+        assert!((va_sum - out.metrics.vertex_averaged()).abs() < 1e-9);
     }
 
     #[test]

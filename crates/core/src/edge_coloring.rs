@@ -235,6 +235,18 @@ impl Protocol for EdgeColoringExtension {
         let dur = inset.rounds() + 2 * cap * (cap + 1) + 2 * cap;
         IterationSchedule::new(dur).window_end(itlog::partition_round_bound(n, self.epsilon)) + 16
     }
+
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["partition", "label", "window"]
+    }
+
+    fn phase_of(&self, state: &SEc) -> simlocal::PhaseId {
+        match state {
+            SEc::Active => 0,
+            SEc::Joined { .. } => 1,
+            SEc::Run(_) => 2,
+        }
+    }
 }
 
 impl EdgeColoringExtension {

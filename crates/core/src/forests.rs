@@ -145,6 +145,17 @@ impl Protocol for ParallelizedForestDecomposition {
     fn max_rounds(&self, g: &Graph) -> u32 {
         itlog::partition_round_bound(g.n() as u64, self.epsilon) + 8
     }
+
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["partition", "orient"]
+    }
+
+    fn phase_of(&self, state: &FState) -> simlocal::PhaseId {
+        match state {
+            FState::Active => 0,
+            FState::Joined { .. } => 1,
+        }
+    }
 }
 
 /// Procedure Forest-Decomposition of \[8\] — the worst-case baseline. Same

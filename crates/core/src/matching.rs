@@ -224,6 +224,18 @@ impl Protocol for MatchingExtension {
         let dur = inset.rounds() + 2 * cap * (cap + 1) + 2 * cap;
         IterationSchedule::new(dur).window_end(itlog::partition_round_bound(n, self.epsilon)) + 16
     }
+
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["partition", "label", "window"]
+    }
+
+    fn phase_of(&self, state: &SMm) -> simlocal::PhaseId {
+        match state {
+            SMm::Active => 0,
+            SMm::Joined { .. } => 1,
+            SMm::Run(_) => 2,
+        }
+    }
 }
 
 impl MatchingExtension {

@@ -117,6 +117,19 @@ impl Protocol for MisExtension {
         let dur = inset.rounds() + self.cap() as u32 + 1;
         IterationSchedule::new(dur).window_end(itlog::partition_round_bound(n, self.epsilon)) + 8
     }
+
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["partition", "await_window", "inset_color", "slot_sweep"]
+    }
+
+    fn phase_of(&self, state: &SMis) -> simlocal::PhaseId {
+        match state {
+            SMis::Active => 0,
+            SMis::Joined { .. } => 1,
+            SMis::InSet { .. } => 2,
+            SMis::Await { .. } | SMis::Fin { .. } => 3,
+        }
+    }
 }
 
 impl MisExtension {

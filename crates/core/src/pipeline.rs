@@ -163,6 +163,19 @@ impl Protocol for ColorThenCensus {
     fn max_rounds(&self, g: &Graph) -> u32 {
         itlog::partition_round_bound(g.n() as u64, self.epsilon) + self.b_rounds + 8
     }
+
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["partition", "color", "await", "census"]
+    }
+
+    fn phase_of(&self, state: &SPipe) -> simlocal::PhaseId {
+        match state {
+            SPipe::Active => 0,
+            SPipe::Joined { .. } => 1,
+            SPipe::Colored { .. } => 2,
+            SPipe::Census { .. } => 3,
+        }
+    }
 }
 
 impl ColorThenCensus {

@@ -111,6 +111,19 @@ impl Protocol for RandDeltaPlusOne {
         // O(log n) phases w.h.p.; generous slack before declaring failure.
         128 * (g.n().max(4) as u32).ilog2() + 256
     }
+
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["undecided", "proposed"]
+    }
+
+    fn phase_of(&self, state: &SRand) -> simlocal::PhaseId {
+        // Attribution is by the state the round is entered with: rounds
+        // entered without a live proposal vs. rounds spent resolving one.
+        match state {
+            SRand::Idle => 0,
+            SRand::Proposed(_) | SRand::Final(_) => 1,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -357,6 +357,11 @@ fn execute<P: Protocol, Ob: Observer>(
         // is published right here — no end-of-round scan.
         next_active.clear();
         for (v, t) in transitions.drain(..) {
+            if Ob::ENABLED {
+                // `published[v]` still holds the state the vertex entered
+                // the round with — the one `phase_of` attributes.
+                observer.on_phase(v, round, protocol.phase_of(&published[v as usize]));
+            }
             observer.on_step(v, round);
             match t {
                 Transition::Continue(s) => {

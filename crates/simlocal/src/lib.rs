@@ -64,9 +64,11 @@ pub mod observer;
 pub mod protocol;
 pub mod reference;
 pub mod rng;
+pub mod trace;
 
 pub use engine::{EngineError, EngineStats, RunConfig, Runner, SimOutcome, DEFAULT_PAR_THRESHOLD};
-pub use metrics::RoundMetrics;
-pub use observer::{NoObserver, Observer, RoundRecord, Telemetry};
-pub use protocol::{NeighborView, Protocol, StepCtx, Transition};
+pub use metrics::{Percentiles, RoundMetrics};
+pub use observer::{NoObserver, Observer, RoundRecord, Tee, Telemetry};
+pub use protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};
 pub use reference::run_reference;
+pub use trace::{Histogram, PhaseBreakdown, Profile, TraceEvent, TraceLog};

@@ -40,26 +40,27 @@ impl RoundMetrics {
         self.termination_round.iter().copied().max().unwrap_or(0)
     }
 
-    /// Median termination round (0 for empty graphs).
-    pub fn median(&self) -> u32 {
-        if self.n() == 0 {
-            return 0;
-        }
-        let mut v = self.termination_round.clone();
-        v.sort_unstable();
-        v[v.len() / 2]
+    /// Sorted view of the termination rounds, for querying many quantiles
+    /// of the same run: one sort, then each [`Percentiles::rank`] is O(1).
+    /// The harness asks for median + p95 per row — use this there instead
+    /// of [`RoundMetrics::median`]/[`RoundMetrics::percentile`], which
+    /// each clone and re-sort.
+    pub fn percentiles(&self) -> Percentiles {
+        let mut sorted = self.termination_round.clone();
+        sorted.sort_unstable();
+        Percentiles { sorted }
     }
 
-    /// The `p`-th percentile termination round, `p ∈ [0, 100]`.
+    /// Median termination round (0 for empty graphs). One-shot; for
+    /// repeated quantile queries build [`RoundMetrics::percentiles`] once.
+    pub fn median(&self) -> u32 {
+        self.percentiles().median()
+    }
+
+    /// The `p`-th percentile termination round, `p ∈ [0, 100]`. One-shot;
+    /// for repeated queries build [`RoundMetrics::percentiles`] once.
     pub fn percentile(&self, p: f64) -> u32 {
-        assert!((0.0..=100.0).contains(&p));
-        if self.n() == 0 {
-            return 0;
-        }
-        let mut v = self.termination_round.clone();
-        v.sort_unstable();
-        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
-        v[idx]
+        self.percentiles().rank(p)
     }
 
     /// Consistency check: `Σ_i n_i == RoundSum(V)` (Equation 1) and the
@@ -83,6 +84,35 @@ impl RoundMetrics {
             ));
         }
         Ok(())
+    }
+}
+
+/// Termination rounds sorted once, answering any number of quantile
+/// queries without re-sorting.
+#[derive(Clone, Debug)]
+pub struct Percentiles {
+    sorted: Vec<u32>,
+}
+
+impl Percentiles {
+    /// Median termination round (0 when empty).
+    pub fn median(&self) -> u32 {
+        if self.sorted.is_empty() {
+            0
+        } else {
+            self.sorted[self.sorted.len() / 2]
+        }
+    }
+
+    /// The `p`-th percentile termination round, `p ∈ [0, 100]`
+    /// (nearest-rank on the sorted values; 0 when empty).
+    pub fn rank(&self, p: f64) -> u32 {
+        assert!((0.0..=100.0).contains(&p));
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((p / 100.0) * (self.sorted.len() - 1) as f64).round() as usize;
+        self.sorted[idx]
     }
 }
 
@@ -172,6 +202,25 @@ mod more_tests {
         assert_eq!(m.vertex_averaged(), 4.0);
         assert_eq!(m.median(), 4);
         assert!(m.check_identities().is_ok());
+    }
+
+    #[test]
+    fn percentiles_struct_matches_one_shot_queries() {
+        let m = RoundMetrics {
+            termination_round: vec![9, 1, 5, 3, 7],
+            active_per_round: vec![5, 4, 4, 3, 3, 2, 2, 1, 1],
+        };
+        let p = m.percentiles();
+        assert_eq!(p.median(), m.median());
+        for q in [0.0, 25.0, 50.0, 95.0, 100.0] {
+            assert_eq!(p.rank(q), m.percentile(q));
+        }
+        let empty = RoundMetrics {
+            termination_round: vec![],
+            active_per_round: vec![],
+        };
+        assert_eq!(empty.percentiles().median(), 0);
+        assert_eq!(empty.percentiles().rank(95.0), 0);
     }
 
     #[test]

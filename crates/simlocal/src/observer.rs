@@ -8,12 +8,21 @@
 //! sequence:
 //!
 //! 1. [`Observer::on_round_start`] — before any vertex steps;
-//! 2. [`Observer::on_step`] — once per `(active vertex, round)`, in
+//! 2. [`Observer::on_phase`] — once per `(active vertex, round)`, carrying
+//!    the [`PhaseId`] of the subroutine that consumed the round (computed
+//!    via [`Protocol::phase_of`](crate::Protocol::phase_of) from the state
+//!    the vertex entered the round with);
+//! 3. [`Observer::on_step`] — once per `(active vertex, round)`, in
 //!    deterministic vertex order, after the round's transitions are
-//!    computed (identical in sequential and parallel modes);
-//! 3. [`Observer::on_terminate`] — once per vertex, in its final round;
-//! 4. [`Observer::on_round_end`] — with the round's [`RoundRecord`].
+//!    computed (identical in sequential and parallel modes); `on_phase`
+//!    for the same vertex fires immediately before it;
+//! 4. [`Observer::on_terminate`] — once per vertex, in its final round;
+//! 5. [`Observer::on_round_end`] — with the round's [`RoundRecord`].
+//!
+//! Observers compose with [`Tee`]; the tracing/profiling observers built
+//! on these hooks live in [`crate::trace`].
 
+use crate::protocol::PhaseId;
 use graphcore::VertexId;
 use std::time::Duration;
 
@@ -44,6 +53,16 @@ pub trait Observer {
     /// A round is about to execute with `active` live vertices.
     fn on_round_start(&mut self, round: u32, active: usize) {
         let _ = (round, active);
+    }
+
+    /// Vertex `v` is about to be counted as stepped in `round`; `phase` is
+    /// the [`PhaseId`] of the subroutine the round belonged to (from
+    /// [`Protocol::phase_of`](crate::Protocol::phase_of) on the state the
+    /// vertex entered the round with). Fires exactly once per active
+    /// vertex per round, immediately before [`Observer::on_step`] for the
+    /// same vertex, and only on observed runs.
+    fn on_phase(&mut self, v: VertexId, round: u32, phase: PhaseId) {
+        let _ = (v, round, phase);
     }
 
     /// Vertex `v` stepped in `round` (fires exactly once per active
@@ -128,6 +147,43 @@ impl Observer for Telemetry {
     }
 }
 
+/// Forwards every hook to two observers, so telemetry, tracing, and
+/// profiling compose in a single run: `Tee(a, Tee(b, c))` nests freely.
+///
+/// `ENABLED` is the OR of the halves, so teeing with [`NoObserver`]
+/// keeps the other half fully observed.
+#[derive(Clone, Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn on_round_start(&mut self, round: u32, active: usize) {
+        self.0.on_round_start(round, active);
+        self.1.on_round_start(round, active);
+    }
+
+    fn on_phase(&mut self, v: VertexId, round: u32, phase: PhaseId) {
+        self.0.on_phase(v, round, phase);
+        self.1.on_phase(v, round, phase);
+    }
+
+    fn on_step(&mut self, v: VertexId, round: u32) {
+        self.0.on_step(v, round);
+        self.1.on_step(v, round);
+    }
+
+    fn on_terminate(&mut self, v: VertexId, round: u32) {
+        self.0.on_terminate(v, round);
+        self.1.on_terminate(v, round);
+    }
+
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        self.0.on_round_end(record);
+        self.1.on_round_end(record);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +225,33 @@ mod tests {
         }
         assert!(!enabled::<NoObserver>());
         assert!(enabled::<Telemetry>());
+    }
+
+    #[test]
+    fn tee_forwards_to_both_and_ors_enabled() {
+        fn enabled<Ob: Observer>() -> bool {
+            Ob::ENABLED
+        }
+        assert!(!enabled::<Tee<NoObserver, NoObserver>>());
+        assert!(enabled::<Tee<NoObserver, Telemetry>>());
+        assert!(enabled::<Tee<Telemetry, NoObserver>>());
+
+        let mut tee = Tee(Telemetry::new(), Telemetry::new());
+        tee.on_round_start(1, 2);
+        tee.on_phase(0, 1, 0);
+        tee.on_step(0, 1);
+        tee.on_terminate(1, 1);
+        tee.on_round_end(&RoundRecord {
+            round: 1,
+            active: 2,
+            publications: 2,
+            state_bytes: 16,
+            wall: Duration::from_micros(7),
+        });
+        for t in [&tee.0, &tee.1] {
+            assert_eq!(t.rounds(), 1);
+            assert_eq!(t.active, vec![2]);
+            assert_eq!(t.terminations, vec![(1, 1)]);
+        }
     }
 }

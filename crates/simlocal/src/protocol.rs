@@ -3,6 +3,10 @@
 use graphcore::{Graph, IdAssignment, VertexId};
 use rand_chacha::ChaCha8Rng;
 
+/// Index into [`Protocol::phase_names`] identifying which subroutine of a
+/// composed protocol a vertex's round belongs to.
+pub type PhaseId = u8;
+
 /// What a vertex does after a step.
 #[derive(Clone, Debug)]
 pub enum Transition<S, O> {
@@ -38,6 +42,21 @@ pub trait Protocol: Sync {
         // 64 (log2 n)^2 + 1024: comfortably above every bound in the paper
         // for simulable sizes, small enough to fail fast on livelock bugs.
         64 * n.ilog2() * n.ilog2() + 1024
+    }
+
+    /// Names of the protocol's phases (subroutines of a composition), in
+    /// [`PhaseId`] order. Single-stage protocols keep the default.
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["main"]
+    }
+
+    /// The phase that a round performed *from* `state` belongs to — i.e.
+    /// the subroutine that consumes the round a vertex enters holding
+    /// `state`. Must index into [`Protocol::phase_names`]. Only called on
+    /// observed runs (the unobserved engine never evaluates phases).
+    fn phase_of(&self, state: &Self::State) -> PhaseId {
+        let _ = state;
+        0
     }
 }
 

@@ -71,6 +71,14 @@ impl Protocol for Stagger {
             Transition::Continue(dead)
         }
     }
+    // Phase attribution for the observer-sequence tests: rounds entered
+    // before any neighbor died vs. after.
+    fn phase_names(&self) -> &'static [&'static str] {
+        &["quiet", "draining"]
+    }
+    fn phase_of(&self, state: &u32) -> simlocal::PhaseId {
+        (*state > 0) as simlocal::PhaseId
+    }
 }
 
 /// A graph from one of four families, chosen by `pick`.
@@ -149,6 +157,89 @@ proptest! {
     }
 
     #[test]
+    fn hook_sequence_identical_sequential_and_parallel(
+        pick in any::<u8>(),
+        n in 4usize..100,
+        gseed in any::<u64>(),
+    ) {
+        // The parallel engine may *execute* steps out of order, but the
+        // observer must see the exact same hook sequence as a sequential
+        // run — same events, same order, same phase attributions.
+        let g = family_graph(pick, n, 2, gseed);
+        let ids = IdAssignment::identity(g.n());
+        let mut seq = Counting::default();
+        let out_seq = Runner::new(&Stagger, &g, &ids).run_with(&mut seq).unwrap();
+        let mut par = Counting::default();
+        let out_par = Runner::new(&Stagger, &g, &ids)
+            .parallel()
+            .par_threshold(1)
+            .run_with(&mut par)
+            .unwrap();
+        prop_assert_eq!(out_seq.outputs, out_par.outputs);
+        prop_assert_eq!(&seq.round_starts, &par.round_starts);
+        prop_assert_eq!(&seq.phases, &par.phases);
+        prop_assert_eq!(&seq.steps, &par.steps);
+        prop_assert_eq!(&seq.terminates, &par.terminates);
+        // Round records match field-for-field except machine-dependent wall.
+        prop_assert_eq!(seq.round_ends.len(), par.round_ends.len());
+        for (s, p) in seq.round_ends.iter().zip(&par.round_ends) {
+            prop_assert_eq!((s.round, s.active, s.publications, s.state_bytes),
+                            (p.round, p.active, p.publications, p.state_bytes));
+        }
+        // Phase attribution accompanies every step, in lockstep.
+        let phase_vr: Vec<(VertexId, u32)> = seq.phases.iter().map(|&(v, r, _)| (v, r)).collect();
+        prop_assert_eq!(phase_vr, seq.steps.clone());
+    }
+
+    #[test]
+    fn hook_totals_match_engine_accounting(
+        pick in any::<u8>(),
+        n in 4usize..100,
+        gseed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        // Σ on_step == Σ publications == RoundSum, and on_terminate fires
+        // exactly once per vertex.
+        let g = family_graph(pick, n, 2, gseed);
+        let ids = IdAssignment::identity(g.n());
+        let mut obs = Counting::default();
+        let out = Runner::new(&CoinFlip, &g, &ids).seed(seed).run_with(&mut obs).unwrap();
+        prop_assert_eq!(obs.steps.len() as u64, out.metrics.round_sum());
+        prop_assert_eq!(out.stats.publications, out.metrics.round_sum());
+        let pubs: u64 = obs.round_ends.iter().map(|r| r.publications as u64).sum();
+        prop_assert_eq!(pubs, out.metrics.round_sum());
+        prop_assert_eq!(obs.terminates.len(), g.n());
+        let mut vs: Vec<VertexId> = obs.terminates.iter().map(|&(v, _)| v).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        prop_assert_eq!(vs.len(), g.n(), "on_terminate must fire once per vertex");
+    }
+
+    #[test]
+    fn tracing_observer_preserves_engine_equivalence(
+        pick in any::<u8>(),
+        n in 4usize..80,
+        gseed in any::<u64>(),
+    ) {
+        // Attaching the full tracing stack must not perturb outcomes:
+        // a traced sparse run still matches the dense reference engine
+        // byte-for-byte, and the trace totals match the engine's.
+        let g = family_graph(pick, n, 2, gseed);
+        let ids = IdAssignment::identity(g.n());
+        let mut obs = simlocal::Tee(
+            simlocal::TraceLog::with_phases(Stagger.phase_names()),
+            simlocal::Telemetry::new(),
+        );
+        let traced = Runner::new(&Stagger, &g, &ids).run_with(&mut obs).unwrap();
+        let dense = run_reference(&Stagger, &g, &ids, 0).unwrap();
+        prop_assert_eq!(&traced.outputs, &dense.outputs);
+        prop_assert_eq!(&traced.metrics, &dense.metrics);
+        prop_assert_eq!(obs.0.step_events(), traced.metrics.round_sum());
+        prop_assert_eq!(obs.0.terminate_events() as usize, g.n());
+        prop_assert_eq!(obs.0.rounds(), traced.stats.rounds);
+    }
+
+    #[test]
     fn telemetry_series_match_metrics(n in 4usize..100, seed in any::<u64>()) {
         let g = gen::cycle(n.max(3));
         let ids = IdAssignment::identity(g.n());
@@ -163,10 +254,11 @@ proptest! {
 }
 
 /// Observer that counts every hook invocation.
-#[derive(Default)]
+#[derive(Default, Clone, Debug)]
 struct Counting {
     round_starts: Vec<(u32, usize)>,
     round_ends: Vec<RoundRecord>,
+    phases: Vec<(VertexId, u32, simlocal::PhaseId)>,
     steps: Vec<(VertexId, u32)>,
     terminates: Vec<(VertexId, u32)>,
 }
@@ -174,6 +266,9 @@ struct Counting {
 impl Observer for Counting {
     fn on_round_start(&mut self, round: u32, active: usize) {
         self.round_starts.push((round, active));
+    }
+    fn on_phase(&mut self, v: VertexId, round: u32, phase: simlocal::PhaseId) {
+        self.phases.push((v, round, phase));
     }
     fn on_step(&mut self, v: VertexId, round: u32) {
         self.steps.push((v, round));
