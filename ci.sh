@@ -15,12 +15,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
+echo "== --list on every suite binary (spec tables resolve and print)"
+# --list resolves every declared experiment against the algorithm
+# registry and exits 0; a missing algorithm name or malformed spec
+# table dies here before any expensive run.
+cargo build --release -q -p benchharness
+for bin in table1 table2 figures scenarios ablations trace; do
+    ./target/release/"$bin" --list > /dev/null
+done
+
+echo "== smoke: table1 --quick --seeds 1"
+# One-seed quick sweeps of the two row-heavy suites: exercises the
+# registry construct→run→verify→Row path for every Table-1 algorithm
+# and the figure experiments (including the custom F.1/F.2 checks),
+# with each binary's own bound checks enforcing validity.
+./target/release/table1 --quick --seeds 1 > /dev/null
+
+echo "== smoke: figures --quick --seeds 1"
+./target/release/figures --quick --seeds 1 > /dev/null
+
 echo "== regression gate: table2 --quick vs committed baseline"
 # table2 is the cheapest harness binary (~10 s with this sweep); it also
 # enforces its own bound checks (validity, palette caps, flat VA) and
 # exits nonzero on violation. The flags must match the committed
 # baseline's configuration exactly.
-cargo build --release -q -p benchharness
 ./target/release/table2 --quick --seeds 2 --ids identity,random \
     --json target/ci-results/table2.quick.json > /dev/null
 ./target/release/bench-diff --check \

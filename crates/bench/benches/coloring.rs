@@ -1,54 +1,38 @@
-//! Criterion bench: the Table-1 coloring suite — one benchmark per table
-//! row, new algorithm vs its classical baseline on the same workload.
+//! Criterion bench: the Table-1 coloring suite, driven by the algorithm
+//! registry — every registered vertex-coloring algorithm is benched on
+//! the standard forest workload (so a newly registered coloring is
+//! benchable with no wiring here), plus the special-workload rows
+//! (high-arboricity One-Plus-Eta, the `a ≪ Δ` hub).
 
-use algos::baselines::{ArbLinialFull, ArbLinialOneShot};
-use algos::coloring::{
-    a2_loglog::ColoringA2LogLog, a2logn::ColoringA2LogN, delta_plus_one::DeltaPlusOneColoring,
-    ka::ColoringKa, ka2::ColoringKa2, oa_recolor::ColoringOaRecolor,
-};
-use algos::one_plus_eta::OnePlusEtaArbCol;
-use algos::rand_coloring::{a_loglog::RandALogLog, delta_plus_one::RandDeltaPlusOne};
-use benchharness::{forest_workload, hub_workload};
+use benchharness::registry::{self, Params, Problem};
+use benchharness::{forest_workload, hub_workload, Trial};
 use criterion::{criterion_group, criterion_main, Criterion};
-use graphcore::IdAssignment;
-use simlocal::{Protocol, Runner};
 
 const N: usize = 1 << 12;
 
-fn timed<P: Protocol>(c: &mut Criterion, name: &str, p: &P, gg: &graphcore::gen::GenGraph) {
-    let ids = IdAssignment::identity(gg.graph.n());
-    c.bench_function(name, |b| {
-        b.iter(|| Runner::new(p, &gg.graph, &ids).run().unwrap())
-    });
-}
-
 fn bench_table1_rows(c: &mut Criterion) {
     let gg = forest_workload(N, 2, 3);
-    timed(c, "t1_ka_k2", &ColoringKa::new(2, 2), &gg);
-    timed(c, "t1_ka2_k2", &ColoringKa2::new(2, 2), &gg);
-    timed(c, "t1_a2logn", &ColoringA2LogN::new(2), &gg);
-    timed(c, "t1_a2_loglog", &ColoringA2LogLog::new(2), &gg);
-    timed(c, "t1_oa_recolor", &ColoringOaRecolor::new(2), &gg);
-    timed(c, "t1_baseline_oneshot", &ArbLinialOneShot::new(2), &gg);
-    timed(c, "t1_baseline_full", &ArbLinialFull::new(2), &gg);
-    timed(c, "t1_rand_delta_plus_one", &RandDeltaPlusOne::new(), &gg);
-    timed(c, "t1_rand_a_loglog", &RandALogLog::new(2), &gg);
+    let trial = Trial::identity(0);
+    // k-parameterized algorithms run at k=2; the rest ignore params.
+    let params = Params::k(2);
+    for spec in registry::all()
+        .iter()
+        .filter(|s| s.problem == Problem::VertexColoring)
+    {
+        c.bench_function(&format!("t1_{}", spec.name), |b| {
+            b.iter(|| spec.run_bare(&gg, params, &trial))
+        });
+    }
 
     let gg16 = forest_workload(N, 16, 4);
-    timed(
-        c,
-        "t1_one_plus_eta_a16",
-        &OnePlusEtaArbCol::new(16, 4),
-        &gg16,
-    );
+    c.bench_function("t1_one_plus_eta_a16", |b| {
+        b.iter(|| registry::get("one_plus_eta").run_bare(&gg16, params, &trial))
+    });
 
     let hub = hub_workload(N, 2, 64, 5);
-    timed(
-        c,
-        "t1_delta_plus_one_hub",
-        &DeltaPlusOneColoring::new(2),
-        &hub,
-    );
+    c.bench_function("t1_delta_plus_one_hub", |b| {
+        b.iter(|| registry::get("delta_plus_one").run_bare(&hub, params, &trial))
+    });
 }
 
 criterion_group! {

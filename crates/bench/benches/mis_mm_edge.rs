@@ -1,44 +1,25 @@
-//! Criterion bench: the Table-2 problems — MIS, maximal matching, and
-//! `(2Δ−1)`-edge-coloring via the extension framework, plus the Luby MIS
-//! baseline.
+//! Criterion bench: the Table-2 problems — every registered non-coloring
+//! algorithm (MIS, maximal matching, `(2Δ−1)`-edge-coloring, and the
+//! forest decompositions), resolved from the algorithm registry so a new
+//! registration is benched with no wiring here.
 
-use algos::edge_coloring::EdgeColoringExtension;
-use algos::matching::MatchingExtension;
-use algos::mis::{LubyMis, MisExtension};
-use benchharness::forest_workload;
+use benchharness::registry::{self, Params, Problem};
+use benchharness::{forest_workload, Trial};
 use criterion::{criterion_group, criterion_main, Criterion};
-use graphcore::IdAssignment;
-use simlocal::Runner;
 
 const N: usize = 1 << 11;
 
 fn bench_table2(c: &mut Criterion) {
     let gg = forest_workload(N, 2, 6);
-    let ids = IdAssignment::identity(N);
-    c.bench_function("t2_mis_extension", |b| {
-        b.iter(|| {
-            Runner::new(&MisExtension::new(2), &gg.graph, &ids)
-                .run()
-                .unwrap()
-        })
-    });
-    c.bench_function("t2_mis_luby", |b| {
-        b.iter(|| Runner::new(&LubyMis, &gg.graph, &ids).run().unwrap())
-    });
-    c.bench_function("t2_matching_extension", |b| {
-        b.iter(|| {
-            Runner::new(&MatchingExtension::new(2), &gg.graph, &ids)
-                .run()
-                .unwrap()
-        })
-    });
-    c.bench_function("t2_edge_coloring_extension", |b| {
-        b.iter(|| {
-            Runner::new(&EdgeColoringExtension::new(2), &gg.graph, &ids)
-                .run()
-                .unwrap()
-        })
-    });
+    let trial = Trial::identity(0);
+    for spec in registry::all()
+        .iter()
+        .filter(|s| s.problem != Problem::VertexColoring)
+    {
+        c.bench_function(&format!("t2_{}", spec.name), |b| {
+            b.iter(|| spec.run_bare(&gg, Params::default(), &trial))
+        });
+    }
 }
 
 criterion_group! {

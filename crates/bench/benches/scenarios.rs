@@ -1,33 +1,25 @@
 //! Criterion bench: scenario X.1 — wall-clock of sequentially simulating
 //! the whole network, vertex-averaged-optimized vs classical (§1.2: the
-//! simulation work is proportional to `RoundSum(V)`).
+//! simulation work is proportional to `RoundSum(V)`). Both algorithms
+//! are resolved from the registry by name.
 
-use algos::baselines::ArbLinialOneShot;
-use algos::coloring::a2logn::ColoringA2LogN;
-use benchharness::forest_workload;
+use benchharness::registry::{self, Params};
+use benchharness::{forest_workload, Trial};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graphcore::IdAssignment;
-use simlocal::Runner;
 
 fn bench_simulation_efficiency(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_efficiency");
+    let trial = Trial::identity(0);
     for n in [1usize << 12, 1 << 14] {
         let gg = forest_workload(n, 2, 9);
-        let ids = IdAssignment::identity(n);
-        group.bench_with_input(BenchmarkId::new("va_optimized", n), &gg, |b, gg| {
-            b.iter(|| {
-                Runner::new(&ColoringA2LogN::new(2), &gg.graph, &ids)
-                    .run()
-                    .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("classical", n), &gg, |b, gg| {
-            b.iter(|| {
-                Runner::new(&ArbLinialOneShot::new(2), &gg.graph, &ids)
-                    .run()
-                    .unwrap()
-            })
-        });
+        for (label, algo) in [
+            ("va_optimized", "a2logn"),
+            ("classical", "arb_linial_oneshot"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &gg, |b, gg| {
+                b.iter(|| registry::get(algo).run_bare(gg, Params::default(), &trial))
+            });
+        }
     }
     group.finish();
 }

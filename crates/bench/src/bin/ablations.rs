@@ -10,122 +10,15 @@
 //! * `AB.4` — sequential vs Rayon-parallel engine equivalence (results
 //!   must be identical; wall-clock is reported).
 //!
-//! Row-producing ablations run over the trial sweep and are checked for
-//! validity and palette caps before exit.
+//! The ablations are declared in `benchharness::suites::ablations` and
+//! run by the shared spec engine, which checks validity and palette caps
+//! before exit.
 //!
-//! Usage: `ablations [--quick] [--seeds N] [--ids LIST] [--json PATH] [AB.1 ...]`
+//! Usage: `ablations [--quick] [--seeds N] [--ids LIST] [--json PATH] [--list] [AB.1 ...]`
 
-use algos::one_plus_eta::OnePlusEtaArbCol;
-use algos::partition::{degree_cap, run_partition};
-use benchharness::{
-    bounds, coloring_row, forest_workload, print_rows, print_summaries, run_coloring, summarize,
-    Bound, Cli, SuiteResult,
-};
-use graphcore::IdAssignment;
-use simlocal::Runner;
-use std::time::Instant;
+use benchharness::{spec, suites, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let n = if cli.quick { 1 << 12 } else { 1 << 15 };
-    let sweep = cli.sweep();
-    let mut all = Vec::new();
-
-    if cli.wants("AB.1") {
-        println!("\n== AB.1: ε in Procedure Partition ==");
-        println!("{:>6} {:>6} {:>9} {:>6}", "eps", "A", "va", "wc");
-        let gg = forest_workload(n, 2, 81);
-        for eps in [0.25, 0.5, 1.0, 2.0] {
-            let (_, m) = run_partition(&gg.graph, 2, eps);
-            println!(
-                "{:>6.2} {:>6} {:>9.3} {:>6}",
-                eps,
-                degree_cap(2, eps),
-                m.vertex_averaged(),
-                m.worst_case()
-            );
-            println!(
-                "#series,AB.1,{eps},{},{:.4},{}",
-                degree_cap(2, eps),
-                m.vertex_averaged(),
-                m.worst_case()
-            );
-        }
-    }
-
-    if cli.wants("AB.2") {
-        let gg = forest_workload(n, 2, 82);
-        let rho = algos::itlog::rho(n as u64);
-        let mut rows = Vec::new();
-        for t in sweep.trials() {
-            for k in 2..=rho {
-                rows.push(coloring_row("AB.2", "ka2", &gg, k, t));
-            }
-        }
-        print_rows("AB.2: segmentation k — colors vs VA", &rows);
-        all.extend(rows);
-    }
-
-    if cli.wants("AB.3") {
-        let gg = forest_workload(n.min(1 << 13), 16, 83);
-        let nn = gg.graph.n() as u64;
-        let mut rows = Vec::new();
-        for t in sweep.trials() {
-            for c in [2usize, 4, 8] {
-                let p = OnePlusEtaArbCol::new(16, c);
-                rows.push(run_coloring(
-                    "AB.3",
-                    &format!("one_plus_eta C={c}"),
-                    &p,
-                    &gg,
-                    t,
-                    |ids| p.palette_bound(nn, ids) as usize,
-                ));
-            }
-        }
-        print_rows("AB.3: One-Plus-Eta — constant C vs colors and VA", &rows);
-        all.extend(rows);
-    }
-
-    if cli.wants("AB.4") {
-        println!("\n== AB.4: sequential vs parallel engine ==");
-        let gg = forest_workload(n, 2, 84);
-        let ids = IdAssignment::identity(gg.graph.n());
-        let p = algos::coloring::a2_loglog::ColoringA2LogLog::new(2);
-        let t0 = Instant::now();
-        let seq = Runner::new(&p, &gg.graph, &ids).run().unwrap();
-        let t_seq = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        let par = Runner::new(&p, &gg.graph, &ids).parallel().run().unwrap();
-        let t_par = t1.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(seq.outputs, par.outputs, "engines must agree bit-for-bit");
-        assert_eq!(seq.metrics, par.metrics);
-        println!("identical outputs: yes   seq {t_seq:.2} ms   par {t_par:.2} ms");
-        println!("#series,AB.4,{n},{t_seq:.3},{t_par:.3}");
-    }
-
-    let summaries = summarize(&all);
-    if !summaries.is_empty() {
-        print_summaries(
-            "ablations summary (per experiment configuration)",
-            &summaries,
-        );
-    }
-    if let Some(path) = &cli.json {
-        SuiteResult::new(
-            "ablations",
-            cli.quick,
-            cli.seeds,
-            cli.id_mode_labels(),
-            summaries.clone(),
-        )
-        .write(path)
-        .expect("write results JSON");
-        println!("results written to {}", path.display());
-    }
-    bounds::enforce(
-        "ablations",
-        &[Bound::AllValid, Bound::PaletteWithinCap],
-        &summaries,
-    );
+    spec::execute("ablations", &suites::ablations(), &cli);
 }

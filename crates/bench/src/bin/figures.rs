@@ -13,247 +13,15 @@
 //!   seeds is concentrated and flat in `n`;
 //! * `F.6` — the §7.5 segmentation frontier: colors × VA as `k` sweeps.
 //!
-//! Row-producing experiments run over the trial sweep; the F.1/F.2
-//! series additionally assert their lemma bounds inline, and every
-//! violation makes the binary exit nonzero.
+//! The experiments are declared in `benchharness::suites::figures`; the
+//! F.1/F.2 series additionally assert their lemma bounds inline, and
+//! every violation makes the binary exit nonzero.
 //!
-//! Usage: `figures [--quick] [--seeds N] [--ids LIST] [--json PATH] [F.1 ...]`
+//! Usage: `figures [--quick] [--seeds N] [--ids LIST] [--json PATH] [--list] [F.1 ...]`
 
-use algos::partition::run_partition;
-use benchharness::{
-    bounds, coloring_row, forest_workload, n_sweep, print_rows, print_summaries,
-    run_forest_baseline, run_forest_fast, summarize, Bound, Cli, SuiteResult,
-};
+use benchharness::{spec, suites, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let ns = n_sweep(cli.quick);
-    let sweep = cli.sweep();
-    let mut all = Vec::new();
-    // Inline violations from the non-Row series (F.1, F.2).
-    let mut inline: Vec<String> = Vec::new();
-
-    if cli.wants("F.1") {
-        println!("\n== F.1: Lemma 6.1 — active-vertex decay ==");
-        let gg = forest_workload(1 << 14, 2, 61);
-        let (_, m) = run_partition(&gg.graph, 2, 2.0);
-        println!("{:>5} {:>10} {:>14}", "round", "active", "lemma bound");
-        let n = gg.graph.n() as f64;
-        for (i, &a) in m.active_per_round.iter().enumerate() {
-            let bound = (0.5f64).powi(i as i32) * n;
-            println!("{:>5} {:>10} {:>14.1}", i + 1, a, bound);
-            println!("#series,F.1,{},{},{:.1}", i + 1, a, bound);
-            if a as f64 > bound {
-                inline.push(format!(
-                    "F.1: round {} has {} active vertices, above the Lemma 6.1 bound {:.1}",
-                    i + 1,
-                    a,
-                    bound
-                ));
-            }
-        }
-    }
-
-    if cli.wants("F.2") {
-        println!("\n== F.2: Theorem 6.3 — Partition VA flat, WC grows ==");
-        println!(
-            "{:>14} {:>8} {:>10} {:>8} {:>8}",
-            "family", "n", "roundsum", "va", "wc"
-        );
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 62);
-            let (_, m) = run_partition(&gg.graph, 2, 2.0);
-            println!(
-                "{:>14} {:>8} {:>10} {:>8.3} {:>8}",
-                gg.family,
-                n,
-                m.round_sum(),
-                m.vertex_averaged(),
-                m.worst_case()
-            );
-            println!(
-                "#series,F.2,{},{},{},{:.4},{}",
-                gg.family,
-                n,
-                m.round_sum(),
-                m.vertex_averaged(),
-                m.worst_case()
-            );
-            // Lemma 6.2: RoundSum(V) ≤ c·n for a constant c.
-            if m.round_sum() > 6 * n as u64 {
-                inline.push(format!(
-                    "F.2: RoundSum {} exceeds 6·n on the n={n} forest workload",
-                    m.round_sum()
-                ));
-            }
-        }
-        // The adversarial nested-shell witness: one shell retires per
-        // O(1) rounds, so the worst case is Θ(log n) while the average
-        // stays O(1) (run with ε = 0.5 so the threshold bites).
-        let max_levels = if cli.quick { 12 } else { 16 };
-        for levels in (8..=max_levels).step_by(2) {
-            let gg = graphcore::gen::nested_shells(levels, 3);
-            let (_, m) = run_partition(&gg.graph, 3, 0.5);
-            println!(
-                "{:>14} {:>8} {:>10} {:>8.3} {:>8}",
-                gg.family,
-                gg.graph.n(),
-                m.round_sum(),
-                m.vertex_averaged(),
-                m.worst_case()
-            );
-            println!(
-                "#series,F.2,{},{},{},{:.4},{}",
-                gg.family,
-                gg.graph.n(),
-                m.round_sum(),
-                m.vertex_averaged(),
-                m.worst_case()
-            );
-            // Lemma 6.2 with ε = 0.5: va ≤ (2+ε)/ε + 1 = 6.
-            if m.vertex_averaged() > 6.0 {
-                inline.push(format!(
-                    "F.2: nested-shell va {:.3} exceeds the (2+ε)/ε + 1 bound at {} levels",
-                    m.vertex_averaged(),
-                    levels
-                ));
-            }
-        }
-    }
-
-    if cli.wants("F.3") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            let gg = forest_workload(n, 3, 63);
-            for t in sweep.trials() {
-                rows.push(run_forest_fast("F.3", &gg, t));
-                rows.push(run_forest_baseline("F.3b", &gg, t));
-            }
-        }
-        print_rows(
-            "F.3: Theorem 7.1 — forest decomposition VA O(1) vs WC Θ(log n)",
-            &rows,
-        );
-        all.extend(rows);
-    }
-
-    if cli.wants("F.4") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 64);
-            for t in sweep.trials() {
-                rows.push(coloring_row("F.4", "a2_loglog", &gg, 0, t));
-                rows.push(coloring_row("F.4", "ka2", &gg, 2, t));
-                rows.push(coloring_row("F.4", "ka2_rho", &gg, 0, t));
-                rows.push(coloring_row("F.4b", "arb_linial_full", &gg, 0, t));
-            }
-        }
-        print_rows("F.4: VA growth curves vs the Θ(log n) baseline", &rows);
-        all.extend(rows);
-    }
-
-    if cli.wants("F.5") {
-        let mut rows = Vec::new();
-        let sw = cli.sweep_with_min_seeds(if cli.quick { 5 } else { 20 });
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 65);
-            for t in sw.trials() {
-                rows.push(coloring_row("F.5", "rand_delta_plus_one", &gg, 0, t));
-            }
-        }
-        print_rows(
-            "F.5: randomized (Δ+1) VA across seeds (concentration)",
-            &rows,
-        );
-        // Aggregate: per n, min/mean/max VA.
-        println!("{:>8} {:>8} {:>8} {:>8}", "n", "min", "mean", "max");
-        for &n in &ns {
-            let vas: Vec<f64> = rows.iter().filter(|r| r.n == n).map(|r| r.va).collect();
-            let mean = vas.iter().sum::<f64>() / vas.len() as f64;
-            let min = vas.iter().cloned().fold(f64::MAX, f64::min);
-            let max = vas.iter().cloned().fold(0.0, f64::max);
-            println!("{:>8} {:>8.3} {:>8.3} {:>8.3}", n, min, mean, max);
-            println!("#series,F.5,{n},{min:.4},{mean:.4},{max:.4}");
-        }
-        all.extend(rows);
-    }
-
-    if cli.wants("F.6") {
-        let mut rows = Vec::new();
-        let n = if cli.quick { 1 << 12 } else { 1 << 16 };
-        let gg = forest_workload(n, 2, 66);
-        let rho = algos::itlog::rho(n as u64);
-        for t in sweep.trials() {
-            for k in 2..=rho {
-                rows.push(coloring_row("F.6", "ka2", &gg, k, t));
-                rows.push(coloring_row("F.6", "ka", &gg, k, t));
-            }
-        }
-        print_rows(
-            "F.6: segmentation frontier — colors vs VA as k sweeps",
-            &rows,
-        );
-        all.extend(rows);
-    }
-
-    let summaries = summarize(&all);
-    if !summaries.is_empty() {
-        print_summaries("figures summary (per experiment configuration)", &summaries);
-    }
-    if let Some(path) = &cli.json {
-        SuiteResult::new(
-            "figures",
-            cli.quick,
-            cli.seeds,
-            cli.id_mode_labels(),
-            summaries.clone(),
-        )
-        .write(path)
-        .expect("write results JSON");
-        println!("results written to {}", path.display());
-    }
-    if !inline.is_empty() {
-        eprintln!("\n[figures] INLINE BOUND VIOLATIONS:");
-        for v in &inline {
-            eprintln!("  - {v}");
-        }
-        std::process::exit(1);
-    }
-    bounds::enforce(
-        "figures",
-        &[
-            Bound::AllValid,
-            Bound::PaletteWithinCap,
-            // Theorem 7.1: forest decomposition has linear RoundSum …
-            Bound::RoundSumLinear { exp: "F.3", c: 6.0 },
-            // … and flat VA, while F.5's randomized (Δ+1) stays flat too.
-            Bound::VaFlat {
-                exp: "F.3",
-                factor: 1.5,
-                slack: 0.5,
-            },
-            Bound::VaFlat {
-                exp: "F.5",
-                factor: 1.5,
-                slack: 0.5,
-            },
-            // Lemma 6.1 geometric active-set decay (warm-up round exempt;
-            // see table1 for the constants' rationale).
-            Bound::ActiveDecay {
-                exp: "F.3",
-                ratio: 0.5,
-                stride: 1,
-                floor: 8.0,
-                grace: 1,
-            },
-            Bound::ActiveDecay {
-                exp: "F.5",
-                ratio: 0.9,
-                stride: 2,
-                floor: 16.0,
-                grace: 1,
-            },
-        ],
-        &summaries,
-    );
+    spec::execute("figures", &suites::figures(), &cli);
 }

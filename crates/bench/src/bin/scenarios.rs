@@ -1,181 +1,24 @@
 //! The paper's motivating scenarios (§1.2, §11) end-to-end:
 //!
 //! * `X.1` — **simulation efficiency**: a single processor simulating a
-//!   large network performs work proportional to `RoundSum(V)` (the total
-//!   number of vertex-rounds). Compares the paper's algorithms against
-//!   the classical discipline on the same problem — the ratio of
-//!   round-sums is the predicted speedup of a sequential simulation, and
-//!   we also measure the actual wall-clock of the round engine.
-//! * `X.2` — **two-subtask pipelining**: a task 𝒜 (coloring) followed by
-//!   a task ℬ (here: a fixed 10-round local aggregation) where each
-//!   vertex may start ℬ as soon as *it* finishes 𝒜, versus waiting for
-//!   the global completion of 𝒜. Reports the average completion round of
-//!   ℬ under both disciplines.
+//!   large network performs work proportional to `RoundSum(V)`; the
+//!   round-sum ratio against the classical discipline is the predicted
+//!   sequential-simulation speedup, checked on every trial.
+//! * `X.2` — **two-subtask pipelining**: a task 𝒜 followed by a task ℬ
+//!   where each vertex starts ℬ as soon as *it* finishes 𝒜, versus
+//!   waiting for 𝒜's global completion.
+//! * `X.3` — the asynchronous-start pipeline as one composed protocol.
 //!
-//! Every scenario runs once per trial (engine seed × ID assignment); the
-//! X.1 speedup claim (`RoundSum_fast < RoundSum_classical`) is checked on
-//! every trial and any violation makes the binary exit nonzero.
+//! The scenarios are declared in `benchharness::suites::scenarios` and
+//! run by the shared spec engine; any violated scenario check makes the
+//! binary exit nonzero.
 //!
-//! Usage: `scenarios [--quick] [--seeds N] [--ids LIST] [X.1 ...]`
+//! Usage: `scenarios [--quick] [--seeds N] [--ids LIST] [--list] [X.1 ...]`
 
-use algos::baselines::ArbLinialOneShot;
-use algos::coloring::a2logn::ColoringA2LogN;
-use algos::mis::MisExtension;
-use algos::pipeline::ColorThenCensus;
-use benchharness::{cfg, forest_workload, n_sweep, Cli};
-use simlocal::Runner;
-use std::time::Instant;
+use benchharness::{spec, suites, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let ns = n_sweep(cli.quick);
-    let sweep = cli.sweep();
-    let mut violations: Vec<String> = Vec::new();
-
-    if cli.wants("X.1") {
-        println!("\n== X.1: simulation efficiency (§1.2) ==");
-        println!(
-            "{:>8} {:>5} {:<11} {:>12} {:>12} {:>7} {:>10} {:>10}",
-            "n", "seed", "ids", "roundsum_va", "roundsum_wc", "ratio", "ms_va", "ms_wc"
-        );
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 71);
-            for t in sweep.trials() {
-                let ids = t.ids(n);
-                // Fresh protocol instances per trial: schedules are cached
-                // off the first ID assignment seen.
-                let fast = ColoringA2LogN::new(2);
-                let slow = ArbLinialOneShot::new(2);
-                let t0 = Instant::now();
-                let out_fast = Runner::new(&fast, &gg.graph, &ids)
-                    .config(cfg(t.seed))
-                    .run()
-                    .unwrap();
-                let ms_fast = t0.elapsed().as_secs_f64() * 1e3;
-                let t1 = Instant::now();
-                let out_slow = Runner::new(&slow, &gg.graph, &ids)
-                    .config(cfg(t.seed))
-                    .run()
-                    .unwrap();
-                let ms_slow = t1.elapsed().as_secs_f64() * 1e3;
-                let rs_f = out_fast.metrics.round_sum();
-                let rs_s = out_slow.metrics.round_sum();
-                let lbl = t.id_mode.label();
-                println!(
-                    "{:>8} {:>5} {:<11} {:>12} {:>12} {:>7.2} {:>10.2} {:>10.2}",
-                    n,
-                    t.seed,
-                    lbl,
-                    rs_f,
-                    rs_s,
-                    rs_s as f64 / rs_f as f64,
-                    ms_fast,
-                    ms_slow
-                );
-                println!(
-                    "#series,X.1,{n},{rs_f},{rs_s},{ms_fast:.3},{ms_slow:.3},{},{lbl}",
-                    t.seed
-                );
-                if rs_f >= rs_s {
-                    violations.push(format!(
-                        "X.1: RoundSum {rs_f} (VA algorithm) not below {rs_s} (classical) \
-                         at n={n}, seed={}, ids={lbl}",
-                        t.seed
-                    ));
-                }
-            }
-        }
-    }
-
-    if cli.wants("X.2") {
-        println!("\n== X.2: two-subtask pipelining (§1.2) ==");
-        println!(
-            "{:>8} {:>5} {:<11} {:>14} {:>14} {:>8}",
-            "n", "seed", "ids", "avg_done_pipe", "avg_done_sync", "gain"
-        );
-        const TASK_B_ROUNDS: u32 = 10;
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 72);
-            for t in sweep.trials() {
-                let ids = t.ids(n);
-                // Use the §8 MIS: its sequential iteration windows give a real
-                // vertex-averaged vs worst-case spread (≈62 vs ≈133 rounds on
-                // this workload), so the pipelining gain is visible.
-                let fast = MisExtension::new(2);
-                let out = Runner::new(&fast, &gg.graph, &ids)
-                    .config(cfg(t.seed))
-                    .run()
-                    .unwrap();
-                // Pipelined: vertex v finishes ℬ at term(v) + B rounds.
-                let pipe: f64 = out
-                    .metrics
-                    .termination_round
-                    .iter()
-                    .map(|&r| (r + TASK_B_ROUNDS) as f64)
-                    .sum::<f64>()
-                    / n as f64;
-                // Synchronized: everyone waits for the last 𝒜 vertex.
-                let sync = (out.metrics.worst_case() + TASK_B_ROUNDS) as f64;
-                println!(
-                    "{:>8} {:>5} {:<11} {:>14.2} {:>14.2} {:>8.2}",
-                    n,
-                    t.seed,
-                    t.id_mode.label(),
-                    pipe,
-                    sync,
-                    sync / pipe
-                );
-                println!(
-                    "#series,X.2,{n},{pipe:.3},{sync:.3},{},{}",
-                    t.seed,
-                    t.id_mode.label()
-                );
-            }
-        }
-    }
-
-    if cli.wants("X.3") {
-        println!("\n== X.3: asynchronous-start pipeline as a real protocol ==");
-        println!(
-            "{:>8} {:>5} {:<11} {:>12} {:>12} {:>8}",
-            "n", "seed", "ids", "async_avg", "sync_avg", "gain"
-        );
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 73);
-            for t in sweep.trials() {
-                let ids = t.ids(n);
-                let p = ColorThenCensus::new(2, 8);
-                let out = Runner::new(&p, &gg.graph, &ids)
-                    .config(cfg(t.seed))
-                    .run()
-                    .unwrap();
-                let async_avg = out.metrics.vertex_averaged();
-                let a_worst = out.outputs.iter().map(|o| o.a_done_round).max().unwrap();
-                let sync_avg = (a_worst + 1 + 8) as f64;
-                println!(
-                    "{:>8} {:>5} {:<11} {:>12.2} {:>12.2} {:>8.2}",
-                    n,
-                    t.seed,
-                    t.id_mode.label(),
-                    async_avg,
-                    sync_avg,
-                    sync_avg / async_avg
-                );
-                println!(
-                    "#series,X.3,{n},{async_avg:.3},{sync_avg:.3},{},{}",
-                    t.seed,
-                    t.id_mode.label()
-                );
-            }
-        }
-    }
-
-    if !violations.is_empty() {
-        eprintln!("\n[scenarios] BOUND VIOLATIONS:");
-        for v in &violations {
-            eprintln!("  - {v}");
-        }
-        std::process::exit(1);
-    }
+    spec::execute("scenarios", &suites::scenarios(), &cli);
     println!("\n[scenarios] all scenario checks passed");
 }

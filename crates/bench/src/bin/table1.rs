@@ -1,213 +1,19 @@
 //! Regenerates **Table 1** of the paper: vertex-coloring algorithms —
 //! our vertex-averaged time vs. the previous worst-case running time.
 //!
-//! Each `T1.x` block runs the paper's algorithm and the classical
-//! baseline on the same workloads over the trial sweep (engine seeds ×
-//! ID assignments) and prints per-trial rows plus aggregated summaries.
-//! The paper reports asymptotic bounds; the reproduction target is the
-//! *shape*, enforced by the bound checks at the end: the new algorithm's
-//! VA column must stay flat across the `n` sweep while the baseline's
-//! grows like `log n`, every palette stays within its claimed cap, and
-//! the Lemma 6.2 experiments keep `RoundSum ≤ c·n`.
+//! The experiments are declared in `benchharness::suites::table1` and run
+//! by the shared spec engine: each `T1.x` entry runs the paper's
+//! algorithm and the classical baseline on the same workloads over the
+//! trial sweep (engine seeds × ID assignments), prints per-trial rows
+//! plus aggregated summaries, and the declared bound checks enforce the
+//! paper's *shape* (flat VA for the new algorithms, growing VA for the
+//! baselines, palettes within claimed caps, `RoundSum ≤ c·n`).
 //!
-//! Usage: `table1 [--quick] [--seeds N] [--ids LIST] [--json PATH] [T1.4 ...]`
+//! Usage: `table1 [--quick] [--seeds N] [--ids LIST] [--json PATH] [--list] [T1.4 ...]`
 
-use benchharness::{
-    bounds, coloring_row, forest_workload, hub_workload, n_sweep, print_rows, print_summaries,
-    summarize, Bound, Cli, SuiteResult,
-};
+use benchharness::{spec, suites, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let ns = n_sweep(cli.quick);
-    let sweep = cli.sweep();
-    let mut all = Vec::new();
-
-    // T1.1 / T1.2 — O(ka) colors in O(a log^(k) n) VA vs O(a log n) WC [8].
-    if cli.wants("T1.1") || cli.wants("T1.2") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            for a in [2usize, 4] {
-                let gg = forest_workload(n, a, 42);
-                for t in sweep.trials() {
-                    for (exp, name, k) in
-                        [("T1.1", "ka", 2), ("T1.1", "ka", 3), ("T1.2", "ka_rho", 0)]
-                    {
-                        rows.push(coloring_row(exp, name, &gg, k, t));
-                    }
-                    rows.push(coloring_row("T1.1b", "arb_color_baseline", &gg, 0, t));
-                }
-            }
-        }
-        print_rows("T1.1/T1.2: O(ka)-coloring vs Arb-Color [8]", &rows);
-        all.extend(rows);
-    }
-
-    // T1.3 — O(a^{1+η}) colors, VA O(log a · log log n) vs [5] WC.
-    if cli.wants("T1.3") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            for a in [4usize, 8, 16] {
-                let gg = forest_workload(n, a, 43);
-                for t in sweep.trials() {
-                    rows.push(coloring_row("T1.3", "one_plus_eta", &gg, 0, t));
-                    if n <= 1 << 12 {
-                        // The [5]-style classical discipline (Algorithm 3).
-                        rows.push(coloring_row("T1.3b", "legal_coloring", &gg, 0, t));
-                        rows.push(coloring_row("T1.3c", "arb_color_baseline", &gg, 0, t));
-                    }
-                }
-            }
-        }
-        print_rows("T1.3: One-Plus-Eta-Arb-Col vs worst-case baseline", &rows);
-        all.extend(rows);
-    }
-
-    // T1.4 — O(a² log n) colors in O(1) VA vs Θ(log n) WC baseline.
-    if cli.wants("T1.4") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 44);
-            for t in sweep.trials() {
-                rows.push(coloring_row("T1.4", "a2logn", &gg, 0, t));
-                rows.push(coloring_row("T1.4b", "arb_linial_oneshot", &gg, 0, t));
-            }
-        }
-        print_rows("T1.4: O(a² log n)-coloring in O(1) VA vs classical", &rows);
-        all.extend(rows);
-    }
-
-    // T1.5 / T1.6 — O(ka²) in O(log^(k) n) VA; k = ρ(n) gives O(log* n).
-    if cli.wants("T1.5") || cli.wants("T1.6") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 45);
-            for t in sweep.trials() {
-                rows.push(coloring_row("T1.5", "ka2", &gg, 2, t));
-                rows.push(coloring_row("T1.5", "ka2", &gg, 3, t));
-                rows.push(coloring_row("T1.6", "ka2_rho", &gg, 0, t));
-                rows.push(coloring_row("T1.5b", "arb_linial_full", &gg, 0, t));
-            }
-        }
-        print_rows("T1.5/T1.6: O(ka²)-coloring vs full Arb-Linial [8]", &rows);
-        all.extend(rows);
-    }
-
-    // T1.7 — deterministic Δ+1: VA depends on a, not Δ.
-    if cli.wants("T1.7") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            let gg = hub_workload(n, 2, (n as f64).sqrt() as usize, 46);
-            for t in sweep.trials() {
-                rows.push(coloring_row("T1.7", "delta_plus_one", &gg, 0, t));
-                if n <= 1 << 12 {
-                    rows.push(coloring_row("T1.7b", "global_linial_kw", &gg, 0, t));
-                }
-            }
-        }
-        print_rows(
-            "T1.7: det. (Δ+1)-coloring — a-dependent VA vs Δ-dependent WC",
-            &rows,
-        );
-        all.extend(rows);
-    }
-
-    // T1.8 — randomized Δ+1 in O(1) VA (at least 3 engine seeds).
-    if cli.wants("T1.8") {
-        let mut rows = Vec::new();
-        let sw = cli.sweep_with_min_seeds(3);
-        for &n in &ns {
-            let gg = forest_workload(n, 2, 47);
-            for t in sw.trials() {
-                rows.push(coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, t));
-            }
-            for t in sweep.trials() {
-                rows.push(coloring_row("T1.8b", "global_linial_kw", &gg, 0, t));
-            }
-        }
-        print_rows("T1.8: randomized (Δ+1)-coloring in O(1) VA", &rows);
-        all.extend(rows);
-    }
-
-    // T1.9 — randomized O(a log log n) colors in O(1) VA.
-    if cli.wants("T1.9") {
-        let mut rows = Vec::new();
-        let sw = cli.sweep_with_min_seeds(3);
-        for &n in &ns {
-            let gg = hub_workload(n, 3, (n as f64).sqrt() as usize, 48);
-            for t in sw.trials() {
-                rows.push(coloring_row("T1.9", "rand_a_loglog", &gg, 0, t));
-            }
-        }
-        print_rows("T1.9: randomized O(a log log n)-coloring in O(1) VA", &rows);
-        all.extend(rows);
-    }
-
-    let summaries = summarize(&all);
-    if !summaries.is_empty() {
-        print_summaries("table1 summary (per experiment configuration)", &summaries);
-    }
-    if let Some(path) = &cli.json {
-        SuiteResult::new(
-            "table1",
-            cli.quick,
-            cli.seeds,
-            cli.id_mode_labels(),
-            summaries.clone(),
-        )
-        .write(path)
-        .expect("write results JSON");
-        println!("results written to {}", path.display());
-    }
-    bounds::enforce(
-        "table1",
-        &[
-            Bound::AllValid,
-            Bound::PaletteWithinCap,
-            // Theorem 6.3 family: the O(1)-VA coloring has linear RoundSum.
-            Bound::RoundSumLinear {
-                exp: "T1.4",
-                c: 6.0,
-            },
-            // Flat-VA shapes for the paper's algorithms.
-            Bound::VaFlat {
-                exp: "T1.4",
-                factor: 1.5,
-                slack: 0.5,
-            },
-            Bound::VaFlat {
-                exp: "T1.6",
-                factor: 1.5,
-                slack: 1.0,
-            },
-            Bound::VaFlat {
-                exp: "T1.8",
-                factor: 1.5,
-                slack: 0.5,
-            },
-            // The classical baseline's VA must keep growing with n.
-            Bound::VaGrowing { exp: "T1.1b" },
-            // Lemma 6.1: active sets decay geometrically. T1.4's partition
-            // keeps everyone active for one warm-up round (grace 1), then
-            // the active set at least halves per round. T1.8's two-round
-            // propose/resolve phases shrink the undecided set by ≥ ¼ per
-            // phase in expectation; 0.9 per 2-round window is a loose
-            // w.h.p. envelope over seed noise.
-            Bound::ActiveDecay {
-                exp: "T1.4",
-                ratio: 0.5,
-                stride: 1,
-                floor: 8.0,
-                grace: 1,
-            },
-            Bound::ActiveDecay {
-                exp: "T1.8",
-                ratio: 0.9,
-                stride: 2,
-                floor: 16.0,
-                grace: 1,
-            },
-        ],
-        &summaries,
-    );
+    spec::execute("table1", &suites::table1(), &cli);
 }

@@ -5,124 +5,16 @@
 //!
 //! For the edge-labelled problems, the reported metrics are the
 //! output-commit metrics (the paper's §2 first definition; see
-//! `algos::extension`); the engine-level termination including passive
-//! relays is printed alongside for transparency.
+//! `algos::extension`). The experiments are declared in
+//! `benchharness::suites::table2` and run by the shared spec engine over
+//! the trial sweep; the declared bounds enforce validity and the flat-VA
+//! shape across the `n` sweep.
 //!
-//! Each experiment runs over the trial sweep (engine seeds × ID
-//! assignments); the bound checks at the end enforce validity and the
-//! flat-VA shape across the `n` sweep.
-//!
-//! Usage: `table2 [--quick] [--seeds N] [--ids LIST] [--json PATH] [T2.1 ...]`
+//! Usage: `table2 [--quick] [--seeds N] [--ids LIST] [--json PATH] [--list] [T2.1 ...]`
 
-use benchharness::{
-    bounds, forest_workload, hub_workload, n_sweep, print_rows, print_summaries,
-    run_edge_coloring_ext, run_matching_ext, run_mis_ext, run_mis_luby, summarize, Bound, Cli,
-    SuiteResult,
-};
+use benchharness::{spec, suites, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let ns = n_sweep(cli.quick);
-    let sweep = cli.sweep();
-    let mut all = Vec::new();
-
-    // T2.1 — MIS.
-    if cli.wants("T2.1") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            for a in [2usize, 4] {
-                let gg = forest_workload(n, a, 52);
-                for t in sweep.trials() {
-                    rows.push(run_mis_ext("T2.1", &gg, t));
-                    rows.push(run_mis_luby("T2.1b", &gg, t));
-                }
-            }
-            let hub = hub_workload(n, 2, (n as f64).sqrt() as usize, 53);
-            for t in sweep.trials() {
-                rows.push(run_mis_ext("T2.1h", &hub, t));
-                rows.push(run_mis_luby("T2.1hb", &hub, t));
-            }
-        }
-        print_rows("T2.1: MIS — extension framework vs Luby", &rows);
-        all.extend(rows);
-    }
-
-    // T2.2 — (2Δ−1)-edge-coloring.
-    if cli.wants("T2.2") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            for a in [2usize, 3] {
-                let gg = forest_workload(n, a, 54);
-                for t in sweep.trials() {
-                    rows.push(run_edge_coloring_ext("T2.2", &gg, t));
-                }
-            }
-            let hub = hub_workload(n, 2, ((n as f64).sqrt() as usize).min(128), 55);
-            for t in sweep.trials() {
-                rows.push(run_edge_coloring_ext("T2.2h", &hub, t));
-            }
-        }
-        print_rows("T2.2: (2Δ−1)-edge-coloring — commit metrics", &rows);
-        all.extend(rows);
-    }
-
-    // T2.3 — maximal matching.
-    if cli.wants("T2.3") {
-        let mut rows = Vec::new();
-        for &n in &ns {
-            for a in [2usize, 3] {
-                let gg = forest_workload(n, a, 56);
-                for t in sweep.trials() {
-                    rows.push(run_matching_ext("T2.3", &gg, t));
-                }
-            }
-            let hub = hub_workload(n, 2, ((n as f64).sqrt() as usize).min(128), 57);
-            for t in sweep.trials() {
-                rows.push(run_matching_ext("T2.3h", &hub, t));
-            }
-        }
-        print_rows("T2.3: maximal matching — commit metrics", &rows);
-        all.extend(rows);
-    }
-
-    let summaries = summarize(&all);
-    if !summaries.is_empty() {
-        print_summaries("table2 summary (per experiment configuration)", &summaries);
-    }
-    if let Some(path) = &cli.json {
-        SuiteResult::new(
-            "table2",
-            cli.quick,
-            cli.seeds,
-            cli.id_mode_labels(),
-            summaries.clone(),
-        )
-        .write(path)
-        .expect("write results JSON");
-        println!("results written to {}", path.display());
-    }
-    bounds::enforce(
-        "table2",
-        &[
-            Bound::AllValid,
-            Bound::PaletteWithinCap,
-            // O(a + log* n) VA: flat shape across the n sweep.
-            Bound::VaFlat {
-                exp: "T2.1",
-                factor: 1.6,
-                slack: 1.0,
-            },
-            Bound::VaFlat {
-                exp: "T2.2",
-                factor: 1.6,
-                slack: 1.0,
-            },
-            Bound::VaFlat {
-                exp: "T2.3",
-                factor: 1.6,
-                slack: 1.0,
-            },
-        ],
-        &summaries,
-    );
+    spec::execute("table2", &suites::table2(), &cli);
 }

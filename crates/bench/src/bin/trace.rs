@@ -1,16 +1,19 @@
-//! `trace` — run one algorithm under the full tracing observer stack and
-//! export its event stream.
+//! `trace` — run one registered algorithm under the full tracing observer
+//! stack and export its event stream.
 //!
-//! Attaches [`Telemetry`], [`PhaseBreakdown`], [`TraceLog`], and
-//! [`Profile`] (composed with [`Tee`]) to a single observed run, then:
+//! The algorithm is resolved by name from `benchharness::registry`, so
+//! every registered algorithm is traceable with no wiring here. The run
+//! attaches [`Telemetry`], [`PhaseBreakdown`], [`TraceLog`], and
+//! [`Profile`] (composed with `Tee` inside the registry's single run
+//! path), then:
 //!
 //! * prints the per-phase `RoundSum` breakdown and the termination-round /
 //!   round-wall histograms,
 //! * asserts the trace-level accounting identities (per-phase `RoundSum`s
 //!   total the engine's step count; trace event counts match
 //!   [`EngineStats`]; terminations == `n`),
-//! * checks the Lemma 6.1 geometric active-set decay where the algorithm
-//!   claims it,
+//! * checks the Lemma 6.1 geometric active-set decay where the registry
+//!   entry claims it,
 //! * writes `<out>/trace.jsonl` (one event object per line) and
 //!   `<out>/trace.chrome.json` (Chrome trace event format — open in
 //!   `chrome://tracing` or the Perfetto UI), and
@@ -21,16 +24,14 @@
 //! test of the whole observability layer.
 //!
 //! Usage: `trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR]
-//! [--parallel]` with NAME one of `rand_delta_plus_one` (default),
-//! `a2logn`, `mis_extension`, `color_then_census`.
+//! [--parallel] [--list]` with NAME any registry name (default
+//! `rand_delta_plus_one`); `--list` prints the registry and exits.
 
-use algos::{coloring, mis, pipeline, rand_coloring};
 use benchharness::bounds::geometric_decay_violations;
-use benchharness::forest_workload;
+use benchharness::registry::{self, Params, TracedRun};
 use benchharness::results::Json;
-use simlocal::{
-    EngineStats, PhaseBreakdown, Profile, Protocol, RunConfig, Runner, Tee, Telemetry, TraceLog,
-};
+use benchharness::{forest_workload, Trial};
+use simlocal::EngineStats;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -42,6 +43,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     parallel: bool,
+    list: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         out: PathBuf::from("target/trace"),
         parallel: false,
+        list: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -63,16 +66,12 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--parallel" => args.parallel = true,
+            "--list" => args.list = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(args)
 }
-
-/// Per-window Lemma 6.1 decay requirement: `(ratio, stride, floor, grace)`
-/// (see [`geometric_decay_violations`]). `None` = no decay claim for this
-/// algorithm.
-type DecayClaim = Option<(f64, usize, f64, usize)>;
 
 fn main() {
     let args = match parse_args() {
@@ -80,44 +79,35 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR] [--parallel]"
+                "usage: trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR] \
+                 [--parallel] [--list]"
             );
             exit(2);
         }
     };
-    let gg = forest_workload(args.n, args.a, args.seed);
-    // Constants mirror the harness bound declarations in table1/figures:
-    // the randomized algorithm halves the undecided set per 2-round
-    // propose/resolve phase (0.9 is a loose w.h.p. envelope); the §7.2
-    // coloring at least halves the active set per round after the one-
-    // round partition warm-up.
-    let failures = match args.algo.as_str() {
-        "rand_delta_plus_one" => {
-            let p = rand_coloring::delta_plus_one::RandDeltaPlusOne::new();
-            trace_run(&p, &gg.graph, &args, Some((0.9, 2, 32.0, 2)))
+    if args.list {
+        println!("trace: registered algorithms\n");
+        for spec in registry::all() {
+            println!(
+                "{:<22} [{}] — {}",
+                spec.name,
+                spec.problem.label(),
+                spec.bound
+            );
         }
-        "a2logn" => {
-            let p = coloring::a2logn::ColoringA2LogN::new(args.a);
-            trace_run(&p, &gg.graph, &args, Some((0.5, 1, 8.0, 1)))
-        }
-        // MIS and the pipeline hold terminations back in windows/subtasks,
-        // so no per-window decay claim — the trace identities still apply.
-        "mis_extension" => {
-            let p = mis::MisExtension::new(args.a);
-            trace_run(&p, &gg.graph, &args, None)
-        }
-        "color_then_census" => {
-            let p = pipeline::ColorThenCensus::new(args.a, 4);
-            trace_run(&p, &gg.graph, &args, None)
-        }
-        other => {
+        return;
+    }
+    let spec = match registry::find(&args.algo) {
+        Some(s) => s,
+        None => {
             eprintln!(
-                "error: unknown algo `{other}` (expected rand_delta_plus_one, a2logn, \
-                 mis_extension, color_then_census)"
+                "error: unknown algo `{}` (run `trace --list` for the registry)",
+                args.algo
             );
             exit(2);
         }
     };
+    let failures = trace_run(spec, &args);
     if !failures.is_empty() {
         eprintln!("\n[trace] FAILURES:");
         for f in &failures {
@@ -128,31 +118,20 @@ fn main() {
     println!("\n[trace] all checks passed");
 }
 
-/// Runs `p` under the full observer stack, prints the report, writes and
-/// validates both export files. Returns failure messages (empty = pass).
-fn trace_run<P: Protocol>(
-    p: &P,
-    g: &graphcore::Graph,
-    args: &Args,
-    decay: DecayClaim,
-) -> Vec<String> {
-    let ids = graphcore::IdAssignment::identity(g.n());
-    let mut cfg = RunConfig::seeded(args.seed);
-    if args.parallel {
-        cfg = cfg.parallel();
-    }
-    let names = p.phase_names();
-    let mut obs = Tee(
-        Tee(Telemetry::new(), PhaseBreakdown::new(names)),
-        Tee(TraceLog::with_phases(names), Profile::new()),
-    );
-    let out = Runner::new(p, g, &ids)
-        .config(cfg)
-        .run_with(&mut obs)
-        .expect("protocol terminates");
-    let Tee(Tee(telemetry, breakdown), Tee(log, profile)) = &obs;
-    let stats = &out.stats;
-    let n = g.n();
+/// Runs the registered algorithm under the full observer stack, prints the
+/// report, writes and validates both export files. Returns failure
+/// messages (empty = pass).
+fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
+    let gg = forest_workload(args.n, args.a, args.seed);
+    let trial = Trial::identity(args.seed);
+    let TracedRun {
+        row,
+        stats,
+        breakdown,
+        log,
+        profile,
+    } = spec.run_traced(&gg, Params::default(), &trial, args.parallel);
+    let n = gg.graph.n();
 
     println!(
         "trace: {} on forest_union (n={}, a={}, seed={}, {})",
@@ -168,10 +147,7 @@ fn trace_run<P: Protocol>(
     );
     println!(
         "  rounds {}  RoundSum {}  VA {:.3}  WC {}",
-        stats.rounds,
-        stats.steps,
-        out.metrics.vertex_averaged(),
-        out.metrics.worst_case()
+        stats.rounds, stats.steps, row.va, row.wc
     );
     println!("  per-phase breakdown (phase, RoundSum, VA share, terminations):");
     for (phase, round_sum, terms) in breakdown.rows() {
@@ -219,16 +195,17 @@ fn trace_run<P: Protocol>(
         ));
     }
 
-    // Lemma 6.1: the active set decays geometrically where claimed.
-    if let Some((ratio, stride, floor, grace)) = decay {
-        let active: Vec<f64> = telemetry.active.iter().map(|&a| a as f64).collect();
+    // Lemma 6.1: the active set decays geometrically where the registry
+    // entry claims it (constants mirror the suite bound declarations).
+    if let Some(decay) = spec.decay {
+        let active: Vec<f64> = row.active_series.iter().map(|&a| a as f64).collect();
         failures.extend(geometric_decay_violations(
             &format!("{} n={n}", args.algo),
             &active,
-            ratio,
-            stride,
-            floor,
-            grace,
+            decay.ratio,
+            decay.stride,
+            decay.floor,
+            decay.grace,
         ));
     }
 
@@ -253,8 +230,8 @@ fn trace_run<P: Protocol>(
         Ok(()) => println!("wrote {}", chrome_path.display()),
         Err(e) => failures.push(format!("write {}: {e}", chrome_path.display())),
     }
-    failures.extend(validate_jsonl(&jsonl_path, stats, n));
-    failures.extend(validate_chrome(&chrome_path, stats));
+    failures.extend(validate_jsonl(&jsonl_path, &stats, n));
+    failures.extend(validate_chrome(&chrome_path, &stats));
     failures
 }
 

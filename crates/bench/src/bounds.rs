@@ -63,6 +63,31 @@ pub enum Bound {
     },
 }
 
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::AllValid => write!(f, "all-valid"),
+            Bound::PaletteWithinCap => write!(f, "palette-within-cap"),
+            Bound::RoundSumLinear { exp, c } => write!(f, "{exp}: RoundSum ≤ {c}·n"),
+            Bound::VaFlat { exp, factor, slack } => {
+                write!(f, "{exp}: va(max n) ≤ {factor}·va(min n) + {slack}")
+            }
+            Bound::VaGrowing { exp } => write!(f, "{exp}: va must grow with n"),
+            Bound::ActiveDecay {
+                exp,
+                ratio,
+                stride,
+                floor,
+                grace,
+            } => write!(
+                f,
+                "{exp}: active set ×{ratio} per {stride}-round window \
+                 (floor {floor}, grace {grace})"
+            ),
+        }
+    }
+}
+
 /// Lemma 6.1-style geometric-decay check on an active-set series.
 ///
 /// Compares `active[i]` against `active[i - stride]` for every

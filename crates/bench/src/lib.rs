@@ -3,11 +3,18 @@
 //! # benchharness — regenerating the paper's tables and figures
 //!
 //! Shared machinery for the harness binaries (`table1`, `table2`,
-//! `figures`, `scenarios`, `ablations`, `bench-diff`) and the Criterion
-//! benches: a uniform way to run every algorithm in the suite on a
-//! workload and collect one [`Row`] of measurements (vertex-averaged
-//! complexity, worst case, percentiles, colors used, validity against the
-//! algorithm's *claimed* palette cap).
+//! `figures`, `scenarios`, `ablations`, `bench-diff`, `trace`) and the
+//! Criterion benches, organized as a two-level declarative layer:
+//!
+//! * [`registry`] — every algorithm as one [`registry::AlgoSpec`]
+//!   declaration (name, problem, constructor, palette-cap function,
+//!   paper-bound tag) behind the dyn-erased [`registry::ErasedAlgo`]
+//!   trait, so exactly one code path constructs, runs, observes,
+//!   verifies, and turns a run into a [`Row`];
+//! * [`spec`] + [`suites`] — every experiment as one
+//!   [`spec::ExperimentSpec`] entry executed by the shared
+//!   [`spec::execute`] engine (filtering, trial sweeps, printing, JSON,
+//!   `--list`, bound enforcement).
 //!
 //! The conformance layer lives in three submodules: [`trials`] sweeps each
 //! experiment over engine seeds × ID assignments and aggregates rows into
@@ -18,21 +25,23 @@
 //!
 //! Every row is printed in a fixed-width table **and** as a CSV-ish
 //! `#csv` line so results can be scraped; EXPERIMENTS.md records the
-//! paper-vs-measured comparison per experiment id.
+//! paper-vs-measured comparison per experiment id, with its index
+//! regenerated from the [`suites`] tables.
 
 pub mod bounds;
+pub mod registry;
 pub mod results;
+pub mod spec;
+pub mod suites;
 pub mod trials;
 
 pub use bounds::Bound;
 pub use results::{diff, SuiteResult, SCHEMA_VERSION};
 pub use trials::{print_summaries, summarize, IdMode, Stats, Sweep, Trial, TrialSummary};
 
-use algos::{baselines, coloring, edge_coloring, forests, itlog, matching, mis, rand_coloring};
-use graphcore::{gen::GenGraph, verify, IdAssignment};
-use simlocal::{
-    EngineStats, PhaseBreakdown, Protocol, RoundMetrics, RunConfig, Runner, Tee, Telemetry,
-};
+use algos::itlog;
+use graphcore::gen::GenGraph;
+use simlocal::{EngineStats, PhaseBreakdown, Protocol, RoundMetrics, RunConfig, Tee, Telemetry};
 
 /// One phase's share of a run's `RoundSum`, as reported by the protocol's
 /// [`Protocol::phase_of`] attribution (see `simlocal::PhaseBreakdown`).
@@ -236,301 +245,6 @@ pub fn cfg(seed: u64) -> RunConfig {
     RunConfig::seeded(seed)
 }
 
-/// Runs a coloring-style protocol (output `u64`) and verifies propriety
-/// against the algorithm's claimed palette cap.
-///
-/// `cap_of` receives the trial's ID assignment (several caps — Linial
-/// schedules, cover-free families — depend on the ID space) and returns
-/// the maximum number of distinct colors the algorithm claims to use; the
-/// verifier rejects outputs that exceed it, so a protocol quietly blowing
-/// its palette now fails the run instead of slipping through.
-pub fn run_coloring<P: Protocol<Output = u64>>(
-    exp: &str,
-    algo: &str,
-    p: &P,
-    gg: &GenGraph,
-    trial: &Trial,
-    cap_of: impl FnOnce(&IdAssignment) -> usize,
-) -> Row {
-    let ids = trial.ids(gg.graph.n());
-    let cap = cap_of(&ids);
-    let mut obs = harness_observer(p);
-    let out = Runner::new(p, &gg.graph, &ids)
-        .config(cfg(trial.seed))
-        .run_with(&mut obs)
-        .expect("protocol terminates");
-    let valid = verify::proper_vertex_coloring(&gg.graph, &out.outputs, cap).is_ok();
-    let colors = verify::count_distinct(&out.outputs);
-    Row::from_metrics(
-        exp,
-        algo,
-        gg.family,
-        gg.graph.n(),
-        gg.arboricity,
-        &out.metrics,
-        colors,
-        valid,
-    )
-    .with_stats(&out.stats)
-    .with_trial(trial)
-    .with_cap(cap)
-    .with_trace(&obs.0, &obs.1)
-}
-
-/// Runs the §8 MIS protocol.
-pub fn run_mis_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
-    let p = mis::MisExtension::new(gg.arboricity);
-    let ids = trial.ids(gg.graph.n());
-    let mut obs = harness_observer(&p);
-    let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(trial.seed))
-        .run_with(&mut obs)
-        .expect("terminates");
-    let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
-    Row::from_metrics(
-        exp,
-        "mis_extension",
-        gg.family,
-        gg.graph.n(),
-        gg.arboricity,
-        &out.metrics,
-        0,
-        valid,
-    )
-    .with_stats(&out.stats)
-    .with_trial(trial)
-    .with_trace(&obs.0, &obs.1)
-}
-
-/// Runs Luby's MIS baseline.
-pub fn run_mis_luby(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
-    let ids = trial.ids(gg.graph.n());
-    let mut obs = harness_observer(&mis::LubyMis);
-    let out = Runner::new(&mis::LubyMis, &gg.graph, &ids)
-        .config(cfg(trial.seed))
-        .run_with(&mut obs)
-        .expect("terminates");
-    let valid = verify::maximal_independent_set(&gg.graph, &out.outputs).is_ok();
-    Row::from_metrics(
-        exp,
-        "mis_luby",
-        gg.family,
-        gg.graph.n(),
-        gg.arboricity,
-        &out.metrics,
-        0,
-        valid,
-    )
-    .with_stats(&out.stats)
-    .with_trial(trial)
-    .with_trace(&obs.0, &obs.1)
-}
-
-/// Runs the §8 edge-coloring protocol (commit metrics).
-pub fn run_edge_coloring_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
-    let p = edge_coloring::EdgeColoringExtension::new(gg.arboricity);
-    let ids = trial.ids(gg.graph.n());
-    let mut obs = harness_observer(&p);
-    let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(trial.seed))
-        .run_with(&mut obs)
-        .expect("terminates");
-    let (colors, commit) = edge_coloring::assemble(&gg.graph, &out).expect("assembles");
-    let cap = edge_coloring::EdgeColoringExtension::palette(&gg.graph) as usize;
-    let valid = verify::proper_edge_coloring(&gg.graph, &colors, cap).is_ok();
-    let used = verify::count_distinct(&colors);
-    Row::from_metrics(
-        exp,
-        "edge_col_extension",
-        gg.family,
-        gg.graph.n(),
-        gg.arboricity,
-        &commit,
-        used,
-        valid,
-    )
-    .with_stats(&out.stats)
-    .with_trial(trial)
-    .with_cap(cap)
-    .with_trace(&obs.0, &obs.1)
-}
-
-/// Runs the §8 maximal-matching protocol (commit metrics).
-pub fn run_matching_ext(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
-    let p = matching::MatchingExtension::new(gg.arboricity);
-    let ids = trial.ids(gg.graph.n());
-    let mut obs = harness_observer(&p);
-    let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(trial.seed))
-        .run_with(&mut obs)
-        .expect("terminates");
-    let (mm, commit) = matching::assemble(&gg.graph, &out).expect("assembles");
-    let valid = verify::maximal_matching(&gg.graph, &mm).is_ok();
-    Row::from_metrics(
-        exp,
-        "matching_extension",
-        gg.family,
-        gg.graph.n(),
-        gg.arboricity,
-        &commit,
-        0,
-        valid,
-    )
-    .with_stats(&out.stats)
-    .with_trial(trial)
-    .with_trace(&obs.0, &obs.1)
-}
-
-/// Runs Procedure Parallelized-Forest-Decomposition and verifies.
-pub fn run_forest_fast(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
-    let p = forests::ParallelizedForestDecomposition::new(gg.arboricity);
-    let ids = trial.ids(gg.graph.n());
-    let mut obs = harness_observer(&p);
-    let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(trial.seed))
-        .run_with(&mut obs)
-        .expect("terminates");
-    let valid = forests::assemble(&gg.graph, &out.outputs)
-        .map(|(labels, heads)| {
-            verify::forest_decomposition(&gg.graph, &labels, &heads, p.cap()).is_ok()
-        })
-        .unwrap_or(false);
-    Row::from_metrics(
-        exp,
-        "forest_parallelized",
-        gg.family,
-        gg.graph.n(),
-        gg.arboricity,
-        &out.metrics,
-        p.cap(),
-        valid,
-    )
-    .with_stats(&out.stats)
-    .with_trial(trial)
-    .with_trace(&obs.0, &obs.1)
-}
-
-/// Runs the worst-case forest-decomposition baseline.
-pub fn run_forest_baseline(exp: &str, gg: &GenGraph, trial: &Trial) -> Row {
-    let p = forests::ForestDecompositionBaseline::new(gg.arboricity);
-    let ids = trial.ids(gg.graph.n());
-    let mut obs = harness_observer(&p);
-    let out = Runner::new(&p, &gg.graph, &ids)
-        .config(cfg(trial.seed))
-        .run_with(&mut obs)
-        .expect("terminates");
-    let valid = forests::assemble(&gg.graph, &out.outputs).is_ok();
-    Row::from_metrics(
-        exp,
-        "forest_baseline",
-        gg.family,
-        gg.graph.n(),
-        gg.arboricity,
-        &out.metrics,
-        0,
-        valid,
-    )
-    .with_stats(&out.stats)
-    .with_trial(trial)
-    .with_trace(&obs.0, &obs.1)
-}
-
-/// All coloring algorithm constructors keyed by a short name, so binaries
-/// can sweep them uniformly. Each arm supplies its algorithm's claimed
-/// palette cap to [`run_coloring`], so every row is verified against the
-/// bound the paper (or the baseline's analysis) actually claims.
-pub fn coloring_row(exp: &str, name: &str, gg: &GenGraph, k: u32, trial: &Trial) -> Row {
-    let a = gg.arboricity;
-    let n = gg.graph.n() as u64;
-    match name {
-        "a2logn" => {
-            let p = coloring::a2logn::ColoringA2LogN::new(a);
-            run_coloring(exp, name, &p, gg, trial, |ids| p.palette(ids) as usize)
-        }
-        "a2_loglog" => {
-            let p = coloring::a2_loglog::ColoringA2LogLog::new(a);
-            run_coloring(exp, name, &p, gg, trial, |ids| p.palette(ids) as usize)
-        }
-        "oa_recolor" => {
-            let p = coloring::oa_recolor::ColoringOaRecolor::new(a);
-            run_coloring(exp, name, &p, gg, trial, |_| p.palette() as usize)
-        }
-        // k-parameterized algorithms carry k in the label so sweeps over k
-        // summarize as distinct configurations.
-        "ka2" => {
-            let p = coloring::ka2::ColoringKa2::new(a, k);
-            let label = format!("ka2:k{k}");
-            run_coloring(exp, &label, &p, gg, trial, |ids| p.palette(n, ids) as usize)
-        }
-        "ka2_rho" => {
-            let p = coloring::ka2::ColoringKa2::rho_instance(a, n);
-            run_coloring(exp, name, &p, gg, trial, |ids| p.palette(n, ids) as usize)
-        }
-        "ka" => {
-            let p = coloring::ka::ColoringKa::new(a, k);
-            let label = format!("ka:k{k}");
-            run_coloring(exp, &label, &p, gg, trial, |_| p.palette(n) as usize)
-        }
-        "ka_rho" => {
-            let p = coloring::ka::ColoringKa::rho_instance(a, n);
-            run_coloring(exp, name, &p, gg, trial, |_| p.palette(n) as usize)
-        }
-        "delta_plus_one" => {
-            let p = coloring::delta_plus_one::DeltaPlusOneColoring::new(a);
-            run_coloring(exp, name, &p, gg, trial, |_| gg.graph.max_degree() + 1)
-        }
-        "legal_coloring" => {
-            let p = algos::legal_coloring::LegalColoring::new(a.max(1), 6);
-            run_coloring(exp, name, &p, gg, trial, |ids| {
-                p.palette_bound(n, ids) as usize
-            })
-        }
-        "one_plus_eta" => {
-            let p = algos::one_plus_eta::OnePlusEtaArbCol::new(a, 4);
-            run_coloring(exp, name, &p, gg, trial, |ids| {
-                p.palette_bound(n, ids) as usize
-            })
-        }
-        "rand_delta_plus_one" => {
-            let p = rand_coloring::delta_plus_one::RandDeltaPlusOne::new();
-            run_coloring(exp, name, &p, gg, trial, |_| {
-                p.palette_on(&gg.graph) as usize
-            })
-        }
-        "rand_a_loglog" => {
-            let p = rand_coloring::a_loglog::RandALogLog::new(a);
-            run_coloring(exp, name, &p, gg, trial, |_| p.palette(n) as usize)
-        }
-        "arb_color_baseline" => {
-            let p = algos::arb_color::ArbColor::new(a);
-            run_coloring(exp, name, &p, gg, trial, |_| p.palette() as usize)
-        }
-        "arb_linial_oneshot" => {
-            let p = baselines::ArbLinialOneShot::new(a);
-            run_coloring(exp, name, &p, gg, trial, |ids| {
-                p.family(ids).ground_size() as usize
-            })
-        }
-        "arb_linial_full" => {
-            let p = baselines::ArbLinialFull::new(a);
-            run_coloring(exp, name, &p, gg, trial, |ids| {
-                p.schedule(ids).final_palette() as usize
-            })
-        }
-        "global_linial" => {
-            let p = baselines::GlobalLinial::new();
-            run_coloring(exp, name, &p, gg, trial, |ids| {
-                p.palette(&gg.graph, ids) as usize
-            })
-        }
-        "global_linial_kw" => {
-            let p = baselines::GlobalLinialKw::new();
-            run_coloring(exp, name, &p, gg, trial, |_| gg.graph.max_degree() + 1)
-        }
-        other => panic!("unknown algorithm {other}"),
-    }
-}
-
 /// Standard n-sweep for scaling experiments (trimmed by `quick`).
 pub fn n_sweep(quick: bool) -> Vec<usize> {
     if quick {
@@ -582,9 +296,10 @@ pub fn hub_workload(n: usize, a: usize, hub_degree: usize, seed: u64) -> GenGrap
 ///
 /// `--quick` trims sweeps, `--seeds N` sets engine seeds per ID mode,
 /// `--ids identity,random,adversarial` picks ID-assignment modes,
-/// `--json PATH` writes the run's [`SuiteResult`]; every other `--` flag
-/// is an error (a typo used to be swallowed as an experiment filter and
-/// silently deselect everything). Bare arguments filter by experiment id.
+/// `--json PATH` writes the run's [`SuiteResult`], `--list` prints the
+/// suite's experiment table and exits; every other `--` flag is an error
+/// (a typo used to be swallowed as an experiment filter and silently
+/// deselect everything). Bare arguments filter by experiment id.
 pub struct Cli {
     /// Trim sweeps for smoke runs.
     pub quick: bool,
@@ -594,6 +309,8 @@ pub struct Cli {
     pub id_modes: Vec<IdMode>,
     /// Where to write the JSON results, if requested.
     pub json: Option<std::path::PathBuf>,
+    /// Print the suite's registered experiments and exit 0.
+    pub list: bool,
     /// Experiment ids to run (empty = all).
     pub filters: Vec<String>,
 }
@@ -606,12 +323,14 @@ impl Cli {
             seeds: 1,
             id_modes: vec![IdMode::Identity],
             json: None,
+            list: false,
             filters: Vec::new(),
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => cli.quick = true,
+                "--list" => cli.list = true,
                 "--seeds" => {
                     let v = it.next().ok_or("--seeds requires a value")?;
                     cli.seeds =
@@ -633,7 +352,7 @@ impl Cli {
                 other if other.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --quick, --seeds N, \
-                         --ids LIST, or --json PATH)"
+                         --ids LIST, --json PATH, or --list)"
                     ));
                 }
                 _ => cli.filters.push(arg),
@@ -650,7 +369,7 @@ impl Cli {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--quick] [--seeds N] [--ids identity,random,adversarial] \
-                     [--json PATH] [EXPERIMENT_ID...]"
+                     [--json PATH] [--list] [EXPERIMENT_ID...]"
                 );
                 std::process::exit(2);
             }
@@ -698,7 +417,7 @@ mod tests {
         let gg = forest_workload(256, 2, 1);
         let trial = Trial::identity(0);
         for name in ["a2logn", "a2_loglog", "ka2", "arb_color_baseline"] {
-            let row = coloring_row("T", name, &gg, 2, &trial);
+            let row = registry::get(name).run("T", &gg, registry::Params::k(2), &trial);
             assert!(row.valid, "{name} produced an invalid coloring");
             assert!(row.va > 0.0 && row.wc >= row.median);
             assert_ne!(row.cap, usize::MAX, "{name} must claim a palette cap");
@@ -715,11 +434,16 @@ mod tests {
     fn set_problem_rows_validate() {
         let gg = forest_workload(200, 2, 2);
         let t = Trial::identity(0);
-        assert!(run_mis_ext("T", &gg, &t).valid);
-        assert!(run_mis_luby("T", &gg, &t).valid);
-        assert!(run_matching_ext("T", &gg, &t).valid);
-        assert!(run_edge_coloring_ext("T", &gg, &t).valid);
-        assert!(run_forest_fast("T", &gg, &t).valid);
+        for name in [
+            "mis_extension",
+            "mis_luby",
+            "matching_extension",
+            "edge_col_extension",
+            "forest_parallelized",
+        ] {
+            let row = registry::get(name).run("T", &gg, registry::Params::default(), &t);
+            assert!(row.valid, "{name} produced an invalid output");
+        }
     }
 
     #[test]
@@ -743,6 +467,7 @@ mod tests {
             seeds: 1,
             id_modes: vec![IdMode::Identity],
             json: None,
+            list: false,
             filters: vec!["T1.1".into()],
         };
         assert!(cli.wants("T1.1"));

@@ -1,0 +1,776 @@
+//! The declarative algorithm registry: every algorithm the harness knows,
+//! as one [`AlgoSpec`] declaration behind the dyn-erased [`ErasedAlgo`]
+//! trait.
+//!
+//! The registry replaces the eight monomorphized `run_*` wrappers and the
+//! 17-arm `coloring_row` dispatch the harness grew up with: each algorithm
+//! now declares its name, its [`Problem`], its constructor over
+//! `(GenGraph, Params)`, its claimed palette-cap function, and its paper
+//! bound tag — and **exactly one** code path constructs the protocol,
+//! runs it under the standard observer pair ([`Telemetry`] +
+//! [`PhaseBreakdown`] via `Tee`), verifies the output through
+//! [`Problem::verify_output`], and assembles the [`Row`].
+//!
+//! Consumers resolve algorithms by name ([`find`]) or enumerate them
+//! ([`all`]): the spec-driven binaries (via [`crate::spec::execute`]),
+//! the `trace` binary ([`ErasedAlgo::run_traced`]), and the Criterion
+//! benches ([`ErasedAlgo::run_bare`]). Registering a new algorithm here
+//! makes it immediately runnable, traceable, and benchable.
+
+use crate::{cfg, harness_observer, Row, Trial};
+use algos::{baselines, coloring, edge_coloring, forests, matching, mis, pipeline, rand_coloring};
+use graphcore::{gen::GenGraph, verify, Graph, IdAssignment, VertexId};
+use simlocal::{
+    EngineStats, NoObserver, Observer, PhaseBreakdown, Profile, Protocol, Runner, SimOutcome,
+    TraceLog,
+};
+use std::sync::OnceLock;
+
+/// The problem an algorithm solves. Owns the single verification path:
+/// every row's `colors`/`valid` pair comes from [`Problem::verify_output`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Problem {
+    /// Proper vertex coloring against a claimed palette cap.
+    VertexColoring,
+    /// Proper edge coloring against a claimed palette cap.
+    EdgeColoring,
+    /// Maximal independent set.
+    Mis,
+    /// Maximal matching.
+    MaximalMatching,
+    /// Forest decomposition into a claimed number of forests.
+    Forests,
+}
+
+impl Problem {
+    /// Stable label for listings and docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Problem::VertexColoring => "vertex-coloring",
+            Problem::EdgeColoring => "edge-coloring",
+            Problem::Mis => "mis",
+            Problem::MaximalMatching => "maximal-matching",
+            Problem::Forests => "forests",
+        }
+    }
+
+    /// Verifies a solution and reports the distinct-color count. `cap` is
+    /// the algorithm's claimed palette cap (`usize::MAX` = no palette
+    /// claim); set problems ignore it. This is the only place in the
+    /// harness where outputs are judged.
+    pub fn verify_output(&self, g: &Graph, sol: &Solution, cap: usize) -> Verdict {
+        match (self, sol) {
+            (Problem::VertexColoring, Solution::VertexColors(colors)) => Verdict {
+                colors: verify::count_distinct(colors),
+                valid: verify::proper_vertex_coloring(g, colors, cap).is_ok(),
+            },
+            (Problem::EdgeColoring, Solution::EdgeColors(colors)) => Verdict {
+                colors: verify::count_distinct(colors),
+                valid: verify::proper_edge_coloring(g, colors, cap).is_ok(),
+            },
+            (Problem::Mis, Solution::InSet(in_set)) => Verdict {
+                colors: 0,
+                valid: verify::maximal_independent_set(g, in_set).is_ok(),
+            },
+            (Problem::MaximalMatching, Solution::Matched(matched)) => Verdict {
+                colors: 0,
+                valid: verify::maximal_matching(g, matched).is_ok(),
+            },
+            // A forest decomposition is judged against the *algorithm's*
+            // claimed forest count (carried in the solution, not the
+            // palette cap): the baseline claims nothing (`claimed == 0`),
+            // so assembling at all is its success criterion.
+            (
+                Problem::Forests,
+                Solution::Forest {
+                    labels,
+                    heads,
+                    claimed,
+                },
+            ) => {
+                if *claimed == 0 {
+                    Verdict {
+                        colors: 0,
+                        valid: true,
+                    }
+                } else {
+                    Verdict {
+                        colors: *claimed,
+                        valid: verify::forest_decomposition(g, labels, heads, *claimed).is_ok(),
+                    }
+                }
+            }
+            _ => Verdict {
+                colors: 0,
+                valid: false,
+            },
+        }
+    }
+}
+
+/// A problem solution in verifiable form, extracted from a protocol's
+/// [`SimOutcome`] by the algorithm's adapter.
+#[derive(Clone, Debug)]
+pub enum Solution {
+    /// Per-vertex colors.
+    VertexColors(Vec<u64>),
+    /// Per-edge colors (CSR edge order).
+    EdgeColors(Vec<u64>),
+    /// Per-vertex set membership (MIS).
+    InSet(Vec<bool>),
+    /// Per-vertex matched flag.
+    Matched(Vec<bool>),
+    /// Forest decomposition: per-vertex forest labels + parent pointers,
+    /// plus the number of forests the algorithm claims (`0` = no claim,
+    /// assembly alone is checked).
+    Forest {
+        /// Forest index per vertex.
+        labels: Vec<u32>,
+        /// Parent ("head") per vertex, if any.
+        heads: Vec<Option<VertexId>>,
+        /// Claimed forest count (`0` = unclaimed).
+        claimed: usize,
+    },
+}
+
+/// Outcome of [`Problem::verify_output`].
+#[derive(Clone, Copy, Debug)]
+pub struct Verdict {
+    /// Distinct colors used (0 for set problems).
+    pub colors: usize,
+    /// Whether the output passed the problem's verifier.
+    pub valid: bool,
+}
+
+/// Per-run algorithm parameters. All fields default to 0 = "unset"; each
+/// algorithm reads only what it declares (e.g. `k` for the segmentation
+/// schemes, `c` for One-Plus-Eta's recursion constant).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Params {
+    /// Segmentation parameter `k` (ka / ka2).
+    pub k: u32,
+    /// One-Plus-Eta recursion constant `C` (0 = the default 4).
+    pub c: usize,
+}
+
+impl Params {
+    /// Parameters with segmentation `k` set.
+    pub fn k(k: u32) -> Params {
+        Params {
+            k,
+            ..Params::default()
+        }
+    }
+
+    /// Parameters with One-Plus-Eta constant `C` set.
+    pub fn c(c: usize) -> Params {
+        Params {
+            c,
+            ..Params::default()
+        }
+    }
+}
+
+/// Per-window Lemma 6.1 decay claim: the active set must shrink by
+/// `ratio` per `stride`-round window, above `floor`, after `grace`
+/// warm-up windows (see `bounds::geometric_decay_violations`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecayClaim {
+    /// Required per-window shrink factor in `(0, 1)`.
+    pub ratio: f64,
+    /// Window width in rounds.
+    pub stride: usize,
+    /// Counts at or below this floor are exempt.
+    pub floor: f64,
+    /// Leading windows exempt from the check.
+    pub grace: usize,
+}
+
+/// Everything a traced run produces, for the `trace` binary: the standard
+/// [`Row`] plus the engine stats and the full observer stack.
+pub struct TracedRun {
+    /// The verified measurement row (active series + phases included).
+    pub row: Row,
+    /// Engine work/wall accounting.
+    pub stats: EngineStats,
+    /// Per-phase RoundSum / termination accounting.
+    pub breakdown: PhaseBreakdown,
+    /// The exportable event log (JSONL / Chrome trace).
+    pub log: TraceLog,
+    /// Termination-round and round-wall histograms.
+    pub profile: Profile,
+}
+
+/// A dyn-erased algorithm: the one run path behind every table row,
+/// trace, and bench. Implemented once, generically, by the adapter that
+/// [`AlgoSpec`] constructors build — never by hand.
+pub trait ErasedAlgo: Send + Sync {
+    /// Row label for a run with `params` (k-parameterized algorithms
+    /// encode `k` so sweeps summarize as distinct configurations).
+    fn label(&self, params: Params) -> String;
+
+    /// The palette cap a run with these parameters claims, as verified
+    /// against and recorded in [`Row::cap`] (`usize::MAX` = no claim).
+    fn cap_for(&self, gg: &GenGraph, params: Params, ids: &IdAssignment) -> usize;
+
+    /// Construct, run under the standard observer pair, verify, and
+    /// assemble one measurement row.
+    fn run(&self, exp: &str, gg: &GenGraph, params: Params, trial: &Trial) -> Row;
+
+    /// Like [`ErasedAlgo::run`] but with the full tracing stack attached
+    /// ([`TraceLog`] + [`Profile`] teed onto the standard pair).
+    fn run_traced(&self, gg: &GenGraph, params: Params, trial: &Trial, parallel: bool)
+        -> TracedRun;
+
+    /// Construct and run with **no** observer and no verification — the
+    /// Criterion benching path (timing includes construction).
+    fn run_bare(&self, gg: &GenGraph, params: Params, trial: &Trial);
+}
+
+/// One registered algorithm: identity, problem, paper-bound tag, optional
+/// Lemma 6.1 decay claim, and the erased runner.
+pub struct AlgoSpec {
+    /// Registry name (resolved by [`find`]; also the default row label).
+    pub name: &'static str,
+    /// The problem this algorithm solves (selects the verifier).
+    pub problem: Problem,
+    /// The paper (or baseline-analysis) bound this algorithm claims.
+    pub bound: &'static str,
+    /// Geometric active-set decay claim, where the paper makes one.
+    pub decay: Option<DecayClaim>,
+    algo: Box<dyn ErasedAlgo>,
+}
+
+impl AlgoSpec {
+    /// See [`ErasedAlgo::label`].
+    pub fn label(&self, params: Params) -> String {
+        self.algo.label(params)
+    }
+
+    /// See [`ErasedAlgo::cap_for`].
+    pub fn cap_for(&self, gg: &GenGraph, params: Params, ids: &IdAssignment) -> usize {
+        self.algo.cap_for(gg, params, ids)
+    }
+
+    /// See [`ErasedAlgo::run`].
+    pub fn run(&self, exp: &str, gg: &GenGraph, params: Params, trial: &Trial) -> Row {
+        self.algo.run(exp, gg, params, trial)
+    }
+
+    /// See [`ErasedAlgo::run_traced`].
+    pub fn run_traced(
+        &self,
+        gg: &GenGraph,
+        params: Params,
+        trial: &Trial,
+        parallel: bool,
+    ) -> TracedRun {
+        self.algo.run_traced(gg, params, trial, parallel)
+    }
+
+    /// See [`ErasedAlgo::run_bare`].
+    pub fn run_bare(&self, gg: &GenGraph, params: Params, trial: &Trial) {
+        self.algo.run_bare(gg, params, trial)
+    }
+
+    fn decay(mut self, ratio: f64, stride: usize, floor: f64, grace: usize) -> AlgoSpec {
+        self.decay = Some(DecayClaim {
+            ratio,
+            stride,
+            floor,
+            grace,
+        });
+        self
+    }
+}
+
+/// What an adapter's extractor pulls out of a finished run: the solution
+/// in verifiable form, plus commit-level metrics for problems whose
+/// headline numbers are output-commit based (edge coloring, matching).
+struct Extracted {
+    solution: Solution,
+    commit: Option<simlocal::RoundMetrics>,
+}
+
+/// The one generic adapter behind every [`AlgoSpec`]: `build` constructs
+/// the protocol, `cap` states its claimed palette, `extract` turns the
+/// outcome into a verifiable [`Solution`].
+struct Algo<P, B, C, E> {
+    name: &'static str,
+    problem: Problem,
+    label: fn(&'static str, Params) -> String,
+    build: B,
+    cap: C,
+    extract: E,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+/// The output of one erased execution, before the caller picks the parts
+/// it needs.
+struct ExecOut<X> {
+    row: Row,
+    stats: EngineStats,
+    breakdown: PhaseBreakdown,
+    extra: X,
+}
+
+impl<P, B, C, E> Algo<P, B, C, E>
+where
+    P: Protocol,
+    B: Fn(&GenGraph, Params) -> P + Send + Sync,
+    C: Fn(&P, &GenGraph, &IdAssignment) -> usize + Send + Sync,
+    E: Fn(&P, &Graph, &SimOutcome<P::Output>) -> Result<Extracted, String> + Send + Sync,
+{
+    /// The single construct → run → observe → verify → Row path. Every
+    /// public entry point (`run`, `run_traced`) is a thin wrapper that
+    /// only chooses the extra observer to tee on.
+    fn exec<X: Observer>(
+        &self,
+        exp: &str,
+        gg: &GenGraph,
+        params: Params,
+        trial: &Trial,
+        parallel: bool,
+        mk_extra: impl FnOnce(&P) -> X,
+    ) -> ExecOut<X> {
+        let p = (self.build)(gg, params);
+        let ids = trial.ids(gg.graph.n());
+        let cap = (self.cap)(&p, gg, &ids);
+        let mut run_cfg = cfg(trial.seed);
+        if parallel {
+            run_cfg = run_cfg.parallel();
+        }
+        let mut obs = simlocal::Tee(harness_observer(&p), mk_extra(&p));
+        let out = Runner::new(&p, &gg.graph, &ids)
+            .config(run_cfg)
+            .run_with(&mut obs)
+            .expect("protocol terminates");
+        let (verdict, metrics) = match (self.extract)(&p, &gg.graph, &out) {
+            Ok(Extracted { solution, commit }) => {
+                let verdict = self.problem.verify_output(&gg.graph, &solution, cap);
+                (verdict, commit.unwrap_or_else(|| out.metrics.clone()))
+            }
+            // Assembly failure (e.g. inconsistent edge labels) is an
+            // invalid row, not a panic: the bound checks reject it.
+            Err(_) => (
+                Verdict {
+                    colors: 0,
+                    valid: false,
+                },
+                out.metrics.clone(),
+            ),
+        };
+        let row = Row::from_metrics(
+            exp,
+            &(self.label)(self.name, params),
+            gg.family,
+            gg.graph.n(),
+            gg.arboricity,
+            &metrics,
+            verdict.colors,
+            verdict.valid,
+        )
+        .with_stats(&out.stats)
+        .with_trial(trial)
+        .with_cap(cap)
+        .with_trace(&obs.0 .0, &obs.0 .1);
+        let simlocal::Tee(simlocal::Tee(_telemetry, breakdown), extra) = obs;
+        ExecOut {
+            row,
+            stats: out.stats,
+            breakdown,
+            extra,
+        }
+    }
+}
+
+impl<P, B, C, E> ErasedAlgo for Algo<P, B, C, E>
+where
+    P: Protocol,
+    B: Fn(&GenGraph, Params) -> P + Send + Sync,
+    C: Fn(&P, &GenGraph, &IdAssignment) -> usize + Send + Sync,
+    E: Fn(&P, &Graph, &SimOutcome<P::Output>) -> Result<Extracted, String> + Send + Sync,
+{
+    fn label(&self, params: Params) -> String {
+        (self.label)(self.name, params)
+    }
+
+    fn cap_for(&self, gg: &GenGraph, params: Params, ids: &IdAssignment) -> usize {
+        let p = (self.build)(gg, params);
+        (self.cap)(&p, gg, ids)
+    }
+
+    fn run(&self, exp: &str, gg: &GenGraph, params: Params, trial: &Trial) -> Row {
+        self.exec(exp, gg, params, trial, false, |_| NoObserver).row
+    }
+
+    fn run_traced(
+        &self,
+        gg: &GenGraph,
+        params: Params,
+        trial: &Trial,
+        parallel: bool,
+    ) -> TracedRun {
+        let out = self.exec("trace", gg, params, trial, parallel, |p| {
+            simlocal::Tee(TraceLog::with_phases(p.phase_names()), Profile::new())
+        });
+        let simlocal::Tee(log, profile) = out.extra;
+        TracedRun {
+            row: out.row,
+            stats: out.stats,
+            breakdown: out.breakdown,
+            log,
+            profile,
+        }
+    }
+
+    fn run_bare(&self, gg: &GenGraph, params: Params, trial: &Trial) {
+        let p = (self.build)(gg, params);
+        let ids = trial.ids(gg.graph.n());
+        let out = Runner::new(&p, &gg.graph, &ids)
+            .config(cfg(trial.seed))
+            .run()
+            .expect("protocol terminates");
+        std::hint::black_box(&out.outputs);
+    }
+}
+
+fn plain_label(name: &'static str, _params: Params) -> String {
+    name.to_string()
+}
+
+/// Builds a vertex-coloring spec (output `u64`, solution = the outputs).
+fn coloring_spec<P, B, C>(name: &'static str, bound: &'static str, build: B, cap: C) -> AlgoSpec
+where
+    P: Protocol<Output = u64> + 'static,
+    B: Fn(&GenGraph, Params) -> P + Send + Sync + 'static,
+    C: Fn(&P, &GenGraph, &IdAssignment) -> usize + Send + Sync + 'static,
+{
+    coloring_spec_labelled(name, bound, plain_label, build, cap)
+}
+
+fn coloring_spec_labelled<P, B, C>(
+    name: &'static str,
+    bound: &'static str,
+    label: fn(&'static str, Params) -> String,
+    build: B,
+    cap: C,
+) -> AlgoSpec
+where
+    P: Protocol<Output = u64> + 'static,
+    B: Fn(&GenGraph, Params) -> P + Send + Sync + 'static,
+    C: Fn(&P, &GenGraph, &IdAssignment) -> usize + Send + Sync + 'static,
+{
+    AlgoSpec {
+        name,
+        problem: Problem::VertexColoring,
+        bound,
+        decay: None,
+        algo: Box::new(Algo {
+            name,
+            problem: Problem::VertexColoring,
+            label,
+            build,
+            cap,
+            extract: |_p: &P, _g: &Graph, out: &SimOutcome<u64>| {
+                Ok(Extracted {
+                    solution: Solution::VertexColors(out.outputs.clone()),
+                    commit: None,
+                })
+            },
+            _marker: std::marker::PhantomData,
+        }),
+    }
+}
+
+/// Builds a spec for any problem whose solution needs a custom extractor
+/// (set problems, edge-labelled problems, forests).
+fn spec_with_extract<P, B, C, E>(
+    name: &'static str,
+    problem: Problem,
+    bound: &'static str,
+    build: B,
+    cap: C,
+    extract: E,
+) -> AlgoSpec
+where
+    P: Protocol + 'static,
+    B: Fn(&GenGraph, Params) -> P + Send + Sync + 'static,
+    C: Fn(&P, &GenGraph, &IdAssignment) -> usize + Send + Sync + 'static,
+    E: Fn(&P, &Graph, &SimOutcome<P::Output>) -> Result<Extracted, String> + Send + Sync + 'static,
+{
+    AlgoSpec {
+        name,
+        problem,
+        bound,
+        decay: None,
+        algo: Box::new(Algo {
+            name,
+            problem,
+            label: plain_label,
+            build,
+            cap,
+            extract,
+            _marker: std::marker::PhantomData,
+        }),
+    }
+}
+
+fn no_cap<P>(_p: &P, _gg: &GenGraph, _ids: &IdAssignment) -> usize {
+    usize::MAX
+}
+
+/// Builds the full registry, in stable enumeration order (colorings in
+/// the order of the old `coloring_row` dispatch, then the set problems).
+/// Labels and cap formulas are byte-compatible with the pre-registry
+/// wiring — the committed `results/table2.quick.json` baseline depends
+/// on that.
+fn build_registry() -> Vec<AlgoSpec> {
+    vec![
+        coloring_spec(
+            "a2logn",
+            "Thm 7.2: O(a² log n) colors in O(1) VA",
+            |gg, _| coloring::a2logn::ColoringA2LogN::new(gg.arboricity),
+            |p, _gg, ids| p.palette(ids) as usize,
+        )
+        .decay(0.5, 1, 8.0, 1),
+        coloring_spec(
+            "a2_loglog",
+            "Thm 7.6: O(a² log n) colors in O(log log n) VA",
+            |gg, _| coloring::a2_loglog::ColoringA2LogLog::new(gg.arboricity),
+            |p, _gg, ids| p.palette(ids) as usize,
+        ),
+        coloring_spec(
+            "oa_recolor",
+            "Thm 7.7: O(a) colors via recoloring",
+            |gg, _| coloring::oa_recolor::ColoringOaRecolor::new(gg.arboricity),
+            |p, _gg, _ids| p.palette() as usize,
+        ),
+        // k-parameterized algorithms carry k in the label so sweeps over k
+        // summarize as distinct configurations.
+        coloring_spec_labelled(
+            "ka2",
+            "Thm 7.5: O(ka²) colors in O(log^(k) n) VA",
+            |_, p| format!("ka2:k{}", p.k),
+            |gg, params| coloring::ka2::ColoringKa2::new(gg.arboricity, params.k),
+            |p, gg, ids| p.palette(gg.graph.n() as u64, ids) as usize,
+        ),
+        coloring_spec(
+            "ka2_rho",
+            "Thm 7.5 at k = ρ(n): O(log* n) VA",
+            |gg, _| coloring::ka2::ColoringKa2::rho_instance(gg.arboricity, gg.graph.n() as u64),
+            |p, gg, ids| p.palette(gg.graph.n() as u64, ids) as usize,
+        ),
+        coloring_spec_labelled(
+            "ka",
+            "Thm 7.13: O(ka) colors in O(a log^(k) n) VA",
+            |_, p| format!("ka:k{}", p.k),
+            |gg, params| coloring::ka::ColoringKa::new(gg.arboricity, params.k),
+            |p, gg, _ids| p.palette(gg.graph.n() as u64) as usize,
+        ),
+        coloring_spec(
+            "ka_rho",
+            "Thm 7.13 at k = ρ(n): O(a log* n) VA",
+            |gg, _| coloring::ka::ColoringKa::rho_instance(gg.arboricity, gg.graph.n() as u64),
+            |p, gg, _ids| p.palette(gg.graph.n() as u64) as usize,
+        ),
+        coloring_spec(
+            "delta_plus_one",
+            "Thm 7.9: Δ+1 colors, a-dependent VA",
+            |gg, _| coloring::delta_plus_one::DeltaPlusOneColoring::new(gg.arboricity),
+            |_p, gg, _ids| gg.graph.max_degree() + 1,
+        ),
+        coloring_spec(
+            "legal_coloring",
+            "[5]-style legal-coloring discipline (Algorithm 3)",
+            |gg, _| algos::legal_coloring::LegalColoring::new(gg.arboricity.max(1), 6),
+            |p, gg, ids| p.palette_bound(gg.graph.n() as u64, ids) as usize,
+        ),
+        coloring_spec_labelled(
+            "one_plus_eta",
+            "Thm 7.8: O(a^{1+η}) colors in O(log a · log log n) VA",
+            |name, p| {
+                if p.c == 0 {
+                    name.to_string()
+                } else {
+                    format!("one_plus_eta C={}", p.c)
+                }
+            },
+            |gg, params| {
+                let c = if params.c == 0 { 4 } else { params.c };
+                algos::one_plus_eta::OnePlusEtaArbCol::new(gg.arboricity, c)
+            },
+            |p, gg, ids| p.palette_bound(gg.graph.n() as u64, ids) as usize,
+        ),
+        coloring_spec(
+            "rand_delta_plus_one",
+            "Thm 9.1: Δ+1 colors in O(1) VA w.h.p.",
+            |_gg, _| rand_coloring::delta_plus_one::RandDeltaPlusOne::new(),
+            |p, gg, _ids| p.palette_on(&gg.graph) as usize,
+        )
+        .decay(0.9, 2, 32.0, 2),
+        coloring_spec(
+            "rand_a_loglog",
+            "Thm 9.2: O(a log log n) colors in O(1) VA w.h.p.",
+            |gg, _| rand_coloring::a_loglog::RandALogLog::new(gg.arboricity),
+            |p, gg, _ids| p.palette(gg.graph.n() as u64) as usize,
+        ),
+        coloring_spec(
+            "arb_color_baseline",
+            "[8] Arb-Color: O(a) colors, Θ(log n) WC",
+            |gg, _| algos::arb_color::ArbColor::new(gg.arboricity),
+            |p, _gg, _ids| p.palette() as usize,
+        ),
+        coloring_spec(
+            "arb_linial_oneshot",
+            "[8] one-shot Arb-Linial baseline",
+            |gg, _| baselines::ArbLinialOneShot::new(gg.arboricity),
+            |p, _gg, ids| p.family(ids).ground_size() as usize,
+        ),
+        coloring_spec(
+            "arb_linial_full",
+            "[8] full Arb-Linial: O(a) colors, Θ(log n) WC",
+            |gg, _| baselines::ArbLinialFull::new(gg.arboricity),
+            |p, _gg, ids| p.schedule(ids).final_palette() as usize,
+        ),
+        coloring_spec(
+            "global_linial",
+            "Linial's global coloring baseline",
+            |_gg, _| baselines::GlobalLinial::new(),
+            |p, gg, ids| p.palette(&gg.graph, ids) as usize,
+        ),
+        coloring_spec(
+            "global_linial_kw",
+            "Linial + KW reduction: Δ+1 colors, Θ(Δ + log* n) WC",
+            |_gg, _| baselines::GlobalLinialKw::new(),
+            |_p, gg, _ids| gg.graph.max_degree() + 1,
+        ),
+        // The §1.2 pipeline: coloring then census, as one protocol. Its
+        // coloring output is verified; it claims no palette cap.
+        spec_with_extract(
+            "color_then_census",
+            Problem::VertexColoring,
+            "§1.2 pipeline: 𝒜 (coloring) then ℬ (census), per-vertex start",
+            |gg, _| pipeline::ColorThenCensus::new(gg.arboricity, 4),
+            no_cap,
+            |_p, _g, out: &SimOutcome<pipeline::PipeOut>| {
+                Ok(Extracted {
+                    solution: Solution::VertexColors(out.outputs.iter().map(|o| o.color).collect()),
+                    commit: None,
+                })
+            },
+        ),
+        spec_with_extract(
+            "mis_extension",
+            Problem::Mis,
+            "§8: MIS in O(poly(a) + log* n) VA",
+            |gg, _| mis::MisExtension::new(gg.arboricity),
+            no_cap,
+            |_p, _g, out: &SimOutcome<bool>| {
+                Ok(Extracted {
+                    solution: Solution::InSet(out.outputs.clone()),
+                    commit: None,
+                })
+            },
+        ),
+        spec_with_extract(
+            "mis_luby",
+            Problem::Mis,
+            "Luby's randomized MIS baseline",
+            |_gg, _| mis::LubyMis,
+            no_cap,
+            |_p, _g, out: &SimOutcome<bool>| {
+                Ok(Extracted {
+                    solution: Solution::InSet(out.outputs.clone()),
+                    commit: None,
+                })
+            },
+        ),
+        spec_with_extract(
+            "edge_col_extension",
+            Problem::EdgeColoring,
+            "§8: (2Δ−1)-edge-coloring, commit metrics",
+            |gg, _| edge_coloring::EdgeColoringExtension::new(gg.arboricity),
+            |_p, gg: &GenGraph, _ids: &IdAssignment| {
+                edge_coloring::EdgeColoringExtension::palette(&gg.graph) as usize
+            },
+            |_p, g: &Graph, out| {
+                let (colors, commit) = edge_coloring::assemble(g, out)?;
+                Ok(Extracted {
+                    solution: Solution::EdgeColors(colors),
+                    commit: Some(commit),
+                })
+            },
+        ),
+        spec_with_extract(
+            "matching_extension",
+            Problem::MaximalMatching,
+            "§8: maximal matching, commit metrics",
+            |gg, _| matching::MatchingExtension::new(gg.arboricity),
+            no_cap,
+            |_p, g: &Graph, out| {
+                let (matched, commit) = matching::assemble(g, out)?;
+                Ok(Extracted {
+                    solution: Solution::Matched(matched),
+                    commit: Some(commit),
+                })
+            },
+        ),
+        spec_with_extract(
+            "forest_parallelized",
+            Problem::Forests,
+            "Thm 7.1: forest decomposition in O(1) VA",
+            |gg, _| forests::ParallelizedForestDecomposition::new(gg.arboricity),
+            no_cap,
+            |p: &forests::ParallelizedForestDecomposition, g: &Graph, out| {
+                let (labels, heads) = forests::assemble(g, &out.outputs)?;
+                Ok(Extracted {
+                    solution: Solution::Forest {
+                        labels,
+                        heads,
+                        claimed: p.cap(),
+                    },
+                    commit: None,
+                })
+            },
+        ),
+        spec_with_extract(
+            "forest_baseline",
+            Problem::Forests,
+            "worst-case forest-decomposition baseline",
+            |gg, _| forests::ForestDecompositionBaseline::new(gg.arboricity),
+            no_cap,
+            |_p, g: &Graph, out| {
+                let (labels, heads) = forests::assemble(g, &out.outputs)?;
+                Ok(Extracted {
+                    solution: Solution::Forest {
+                        labels,
+                        heads,
+                        claimed: 0,
+                    },
+                    commit: None,
+                })
+            },
+        ),
+    ]
+}
+
+/// Every registered algorithm, in stable enumeration order.
+pub fn all() -> &'static [AlgoSpec] {
+    static REGISTRY: OnceLock<Vec<AlgoSpec>> = OnceLock::new();
+    REGISTRY.get_or_init(build_registry)
+}
+
+/// Resolves an algorithm by registry name.
+pub fn find(name: &str) -> Option<&'static AlgoSpec> {
+    all().iter().find(|s| s.name == name)
+}
+
+/// Like [`find`] but panics with the known-name list — the right behavior
+/// for spec tables and binaries, where an unknown name is a wiring bug.
+pub fn get(name: &str) -> &'static AlgoSpec {
+    find(name).unwrap_or_else(|| {
+        let known: Vec<&str> = all().iter().map(|s| s.name).collect();
+        panic!("unknown algorithm `{name}` (known: {})", known.join(", "))
+    })
+}

@@ -1,0 +1,533 @@
+//! The declarative experiment layer: [`ExperimentSpec`] tables executed
+//! by one shared [`execute`] engine.
+//!
+//! Each harness binary (`table1`, `table2`, `figures`, `scenarios`,
+//! `ablations`) is now a data declaration — workload builders, algorithm
+//! names resolved from [`crate::registry`], sweep modifiers, and the
+//! [`Bound`] set — plus a single `execute` call that uniformly handles
+//! experiment filtering, trial sweeps, row/summary printing, JSON
+//! emission, `--list`, and tail bound enforcement. The suite tables
+//! themselves live in [`crate::suites`].
+
+use crate::registry::{self, Params, Problem};
+use crate::{
+    bounds, forest_workload, hub_workload, n_sweep, print_rows, print_summaries, summarize, Bound,
+    Cli, Row, SuiteResult, TrialSummary,
+};
+use graphcore::gen::GenGraph;
+use std::fmt;
+
+/// Hub degree for the `a ≪ Δ` hub workloads, as a function of `n` and the
+/// problem under test.
+///
+/// Coloring experiments (T1.7, T1.9) exist to show VA depending on the
+/// arboricity `a` rather than on `Δ`, so the hub degree grows unboundedly
+/// as `⌊√n⌋`. The extension-framework set/edge problems relay every hub
+/// edge through passive intermediate states, so their engine cost scales
+/// with `Δ · relays`; capping at `min(⌊√n⌋, 128)` keeps full-scale runs
+/// (n = 2^16) tractable while preserving `Δ ≫ a` by two orders of
+/// magnitude. The cap used to be applied inconsistently (T2.1 used a bare
+/// `√n` while T2.2/T2.3 capped at 128, with no stated reason); this
+/// function is now the single source of truth for every hub row.
+pub fn hub_degree_for(n: usize, problem: Problem) -> usize {
+    let sqrt = (n as f64).sqrt() as usize;
+    match problem {
+        Problem::VertexColoring => sqrt,
+        _ => sqrt.min(128),
+    }
+}
+
+/// A declarative workload: expanded into concrete [`GenGraph`]s by
+/// [`execute`] (over the standard `n` sweep unless pinned).
+#[derive(Clone, Debug)]
+pub enum WorkloadSpec {
+    /// `forest_union(n, a, seed)` for every `n` in the sweep × every `a`.
+    Forest {
+        /// Arboricities to cross with the `n` sweep.
+        arbs: &'static [usize],
+        /// Workload seed.
+        seed: u64,
+    },
+    /// `hub_workload(n, a, hub_degree_for(n, problem), seed)` for every
+    /// `n` in the sweep.
+    Hub {
+        /// Arboricity (≥ 2).
+        a: usize,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// A single `forest_union` at a fixed size (quick/full variants).
+    ForestAt {
+        /// Vertex count under `--quick`.
+        n_quick: usize,
+        /// Vertex count for full runs.
+        n_full: usize,
+        /// Arboricity.
+        a: usize,
+        /// Workload seed.
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Expands into concrete graphs, in deterministic order. `problem`
+    /// selects the hub degree policy (see [`hub_degree_for`]).
+    pub fn expand(&self, quick: bool, problem: Problem) -> Vec<GenGraph> {
+        match self {
+            WorkloadSpec::Forest { arbs, seed } => n_sweep(quick)
+                .into_iter()
+                .flat_map(|n| arbs.iter().map(move |&a| (n, a)))
+                .map(|(n, a)| forest_workload(n, a, *seed))
+                .collect(),
+            WorkloadSpec::Hub { a, seed } => n_sweep(quick)
+                .into_iter()
+                .map(|n| hub_workload(n, *a, hub_degree_for(n, problem), *seed))
+                .collect(),
+            WorkloadSpec::ForestAt {
+                n_quick,
+                n_full,
+                a,
+                seed,
+            } => {
+                let n = if quick { *n_quick } else { *n_full };
+                vec![forest_workload(n, *a, *seed)]
+            }
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpec::Forest { arbs, seed } => {
+                write!(f, "forest_union(n ∈ sweep, a ∈ {arbs:?}, seed {seed})")
+            }
+            WorkloadSpec::Hub { a, seed } => {
+                write!(f, "hub(n ∈ sweep, a={a}, Δ=hub_degree_for(n), seed {seed})")
+            }
+            WorkloadSpec::ForestAt {
+                n_quick,
+                n_full,
+                a,
+                seed,
+            } => write!(
+                f,
+                "forest_union(n={n_quick} quick / {n_full} full, a={a}, seed {seed})"
+            ),
+        }
+    }
+}
+
+/// How a run's [`Params`] are chosen per workload graph.
+#[derive(Clone, Debug)]
+pub enum ParamSpec {
+    /// One fixed parameter set.
+    Fixed(Params),
+    /// Sweep the segmentation parameter `k` over `2..=ρ(n)`.
+    KSweep,
+    /// Sweep the One-Plus-Eta constant `C` over the given values.
+    CSweep(&'static [usize]),
+}
+
+impl ParamSpec {
+    /// Concrete parameter sets for an `n`-vertex workload.
+    pub fn expand(&self, n: usize) -> Vec<Params> {
+        match self {
+            ParamSpec::Fixed(p) => vec![*p],
+            ParamSpec::KSweep => (2..=algos::itlog::rho(n as u64)).map(Params::k).collect(),
+            ParamSpec::CSweep(cs) => cs.iter().map(|&c| Params::c(c)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for ParamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamSpec::Fixed(p) if *p == Params::default() => Ok(()),
+            ParamSpec::Fixed(p) if p.c != 0 => write!(f, " C={}", p.c),
+            ParamSpec::Fixed(p) => write!(f, " k={}", p.k),
+            ParamSpec::KSweep => write!(f, " k ∈ 2..=ρ(n)"),
+            ParamSpec::CSweep(cs) => write!(f, " C ∈ {cs:?}"),
+        }
+    }
+}
+
+/// One `(experiment id, algorithm)` pairing inside an [`ExperimentSpec`],
+/// with optional per-run sweep modifiers.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Experiment id the produced rows carry (e.g. `"T1.4"`).
+    pub exp: &'static str,
+    /// Registry name of the algorithm (see [`registry::find`]).
+    pub algo: &'static str,
+    /// Parameter selection per workload.
+    pub params: ParamSpec,
+    /// Skip workload graphs larger than this (expensive baselines).
+    pub max_n: usize,
+    /// Minimum engine seeds under `--quick` (randomized headline rows).
+    pub min_seeds_quick: u64,
+    /// Minimum engine seeds for full runs.
+    pub min_seeds_full: u64,
+}
+
+impl RunSpec {
+    /// A run with default modifiers (full sweep, single parameter set).
+    pub fn new(exp: &'static str, algo: &'static str) -> RunSpec {
+        RunSpec {
+            exp,
+            algo,
+            params: ParamSpec::Fixed(Params::default()),
+            max_n: usize::MAX,
+            min_seeds_quick: 1,
+            min_seeds_full: 1,
+        }
+    }
+
+    /// Fix the segmentation parameter `k`.
+    pub fn k(mut self, k: u32) -> RunSpec {
+        self.params = ParamSpec::Fixed(Params::k(k));
+        self
+    }
+
+    /// Sweep `k` over `2..=ρ(n)` per workload.
+    pub fn ksweep(mut self) -> RunSpec {
+        self.params = ParamSpec::KSweep;
+        self
+    }
+
+    /// Sweep the One-Plus-Eta constant `C` over the given values.
+    pub fn csweep(mut self, cs: &'static [usize]) -> RunSpec {
+        self.params = ParamSpec::CSweep(cs);
+        self
+    }
+
+    /// Skip workloads with more than `n` vertices.
+    pub fn max_n(mut self, n: usize) -> RunSpec {
+        self.max_n = n;
+        self
+    }
+
+    /// Require at least `m` engine seeds in every mode (quick and full).
+    pub fn min_seeds(mut self, m: u64) -> RunSpec {
+        self.min_seeds_quick = m;
+        self.min_seeds_full = m;
+        self
+    }
+
+    /// Require at least `q` seeds under `--quick` and `f` otherwise.
+    pub fn min_seeds_qf(mut self, q: u64, f: u64) -> RunSpec {
+        self.min_seeds_quick = q;
+        self.min_seeds_full = f;
+        self
+    }
+}
+
+/// A custom experiment body: prints its own series, returns inline bound
+/// violations (empty = pass).
+pub type CustomFn = fn(&Cli) -> Vec<String>;
+
+/// A hook run over a spec's freshly produced rows (e.g. the F.5
+/// per-`n` aggregate print).
+pub type PostFn = fn(&Cli, &[Row]);
+
+/// How an experiment executes.
+pub enum SpecKind {
+    /// The standard declarative shape: workloads × runs × trials → rows,
+    /// summarized, JSON'd, and bound-checked by [`execute`].
+    Rows {
+        /// Workload builders, expanded in order.
+        workloads: Vec<WorkloadSpec>,
+        /// The `(exp, algo)` pairings to run.
+        runs: Vec<RunSpec>,
+        /// Bounds enforced over this spec's summaries (the global
+        /// all-valid / palette-within-cap checks are always added).
+        bounds: Vec<Bound>,
+        /// Optional post-processing over the produced rows.
+        post: Option<PostFn>,
+    },
+    /// A bespoke experiment (non-Row series like F.1/F.2, the §1.2
+    /// scenarios, engine ablations) with a descriptive listing entry.
+    Custom {
+        /// Algorithms involved (listing only).
+        algos: &'static str,
+        /// Workloads used (listing only).
+        workloads: &'static str,
+        /// Inline checks applied (listing only).
+        checks: &'static str,
+        /// The experiment body.
+        run: CustomFn,
+    },
+}
+
+/// One experiment in a suite's declaration table.
+pub struct ExperimentSpec {
+    /// Primary id (`--list` key; custom specs filter on it).
+    pub id: &'static str,
+    /// Human-readable title (row tables print it).
+    pub title: &'static str,
+    /// How it executes.
+    pub kind: SpecKind,
+}
+
+impl ExperimentSpec {
+    /// A standard rows spec.
+    pub fn rows(
+        id: &'static str,
+        title: &'static str,
+        workloads: Vec<WorkloadSpec>,
+        runs: Vec<RunSpec>,
+        bounds: Vec<Bound>,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            id,
+            title,
+            kind: SpecKind::Rows {
+                workloads,
+                runs,
+                bounds,
+                post: None,
+            },
+        }
+    }
+
+    /// Attach a post-processing hook to a rows spec.
+    pub fn with_post(mut self, f: PostFn) -> ExperimentSpec {
+        if let SpecKind::Rows { post, .. } = &mut self.kind {
+            *post = Some(f);
+        }
+        self
+    }
+
+    /// A custom-bodied spec.
+    pub fn custom(
+        id: &'static str,
+        title: &'static str,
+        algos: &'static str,
+        workloads: &'static str,
+        checks: &'static str,
+        run: CustomFn,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            id,
+            title,
+            kind: SpecKind::Custom {
+                algos,
+                workloads,
+                checks,
+                run,
+            },
+        }
+    }
+}
+
+/// Prints the `--list` report: every experiment id, its algorithms,
+/// workloads, and enforced bounds.
+fn print_list(suite: &str, specs: &[ExperimentSpec]) {
+    println!("{suite}: registered experiments\n");
+    for spec in specs {
+        println!("{} — {}", spec.id, spec.title);
+        match &spec.kind {
+            SpecKind::Rows {
+                workloads,
+                runs,
+                bounds,
+                ..
+            } => {
+                for w in workloads {
+                    println!("  workload:  {w}");
+                }
+                for r in runs {
+                    let algo = registry::get(r.algo);
+                    let mut mods = String::new();
+                    if r.max_n != usize::MAX {
+                        mods.push_str(&format!(" (n ≤ {})", r.max_n));
+                    }
+                    if r.min_seeds_quick > 1 || r.min_seeds_full > 1 {
+                        mods.push_str(&format!(
+                            " (seeds ≥ {}/{})",
+                            r.min_seeds_quick, r.min_seeds_full
+                        ));
+                    }
+                    println!(
+                        "  run:       {:<7} {}{}{} [{}] — {}",
+                        r.exp,
+                        r.algo,
+                        r.params,
+                        mods,
+                        algo.problem.label(),
+                        algo.bound
+                    );
+                }
+                for b in bounds {
+                    println!("  bound:     {b}");
+                }
+            }
+            SpecKind::Custom {
+                algos,
+                workloads,
+                checks,
+                ..
+            } => {
+                println!("  algos:     {algos}");
+                println!("  workload:  {workloads}");
+                println!("  checks:    {checks}");
+            }
+        }
+    }
+    println!("\nglobal bounds: all-valid, palette-within-cap");
+}
+
+/// Produces all rows for one `Rows`-kind spec, honoring per-run filters.
+fn rows_for(cli: &Cli, workloads: &[WorkloadSpec], runs: &[RunSpec]) -> Vec<Row> {
+    let selected: Vec<&RunSpec> = runs.iter().filter(|r| cli.wants(r.exp)).collect();
+    if selected.is_empty() || runs.is_empty() {
+        return Vec::new();
+    }
+    // All runs of a spec share the workload graphs; the hub-degree policy
+    // follows the problem of the spec's first run (specs never mix hub
+    // workloads across problems).
+    let problem = registry::get(runs[0].algo).problem;
+    let graphs: Vec<GenGraph> = workloads
+        .iter()
+        .flat_map(|w| w.expand(cli.quick, problem))
+        .collect();
+    let mut rows = Vec::new();
+    for run in selected {
+        let algo = registry::get(run.algo);
+        let min = if cli.quick {
+            run.min_seeds_quick
+        } else {
+            run.min_seeds_full
+        };
+        let sweep = cli.sweep_with_min_seeds(min);
+        for gg in graphs.iter().filter(|g| g.graph.n() <= run.max_n) {
+            for t in sweep.trials() {
+                for params in run.params.expand(gg.graph.n()) {
+                    rows.push(algo.run(run.exp, gg, params, t));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// The shared suite engine: executes every selected experiment of the
+/// declaration table, prints rows and summaries, writes JSON when asked,
+/// and enforces the collected bounds (exiting nonzero on violation).
+/// `--list` prints the table instead and exits 0.
+pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> SuiteResult {
+    if cli.list {
+        print_list(suite, specs);
+        std::process::exit(0);
+    }
+    let mut all_rows: Vec<Row> = Vec::new();
+    let mut inline: Vec<String> = Vec::new();
+    let mut active_bounds: Vec<Bound> = vec![Bound::AllValid, Bound::PaletteWithinCap];
+    for spec in specs {
+        match &spec.kind {
+            SpecKind::Rows {
+                workloads,
+                runs,
+                bounds,
+                post,
+            } => {
+                let rows = rows_for(cli, workloads, runs);
+                if rows.is_empty() {
+                    continue;
+                }
+                print_rows(spec.title, &rows);
+                if let Some(post) = post {
+                    post(cli, &rows);
+                }
+                active_bounds.extend(bounds.iter().cloned());
+                all_rows.extend(rows);
+            }
+            SpecKind::Custom { run, .. } => {
+                if cli.wants(spec.id) {
+                    inline.extend(run(cli));
+                }
+            }
+        }
+    }
+    let summaries: Vec<TrialSummary> = summarize(&all_rows);
+    if !summaries.is_empty() {
+        print_summaries(
+            &format!("{suite} summary (per experiment configuration)"),
+            &summaries,
+        );
+    }
+    let result = SuiteResult::new(
+        suite,
+        cli.quick,
+        cli.seeds,
+        cli.id_mode_labels(),
+        summaries.clone(),
+    );
+    if let Some(path) = &cli.json {
+        result.write(path).expect("write results JSON");
+        println!("results written to {}", path.display());
+    }
+    if !inline.is_empty() {
+        eprintln!("\n[{suite}] INLINE BOUND VIOLATIONS:");
+        for v in &inline {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    bounds::enforce(suite, &active_bounds, &summaries);
+    result
+}
+
+/// Renders the per-experiment index for EXPERIMENTS.md from the suite
+/// declaration tables — the generated block between the
+/// `BEGIN/END GENERATED EXPERIMENT INDEX` markers. A test asserts the
+/// committed file matches, so the index cannot drift from the specs.
+pub fn render_index(suites: &[(&'static str, Vec<ExperimentSpec>)]) -> String {
+    let mut out = String::new();
+    out.push_str("| id | suite | experiment | runs | workloads | bounds |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for (suite, specs) in suites {
+        for spec in specs {
+            let (runs, workloads, checks) = match &spec.kind {
+                SpecKind::Rows {
+                    workloads,
+                    runs,
+                    bounds,
+                    ..
+                } => {
+                    let runs = runs
+                        .iter()
+                        .map(|r| format!("{}: {}{}", r.exp, r.algo, r.params))
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    let workloads = workloads
+                        .iter()
+                        .map(|w| w.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    let checks = if bounds.is_empty() {
+                        "—".to_string()
+                    } else {
+                        bounds
+                            .iter()
+                            .map(|b| b.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    };
+                    (runs, workloads, checks)
+                }
+                SpecKind::Custom {
+                    algos,
+                    workloads,
+                    checks,
+                    ..
+                } => (algos.to_string(), workloads.to_string(), checks.to_string()),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                spec.id, suite, spec.title, runs, workloads, checks
+            ));
+        }
+    }
+    out
+}

@@ -2,10 +2,8 @@
 //! determinism under the seed × ID-assignment sweep, palette-cap
 //! enforcement end-to-end, and the JSON results round-trip through disk.
 
-use benchharness::{
-    bounds, coloring_row, forest_workload, run_coloring, summarize, Bound, IdMode, SuiteResult,
-    Sweep, Trial,
-};
+use benchharness::registry::{self, Params, Problem, Solution};
+use benchharness::{bounds, forest_workload, summarize, Bound, IdMode, SuiteResult, Sweep, Trial};
 use graphcore::verify;
 use simlocal::{RunConfig, Runner};
 
@@ -21,7 +19,7 @@ fn same_seed_different_ids_valid_but_distinct_metrics() {
         let trial = Trial { seed: 7, id_mode };
         // delta_plus_one's in-set slot order is ID-driven, so its
         // per-vertex termination rounds are ID-sensitive.
-        let row = coloring_row("det", "delta_plus_one", &gg, 0, &trial);
+        let row = registry::get("delta_plus_one").run("det", &gg, Params::default(), &trial);
         assert!(row.valid, "invalid under {} IDs", id_mode.label());
         assert_eq!(row.n, 600);
         metric_tuples.push((row.va.to_bits(), row.wc, row.median, row.p95));
@@ -62,25 +60,46 @@ fn identical_seed_and_ids_are_bit_identical() {
     assert!(verify::proper_vertex_coloring(&gg.graph, &a.outputs, usize::MAX).is_ok());
 }
 
-/// Threading a deliberately-too-small cap through `run_coloring` must
-/// mark the row invalid, and the bound checks must then reject the
-/// summary — the satellite bugfix for the old `usize::MAX` validation.
+/// A deliberately-too-small cap must fail the single `verify_output`
+/// path, and a row carrying that verdict must be rejected by the bound
+/// checks — the satellite bugfix for the old `usize::MAX` validation,
+/// now exercised through the registry's one verifier.
 #[test]
 fn too_small_palette_cap_fails_verification_and_bounds() {
     let gg = forest_workload(300, 2, 5);
-    let p = algos::coloring::a2logn::ColoringA2LogN::new(2);
     let trial = Trial::identity(0);
-    let row = run_coloring("capcheck", "a2logn", &p, &gg, &trial, |_| 2);
-    assert!(!row.valid, "a 2-color cap cannot hold for this workload");
-    assert!(row.colors > row.cap);
-    let summaries = summarize(&[row]);
+    // The honest cap passes through the registry's erased run path.
+    let good = registry::get("a2logn").run("capcheck", &gg, Params::default(), &trial);
+    assert!(good.valid);
+    assert!(good.colors <= good.cap);
+
+    // The same output judged against a 2-color cap must be rejected by
+    // the single verification path.
+    let p = algos::coloring::a2logn::ColoringA2LogN::new(2);
+    let ids = trial.ids(gg.graph.n());
+    let out = Runner::new(&p, &gg.graph, &ids)
+        .config(RunConfig::seeded(trial.seed))
+        .run()
+        .expect("terminates");
+    let verdict = Problem::VertexColoring.verify_output(
+        &gg.graph,
+        &Solution::VertexColors(out.outputs.clone()),
+        2,
+    );
+    assert!(
+        !verdict.valid,
+        "a 2-color cap cannot hold for this workload"
+    );
+    assert!(verdict.colors > 2);
+
+    // A row carrying that verdict fails both tail bounds.
+    let mut bad = good.clone();
+    bad.valid = verdict.valid;
+    bad.colors = verdict.colors;
+    bad.cap = 2;
+    let summaries = summarize(&[bad]);
     assert!(!Bound::AllValid.violations(&summaries).is_empty());
     assert!(!Bound::PaletteWithinCap.violations(&summaries).is_empty());
-    // The honest cap passes.
-    let good = run_coloring("capcheck", "a2logn", &p, &gg, &trial, |ids| {
-        p.palette(ids) as usize
-    });
-    assert!(good.valid);
     let summaries = summarize(&[good]);
     assert!(bounds::check(&[Bound::AllValid, Bound::PaletteWithinCap], &summaries).is_empty());
 }
@@ -91,7 +110,7 @@ fn too_small_palette_cap_fails_verification_and_bounds() {
 fn results_round_trip_through_disk() {
     let gg = forest_workload(256, 2, 6);
     let sweep = Sweep::new(2, &[IdMode::Identity, IdMode::Adversarial]);
-    let rows = sweep.rows(|t| coloring_row("RT", "a2logn", &gg, 0, t));
+    let rows = sweep.rows(|t| registry::get("a2logn").run("RT", &gg, Params::default(), t));
     assert_eq!(rows.len(), 4);
     let summaries = summarize(&rows);
     assert_eq!(summaries.len(), 1);
@@ -126,7 +145,8 @@ fn results_round_trip_through_disk() {
 fn sweep_provenance_and_spread() {
     let gg = forest_workload(400, 2, 8);
     let sweep = Sweep::new(3, &[IdMode::Identity]);
-    let rows = sweep.rows(|t| coloring_row("SP", "rand_delta_plus_one", &gg, 0, t));
+    let rows =
+        sweep.rows(|t| registry::get("rand_delta_plus_one").run("SP", &gg, Params::default(), t));
     assert_eq!(
         rows.iter().map(|r| r.seed).collect::<Vec<_>>(),
         vec![0, 1, 2]

@@ -1,0 +1,30 @@
+//! Drift guard for the per-experiment index in `EXPERIMENTS.md`: the
+//! committed index block must byte-match `spec::render_index` over the
+//! actual suite tables, so the docs cannot fall out of sync with the
+//! declarations the binaries execute.
+
+use benchharness::{spec, suites};
+
+const BEGIN: &str =
+    "<!-- BEGIN GENERATED EXPERIMENT INDEX (regenerate: see test experiment_index) -->";
+const END: &str = "<!-- END GENERATED EXPERIMENT INDEX -->";
+
+#[test]
+fn experiments_md_index_matches_spec_tables() {
+    let rendered = spec::render_index(&suites::all_suites());
+    let md = include_str!("../../../EXPERIMENTS.md");
+    let start = md
+        .find(BEGIN)
+        .expect("EXPERIMENTS.md is missing the BEGIN GENERATED EXPERIMENT INDEX marker")
+        + BEGIN.len();
+    let stop = md
+        .find(END)
+        .expect("EXPERIMENTS.md is missing the END GENERATED EXPERIMENT INDEX marker");
+    let committed = md[start..stop].trim();
+    assert_eq!(
+        committed,
+        rendered.trim(),
+        "EXPERIMENTS.md index drifted from bench::suites; paste this \
+         between the markers:\n\n{rendered}"
+    );
+}

@@ -111,15 +111,32 @@ pub struct NeighborView<'a, S> {
 }
 
 impl<'a, S> NeighborView<'a, S> {
+    /// Debug-only locality guard: in the LOCAL model a vertex may only
+    /// read itself and its direct neighbors, but `states` spans the whole
+    /// graph, so nothing stops a protocol from peeking further. Panics in
+    /// debug builds if `u` is neither `self.v` nor one of its neighbors;
+    /// compiled out in release builds so the hot loop is unaffected.
+    #[inline]
+    fn assert_local(&self, u: VertexId) {
+        debug_assert!(
+            u == self.v || self.graph.neighbors(self.v).contains(&u),
+            "LOCAL-model violation: vertex {} read non-neighbor {}",
+            self.v,
+            u
+        );
+    }
+
     /// Previous-round state of an arbitrary vertex (normally a neighbor).
     #[inline]
     pub fn state_of(&self, u: VertexId) -> &'a S {
+        self.assert_local(u);
         &self.states[u as usize]
     }
 
     /// Whether `u` had terminated before this round began.
     #[inline]
     pub fn is_terminated(&self, u: VertexId) -> bool {
+        self.assert_local(u);
         self.terminated[u as usize]
     }
 
@@ -184,5 +201,25 @@ mod tests {
         assert_eq!(view.active_degree(), 1);
         assert!(view.is_terminated(0));
         assert_eq!(*view.state_of(2), 30);
+        // Self-reads are always legal.
+        assert_eq!(*view.state_of(1), 20);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "locality guard is debug-only")]
+    #[should_panic(expected = "LOCAL-model violation")]
+    fn non_neighbor_read_panics_in_debug() {
+        let g = gen::path(4);
+        let states = vec![0u32; 4];
+        let terminated = vec![false; 4];
+        let view = NeighborView {
+            graph: &g,
+            v: 0,
+            states: &states,
+            terminated: &terminated,
+        };
+        // Vertex 3 is two hops from vertex 0 on a path — reading it
+        // breaks the LOCAL model and must trip the debug guard.
+        let _ = view.state_of(3);
     }
 }

@@ -1,12 +1,11 @@
 //! Smoke tests over the benchmark harness pathways used by the table
 //! binaries — every algorithm name the harness knows must run, validate
 //! against its claimed palette cap, and produce sane metrics on a small
-//! workload, under every ID-assignment mode.
+//! workload, under every ID-assignment mode. Algorithms are resolved
+//! from the registry, so the list here doubles as a name-stability check.
 
-use benchharness::{
-    coloring_row, forest_workload, hub_workload, run_edge_coloring_ext, run_forest_baseline,
-    run_forest_fast, run_matching_ext, run_mis_ext, run_mis_luby, IdMode, Trial,
-};
+use benchharness::registry::{self, Params};
+use benchharness::{forest_workload, hub_workload, IdMode, Trial};
 
 const ALL_COLORINGS: &[&str] = &[
     "a2logn",
@@ -34,7 +33,7 @@ fn every_harness_coloring_name_runs_and_validates() {
     for id_mode in IdMode::ALL {
         let trial = Trial { seed: 1, id_mode };
         for name in ALL_COLORINGS {
-            let row = coloring_row("smoke", name, &gg, 2, &trial);
+            let row = registry::get(name).run("smoke", &gg, Params::k(2), &trial);
             let lbl = id_mode.label();
             assert!(row.valid, "{name} invalid under {lbl} IDs");
             assert!(row.va >= 1.0, "{name} VA below one round under {lbl} IDs");
@@ -62,14 +61,15 @@ fn every_harness_coloring_name_runs_and_validates() {
 fn set_problem_runners_on_hub_workload() {
     let hub = hub_workload(400, 2, 20, 12);
     let t = Trial::identity(0);
-    for row in [
-        run_mis_ext("smoke", &hub, &t),
-        run_mis_luby("smoke", &hub, &t),
-        run_matching_ext("smoke", &hub, &t),
-        run_edge_coloring_ext("smoke", &hub, &t),
-        run_forest_fast("smoke", &hub, &t),
-        run_forest_baseline("smoke", &hub, &t),
+    for name in [
+        "mis_extension",
+        "mis_luby",
+        "matching_extension",
+        "edge_col_extension",
+        "forest_parallelized",
+        "forest_baseline",
     ] {
+        let row = registry::get(name).run("smoke", &hub, Params::default(), &t);
         assert!(row.valid, "{} invalid on hub workload", row.algo);
         assert_eq!(row.a, 2, "rows must report the realized arboricity");
     }
@@ -81,8 +81,8 @@ fn headline_rows_ordering_at_small_scale() {
     // beats the classical one-shot on vertex-average by a wide margin.
     let gg = forest_workload(1024, 2, 13);
     let t = Trial::identity(0);
-    let fast = coloring_row("T1.4", "a2logn", &gg, 0, &t);
-    let slow = coloring_row("T1.4b", "arb_linial_oneshot", &gg, 0, &t);
+    let fast = registry::get("a2logn").run("T1.4", &gg, Params::default(), &t);
+    let slow = registry::get("arb_linial_oneshot").run("T1.4b", &gg, Params::default(), &t);
     assert!(fast.valid && slow.valid);
     assert!(
         fast.va * 3.0 < slow.va,
@@ -97,8 +97,9 @@ fn headline_rows_ordering_at_small_scale() {
 #[test]
 fn randomized_rows_vary_with_seed_but_stay_valid() {
     let gg = forest_workload(512, 2, 14);
-    let a = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, &Trial::identity(1));
-    let b = coloring_row("T1.8", "rand_delta_plus_one", &gg, 0, &Trial::identity(2));
+    let spec = registry::get("rand_delta_plus_one");
+    let a = spec.run("T1.8", &gg, Params::default(), &Trial::identity(1));
+    let b = spec.run("T1.8", &gg, Params::default(), &Trial::identity(2));
     assert!(a.valid && b.valid);
     assert!(
         (a.va - b.va).abs() > 1e-9 || a.wc != b.wc,
