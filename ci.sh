@@ -15,6 +15,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
+echo "== cargo build --examples"
+# The examples are the public face of the library API; they must keep
+# compiling against the Protocol / message-layer surface.
+cargo build --examples -q
+
 echo "== --list on every suite binary (spec tables resolve and print)"
 # --list resolves every declared experiment against the algorithm
 # registry and exits 0; a missing algorithm name or malformed spec
@@ -54,5 +59,11 @@ echo "== trace smoke: export + self-validate JSONL and Chrome-trace"
     --out target/ci-trace > /dev/null
 test -s target/ci-trace/trace.jsonl
 test -s target/ci-trace/trace.chrome.json
+
+echo "== congest audit: per-algorithm message-width claims"
+# Runs every registry algorithm once and checks each declared CONGEST
+# width claim (max message ≤ c·log₂ n bits) against the engine's
+# measured widest message; exits nonzero if any claim is violated.
+./target/release/trace --congest-audit --n 2048 --a 2 --seed 1 > /dev/null
 
 echo "CI gate passed."

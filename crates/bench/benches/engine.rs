@@ -15,22 +15,29 @@ use simlocal::{run_reference, Protocol, Runner, StepCtx, Transition};
 /// `v` terminates in round `1 + trailing_zeros(v+1)`, so half the graph
 /// leaves every round — RoundSum ≈ 2n against a Θ(log n) worst case.
 /// The state size makes the dense engine's per-round full-buffer clone
-/// visible; the sparse engine never touches retired vertices.
+/// visible; the sparse engine never touches retired vertices. Only the
+/// first lane is neighbor-visible, so the published message is a single
+/// u64 — a 4× state-to-wire trim the message layer makes explicit.
 struct GeomDecay;
 
 impl Protocol for GeomDecay {
     type State = [u64; 4];
+    type Msg = u64;
     type Output = u64;
 
     fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> [u64; 4] {
         [ids.id(v), 0, 0, 0]
     }
 
-    fn step(&self, ctx: StepCtx<'_, [u64; 4]>) -> Transition<[u64; 4], u64> {
+    fn publish(&self, state: &[u64; 4]) -> u64 {
+        state[0]
+    }
+
+    fn step(&self, ctx: StepCtx<'_, [u64; 4], u64>) -> Transition<[u64; 4], u64> {
         let best = ctx
             .view
             .neighbors()
-            .map(|(_, s)| s[0])
+            .map(|(_, &m)| m)
             .chain([ctx.state[0]])
             .max()
             .unwrap();

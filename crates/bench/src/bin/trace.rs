@@ -23,9 +23,14 @@
 //! Exits nonzero if any check fails, so CI can use a small run as a smoke
 //! test of the whole observability layer.
 //!
+//! `--congest-audit` instead runs *every* registered algorithm once on a
+//! small forest workload and reports its widest published message against
+//! the CONGEST budget `c·log₂ n` bits, enforcing the registry's
+//! `AlgoSpec::congest` claims (exit nonzero on a violated claim).
+//!
 //! Usage: `trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR]
-//! [--parallel] [--list]` with NAME any registry name (default
-//! `rand_delta_plus_one`); `--list` prints the registry and exits.
+//! [--parallel] [--list] [--congest-audit]` with NAME any registry name
+//! (default `rand_delta_plus_one`); `--list` prints the registry and exits.
 
 use benchharness::bounds::geometric_decay_violations;
 use benchharness::registry::{self, Params, TracedRun};
@@ -44,6 +49,7 @@ struct Args {
     out: PathBuf,
     parallel: bool,
     list: bool,
+    congest_audit: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("target/trace"),
         parallel: false,
         list: false,
+        congest_audit: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -67,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--parallel" => args.parallel = true,
             "--list" => args.list = true,
+            "--congest-audit" => args.congest_audit = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -80,11 +88,23 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR] \
-                 [--parallel] [--list]"
+                 [--parallel] [--list] [--congest-audit]"
             );
             exit(2);
         }
     };
+    if args.congest_audit {
+        let failures = congest_audit(&args);
+        if !failures.is_empty() {
+            eprintln!("\n[congest-audit] FAILURES:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            exit(1);
+        }
+        println!("\n[congest-audit] all width claims hold");
+        return;
+    }
     if args.list {
         println!("trace: registered algorithms\n");
         for spec in registry::all() {
@@ -148,6 +168,10 @@ fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
     println!(
         "  rounds {}  RoundSum {}  VA {:.3}  WC {}",
         stats.rounds, stats.steps, row.va, row.wc
+    );
+    println!(
+        "  wire: {} bits total ({:.1} bits/vertex, widest message {} bits)",
+        stats.msg_bits, row.avg_msg_bits, stats.max_msg_bits
     );
     println!("  per-phase breakdown (phase, RoundSum, VA share, terminations):");
     for (phase, round_sum, terms) in breakdown.rows() {
@@ -237,6 +261,64 @@ fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
 
 fn io_buf(f: fs::File) -> std::io::BufWriter<fs::File> {
     std::io::BufWriter::new(f)
+}
+
+/// Runs every registered algorithm once on a small forest workload and
+/// reports its widest published message against the CONGEST budget
+/// `c·log₂ n` bits. Algorithms with a registry width claim
+/// (`AlgoSpec::congest`) are enforced — a wider message is a failure;
+/// unclaimed algorithms (whose payloads scale with the degree or a
+/// recursion prefix) are reported for context only.
+fn congest_audit(args: &Args) -> Vec<String> {
+    let n = args.n.min(4096);
+    let a = args.a.max(2);
+    let gg = forest_workload(n, a, args.seed);
+    let trial = Trial::identity(args.seed);
+    let log2n = (n.max(2) as f64).log2();
+    println!(
+        "congest-audit: forest_union (n={n}, a={a}, seed={}), budget unit log₂n = {log2n:.1} bits",
+        args.seed
+    );
+    println!(
+        "{:<22} {:>8} {:>12} {:>8} {:>9}  verdict",
+        "algo", "max_bits", "avg_bits/v", "eff_c", "claimed_c"
+    );
+    let mut failures = Vec::new();
+    for spec in registry::all() {
+        // The segmentation schemes need a concrete k; everything else
+        // runs with its defaults (mirrors the registry smoke tests).
+        let params = match spec.name {
+            "ka" | "ka2" => Params::k(2),
+            _ => Params::default(),
+        };
+        let row = spec.run("audit", &gg, params, &trial);
+        let eff_c = row.max_msg_bits as f64 / log2n;
+        let (claimed, verdict) = match spec.congest {
+            Some(c) => {
+                let limit = c * log2n;
+                if row.max_msg_bits as f64 > limit {
+                    failures.push(format!(
+                        "{}: widest message {} bits exceeds the claimed CONGEST \
+                         width {c}·log₂n = {limit:.1} bits",
+                        spec.name, row.max_msg_bits
+                    ));
+                    (format!("{c}"), "VIOLATED")
+                } else {
+                    (format!("{c}"), "ok")
+                }
+            }
+            None => ("—".to_string(), "unclaimed (LOCAL)"),
+        };
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>8.2} {:>9}  {}",
+            spec.name, row.max_msg_bits, row.avg_msg_bits, eff_c, claimed, verdict
+        );
+        println!(
+            "#congest,{},{},{:.2},{:.2},{}",
+            spec.name, row.max_msg_bits, row.avg_msg_bits, eff_c, claimed
+        );
+    }
+    failures
 }
 
 /// Re-reads the JSONL export: every line parses, and the per-kind event

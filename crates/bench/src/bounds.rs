@@ -43,6 +43,19 @@ pub enum Bound {
         /// Experiment id prefix the bound applies to.
         exp: &'static str,
     },
+    /// For experiment `exp`, the widest published message must fit the
+    /// CONGEST model: `max_msg_bits_max ≤ c·log₂ n` wire bits. Declared
+    /// per algorithm in the registry (`AlgoSpec::congest`) and auto-wired
+    /// onto each selected run by `spec::execute`.
+    CongestWidth {
+        /// Experiment id prefix the bound applies to.
+        exp: &'static str,
+        /// Algorithm label the claim belongs to (experiments may mix
+        /// algorithms with different width claims).
+        algo: &'static str,
+        /// Allowed multiple of `log₂ n` bits.
+        c: f64,
+    },
     /// For experiment `exp`, the recorded mean active-set series must decay
     /// geometrically in the Lemma 6.1 sense: once per `stride`-round window,
     /// the active count must shrink by at least `ratio` relative to the
@@ -73,6 +86,9 @@ impl std::fmt::Display for Bound {
                 write!(f, "{exp}: va(max n) ≤ {factor}·va(min n) + {slack}")
             }
             Bound::VaGrowing { exp } => write!(f, "{exp}: va must grow with n"),
+            Bound::CongestWidth { exp, algo, c } => {
+                write!(f, "{exp}/{algo}: max message ≤ {c}·log₂(n) bits (CONGEST)")
+            }
             Bound::ActiveDecay {
                 exp,
                 ratio,
@@ -125,6 +141,13 @@ pub fn geometric_decay_violations(
 
 fn matches_exp(s: &TrialSummary, exp: &str) -> bool {
     s.exp == exp || s.exp.starts_with(&format!("{exp}."))
+}
+
+/// A summary belongs to an algorithm claim if its label is the algorithm
+/// name itself or a parameterized variant of it (`ka` matches `ka:k2` —
+/// sweep labels suffix the registry name with `:<params>`).
+fn matches_algo(s: &TrialSummary, algo: &str) -> bool {
+    s.algo == algo || s.algo.starts_with(&format!("{algo}:"))
 }
 
 /// Smallest-`n` and largest-`n` summary per `(algo, family, a)` group of
@@ -211,6 +234,21 @@ impl Bound {
                     }
                 }
             }
+            Bound::CongestWidth { exp, algo, c } => {
+                for s in summaries
+                    .iter()
+                    .filter(|s| matches_exp(s, exp) && matches_algo(s, algo))
+                {
+                    let limit = c * (s.n.max(2) as f64).log2();
+                    if s.max_msg_bits_max as f64 > limit {
+                        out.push(format!(
+                            "{}/{} n={}: widest message {} bits exceeds the CONGEST \
+                             width {c}·log₂(n) = {limit:.1} bits",
+                            s.exp, s.algo, s.n, s.max_msg_bits_max
+                        ));
+                    }
+                }
+            }
             Bound::ActiveDecay {
                 exp,
                 ratio,
@@ -282,6 +320,8 @@ mod tests {
             wc: Stats::from_samples(&[4.0]),
             p95: Stats::from_samples(&[3.0]),
             wall_ms: Stats::from_samples(&[1.0]),
+            avg_msg_bits: Stats::from_samples(&[64.0]),
+            max_msg_bits_max: 34,
             active_decay: Vec::new(),
             phases: Vec::new(),
         }
@@ -373,6 +413,43 @@ mod tests {
         let two_round_phases = [1000.0, 1000.0, 400.0, 400.0, 160.0, 160.0];
         assert!(!geometric_decay_violations("p", &two_round_phases, 0.6, 1, 4.0, 0).is_empty());
         assert!(geometric_decay_violations("p", &two_round_phases, 0.6, 2, 4.0, 0).is_empty());
+    }
+
+    #[test]
+    fn congest_width_bound() {
+        // n = 1024 → log₂ n = 10; the helper's widest message is 34 bits.
+        let s = summary("T1.4", 1024, 2.0);
+        let loose = Bound::CongestWidth {
+            exp: "T1.4",
+            algo: "algo",
+            c: 4.0,
+        };
+        assert!(loose.violations(std::slice::from_ref(&s)).is_empty());
+        let tight = Bound::CongestWidth {
+            exp: "T1.4",
+            algo: "algo",
+            c: 3.0,
+        };
+        assert_eq!(tight.violations(std::slice::from_ref(&s)).len(), 1);
+        // Other experiments are exempt, and prefix matching holds.
+        let other = summary("T2.1", 1024, 2.0);
+        assert!(tight.violations(&[other]).is_empty());
+        let dotted = summary("T1.4.x", 1024, 2.0);
+        assert_eq!(tight.violations(&[dotted]).len(), 1);
+        // A different algorithm sharing the experiment is exempt: the
+        // claim binds only the algorithm it was declared on.
+        let mut foreign = summary("T1.4", 1024, 2.0);
+        foreign.algo = "other_algo".into();
+        assert!(tight.violations(&[foreign]).is_empty());
+        // …but parameterized sweep labels of the claimed algorithm are
+        // bound ("algo:k2" is still `algo`), and name-prefix collisions
+        // ("algo2") are not.
+        let mut swept = summary("T1.4", 1024, 2.0);
+        swept.algo = "algo:k2".into();
+        assert_eq!(tight.violations(&[swept]).len(), 1);
+        let mut collided = summary("T1.4", 1024, 2.0);
+        collided.algo = "algo2".into();
+        assert!(tight.violations(&[collided]).is_empty());
     }
 
     #[test]

@@ -82,6 +82,15 @@ pub struct Row {
     pub wall_ms: f64,
     /// States published by the engine (equals the run's RoundSum).
     pub pubs: u64,
+    /// Total wire bits across every published message
+    /// ([`simlocal::WireSize`] accounting).
+    pub msg_bits: u64,
+    /// Wire bits per vertex (`msg_bits / n`) — the communication analogue
+    /// of the vertex-averaged round complexity.
+    pub avg_msg_bits: f64,
+    /// Largest single published message, in wire bits — the CONGEST-width
+    /// witness ([`Bound::CongestWidth`] checks it against `c·log₂ n`).
+    pub max_msg_bits: u64,
     /// The algorithm's claimed palette cap the output was verified
     /// against (`usize::MAX` for set problems with no palette).
     pub cap: usize,
@@ -128,6 +137,9 @@ impl Row {
             valid,
             wall_ms: 0.0,
             pubs: 0,
+            msg_bits: 0,
+            avg_msg_bits: 0.0,
+            max_msg_bits: 0,
             cap: usize::MAX,
             seed: 0,
             ids: "identity",
@@ -136,10 +148,14 @@ impl Row {
         }
     }
 
-    /// Attaches the engine's wall-time and publication telemetry.
+    /// Attaches the engine's wall-time, publication, and wire-size
+    /// telemetry.
     pub fn with_stats(mut self, stats: &EngineStats) -> Row {
         self.wall_ms = stats.wall.as_secs_f64() * 1e3;
         self.pubs = stats.publications;
+        self.msg_bits = stats.msg_bits;
+        self.avg_msg_bits = stats.msg_bits as f64 / self.n.max(1) as f64;
+        self.max_msg_bits = stats.max_msg_bits;
         self
     }
 
@@ -181,7 +197,7 @@ pub fn harness_observer<P: Protocol>(p: &P) -> Tee<Telemetry, PhaseBreakdown> {
 pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
     println!(
-        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9} {:>10} {:>5} {:<11}",
+        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9} {:>10} {:>11} {:>7} {:>5} {:<11}",
         "exp",
         "algo",
         "family",
@@ -195,12 +211,14 @@ pub fn print_rows(title: &str, rows: &[Row]) {
         "valid",
         "wall_ms",
         "pubs",
+        "avg_msg_bits",
+        "max_mb",
         "seed",
         "ids"
     );
     for r in rows {
         println!(
-            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9.3} {:>10} {:>5} {:<11}",
+            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9.3} {:>10} {:>11.1} {:>7} {:>5} {:<11}",
             r.exp,
             r.algo,
             r.family,
@@ -214,13 +232,15 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.valid,
             r.wall_ms,
             r.pubs,
+            r.avg_msg_bits,
+            r.max_msg_bits,
             r.seed,
             r.ids
         );
     }
     for r in rows {
         println!(
-            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{},{:.4},{},{},{}",
+            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{},{:.4},{},{},{},{:.2},{}",
             r.exp,
             r.algo,
             r.family,
@@ -235,7 +255,9 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.wall_ms,
             r.pubs,
             r.seed,
-            r.ids
+            r.ids,
+            r.avg_msg_bits,
+            r.max_msg_bits
         );
     }
 }

@@ -238,6 +238,13 @@ pub struct AlgoSpec {
     pub bound: &'static str,
     /// Geometric active-set decay claim, where the paper makes one.
     pub decay: Option<DecayClaim>,
+    /// CONGEST-width claim: the widest message this algorithm ever
+    /// publishes fits in `c·log₂ n` wire bits. `None` for algorithms whose
+    /// messages scale with the degree (the extension-framework `Run`
+    /// payloads) or with a recursion prefix — those are LOCAL-only.
+    /// `spec::execute` turns the claim into a [`crate::Bound::CongestWidth`]
+    /// check on every selected run.
+    pub congest: Option<f64>,
     algo: Box<dyn ErasedAlgo>,
 }
 
@@ -280,6 +287,12 @@ impl AlgoSpec {
             floor,
             grace,
         });
+        self
+    }
+
+    /// Declare that every message fits in `c·log₂ n` wire bits (CONGEST).
+    fn congest(mut self, c: f64) -> AlgoSpec {
+        self.congest = Some(c);
         self
     }
 }
@@ -466,6 +479,7 @@ where
         problem: Problem::VertexColoring,
         bound,
         decay: None,
+        congest: None,
         algo: Box::new(Algo {
             name,
             problem: Problem::VertexColoring,
@@ -504,6 +518,7 @@ where
         problem,
         bound,
         decay: None,
+        congest: None,
         algo: Box::new(Algo {
             name,
             problem,
@@ -533,19 +548,22 @@ fn build_registry() -> Vec<AlgoSpec> {
             |gg, _| coloring::a2logn::ColoringA2LogN::new(gg.arboricity),
             |p, _gg, ids| p.palette(ids) as usize,
         )
-        .decay(0.5, 1, 8.0, 1),
+        .decay(0.5, 1, 8.0, 1)
+        .congest(4.0),
         coloring_spec(
             "a2_loglog",
             "Thm 7.6: O(a² log n) colors in O(log log n) VA",
             |gg, _| coloring::a2_loglog::ColoringA2LogLog::new(gg.arboricity),
             |p, _gg, ids| p.palette(ids) as usize,
-        ),
+        )
+        .congest(10.0),
         coloring_spec(
             "oa_recolor",
             "Thm 7.7: O(a) colors via recoloring",
             |gg, _| coloring::oa_recolor::ColoringOaRecolor::new(gg.arboricity),
             |p, _gg, _ids| p.palette() as usize,
-        ),
+        )
+        .congest(17.0),
         // k-parameterized algorithms carry k in the label so sweeps over k
         // summarize as distinct configurations.
         coloring_spec_labelled(
@@ -554,32 +572,37 @@ fn build_registry() -> Vec<AlgoSpec> {
             |_, p| format!("ka2:k{}", p.k),
             |gg, params| coloring::ka2::ColoringKa2::new(gg.arboricity, params.k),
             |p, gg, ids| p.palette(gg.graph.n() as u64, ids) as usize,
-        ),
+        )
+        .congest(10.0),
         coloring_spec(
             "ka2_rho",
             "Thm 7.5 at k = ρ(n): O(log* n) VA",
             |gg, _| coloring::ka2::ColoringKa2::rho_instance(gg.arboricity, gg.graph.n() as u64),
             |p, gg, ids| p.palette(gg.graph.n() as u64, ids) as usize,
-        ),
+        )
+        .congest(10.0),
         coloring_spec_labelled(
             "ka",
             "Thm 7.13: O(ka) colors in O(a log^(k) n) VA",
             |_, p| format!("ka:k{}", p.k),
             |gg, params| coloring::ka::ColoringKa::new(gg.arboricity, params.k),
             |p, gg, _ids| p.palette(gg.graph.n() as u64) as usize,
-        ),
+        )
+        .congest(17.0),
         coloring_spec(
             "ka_rho",
             "Thm 7.13 at k = ρ(n): O(a log* n) VA",
             |gg, _| coloring::ka::ColoringKa::rho_instance(gg.arboricity, gg.graph.n() as u64),
             |p, gg, _ids| p.palette(gg.graph.n() as u64) as usize,
-        ),
+        )
+        .congest(17.0),
         coloring_spec(
             "delta_plus_one",
             "Thm 7.9: Δ+1 colors, a-dependent VA",
             |gg, _| coloring::delta_plus_one::DeltaPlusOneColoring::new(gg.arboricity),
             |_p, gg, _ids| gg.graph.max_degree() + 1,
-        ),
+        )
+        .congest(10.0),
         coloring_spec(
             "legal_coloring",
             "[5]-style legal-coloring discipline (Algorithm 3)",
@@ -608,43 +631,50 @@ fn build_registry() -> Vec<AlgoSpec> {
             |_gg, _| rand_coloring::delta_plus_one::RandDeltaPlusOne::new(),
             |p, gg, _ids| p.palette_on(&gg.graph) as usize,
         )
-        .decay(0.9, 2, 32.0, 2),
+        .decay(0.9, 2, 32.0, 2)
+        .congest(7.0),
         coloring_spec(
             "rand_a_loglog",
             "Thm 9.2: O(a log log n) colors in O(1) VA w.h.p.",
             |gg, _| rand_coloring::a_loglog::RandALogLog::new(gg.arboricity),
             |p, gg, _ids| p.palette(gg.graph.n() as u64) as usize,
-        ),
+        )
+        .congest(10.0),
         coloring_spec(
             "arb_color_baseline",
             "[8] Arb-Color: O(a) colors, Θ(log n) WC",
             |gg, _| algos::arb_color::ArbColor::new(gg.arboricity),
             |p, _gg, _ids| p.palette() as usize,
-        ),
+        )
+        .congest(17.0),
         coloring_spec(
             "arb_linial_oneshot",
             "[8] one-shot Arb-Linial baseline",
             |gg, _| baselines::ArbLinialOneShot::new(gg.arboricity),
             |p, _gg, ids| p.family(ids).ground_size() as usize,
-        ),
+        )
+        .congest(4.0),
         coloring_spec(
             "arb_linial_full",
             "[8] full Arb-Linial: O(a) colors, Θ(log n) WC",
             |gg, _| baselines::ArbLinialFull::new(gg.arboricity),
             |p, _gg, ids| p.schedule(ids).final_palette() as usize,
-        ),
+        )
+        .congest(10.0),
         coloring_spec(
             "global_linial",
             "Linial's global coloring baseline",
             |_gg, _| baselines::GlobalLinial::new(),
             |p, gg, ids| p.palette(&gg.graph, ids) as usize,
-        ),
+        )
+        .congest(7.0),
         coloring_spec(
             "global_linial_kw",
             "Linial + KW reduction: Δ+1 colors, Θ(Δ + log* n) WC",
             |_gg, _| baselines::GlobalLinialKw::new(),
             |_p, gg, _ids| gg.graph.max_degree() + 1,
-        ),
+        )
+        .congest(7.0),
         // The §1.2 pipeline: coloring then census, as one protocol. Its
         // coloring output is verified; it claims no palette cap.
         spec_with_extract(
@@ -659,7 +689,8 @@ fn build_registry() -> Vec<AlgoSpec> {
                     commit: None,
                 })
             },
-        ),
+        )
+        .congest(7.0),
         spec_with_extract(
             "mis_extension",
             Problem::Mis,
@@ -672,7 +703,8 @@ fn build_registry() -> Vec<AlgoSpec> {
                     commit: None,
                 })
             },
-        ),
+        )
+        .congest(10.0),
         spec_with_extract(
             "mis_luby",
             Problem::Mis,
@@ -685,7 +717,8 @@ fn build_registry() -> Vec<AlgoSpec> {
                     commit: None,
                 })
             },
-        ),
+        )
+        .congest(7.0),
         spec_with_extract(
             "edge_col_extension",
             Problem::EdgeColoring,
@@ -733,7 +766,8 @@ fn build_registry() -> Vec<AlgoSpec> {
                     commit: None,
                 })
             },
-        ),
+        )
+        .congest(4.0),
         spec_with_extract(
             "forest_baseline",
             Problem::Forests,
@@ -751,7 +785,8 @@ fn build_registry() -> Vec<AlgoSpec> {
                     commit: None,
                 })
             },
-        ),
+        )
+        .congest(4.0),
     ]
 }
 

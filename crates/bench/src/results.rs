@@ -19,7 +19,12 @@ use std::path::Path;
 ///
 /// v2: summaries gained `active_decay` (per-round mean active-set series)
 /// and `phases` (per-phase mean `RoundSum` breakdown).
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: summaries gained the communication metrics `avg_msg_bits`
+/// (per-vertex wire-bit statistics) and `max_msg_bits_max` (largest single
+/// published message, the CONGEST-width witness). Both are gated by
+/// [`diff`]; wall clock remains informational.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A whole harness run: configuration plus one summary per experiment
 /// configuration.
@@ -96,7 +101,8 @@ impl SuiteResult {
                 out,
                 "    {{\"exp\": {}, \"algo\": {}, \"family\": {}, \"n\": {}, \"a\": {}, \
                  \"trials\": {}, \"valid\": {}, \"colors_max\": {}, \"cap\": {}, \
-                 \"round_sum_max\": {},\n     \"va\": {}, \"wc\": {}, \"p95\": {}, \"wall_ms\": {},\n     \
+                 \"round_sum_max\": {}, \"max_msg_bits_max\": {},\n     \
+                 \"va\": {}, \"wc\": {}, \"p95\": {}, \"wall_ms\": {}, \"avg_msg_bits\": {},\n     \
                  \"active_decay\": [{}],\n     \"phases\": [{}]}}{}",
                 quote(&s.exp),
                 quote(&s.algo),
@@ -108,10 +114,12 @@ impl SuiteResult {
                 s.colors_max,
                 cap,
                 s.round_sum_max,
+                s.max_msg_bits_max,
                 stats_json(&s.va),
                 stats_json(&s.wc),
                 stats_json(&s.p95),
                 stats_json(&s.wall_ms),
+                stats_json(&s.avg_msg_bits),
                 decay.join(", "),
                 phases.join(", "),
                 comma
@@ -231,10 +239,12 @@ fn parse_summary(v: &Json) -> Result<TrialSummary, String> {
             other => other.as_f64()? as usize,
         },
         round_sum_max: v.get_u64("round_sum_max")?,
+        max_msg_bits_max: v.get_u64("max_msg_bits_max")?,
         va: stats("va")?,
         wc: stats("wc")?,
         p95: stats("p95")?,
         wall_ms: stats("wall_ms")?,
+        avg_msg_bits: stats("avg_msg_bits")?,
         active_decay: v
             .get("active_decay")?
             .as_array()?
@@ -328,9 +338,21 @@ pub fn diff(baseline: &SuiteResult, fresh: &SuiteResult, tol: f64) -> Vec<String
             b.round_sum_max as f64,
             f.round_sum_max as f64,
         );
+        num(
+            &mut out,
+            "max_msg_bits_max",
+            b.max_msg_bits_max as f64,
+            f.max_msg_bits_max as f64,
+        );
         num(&mut out, "va.mean", b.va.mean, f.va.mean);
         num(&mut out, "wc.mean", b.wc.mean, f.wc.mean);
         num(&mut out, "p95.mean", b.p95.mean, f.p95.mean);
+        num(
+            &mut out,
+            "avg_msg_bits.mean",
+            b.avg_msg_bits.mean,
+            f.avg_msg_bits.mean,
+        );
         for bp in &b.phases {
             match f.phases.iter().find(|fp| fp.name == bp.name) {
                 Some(fp) => num(
@@ -678,6 +700,8 @@ mod tests {
             wc: Stats::from_samples(&[3.0, 4.0]),
             p95: Stats::from_samples(&[3.0]),
             wall_ms: Stats::from_samples(&[1.25]),
+            avg_msg_bits: Stats::from_samples(&[130.5, 131.5]),
+            max_msg_bits_max: 74,
             active_decay: vec![1024.0, 512.5, 130.25, 8.0],
             phases: vec![
                 PhaseAgg {
@@ -719,6 +743,8 @@ mod tests {
         assert!((back.summaries[0].va.mean - 2.04).abs() < 1e-9);
         assert_eq!(back.summaries[0].cap, 196);
         assert_eq!(back.summaries[1].cap, usize::MAX, "null cap round-trips");
+        assert_eq!(back.summaries[0].max_msg_bits_max, 74);
+        assert!((back.summaries[0].avg_msg_bits.mean - 131.0).abs() < 1e-9);
         assert_eq!(
             back.summaries[0].active_decay,
             vec![1024.0, 512.5, 130.25, 8.0]
@@ -740,6 +766,27 @@ mod tests {
         let notes = wall_notes(&base, &fresh, 0.05);
         assert_eq!(notes.len(), 1, "{notes:?}");
         assert!(notes[0].contains("informational"), "{notes:?}");
+    }
+
+    #[test]
+    fn communication_metrics_are_gated() {
+        // Tentpole: unlike wall clock, the wire metrics are deterministic
+        // given the seeds, so drift in them fails the gate.
+        let base = sample_suite();
+        let mut fresh = base.clone();
+        fresh.summaries[0].avg_msg_bits.mean *= 1.5;
+        let msgs = diff(&base, &fresh, 0.05);
+        assert!(
+            msgs.iter().any(|m| m.contains("avg_msg_bits.mean")),
+            "{msgs:?}"
+        );
+        let mut widened = base.clone();
+        widened.summaries[0].max_msg_bits_max = 512;
+        let msgs = diff(&base, &widened, 0.05);
+        assert!(
+            msgs.iter().any(|m| m.contains("max_msg_bits_max")),
+            "{msgs:?}"
+        );
     }
 
     #[test]

@@ -348,6 +348,9 @@ fn print_list(suite: &str, specs: &[ExperimentSpec]) {
                             r.min_seeds_quick, r.min_seeds_full
                         ));
                     }
+                    if let Some(c) = algo.congest {
+                        mods.push_str(&format!(" (CONGEST ≤ {c}·log₂n)"));
+                    }
                     println!(
                         "  run:       {:<7} {}{}{} [{}] — {}",
                         r.exp,
@@ -440,6 +443,24 @@ pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> Suit
                     post(cli, &rows);
                 }
                 active_bounds.extend(bounds.iter().cloned());
+                // Registry CONGEST-width claims become per-run checks:
+                // declared once on the AlgoSpec, enforced on every
+                // experiment that runs the algorithm.
+                for run in runs.iter().filter(|r| cli.wants(r.exp)) {
+                    if let Some(c) = registry::get(run.algo).congest {
+                        let dup = active_bounds.iter().any(|b| {
+                            matches!(b, Bound::CongestWidth { exp, algo, .. }
+                                if *exp == run.exp && *algo == run.algo)
+                        });
+                        if !dup {
+                            active_bounds.push(Bound::CongestWidth {
+                                exp: run.exp,
+                                algo: run.algo,
+                                c,
+                            });
+                        }
+                    }
+                }
                 all_rows.extend(rows);
             }
             SpecKind::Custom { run, .. } => {

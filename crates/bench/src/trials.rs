@@ -203,6 +203,12 @@ pub struct TrialSummary {
     pub p95: Stats,
     /// Engine wall-clock statistics (milliseconds).
     pub wall_ms: Stats,
+    /// Per-vertex wire-bit statistics (`msg_bits / n` per trial) — the
+    /// communication analogue of `va`.
+    pub avg_msg_bits: Stats,
+    /// Largest single published message over all trials, in wire bits
+    /// (the CONGEST-width witness `Bound::CongestWidth` checks).
+    pub max_msg_bits_max: u64,
     /// Element-wise mean of the trials' per-round active-set series
     /// (`active_decay[i]` ≈ the paper's `n_{i+1}`; trials that finished
     /// before round `i + 1` contribute 0). The Lemma 6.1 decay data.
@@ -249,6 +255,8 @@ pub fn summarize(rows: &[Row]) -> Vec<TrialSummary> {
                 wc: f(|r| r.wc as f64),
                 p95: f(|r| r.p95 as f64),
                 wall_ms: f(|r| r.wall_ms),
+                avg_msg_bits: f(|r| r.avg_msg_bits),
+                max_msg_bits_max: g.iter().map(|r| r.max_msg_bits).max().unwrap_or(0),
                 active_decay: mean_series(&g),
                 phases: mean_phases(&g),
             }
@@ -306,7 +314,7 @@ fn mean_phases(g: &[&Row]) -> Vec<PhaseAgg> {
 pub fn print_summaries(title: &str, summaries: &[TrialSummary]) {
     println!("\n== {title} ==");
     println!(
-        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>6} {:>16} {:>14} {:>14} {:>8} {:>6}",
+        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>6} {:>16} {:>14} {:>14} {:>8} {:>6} {:>12} {:>7}",
         "exp",
         "algo",
         "family",
@@ -317,30 +325,13 @@ pub fn print_summaries(title: &str, summaries: &[TrialSummary]) {
         "wc(mean±sd)",
         "p95(mean±sd)",
         "colors",
-        "valid"
+        "valid",
+        "avg_msg_bits",
+        "max_mb"
     );
     for s in summaries {
         println!(
-            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>6} {:>9.2}±{:<6.2} {:>8.1}±{:<5.1} {:>8.1}±{:<5.1} {:>8} {:>6}",
-            s.exp,
-            s.algo,
-            s.family,
-            s.n,
-            s.a,
-            s.trials,
-            s.va.mean,
-            s.va.stddev,
-            s.wc.mean,
-            s.wc.stddev,
-            s.p95.mean,
-            s.p95.stddev,
-            s.colors_max,
-            s.valid
-        );
-    }
-    for s in summaries {
-        println!(
-            "#sum,{},{},{},{},{},{},{:.4},{:.4},{:.2},{:.2},{:.2},{:.2},{},{},{}",
+            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>6} {:>9.2}±{:<6.2} {:>8.1}±{:<5.1} {:>8.1}±{:<5.1} {:>8} {:>6} {:>12.1} {:>7}",
             s.exp,
             s.algo,
             s.family,
@@ -355,7 +346,30 @@ pub fn print_summaries(title: &str, summaries: &[TrialSummary]) {
             s.p95.stddev,
             s.colors_max,
             s.valid,
-            s.round_sum_max
+            s.avg_msg_bits.mean,
+            s.max_msg_bits_max
+        );
+    }
+    for s in summaries {
+        println!(
+            "#sum,{},{},{},{},{},{},{:.4},{:.4},{:.2},{:.2},{:.2},{:.2},{},{},{},{:.2},{}",
+            s.exp,
+            s.algo,
+            s.family,
+            s.n,
+            s.a,
+            s.trials,
+            s.va.mean,
+            s.va.stddev,
+            s.wc.mean,
+            s.wc.stddev,
+            s.p95.mean,
+            s.p95.stddev,
+            s.colors_max,
+            s.valid,
+            s.round_sum_max,
+            s.avg_msg_bits.mean,
+            s.max_msg_bits_max
         );
     }
     // Per-phase RoundSum breakdowns and active-decay series as scrape
@@ -414,6 +428,9 @@ mod tests {
             valid,
             wall_ms: 0.5,
             pubs: (va * n as f64) as u64,
+            msg_bits: (va * n as f64) as u64 * 32,
+            avg_msg_bits: va * 32.0,
+            max_msg_bits: 32,
             cap: 10,
             seed: 0,
             ids: "identity",
@@ -527,6 +544,20 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn summarize_aggregates_wire_metrics() {
+        let mut r1 = row("E", 100, 2.0, 5, true);
+        r1.avg_msg_bits = 64.0;
+        r1.max_msg_bits = 40;
+        let mut r2 = row("E", 100, 4.0, 5, true);
+        r2.avg_msg_bits = 96.0;
+        r2.max_msg_bits = 72;
+        let s = summarize(&[r1, r2]);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].avg_msg_bits.mean - 80.0).abs() < 1e-12);
+        assert_eq!(s[0].max_msg_bits_max, 72, "worst message over the group");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -37,6 +37,18 @@ pub enum SArb {
     Wait { h: u32, local: u64 },
     /// Recolored (terminal).
     Done { h: u32, local: u64, rec: u64 },
+}
+
+impl WireSize for SArb {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for four variants, then the payload.
+        match self {
+            SArb::Active => 2,
+            SArb::InSet { h, c } => 2 + h.wire_bits() + c.wire_bits(),
+            SArb::Wait { h, local } => 2 + h.wire_bits() + local.wire_bits(),
+            SArb::Done { h, local, rec } => 2 + h.wire_bits() + local.wire_bits() + rec.wire_bits(),
+        }
+    }
 }
 
 /// Procedure Arb-Color on the whole graph.
@@ -81,10 +93,15 @@ impl ArbColor {
 
 impl Protocol for ArbColor {
     type State = SArb;
+    type Msg = SArb;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SArb {
         SArb::Active
+    }
+
+    fn publish(&self, state: &SArb) -> SArb {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, SArb>) -> Transition<SArb, u64> {

@@ -22,7 +22,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -40,6 +40,18 @@ pub enum SArbDef {
     Wait { h: u32, local: u64 },
     /// Picked group `g` (terminal).
     Done { h: u32, local: u64, g: u32 },
+}
+
+impl WireSize for SArbDef {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for four variants, then the payload.
+        match self {
+            SArbDef::Active => 2,
+            SArbDef::InSet { h, c } => 2 + h.wire_bits() + c.wire_bits(),
+            SArbDef::Wait { h, local } => 2 + h.wire_bits() + local.wire_bits(),
+            SArbDef::Done { h, local, g } => 2 + h.wire_bits() + local.wire_bits() + g.wire_bits(),
+        }
+    }
 }
 
 /// Procedure Arbdefective-Coloring: splits the graph into `k` groups of
@@ -85,10 +97,15 @@ impl ArbdefectiveColoring {
 
 impl Protocol for ArbdefectiveColoring {
     type State = SArbDef;
+    type Msg = SArbDef;
     type Output = u32;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SArbDef {
         SArbDef::Active
+    }
+
+    fn publish(&self, state: &SArbDef) -> SArbDef {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, SArbDef>) -> Transition<SArbDef, u32> {

@@ -28,7 +28,7 @@ use crate::inset::{DeltaPlusOneSchedule, LinialSchedule};
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Linial's `O(Δ²)`-coloring of the whole graph in `O(log* n)` rounds.
@@ -59,10 +59,15 @@ impl GlobalLinial {
 
 impl Protocol for GlobalLinial {
     type State = u64;
+    type Msg = u64;
     type Output = u64;
 
     fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
         ids.id(v)
+    }
+
+    fn publish(&self, state: &u64) -> u64 {
+        *state
     }
 
     fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
@@ -110,10 +115,15 @@ impl GlobalLinialKw {
 
 impl Protocol for GlobalLinialKw {
     type State = u64;
+    type Msg = u64;
     type Output = u64;
 
     fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
         ids.id(v)
+    }
+
+    fn publish(&self, state: &u64) -> u64 {
+        *state
     }
 
     fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
@@ -173,10 +183,15 @@ impl ArbLinialOneShot {
 
 impl Protocol for ArbLinialOneShot {
     type State = FState;
+    type Msg = FState;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> FState {
         FState::Active
+    }
+
+    fn publish(&self, state: &FState) -> FState {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, FState>) -> Transition<FState, u64> {
@@ -248,6 +263,15 @@ pub enum SAlf {
     Color { h: u32, c: u64 },
 }
 
+impl WireSize for SAlf {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            SAlf::Part(fs) => 1 + fs.wire_bits(),
+            SAlf::Color { h, c } => 1 + h.wire_bits() + c.wire_bits(),
+        }
+    }
+}
+
 impl ArbLinialFull {
     /// Standard instance (ε = 2).
     pub fn new(arboricity: usize) -> Self {
@@ -272,10 +296,15 @@ impl ArbLinialFull {
 
 impl Protocol for ArbLinialFull {
     type State = SAlf;
+    type Msg = SAlf;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SAlf {
         SAlf::Part(FState::Active)
+    }
+
+    fn publish(&self, state: &SAlf) -> SAlf {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, SAlf>) -> Transition<SAlf, u64> {

@@ -26,7 +26,7 @@ use crate::inset::LinialSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 
 /// Per-vertex state.
 #[derive(Clone, Debug)]
@@ -41,6 +41,17 @@ pub enum S73 {
     Joined { h: u32 },
     /// In the coloring window with a current Linial color.
     Coloring { h: u32, color: u64 },
+}
+
+impl WireSize for S73 {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for three variants, then the payload.
+        match self {
+            S73::Active => 2,
+            S73::Joined { h } => 2 + h.wire_bits(),
+            S73::Coloring { h, color } => 2 + h.wire_bits() + color.wire_bits(),
+        }
+    }
 }
 
 /// The §7.3 protocol.
@@ -131,10 +142,15 @@ fn exposed_color(ids: &IdAssignment, u: VertexId, s: &S73) -> u64 {
 
 impl Protocol for ColoringA2LogLog {
     type State = S73;
+    type Msg = S73;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> S73 {
         S73::Active
+    }
+
+    fn publish(&self, state: &S73) -> S73 {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, S73>) -> Transition<S73, u64> {

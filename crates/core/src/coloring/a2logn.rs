@@ -63,10 +63,15 @@ impl ColoringA2LogN {
 
 impl Protocol for ColoringA2LogN {
     type State = FState;
+    type Msg = FState;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> FState {
         FState::Active
+    }
+
+    fn publish(&self, state: &FState) -> FState {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, FState>) -> Transition<FState, u64> {

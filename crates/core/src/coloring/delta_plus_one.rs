@@ -22,7 +22,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -42,6 +42,32 @@ pub enum SDp1 {
     Await { h: u32, slot: u64 },
     /// Final color fixed (terminal, published).
     Fin { h: u32, color: u64 },
+}
+
+/// Wire message for [`DeltaPlusOneColoring`]. An `Await` vertex's slot
+/// and H-index are private while it holds for its greedy slot, and a
+/// finished vertex only shows its color — neighbors never need the
+/// H-index of a decided vertex.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // mirrors the `SDp1` conventions above
+pub enum Dp1Msg {
+    Active,
+    Joined { h: u32 },
+    InSet { h: u32, c: u64 },
+    Await,
+    Fin { color: u64 },
+}
+
+impl WireSize for Dp1Msg {
+    fn wire_bits(&self) -> u64 {
+        // 3-bit tag for five variants, then the payload.
+        match self {
+            Dp1Msg::Active | Dp1Msg::Await => 3,
+            Dp1Msg::Joined { h } => 3 + h.wire_bits(),
+            Dp1Msg::InSet { h, c } => 3 + h.wire_bits() + c.wire_bits(),
+            Dp1Msg::Fin { color } => 3 + color.wire_bits(),
+        }
+    }
 }
 
 /// The Corollary 8.3 protocol.
@@ -80,13 +106,24 @@ impl DeltaPlusOneColoring {
 
 impl Protocol for DeltaPlusOneColoring {
     type State = SDp1;
+    type Msg = Dp1Msg;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SDp1 {
         SDp1::Active
     }
 
-    fn step(&self, ctx: StepCtx<'_, SDp1>) -> Transition<SDp1, u64> {
+    fn publish(&self, state: &SDp1) -> Dp1Msg {
+        match state {
+            SDp1::Active => Dp1Msg::Active,
+            SDp1::Joined { h } => Dp1Msg::Joined { h: *h },
+            SDp1::InSet { h, c } => Dp1Msg::InSet { h: *h, c: *c },
+            SDp1::Await { .. } => Dp1Msg::Await,
+            SDp1::Fin { color, .. } => Dp1Msg::Fin { color: *color },
+        }
+    }
+
+    fn step(&self, ctx: StepCtx<'_, SDp1, Dp1Msg>) -> Transition<SDp1, u64> {
         let (inset, iters) = self.schedules(ctx.ids);
         let d = inset.rounds();
         match ctx.state.clone() {
@@ -94,7 +131,7 @@ impl Protocol for DeltaPlusOneColoring {
                 let active = ctx
                     .view
                     .neighbors()
-                    .filter(|(_, s)| matches!(s, SDp1::Active))
+                    .filter(|(_, s)| matches!(s, Dp1Msg::Active))
                     .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SDp1::Joined { h: ctx.round })
@@ -134,7 +171,7 @@ impl DeltaPlusOneColoring {
     /// In-set slot-order coloring step `i ∈ 0..d`.
     fn inset_step(
         &self,
-        ctx: &StepCtx<'_, SDp1>,
+        ctx: &StepCtx<'_, SDp1, Dp1Msg>,
         h: u32,
         cur: u64,
         i: u32,
@@ -149,10 +186,10 @@ impl DeltaPlusOneColoring {
             .view
             .neighbors()
             .filter_map(|(u, s)| match s {
-                SDp1::InSet { h: j, c } if *j == h => Some(*c),
+                Dp1Msg::InSet { h: j, c } if *j == h => Some(*c),
                 // Peers entering the window this round still expose their
                 // IDs as their initial colors.
-                SDp1::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
+                Dp1Msg::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
                 _ => None,
             })
             .collect();
@@ -171,7 +208,7 @@ impl DeltaPlusOneColoring {
     /// smallest color of `{0..Δ}` unused by any decided neighbor.
     fn slot_step(
         &self,
-        ctx: &StepCtx<'_, SDp1>,
+        ctx: &StepCtx<'_, SDp1, Dp1Msg>,
         h: u32,
         slot: u64,
         slot_round: u32,
@@ -182,7 +219,7 @@ impl DeltaPlusOneColoring {
         let delta = ctx.graph.max_degree() as u64;
         let mut used = vec![false; delta as usize + 1];
         for (_, s) in ctx.view.neighbors() {
-            if let SDp1::Fin { color, .. } = s {
+            if let Dp1Msg::Fin { color } = s {
                 used[*color as usize] = true;
             }
         }

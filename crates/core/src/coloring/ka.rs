@@ -17,7 +17,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::partition::{degree_cap, partition_step};
 use crate::segmentation::SegmentSchedule;
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -36,6 +36,18 @@ pub enum SKa {
     Wait { h: u32, local: u64 },
     /// Recolored (terminal, published for children).
     Done { h: u32, local: u64, rec: u64 },
+}
+
+impl WireSize for SKa {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for four variants, then the payload.
+        match self {
+            SKa::Active => 2,
+            SKa::InSet { h, c } => 2 + h.wire_bits() + c.wire_bits(),
+            SKa::Wait { h, local } => 2 + h.wire_bits() + local.wire_bits(),
+            SKa::Done { h, local, rec } => 2 + h.wire_bits() + local.wire_bits() + rec.wire_bits(),
+        }
+    }
 }
 
 /// The §7.7 protocol.
@@ -89,10 +101,15 @@ impl ColoringKa {
 
 impl Protocol for ColoringKa {
     type State = SKa;
+    type Msg = SKa;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SKa {
         SKa::Active
+    }
+
+    fn publish(&self, state: &SKa) -> SKa {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, SKa>) -> Transition<SKa, u64> {

@@ -19,7 +19,7 @@ use crate::inset::LinialSchedule;
 use crate::partition::{degree_cap, partition_step};
 use crate::segmentation::SegmentSchedule;
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -35,6 +35,17 @@ pub enum SKa2 {
     Joined { h: u32 },
     /// Running the segment-wide iterated Linial coloring.
     Coloring { h: u32, color: u64 },
+}
+
+impl WireSize for SKa2 {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for three variants, then the payload.
+        match self {
+            SKa2::Active => 2,
+            SKa2::Joined { h } => 2 + h.wire_bits(),
+            SKa2::Coloring { h, color } => 2 + h.wire_bits() + color.wire_bits(),
+        }
+    }
 }
 
 /// The §7.6 protocol.
@@ -93,10 +104,15 @@ impl ColoringKa2 {
 
 impl Protocol for ColoringKa2 {
     type State = SKa2;
+    type Msg = SKa2;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SKa2 {
         SKa2::Active
+    }
+
+    fn publish(&self, state: &SKa2) -> SKa2 {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, SKa2>) -> Transition<SKa2, u64> {

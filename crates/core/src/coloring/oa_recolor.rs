@@ -24,7 +24,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -44,6 +44,18 @@ pub enum S74 {
     WaitRecolor { h: u32, local: u64 },
     /// Recolored (published so children can proceed).
     Done { h: u32, local: u64, rec: u64 },
+}
+
+impl WireSize for S74 {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for four variants, then the payload.
+        match self {
+            S74::Active => 2,
+            S74::InSet { h, c } => 2 + h.wire_bits() + c.wire_bits(),
+            S74::WaitRecolor { h, local } => 2 + h.wire_bits() + local.wire_bits(),
+            S74::Done { h, local, rec } => 2 + h.wire_bits() + local.wire_bits() + rec.wire_bits(),
+        }
+    }
 }
 
 /// The §7.4 protocol.
@@ -109,10 +121,15 @@ impl ColoringOaRecolor {
 
 impl Protocol for ColoringOaRecolor {
     type State = S74;
+    type Msg = S74;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> S74 {
         S74::Active
+    }
+
+    fn publish(&self, state: &S74) -> S74 {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, S74>) -> Transition<S74, u64> {

@@ -16,7 +16,7 @@
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 
 /// One step's outcome for an in-set algorithm.
 pub enum SubStep<S, O> {
@@ -33,8 +33,9 @@ pub enum SubStep<S, O> {
 /// `peers` yields exactly the same-set neighbors with their current
 /// sub-states (or `None` while a peer is still in its entry round).
 pub trait HSetAlgo: Sync {
-    /// Per-vertex sub-state, published to same-set neighbors.
-    type Sub: Clone + Send + Sync;
+    /// Per-vertex sub-state, published to same-set neighbors (it travels
+    /// inside [`ComposeMsg::Running`], so it must size itself).
+    type Sub: Clone + Send + Sync + WireSize;
     /// Per-vertex output.
     type Output: Clone + Send + Sync;
 
@@ -44,7 +45,7 @@ pub trait HSetAlgo: Sync {
     /// One synchronized in-set round.
     fn step(
         &self,
-        ctx: &StepCtx<'_, ComposeState<Self::Sub>>,
+        ctx: &StepCtx<'_, ComposeState<Self::Sub>, ComposeMsg<Self::Sub>>,
         h: u32,
         local_round: u32,
         sub: &Self::Sub,
@@ -68,6 +69,32 @@ pub enum ComposeState<S> {
     Joined { h: u32 },
     /// Running 𝒜 with the given sub-state.
     Running { h: u32, local: u32, sub: S },
+}
+
+/// Wire message of the composition: partition status plus the in-set
+/// sub-state. The `local` round counter of
+/// [`ComposeState::Running`] is private bookkeeping — peers synchronize
+/// through the global iteration windows, so it never travels.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // mirrors the `ComposeState` conventions above
+pub enum ComposeMsg<S> {
+    /// Still in Procedure Partition.
+    Active,
+    /// Joined H-set `h` this round.
+    Joined { h: u32 },
+    /// Running 𝒜 with the given sub-state.
+    Running { h: u32, sub: S },
+}
+
+impl<S: WireSize> WireSize for ComposeMsg<S> {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for three variants, then the payload.
+        match self {
+            ComposeMsg::Active => 2,
+            ComposeMsg::Joined { h } => 2 + h.wire_bits(),
+            ComposeMsg::Running { h, sub } => 2 + h.wire_bits() + sub.wire_bits(),
+        }
+    }
 }
 
 /// Algorithm 𝒞 of §6.2: Partition ∘ 𝒜.
@@ -99,19 +126,34 @@ impl<A: HSetAlgo> Compose<A> {
 
 impl<A: HSetAlgo> Protocol for Compose<A> {
     type State = ComposeState<A::Sub>;
+    type Msg = ComposeMsg<A::Sub>;
     type Output = A::Output;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> Self::State {
         ComposeState::Active
     }
 
-    fn step(&self, ctx: StepCtx<'_, Self::State>) -> Transition<Self::State, Self::Output> {
+    fn publish(&self, state: &Self::State) -> Self::Msg {
+        match state {
+            ComposeState::Active => ComposeMsg::Active,
+            ComposeState::Joined { h } => ComposeMsg::Joined { h: *h },
+            ComposeState::Running { h, sub, .. } => ComposeMsg::Running {
+                h: *h,
+                sub: sub.clone(),
+            },
+        }
+    }
+
+    fn step(
+        &self,
+        ctx: StepCtx<'_, Self::State, Self::Msg>,
+    ) -> Transition<Self::State, Self::Output> {
         match ctx.state.clone() {
             ComposeState::Active => {
                 let active = ctx
                     .view
                     .neighbors()
-                    .filter(|(_, s)| matches!(s, ComposeState::Active))
+                    .filter(|(_, s)| matches!(s, ComposeMsg::Active))
                     .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(ComposeState::Joined { h: ctx.round })
@@ -147,7 +189,7 @@ impl<A: HSetAlgo> Protocol for Compose<A> {
 impl<A: HSetAlgo> Compose<A> {
     fn run_sub(
         &self,
-        ctx: &StepCtx<'_, ComposeState<A::Sub>>,
+        ctx: &StepCtx<'_, ComposeState<A::Sub>, ComposeMsg<A::Sub>>,
         h: u32,
         local: u32,
         sub: A::Sub,
@@ -156,9 +198,9 @@ impl<A: HSetAlgo> Compose<A> {
             .view
             .neighbors()
             .filter_map(|(u, s)| match s {
-                ComposeState::Running { h: j, sub, .. } if *j == h => Some((u, sub.clone())),
+                ComposeMsg::Running { h: j, sub } if *j == h => Some((u, sub.clone())),
                 // Peer entered this round: expose its entry sub-state.
-                ComposeState::Joined { h: j } if *j == h => {
+                ComposeMsg::Joined { h: j } if *j == h => {
                     Some((u, self.algo.enter(ctx.graph, ctx.ids, u, h)))
                 }
                 _ => None,
@@ -196,7 +238,7 @@ mod tests {
         fn enter(&self, _: &Graph, _: &IdAssignment, _: VertexId, _: u32) {}
         fn step(
             &self,
-            _: &StepCtx<'_, ComposeState<()>>,
+            _: &StepCtx<'_, ComposeState<()>, ComposeMsg<()>>,
             h: u32,
             local: u32,
             _: &(),
@@ -225,7 +267,7 @@ mod tests {
         }
         fn step(
             &self,
-            _: &StepCtx<'_, ComposeState<u64>>,
+            _: &StepCtx<'_, ComposeState<u64>, ComposeMsg<u64>>,
             _: u32,
             local: u32,
             sub: &u64,

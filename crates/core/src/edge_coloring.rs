@@ -30,7 +30,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{EdgeId, Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, RoundMetrics, SimOutcome, StepCtx, Transition};
+use simlocal::{Protocol, RoundMetrics, SimOutcome, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Working data carried by a vertex from H-set membership to termination.
@@ -56,12 +56,51 @@ impl EcCore {
     fn knows(&self, u: VertexId) -> bool {
         self.table.iter().any(|&(w, _)| w == u)
     }
+}
 
+/// The neighbor-visible slice of [`EcCore`]: the `assigned` output share
+/// and the commit round are private — neighbors consult only the
+/// incident-color `table` (and the labels/coloring that schedule it).
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // field meanings mirror `EcCore`
+pub struct EcWire {
+    pub h: u32,
+    pub out_labels: Vec<(VertexId, u32)>,
+    pub c: u64,
+    pub table: Vec<(VertexId, u64)>,
+}
+
+impl EcWire {
     fn label_to(&self, u: VertexId) -> Option<u32> {
         self.out_labels
             .iter()
             .find(|&&(w, _)| w == u)
             .map(|&(_, l)| l)
+    }
+}
+
+/// Wire message for [`EdgeColoringExtension`].
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // mirrors the `SEc` conventions below
+pub enum EcMsg {
+    Active,
+    Joined { h: u32 },
+    Run(EcWire),
+}
+
+impl WireSize for EcMsg {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for three variants, then the payload.
+        match self {
+            EcMsg::Active => 2,
+            EcMsg::Joined { h } => 2 + h.wire_bits(),
+            EcMsg::Run(w) => {
+                2 + w.h.wire_bits()
+                    + w.out_labels.wire_bits()
+                    + w.c.wire_bits()
+                    + w.table.wire_bits()
+            }
+        }
     }
 }
 
@@ -133,19 +172,33 @@ impl EdgeColoringExtension {
 
 impl Protocol for EdgeColoringExtension {
     type State = SEc;
+    type Msg = EcMsg;
     type Output = EcOut;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SEc {
         SEc::Active
     }
 
-    fn step(&self, ctx: StepCtx<'_, SEc>) -> Transition<SEc, EcOut> {
+    fn publish(&self, state: &SEc) -> EcMsg {
+        match state {
+            SEc::Active => EcMsg::Active,
+            SEc::Joined { h } => EcMsg::Joined { h: *h },
+            SEc::Run(core) => EcMsg::Run(EcWire {
+                h: core.h,
+                out_labels: core.out_labels.clone(),
+                c: core.c,
+                table: core.table.clone(),
+            }),
+        }
+    }
+
+    fn step(&self, ctx: StepCtx<'_, SEc, EcMsg>) -> Transition<SEc, EcOut> {
         match ctx.state.clone() {
             SEc::Active => {
                 let active = ctx
                     .view
                     .neighbors()
-                    .filter(|(_, s)| matches!(s, SEc::Active))
+                    .filter(|(_, s)| matches!(s, EcMsg::Active))
                     .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SEc::Joined { h: ctx.round })
@@ -155,9 +208,9 @@ impl Protocol for EdgeColoringExtension {
             }
             SEc::Joined { h } => {
                 let out_labels = decide_out_edges(&ctx, h, |s| match s {
-                    SEc::Active => None,
-                    SEc::Joined { h } => Some(*h),
-                    SEc::Run(core) => Some(core.h),
+                    EcMsg::Active => None,
+                    EcMsg::Joined { h } => Some(*h),
+                    EcMsg::Run(core) => Some(core.h),
                 });
                 Transition::Continue(SEc::Run(EcCore {
                     h,
@@ -187,8 +240,8 @@ impl Protocol for EdgeColoringExtension {
                         .view
                         .neighbors()
                         .filter_map(|(u, s)| match s {
-                            SEc::Run(c2) if c2.h == h => Some(c2.c),
-                            SEc::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
+                            EcMsg::Run(c2) if c2.h == h => Some(c2.c),
+                            EcMsg::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
                             _ => None,
                         })
                         .collect();
@@ -251,13 +304,13 @@ impl Protocol for EdgeColoringExtension {
 
 impl EdgeColoringExtension {
     /// Adopts colors neighbors assigned to edges incident on me.
-    fn adopt(&self, ctx: &StepCtx<'_, SEc>, core: &mut EcCore) {
+    fn adopt(&self, ctx: &StepCtx<'_, SEc, EcMsg>, core: &mut EcCore) {
         let me = ctx.v;
         for (u, s) in ctx.view.neighbors() {
             if core.knows(u) {
                 continue;
             }
-            if let SEc::Run(other) = s {
+            if let EcMsg::Run(other) = s {
                 if let Some(&(_, color)) = other.table.iter().find(|&&(w, _)| w == me) {
                     core.table.push((u, color));
                 }
@@ -267,11 +320,11 @@ impl EdgeColoringExtension {
 
     /// Sub-slot (f, ĉ): assign distinct free colors to my forest-`f`
     /// child edges (in-set neighbors whose label-`f` out-edge names me).
-    fn assign_in_set_children(&self, ctx: &StepCtx<'_, SEc>, core: &mut EcCore, f: u32) {
+    fn assign_in_set_children(&self, ctx: &StepCtx<'_, SEc, EcMsg>, core: &mut EcCore, f: u32) {
         let me = ctx.v;
         let palette = Self::palette(ctx.graph);
         for (u, s) in ctx.view.neighbors() {
-            let SEc::Run(child) = s else { continue };
+            let EcMsg::Run(child) = s else { continue };
             if child.h != core.h || child.label_to(me) != Some(f) || core.knows(u) {
                 continue;
             }
@@ -287,11 +340,11 @@ impl EdgeColoringExtension {
 
     /// ℬ sub-slot `j`: color cross edges from earlier sets whose earlier
     /// endpoint labeled them `j`.
-    fn assign_cross_from_earlier(&self, ctx: &StepCtx<'_, SEc>, core: &mut EcCore, j: u32) {
+    fn assign_cross_from_earlier(&self, ctx: &StepCtx<'_, SEc, EcMsg>, core: &mut EcCore, j: u32) {
         let me = ctx.v;
         let palette = Self::palette(ctx.graph);
         for (u, s) in ctx.view.neighbors() {
-            let SEc::Run(earlier) = s else { continue };
+            let EcMsg::Run(earlier) = s else { continue };
             if earlier.h >= core.h || earlier.label_to(me) != Some(j) || core.knows(u) {
                 continue;
             }
@@ -306,7 +359,11 @@ impl EdgeColoringExtension {
     }
 
     /// After committing: relay until every incident edge is colored.
-    fn relay_or_finish(&self, ctx: &StepCtx<'_, SEc>, core: EcCore) -> Transition<SEc, EcOut> {
+    fn relay_or_finish(
+        &self,
+        ctx: &StepCtx<'_, SEc, EcMsg>,
+        core: EcCore,
+    ) -> Transition<SEc, EcOut> {
         if core.table.len() == ctx.degree() {
             let out = EcOut {
                 commit_round: core.committed.expect("committed before finishing"),

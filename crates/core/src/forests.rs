@@ -23,9 +23,10 @@
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 
-/// Published per-vertex state during forest decomposition.
+/// Per-vertex state during forest decomposition — entirely
+/// neighbor-visible, so it doubles as the wire message.
 #[derive(Clone, Debug)]
 /// Field conventions: `h` is the 1-based H-set index, `c` a current
 /// Linial/KW color value, `local` a final in-set color, `rec` a
@@ -37,6 +38,15 @@ pub enum FState {
     /// Joined H-set `h` (published so neighbors can exclude this vertex
     /// from their active counts and learn set membership).
     Joined { h: u32 },
+}
+
+impl WireSize for FState {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            FState::Active => 1,
+            FState::Joined { h } => 1 + h.wire_bits(),
+        }
+    }
 }
 
 /// Per-vertex output: the H-index plus this vertex's outgoing edges with
@@ -58,10 +68,10 @@ pub struct ForestOut {
 /// Out-edges go to: same-set neighbors with a higher ID, and neighbors
 /// that have not joined any set yet (they will join a later one). Labels
 /// are assigned in neighbor order.
-pub fn decide_out_edges<S>(
-    ctx: &StepCtx<'_, S>,
+pub fn decide_out_edges<S, M>(
+    ctx: &StepCtx<'_, S, M>,
     h: u32,
-    set_of: impl Fn(&S) -> Option<u32>,
+    set_of: impl Fn(&M) -> Option<u32>,
 ) -> Vec<(VertexId, u32)> {
     let my_id = ctx.my_id();
     let mut out = Vec::new();
@@ -105,10 +115,15 @@ impl ParallelizedForestDecomposition {
 
 impl Protocol for ParallelizedForestDecomposition {
     type State = FState;
+    type Msg = FState;
     type Output = ForestOut;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> FState {
         FState::Active
+    }
+
+    fn publish(&self, state: &FState) -> FState {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, FState>) -> Transition<FState, ForestOut> {
@@ -186,10 +201,15 @@ impl ForestDecompositionBaseline {
 
 impl Protocol for ForestDecompositionBaseline {
     type State = FState;
+    type Msg = FState;
     type Output = ForestOut;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> FState {
         FState::Active
+    }
+
+    fn publish(&self, state: &FState) -> FState {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, FState>) -> Transition<FState, ForestOut> {

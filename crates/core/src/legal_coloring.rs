@@ -26,7 +26,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// What a vertex is doing (published with its prefix).
@@ -61,6 +61,33 @@ pub struct LcState {
     pub prefix: Vec<u32>,
     /// Current activity.
     pub mode: LcMode,
+}
+
+impl WireSize for LcMode {
+    fn wire_bits(&self) -> u64 {
+        // 3-bit tag for eight variants, then the payload.
+        match self {
+            LcMode::Part { h } | LcMode::LeafPart { h } => 3 + h.wire_bits(),
+            LcMode::InSet { h, c } | LcMode::LeafInSet { h, c } => {
+                3 + h.wire_bits() + c.wire_bits()
+            }
+            LcMode::Wait { h, local } | LcMode::LeafWait { h, local } => {
+                3 + h.wire_bits() + local.wire_bits()
+            }
+            LcMode::Picked { h, local, g } => 3 + h.wire_bits() + local.wire_bits() + g.wire_bits(),
+            LcMode::Done { h, local, rec } => {
+                3 + h.wire_bits() + local.wire_bits() + rec.wire_bits()
+            }
+        }
+    }
+}
+
+impl WireSize for LcState {
+    fn wire_bits(&self) -> u64 {
+        // The group-choice prefix travels with the mode (same-branch
+        // filtering needs it), so its heap payload is charged too.
+        self.prefix.wire_bits() + self.mode.wire_bits()
+    }
 }
 
 /// Deterministic per-level timetable.
@@ -161,6 +188,7 @@ impl LegalColoring {
 
 impl Protocol for LegalColoring {
     type State = LcState;
+    type Msg = LcState;
     type Output = u64;
 
     fn init(&self, g: &Graph, ids: &IdAssignment, _: VertexId) -> LcState {
@@ -174,6 +202,10 @@ impl Protocol for LegalColoring {
             prefix: Vec::new(),
             mode,
         }
+    }
+
+    fn publish(&self, state: &LcState) -> LcState {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, LcState>) -> Transition<LcState, u64> {

@@ -28,7 +28,7 @@ use crate::inset::DeltaPlusOneSchedule;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, RoundMetrics, SimOutcome, StepCtx, Transition};
+use simlocal::{Protocol, RoundMetrics, SimOutcome, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Working data of a joined vertex.
@@ -46,12 +46,53 @@ pub struct MmCore {
     pub committed: Option<u32>,
 }
 
-impl MmCore {
+impl MmCore {}
+
+/// The neighbor-visible slice of [`MmCore`]: the commit *round* is
+/// private output bookkeeping — neighbors only ever ask *whether* a
+/// vertex has committed, so a single bit travels in its place.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // field meanings mirror `MmCore`
+pub struct MmWire {
+    pub h: u32,
+    pub out_labels: Vec<(VertexId, u32)>,
+    pub c: u64,
+    pub matched: Option<VertexId>,
+    pub committed: bool,
+}
+
+impl MmWire {
     fn label_to(&self, u: VertexId) -> Option<u32> {
         self.out_labels
             .iter()
             .find(|&&(w, _)| w == u)
             .map(|&(_, l)| l)
+    }
+}
+
+/// Wire message for [`MatchingExtension`].
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // mirrors the `SMm` conventions below
+pub enum MmMsg {
+    Active,
+    Joined { h: u32 },
+    Run(MmWire),
+}
+
+impl WireSize for MmMsg {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for three variants, then the payload.
+        match self {
+            MmMsg::Active => 2,
+            MmMsg::Joined { h } => 2 + h.wire_bits(),
+            MmMsg::Run(w) => {
+                2 + w.h.wire_bits()
+                    + w.out_labels.wire_bits()
+                    + w.c.wire_bits()
+                    + w.matched.wire_bits()
+                    + w.committed.wire_bits()
+            }
+        }
     }
 }
 
@@ -116,19 +157,34 @@ impl MatchingExtension {
 
 impl Protocol for MatchingExtension {
     type State = SMm;
+    type Msg = MmMsg;
     type Output = MmOut;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SMm {
         SMm::Active
     }
 
-    fn step(&self, ctx: StepCtx<'_, SMm>) -> Transition<SMm, MmOut> {
+    fn publish(&self, state: &SMm) -> MmMsg {
+        match state {
+            SMm::Active => MmMsg::Active,
+            SMm::Joined { h } => MmMsg::Joined { h: *h },
+            SMm::Run(core) => MmMsg::Run(MmWire {
+                h: core.h,
+                out_labels: core.out_labels.clone(),
+                c: core.c,
+                matched: core.matched,
+                committed: core.committed.is_some(),
+            }),
+        }
+    }
+
+    fn step(&self, ctx: StepCtx<'_, SMm, MmMsg>) -> Transition<SMm, MmOut> {
         match ctx.state.clone() {
             SMm::Active => {
                 let active = ctx
                     .view
                     .neighbors()
-                    .filter(|(_, s)| matches!(s, SMm::Active))
+                    .filter(|(_, s)| matches!(s, MmMsg::Active))
                     .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SMm::Joined { h: ctx.round })
@@ -138,9 +194,9 @@ impl Protocol for MatchingExtension {
             }
             SMm::Joined { h } => {
                 let out_labels = decide_out_edges(&ctx, h, |s| match s {
-                    SMm::Active => None,
-                    SMm::Joined { h } => Some(*h),
-                    SMm::Run(core) => Some(core.h),
+                    MmMsg::Active => None,
+                    MmMsg::Joined { h } => Some(*h),
+                    MmMsg::Run(core) => Some(core.h),
                 });
                 Transition::Continue(SMm::Run(MmCore {
                     h,
@@ -155,7 +211,7 @@ impl Protocol for MatchingExtension {
                 if core.matched.is_none() {
                     let me = ctx.v;
                     for (u, s) in ctx.view.neighbors() {
-                        if let SMm::Run(other) = s {
+                        if let MmMsg::Run(other) = s {
                             if other.matched == Some(me) {
                                 core.matched = Some(u);
                                 break;
@@ -178,8 +234,8 @@ impl Protocol for MatchingExtension {
                         .view
                         .neighbors()
                         .filter_map(|(u, s)| match s {
-                            SMm::Run(c2) if c2.h == h => Some(c2.c),
-                            SMm::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
+                            MmMsg::Run(c2) if c2.h == h => Some(c2.c),
+                            MmMsg::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
                             _ => None,
                         })
                         .collect();
@@ -240,10 +296,10 @@ impl Protocol for MatchingExtension {
 
 impl MatchingExtension {
     /// Sub-slot (f, ĉ): match one unmatched forest-`f` child.
-    fn pick_in_set_child(&self, ctx: &StepCtx<'_, SMm>, core: &mut MmCore, f: u32) {
+    fn pick_in_set_child(&self, ctx: &StepCtx<'_, SMm, MmMsg>, core: &mut MmCore, f: u32) {
         let me = ctx.v;
         for (u, s) in ctx.view.neighbors() {
-            let SMm::Run(child) = s else { continue };
+            let MmMsg::Run(child) = s else { continue };
             if child.h == core.h && child.label_to(me) == Some(f) && child.matched.is_none() {
                 core.matched = Some(u);
                 return;
@@ -253,10 +309,10 @@ impl MatchingExtension {
 
     /// ℬ sub-slot `j`: claim the edge to one unmatched earlier neighbor
     /// whose label-`j` out-edge names me.
-    fn claim_earlier(&self, ctx: &StepCtx<'_, SMm>, core: &mut MmCore, j: u32) {
+    fn claim_earlier(&self, ctx: &StepCtx<'_, SMm, MmMsg>, core: &mut MmCore, j: u32) {
         let me = ctx.v;
         for (u, s) in ctx.view.neighbors() {
-            let SMm::Run(earlier) = s else { continue };
+            let MmMsg::Run(earlier) = s else { continue };
             if earlier.h < core.h && earlier.label_to(me) == Some(j) && earlier.matched.is_none() {
                 core.matched = Some(u);
                 return;
@@ -266,10 +322,14 @@ impl MatchingExtension {
 
     /// After committing: terminate once matched (flag frozen-correct) or
     /// once every neighbor has committed (no further claims possible).
-    fn park_or_finish(&self, ctx: &StepCtx<'_, SMm>, core: MmCore) -> Transition<SMm, MmOut> {
+    fn park_or_finish(
+        &self,
+        ctx: &StepCtx<'_, SMm, MmMsg>,
+        core: MmCore,
+    ) -> Transition<SMm, MmOut> {
         let done = core.matched.is_some()
             || ctx.view.neighbors().all(|(u, s)| {
-                ctx.view.is_terminated(u) || matches!(s, SMm::Run(o) if o.committed.is_some())
+                ctx.view.is_terminated(u) || matches!(s, MmMsg::Run(o) if o.committed)
             });
         if done {
             let out = MmOut {

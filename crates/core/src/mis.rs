@@ -15,7 +15,7 @@ use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
 use rand::Rng;
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -35,6 +35,34 @@ pub enum SMis {
     Await { h: u32, slot: u64 },
     /// Decided (terminal): `true` = in the MIS.
     Fin { h: u32, in_mis: bool },
+}
+
+/// Wire message for [`MisExtension`]. Neighbors need: the partition
+/// status, a joiner's or in-set vertex's H-index and running color, and a
+/// decided vertex's membership bit. An `Await` vertex's slot and H-index
+/// are private (it is just holding until its decision round), and a
+/// finished vertex's H-index never travels either — so both variants trim
+/// to (near-)empty.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // mirrors the `SMis` conventions above
+pub enum MisMsg {
+    Active,
+    Joined { h: u32 },
+    InSet { h: u32, c: u64 },
+    Await,
+    Fin { in_mis: bool },
+}
+
+impl WireSize for MisMsg {
+    fn wire_bits(&self) -> u64 {
+        // 3-bit tag for five variants, then the payload.
+        match self {
+            MisMsg::Active | MisMsg::Await => 3,
+            MisMsg::Joined { h } => 3 + h.wire_bits(),
+            MisMsg::InSet { h, c } => 3 + h.wire_bits() + c.wire_bits(),
+            MisMsg::Fin { in_mis } => 3 + in_mis.wire_bits(),
+        }
+    }
 }
 
 /// The Corollary 8.4 protocol.
@@ -73,13 +101,24 @@ impl MisExtension {
 
 impl Protocol for MisExtension {
     type State = SMis;
+    type Msg = MisMsg;
     type Output = bool;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SMis {
         SMis::Active
     }
 
-    fn step(&self, ctx: StepCtx<'_, SMis>) -> Transition<SMis, bool> {
+    fn publish(&self, state: &SMis) -> MisMsg {
+        match state {
+            SMis::Active => MisMsg::Active,
+            SMis::Joined { h } => MisMsg::Joined { h: *h },
+            SMis::InSet { h, c } => MisMsg::InSet { h: *h, c: *c },
+            SMis::Await { .. } => MisMsg::Await,
+            SMis::Fin { in_mis, .. } => MisMsg::Fin { in_mis: *in_mis },
+        }
+    }
+
+    fn step(&self, ctx: StepCtx<'_, SMis, MisMsg>) -> Transition<SMis, bool> {
         let (inset, iters) = self.schedules(ctx.ids);
         let d = inset.rounds();
         match ctx.state.clone() {
@@ -87,7 +126,7 @@ impl Protocol for MisExtension {
                 let active = ctx
                     .view
                     .neighbors()
-                    .filter(|(_, s)| matches!(s, SMis::Active))
+                    .filter(|(_, s)| matches!(s, MisMsg::Active))
                     .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SMis::Joined { h: ctx.round })
@@ -135,7 +174,7 @@ impl Protocol for MisExtension {
 impl MisExtension {
     fn inset_step(
         &self,
-        ctx: &StepCtx<'_, SMis>,
+        ctx: &StepCtx<'_, SMis, MisMsg>,
         h: u32,
         cur: u64,
         i: u32,
@@ -149,10 +188,10 @@ impl MisExtension {
             .view
             .neighbors()
             .filter_map(|(u, s)| match s {
-                SMis::InSet { h: j, c } if *j == h => Some(*c),
+                MisMsg::InSet { h: j, c } if *j == h => Some(*c),
                 // Peers entering the window this round still expose their
                 // IDs as their initial colors.
-                SMis::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
+                MisMsg::Joined { h: j } if *j == h => Some(ctx.ids.id(u)),
                 _ => None,
             })
             .collect();
@@ -169,7 +208,7 @@ impl MisExtension {
 
     fn slot_step(
         &self,
-        ctx: &StepCtx<'_, SMis>,
+        ctx: &StepCtx<'_, SMis, MisMsg>,
         h: u32,
         slot: u64,
         slot_round: u32,
@@ -180,7 +219,7 @@ impl MisExtension {
         let blocked = ctx
             .view
             .neighbors()
-            .any(|(_, s)| matches!(s, SMis::Fin { in_mis: true, .. }));
+            .any(|(_, s)| matches!(s, MisMsg::Fin { in_mis: true }));
         Transition::Terminate(
             SMis::Fin {
                 h,
@@ -212,14 +251,28 @@ pub enum SLuby {
     Winner,
 }
 
+impl WireSize for SLuby {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            SLuby::Drawing { priority } => 1 + priority.wire_bits(),
+            SLuby::Winner => 1,
+        }
+    }
+}
+
 impl Protocol for LubyMis {
     type State = SLuby;
+    type Msg = SLuby;
     type Output = bool;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SLuby {
         // Priorities for round 1 are drawn in round 1 (the init value is a
         // placeholder nobody reads before then).
         SLuby::Drawing { priority: 0 }
+    }
+
+    fn publish(&self, state: &SLuby) -> SLuby {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, SLuby>) -> Transition<SLuby, bool> {

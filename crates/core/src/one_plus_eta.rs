@@ -32,7 +32,7 @@ use crate::inset::{DeltaPlusOneSchedule, LinialSchedule};
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// What a vertex is currently doing (published alongside its prefix).
@@ -240,8 +240,39 @@ fn same_base_branch(my_prefix: &[u32], other: &OpeState) -> bool {
         )
 }
 
+impl WireSize for Mode {
+    fn wire_bits(&self) -> u64 {
+        // 4-bit tag for ten variants, then the payload.
+        4 + match self {
+            Mode::LevelPart { h } | Mode::ResPart { h } | Mode::BasePart { h } => h.wire_bits(),
+            Mode::LevelInSet { h, c } | Mode::ResInSet { h, c } | Mode::BaseColor { h, c } => {
+                h.wire_bits() + c.wire_bits()
+            }
+            Mode::LevelWait { h, local } | Mode::ResWait { h, local } => {
+                h.wire_bits() + local.wire_bits()
+            }
+            Mode::LevelPicked { h, local, g } => h.wire_bits() + local.wire_bits() + g.wire_bits(),
+            Mode::Done {
+                h,
+                local,
+                rec,
+                kind,
+            } => h.wire_bits() + local.wire_bits() + rec.wire_bits() + kind.wire_bits(),
+        }
+    }
+}
+
+impl WireSize for OpeState {
+    fn wire_bits(&self) -> u64 {
+        self.prefix.wire_bits() + self.mode.wire_bits()
+    }
+}
+
 impl Protocol for OnePlusEtaArbCol {
     type State = OpeState;
+    // Every field is neighbor-read: the branch predicates compare full
+    // prefixes, and each mode payload schedules some peer. Nothing to trim.
+    type Msg = OpeState;
     type Output = u64;
 
     fn init(&self, g: &Graph, ids: &IdAssignment, _: VertexId) -> OpeState {
@@ -255,6 +286,10 @@ impl Protocol for OnePlusEtaArbCol {
             prefix: Vec::new(),
             mode,
         }
+    }
+
+    fn publish(&self, state: &OpeState) -> OpeState {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, OpeState>) -> Transition<OpeState, u64> {

@@ -66,9 +66,12 @@ impl Partition {
 
 impl Protocol for Partition {
     type State = ();
+    type Msg = ();
     type Output = u32;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+
+    fn publish(&self, _: &()) {}
 
     fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
         if partition_step(ctx.view.active_degree(), self.cap()) {

@@ -23,7 +23,7 @@ use crate::coverfree::CoverFree;
 use crate::itlog;
 use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 use std::sync::OnceLock;
 
 /// Per-vertex state.
@@ -46,6 +46,31 @@ pub enum SPipe {
         seen: Vec<u64>,
         left: u32,
     },
+}
+
+/// Wire message of the pipeline. Neighbors need the partition status,
+/// a joiner's H-index, and — once 𝒜 is done — the color. The census
+/// accumulator `seen`, the remaining-rounds counter `left`, and the
+/// 𝒜-completion round `at` are private bookkeeping: publishing `seen`
+/// would put an `O(Δ log n)`-bit vector on the wire every gossip round
+/// for data no neighbor reads.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // mirrors the `SPipe` conventions above
+pub enum PipeMsg {
+    Active,
+    Joined { h: u32 },
+    HasColor { color: u64 },
+}
+
+impl WireSize for PipeMsg {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for three variants, then the payload.
+        match self {
+            PipeMsg::Active => 2,
+            PipeMsg::Joined { h } => 2 + h.wire_bits(),
+            PipeMsg::HasColor { color } => 2 + color.wire_bits(),
+        }
+    }
 }
 
 /// Output of the pipeline.
@@ -95,28 +120,39 @@ impl ColorThenCensus {
 }
 
 /// The 𝒜-output a neighbor currently exposes, if any.
-fn color_of(s: &SPipe) -> Option<u64> {
-    match s {
-        SPipe::Colored { color, .. } | SPipe::Census { color, .. } => Some(*color),
+fn color_of(m: &PipeMsg) -> Option<u64> {
+    match m {
+        PipeMsg::HasColor { color } => Some(*color),
         _ => None,
     }
 }
 
 impl Protocol for ColorThenCensus {
     type State = SPipe;
+    type Msg = PipeMsg;
     type Output = PipeOut;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SPipe {
         SPipe::Active
     }
 
-    fn step(&self, ctx: StepCtx<'_, SPipe>) -> Transition<SPipe, PipeOut> {
+    fn publish(&self, state: &SPipe) -> PipeMsg {
+        match state {
+            SPipe::Active => PipeMsg::Active,
+            SPipe::Joined { h } => PipeMsg::Joined { h: *h },
+            SPipe::Colored { color, .. } | SPipe::Census { color, .. } => {
+                PipeMsg::HasColor { color: *color }
+            }
+        }
+    }
+
+    fn step(&self, ctx: StepCtx<'_, SPipe, PipeMsg>) -> Transition<SPipe, PipeOut> {
         match ctx.state.clone() {
             SPipe::Active => {
                 let active = ctx
                     .view
                     .neighbors()
-                    .filter(|(_, s)| matches!(s, SPipe::Active))
+                    .filter(|(_, s)| matches!(s, PipeMsg::Active))
                     .count();
                 if partition_step(active, self.cap()) {
                     Transition::Continue(SPipe::Joined { h: ctx.round })
@@ -131,8 +167,8 @@ impl Protocol for ColorThenCensus {
                     .view
                     .neighbors()
                     .filter(|(u, s)| match s {
-                        SPipe::Active => true,
-                        SPipe::Joined { h: j } => *j == h && ctx.ids.id(*u) > my_id,
+                        PipeMsg::Active => true,
+                        PipeMsg::Joined { h: j } => *j == h && ctx.ids.id(*u) > my_id,
                         _ => false,
                     })
                     .map(|(u, _)| ctx.ids.id(u))
@@ -181,7 +217,7 @@ impl Protocol for ColorThenCensus {
 impl ColorThenCensus {
     fn census_step(
         &self,
-        ctx: &StepCtx<'_, SPipe>,
+        ctx: &StepCtx<'_, SPipe, PipeMsg>,
         color: u64,
         at: u32,
         mut seen: Vec<u64>,

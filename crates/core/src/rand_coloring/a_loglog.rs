@@ -24,7 +24,7 @@ use crate::partition::{degree_cap, partition_step};
 use graphcore::{Graph, IdAssignment, VertexId};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 
 /// Per-vertex state.
 #[derive(Clone, Debug)]
@@ -48,6 +48,17 @@ impl SRal {
         match self {
             SRal::Active => None,
             SRal::Idle { h } | SRal::Proposed { h, .. } | SRal::Final { h, .. } => Some(*h),
+        }
+    }
+}
+
+impl WireSize for SRal {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for four variants, then the payload.
+        match self {
+            SRal::Active => 2,
+            SRal::Idle { h } => 2 + h.wire_bits(),
+            SRal::Proposed { h, c } | SRal::Final { h, c } => 2 + h.wire_bits() + c.wire_bits(),
         }
     }
 }
@@ -95,7 +106,12 @@ impl RandALogLog {
 
 impl Protocol for RandALogLog {
     type State = SRal;
+    type Msg = SRal;
     type Output = u64;
+
+    fn publish(&self, state: &SRal) -> SRal {
+        state.clone()
+    }
 
     fn step(&self, ctx: StepCtx<'_, SRal>) -> Transition<SRal, u64> {
         let n = ctx.graph.n() as u64;

@@ -19,7 +19,7 @@
 use graphcore::{Graph, IdAssignment, VertexId};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use simlocal::{Protocol, StepCtx, Transition};
+use simlocal::{Protocol, StepCtx, Transition, WireSize};
 
 /// Per-vertex state.
 #[derive(Clone, Debug)]
@@ -30,6 +30,16 @@ pub enum SRand {
     Proposed(u64),
     /// Final color (terminal, published).
     Final(u64),
+}
+
+impl WireSize for SRand {
+    fn wire_bits(&self) -> u64 {
+        // 2-bit tag for three variants, then the payload.
+        match self {
+            SRand::Idle => 2,
+            SRand::Proposed(c) | SRand::Final(c) => 2 + c.wire_bits(),
+        }
+    }
 }
 
 /// The §9.2 protocol. The palette may be overridden (the §9.3 algorithm
@@ -60,10 +70,15 @@ impl Default for RandDeltaPlusOne {
 
 impl Protocol for RandDeltaPlusOne {
     type State = SRand;
+    type Msg = SRand;
     type Output = u64;
 
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SRand {
         SRand::Idle
+    }
+
+    fn publish(&self, state: &SRand) -> SRand {
+        state.clone()
     }
 
     fn step(&self, ctx: StepCtx<'_, SRand>) -> Transition<SRand, u64> {

@@ -37,7 +37,9 @@ use simlocal::{Protocol, StepCtx, Transition};
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LeaderElection;
 
-/// Published state: largest ID seen, plus the commit round if decided.
+/// Private state: largest ID seen, plus the commit round if decided.
+/// Only `best` travels — the commit round is bookkeeping for the final
+/// output, so the wire message ([`LeMsg`]) is the relay value alone.
 #[derive(Clone, Copy, Debug)]
 pub struct LeState {
     /// Largest ID seen so far (relay value).
@@ -45,6 +47,9 @@ pub struct LeState {
     /// Round the non-leader output was committed.
     pub committed: Option<u32>,
 }
+
+/// Wire message: the largest ID seen so far (`O(log n)` bits).
+pub type LeMsg = u64;
 
 /// Output: commit round and the verdict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +62,7 @@ pub struct LeOut {
 
 impl Protocol for LeaderElection {
     type State = LeState;
+    type Msg = LeMsg;
     type Output = LeOut;
 
     fn init(&self, g: &Graph, ids: &IdAssignment, v: VertexId) -> LeState {
@@ -67,12 +73,16 @@ impl Protocol for LeaderElection {
         }
     }
 
-    fn step(&self, ctx: StepCtx<'_, LeState>) -> Transition<LeState, LeOut> {
+    fn publish(&self, state: &LeState) -> LeMsg {
+        state.best
+    }
+
+    fn step(&self, ctx: StepCtx<'_, LeState, LeMsg>) -> Transition<LeState, LeOut> {
         let my_id = ctx.my_id();
         let best = ctx
             .view
             .neighbors()
-            .map(|(_, s)| s.best)
+            .map(|(_, &b)| b)
             .chain([ctx.state.best])
             .max()
             .expect("cycle vertices have neighbors");
@@ -112,7 +122,8 @@ impl Protocol for LeaderElection {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RingThreeColoring;
 
-/// Published state: the current color.
+/// State and message alike: the current color (the whole state is
+/// neighbor-visible, so it travels as-is).
 pub type CvState = u64;
 
 /// Number of Cole–Vishkin reduction rounds needed from palette `p` down
@@ -162,6 +173,7 @@ impl RingThreeColoring {
 
 impl Protocol for RingThreeColoring {
     type State = CvState;
+    type Msg = CvState;
     type Output = u64;
 
     fn init(&self, g: &Graph, ids: &IdAssignment, v: VertexId) -> CvState {
@@ -169,12 +181,16 @@ impl Protocol for RingThreeColoring {
         ids.id(v)
     }
 
+    fn publish(&self, state: &CvState) -> CvState {
+        *state
+    }
+
     fn step(&self, ctx: StepCtx<'_, CvState>) -> Transition<CvState, u64> {
         let total_cv = cv_rounds(ctx.ids.id_space().max(2));
         let i = ctx.round - 1;
         let next = if i < total_cv {
             let succ = Self::successor(ctx.graph, ctx.v);
-            cv_step(*ctx.state, *ctx.view.state_of(succ))
+            cv_step(*ctx.state, *ctx.view.msg_of(succ))
         } else {
             // Shoot-down: colors 5, 4, 3 re-pick in separate rounds.
             let target = 5 - (i - total_cv) as u64; // 5, then 4, then 3

@@ -3,14 +3,25 @@
 //! wall-clock cost of a whole simulation tracks `RoundSum(V) = Σ_v r(v)`
 //! (the paper's Equation 1) instead of `n × worst-case`.
 //!
+//! The engine keeps two slabs:
+//!
+//! * a **private state slab** (`Vec<P::State>`), mutated in place and
+//!   never read by anyone but its own vertex — private scratch is never
+//!   cloned for neighbors;
+//! * a **published message slab** (`Vec<P::Msg>`), refreshed from
+//!   [`Protocol::publish`] whenever a vertex steps. Neighbor reads go
+//!   through this slab only, and every published message is charged its
+//!   [`WireSize::wire_bits`](crate::wire::WireSize::wire_bits) in the
+//!   engine's communication accounting.
+//!
 //! What makes a round sparse:
 //!
-//! * one `published` state buffer — a stepped vertex's new state is moved
-//!   (not cloned) into place after all of the round's reads are done, and
-//!   vertices that did not step are simply never touched;
+//! * a stepped vertex's new state and message are moved (not cloned) into
+//!   place after all of the round's reads are done, and vertices that did
+//!   not step are simply never touched;
 //! * the transition scratch buffer is reused across rounds;
-//! * terminating vertices publish their final state in the same pass that
-//!   records their output — there is no end-of-round `O(n)` scan;
+//! * terminating vertices publish their final message in the same pass
+//!   that records their output — there is no end-of-round `O(n)` scan;
 //! * an adaptive sequential/parallel cutover: rounds whose active set is
 //!   below [`RunConfig::par_threshold`] run on the calling thread even in
 //!   parallel mode, so the long low-activity tail of a decaying protocol
@@ -22,13 +33,14 @@
 //! bare engine — no clocks, no callbacks.
 //!
 //! Sequential and parallel modes produce byte-identical outcomes: every
-//! step reads only the previous round's snapshot, and transitions are
-//! applied in deterministic vertex order. A property test checks both
+//! step reads only the previous round's message snapshot, and transitions
+//! are applied in deterministic vertex order. A property test checks both
 //! modes against the retained naive engine in [`crate::reference`].
 
 use crate::metrics::RoundMetrics;
 use crate::observer::{NoObserver, Observer, RoundRecord};
 use crate::protocol::{NeighborView, Protocol, StepCtx, Transition};
+use crate::wire::WireSize;
 use graphcore::{Graph, IdAssignment, VertexId};
 use std::time::{Duration, Instant};
 
@@ -114,11 +126,16 @@ pub struct EngineStats {
     /// Total `step` invocations — equals `RoundSum(V)`; in the sparse
     /// engine this is also the total number of vertex touches.
     pub steps: u64,
-    /// Total states published (one per step, final broadcasts included).
+    /// Total messages published (one per step, final broadcasts included).
     pub publications: u64,
-    /// Estimated bytes published: `publications × size_of::<State>()`
-    /// (shallow size — heap payloads inside states are not counted).
-    pub state_bytes: u64,
+    /// Total message bits published: the sum of
+    /// [`WireSize::wire_bits`](crate::wire::WireSize::wire_bits) over
+    /// every published message (initial-state broadcasts excluded, final
+    /// broadcasts included).
+    pub msg_bits: u64,
+    /// Largest single published message, in bits — the number the CONGEST
+    /// audit compares against `c·log₂ n`.
+    pub max_msg_bits: u64,
     /// Rounds that actually fanned out to worker threads.
     pub parallel_rounds: u32,
 }
@@ -175,8 +192,10 @@ impl std::error::Error for EngineError {}
 /// struct EmitId;
 /// impl Protocol for EmitId {
 ///     type State = ();
+///     type Msg = ();
 ///     type Output = u64;
 ///     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+///     fn publish(&self, _: &()) {}
 ///     fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u64> {
 ///         Transition::Terminate((), ctx.my_id())
 ///     }
@@ -272,7 +291,6 @@ fn execute<P: Protocol, Ob: Observer>(
     assert_eq!(ids.len(), g.n(), "ID assignment must cover all vertices");
     let n = g.n();
     let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
-    let state_size = std::mem::size_of::<P::State>() as u64;
     let workers = if cfg.parallel {
         std::thread::available_parallelism()
             .map(|w| w.get())
@@ -282,7 +300,10 @@ fn execute<P: Protocol, Ob: Observer>(
     };
 
     let run_t0 = Instant::now();
-    let mut published: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
+    // The two slabs: private states (in-place, never read by neighbors)
+    // and published messages (the only thing NeighborView serves).
+    let mut states: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
+    let mut published: Vec<P::Msg> = states.iter().map(|s| protocol.publish(s)).collect();
     let mut terminated = vec![false; n];
     let mut outputs: Vec<Option<P::Output>> = vec![None; n];
     let mut termination_round = vec![0u32; n];
@@ -310,21 +331,21 @@ fn execute<P: Protocol, Ob: Observer>(
         };
         active_per_round.push(stepped);
 
-        // Step phase: read-only against `published`; every active vertex's
-        // transition lands in the reusable scratch buffer. `step_one` is a
-        // pure function of the previous round's snapshot, so the parallel
-        // fan-out below cannot change the outcome.
+        // Step phase: read-only against the message slab; every active
+        // vertex's transition lands in the reusable scratch buffer.
+        // `step_one` is a pure function of the previous round's snapshot,
+        // so the parallel fan-out below cannot change the outcome.
         let step_one = |&v: &VertexId| {
             let ctx = StepCtx {
                 graph: g,
                 ids,
                 v,
                 round,
-                state: &published[v as usize],
+                state: &states[v as usize],
                 view: NeighborView {
                     graph: g,
                     v,
-                    states: &published,
+                    msgs: &published,
                     terminated: &terminated,
                 },
                 run_seed: cfg.seed,
@@ -353,23 +374,31 @@ fn execute<P: Protocol, Ob: Observer>(
         }
 
         // Publish phase: touches exactly the stepped vertices, in
-        // deterministic vertex order. A terminating vertex's final state
+        // deterministic vertex order. A terminating vertex's final message
         // is published right here — no end-of-round scan.
         next_active.clear();
+        let mut round_bits = 0u64;
+        let mut round_max_bits = 0u64;
         for (v, t) in transitions.drain(..) {
             if Ob::ENABLED {
-                // `published[v]` still holds the state the vertex entered
+                // `states[v]` still holds the state the vertex entered
                 // the round with — the one `phase_of` attributes.
-                observer.on_phase(v, round, protocol.phase_of(&published[v as usize]));
+                observer.on_phase(v, round, protocol.phase_of(&states[v as usize]));
             }
             observer.on_step(v, round);
-            match t {
-                Transition::Continue(s) => {
-                    published[v as usize] = s;
-                    next_active.push(v);
-                }
-                Transition::Terminate(s, o) => {
-                    published[v as usize] = s;
+            let (s, output) = match t {
+                Transition::Continue(s) => (s, None),
+                Transition::Terminate(s, o) => (s, Some(o)),
+            };
+            let msg = protocol.publish(&s);
+            let bits = msg.wire_bits();
+            round_bits += bits;
+            round_max_bits = round_max_bits.max(bits);
+            published[v as usize] = msg;
+            states[v as usize] = s;
+            match output {
+                None => next_active.push(v),
+                Some(o) => {
                     outputs[v as usize] = Some(o);
                     terminated[v as usize] = true;
                     termination_round[v as usize] = round;
@@ -381,13 +410,15 @@ fn execute<P: Protocol, Ob: Observer>(
 
         stats.steps += stepped as u64;
         stats.publications += stepped as u64;
-        stats.state_bytes += stepped as u64 * state_size;
+        stats.msg_bits += round_bits;
+        stats.max_msg_bits = stats.max_msg_bits.max(round_max_bits);
         if Ob::ENABLED {
             observer.on_round_end(&RoundRecord {
                 round,
                 active: stepped,
                 publications: stepped,
-                state_bytes: stepped as u64 * state_size,
+                msg_bits: round_bits,
+                max_msg_bits: round_max_bits,
                 wall: round_t0.expect("timed when enabled").elapsed(),
             });
         }
@@ -421,8 +452,10 @@ mod tests {
     struct Instant;
     impl Protocol for Instant {
         type State = ();
+        type Msg = ();
         type Output = u64;
         fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn publish(&self, _: &()) {}
         fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u64> {
             Transition::Terminate((), ctx.my_id())
         }
@@ -432,8 +465,10 @@ mod tests {
     struct Staircase;
     impl Protocol for Staircase {
         type State = ();
+        type Msg = ();
         type Output = u32;
         fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn publish(&self, _: &()) {}
         fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
             if ctx.round > ctx.v {
                 Transition::Terminate((), ctx.round)
@@ -449,9 +484,13 @@ mod tests {
     }
     impl Protocol for FloodMax {
         type State = u64;
+        type Msg = u64;
         type Output = u64;
         fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
             ids.id(v)
+        }
+        fn publish(&self, s: &u64) -> u64 {
+            *s
         }
         fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
             let best = ctx
@@ -473,8 +512,10 @@ mod tests {
     struct Livelock;
     impl Protocol for Livelock {
         type State = ();
+        type Msg = ();
         type Output = ();
         fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn publish(&self, _: &()) {}
         fn step(&self, _: StepCtx<'_, ()>) -> Transition<(), ()> {
             Transition::Continue(())
         }
@@ -487,8 +528,10 @@ mod tests {
     struct CoinFlip;
     impl Protocol for CoinFlip {
         type State = ();
+        type Msg = ();
         type Output = u32;
         fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn publish(&self, _: &()) {}
         fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
             if ctx.rng().gen_bool(0.5) {
                 Transition::Terminate((), ctx.round)
@@ -529,7 +572,8 @@ mod tests {
         assert_eq!(out.stats.steps, out.metrics.round_sum());
         assert_eq!(out.stats.publications, out.metrics.round_sum());
         assert_eq!(out.stats.rounds, out.metrics.worst_case());
-        assert_eq!(out.stats.state_bytes, 0, "() states publish zero bytes");
+        assert_eq!(out.stats.msg_bits, 0, "() messages cost zero wire bits");
+        assert_eq!(out.stats.max_msg_bits, 0);
         assert_eq!(out.stats.parallel_rounds, 0);
     }
 
@@ -540,27 +584,32 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(out.outputs, vec![2, 2, 2]);
-        // Three rounds × three vertices × 8-byte states.
-        assert_eq!(out.stats.state_bytes, 9 * 8);
+        // Three rounds × three vertices × 64-bit messages.
+        assert_eq!(out.stats.msg_bits, 9 * 64);
+        assert_eq!(out.stats.max_msg_bits, 64);
     }
 
     #[test]
-    fn terminated_neighbor_state_stays_readable() {
-        // Vertex 0 terminates in round 1; vertex 1 reads 0's final state
+    fn terminated_neighbor_message_stays_readable() {
+        // Vertex 0 terminates in round 1; vertex 1 reads 0's final message
         // in round 2 without 0 being stepped again.
         struct ReadsDead;
         impl Protocol for ReadsDead {
             type State = u32;
+            type Msg = u32;
             type Output = u32;
             fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> u32 {
                 0
+            }
+            fn publish(&self, s: &u32) -> u32 {
+                *s
             }
             fn step(&self, ctx: StepCtx<'_, u32>) -> Transition<u32, u32> {
                 if ctx.v == 0 {
                     return Transition::Terminate(77, 77);
                 }
                 if ctx.view.is_terminated(0) {
-                    Transition::Terminate(0, *ctx.view.state_of(0))
+                    Transition::Terminate(0, *ctx.view.msg_of(0))
                 } else {
                     Transition::Continue(0)
                 }
@@ -570,6 +619,55 @@ mod tests {
         let out = Runner::new(&ReadsDead, &g, &ids(2)).run().unwrap();
         assert_eq!(out.outputs[1], 77);
         assert_eq!(out.metrics.termination_round, vec![1, 2]);
+    }
+
+    #[test]
+    fn private_state_is_not_what_neighbors_see() {
+        // The state/wire split: state carries a private counter that never
+        // reaches the wire; the message only carries the public value.
+        // Neighbors must see the projection, and the engine must charge
+        // only the message's bits.
+        #[derive(Clone)]
+        struct S {
+            public: u32,
+            _scratch: [u64; 8], // 64 bytes of private scratch
+        }
+        struct Split;
+        impl Protocol for Split {
+            type State = S;
+            type Msg = u32;
+            type Output = u32;
+            fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> S {
+                S {
+                    public: ids.id(v) as u32,
+                    _scratch: [0; 8],
+                }
+            }
+            fn publish(&self, s: &S) -> u32 {
+                s.public
+            }
+            fn step(&self, ctx: StepCtx<'_, S, u32>) -> Transition<S, u32> {
+                let sum: u32 = ctx.view.neighbors().map(|(_, &m)| m).sum();
+                if ctx.round == 2 {
+                    Transition::Terminate(ctx.state.clone(), sum)
+                } else {
+                    Transition::Continue(S {
+                        public: sum,
+                        _scratch: [99; 8],
+                    })
+                }
+            }
+        }
+        let g = gen::path(3);
+        let out = Runner::new(&Split, &g, &ids(3)).run().unwrap();
+        // Round 1 messages: ids 0,1,2 → round-1 sums 1,2,1 published.
+        // Round 2 reads those sums: outputs 2, 0+… = [2, 2, 2]? Compute:
+        // v0 reads v1's msg 2 → 2; v1 reads 1+1=2; v2 reads v1's 2 → 2.
+        assert_eq!(out.outputs, vec![2, 2, 2]);
+        // Six steps, each publishing a 32-bit message — the 64-byte
+        // scratch never hits the wire.
+        assert_eq!(out.stats.msg_bits, 6 * 32);
+        assert_eq!(out.stats.max_msg_bits, 32);
     }
 
     #[test]
@@ -678,12 +776,13 @@ mod tests {
     fn telemetry_matches_engine_accounting() {
         let g = gen::path(5);
         let mut t = Telemetry::new();
-        let out = Runner::new(&Staircase, &g, &ids(5))
+        let out = Runner::new(&FloodMax { rounds: 2 }, &g, &ids(5))
             .run_with(&mut t)
             .unwrap();
         assert_eq!(t.active, out.metrics.active_per_round);
         assert_eq!(t.total_publications(), out.stats.publications);
-        assert_eq!(t.total_state_bytes(), out.stats.state_bytes);
+        assert_eq!(t.total_msg_bits(), out.stats.msg_bits);
+        assert_eq!(t.peak_msg_bits(), out.stats.max_msg_bits);
         assert_eq!(t.rounds() as u32, out.stats.rounds);
         // Every vertex terminates exactly once, at its recorded round.
         let mut seen = [0u32; 5];

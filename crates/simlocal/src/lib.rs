@@ -4,11 +4,15 @@
 //!
 //! The substrate the paper reasons about (§1.1): an `n`-vertex graph whose
 //! vertices are processors operating in synchronous rounds, exchanging
-//! messages of unbounded size with their neighbors. With unbounded messages,
-//! "send anything" is equivalent to "publish your whole state each round and
-//! read your neighbors' previous-round states" — this crate implements that
-//! state-read formulation, which makes per-vertex protocols ordinary pure
-//! state machines.
+//! messages with their neighbors. A protocol keeps a *private* per-vertex
+//! [`Protocol::State`] and, each round, publishes an explicit
+//! [`Protocol::Msg`] (via [`Protocol::publish`]) that neighbors read the
+//! following round — the wire is separate from the state, so scratch data
+//! never travels. Each published message is charged its encoded size in
+//! bits through [`wire::WireSize`], giving the engine exact communication
+//! accounting (`EngineStats::msg_bits` / `max_msg_bits`) alongside the
+//! round metrics — including the CONGEST question "do all messages fit in
+//! O(log n) bits?".
 //!
 //! ## Termination semantics (§2 of the paper)
 //!
@@ -42,8 +46,10 @@
 //! # struct P;
 //! # impl Protocol for P {
 //! #     type State = ();
+//! #     type Msg = ();
 //! #     type Output = u64;
 //! #     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+//! #     fn publish(&self, _: &()) {}
 //! #     fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u64> {
 //! #         Transition::Terminate((), ctx.my_id())
 //! #     }
@@ -65,6 +71,7 @@ pub mod protocol;
 pub mod reference;
 pub mod rng;
 pub mod trace;
+pub mod wire;
 
 pub use engine::{EngineError, EngineStats, RunConfig, Runner, SimOutcome, DEFAULT_PAR_THRESHOLD};
 pub use metrics::{Percentiles, RoundMetrics};
@@ -72,3 +79,4 @@ pub use observer::{NoObserver, Observer, RoundRecord, Tee, Telemetry};
 pub use protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};
 pub use reference::run_reference;
 pub use trace::{Histogram, PhaseBreakdown, Profile, TraceEvent, TraceLog};
+pub use wire::WireSize;

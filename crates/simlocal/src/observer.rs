@@ -33,12 +33,14 @@ pub struct RoundRecord {
     pub round: u32,
     /// Vertices that stepped this round (the paper's `n_i`).
     pub active: usize,
-    /// States published this round — every stepped vertex publishes once,
-    /// including the final broadcast of vertices that terminate.
+    /// Messages published this round — every stepped vertex publishes
+    /// once, including the final broadcast of vertices that terminate.
     pub publications: usize,
-    /// Estimated bytes published: `publications × size_of::<State>()`
-    /// (shallow size; heap payloads inside states are not counted).
-    pub state_bytes: u64,
+    /// Wire bits published this round: the sum of `WireSize::wire_bits`
+    /// over every message published this round (heap payloads counted).
+    pub msg_bits: u64,
+    /// Largest single message published this round, in bits.
+    pub max_msg_bits: u64,
     /// Wall-clock time of the round (step + publish phases).
     pub wall: Duration,
 }
@@ -91,15 +93,17 @@ impl Observer for NoObserver {
 }
 
 /// Built-in telemetry collector: per-round wall time, publication counts,
-/// byte estimates, and the active-set decay series.
+/// wire-bit accounting, and the active-set decay series.
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     /// `active[i]` = vertices stepped in round `i + 1`.
     pub active: Vec<usize>,
-    /// `publications[i]` = states published in round `i + 1`.
+    /// `publications[i]` = messages published in round `i + 1`.
     pub publications: Vec<u64>,
-    /// `state_bytes[i]` = estimated bytes published in round `i + 1`.
-    pub state_bytes: Vec<u64>,
+    /// `msg_bits[i]` = wire bits published in round `i + 1`.
+    pub msg_bits: Vec<u64>,
+    /// `max_msg_bits[i]` = widest message published in round `i + 1`.
+    pub max_msg_bits: Vec<u64>,
     /// `wall[i]` = wall-clock duration of round `i + 1`.
     pub wall: Vec<Duration>,
     /// `(vertex, round)` termination events in engine order.
@@ -122,9 +126,14 @@ impl Telemetry {
         self.publications.iter().sum()
     }
 
-    /// Total estimated bytes published across the run.
-    pub fn total_state_bytes(&self) -> u64 {
-        self.state_bytes.iter().sum()
+    /// Total wire bits published across the run.
+    pub fn total_msg_bits(&self) -> u64 {
+        self.msg_bits.iter().sum()
+    }
+
+    /// Widest single message observed across the run, in bits.
+    pub fn peak_msg_bits(&self) -> u64 {
+        self.max_msg_bits.iter().copied().max().unwrap_or(0)
     }
 
     /// Total wall-clock time across all observed rounds.
@@ -142,7 +151,8 @@ impl Observer for Telemetry {
         debug_assert_eq!(record.round as usize, self.active.len() + 1);
         self.active.push(record.active);
         self.publications.push(record.publications as u64);
-        self.state_bytes.push(record.state_bytes);
+        self.msg_bits.push(record.msg_bits);
+        self.max_msg_bits.push(record.max_msg_bits);
         self.wall.push(record.wall);
     }
 }
@@ -198,20 +208,23 @@ mod tests {
             round: 1,
             active: 3,
             publications: 3,
-            state_bytes: 24,
+            msg_bits: 24,
+            max_msg_bits: 8,
             wall: Duration::from_micros(5),
         });
         t.on_round_end(&RoundRecord {
             round: 2,
             active: 2,
             publications: 2,
-            state_bytes: 16,
+            msg_bits: 16,
+            max_msg_bits: 8,
             wall: Duration::from_micros(3),
         });
         assert_eq!(t.rounds(), 2);
         assert_eq!(t.active, vec![3, 2]);
         assert_eq!(t.total_publications(), 5);
-        assert_eq!(t.total_state_bytes(), 40);
+        assert_eq!(t.total_msg_bits(), 40);
+        assert_eq!(t.peak_msg_bits(), 8);
         assert_eq!(t.total_wall(), Duration::from_micros(8));
         assert_eq!(t.terminations, vec![(2, 1)]);
     }
@@ -245,7 +258,8 @@ mod tests {
             round: 1,
             active: 2,
             publications: 2,
-            state_bytes: 16,
+            msg_bits: 16,
+            max_msg_bits: 8,
             wall: Duration::from_micros(7),
         });
         for t in [&tee.0, &tee.1] {

@@ -1,5 +1,6 @@
 //! The per-vertex protocol abstraction and the neighbor view.
 
+use crate::wire::WireSize;
 use graphcore::{Graph, IdAssignment, VertexId};
 use rand_chacha::ChaCha8Rng;
 
@@ -10,9 +11,10 @@ pub type PhaseId = u8;
 /// What a vertex does after a step.
 #[derive(Clone, Debug)]
 pub enum Transition<S, O> {
-    /// Stay active with the new state (published to neighbors next round).
+    /// Stay active with the new state (its message is published to
+    /// neighbors next round).
     Continue(S),
-    /// Publish the final state, record the output, and terminate.
+    /// Publish the final message, record the output, and terminate.
     ///
     /// The round in which this transition happens is the vertex's running
     /// time (the decide-and-broadcast round of the paper's §2 convention).
@@ -23,17 +25,37 @@ pub enum Transition<S, O> {
 /// the global parameters every processor is assumed to know (`n`, the
 /// arboricity `a`, `Δ`, `ε`, …) but **no per-vertex mutable data** — all
 /// per-vertex data lives in `State`.
+///
+/// The state/wire split: `State` is a vertex's *private* memory, mutated
+/// in place by the engine and never shown to anyone else; `Msg` is what
+/// the vertex broadcasts each round, produced from the new state by
+/// [`Protocol::publish`]. Neighbors only ever see `Msg` (through
+/// [`NeighborView`]), so counters, RNG scratch, and partial work stay off
+/// the wire — and the engine's communication accounting
+/// ([`WireSize::wire_bits`]) measures what an implementation would
+/// actually send.
 pub trait Protocol: Sync {
-    /// Per-vertex state, published to neighbors each round.
+    /// Per-vertex private state (never visible to neighbors).
     type State: Clone + Send + Sync;
+    /// The message broadcast to neighbors each round.
+    type Msg: Clone + Send + Sync + WireSize;
     /// Per-vertex final output.
     type Output: Clone + Send + Sync;
 
-    /// State of vertex `v` before round 1 (what neighbors see in round 1).
+    /// State of vertex `v` before round 1. Its published message (via
+    /// [`Protocol::publish`]) is what neighbors see in round 1.
     fn init(&self, g: &Graph, ids: &IdAssignment, v: VertexId) -> Self::State;
 
+    /// The message a vertex holding `state` broadcasts. Called once per
+    /// step on the *new* state (and once on the initial state); protocols
+    /// whose whole state is neighbor-visible simply clone it.
+    fn publish(&self, state: &Self::State) -> Self::Msg;
+
     /// One synchronous round for an active vertex.
-    fn step(&self, ctx: StepCtx<'_, Self::State>) -> Transition<Self::State, Self::Output>;
+    fn step(
+        &self,
+        ctx: StepCtx<'_, Self::State, Self::Msg>,
+    ) -> Transition<Self::State, Self::Output>;
 
     /// Upper bound on rounds before the engine declares the protocol stuck.
     /// Generous default; override for protocols with known round bounds.
@@ -60,9 +82,11 @@ pub trait Protocol: Sync {
     }
 }
 
-/// Everything a vertex can see when it steps: its own identity and state,
-/// the global round number, and its neighbors' previous-round states.
-pub struct StepCtx<'a, S> {
+/// Everything a vertex can see when it steps: its own identity and private
+/// state, the global round number, and its neighbors' previous-round
+/// messages. The message type defaults to the state type, so protocols
+/// that publish their whole state write `StepCtx<'_, State>` unchanged.
+pub struct StepCtx<'a, S, M = S> {
     /// The topology (a processor may freely inspect its own incident edges;
     /// global queries are available to protocols but correct LOCAL
     /// protocols only use local ones — tests enforce outputs, not access).
@@ -74,15 +98,15 @@ pub struct StepCtx<'a, S> {
     pub v: VertexId,
     /// Current round number, starting at 1.
     pub round: u32,
-    /// This vertex's state coming into the round.
+    /// This vertex's private state coming into the round.
     pub state: &'a S,
-    /// Neighbor states as of the end of the previous round.
-    pub view: NeighborView<'a, S>,
+    /// Neighbor messages as published at the end of the previous round.
+    pub view: NeighborView<'a, M>,
     /// Run seed for deriving this step's RNG.
     pub(crate) run_seed: u64,
 }
 
-impl<'a, S> StepCtx<'a, S> {
+impl<'a, S, M> StepCtx<'a, S, M> {
     /// This vertex's unique ID.
     #[inline]
     pub fn my_id(&self) -> u64 {
@@ -101,18 +125,18 @@ impl<'a, S> StepCtx<'a, S> {
     }
 }
 
-/// Read-only access to the previous-round states of the whole graph,
-/// scoped to a vertex's neighborhood by the convenience methods.
-pub struct NeighborView<'a, S> {
+/// Read-only access to the previous-round published messages of the whole
+/// graph, scoped to a vertex's neighborhood by the convenience methods.
+pub struct NeighborView<'a, M> {
     pub(crate) graph: &'a Graph,
     pub(crate) v: VertexId,
-    pub(crate) states: &'a [S],
+    pub(crate) msgs: &'a [M],
     pub(crate) terminated: &'a [bool],
 }
 
-impl<'a, S> NeighborView<'a, S> {
+impl<'a, M> NeighborView<'a, M> {
     /// Debug-only locality guard: in the LOCAL model a vertex may only
-    /// read itself and its direct neighbors, but `states` spans the whole
+    /// read itself and its direct neighbors, but `msgs` spans the whole
     /// graph, so nothing stops a protocol from peeking further. Panics in
     /// debug builds if `u` is neither `self.v` nor one of its neighbors;
     /// compiled out in release builds so the hot loop is unaffected.
@@ -126,11 +150,11 @@ impl<'a, S> NeighborView<'a, S> {
         );
     }
 
-    /// Previous-round state of an arbitrary vertex (normally a neighbor).
+    /// Previous-round message of an arbitrary vertex (normally a neighbor).
     #[inline]
-    pub fn state_of(&self, u: VertexId) -> &'a S {
+    pub fn msg_of(&self, u: VertexId) -> &'a M {
         self.assert_local(u);
-        &self.states[u as usize]
+        &self.msgs[u as usize]
     }
 
     /// Whether `u` had terminated before this round began.
@@ -140,30 +164,30 @@ impl<'a, S> NeighborView<'a, S> {
         self.terminated[u as usize]
     }
 
-    /// Iterator over `(neighbor, state)` pairs.
-    pub fn neighbors(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
+    /// Iterator over `(neighbor, message)` pairs.
+    pub fn neighbors(&self) -> impl Iterator<Item = (VertexId, &'a M)> + '_ {
         self.graph
             .neighbors(self.v)
             .iter()
-            .map(move |&u| (u, &self.states[u as usize]))
+            .map(move |&u| (u, &self.msgs[u as usize]))
     }
 
     /// Iterator over neighbors that are still active.
-    pub fn active_neighbors(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
+    pub fn active_neighbors(&self) -> impl Iterator<Item = (VertexId, &'a M)> + '_ {
         self.graph
             .neighbors(self.v)
             .iter()
             .filter(move |&&u| !self.terminated[u as usize])
-            .map(move |&u| (u, &self.states[u as usize]))
+            .map(move |&u| (u, &self.msgs[u as usize]))
     }
 
-    /// Iterator over neighbors that have terminated (final states).
-    pub fn terminated_neighbors(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
+    /// Iterator over neighbors that have terminated (final messages).
+    pub fn terminated_neighbors(&self) -> impl Iterator<Item = (VertexId, &'a M)> + '_ {
         self.graph
             .neighbors(self.v)
             .iter()
             .filter(move |&&u| self.terminated[u as usize])
-            .map(move |&u| (u, &self.states[u as usize]))
+            .map(move |&u| (u, &self.msgs[u as usize]))
     }
 
     /// Count of still-active neighbors.
@@ -184,12 +208,12 @@ mod tests {
     #[test]
     fn neighbor_view_filters() {
         let g = gen::path(3);
-        let states = vec![10u32, 20, 30];
+        let msgs = vec![10u32, 20, 30];
         let terminated = vec![true, false, false];
         let view = NeighborView {
             graph: &g,
             v: 1,
-            states: &states,
+            msgs: &msgs,
             terminated: &terminated,
         };
         let all: Vec<_> = view.neighbors().map(|(u, &s)| (u, s)).collect();
@@ -200,9 +224,9 @@ mod tests {
         assert_eq!(term, vec![0]);
         assert_eq!(view.active_degree(), 1);
         assert!(view.is_terminated(0));
-        assert_eq!(*view.state_of(2), 30);
+        assert_eq!(*view.msg_of(2), 30);
         // Self-reads are always legal.
-        assert_eq!(*view.state_of(1), 20);
+        assert_eq!(*view.msg_of(1), 20);
     }
 
     #[test]
@@ -210,16 +234,16 @@ mod tests {
     #[should_panic(expected = "LOCAL-model violation")]
     fn non_neighbor_read_panics_in_debug() {
         let g = gen::path(4);
-        let states = vec![0u32; 4];
+        let msgs = vec![0u32; 4];
         let terminated = vec![false; 4];
         let view = NeighborView {
             graph: &g,
             v: 0,
-            states: &states,
+            msgs: &msgs,
             terminated: &terminated,
         };
         // Vertex 3 is two hops from vertex 0 on a path — reading it
         // breaks the LOCAL model and must trip the debug guard.
-        let _ = view.state_of(3);
+        let _ = view.msg_of(3);
     }
 }

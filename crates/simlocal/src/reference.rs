@@ -1,9 +1,10 @@
 //! The naive dense engine, retained as an executable specification.
 //!
 //! This is the semantics the sparse engine in [`crate::engine`] must
-//! reproduce byte-for-byte: every round clones the full state vector,
-//! scans all `n` vertices, steps the active ones against the previous
-//! round's snapshot, and swaps the buffers. It does `O(n)` work per round
+//! reproduce byte-for-byte: every round clones the full state and message
+//! vectors, scans all `n` vertices, steps the active ones against the
+//! previous round's message snapshot, publishes each stepped vertex's new
+//! message, and swaps the buffers. It does `O(n)` work per round
 //! regardless of activity — which is exactly why it exists only as a
 //! correctness oracle (see the `sparse_matches_reference` property test)
 //! and as the slow side of the engine benchmarks, never as the production
@@ -12,6 +13,7 @@
 use crate::engine::{EngineError, SimOutcome};
 use crate::metrics::RoundMetrics;
 use crate::protocol::{NeighborView, Protocol, StepCtx, Transition};
+use crate::wire::WireSize;
 use graphcore::{Graph, IdAssignment};
 
 /// Runs `protocol` with the dense per-round scan. Sequential only; the
@@ -30,12 +32,12 @@ pub fn run_reference<P: Protocol>(
     let t0 = std::time::Instant::now();
 
     let mut prev: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
+    let mut prev_msgs: Vec<P::Msg> = prev.iter().map(|s| protocol.publish(s)).collect();
     let mut terminated = vec![false; n];
     let mut outputs: Vec<Option<P::Output>> = vec![None; n];
     let mut termination_round = vec![0u32; n];
     let mut active_per_round = Vec::new();
     let mut stats = crate::engine::EngineStats::default();
-    let state_size = std::mem::size_of::<P::State>() as u64;
 
     let mut round: u32 = 0;
     let mut remaining = n;
@@ -49,6 +51,7 @@ pub fn run_reference<P: Protocol>(
         }
         active_per_round.push(remaining);
         let mut next: Vec<P::State> = prev.clone();
+        let mut next_msgs: Vec<P::Msg> = prev_msgs.clone();
         let mut next_terminated = terminated.clone();
         let mut stepped = 0u64;
         for v in g.vertices() {
@@ -64,28 +67,34 @@ pub fn run_reference<P: Protocol>(
                 view: NeighborView {
                     graph: g,
                     v,
-                    states: &prev,
+                    msgs: &prev_msgs,
                     terminated: &terminated,
                 },
                 run_seed: seed,
             };
             stepped += 1;
-            match protocol.step(ctx) {
-                Transition::Continue(s) => next[v as usize] = s,
-                Transition::Terminate(s, o) => {
-                    next[v as usize] = s;
-                    outputs[v as usize] = Some(o);
-                    next_terminated[v as usize] = true;
-                    termination_round[v as usize] = round;
-                    remaining -= 1;
-                }
+            let (s, output) = match protocol.step(ctx) {
+                Transition::Continue(s) => (s, None),
+                Transition::Terminate(s, o) => (s, Some(o)),
+            };
+            let msg = protocol.publish(&s);
+            let bits = msg.wire_bits();
+            stats.msg_bits += bits;
+            stats.max_msg_bits = stats.max_msg_bits.max(bits);
+            next_msgs[v as usize] = msg;
+            next[v as usize] = s;
+            if let Some(o) = output {
+                outputs[v as usize] = Some(o);
+                next_terminated[v as usize] = true;
+                termination_round[v as usize] = round;
+                remaining -= 1;
             }
         }
         prev = next;
+        prev_msgs = next_msgs;
         terminated = next_terminated;
         stats.steps += n as u64; // dense: every vertex is touched
         stats.publications += stepped;
-        stats.state_bytes += stepped * state_size;
     }
 
     stats.rounds = round;
@@ -114,8 +123,10 @@ mod tests {
     struct Staircase;
     impl Protocol for Staircase {
         type State = ();
+        type Msg = ();
         type Output = u32;
         fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn publish(&self, _: &()) {}
         fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
             if ctx.round > ctx.v {
                 Transition::Terminate((), ctx.round)

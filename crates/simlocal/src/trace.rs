@@ -54,10 +54,12 @@ pub enum TraceEvent {
         round: u32,
         /// Vertices that stepped.
         active: usize,
-        /// States published (== active in the sparse engine).
+        /// Messages published (== active in the sparse engine).
         publications: usize,
-        /// Estimated bytes published.
-        state_bytes: u64,
+        /// Wire bits published this round.
+        msg_bits: u64,
+        /// Widest message published this round, in bits.
+        max_msg_bits: u64,
         /// Wall-clock time of the round, in microseconds.
         wall_us: u64,
     },
@@ -142,13 +144,14 @@ impl TraceLog {
                     round,
                     active,
                     publications,
-                    state_bytes,
+                    msg_bits,
+                    max_msg_bits,
                     wall_us,
                 } => writeln!(
                     w,
                     "{{\"ev\":\"round_end\",\"round\":{round},\"active\":{active},\
-                     \"publications\":{publications},\"state_bytes\":{state_bytes},\
-                     \"wall_us\":{wall_us}}}"
+                     \"publications\":{publications},\"msg_bits\":{msg_bits},\
+                     \"max_msg_bits\":{max_msg_bits},\"wall_us\":{wall_us}}}"
                 )?,
             }
         }
@@ -258,7 +261,8 @@ impl Observer for TraceLog {
             round: record.round,
             active: record.active,
             publications: record.publications,
-            state_bytes: record.state_bytes,
+            msg_bits: record.msg_bits,
+            max_msg_bits: record.max_msg_bits,
             wall_us: record.wall.as_micros() as u64,
         });
     }
@@ -472,7 +476,8 @@ mod tests {
             round,
             active,
             publications: active,
-            state_bytes: active as u64 * 8,
+            msg_bits: active as u64 * 64,
+            max_msg_bits: if active == 0 { 0 } else { 64 },
             wall: Duration::from_micros(wall_us),
         }
     }

@@ -1,0 +1,156 @@
+//! Wire-size accounting for published messages.
+//!
+//! The engine charges every published message its encoded size in *bits*
+//! via [`WireSize::wire_bits`]. The default is the shallow in-memory size
+//! (`8 × size_of::<Self>()`) — a safe over-approximation for flat structs
+//! and enums — but message types are expected to override it with the
+//! size an actual encoding would need: heap payloads (`Vec` contents)
+//! count, padding and never-sent scratch do not. The exact impls below
+//! cover the primitives and containers message types are built from, so
+//! most overrides are a sum of field sizes.
+//!
+//! These numbers feed the CONGEST audit: an algorithm's messages fit the
+//! CONGEST model iff its per-round maximum stays within `O(log n)` bits
+//! (see `Bound::CongestWidth` in the bench crate).
+
+/// Encoded size of a value on the wire, in bits.
+///
+/// Implement this for every [`Protocol::Msg`](crate::Protocol::Msg) type.
+/// The provided default charges the shallow in-memory size; override it
+/// to count what an encoder would actually emit.
+pub trait WireSize {
+    /// Number of bits an encoding of `self` occupies on the wire.
+    fn wire_bits(&self) -> u64
+    where
+        Self: Sized,
+    {
+        8 * std::mem::size_of::<Self>() as u64
+    }
+}
+
+impl WireSize for () {
+    fn wire_bits(&self) -> u64 {
+        0
+    }
+}
+
+impl WireSize for bool {
+    fn wire_bits(&self) -> u64 {
+        1
+    }
+}
+
+macro_rules! exact_prim {
+    ($($t:ty => $bits:expr),* $(,)?) => {
+        $(impl WireSize for $t {
+            fn wire_bits(&self) -> u64 {
+                $bits
+            }
+        })*
+    };
+}
+
+// usize/isize travel as 64-bit values: a wire format cannot depend on the
+// simulating host's pointer width.
+exact_prim! {
+    u8 => 8, u16 => 16, u32 => 32, u64 => 64, usize => 64,
+    i8 => 8, i16 => 16, i32 => 32, i64 => 64, isize => 64,
+    f32 => 32, f64 => 64,
+}
+
+/// One presence bit, plus the payload when present.
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            None => 1,
+            Some(x) => 1 + x.wire_bits(),
+        }
+    }
+}
+
+/// A 32-bit length prefix plus the elements' encoded sizes.
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bits(&self) -> u64 {
+        32 + self.iter().map(WireSize::wire_bits).sum::<u64>()
+    }
+}
+
+/// Fixed-length: no prefix, just the elements.
+impl<T: WireSize, const N: usize> WireSize for [T; N] {
+    fn wire_bits(&self) -> u64 {
+        self.iter().map(WireSize::wire_bits).sum()
+    }
+}
+
+macro_rules! exact_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: WireSize),+> WireSize for ($($name,)+) {
+            fn wire_bits(&self) -> u64 {
+                0 $(+ self.$idx.wire_bits())+
+            }
+        }
+    };
+}
+
+exact_tuple!(A: 0, B: 1);
+exact_tuple!(A: 0, B: 1, C: 2);
+exact_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_bool_are_exact() {
+        assert_eq!(().wire_bits(), 0);
+        assert_eq!(true.wire_bits(), 1);
+        assert_eq!(false.wire_bits(), 1);
+    }
+
+    #[test]
+    fn integers_count_their_width() {
+        assert_eq!(0u8.wire_bits(), 8);
+        assert_eq!(0u16.wire_bits(), 16);
+        assert_eq!(0u32.wire_bits(), 32);
+        assert_eq!(0u64.wire_bits(), 64);
+        assert_eq!(0usize.wire_bits(), 64, "usize travels as 64 bits");
+    }
+
+    #[test]
+    fn option_charges_presence_bit() {
+        assert_eq!(None::<u32>.wire_bits(), 1);
+        assert_eq!(Some(7u32).wire_bits(), 33);
+    }
+
+    #[test]
+    fn vec_charges_prefix_and_heap_payload() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.wire_bits(), 32 + 3 * 64);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.wire_bits(), 32);
+        // Nested heap payloads count all the way down.
+        let nested: Vec<Vec<u8>> = vec![vec![1, 2], vec![]];
+        assert_eq!(nested.wire_bits(), 32 + (32 + 16) + 32);
+    }
+
+    #[test]
+    fn tuples_and_arrays_sum_fields() {
+        assert_eq!((1u8, 2u32).wire_bits(), 40);
+        assert_eq!((true, 0u64, ()).wire_bits(), 65);
+        assert_eq!([1u16; 4].wire_bits(), 64);
+    }
+
+    #[test]
+    fn default_is_shallow_size() {
+        struct Flat {
+            _a: u64,
+            _b: u32,
+        }
+        impl WireSize for Flat {}
+        // Default: 8 × size_of, padding included (16 bytes here).
+        assert_eq!(
+            Flat { _a: 0, _b: 0 }.wire_bits(),
+            8 * std::mem::size_of::<Flat>() as u64
+        );
+    }
+}

@@ -15,8 +15,10 @@ use simlocal::{run_reference, Observer, Protocol, RoundRecord, Runner, StepCtx, 
 struct CoinFlip;
 impl Protocol for CoinFlip {
     type State = ();
+    type Msg = ();
     type Output = u32;
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+    fn publish(&self, _: &()) {}
     fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
         if ctx.rng().gen_bool(0.5) {
             Transition::Terminate((), ctx.round)
@@ -32,9 +34,13 @@ impl Protocol for CoinFlip {
 struct FloodMax;
 impl Protocol for FloodMax {
     type State = u64;
+    type Msg = u64;
     type Output = u64;
     fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
         ids.id(v)
+    }
+    fn publish(&self, s: &u64) -> u64 {
+        *s
     }
     fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
         let best = ctx
@@ -59,9 +65,13 @@ impl Protocol for FloodMax {
 struct Stagger;
 impl Protocol for Stagger {
     type State = u32;
+    type Msg = u32;
     type Output = u32;
     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> u32 {
         0
+    }
+    fn publish(&self, s: &u32) -> u32 {
+        *s
     }
     fn step(&self, ctx: StepCtx<'_, u32>) -> Transition<u32, u32> {
         let dead = ctx.view.terminated_neighbors().count() as u32;
@@ -78,6 +88,80 @@ impl Protocol for Stagger {
     }
     fn phase_of(&self, state: &u32) -> simlocal::PhaseId {
         (*state > 0) as simlocal::PhaseId
+    }
+}
+
+/// A protocol whose wire is narrower than its state: the private state
+/// carries a visit counter and heap scratch that never travel; the
+/// published message is a trimmed enum with a variable-width (heap)
+/// payload in one variant. Exercises the split slabs, the exact
+/// `WireSize` accounting, and neighbor reads of a non-state message.
+struct SplitWire;
+
+#[derive(Clone)]
+struct SplitState {
+    level: u32,
+    visits: u32,       // private: number of times this vertex stepped
+    scratch: Vec<u64>, // private: grows every round, must never be charged
+}
+
+#[derive(Clone, Debug)]
+enum SplitMsg {
+    Probe { level: u32 },
+    Done { level: u32, path: Vec<u32> },
+}
+
+impl simlocal::WireSize for SplitMsg {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            SplitMsg::Probe { level } => 1 + level.wire_bits(),
+            SplitMsg::Done { level, path } => 1 + level.wire_bits() + path.wire_bits(),
+        }
+    }
+}
+
+impl Protocol for SplitWire {
+    type State = SplitState;
+    type Msg = SplitMsg;
+    type Output = u32;
+    fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) -> SplitState {
+        SplitState {
+            level: 0,
+            visits: 0,
+            scratch: Vec::new(),
+        }
+    }
+    fn publish(&self, s: &SplitState) -> SplitMsg {
+        if s.visits > s.level {
+            SplitMsg::Done {
+                level: s.level,
+                path: vec![s.level; (s.level % 3) as usize],
+            }
+        } else {
+            SplitMsg::Probe { level: s.level }
+        }
+    }
+    fn step(&self, ctx: StepCtx<'_, SplitState, SplitMsg>) -> Transition<SplitState, u32> {
+        let max_nb_level = ctx
+            .view
+            .neighbors()
+            .map(|(_, m)| match m {
+                SplitMsg::Probe { level } => *level,
+                SplitMsg::Done { level, .. } => *level + 1,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut s = ctx.state.clone();
+        s.level = s.level.max(max_nb_level);
+        s.visits += 1;
+        s.scratch.push(ctx.round as u64); // private heap growth
+        if ctx.round > ctx.v % 5 {
+            let out = s.level;
+            s.visits = s.level + 1; // publish a Done message on the way out
+            Transition::Terminate(s, out)
+        } else {
+            Transition::Continue(s)
+        }
     }
 }
 
@@ -116,9 +200,24 @@ where
     assert_eq!(sparse.stats.steps, sparse.metrics.round_sum());
     assert_eq!(sparse.stats.publications, sparse.metrics.round_sum());
     assert_eq!(par.stats.publications, sparse.metrics.round_sum());
-    // The dense engine publishes the same states but touches n per round.
+    // The dense engine publishes the same messages but touches n per round.
     assert_eq!(dense.stats.publications, sparse.stats.publications);
     assert_eq!(dense.stats.rounds as u64 * g.n() as u64, dense.stats.steps);
+    // Wire accounting is part of the engine contract: total and peak
+    // message bits must be identical in every execution mode.
+    assert_eq!(
+        sparse.stats.msg_bits, dense.stats.msg_bits,
+        "seq vs dense bits"
+    );
+    assert_eq!(sparse.stats.msg_bits, par.stats.msg_bits, "seq vs par bits");
+    assert_eq!(
+        sparse.stats.max_msg_bits, dense.stats.max_msg_bits,
+        "seq vs dense max bits"
+    );
+    assert_eq!(
+        sparse.stats.max_msg_bits, par.stats.max_msg_bits,
+        "seq vs par max bits"
+    );
 }
 
 proptest! {
@@ -157,6 +256,61 @@ proptest! {
     }
 
     #[test]
+    fn splitwire_identical_across_engines(
+        pick in any::<u8>(),
+        n in 4usize..120,
+        gseed in any::<u64>(),
+    ) {
+        // The Msg ≠ State protocol: trimmed heap-payload messages must
+        // not change outcomes or accounting across engines.
+        let g = family_graph(pick, n, 2, gseed);
+        assert_outcomes_identical(&SplitWire, &g, 0);
+    }
+
+    #[test]
+    fn per_round_wire_totals_identical_seq_and_par(
+        pick in any::<u8>(),
+        n in 4usize..100,
+        gseed in any::<u64>(),
+    ) {
+        // Per-round WireSize totals (not just run totals) are identical
+        // between sequential and parallel execution.
+        let g = family_graph(pick, n, 2, gseed);
+        let ids = IdAssignment::identity(g.n());
+        let mut seq = simlocal::Telemetry::new();
+        Runner::new(&SplitWire, &g, &ids).run_with(&mut seq).unwrap();
+        let mut par = simlocal::Telemetry::new();
+        Runner::new(&SplitWire, &g, &ids)
+            .parallel()
+            .par_threshold(1)
+            .run_with(&mut par)
+            .unwrap();
+        prop_assert_eq!(&seq.msg_bits, &par.msg_bits);
+        prop_assert_eq!(&seq.max_msg_bits, &par.max_msg_bits);
+    }
+
+    #[test]
+    fn traced_equals_untraced_with_split_wire(
+        pick in any::<u8>(),
+        n in 4usize..80,
+        gseed in any::<u64>(),
+    ) {
+        // Tracing must not perturb the split engine: outputs, metrics,
+        // and wire accounting identical with and without observers.
+        let g = family_graph(pick, n, 2, gseed);
+        let ids = IdAssignment::identity(g.n());
+        let plain = Runner::new(&SplitWire, &g, &ids).run().unwrap();
+        let mut obs = simlocal::Tee(simlocal::TraceLog::new(), simlocal::Telemetry::new());
+        let traced = Runner::new(&SplitWire, &g, &ids).run_with(&mut obs).unwrap();
+        prop_assert_eq!(&plain.outputs, &traced.outputs);
+        prop_assert_eq!(&plain.metrics, &traced.metrics);
+        prop_assert_eq!(plain.stats.msg_bits, traced.stats.msg_bits);
+        prop_assert_eq!(plain.stats.max_msg_bits, traced.stats.max_msg_bits);
+        prop_assert_eq!(obs.1.total_msg_bits(), plain.stats.msg_bits);
+        prop_assert_eq!(obs.1.peak_msg_bits(), plain.stats.max_msg_bits);
+    }
+
+    #[test]
     fn hook_sequence_identical_sequential_and_parallel(
         pick in any::<u8>(),
         n in 4usize..100,
@@ -183,8 +337,10 @@ proptest! {
         // Round records match field-for-field except machine-dependent wall.
         prop_assert_eq!(seq.round_ends.len(), par.round_ends.len());
         for (s, p) in seq.round_ends.iter().zip(&par.round_ends) {
-            prop_assert_eq!((s.round, s.active, s.publications, s.state_bytes),
-                            (p.round, p.active, p.publications, p.state_bytes));
+            prop_assert_eq!(
+                (s.round, s.active, s.publications, s.msg_bits, s.max_msg_bits),
+                (p.round, p.active, p.publications, p.msg_bits, p.max_msg_bits)
+            );
         }
         // Phase attribution accompanies every step, in lockstep.
         let phase_vr: Vec<(VertexId, u32)> = seq.phases.iter().map(|&(v, r, _)| (v, r)).collect();

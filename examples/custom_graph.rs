@@ -66,19 +66,21 @@ fn main() {
     let out = Runner::new(&coloring, &g, &ids).run().expect("terminates");
     verify::assert_ok(verify::proper_vertex_coloring(&g, &out.outputs, usize::MAX));
     println!(
-        "coloring: {} colors | VA {:.2} | worst case {}",
+        "coloring: {} colors | VA {:.2} | worst case {} | {:.1} wire bits/vertex",
         verify::count_distinct(&out.outputs),
         out.metrics.vertex_averaged(),
-        out.metrics.worst_case()
+        out.metrics.worst_case(),
+        out.stats.msg_bits as f64 / g.n() as f64
     );
 
     let mis = MisExtension::new(est.safe_a());
     let out = Runner::new(&mis, &g, &ids).run().expect("terminates");
     verify::assert_ok(verify::maximal_independent_set(&g, &out.outputs));
     println!(
-        "MIS: {} members | VA {:.2} | worst case {}",
+        "MIS: {} members | VA {:.2} | worst case {} | {:.1} wire bits/vertex",
         out.outputs.iter().filter(|&&b| b).count(),
         out.metrics.vertex_averaged(),
-        out.metrics.worst_case()
+        out.metrics.worst_case(),
+        out.stats.msg_bits as f64 / g.n() as f64
     );
 }

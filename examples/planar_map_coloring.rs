@@ -32,10 +32,11 @@ fn main() {
         usize::MAX,
     ));
     println!(
-        "segmentation (k = ρ(n)): {:>4} colors | VA {:>7.2} | worst case {:>4}",
+        "segmentation (k = ρ(n)): {:>4} colors | VA {:>7.2} | worst case {:>4} | widest msg {:>3} bits",
         verify::count_distinct(&out_fast.outputs),
         out_fast.metrics.vertex_averaged(),
-        out_fast.metrics.worst_case()
+        out_fast.metrics.worst_case(),
+        out_fast.stats.max_msg_bits
     );
 
     // The classical discipline: full forest decomposition first, then
@@ -48,10 +49,11 @@ fn main() {
         usize::MAX,
     ));
     println!(
-        "classical Arb-Linial:    {:>4} colors | VA {:>7.2} | worst case {:>4}",
+        "classical Arb-Linial:    {:>4} colors | VA {:>7.2} | worst case {:>4} | widest msg {:>3} bits",
         verify::count_distinct(&out_slow.outputs),
         out_slow.metrics.vertex_averaged(),
-        out_slow.metrics.worst_case()
+        out_slow.metrics.worst_case(),
+        out_slow.stats.max_msg_bits
     );
 
     let speedup = out_slow.metrics.vertex_averaged() / out_fast.metrics.vertex_averaged();

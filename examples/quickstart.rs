@@ -59,4 +59,14 @@ fn main() {
         "active-vertex decay (Lemma 6.1): {:?}",
         &out.metrics.active_per_round[..out.metrics.active_per_round.len().min(8)]
     );
+
+    // Communication side of the same story: the engine accounts every
+    // published message in wire bits, so CONGEST-style width claims are
+    // checkable (`trace --congest-audit`).
+    println!(
+        "wire: {} bits total, {:.1} bits/vertex, widest single message {} bits",
+        out.stats.msg_bits,
+        out.stats.msg_bits as f64 / g.n() as f64,
+        out.stats.max_msg_bits
+    );
 }

@@ -21,8 +21,16 @@ use std::time::Instant;
 
 fn main() {
     println!(
-        "{:>9} {:>14} {:>14} {:>8} {:>10} {:>10} {:>8}",
-        "n", "roundsum_new", "roundsum_old", "ratio", "ms_new", "ms_old", "speedup"
+        "{:>9} {:>14} {:>14} {:>8} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "n",
+        "roundsum_new",
+        "roundsum_old",
+        "ratio",
+        "ms_new",
+        "ms_old",
+        "speedup",
+        "kbits_new",
+        "kbits_old"
     );
     for exp in [14u32, 16, 18] {
         let n = 1usize << exp;
@@ -43,7 +51,7 @@ fn main() {
         let ms_old = t1.elapsed().as_secs_f64() * 1e3;
 
         println!(
-            "{:>9} {:>14} {:>14} {:>8.2} {:>10.1} {:>10.1} {:>8.2}",
+            "{:>9} {:>14} {:>14} {:>8.2} {:>10.1} {:>10.1} {:>8.2} {:>10.1} {:>10.1}",
             n,
             fast.metrics.round_sum(),
             slow.metrics.round_sum(),
@@ -51,9 +59,15 @@ fn main() {
             ms_new,
             ms_old,
             ms_old / ms_new,
+            fast.stats.msg_bits as f64 / 1e3,
+            slow.stats.msg_bits as f64 / 1e3,
         );
     }
     println!(
         "\nThe round-sum ratio grows like Θ(log n): the predicted sequential-simulation speedup."
+    );
+    println!(
+        "Wire traffic (kbits = published message bits, WireSize-accounted) tracks the same gap: \
+         a vertex that terminates early stops publishing, so communication volume follows RoundSum."
     );
 }

@@ -33,8 +33,9 @@ fn report<P: Protocol<Output = u64>>(label: &str, p: &P, g: &distsym::graphcore:
         / n;
     let synchronized = (out.metrics.worst_case() + TASK_B_ROUNDS) as f64;
     println!(
-        "{label:<28} avg completion: pipelined {pipelined:>7.2} vs synchronized {synchronized:>7.2}  (gain {:.2}×)",
-        synchronized / pipelined
+        "{label:<28} avg completion: pipelined {pipelined:>7.2} vs synchronized {synchronized:>7.2}  (gain {:.2}×, {:.1} wire bits/vertex)",
+        synchronized / pipelined,
+        out.stats.msg_bits as f64 / n
     );
 }
 

@@ -22,32 +22,43 @@ use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+/// Every algorithm `run` accepts: the bench registry's names verbatim
+/// (a drift test pins this list against `benchharness::registry::all`),
+/// plus the CLI-only conveniences in [`CLI_ONLY_ALGOS`].
 const ALGOS: &[&str] = &[
-    "partition",
-    "forest",
     "a2logn",
     "a2_loglog",
     "oa_recolor",
-    "ka",
     "ka2",
-    "ka_rho",
     "ka2_rho",
+    "ka",
+    "ka_rho",
     "delta_plus_one",
+    "legal_coloring",
     "one_plus_eta",
     "rand_delta_plus_one",
     "rand_a_loglog",
-    "mis",
-    "mis_luby",
-    "matching",
-    "edge_coloring",
-    "arb_color",
+    "arb_color_baseline",
     "arb_linial_oneshot",
     "arb_linial_full",
     "global_linial",
     "global_linial_kw",
+    "color_then_census",
+    "mis_extension",
+    "mis_luby",
+    "edge_col_extension",
+    "matching_extension",
+    "forest_parallelized",
+    "forest_baseline",
+    "partition",
     "ring_leader",
     "ring_3coloring",
 ];
+
+/// Algorithms only the CLI offers (raw procedure runs and the ring
+/// protocols) — everything else in [`ALGOS`] must be a registry name.
+#[cfg_attr(not(test), allow(dead_code))] // read by the registry drift test
+const CLI_ONLY_ALGOS: &[&str] = &["partition", "ring_leader", "ring_3coloring"];
 
 const FAMILIES: &[&str] = &[
     "forest_union",
@@ -287,13 +298,15 @@ fn print_report_json(algo: &str, gg: &gen::GenGraph, opts: &RunOpts, r: &RunRepo
         Some(s) => obj.push_str(&format!(
             concat!(
                 ",\"stats\":{{\"wall_ms\":{:.6},\"rounds\":{},\"steps\":{},",
-                "\"publications\":{},\"state_bytes\":{},\"parallel_rounds\":{}}}}}"
+                "\"publications\":{},\"msg_bits\":{},\"max_msg_bits\":{},",
+                "\"parallel_rounds\":{}}}}}"
             ),
             s.wall.as_secs_f64() * 1e3,
             s.rounds,
             s.steps,
             s.publications,
-            s.state_bytes,
+            s.msg_bits,
+            s.max_msg_bits,
             s.parallel_rounds,
         )),
         None => obj.push_str(",\"stats\":null}"),
@@ -314,11 +327,12 @@ fn print_report_human(r: &RunReport) {
     );
     if let Some(s) = &r.stats {
         println!(
-            "engine: {:.3} ms wall | {} steps | {} publications | {} state bytes | {} of {} rounds parallel",
+            "engine: {:.3} ms wall | {} steps | {} publications | {} msg bits (max {}/msg) | {} of {} rounds parallel",
             s.wall.as_secs_f64() * 1e3,
             s.steps,
             s.publications,
-            s.state_bytes,
+            s.msg_bits,
+            s.max_msg_bits,
             s.parallel_rounds,
             s.rounds,
         );
@@ -361,7 +375,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
                     stats: None,
                 })
         }
-        "forest" => {
+        "forest_parallelized" => {
             let p = algos::forests::ParallelizedForestDecomposition::new(a);
             run_protocol(&p, &gg, &opts).and_then(|out| {
                 let (labels, heads) = algos::forests::assemble(&gg.graph, &out.outputs)
@@ -442,7 +456,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
             &opts,
             "(O(a log log n), randomized)",
         ),
-        "arb_color" => coloring_report(
+        "arb_color_baseline" => coloring_report(
             &algos::arb_color::ArbColor::new(a),
             &gg,
             &opts,
@@ -472,19 +486,21 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
             &opts,
             "(Δ+1, baseline)",
         ),
-        "mis" => run_protocol(&algos::mis::MisExtension::new(a), &gg, &opts).and_then(|out| {
-            verify::maximal_independent_set(&gg.graph, &out.outputs)
-                .map_err(|e| format!("MIS INVALID: {e}"))?;
-            Ok(RunReport {
-                summary: format!(
-                    "MIS: VALID, {} members",
-                    out.outputs.iter().filter(|&&b| b).count()
-                ),
-                colors: None,
-                metrics: out.metrics,
-                stats: Some(out.stats),
+        "mis_extension" => {
+            run_protocol(&algos::mis::MisExtension::new(a), &gg, &opts).and_then(|out| {
+                verify::maximal_independent_set(&gg.graph, &out.outputs)
+                    .map_err(|e| format!("MIS INVALID: {e}"))?;
+                Ok(RunReport {
+                    summary: format!(
+                        "MIS: VALID, {} members",
+                        out.outputs.iter().filter(|&&b| b).count()
+                    ),
+                    colors: None,
+                    metrics: out.metrics,
+                    stats: Some(out.stats),
+                })
             })
-        }),
+        }
         "mis_luby" => run_protocol(&algos::mis::LubyMis, &gg, &opts).and_then(|out| {
             verify::maximal_independent_set(&gg.graph, &out.outputs)
                 .map_err(|e| format!("MIS INVALID: {e}"))?;
@@ -498,8 +514,8 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
                 stats: Some(out.stats),
             })
         }),
-        "matching" => run_protocol(&algos::matching::MatchingExtension::new(a), &gg, &opts)
-            .and_then(|out| {
+        "matching_extension" => {
+            run_protocol(&algos::matching::MatchingExtension::new(a), &gg, &opts).and_then(|out| {
                 let (mm, commit) = algos::matching::assemble(&gg.graph, &out)
                     .map_err(|e| format!("assembly failed: {e}"))?;
                 verify::maximal_matching(&gg.graph, &mm)
@@ -513,8 +529,9 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
                     metrics: commit,
                     stats: Some(out.stats),
                 })
-            }),
-        "edge_coloring" => {
+            })
+        }
+        "edge_col_extension" => {
             let p = algos::edge_coloring::EdgeColoringExtension::new(a);
             run_protocol(&p, &gg, &opts).and_then(|out| {
                 let (colors, commit) = algos::edge_coloring::assemble(&gg.graph, &out)
@@ -529,6 +546,40 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
                     ),
                     colors: Some(used),
                     metrics: commit,
+                    stats: Some(out.stats),
+                })
+            })
+        }
+        "legal_coloring" => coloring_report(
+            &algos::legal_coloring::LegalColoring::new(a.max(1), 6),
+            &gg,
+            &opts,
+            "([5]-style legal coloring)",
+        ),
+        "color_then_census" => {
+            let p = algos::pipeline::ColorThenCensus::new(a, 4);
+            run_protocol(&p, &gg, &opts).and_then(|out| {
+                let colors: Vec<u64> = out.outputs.iter().map(|o| o.color).collect();
+                verify::proper_vertex_coloring(&gg.graph, &colors, usize::MAX)
+                    .map_err(|e| format!("pipeline coloring INVALID: {e}"))?;
+                let used = verify::count_distinct(&colors);
+                Ok(RunReport {
+                    summary: format!("color-then-census pipeline: PROPER, {used} colors"),
+                    colors: Some(used),
+                    metrics: out.metrics,
+                    stats: Some(out.stats),
+                })
+            })
+        }
+        "forest_baseline" => {
+            let p = algos::forests::ForestDecompositionBaseline::new(a);
+            run_protocol(&p, &gg, &opts).and_then(|out| {
+                algos::forests::assemble(&gg.graph, &out.outputs)
+                    .map_err(|e| format!("assembly failed: {e}"))?;
+                Ok(RunReport {
+                    summary: "forest decomposition (baseline): assembled".to_string(),
+                    colors: None,
+                    metrics: out.metrics,
                     stats: Some(out.stats),
                 })
             })
@@ -620,6 +671,27 @@ mod tests {
             assert!(gg.graph.n() >= 32, "{fam} produced a tiny graph");
             assert!(gg.arboricity >= 1);
         }
+    }
+
+    #[test]
+    fn algos_list_matches_bench_registry() {
+        // `distsym list` must never disagree with the suite binaries'
+        // `--list`: ALGOS is exactly the registry names (in registry
+        // order) followed by the CLI-only extras.
+        let registry: Vec<&str> = benchharness::registry::all()
+            .iter()
+            .map(|s| s.name)
+            .collect();
+        let expected: Vec<&str> = registry
+            .iter()
+            .copied()
+            .chain(CLI_ONLY_ALGOS.iter().copied())
+            .collect();
+        assert_eq!(
+            ALGOS,
+            &expected[..],
+            "src/main.rs ALGOS drifted from bench::registry + CLI_ONLY_ALGOS"
+        );
     }
 
     #[test]

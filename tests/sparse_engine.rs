@@ -65,7 +65,8 @@ fn seq_and_par_outcomes_byte_identical_at_scale() {
     assert_eq!(seq.metrics, par.metrics);
     assert_eq!(seq.stats.steps, par.stats.steps);
     assert_eq!(seq.stats.publications, par.stats.publications);
-    assert_eq!(seq.stats.state_bytes, par.stats.state_bytes);
+    assert_eq!(seq.stats.msg_bits, par.stats.msg_bits);
+    assert_eq!(seq.stats.max_msg_bits, par.stats.max_msg_bits);
 }
 
 #[test]
