@@ -25,7 +25,7 @@ echo "== --list on every suite binary (spec tables resolve and print)"
 # registry and exits 0; a missing algorithm name or malformed spec
 # table dies here before any expensive run.
 cargo build --release -q -p benchharness
-for bin in table1 table2 figures scenarios ablations trace; do
+for bin in table1 table2 figures scenarios ablations trace perf; do
     ./target/release/"$bin" --list > /dev/null
 done
 
@@ -65,5 +65,17 @@ echo "== congest audit: per-algorithm message-width claims"
 # width claim (max message ≤ c·log₂ n bits) against the engine's
 # measured widest message; exits nonzero if any claim is violated.
 ./target/release/trace --congest-audit --n 2048 --a 2 --seed 1 > /dev/null
+
+echo "== perf gate: engine throughput vs committed trajectory baseline"
+# Fresh n = 2^20 suite run compared one-sided against the committed
+# trajectory point: a >25% vertex-rounds/sec drop on any entry fails;
+# improvements print as a cue to refresh the baseline (EXPERIMENTS.md
+# has the procedure).
+# Best-of-5 is what makes the number stable on a shared machine; fewer
+# reps let one descheduled run masquerade as a regression.
+./target/release/perf --reps 5 \
+    --json target/ci-results/BENCH_engine.json > /dev/null
+./target/release/bench-diff --perf \
+    results/BENCH_engine.json target/ci-results/BENCH_engine.json --tol 0.25
 
 echo "CI gate passed."

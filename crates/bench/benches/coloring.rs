@@ -4,7 +4,7 @@
 //! benchable with no wiring here), plus the special-workload rows
 //! (high-arboricity One-Plus-Eta, the `a ≪ Δ` hub).
 
-use benchharness::registry::{self, Params, Problem};
+use benchharness::registry::{self, ExecOptions, ObserveMode, Params, Problem};
 use benchharness::{forest_workload, hub_workload, Trial};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -19,19 +19,28 @@ fn bench_table1_rows(c: &mut Criterion) {
         .iter()
         .filter(|s| s.problem == Problem::VertexColoring)
     {
+        let opts = ExecOptions::new("bench", &gg, &trial)
+            .params(params)
+            .observe(ObserveMode::Bare);
         c.bench_function(&format!("t1_{}", spec.name), |b| {
-            b.iter(|| spec.run_bare(&gg, params, &trial))
+            b.iter(|| spec.exec(&opts))
         });
     }
 
     let gg16 = forest_workload(N, 16, 4);
+    let opts16 = ExecOptions::new("bench", &gg16, &trial)
+        .params(params)
+        .observe(ObserveMode::Bare);
     c.bench_function("t1_one_plus_eta_a16", |b| {
-        b.iter(|| registry::get("one_plus_eta").run_bare(&gg16, params, &trial))
+        b.iter(|| registry::get("one_plus_eta").exec(&opts16))
     });
 
     let hub = hub_workload(N, 2, 64, 5);
+    let opts_hub = ExecOptions::new("bench", &hub, &trial)
+        .params(params)
+        .observe(ObserveMode::Bare);
     c.bench_function("t1_delta_plus_one_hub", |b| {
-        b.iter(|| registry::get("delta_plus_one").run_bare(&hub, params, &trial))
+        b.iter(|| registry::get("delta_plus_one").exec(&opts_hub))
     });
 }
 

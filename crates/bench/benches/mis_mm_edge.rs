@@ -3,7 +3,7 @@
 //! forest decompositions), resolved from the algorithm registry so a new
 //! registration is benched with no wiring here.
 
-use benchharness::registry::{self, Params, Problem};
+use benchharness::registry::{self, ExecOptions, ObserveMode, Problem};
 use benchharness::{forest_workload, Trial};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -12,12 +12,13 @@ const N: usize = 1 << 11;
 fn bench_table2(c: &mut Criterion) {
     let gg = forest_workload(N, 2, 6);
     let trial = Trial::identity(0);
+    let opts = ExecOptions::new("bench", &gg, &trial).observe(ObserveMode::Bare);
     for spec in registry::all()
         .iter()
         .filter(|s| s.problem != Problem::VertexColoring)
     {
         c.bench_function(&format!("t2_{}", spec.name), |b| {
-            b.iter(|| spec.run_bare(&gg, Params::default(), &trial))
+            b.iter(|| spec.exec(&opts))
         });
     }
 }

@@ -3,7 +3,7 @@
 //! simulation work is proportional to `RoundSum(V)`). Both algorithms
 //! are resolved from the registry by name.
 
-use benchharness::registry::{self, Params};
+use benchharness::registry::{self, ExecOptions, ObserveMode};
 use benchharness::{forest_workload, Trial};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -17,7 +17,8 @@ fn bench_simulation_efficiency(c: &mut Criterion) {
             ("classical", "arb_linial_oneshot"),
         ] {
             group.bench_with_input(BenchmarkId::new(label, n), &gg, |b, gg| {
-                b.iter(|| registry::get(algo).run_bare(gg, Params::default(), &trial))
+                let opts = ExecOptions::new("bench", gg, &trial).observe(ObserveMode::Bare);
+                b.iter(|| registry::get(algo).exec(&opts))
             });
         }
     }

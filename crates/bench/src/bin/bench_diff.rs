@@ -1,20 +1,37 @@
-//! `bench-diff` — the regression gate over committed results JSON.
+//! `bench-diff` — the regression gates over committed results JSON.
 //!
-//! Compares a fresh harness run against a committed baseline produced by
-//! the same binary with the same flags (`--json`), using a relative
-//! tolerance on every compared numeric (wall-clock statistics are
-//! machine-dependent: large swings are printed as informational notes but
-//! never gate the check). Exits nonzero on any drift, missing
-//! or extra experiment configuration, validity flip, or schema mismatch,
-//! so CI catches a behavioral regression the moment a table row moves.
+//! Two modes:
 //!
-//! Usage: `bench-diff --check BASELINE.json FRESH.json [--tol 0.05]`
+//! - `--check BASELINE.json FRESH.json [--tol 0.05]`: the correctness
+//!   gate. Compares a fresh harness run against a committed baseline
+//!   produced by the same binary with the same flags (`--json`), using a
+//!   relative tolerance on every compared numeric (wall-clock statistics
+//!   are machine-dependent: large swings are printed as informational
+//!   notes but never gate the check). Exits nonzero on any drift, missing
+//!   or extra experiment configuration, validity flip, or schema
+//!   mismatch.
+//!
+//! - `--perf BASELINE.json FRESH.json [--tol 0.25]`: the engine
+//!   throughput gate over `perf --json` summaries. **One-sided**: exits
+//!   nonzero when any entry's vertex-rounds/sec drops more than the
+//!   tolerance below the committed baseline (or when entries are
+//!   missing/extra or measure different work); improvements pass and are
+//!   printed as a cue to refresh the baseline. See EXPERIMENTS.md for the
+//!   refresh procedure.
 
+use benchharness::perf::{diff_perf, perf_notes, PerfSummary};
 use benchharness::results::{diff, wall_notes, SuiteResult};
 use std::path::PathBuf;
 use std::process::exit;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Check,
+    Perf,
+}
+
 struct Args {
+    mode: Mode,
     baseline: PathBuf,
     fresh: PathBuf,
     tol: f64,
@@ -23,19 +40,23 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut fresh = None;
-    let mut tol = 0.05;
-    let mut check = false;
+    let mut tol = None;
+    let mut mode = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--check" => check = true,
+            "--check" => mode = Some(Mode::Check),
+            "--perf" => mode = Some(Mode::Perf),
             "--tol" => {
                 let v = it.next().ok_or("--tol requires a value")?;
-                tol = v
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|t| t.is_finite() && *t >= 0.0)
-                    .ok_or_else(|| format!("--tol requires a non-negative number, got `{v}`"))?;
+                tol = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or_else(|| {
+                            format!("--tol requires a non-negative number, got `{v}`")
+                        })?,
+                );
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -45,25 +66,21 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    if !check {
-        return Err("missing --check (the only supported mode)".into());
-    }
+    let mode = mode.ok_or("missing mode: --check or --perf")?;
     Ok(Args {
+        mode,
         baseline: baseline.ok_or("missing BASELINE.json argument")?,
         fresh: fresh.ok_or("missing FRESH.json argument")?,
-        tol,
+        // The correctness gate is tight; the perf gate tolerates the
+        // wall-clock noise of a shared machine.
+        tol: tol.unwrap_or(match mode {
+            Mode::Check => 0.05,
+            Mode::Perf => 0.25,
+        }),
     })
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("usage: bench-diff --check BASELINE.json FRESH.json [--tol 0.05]");
-            exit(2);
-        }
-    };
+fn run_check(args: &Args) {
     let load = |path: &PathBuf| match SuiteResult::read(path) {
         Ok(s) => s,
         Err(msg) => {
@@ -97,4 +114,58 @@ fn main() {
         eprintln!("  - {d}");
     }
     exit(1);
+}
+
+fn run_perf(args: &Args) {
+    let load = |path: &PathBuf| match PerfSummary::read(path) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            exit(2);
+        }
+    };
+    let baseline = load(&args.baseline);
+    let fresh = load(&args.fresh);
+    // Improvements are the trajectory moving forward, not a failure.
+    for note in perf_notes(&baseline, &fresh, args.tol) {
+        println!("bench-diff: note: {note}");
+    }
+    let failures = diff_perf(&baseline, &fresh, args.tol);
+    if failures.is_empty() {
+        println!(
+            "bench-diff: {} holds the perf floor of {} ({} entries, tol {})",
+            args.fresh.display(),
+            args.baseline.display(),
+            baseline.entries.len(),
+            args.tol
+        );
+        return;
+    }
+    eprintln!(
+        "bench-diff: {} REGRESSED against {}:",
+        args.fresh.display(),
+        args.baseline.display()
+    );
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    exit(1);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench-diff --check BASELINE.json FRESH.json [--tol 0.05]\n\
+                        bench-diff --perf  BASELINE.json FRESH.json [--tol 0.25]"
+            );
+            exit(2);
+        }
+    };
+    match args.mode {
+        Mode::Check => run_check(&args),
+        Mode::Perf => run_perf(&args),
+    }
 }

@@ -33,7 +33,7 @@
 //! (default `rand_delta_plus_one`); `--list` prints the registry and exits.
 
 use benchharness::bounds::geometric_decay_violations;
-use benchharness::registry::{self, Params, TracedRun};
+use benchharness::registry::{self, ExecOptions, ObserveMode, Params};
 use benchharness::results::Json;
 use benchharness::{forest_workload, Trial};
 use simlocal::EngineStats;
@@ -115,6 +115,7 @@ fn main() {
                 spec.bound
             );
         }
+        benchharness::perf::print_bench_index();
         return;
     }
     let spec = match registry::find(&args.algo) {
@@ -144,13 +145,14 @@ fn main() {
 fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
     let gg = forest_workload(args.n, args.a, args.seed);
     let trial = Trial::identity(args.seed);
-    let TracedRun {
-        row,
-        stats,
-        breakdown,
-        log,
-        profile,
-    } = spec.run_traced(&gg, Params::default(), &trial, args.parallel);
+    let out = spec.exec(
+        &ExecOptions::new("trace", &gg, &trial)
+            .parallel(args.parallel)
+            .observe(ObserveMode::Traced),
+    );
+    let (row, stats) = (out.row.unwrap(), out.stats);
+    let breakdown = out.breakdown.unwrap();
+    let (log, profile) = out.trace.unwrap();
     let n = gg.graph.n();
 
     println!(
@@ -291,7 +293,9 @@ fn congest_audit(args: &Args) -> Vec<String> {
             "ka" | "ka2" => Params::k(2),
             _ => Params::default(),
         };
-        let row = spec.run("audit", &gg, params, &trial);
+        let row = spec
+            .exec(&ExecOptions::new("audit", &gg, &trial).params(params))
+            .into_row();
         let eff_c = row.max_msg_bits as f64 / log2n;
         let (claimed, verdict) = match spec.congest {
             Some(c) => {

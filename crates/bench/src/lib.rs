@@ -29,6 +29,7 @@
 //! regenerated from the [`suites`] tables.
 
 pub mod bounds;
+pub mod perf;
 pub mod registry;
 pub mod results;
 pub mod spec;
@@ -439,7 +440,8 @@ mod tests {
         let gg = forest_workload(256, 2, 1);
         let trial = Trial::identity(0);
         for name in ["a2logn", "a2_loglog", "ka2", "arb_color_baseline"] {
-            let row = registry::get(name).run("T", &gg, registry::Params::k(2), &trial);
+            let opts = registry::ExecOptions::new("T", &gg, &trial).params(registry::Params::k(2));
+            let row = registry::get(name).exec(&opts).into_row();
             assert!(row.valid, "{name} produced an invalid coloring");
             assert!(row.va > 0.0 && row.wc >= row.median);
             assert_ne!(row.cap, usize::MAX, "{name} must claim a palette cap");
@@ -463,7 +465,8 @@ mod tests {
             "edge_col_extension",
             "forest_parallelized",
         ] {
-            let row = registry::get(name).run("T", &gg, registry::Params::default(), &t);
+            let opts = registry::ExecOptions::new("T", &gg, &t);
+            let row = registry::get(name).exec(&opts).into_row();
             assert!(row.valid, "{name} produced an invalid output");
         }
     }

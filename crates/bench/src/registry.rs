@@ -12,17 +12,24 @@
 //! [`Problem::verify_output`], and assembles the [`Row`].
 //!
 //! Consumers resolve algorithms by name ([`find`]) or enumerate them
-//! ([`all`]): the spec-driven binaries (via [`crate::spec::execute`]),
-//! the `trace` binary ([`ErasedAlgo::run_traced`]), and the Criterion
-//! benches ([`ErasedAlgo::run_bare`]). Registering a new algorithm here
-//! makes it immediately runnable, traceable, and benchable.
+//! ([`all`]), then execute through **one** entry point:
+//! [`AlgoSpec::exec`], driven by an [`ExecOptions`] value. The options
+//! select the observation level ([`ObserveMode`]: `Bare` for benches,
+//! `Standard` for measurement rows, `Traced` for the full event-log
+//! stack), the execution mode (sequential / parallel), and the engine
+//! tuning ([`EngineTuning`]) — so the spec-driven binaries (via
+//! [`crate::spec::execute`]), the `trace` binary, and the Criterion
+//! benches all go through the same construct → run → verify path.
+//! Registering a new algorithm here makes it immediately runnable,
+//! traceable, and benchable. The pre-redesign trio (`run`, `run_traced`,
+//! `run_bare`) survives as deprecated shims over `exec`.
 
 use crate::{cfg, harness_observer, Row, Trial};
 use algos::{baselines, coloring, edge_coloring, forests, matching, mis, pipeline, rand_coloring};
 use graphcore::{gen::GenGraph, verify, Graph, IdAssignment, VertexId};
 use simlocal::{
-    EngineStats, NoObserver, Observer, PhaseBreakdown, Profile, Protocol, Runner, SimOutcome,
-    TraceLog,
+    EngineStats, EngineTuning, NoObserver, Observer, PhaseBreakdown, Profile, Protocol, Runner,
+    SimOutcome, TraceLog,
 };
 use std::sync::OnceLock;
 
@@ -186,6 +193,106 @@ pub struct DecayClaim {
     pub grace: usize,
 }
 
+/// How much observation an execution attaches — the axis that used to be
+/// spread over three separate entry points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ObserveMode {
+    /// No observers, no verification, no row: the benching path (timing
+    /// includes protocol construction, as Criterion measures it).
+    Bare,
+    /// The standard observer pair ([`simlocal::Telemetry`] +
+    /// [`PhaseBreakdown`]), output verification, and a [`Row`].
+    #[default]
+    Standard,
+    /// `Standard` plus the full tracing stack ([`TraceLog`] +
+    /// [`Profile`]) teed on.
+    Traced,
+}
+
+/// Options for one erased execution: what to run it on, and how.
+///
+/// Construct with [`ExecOptions::new`] (sequential, [`ObserveMode::
+/// Standard`], default [`EngineTuning`]) and override per call site.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions<'a> {
+    /// Experiment tag recorded in [`Row::exp`].
+    pub exp: &'a str,
+    /// The workload graph (with its generation metadata).
+    pub gg: &'a GenGraph,
+    /// Algorithm parameters (`k`, `C`, …).
+    pub params: Params,
+    /// Seed / ID-assignment trial.
+    pub trial: &'a Trial,
+    /// Run on the parallel engine.
+    pub parallel: bool,
+    /// Observation level.
+    pub observe: ObserveMode,
+    /// Engine tuning forwarded to the runner.
+    pub tuning: EngineTuning,
+}
+
+impl<'a> ExecOptions<'a> {
+    /// Sequential, standard-observed execution with default tuning.
+    pub fn new(exp: &'a str, gg: &'a GenGraph, trial: &'a Trial) -> ExecOptions<'a> {
+        ExecOptions {
+            exp,
+            gg,
+            params: Params::default(),
+            trial,
+            parallel: false,
+            observe: ObserveMode::default(),
+            tuning: EngineTuning::default(),
+        }
+    }
+
+    /// Sets the algorithm parameters.
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Selects sequential (`false`) or parallel (`true`) execution.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets the observation level.
+    pub fn observe(mut self, observe: ObserveMode) -> Self {
+        self.observe = observe;
+        self
+    }
+
+    /// Sets the engine tuning.
+    pub fn tuning(mut self, tuning: EngineTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+}
+
+/// What [`AlgoSpec::exec`] produced. Which parts are populated follows
+/// from the requested [`ObserveMode`]; engine stats are always present.
+pub struct ExecOutcome {
+    /// The verified measurement row ([`None`] for [`ObserveMode::Bare`],
+    /// which skips verification entirely).
+    pub row: Option<Row>,
+    /// Engine work/wall accounting.
+    pub stats: EngineStats,
+    /// Per-phase RoundSum / termination accounting ([`None`] for `Bare`).
+    pub breakdown: Option<PhaseBreakdown>,
+    /// The exportable event log + histograms ([`Some`] only for
+    /// [`ObserveMode::Traced`]).
+    pub trace: Option<(TraceLog, Profile)>,
+}
+
+impl ExecOutcome {
+    /// The row of an observed execution; panics for a `Bare` one (the
+    /// caller asked for no verification, so there is no row to have).
+    pub fn into_row(self) -> Row {
+        self.row.expect("bare executions produce no row")
+    }
+}
+
 /// Everything a traced run produces, for the `trace` binary: the standard
 /// [`Row`] plus the engine stats and the full observer stack.
 pub struct TracedRun {
@@ -213,18 +320,9 @@ pub trait ErasedAlgo: Send + Sync {
     /// against and recorded in [`Row::cap`] (`usize::MAX` = no claim).
     fn cap_for(&self, gg: &GenGraph, params: Params, ids: &IdAssignment) -> usize;
 
-    /// Construct, run under the standard observer pair, verify, and
-    /// assemble one measurement row.
-    fn run(&self, exp: &str, gg: &GenGraph, params: Params, trial: &Trial) -> Row;
-
-    /// Like [`ErasedAlgo::run`] but with the full tracing stack attached
-    /// ([`TraceLog`] + [`Profile`] teed onto the standard pair).
-    fn run_traced(&self, gg: &GenGraph, params: Params, trial: &Trial, parallel: bool)
-        -> TracedRun;
-
-    /// Construct and run with **no** observer and no verification — the
-    /// Criterion benching path (timing includes construction).
-    fn run_bare(&self, gg: &GenGraph, params: Params, trial: &Trial);
+    /// The one execution path: construct, run as the options dictate,
+    /// verify (unless bare), and return whatever the mode produced.
+    fn exec(&self, opts: &ExecOptions<'_>) -> ExecOutcome;
 }
 
 /// One registered algorithm: identity, problem, paper-bound tag, optional
@@ -259,12 +357,21 @@ impl AlgoSpec {
         self.algo.cap_for(gg, params, ids)
     }
 
-    /// See [`ErasedAlgo::run`].
-    pub fn run(&self, exp: &str, gg: &GenGraph, params: Params, trial: &Trial) -> Row {
-        self.algo.run(exp, gg, params, trial)
+    /// See [`ErasedAlgo::exec`] — the single entry point every consumer
+    /// (spec engine, trace binary, benches) goes through.
+    pub fn exec(&self, opts: &ExecOptions<'_>) -> ExecOutcome {
+        self.algo.exec(opts)
     }
 
-    /// See [`ErasedAlgo::run_traced`].
+    /// Pre-redesign entry: standard-observed sequential run.
+    #[deprecated(note = "use `exec(&ExecOptions::new(exp, gg, trial).params(params))`")]
+    pub fn run(&self, exp: &str, gg: &GenGraph, params: Params, trial: &Trial) -> Row {
+        self.exec(&ExecOptions::new(exp, gg, trial).params(params))
+            .into_row()
+    }
+
+    /// Pre-redesign entry: run with the full tracing stack attached.
+    #[deprecated(note = "use `exec` with `ObserveMode::Traced`")]
     pub fn run_traced(
         &self,
         gg: &GenGraph,
@@ -272,12 +379,30 @@ impl AlgoSpec {
         trial: &Trial,
         parallel: bool,
     ) -> TracedRun {
-        self.algo.run_traced(gg, params, trial, parallel)
+        let out = self.exec(
+            &ExecOptions::new("trace", gg, trial)
+                .params(params)
+                .parallel(parallel)
+                .observe(ObserveMode::Traced),
+        );
+        let (log, profile) = out.trace.expect("traced execution carries a trace");
+        TracedRun {
+            row: out.row.expect("traced execution carries a row"),
+            stats: out.stats,
+            breakdown: out.breakdown.expect("traced execution carries a breakdown"),
+            log,
+            profile,
+        }
     }
 
-    /// See [`ErasedAlgo::run_bare`].
+    /// Pre-redesign entry: unobserved, unverified benching run.
+    #[deprecated(note = "use `exec` with `ObserveMode::Bare`")]
     pub fn run_bare(&self, gg: &GenGraph, params: Params, trial: &Trial) {
-        self.algo.run_bare(gg, params, trial)
+        self.exec(
+            &ExecOptions::new("bench", gg, trial)
+                .params(params)
+                .observe(ObserveMode::Bare),
+        );
     }
 
     fn decay(mut self, ratio: f64, stride: usize, floor: f64, grace: usize) -> AlgoSpec {
@@ -334,28 +459,37 @@ where
     C: Fn(&P, &GenGraph, &IdAssignment) -> usize + Send + Sync,
     E: Fn(&P, &Graph, &SimOutcome<P::Output>) -> Result<Extracted, String> + Send + Sync,
 {
-    /// The single construct → run → observe → verify → Row path. Every
-    /// public entry point (`run`, `run_traced`) is a thin wrapper that
-    /// only chooses the extra observer to tee on.
-    fn exec<X: Observer>(
+    /// The engine configuration an [`ExecOptions`] value asks for.
+    fn run_cfg(o: &ExecOptions<'_>) -> simlocal::RunConfig {
+        let run_cfg = cfg(o.trial.seed).with_tuning(o.tuning);
+        if o.parallel {
+            run_cfg.parallel()
+        } else {
+            run_cfg
+        }
+    }
+
+    /// The single construct → run → observe → verify → Row path behind
+    /// every observed execution; [`ErasedAlgo::exec`] only chooses the
+    /// extra observer to tee on.
+    fn exec_observed<X: Observer>(
         &self,
-        exp: &str,
-        gg: &GenGraph,
-        params: Params,
-        trial: &Trial,
-        parallel: bool,
+        o: &ExecOptions<'_>,
         mk_extra: impl FnOnce(&P) -> X,
     ) -> ExecOut<X> {
+        let ExecOptions {
+            exp,
+            gg,
+            params,
+            trial,
+            ..
+        } = *o;
         let p = (self.build)(gg, params);
         let ids = trial.ids(gg.graph.n());
         let cap = (self.cap)(&p, gg, &ids);
-        let mut run_cfg = cfg(trial.seed);
-        if parallel {
-            run_cfg = run_cfg.parallel();
-        }
         let mut obs = simlocal::Tee(harness_observer(&p), mk_extra(&p));
         let out = Runner::new(&p, &gg.graph, &ids)
-            .config(run_cfg)
+            .config(Self::run_cfg(o))
             .run_with(&mut obs)
             .expect("protocol terminates");
         let (verdict, metrics) = match (self.extract)(&p, &gg.graph, &out) {
@@ -413,38 +547,45 @@ where
         (self.cap)(&p, gg, ids)
     }
 
-    fn run(&self, exp: &str, gg: &GenGraph, params: Params, trial: &Trial) -> Row {
-        self.exec(exp, gg, params, trial, false, |_| NoObserver).row
-    }
-
-    fn run_traced(
-        &self,
-        gg: &GenGraph,
-        params: Params,
-        trial: &Trial,
-        parallel: bool,
-    ) -> TracedRun {
-        let out = self.exec("trace", gg, params, trial, parallel, |p| {
-            simlocal::Tee(TraceLog::with_phases(p.phase_names()), Profile::new())
-        });
-        let simlocal::Tee(log, profile) = out.extra;
-        TracedRun {
-            row: out.row,
-            stats: out.stats,
-            breakdown: out.breakdown,
-            log,
-            profile,
+    fn exec(&self, opts: &ExecOptions<'_>) -> ExecOutcome {
+        match opts.observe {
+            ObserveMode::Bare => {
+                let p = (self.build)(opts.gg, opts.params);
+                let ids = opts.trial.ids(opts.gg.graph.n());
+                let out = Runner::new(&p, &opts.gg.graph, &ids)
+                    .config(Self::run_cfg(opts))
+                    .run()
+                    .expect("protocol terminates");
+                std::hint::black_box(&out.outputs);
+                ExecOutcome {
+                    row: None,
+                    stats: out.stats,
+                    breakdown: None,
+                    trace: None,
+                }
+            }
+            ObserveMode::Standard => {
+                let out = self.exec_observed(opts, |_| NoObserver);
+                ExecOutcome {
+                    row: Some(out.row),
+                    stats: out.stats,
+                    breakdown: Some(out.breakdown),
+                    trace: None,
+                }
+            }
+            ObserveMode::Traced => {
+                let out = self.exec_observed(opts, |p| {
+                    simlocal::Tee(TraceLog::with_phases(p.phase_names()), Profile::new())
+                });
+                let simlocal::Tee(log, profile) = out.extra;
+                ExecOutcome {
+                    row: Some(out.row),
+                    stats: out.stats,
+                    breakdown: Some(out.breakdown),
+                    trace: Some((log, profile)),
+                }
+            }
         }
-    }
-
-    fn run_bare(&self, gg: &GenGraph, params: Params, trial: &Trial) {
-        let p = (self.build)(gg, params);
-        let ids = trial.ids(gg.graph.n());
-        let out = Runner::new(&p, &gg.graph, &ids)
-            .config(cfg(trial.seed))
-            .run()
-            .expect("protocol terminates");
-        std::hint::black_box(&out.outputs);
     }
 }
 

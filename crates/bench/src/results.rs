@@ -175,7 +175,9 @@ impl SuiteResult {
     }
 }
 
-fn quote(s: &str) -> String {
+/// JSON string escaping, shared with the other writers in this crate
+/// (`perf`'s summary export among them).
+pub(crate) fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -205,8 +207,9 @@ fn stats_json(s: &Stats) -> String {
 }
 
 /// Formats a float so the JSON round-trips exactly enough for `bench-diff`
-/// tolerances (and never emits `NaN`/`inf`, which JSON forbids).
-fn fnum(x: f64) -> String {
+/// tolerances (and never emits `NaN`/`inf`, which JSON forbids). Shared
+/// with the other writers in this crate.
+pub(crate) fn fnum(x: f64) -> String {
     if !x.is_finite() {
         return "0".into();
     }

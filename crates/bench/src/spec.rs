@@ -378,6 +378,7 @@ fn print_list(suite: &str, specs: &[ExperimentSpec]) {
         }
     }
     println!("\nglobal bounds: all-valid, palette-within-cap");
+    crate::perf::print_bench_index();
 }
 
 /// Produces all rows for one `Rows`-kind spec, honoring per-run filters.
@@ -406,7 +407,8 @@ fn rows_for(cli: &Cli, workloads: &[WorkloadSpec], runs: &[RunSpec]) -> Vec<Row>
         for gg in graphs.iter().filter(|g| g.graph.n() <= run.max_n) {
             for t in sweep.trials() {
                 for params in run.params.expand(gg.graph.n()) {
-                    rows.push(algo.run(run.exp, gg, params, t));
+                    let opts = registry::ExecOptions::new(run.exp, gg, t).params(params);
+                    rows.push(algo.exec(&opts).into_row());
                 }
             }
         }

@@ -2,7 +2,7 @@
 //! determinism under the seed × ID-assignment sweep, palette-cap
 //! enforcement end-to-end, and the JSON results round-trip through disk.
 
-use benchharness::registry::{self, Params, Problem, Solution};
+use benchharness::registry::{self, ExecOptions, Problem, Solution};
 use benchharness::{bounds, forest_workload, summarize, Bound, IdMode, SuiteResult, Sweep, Trial};
 use graphcore::verify;
 use simlocal::{RunConfig, Runner};
@@ -19,7 +19,9 @@ fn same_seed_different_ids_valid_but_distinct_metrics() {
         let trial = Trial { seed: 7, id_mode };
         // delta_plus_one's in-set slot order is ID-driven, so its
         // per-vertex termination rounds are ID-sensitive.
-        let row = registry::get("delta_plus_one").run("det", &gg, Params::default(), &trial);
+        let row = registry::get("delta_plus_one")
+            .exec(&ExecOptions::new("det", &gg, &trial))
+            .into_row();
         assert!(row.valid, "invalid under {} IDs", id_mode.label());
         assert_eq!(row.n, 600);
         metric_tuples.push((row.va.to_bits(), row.wc, row.median, row.p95));
@@ -69,7 +71,9 @@ fn too_small_palette_cap_fails_verification_and_bounds() {
     let gg = forest_workload(300, 2, 5);
     let trial = Trial::identity(0);
     // The honest cap passes through the registry's erased run path.
-    let good = registry::get("a2logn").run("capcheck", &gg, Params::default(), &trial);
+    let good = registry::get("a2logn")
+        .exec(&ExecOptions::new("capcheck", &gg, &trial))
+        .into_row();
     assert!(good.valid);
     assert!(good.colors <= good.cap);
 
@@ -110,7 +114,11 @@ fn too_small_palette_cap_fails_verification_and_bounds() {
 fn results_round_trip_through_disk() {
     let gg = forest_workload(256, 2, 6);
     let sweep = Sweep::new(2, &[IdMode::Identity, IdMode::Adversarial]);
-    let rows = sweep.rows(|t| registry::get("a2logn").run("RT", &gg, Params::default(), t));
+    let rows = sweep.rows(|t| {
+        registry::get("a2logn")
+            .exec(&ExecOptions::new("RT", &gg, t))
+            .into_row()
+    });
     assert_eq!(rows.len(), 4);
     let summaries = summarize(&rows);
     assert_eq!(summaries.len(), 1);
@@ -145,8 +153,11 @@ fn results_round_trip_through_disk() {
 fn sweep_provenance_and_spread() {
     let gg = forest_workload(400, 2, 8);
     let sweep = Sweep::new(3, &[IdMode::Identity]);
-    let rows =
-        sweep.rows(|t| registry::get("rand_delta_plus_one").run("SP", &gg, Params::default(), t));
+    let rows = sweep.rows(|t| {
+        registry::get("rand_delta_plus_one")
+            .exec(&ExecOptions::new("SP", &gg, t))
+            .into_row()
+    });
     assert_eq!(
         rows.iter().map(|r| r.seed).collect::<Vec<_>>(),
         vec![0, 1, 2]

@@ -4,7 +4,7 @@
 //! pre-registry wiring (observer pair + verify + `Row` builders inlined
 //! by hand, exactly as the deleted `run_*` wrappers did).
 
-use benchharness::registry::{self, Params, Problem, Solution};
+use benchharness::registry::{self, ExecOptions, ObserveMode, Params, Problem, Solution};
 use benchharness::{cfg, forest_workload, harness_observer, Row, Trial};
 use graphcore::verify;
 use simlocal::Runner;
@@ -106,7 +106,9 @@ fn erased_run_matches_inline_wiring_for_colorings() {
     let gg = forest_workload(300, 2, 7);
     let trial = Trial::identity(3);
     for name in ["a2logn", "rand_delta_plus_one"] {
-        let reg_row = registry::get(name).run("EQ", &gg, Params::default(), &trial);
+        let reg_row = registry::get(name)
+            .exec(&ExecOptions::new("EQ", &gg, &trial))
+            .into_row();
 
         // Pre-registry wiring, by hand: construct, run under the
         // standard observer pair, verify, assemble.
@@ -169,7 +171,9 @@ fn row_from(
 fn erased_run_matches_inline_wiring_for_mis() {
     let gg = forest_workload(280, 2, 9);
     let trial = Trial::identity(2);
-    let reg_row = registry::get("mis_extension").run("EQ", &gg, Params::default(), &trial);
+    let reg_row = registry::get("mis_extension")
+        .exec(&ExecOptions::new("EQ", &gg, &trial))
+        .into_row();
 
     let p = algos::mis::MisExtension::new(gg.arboricity);
     let ids = trial.ids(gg.graph.n());
@@ -195,4 +199,35 @@ fn erased_run_matches_inline_wiring_for_mis() {
     .with_cap(usize::MAX)
     .with_trace(&obs.0, &obs.1);
     assert_rows_equivalent(&reg_row, &inline_row);
+}
+
+/// The deprecated pre-redesign trio must stay behaviorally pinned to
+/// `exec` until it is removed: `run` produces the identical row, and
+/// `run_traced` produces the identical row plus a populated trace stack.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_exec() {
+    let gg = forest_workload(240, 2, 11);
+    let trial = Trial::identity(1);
+    let spec = registry::get("a2logn");
+
+    let via_exec = spec.exec(&ExecOptions::new("EQ", &gg, &trial)).into_row();
+    let via_run = spec.run("EQ", &gg, Params::default(), &trial);
+    assert_rows_equivalent(&via_exec, &via_run);
+
+    let traced = spec.run_traced(&gg, Params::default(), &trial, false);
+    let via_exec_traced =
+        spec.exec(&ExecOptions::new("trace", &gg, &trial).observe(ObserveMode::Traced));
+    assert_rows_equivalent(&via_exec_traced.row.unwrap(), &traced.row);
+    let (log, _profile) = via_exec_traced.trace.unwrap();
+    assert_eq!(log.step_events(), traced.log.step_events());
+    assert_eq!(log.terminate_events(), traced.log.terminate_events());
+
+    // The bare shim runs to completion with nothing observed.
+    spec.run_bare(&gg, Params::default(), &trial);
+    let bare = spec.exec(&ExecOptions::new("bench", &gg, &trial).observe(ObserveMode::Bare));
+    assert!(bare.row.is_none());
+    assert!(bare.breakdown.is_none());
+    assert!(bare.trace.is_none());
+    assert!(bare.stats.rounds > 0);
 }

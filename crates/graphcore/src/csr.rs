@@ -85,6 +85,17 @@ impl Graph {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
+    /// The raw CSR offset array: `n + 1` entries, where
+    /// `offsets[v]..offsets[v+1]` spans `v`'s half-edges. Since it is the
+    /// prefix sum of degrees, `offsets[b] - offsets[a]` is the total
+    /// degree of the vertex range `a..b` in two loads — which is how the
+    /// engine's parallel traversal balances degree-skewed graphs across
+    /// workers without a per-vertex pass.
+    #[inline]
+    pub fn neighbor_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
     /// Sorted slice of `v`'s neighbors.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {

@@ -1,42 +1,78 @@
-//! The synchronous round engine, redesigned around *sparse rounds*: per-
-//! round work is proportional to the number of **active** vertices, so the
-//! wall-clock cost of a whole simulation tracks `RoundSum(V) = Σ_v r(v)`
-//! (the paper's Equation 1) instead of `n × worst-case`.
+//! The synchronous round engine: a data-oriented core doing *sparse
+//! rounds* — per-round work proportional to the number of **active**
+//! vertices, so the wall-clock cost of a whole simulation tracks
+//! `RoundSum(V) = Σ_v r(v)` (the paper's Equation 1) instead of
+//! `n × worst-case`.
 //!
-//! The engine keeps two slabs:
+//! ## Data layout
+//!
+//! All per-vertex data lives in struct-of-arrays slabs, allocated once at
+//! run start and never resized:
 //!
 //! * a **private state slab** (`Vec<P::State>`), mutated in place and
-//!   never read by anyone but its own vertex — private scratch is never
-//!   cloned for neighbors;
+//!   never read by anyone but its own vertex;
 //! * a **published message slab** (`Vec<P::Msg>`), refreshed from
-//!   [`Protocol::publish`] whenever a vertex steps. Neighbor reads go
-//!   through this slab only, and every published message is charged its
-//!   [`WireSize::wire_bits`](crate::wire::WireSize::wire_bits) in the
-//!   engine's communication accounting.
+//!   [`Protocol::publish`] whenever a vertex steps — the only thing
+//!   [`NeighborView`] serves, each write charged its
+//!   [`WireSize::wire_bits`](crate::wire::WireSize::wire_bits);
+//! * output and termination-round slabs, written once per vertex;
+//! * the [`ActiveSet`] bitset, whose live-word index makes per-round
+//!   iteration `O(active)` rather than `O(n)` (see [`crate::active`]).
 //!
-//! What makes a round sparse:
+//! Adjacency is read straight from the CSR graph
+//! ([`Graph::neighbors`] returns a slice into the shared arrays) — the
+//! engine builds no per-vertex neighbor structures of its own.
 //!
-//! * a stepped vertex's new state and message are moved (not cloned) into
-//!   place after all of the round's reads are done, and vertices that did
-//!   not step are simply never touched;
-//! * the transition scratch buffer is reused across rounds;
-//! * terminating vertices publish their final message in the same pass
-//!   that records their output — there is no end-of-round `O(n)` scan;
-//! * an adaptive sequential/parallel cutover: rounds whose active set is
-//!   below [`RunConfig::par_threshold`] run on the calling thread even in
-//!   parallel mode, so the long low-activity tail of a decaying protocol
-//!   never pays thread coordination costs.
+//! ## Round structure
 //!
-//! The entry point is [`Runner`], a builder that optionally attaches an
-//! [`Observer`](crate::observer::Observer) for per-round telemetry. An
-//! unobserved run is monomorphized with [`NoObserver`] and compiles to the
-//! bare engine — no clocks, no callbacks.
+//! Each round has a read phase and a retire phase. The read phase steps
+//! every active vertex against the *previous* round's message snapshot
+//! and the bitset as it stood when the round began; nothing a step can
+//! observe is mutated during it, which is what makes the parallel
+//! fan-out (chunks of the live-word list on scoped threads) trivially
+//! equal to the sequential path. The retire phase then publishes the new
+//! messages, clears the bits of vertices that terminated, and compacts
+//! the live-word list — all in one `O(active)` sweep.
+//!
+//! Two step paths share that structure:
+//!
+//! * the **classic path** buffers each stepped vertex's
+//!   [`Transition`] in a hoisted scratch vector and applies them in the
+//!   retire sweep. It is the path observers see (hooks fire in
+//!   deterministic vertex order with pre-step states intact);
+//! * the **fast path** writes states, outputs, and published messages
+//!   in place during the read phase — legal because states are private,
+//!   outputs are per-vertex slots, and messages go to a double buffer
+//!   (`msgs_next`) that readers never see until the retire sweep copies
+//!   it into the visible slab. It skips the transition buffer entirely
+//!   and is chosen by [`Toggle::Auto`] for small `Copy`-like message
+//!   types on unobserved runs ([`FAST_PATH_MAX_MSG_BYTES`]); forcing it
+//!   [`On`](Toggle::On) is byte-identical for *any* protocol, just not
+//!   always faster. Observed runs always take the classic path — the
+//!   [`Observer`] contract hands `phase_of` the pre-step state, which
+//!   the fast path overwrites.
+//!
+//! ## Allocation discipline
+//!
+//! With the default [`ScratchPolicy::Eager`], every slab and scratch
+//! buffer is sized at run start; because the active set only shrinks,
+//! steady-state sequential rounds allocate **nothing** (a debug-build
+//! assertion inside the round loop and the `zero_alloc` integration test
+//! both pin this). Parallel rounds reuse their per-worker scratch too,
+//! but thread fan-out itself allocates (stacks), so the zero-alloc
+//! contract is a sequential-path guarantee.
+//!
+//! Engine tuning — par threshold, worker count, fast-path toggle,
+//! scratch policy — lives in [`EngineTuning`]; the default resolves each
+//! knob from the graph shape at run start.
 //!
 //! Sequential and parallel modes produce byte-identical outcomes: every
-//! step reads only the previous round's message snapshot, and transitions
-//! are applied in deterministic vertex order. A property test checks both
-//! modes against the retained naive engine in [`crate::reference`].
+//! step reads only the previous round's snapshot, and retirements apply
+//! in deterministic vertex order. Property tests check both modes and
+//! both step paths against the retained dense engine in
+//! [`crate::reference`].
 
+use crate::active::ActiveSet;
 use crate::metrics::RoundMetrics;
 use crate::observer::{NoObserver, Observer, RoundRecord};
 use crate::protocol::{NeighborView, Protocol, StepCtx, Transition};
@@ -45,19 +81,137 @@ use graphcore::{Graph, IdAssignment, VertexId};
 use std::time::{Duration, Instant};
 
 /// Default active-set size above which a parallel-mode round fans out to
-/// worker threads. Below it, thread spawn/join overhead dominates the
-/// step work of typical protocols.
+/// worker threads — the [`EngineTuning`] auto-pick's ceiling. Below it,
+/// thread spawn/join overhead dominates the step work of typical
+/// protocols.
 pub const DEFAULT_PAR_THRESHOLD: usize = 4096;
+
+/// Largest `size_of::<P::Msg>()` for which [`Toggle::Auto`] selects the
+/// in-place fast path. Larger messages make the double-buffer copy in
+/// the retire sweep more expensive than the classic path's single write.
+pub const FAST_PATH_MAX_MSG_BYTES: usize = 32;
+
+/// A tri-state tuning knob: let the engine decide, force on, force off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Toggle {
+    /// Engine picks from the protocol's types and the run mode.
+    #[default]
+    Auto,
+    /// Force-enable wherever legal (for the fast path: whenever the run
+    /// is unobserved — the result is byte-identical either way).
+    On,
+    /// Never.
+    Off,
+}
+
+/// When the engine's per-round scratch buffers get their capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScratchPolicy {
+    /// Allocate full capacity at run start: steady-state sequential
+    /// rounds are allocation-free (the default).
+    #[default]
+    Eager,
+    /// Start empty and grow on demand: cheaper run setup for tiny or
+    /// short runs, at the cost of amortized growth early on.
+    Lazy,
+}
+
+/// Engine tuning in one place: everything about *how* the engine runs a
+/// protocol that does not change *what* it computes. The default is
+/// all-auto — every knob resolved from the graph shape and the
+/// protocol's types at run start:
+///
+/// ```
+/// use simlocal::{EngineTuning, Toggle};
+/// let tuning = EngineTuning::default()   // auto everything, or:
+///     .par_threshold(512)                // fan out above 512 active
+///     .workers(4)                        // on exactly 4 workers
+///     .fast_path(Toggle::Off);           // always buffer transitions
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTuning {
+    par_threshold: Option<usize>,
+    workers: Option<usize>,
+    fast_path: Toggle,
+    scratch: ScratchPolicy,
+}
+
+impl EngineTuning {
+    /// Sets the active-set size at which parallel mode engages threads.
+    /// Auto picks [`DEFAULT_PAR_THRESHOLD`], lowered for dense graphs
+    /// (heavier steps amortize fan-out sooner).
+    pub fn par_threshold(mut self, threshold: usize) -> Self {
+        self.par_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the worker-thread count for parallel rounds (min 1). Auto
+    /// uses the machine's available parallelism. Forcing a count above
+    /// the core count is legal — useful for exercising the parallel
+    /// path deterministically on small machines.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the fast-path policy (see the module docs for the
+    /// contract). [`Toggle::On`] is byte-identical to [`Toggle::Off`]
+    /// on any protocol; [`Toggle::Auto`] enables it for message types
+    /// of at most [`FAST_PATH_MAX_MSG_BYTES`] with no drop glue.
+    pub fn fast_path(mut self, toggle: Toggle) -> Self {
+        self.fast_path = toggle;
+        self
+    }
+
+    /// Sets the scratch allocation policy.
+    pub fn scratch(mut self, policy: ScratchPolicy) -> Self {
+        self.scratch = policy;
+        self
+    }
+
+    /// Resolves every auto knob against the graph.
+    pub(crate) fn resolve(&self, g: &Graph) -> ResolvedTuning {
+        let par_threshold = self.par_threshold.unwrap_or_else(|| {
+            // Dense graphs do more work per step (neighbor walks), so
+            // fan-out pays for itself at smaller active sets.
+            let scale = 1.0 + g.avg_degree() / 4.0;
+            ((DEFAULT_PAR_THRESHOLD as f64 / scale) as usize).clamp(256, DEFAULT_PAR_THRESHOLD)
+        });
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
+        });
+        ResolvedTuning {
+            par_threshold,
+            workers,
+            fast_path: self.fast_path,
+            scratch: self.scratch,
+        }
+    }
+}
+
+/// [`EngineTuning`] with every auto knob decided.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ResolvedTuning {
+    pub(crate) par_threshold: usize,
+    pub(crate) workers: usize,
+    pub(crate) fast_path: Toggle,
+    pub(crate) scratch: ScratchPolicy,
+}
 
 /// Engine configuration. Buildable:
 ///
 /// ```
-/// use simlocal::RunConfig;
-/// let cfg = RunConfig::seeded(7).parallel().with_max_rounds(100);
+/// use simlocal::{EngineTuning, RunConfig};
+/// let cfg = RunConfig::seeded(7)
+///     .parallel()
+///     .with_max_rounds(100)
+///     .with_tuning(EngineTuning::default().par_threshold(512));
 /// assert_eq!(cfg.seed, 7);
 /// assert!(cfg.parallel);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RunConfig {
     /// Seed for randomized protocols (ignored by deterministic ones).
     pub seed: u64,
@@ -65,20 +219,8 @@ pub struct RunConfig {
     pub parallel: bool,
     /// Override the protocol's round cap (`None` = ask the protocol).
     pub max_rounds: Option<u32>,
-    /// Minimum active-set size for a parallel-mode round to actually use
-    /// worker threads (the adaptive seq/par cutover).
-    pub par_threshold: usize,
-}
-
-impl Default for RunConfig {
-    fn default() -> Self {
-        RunConfig {
-            seed: 0,
-            parallel: false,
-            max_rounds: None,
-            par_threshold: DEFAULT_PAR_THRESHOLD,
-        }
-    }
+    /// Engine tuning (par threshold, workers, fast path, scratch).
+    pub tuning: EngineTuning,
 }
 
 impl RunConfig {
@@ -108,9 +250,9 @@ impl RunConfig {
         self
     }
 
-    /// Sets the parallel cutover threshold.
-    pub fn with_par_threshold(mut self, threshold: usize) -> RunConfig {
-        self.par_threshold = threshold;
+    /// Replaces the engine tuning.
+    pub fn with_tuning(mut self, tuning: EngineTuning) -> RunConfig {
+        self.tuning = tuning;
         self
     }
 }
@@ -138,6 +280,9 @@ pub struct EngineStats {
     pub max_msg_bits: u64,
     /// Rounds that actually fanned out to worker threads.
     pub parallel_rounds: u32,
+    /// Rounds that took the in-place fast path (0 or `rounds`: the path
+    /// is chosen per run).
+    pub fast_rounds: u32,
 }
 
 /// A completed simulation: every vertex's output, the round metrics, and
@@ -254,9 +399,10 @@ impl<'a, P: Protocol> Runner<'a, P> {
         self
     }
 
-    /// Sets the active-set size at which parallel mode engages threads.
-    pub fn par_threshold(mut self, threshold: usize) -> Self {
-        self.cfg.par_threshold = threshold;
+    /// Replaces the engine tuning (par threshold, workers, fast path,
+    /// scratch policy) in one call.
+    pub fn tuning(mut self, tuning: EngineTuning) -> Self {
+        self.cfg.tuning = tuning;
         self
     }
 
@@ -280,6 +426,70 @@ type Stepped<P> = (
     Transition<<P as Protocol>::State, <P as Protocol>::Output>,
 );
 
+/// A raw pointer into a slab, shared across the parallel fast path's
+/// workers. Every write goes to the slot of a vertex owned by exactly
+/// one worker (the live-word chunks partition the active set), so the
+/// aliasing rules hold even though the type erases the borrow.
+struct SlabPtr<T>(*mut T);
+
+unsafe impl<T: Send> Sync for SlabPtr<T> {}
+
+impl<T> SlabPtr<T> {
+    fn new(slab: &mut [T]) -> SlabPtr<T> {
+        SlabPtr(slab.as_mut_ptr())
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and not concurrently written.
+    #[inline]
+    unsafe fn get<'s>(&self, i: usize) -> &'s T {
+        unsafe { &*self.0.add(i) }
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and this thread must be the only one
+    /// accessing slot `i`.
+    #[inline]
+    unsafe fn set(&self, i: usize, value: T) {
+        unsafe { *self.0.add(i) = value }
+    }
+}
+
+/// Splits the live-word list into at most `workers` contiguous chunks of
+/// roughly equal *work*, writing chunk boundaries (indices into `live`)
+/// into `cuts`. Work per word is its population count plus the CSR
+/// degree sum of its 64 vertex slots (read straight off the offsets
+/// array), so degree-skewed graphs still balance. Deterministic, and
+/// allocation-free once `cuts` has capacity `workers + 1`.
+fn fill_balanced_cuts(
+    g: &Graph,
+    live: &[u32],
+    words: &[u64],
+    workers: usize,
+    cuts: &mut Vec<usize>,
+) {
+    let n = g.n();
+    let offsets = g.neighbor_offsets();
+    let weight = |wi: u32| -> u64 {
+        let lo = (wi as usize) << 6;
+        let hi = (lo + 64).min(n);
+        (offsets[hi] - offsets[lo]) as u64 + words[wi as usize].count_ones() as u64
+    };
+    let total: u64 = live.iter().map(|&wi| weight(wi)).sum();
+    let target = total.div_ceil(workers as u64).max(1);
+    cuts.clear();
+    cuts.push(0);
+    let mut acc = 0u64;
+    for (i, &wi) in live.iter().enumerate() {
+        acc += weight(wi);
+        if acc >= target && cuts.len() < workers && i + 1 < live.len() {
+            cuts.push(i + 1);
+            acc = 0;
+        }
+    }
+    cuts.push(live.len());
+}
+
 /// The sparse-round engine body, monomorphized over the observer.
 fn execute<P: Protocol, Ob: Observer>(
     protocol: &P,
@@ -291,27 +501,50 @@ fn execute<P: Protocol, Ob: Observer>(
     assert_eq!(ids.len(), g.n(), "ID assignment must cover all vertices");
     let n = g.n();
     let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
-    let workers = if cfg.parallel {
-        std::thread::available_parallelism()
-            .map(|w| w.get())
-            .unwrap_or(1)
-    } else {
-        1
+    let tun = cfg.tuning.resolve(g);
+    let workers = if cfg.parallel { tun.workers } else { 1 };
+    // The fast path requires an unobserved run (observer hooks need the
+    // pre-step state the fast path overwrites); within that, Auto takes
+    // it only when the message copy into the double buffer is cheap.
+    let use_fast = match tun.fast_path {
+        Toggle::Off => false,
+        Toggle::On => !Ob::ENABLED,
+        Toggle::Auto => {
+            !Ob::ENABLED
+                && !std::mem::needs_drop::<P::Msg>()
+                && std::mem::size_of::<P::Msg>() <= FAST_PATH_MAX_MSG_BYTES
+        }
     };
+    let eager = tun.scratch == ScratchPolicy::Eager;
 
     let run_t0 = Instant::now();
-    // The two slabs: private states (in-place, never read by neighbors)
-    // and published messages (the only thing NeighborView serves).
+    // The struct-of-arrays slabs. `msgs` is the visible snapshot that
+    // NeighborView serves; `msgs_next` is the fast path's write buffer
+    // (unused — and unallocated — on the classic path).
     let mut states: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
-    let mut published: Vec<P::Msg> = states.iter().map(|s| protocol.publish(s)).collect();
-    let mut terminated = vec![false; n];
+    let mut msgs: Vec<P::Msg> = states.iter().map(|s| protocol.publish(s)).collect();
+    let mut msgs_next: Vec<P::Msg> = if use_fast { msgs.clone() } else { Vec::new() };
     let mut outputs: Vec<Option<P::Output>> = vec![None; n];
     let mut termination_round = vec![0u32; n];
-    let mut active: Vec<VertexId> = g.vertices().collect();
-    let mut next_active: Vec<VertexId> = Vec::with_capacity(n);
-    let mut transitions: Vec<Stepped<P>> = Vec::with_capacity(n);
-    let mut active_per_round = Vec::new();
+    let mut active = ActiveSet::full(n);
+    // Classic-path scratch: the transition buffer (capacity n up front
+    // under Eager — the active set only shrinks, so it never grows) and
+    // per-worker buffers that the parallel read phase fills.
+    let mut transitions: Vec<Stepped<P>> = if !use_fast && eager {
+        Vec::with_capacity(n)
+    } else {
+        Vec::new()
+    };
+    let mut worker_scratch: Vec<Vec<Stepped<P>>> = if !use_fast && workers > 1 {
+        (0..workers).map(|_| Vec::new()).collect()
+    } else {
+        Vec::new()
+    };
+    let mut cuts: Vec<usize> = Vec::with_capacity(workers + 1);
+    let mut active_per_round: Vec<usize> = Vec::with_capacity((max_rounds as usize).min(4096) + 1);
     let mut stats = EngineStats::default();
+    #[cfg(debug_assertions)]
+    let scratch_cap0 = transitions.capacity();
 
     let mut round: u32 = 0;
     while !active.is_empty() {
@@ -319,10 +552,10 @@ fn execute<P: Protocol, Ob: Observer>(
         if round > max_rounds {
             return Err(EngineError::RoundLimitExceeded {
                 max_rounds,
-                still_active: active.len(),
+                still_active: active.count(),
             });
         }
-        let stepped = active.len();
+        let stepped = active.count();
         observer.on_round_start(round, stepped);
         let round_t0 = if Ob::ENABLED {
             Some(Instant::now())
@@ -331,82 +564,225 @@ fn execute<P: Protocol, Ob: Observer>(
         };
         active_per_round.push(stepped);
 
-        // Step phase: read-only against the message slab; every active
-        // vertex's transition lands in the reusable scratch buffer.
-        // `step_one` is a pure function of the previous round's snapshot,
-        // so the parallel fan-out below cannot change the outcome.
-        let step_one = |&v: &VertexId| {
-            let ctx = StepCtx {
-                graph: g,
-                ids,
-                v,
-                round,
-                state: &states[v as usize],
-                view: NeighborView {
-                    graph: g,
-                    v,
-                    msgs: &published,
-                    terminated: &terminated,
-                },
-                run_seed: cfg.seed,
-            };
-            (v, protocol.step(ctx))
-        };
-        let fan_out = cfg.parallel && workers > 1 && stepped >= cfg.par_threshold;
-        if fan_out {
-            stats.parallel_rounds += 1;
-            let chunk = stepped.div_ceil(workers);
-            let parts: Vec<Vec<Stepped<P>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = active
-                    .chunks(chunk)
-                    .map(|part| scope.spawn(move || part.iter().map(step_one).collect::<Vec<_>>()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("step panicked"))
-                    .collect()
-            });
-            for part in parts {
-                transitions.extend(part);
-            }
-        } else {
-            transitions.extend(active.iter().map(step_one));
-        }
-
-        // Publish phase: touches exactly the stepped vertices, in
-        // deterministic vertex order. A terminating vertex's final message
-        // is published right here — no end-of-round scan.
-        next_active.clear();
+        let fan_out = workers > 1 && stepped >= tun.par_threshold;
         let mut round_bits = 0u64;
         let mut round_max_bits = 0u64;
-        for (v, t) in transitions.drain(..) {
-            if Ob::ENABLED {
-                // `states[v]` still holds the state the vertex entered
-                // the round with — the one `phase_of` attributes.
-                observer.on_phase(v, round, protocol.phase_of(&states[v as usize]));
+        let words = active.words();
+
+        if use_fast {
+            // Fast path: states, outputs, and next-round messages are
+            // written in place during the read phase. Private state and
+            // per-vertex slots make the writes invisible to other steps;
+            // the message double buffer keeps the snapshot intact.
+            stats.fast_rounds += 1;
+            if fan_out {
+                stats.parallel_rounds += 1;
+                fill_balanced_cuts(g, active.live_words(), words, workers, &mut cuts);
+                let states_p = SlabPtr::new(&mut states);
+                let msgs_next_p = SlabPtr::new(&mut msgs_next);
+                let outputs_p = SlabPtr::new(&mut outputs);
+                let term_p = SlabPtr::new(&mut termination_round);
+                let msgs_ref: &[P::Msg] = &msgs;
+                let live = active.live_words();
+                let bit_totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = cuts
+                        .windows(2)
+                        .map(|w| {
+                            let chunk = &live[w[0]..w[1]];
+                            let (states_p, msgs_next_p, outputs_p, term_p) =
+                                (&states_p, &msgs_next_p, &outputs_p, &term_p);
+                            scope.spawn(move || {
+                                let mut bits_sum = 0u64;
+                                let mut bits_max = 0u64;
+                                for &wi in chunk {
+                                    let mut bits = words[wi as usize];
+                                    while bits != 0 {
+                                        let v = (wi << 6) | bits.trailing_zeros();
+                                        bits &= bits - 1;
+                                        let vu = v as usize;
+                                        // SAFETY: `v` belongs to this
+                                        // worker's chunk only; slabs are
+                                        // length n > vu.
+                                        unsafe {
+                                            let ctx = StepCtx {
+                                                graph: g,
+                                                ids,
+                                                v,
+                                                round,
+                                                state: states_p.get(vu),
+                                                view: NeighborView {
+                                                    graph: g,
+                                                    v,
+                                                    msgs: msgs_ref,
+                                                    active_words: words,
+                                                },
+                                                run_seed: cfg.seed,
+                                            };
+                                            let (s, out) = match protocol.step(ctx) {
+                                                Transition::Continue(s) => (s, None),
+                                                Transition::Terminate(s, o) => (s, Some(o)),
+                                            };
+                                            let m = protocol.publish(&s);
+                                            let mb = m.wire_bits();
+                                            bits_sum += mb;
+                                            bits_max = bits_max.max(mb);
+                                            msgs_next_p.set(vu, m);
+                                            states_p.set(vu, s);
+                                            if let Some(o) = out {
+                                                outputs_p.set(vu, Some(o));
+                                                term_p.set(vu, round);
+                                            }
+                                        }
+                                    }
+                                }
+                                (bits_sum, bits_max)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("step panicked"))
+                        .collect()
+                });
+                for (sum, max) in bit_totals {
+                    round_bits += sum;
+                    round_max_bits = round_max_bits.max(max);
+                }
+            } else {
+                active.for_each(|v| {
+                    let vu = v as usize;
+                    let ctx = StepCtx {
+                        graph: g,
+                        ids,
+                        v,
+                        round,
+                        state: &states[vu],
+                        view: NeighborView {
+                            graph: g,
+                            v,
+                            msgs: &msgs,
+                            active_words: words,
+                        },
+                        run_seed: cfg.seed,
+                    };
+                    let (s, out) = match protocol.step(ctx) {
+                        Transition::Continue(s) => (s, None),
+                        Transition::Terminate(s, o) => (s, Some(o)),
+                    };
+                    let m = protocol.publish(&s);
+                    let mb = m.wire_bits();
+                    round_bits += mb;
+                    round_max_bits = round_max_bits.max(mb);
+                    msgs_next[vu] = m;
+                    states[vu] = s;
+                    if let Some(o) = out {
+                        outputs[vu] = Some(o);
+                        termination_round[vu] = round;
+                    }
+                });
             }
-            observer.on_step(v, round);
-            let (s, output) = match t {
-                Transition::Continue(s) => (s, None),
-                Transition::Terminate(s, o) => (s, Some(o)),
+            // Retire sweep: expose the new messages and drop the
+            // vertices that terminated this round from the active set.
+            active.retire(|v| {
+                let vu = v as usize;
+                msgs[vu] = msgs_next[vu].clone();
+                termination_round[vu] == round
+            });
+        } else {
+            // Classic path: buffer transitions during the read phase,
+            // apply them (and fire observer hooks, in vertex order,
+            // against pre-step states) in the retire phase.
+            let step_one = |v: VertexId| -> Stepped<P> {
+                let ctx = StepCtx {
+                    graph: g,
+                    ids,
+                    v,
+                    round,
+                    state: &states[v as usize],
+                    view: NeighborView {
+                        graph: g,
+                        v,
+                        msgs: &msgs,
+                        active_words: words,
+                    },
+                    run_seed: cfg.seed,
+                };
+                (v, protocol.step(ctx))
             };
-            let msg = protocol.publish(&s);
-            let bits = msg.wire_bits();
-            round_bits += bits;
-            round_max_bits = round_max_bits.max(bits);
-            published[v as usize] = msg;
-            states[v as usize] = s;
-            match output {
-                None => next_active.push(v),
-                Some(o) => {
-                    outputs[v as usize] = Some(o);
-                    terminated[v as usize] = true;
-                    termination_round[v as usize] = round;
+            if fan_out {
+                stats.parallel_rounds += 1;
+                fill_balanced_cuts(g, active.live_words(), words, workers, &mut cuts);
+                let live = active.live_words();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = cuts
+                        .windows(2)
+                        .zip(worker_scratch.iter_mut())
+                        .map(|(w, scratch)| {
+                            let chunk = &live[w[0]..w[1]];
+                            let step_one = &step_one;
+                            scope.spawn(move || {
+                                for &wi in chunk {
+                                    let mut bits = words[wi as usize];
+                                    while bits != 0 {
+                                        let v = (wi << 6) | bits.trailing_zeros();
+                                        bits &= bits - 1;
+                                        scratch.push(step_one(v));
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("step panicked");
+                    }
+                });
+                // Funnel into the single transition buffer in worker
+                // order — chunks are ascending, so this is vertex order.
+                for scratch in &mut worker_scratch {
+                    transitions.append(scratch);
+                }
+            } else {
+                active.for_each(|v| transitions.push(step_one(v)));
+            }
+
+            for (v, t) in transitions.drain(..) {
+                let vu = v as usize;
+                if Ob::ENABLED {
+                    // `states[v]` still holds the state the vertex
+                    // entered the round with — the one `phase_of`
+                    // attributes.
+                    observer.on_phase(v, round, protocol.phase_of(&states[vu]));
+                }
+                observer.on_step(v, round);
+                let (s, out) = match t {
+                    Transition::Continue(s) => (s, None),
+                    Transition::Terminate(s, o) => (s, Some(o)),
+                };
+                let m = protocol.publish(&s);
+                let mb = m.wire_bits();
+                round_bits += mb;
+                round_max_bits = round_max_bits.max(mb);
+                msgs[vu] = m;
+                states[vu] = s;
+                if let Some(o) = out {
+                    outputs[vu] = Some(o);
+                    termination_round[vu] = round;
                     observer.on_terminate(v, round);
                 }
             }
+            active.retire(|v| termination_round[v as usize] == round);
         }
-        std::mem::swap(&mut active, &mut next_active);
+
+        // Zero-alloc audit: under Eager scratch, nothing the engine owns
+        // may have grown during the round.
+        #[cfg(debug_assertions)]
+        if eager && !use_fast {
+            debug_assert_eq!(
+                transitions.capacity(),
+                scratch_cap0,
+                "engine scratch reallocated mid-run (round {round})"
+            );
+        }
 
         stats.steps += stepped as u64;
         stats.publications += stepped as u64;
@@ -543,6 +919,12 @@ mod tests {
 
     fn ids(n: usize) -> IdAssignment {
         IdAssignment::identity(n)
+    }
+
+    /// Tuning that forces genuine thread fan-out on every round, even on
+    /// a single-core machine.
+    fn fan_out_tuning() -> EngineTuning {
+        EngineTuning::default().par_threshold(1).workers(4)
     }
 
     #[test]
@@ -705,22 +1087,17 @@ mod tests {
         let g = gen::grid(6, 7);
         let n = g.n();
         let seq = Runner::new(&Staircase, &g, &ids(n)).run().unwrap();
-        // par_threshold 1 forces genuine thread fan-out on every round.
+        // Forced workers + threshold 1: genuine fan-out on every round,
+        // even on one core.
         let par = Runner::new(&Staircase, &g, &ids(n))
             .parallel()
-            .par_threshold(1)
+            .tuning(fan_out_tuning())
             .run()
             .unwrap();
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.metrics, par.metrics);
         assert_eq!(seq.stats.steps, par.stats.steps);
-        if std::thread::available_parallelism()
-            .map(|w| w.get())
-            .unwrap_or(1)
-            > 1
-        {
-            assert!(par.stats.parallel_rounds > 0, "cutover at 1 must fan out");
-        }
+        assert!(par.stats.parallel_rounds > 0, "cutover at 1 must fan out");
     }
 
     #[test]
@@ -733,11 +1110,96 @@ mod tests {
         let par = Runner::new(&CoinFlip, &g, &ids(64))
             .seed(1234)
             .parallel()
-            .par_threshold(1)
+            .tuning(fan_out_tuning())
             .run()
             .unwrap();
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.metrics, par.metrics);
+        assert!(par.stats.parallel_rounds > 0);
+    }
+
+    #[test]
+    fn fast_and_classic_paths_agree() {
+        // FloodMax's u64 message auto-selects the fast path; forcing it
+        // off must not change a single byte of the outcome.
+        let g = gen::grid(5, 9);
+        let n = g.n();
+        let fast = Runner::new(&FloodMax { rounds: 4 }, &g, &ids(n))
+            .run()
+            .unwrap();
+        let classic = Runner::new(&FloodMax { rounds: 4 }, &g, &ids(n))
+            .tuning(EngineTuning::default().fast_path(Toggle::Off))
+            .run()
+            .unwrap();
+        assert!(fast.stats.fast_rounds > 0, "Auto must pick fast for u64");
+        assert_eq!(classic.stats.fast_rounds, 0);
+        assert_eq!(fast.outputs, classic.outputs);
+        assert_eq!(fast.metrics, classic.metrics);
+        assert_eq!(fast.stats.msg_bits, classic.stats.msg_bits);
+        assert_eq!(fast.stats.max_msg_bits, classic.stats.max_msg_bits);
+    }
+
+    #[test]
+    fn observed_runs_fall_back_to_classic() {
+        let g = gen::path(5);
+        let mut t = Telemetry::new();
+        let out = Runner::new(&FloodMax { rounds: 2 }, &g, &ids(5))
+            .tuning(EngineTuning::default().fast_path(Toggle::On))
+            .run_with(&mut t)
+            .unwrap();
+        assert_eq!(
+            out.stats.fast_rounds, 0,
+            "observer hooks require the classic path even when forced on"
+        );
+    }
+
+    #[test]
+    fn forced_fast_path_handles_heap_messages() {
+        // Vec<u64> messages: needs_drop, so Auto declines — but forcing
+        // the fast path on must still be byte-identical.
+        struct HeapMsg;
+        impl Protocol for HeapMsg {
+            type State = u64;
+            type Msg = Vec<u64>;
+            type Output = u64;
+            fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
+                ids.id(v)
+            }
+            fn publish(&self, s: &u64) -> Vec<u64> {
+                vec![*s; 2]
+            }
+            fn step(&self, ctx: StepCtx<'_, u64, Vec<u64>>) -> Transition<u64, u64> {
+                let sum: u64 = ctx.view.neighbors().map(|(_, m)| m[0]).sum();
+                if ctx.round >= 3 {
+                    Transition::Terminate(sum, sum)
+                } else {
+                    Transition::Continue(sum + 1)
+                }
+            }
+        }
+        let g = gen::cycle(9);
+        let auto = Runner::new(&HeapMsg, &g, &ids(9)).run().unwrap();
+        let forced = Runner::new(&HeapMsg, &g, &ids(9))
+            .tuning(EngineTuning::default().fast_path(Toggle::On))
+            .run()
+            .unwrap();
+        assert_eq!(auto.stats.fast_rounds, 0, "Auto declines droppy messages");
+        assert!(forced.stats.fast_rounds > 0);
+        assert_eq!(auto.outputs, forced.outputs);
+        assert_eq!(auto.metrics, forced.metrics);
+        assert_eq!(auto.stats.msg_bits, forced.stats.msg_bits);
+    }
+
+    #[test]
+    fn lazy_scratch_matches_eager() {
+        let g = gen::grid(4, 4);
+        let eager = Runner::new(&Staircase, &g, &ids(16)).run().unwrap();
+        let lazy = Runner::new(&Staircase, &g, &ids(16))
+            .tuning(EngineTuning::default().scratch(ScratchPolicy::Lazy))
+            .run()
+            .unwrap();
+        assert_eq!(eager.outputs, lazy.outputs);
+        assert_eq!(eager.metrics, lazy.metrics);
     }
 
     #[test]
@@ -745,7 +1207,7 @@ mod tests {
         let g = gen::cycle(16);
         let out = Runner::new(&Staircase, &g, &ids(16))
             .parallel()
-            .par_threshold(1000)
+            .tuning(EngineTuning::default().par_threshold(1000).workers(4))
             .run()
             .unwrap();
         assert_eq!(
@@ -796,12 +1258,34 @@ mod tests {
     #[test]
     fn config_builder_reaches_engine() {
         let g = gen::cycle(8);
-        let cfg = RunConfig::seeded(9).sequential().with_par_threshold(123);
+        let cfg = RunConfig::seeded(9)
+            .sequential()
+            .with_tuning(EngineTuning::default().par_threshold(123));
         let out = Runner::new(&CoinFlip, &g, &ids(8))
             .config(cfg)
             .run()
             .unwrap();
         let again = Runner::new(&CoinFlip, &g, &ids(8)).seed(9).run().unwrap();
         assert_eq!(out.outputs, again.outputs);
+    }
+
+    #[test]
+    fn auto_tuning_resolves_from_graph_shape() {
+        let sparse = gen::cycle(1000);
+        let rt = EngineTuning::default().resolve(&sparse);
+        assert!(rt.par_threshold <= DEFAULT_PAR_THRESHOLD);
+        assert!(rt.par_threshold >= 256);
+        assert!(rt.workers >= 1);
+        // Denser graph → lower threshold (heavier steps amortize sooner).
+        let dense = gen::clique(64);
+        let rd = EngineTuning::default().resolve(&dense);
+        assert!(rd.par_threshold <= rt.par_threshold);
+        // Explicit settings win over auto.
+        let forced = EngineTuning::default()
+            .par_threshold(7)
+            .workers(3)
+            .resolve(&sparse);
+        assert_eq!(forced.par_threshold, 7);
+        assert_eq!(forced.workers, 3);
     }
 }

@@ -64,6 +64,7 @@
 //! The engine does sparse rounds — per-round work proportional to the
 //! active set — so wall time tracks `RoundSum`, not `n × worst-case`.
 
+pub mod active;
 pub mod engine;
 pub mod metrics;
 pub mod observer;
@@ -73,7 +74,11 @@ pub mod rng;
 pub mod trace;
 pub mod wire;
 
-pub use engine::{EngineError, EngineStats, RunConfig, Runner, SimOutcome, DEFAULT_PAR_THRESHOLD};
+pub use active::ActiveSet;
+pub use engine::{
+    EngineError, EngineStats, EngineTuning, RunConfig, Runner, ScratchPolicy, SimOutcome, Toggle,
+    DEFAULT_PAR_THRESHOLD, FAST_PATH_MAX_MSG_BYTES,
+};
 pub use metrics::{Percentiles, RoundMetrics};
 pub use observer::{NoObserver, Observer, RoundRecord, Tee, Telemetry};
 pub use protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};

@@ -127,14 +127,26 @@ impl<'a, S, M> StepCtx<'a, S, M> {
 
 /// Read-only access to the previous-round published messages of the whole
 /// graph, scoped to a vertex's neighborhood by the convenience methods.
+///
+/// Activity is served straight from the engine's bit words (bit `u & 63`
+/// of `active_words[u >> 6]` is set iff `u` is still active) — the same
+/// snapshot the round iterates, so no per-vertex `Vec<bool>` shadow is
+/// maintained.
 pub struct NeighborView<'a, M> {
     pub(crate) graph: &'a Graph,
     pub(crate) v: VertexId,
     pub(crate) msgs: &'a [M],
-    pub(crate) terminated: &'a [bool],
+    pub(crate) active_words: &'a [u64],
 }
 
 impl<'a, M> NeighborView<'a, M> {
+    /// Bit test against the active-set snapshot.
+    #[inline]
+    fn is_active_bit(&self, u: VertexId) -> bool {
+        let uu = u as usize;
+        (self.active_words[uu >> 6] >> (uu & 63)) & 1 != 0
+    }
+
     /// Debug-only locality guard: in the LOCAL model a vertex may only
     /// read itself and its direct neighbors, but `msgs` spans the whole
     /// graph, so nothing stops a protocol from peeking further. Panics in
@@ -161,7 +173,7 @@ impl<'a, M> NeighborView<'a, M> {
     #[inline]
     pub fn is_terminated(&self, u: VertexId) -> bool {
         self.assert_local(u);
-        self.terminated[u as usize]
+        !self.is_active_bit(u)
     }
 
     /// Iterator over `(neighbor, message)` pairs.
@@ -177,7 +189,7 @@ impl<'a, M> NeighborView<'a, M> {
         self.graph
             .neighbors(self.v)
             .iter()
-            .filter(move |&&u| !self.terminated[u as usize])
+            .filter(move |&&u| self.is_active_bit(u))
             .map(move |&u| (u, &self.msgs[u as usize]))
     }
 
@@ -186,7 +198,7 @@ impl<'a, M> NeighborView<'a, M> {
         self.graph
             .neighbors(self.v)
             .iter()
-            .filter(move |&&u| self.terminated[u as usize])
+            .filter(move |&&u| !self.is_active_bit(u))
             .map(move |&u| (u, &self.msgs[u as usize]))
     }
 
@@ -195,7 +207,7 @@ impl<'a, M> NeighborView<'a, M> {
         self.graph
             .neighbors(self.v)
             .iter()
-            .filter(|&&u| !self.terminated[u as usize])
+            .filter(|&&u| self.is_active_bit(u))
             .count()
     }
 }
@@ -205,16 +217,26 @@ mod tests {
     use super::*;
     use graphcore::gen;
 
+    /// Bit words with the given vertices active.
+    fn words_with_active(n: usize, active: &[VertexId]) -> Vec<u64> {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for &v in active {
+            words[v as usize >> 6] |= 1u64 << (v as usize & 63);
+        }
+        words
+    }
+
     #[test]
     fn neighbor_view_filters() {
         let g = gen::path(3);
         let msgs = vec![10u32, 20, 30];
-        let terminated = vec![true, false, false];
+        // Vertex 0 terminated; 1 and 2 active.
+        let active_words = words_with_active(3, &[1, 2]);
         let view = NeighborView {
             graph: &g,
             v: 1,
             msgs: &msgs,
-            terminated: &terminated,
+            active_words: &active_words,
         };
         let all: Vec<_> = view.neighbors().map(|(u, &s)| (u, s)).collect();
         assert_eq!(all, vec![(0, 10), (2, 30)]);
@@ -235,12 +257,12 @@ mod tests {
     fn non_neighbor_read_panics_in_debug() {
         let g = gen::path(4);
         let msgs = vec![0u32; 4];
-        let terminated = vec![false; 4];
+        let active_words = words_with_active(4, &[0, 1, 2, 3]);
         let view = NeighborView {
             graph: &g,
             v: 0,
             msgs: &msgs,
-            terminated: &terminated,
+            active_words: &active_words,
         };
         // Vertex 3 is two hops from vertex 0 on a path — reading it
         // breaks the LOCAL model and must trip the debug guard.

@@ -10,6 +10,7 @@
 //! and as the slow side of the engine benchmarks, never as the production
 //! path.
 
+use crate::active::ActiveSet;
 use crate::engine::{EngineError, SimOutcome};
 use crate::metrics::RoundMetrics;
 use crate::protocol::{NeighborView, Protocol, StepCtx, Transition};
@@ -33,7 +34,7 @@ pub fn run_reference<P: Protocol>(
 
     let mut prev: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
     let mut prev_msgs: Vec<P::Msg> = prev.iter().map(|s| protocol.publish(s)).collect();
-    let mut terminated = vec![false; n];
+    let mut active = ActiveSet::full(n);
     let mut outputs: Vec<Option<P::Output>> = vec![None; n];
     let mut termination_round = vec![0u32; n];
     let mut active_per_round = Vec::new();
@@ -52,10 +53,10 @@ pub fn run_reference<P: Protocol>(
         active_per_round.push(remaining);
         let mut next: Vec<P::State> = prev.clone();
         let mut next_msgs: Vec<P::Msg> = prev_msgs.clone();
-        let mut next_terminated = terminated.clone();
+        let mut next_active = active.clone();
         let mut stepped = 0u64;
         for v in g.vertices() {
-            if terminated[v as usize] {
+            if !active.contains(v) {
                 continue;
             }
             let ctx = StepCtx {
@@ -68,7 +69,7 @@ pub fn run_reference<P: Protocol>(
                     graph: g,
                     v,
                     msgs: &prev_msgs,
-                    terminated: &terminated,
+                    active_words: active.words(),
                 },
                 run_seed: seed,
             };
@@ -85,14 +86,14 @@ pub fn run_reference<P: Protocol>(
             next[v as usize] = s;
             if let Some(o) = output {
                 outputs[v as usize] = Some(o);
-                next_terminated[v as usize] = true;
+                next_active.remove(v);
                 termination_round[v as usize] = round;
                 remaining -= 1;
             }
         }
         prev = next;
         prev_msgs = next_msgs;
-        terminated = next_terminated;
+        active = next_active;
         stats.steps += n as u64; // dense: every vertex is touched
         stats.publications += stepped;
     }

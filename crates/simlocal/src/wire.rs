@@ -1,13 +1,15 @@
 //! Wire-size accounting for published messages.
 //!
 //! The engine charges every published message its encoded size in *bits*
-//! via [`WireSize::wire_bits`]. The default is the shallow in-memory size
-//! (`8 × size_of::<Self>()`) — a safe over-approximation for flat structs
-//! and enums — but message types are expected to override it with the
-//! size an actual encoding would need: heap payloads (`Vec` contents)
-//! count, padding and never-sent scratch do not. The exact impls below
-//! cover the primitives and containers message types are built from, so
-//! most overrides are a sum of field sizes.
+//! via [`WireSize::wire_bits`]. The method is **required**: every message
+//! type states the size an actual encoding would need — heap payloads
+//! (`Vec` contents) count, padding and never-sent scratch do not. (The
+//! trait used to provide a `8 × size_of::<Self>()` shallow-size default;
+//! an audit found no message type still relying on it — padding made it
+//! over-charge and heap payloads made it under-charge, so rather than
+//! keep a silently-wrong fallback the method is now required.) The exact
+//! impls below cover the primitives and containers message types are
+//! built from, so most impls are a sum of field sizes.
 //!
 //! These numbers feed the CONGEST audit: an algorithm's messages fit the
 //! CONGEST model iff its per-round maximum stays within `O(log n)` bits
@@ -15,17 +17,12 @@
 
 /// Encoded size of a value on the wire, in bits.
 ///
-/// Implement this for every [`Protocol::Msg`](crate::Protocol::Msg) type.
-/// The provided default charges the shallow in-memory size; override it
-/// to count what an encoder would actually emit.
+/// Implement this for every [`Protocol::Msg`](crate::Protocol::Msg) type;
+/// count what an encoder would actually emit. Composite messages usually
+/// sum their fields' `wire_bits` (plus any tag bits an encoding needs).
 pub trait WireSize {
     /// Number of bits an encoding of `self` occupies on the wire.
-    fn wire_bits(&self) -> u64
-    where
-        Self: Sized,
-    {
-        8 * std::mem::size_of::<Self>() as u64
-    }
+    fn wire_bits(&self) -> u64;
 }
 
 impl WireSize for () {
@@ -141,16 +138,21 @@ mod tests {
     }
 
     #[test]
-    fn default_is_shallow_size() {
-        struct Flat {
-            _a: u64,
-            _b: u32,
+    fn composite_impls_state_exact_sizes() {
+        // `wire_bits` is required, so a composite message declares its
+        // exact encoded size — field sum, no padding (the struct below
+        // occupies 16 bytes in memory but only 96 bits on the wire).
+        struct Composite {
+            a: u64,
+            b: u32,
         }
-        impl WireSize for Flat {}
-        // Default: 8 × size_of, padding included (16 bytes here).
-        assert_eq!(
-            Flat { _a: 0, _b: 0 }.wire_bits(),
-            8 * std::mem::size_of::<Flat>() as u64
-        );
+        impl WireSize for Composite {
+            fn wire_bits(&self) -> u64 {
+                self.a.wire_bits() + self.b.wire_bits()
+            }
+        }
+        let m = Composite { a: 0, b: 0 };
+        assert_eq!(m.wire_bits(), 96);
+        assert!(m.wire_bits() < 8 * std::mem::size_of::<Composite>() as u64);
     }
 }

@@ -1,0 +1,105 @@
+//! Model-based check of the engine's bitset active-set: an [`ActiveSet`]
+//! driven by an arbitrary sequence of removals and retire sweeps must
+//! stay observationally equal to the obvious `Vec<bool>` it replaces —
+//! membership, count, and iteration order included.
+
+use proptest::prelude::*;
+use simlocal::ActiveSet;
+
+/// One mutation against both representations.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `ActiveSet::remove` of a single (possibly absent) vertex.
+    Remove(u32),
+    /// `ActiveSet::retire` with a deterministic pseudo-random predicate.
+    Retire(u64),
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    // Removals dominate 3:1 so runs exercise the deferred-compaction
+    // state (empty words still on the live list) between sweeps.
+    (0u32..4, 0..n.max(1) * 2, any::<u64>()).prop_map(|(kind, v, salt)| {
+        if kind == 0 {
+            Op::Retire(salt)
+        } else {
+            Op::Remove(v)
+        }
+    })
+}
+
+/// The retire predicate: a splitmix-style hash of `(salt, v)` so the
+/// same `Op::Retire` culls the same vertices in set and model.
+fn culls(salt: u64, v: u32) -> bool {
+    let mut x = salt ^ (u64::from(v).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    // Cull roughly a third per sweep so runs shrink but rarely empty.
+    x.is_multiple_of(3)
+}
+
+fn model_members(model: &[bool]) -> Vec<u32> {
+    (0..model.len() as u32)
+        .filter(|&v| model[v as usize])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitset_matches_vec_bool_model(
+        n in 0usize..400,
+        ops in proptest::collection::vec(op_strategy(400), 0..24),
+    ) {
+        let mut set = ActiveSet::full(n);
+        let mut model = vec![true; n];
+        for op in ops {
+            match op {
+                Op::Remove(v) => {
+                    let was_in = (v as usize) < n && model[v as usize];
+                    if was_in {
+                        model[v as usize] = false;
+                    }
+                    prop_assert_eq!(set.remove(v), was_in);
+                }
+                Op::Retire(salt) => {
+                    for (v, m) in model.iter_mut().enumerate() {
+                        if *m && culls(salt, v as u32) {
+                            *m = false;
+                        }
+                    }
+                    set.retire(|v| culls(salt, v));
+                    // Post-sweep, the live list is compacted, restoring
+                    // the O(count) iteration invariant the engine's cost
+                    // model relies on. (A lone `remove` may leave an
+                    // empty word listed until the next sweep.)
+                    prop_assert!(set.live_words().len() <= set.count());
+                }
+            }
+            // Observational equality after every mutation.
+            let members = model_members(&model);
+            prop_assert_eq!(set.count(), members.len());
+            prop_assert_eq!(set.is_empty(), members.is_empty());
+            prop_assert_eq!(set.iter().collect::<Vec<_>>(), members.clone());
+            let mut via_for_each = Vec::new();
+            set.for_each(|v| via_for_each.push(v));
+            prop_assert_eq!(via_for_each, members);
+            for v in 0..n as u32 + 3 {
+                prop_assert_eq!(
+                    set.contains(v),
+                    (v as usize) < n && model[v as usize],
+                    "membership of {}", v
+                );
+            }
+            // Words the engine hands to NeighborView agree bit-for-bit.
+            for (wi, &w) in set.words().iter().enumerate() {
+                for b in 0..64 {
+                    let v = wi * 64 + b;
+                    let bit = (w >> b) & 1 != 0;
+                    prop_assert_eq!(bit, v < n && model[v], "word bit {}", v);
+                }
+            }
+        }
+    }
+}

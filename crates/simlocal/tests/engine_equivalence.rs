@@ -7,7 +7,16 @@ use graphcore::{gen, Graph, IdAssignment, VertexId};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use simlocal::{run_reference, Observer, Protocol, RoundRecord, Runner, StepCtx, Transition};
+use simlocal::{
+    run_reference, EngineTuning, Observer, Protocol, RoundRecord, Runner, StepCtx, Toggle,
+    Transition,
+};
+
+/// Tuning that forces genuine thread fan-out on every round, regardless
+/// of the host's core count.
+fn fan_out() -> EngineTuning {
+    EngineTuning::default().par_threshold(1).workers(4)
+}
 
 /// Randomized geometric decay: each vertex terminates with probability
 /// 1/2 per round, outputting its termination round — the canonical
@@ -186,10 +195,46 @@ where
     let par = Runner::new(p, g, &ids)
         .seed(seed)
         .parallel()
-        .par_threshold(1)
+        .tuning(fan_out())
         .run()
         .unwrap();
     let dense = run_reference(p, g, &ids, seed).unwrap();
+    // Both step paths, forced explicitly (Auto picks by message type):
+    // the in-place fast path and the transition-buffering classic path
+    // must be byte-identical to each other and to the oracle — wire
+    // stats included — sequentially and under real fan-out.
+    let fast = Runner::new(p, g, &ids)
+        .seed(seed)
+        .tuning(EngineTuning::default().fast_path(Toggle::On))
+        .run()
+        .unwrap();
+    let classic = Runner::new(p, g, &ids)
+        .seed(seed)
+        .tuning(EngineTuning::default().fast_path(Toggle::Off))
+        .run()
+        .unwrap();
+    let fast_par = Runner::new(p, g, &ids)
+        .seed(seed)
+        .parallel()
+        .tuning(fan_out().fast_path(Toggle::On))
+        .run()
+        .unwrap();
+    assert_eq!(fast.stats.fast_rounds, fast.stats.rounds, "fast path taken");
+    assert_eq!(classic.stats.fast_rounds, 0, "classic path taken");
+    for (label, other) in [
+        ("fast", &fast),
+        ("classic", &classic),
+        ("fast-par", &fast_par),
+    ] {
+        assert_eq!(sparse.outputs, other.outputs, "{label} outputs");
+        assert_eq!(sparse.metrics, other.metrics, "{label} metrics");
+        assert_eq!(sparse.stats.steps, other.stats.steps, "{label} steps");
+        assert_eq!(sparse.stats.msg_bits, other.stats.msg_bits, "{label} bits");
+        assert_eq!(
+            sparse.stats.max_msg_bits, other.stats.max_msg_bits,
+            "{label} max bits"
+        );
+    }
     assert_eq!(sparse.outputs, dense.outputs, "sparse vs reference outputs");
     assert_eq!(sparse.metrics, dense.metrics, "sparse vs reference metrics");
     assert_eq!(sparse.outputs, par.outputs, "seq vs par outputs");
@@ -282,7 +327,7 @@ proptest! {
         let mut par = simlocal::Telemetry::new();
         Runner::new(&SplitWire, &g, &ids)
             .parallel()
-            .par_threshold(1)
+            .tuning(fan_out())
             .run_with(&mut par)
             .unwrap();
         prop_assert_eq!(&seq.msg_bits, &par.msg_bits);
@@ -326,7 +371,7 @@ proptest! {
         let mut par = Counting::default();
         let out_par = Runner::new(&Stagger, &g, &ids)
             .parallel()
-            .par_threshold(1)
+            .tuning(fan_out())
             .run_with(&mut par)
             .unwrap();
         prop_assert_eq!(out_seq.outputs, out_par.outputs);

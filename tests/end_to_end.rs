@@ -16,7 +16,7 @@ use distsym::algos::{
     rand_coloring::{a_loglog::RandALogLog, delta_plus_one::RandDeltaPlusOne},
 };
 use distsym::graphcore::{gen, verify, Graph, IdAssignment};
-use distsym::simlocal::{Protocol, Runner};
+use distsym::simlocal::{EngineTuning, Protocol, Runner};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -124,7 +124,7 @@ fn determinism_under_fixed_seed_across_engines() {
         let b = Runner::new(&RandDeltaPlusOne::new(), &gg.graph, &ids)
             .seed(seed)
             .parallel()
-            .par_threshold(1)
+            .tuning(EngineTuning::default().par_threshold(1).workers(4))
             .run()
             .unwrap();
         assert_eq!(a.outputs, b.outputs);

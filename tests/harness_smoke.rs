@@ -4,7 +4,7 @@
 //! workload, under every ID-assignment mode. Algorithms are resolved
 //! from the registry, so the list here doubles as a name-stability check.
 
-use benchharness::registry::{self, Params};
+use benchharness::registry::{self, ExecOptions, Params};
 use benchharness::{forest_workload, hub_workload, IdMode, Trial};
 
 const ALL_COLORINGS: &[&str] = &[
@@ -33,7 +33,9 @@ fn every_harness_coloring_name_runs_and_validates() {
     for id_mode in IdMode::ALL {
         let trial = Trial { seed: 1, id_mode };
         for name in ALL_COLORINGS {
-            let row = registry::get(name).run("smoke", &gg, Params::k(2), &trial);
+            let row = registry::get(name)
+                .exec(&ExecOptions::new("smoke", &gg, &trial).params(Params::k(2)))
+                .into_row();
             let lbl = id_mode.label();
             assert!(row.valid, "{name} invalid under {lbl} IDs");
             assert!(row.va >= 1.0, "{name} VA below one round under {lbl} IDs");
@@ -69,7 +71,9 @@ fn set_problem_runners_on_hub_workload() {
         "forest_parallelized",
         "forest_baseline",
     ] {
-        let row = registry::get(name).run("smoke", &hub, Params::default(), &t);
+        let row = registry::get(name)
+            .exec(&ExecOptions::new("smoke", &hub, &t))
+            .into_row();
         assert!(row.valid, "{} invalid on hub workload", row.algo);
         assert_eq!(row.a, 2, "rows must report the realized arboricity");
     }
@@ -81,8 +85,12 @@ fn headline_rows_ordering_at_small_scale() {
     // beats the classical one-shot on vertex-average by a wide margin.
     let gg = forest_workload(1024, 2, 13);
     let t = Trial::identity(0);
-    let fast = registry::get("a2logn").run("T1.4", &gg, Params::default(), &t);
-    let slow = registry::get("arb_linial_oneshot").run("T1.4b", &gg, Params::default(), &t);
+    let fast = registry::get("a2logn")
+        .exec(&ExecOptions::new("T1.4", &gg, &t))
+        .into_row();
+    let slow = registry::get("arb_linial_oneshot")
+        .exec(&ExecOptions::new("T1.4b", &gg, &t))
+        .into_row();
     assert!(fast.valid && slow.valid);
     assert!(
         fast.va * 3.0 < slow.va,
@@ -98,8 +106,12 @@ fn headline_rows_ordering_at_small_scale() {
 fn randomized_rows_vary_with_seed_but_stay_valid() {
     let gg = forest_workload(512, 2, 14);
     let spec = registry::get("rand_delta_plus_one");
-    let a = spec.run("T1.8", &gg, Params::default(), &Trial::identity(1));
-    let b = spec.run("T1.8", &gg, Params::default(), &Trial::identity(2));
+    let a = spec
+        .exec(&ExecOptions::new("T1.8", &gg, &Trial::identity(1)))
+        .into_row();
+    let b = spec
+        .exec(&ExecOptions::new("T1.8", &gg, &Trial::identity(2)))
+        .into_row();
     assert!(a.valid && b.valid);
     assert!(
         (a.va - b.va).abs() > 1e-9 || a.wc != b.wc,

@@ -9,7 +9,7 @@ use distsym::algos::mis::MisExtension;
 use distsym::algos::partition::{degree_cap, run_partition};
 use distsym::algos::rand_coloring::delta_plus_one::RandDeltaPlusOne;
 use distsym::graphcore::{gen, verify, Graph, IdAssignment};
-use distsym::simlocal::Runner;
+use distsym::simlocal::{EngineTuning, Runner};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -77,7 +77,12 @@ proptest! {
         let p = RandDeltaPlusOne::new();
         let ids = IdAssignment::identity(g.n());
         let s = Runner::new(&p, &g, &ids).seed(seed).run().unwrap();
-        let r = Runner::new(&p, &g, &ids).seed(seed).parallel().par_threshold(1).run().unwrap();
+        let r = Runner::new(&p, &g, &ids)
+            .seed(seed)
+            .parallel()
+            .tuning(EngineTuning::default().par_threshold(1).workers(4))
+            .run()
+            .unwrap();
         prop_assert_eq!(s.outputs, r.outputs);
         prop_assert_eq!(s.metrics, r.metrics);
         let _ = a;

@@ -8,7 +8,7 @@ use benchharness::forest_workload;
 use distsym::algos::mis::MisExtension;
 use distsym::algos::Partition;
 use distsym::graphcore::IdAssignment;
-use distsym::simlocal::{run_reference, Runner, Telemetry};
+use distsym::simlocal::{run_reference, EngineTuning, Runner, Telemetry};
 
 const N: usize = 1 << 16;
 
@@ -53,12 +53,11 @@ fn seq_and_par_outcomes_byte_identical_at_scale() {
     let ids = IdAssignment::identity(N);
     let p = Partition::new(2);
     let seq = Runner::new(&p, &gg.graph, &ids).run().unwrap();
-    // par_threshold 1 exercises the fan-out path on every round when the
-    // host has more than one core; on a single core the engine stays
-    // sequential, which must be indistinguishable anyway.
+    // Threshold 1 + forced workers exercises real fan-out on every round,
+    // core count notwithstanding — it must be indistinguishable anyway.
     let par = Runner::new(&p, &gg.graph, &ids)
         .parallel()
-        .par_threshold(1)
+        .tuning(EngineTuning::default().par_threshold(1).workers(4))
         .run()
         .unwrap();
     assert_eq!(seq.outputs, par.outputs);
