@@ -25,7 +25,8 @@ echo "== --list on every suite binary (spec tables resolve and print)"
 # registry and exits 0; a missing algorithm name or malformed spec
 # table dies here before any expensive run.
 cargo build --release -q -p benchharness
-for bin in table1 table2 figures scenarios ablations trace perf; do
+# Every binary's --list also enumerates the execution backends.
+for bin in table1 table2 figures scenarios ablations trace perf bench-diff; do
     ./target/release/"$bin" --list > /dev/null
 done
 
@@ -48,6 +49,21 @@ echo "== regression gate: table2 --quick vs committed baseline"
     --json target/ci-results/table2.quick.json > /dev/null
 ./target/release/bench-diff --check \
     results/table2.quick.json target/ci-results/table2.quick.json
+
+echo "== actor-backend smoke: table2 --quick --backend actor vs the same baseline"
+# The actor backend is pinned byte-identical to the sync engine, so its
+# rows must match the *sync* baseline exactly — tol 0, not the drift
+# tolerance (wall-clock stats are excluded from the check either way).
+./target/release/table2 --quick --seeds 2 --ids identity,random --backend actor \
+    --json target/ci-results/table2.quick.actor.json > /dev/null
+./target/release/bench-diff --check \
+    results/table2.quick.json target/ci-results/table2.quick.actor.json --tol 0
+
+echo "== transport smoke: loopback-TCP round-trip pins to the sync engine"
+# Framed codec messages over real sockets: the fixed-config TCP tests
+# from the actor-backend suite, runnable in isolation so a transport
+# break is named here rather than inside the workspace test wall.
+cargo test -q -p simlocal --test actor_backend tcp > /dev/null
 
 echo "== trace smoke: export + self-validate JSONL and Chrome-trace"
 # Runs a small randomized-coloring workload under the full tracing stack;
@@ -73,9 +89,22 @@ echo "== perf gate: engine throughput vs committed trajectory baseline"
 # has the procedure).
 # Best-of-5 is what makes the number stable on a shared machine; fewer
 # reps let one descheduled run masquerade as a regression.
-./target/release/perf --reps 5 \
-    --json target/ci-results/BENCH_engine.json > /dev/null
-./target/release/bench-diff --perf \
-    results/BENCH_engine.json target/ci-results/BENCH_engine.json --tol 0.25
+#
+# Two defenses against false positives on loaded machines (EXPERIMENTS.md
+# documents the policy):
+#   - PERF_GATE_TOL widens the default 0.25 tolerance without editing
+#     this script (bench-diff reads it when --tol is not given);
+#   - a failing gate is re-measured once before failing the build —
+#     transient load fails one run, a real regression fails both.
+perf_gate() {
+    ./target/release/perf --reps 5 \
+        --json target/ci-results/BENCH_engine.json > /dev/null &&
+        ./target/release/bench-diff --perf \
+            results/BENCH_engine.json target/ci-results/BENCH_engine.json
+}
+if ! perf_gate; then
+    echo "perf gate failed; re-measuring once to rule out transient machine load"
+    perf_gate
+fi
 
 echo "CI gate passed."

@@ -67,6 +67,7 @@ fn main() {
         for id in suite_ids() {
             println!("  {id}");
         }
+        benchharness::print_backends();
         print_bench_index();
         return;
     }

@@ -33,7 +33,7 @@
 //! (default `rand_delta_plus_one`); `--list` prints the registry and exits.
 
 use benchharness::bounds::geometric_decay_violations;
-use benchharness::registry::{self, ExecOptions, ObserveMode, Params};
+use benchharness::registry::{self, Backend, ExecOptions, ObserveMode, Params};
 use benchharness::results::Json;
 use benchharness::{forest_workload, Trial};
 use simlocal::EngineStats;
@@ -48,6 +48,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     parallel: bool,
+    backend: Backend,
     list: bool,
     congest_audit: bool,
 }
@@ -60,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         out: PathBuf::from("target/trace"),
         parallel: false,
+        backend: Backend::default(),
         list: false,
         congest_audit: false,
     };
@@ -73,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--parallel" => args.parallel = true,
+            "--backend" => args.backend = Backend::parse(&val("--backend")?)?,
             "--list" => args.list = true,
             "--congest-audit" => args.congest_audit = true,
             other => return Err(format!("unknown argument `{other}`")),
@@ -88,7 +91,7 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR] \
-                 [--parallel] [--list] [--congest-audit]"
+                 [--parallel] [--backend sync|actor[:K]] [--list] [--congest-audit]"
             );
             exit(2);
         }
@@ -115,6 +118,7 @@ fn main() {
                 spec.bound
             );
         }
+        benchharness::print_backends();
         benchharness::perf::print_bench_index();
         return;
     }
@@ -148,6 +152,7 @@ fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
     let out = spec.exec(
         &ExecOptions::new("trace", &gg, &trial)
             .parallel(args.parallel)
+            .backend(args.backend)
             .observe(ObserveMode::Traced),
     );
     let (row, stats) = (out.row.unwrap(), out.stats);
@@ -156,7 +161,7 @@ fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
     let n = gg.graph.n();
 
     println!(
-        "trace: {} on forest_union (n={}, a={}, seed={}, {})",
+        "trace: {} on forest_union (n={}, a={}, seed={}, {}, backend {})",
         args.algo,
         n,
         args.a,
@@ -165,7 +170,8 @@ fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
             "parallel"
         } else {
             "sequential"
-        }
+        },
+        args.backend.label()
     );
     println!(
         "  rounds {}  RoundSum {}  VA {:.3}  WC {}",

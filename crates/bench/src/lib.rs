@@ -268,6 +268,15 @@ pub fn cfg(seed: u64) -> RunConfig {
     RunConfig::seeded(seed)
 }
 
+/// Prints the execution-backend enumeration — the `--list` tail shared by
+/// every harness binary (select with `--backend`).
+pub fn print_backends() {
+    println!("\nexecution backends (--backend VALUE):");
+    for (value, what) in registry::Backend::describe_all() {
+        println!("  {value:<9} {what}");
+    }
+}
+
 /// Standard n-sweep for scaling experiments (trimmed by `quick`).
 pub fn n_sweep(quick: bool) -> Vec<usize> {
     if quick {
@@ -319,6 +328,7 @@ pub fn hub_workload(n: usize, a: usize, hub_degree: usize, seed: u64) -> GenGrap
 ///
 /// `--quick` trims sweeps, `--seeds N` sets engine seeds per ID mode,
 /// `--ids identity,random,adversarial` picks ID-assignment modes,
+/// `--backend sync|actor[:K]` picks the execution backend,
 /// `--json PATH` writes the run's [`SuiteResult`], `--list` prints the
 /// suite's experiment table and exits; every other `--` flag is an error
 /// (a typo used to be swallowed as an experiment filter and silently
@@ -330,6 +340,9 @@ pub struct Cli {
     pub seeds: u64,
     /// ID-assignment modes to sweep.
     pub id_modes: Vec<IdMode>,
+    /// Execution backend every run goes through (byte-identical outcomes;
+    /// see [`registry::Backend`]).
+    pub backend: registry::Backend,
     /// Where to write the JSON results, if requested.
     pub json: Option<std::path::PathBuf>,
     /// Print the suite's registered experiments and exit 0.
@@ -345,6 +358,7 @@ impl Cli {
             quick: false,
             seeds: 1,
             id_modes: vec![IdMode::Identity],
+            backend: registry::Backend::default(),
             json: None,
             list: false,
             filters: Vec::new(),
@@ -368,6 +382,10 @@ impl Cli {
                         .map(IdMode::parse)
                         .collect::<Result<Vec<_>, _>>()?;
                 }
+                "--backend" => {
+                    let v = it.next().ok_or("--backend requires a value")?;
+                    cli.backend = registry::Backend::parse(&v)?;
+                }
                 "--json" => {
                     let v = it.next().ok_or("--json requires a path")?;
                     cli.json = Some(v.into());
@@ -375,7 +393,7 @@ impl Cli {
                 other if other.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --quick, --seeds N, \
-                         --ids LIST, --json PATH, or --list)"
+                         --ids LIST, --backend sync|actor[:K], --json PATH, or --list)"
                     ));
                 }
                 _ => cli.filters.push(arg),
@@ -392,7 +410,7 @@ impl Cli {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--quick] [--seeds N] [--ids identity,random,adversarial] \
-                     [--json PATH] [--list] [EXPERIMENT_ID...]"
+                     [--backend sync|actor[:K]] [--json PATH] [--list] [EXPERIMENT_ID...]"
                 );
                 std::process::exit(2);
             }
@@ -491,6 +509,7 @@ mod tests {
             quick: true,
             seeds: 1,
             id_modes: vec![IdMode::Identity],
+            backend: registry::Backend::Sync,
             json: None,
             list: false,
             filters: vec!["T1.1".into()],
@@ -536,5 +555,26 @@ mod tests {
         assert!(Cli::parse_from(["--seeds", "0"].map(String::from)).is_err());
         assert!(Cli::parse_from(["--seeds"].map(String::from)).is_err());
         assert!(Cli::parse_from(["--ids", "bogus"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn cli_parses_backend_selection() {
+        use registry::Backend;
+        let default = Cli::parse_from(Vec::new()).unwrap();
+        assert_eq!(default.backend, Backend::Sync);
+        let sync = Cli::parse_from(["--backend", "sync"].map(String::from)).unwrap();
+        assert_eq!(sync.backend, Backend::Sync);
+        let auto = Cli::parse_from(["--backend", "actor"].map(String::from)).unwrap();
+        assert_eq!(auto.backend, Backend::Actor { shards: 0 });
+        let fixed = Cli::parse_from(["--backend", "actor:4"].map(String::from)).unwrap();
+        assert_eq!(fixed.backend, Backend::Actor { shards: 4 });
+        assert_eq!(fixed.backend.label(), "actor:4");
+        for bad in ["bogus", "actor:0", "actor:x", "actor:"] {
+            assert!(
+                Cli::parse_from(["--backend", bad].map(String::from)).is_err(),
+                "--backend {bad} must be rejected"
+            );
+        }
+        assert!(Cli::parse_from(["--backend"].map(String::from)).is_err());
     }
 }

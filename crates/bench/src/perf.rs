@@ -21,7 +21,9 @@
 
 use crate::results::{fnum, quote, Json};
 use graphcore::{gen, Graph, IdAssignment, VertexId};
-use simlocal::{EngineStats, EngineTuning, Protocol, Runner, StepCtx, Toggle, Transition};
+use simlocal::{
+    ActorRunner, EngineStats, EngineTuning, Protocol, Runner, StepCtx, Toggle, Transition,
+};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -345,12 +347,28 @@ pub fn run_suite(n: usize, reps: usize) -> Vec<PerfEntry> {
         measure("flood_seq_n20", n, reps, || {
             Runner::new(&FloodDecay, &g, &ids).run().unwrap().stats
         }),
+        // The actor backend on the same decay workload, at a fixed shard
+        // count so the measured work layout is machine-independent. Its
+        // steps/rounds equal the sync entries' (byte-identical backends),
+        // so the determinism cross-check in `measure` holds here too.
+        measure("decay_actor_n20", n, reps, || {
+            ActorRunner::new(&PureDecay, &g, &ids)
+                .shards(4)
+                .run()
+                .unwrap()
+                .stats
+        }),
     ]
 }
 
 /// Ids measured by [`run_suite`], for `--list` output.
 pub fn suite_ids() -> Vec<&'static str> {
-    vec!["decay_seq_n20", "decay_classic_seq_n20", "flood_seq_n20"]
+    vec![
+        "decay_seq_n20",
+        "decay_classic_seq_n20",
+        "flood_seq_n20",
+        "decay_actor_n20",
+    ]
 }
 
 /// The Criterion bench ids of every bench target in this crate, grouped by

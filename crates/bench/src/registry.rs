@@ -28,10 +28,82 @@ use crate::{cfg, harness_observer, Row, Trial};
 use algos::{baselines, coloring, edge_coloring, forests, matching, mis, pipeline, rand_coloring};
 use graphcore::{gen::GenGraph, verify, Graph, IdAssignment, VertexId};
 use simlocal::{
-    EngineStats, EngineTuning, NoObserver, Observer, PhaseBreakdown, Profile, Protocol, Runner,
-    SimOutcome, TraceLog,
+    ActorRunner, EngineStats, EngineTuning, NoObserver, Observer, PhaseBreakdown, Profile,
+    Protocol, Runner, SimOutcome, TraceLog,
 };
 use std::sync::OnceLock;
+
+/// Which execution engine runs the protocol. Both backends are pinned
+/// byte-identical (outputs, metrics, `EngineStats`, wire accounting) by
+/// the `actor_backend` proptest suite, so the choice is purely about
+/// *how* the rounds execute, never *what* they compute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The sync sparse engine ([`simlocal::Runner`]) — sequential, or
+    /// rayon-parallel when [`ExecOptions::parallel`] is set.
+    #[default]
+    Sync,
+    /// The actor backend ([`simlocal::ActorRunner`]): vertex shards as
+    /// threads exchanging `Protocol::Msg` batches over in-process
+    /// channels through a round barrier. `shards == 0` = auto (the
+    /// machine's available parallelism).
+    Actor {
+        /// Shard count (`0` = auto).
+        shards: usize,
+    },
+}
+
+impl Backend {
+    /// Parses a `--backend` value: `sync`, `actor` (auto shards), or
+    /// `actor:K` (fixed shard count).
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "sync" => Ok(Backend::Sync),
+            "actor" => Ok(Backend::Actor { shards: 0 }),
+            _ => match s.strip_prefix("actor:") {
+                Some(k) => k
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .map(|shards| Backend::Actor { shards })
+                    .ok_or_else(|| {
+                        format!("--backend actor:K requires a positive shard count, got `{k}`")
+                    }),
+                None => Err(format!(
+                    "unknown backend `{s}` (expected sync, actor, or actor:K)"
+                )),
+            },
+        }
+    }
+
+    /// Stable label for listings and logs.
+    pub fn label(&self) -> String {
+        match self {
+            Backend::Sync => "sync".to_string(),
+            Backend::Actor { shards: 0 } => "actor".to_string(),
+            Backend::Actor { shards } => format!("actor:{shards}"),
+        }
+    }
+
+    /// The `--list` enumeration every harness binary prints: each
+    /// selectable backend with its one-line description.
+    pub fn describe_all() -> Vec<(&'static str, &'static str)> {
+        vec![
+            (
+                "sync",
+                "sparse synchronous engine (default; --parallel selects the rayon path)",
+            ),
+            (
+                "actor",
+                "actor backend: vertex shards over channels, auto shard count",
+            ),
+            (
+                "actor:K",
+                "actor backend with K shards (byte-identical for every K)",
+            ),
+        ]
+    }
+}
 
 /// The problem an algorithm solves. Owns the single verification path:
 /// every row's `colors`/`valid` pair comes from [`Problem::verify_output`].
@@ -229,6 +301,8 @@ pub struct ExecOptions<'a> {
     pub observe: ObserveMode,
     /// Engine tuning forwarded to the runner.
     pub tuning: EngineTuning,
+    /// Execution backend (sync engine or actor shards).
+    pub backend: Backend,
 }
 
 impl<'a> ExecOptions<'a> {
@@ -242,6 +316,7 @@ impl<'a> ExecOptions<'a> {
             parallel: false,
             observe: ObserveMode::default(),
             tuning: EngineTuning::default(),
+            backend: Backend::default(),
         }
     }
 
@@ -266,6 +341,12 @@ impl<'a> ExecOptions<'a> {
     /// Sets the engine tuning.
     pub fn tuning(mut self, tuning: EngineTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -469,6 +550,26 @@ where
         }
     }
 
+    /// Runs `p` under the backend the options select. The two backends
+    /// are byte-identical, so callers never need to know which ran.
+    fn run_backend<Ob: Observer>(
+        p: &P,
+        ids: &IdAssignment,
+        o: &ExecOptions<'_>,
+        obs: &mut Ob,
+    ) -> SimOutcome<P::Output> {
+        match o.backend {
+            Backend::Sync => Runner::new(p, &o.gg.graph, ids)
+                .config(Self::run_cfg(o))
+                .run_with(obs),
+            Backend::Actor { shards } => ActorRunner::new(p, &o.gg.graph, ids)
+                .shards(shards)
+                .config(Self::run_cfg(o))
+                .run_with(obs),
+        }
+        .expect("protocol terminates")
+    }
+
     /// The single construct → run → observe → verify → Row path behind
     /// every observed execution; [`ErasedAlgo::exec`] only chooses the
     /// extra observer to tee on.
@@ -488,10 +589,7 @@ where
         let ids = trial.ids(gg.graph.n());
         let cap = (self.cap)(&p, gg, &ids);
         let mut obs = simlocal::Tee(harness_observer(&p), mk_extra(&p));
-        let out = Runner::new(&p, &gg.graph, &ids)
-            .config(Self::run_cfg(o))
-            .run_with(&mut obs)
-            .expect("protocol terminates");
+        let out = Self::run_backend(&p, &ids, o, &mut obs);
         let (verdict, metrics) = match (self.extract)(&p, &gg.graph, &out) {
             Ok(Extracted { solution, commit }) => {
                 let verdict = self.problem.verify_output(&gg.graph, &solution, cap);
@@ -552,10 +650,7 @@ where
             ObserveMode::Bare => {
                 let p = (self.build)(opts.gg, opts.params);
                 let ids = opts.trial.ids(opts.gg.graph.n());
-                let out = Runner::new(&p, &opts.gg.graph, &ids)
-                    .config(Self::run_cfg(opts))
-                    .run()
-                    .expect("protocol terminates");
+                let out = Self::run_backend(&p, &ids, opts, &mut NoObserver);
                 std::hint::black_box(&out.outputs);
                 ExecOutcome {
                     row: None,

@@ -378,6 +378,7 @@ fn print_list(suite: &str, specs: &[ExperimentSpec]) {
         }
     }
     println!("\nglobal bounds: all-valid, palette-within-cap");
+    crate::print_backends();
     crate::perf::print_bench_index();
 }
 
@@ -407,7 +408,9 @@ fn rows_for(cli: &Cli, workloads: &[WorkloadSpec], runs: &[RunSpec]) -> Vec<Row>
         for gg in graphs.iter().filter(|g| g.graph.n() <= run.max_n) {
             for t in sweep.trials() {
                 for params in run.params.expand(gg.graph.n()) {
-                    let opts = registry::ExecOptions::new(run.exp, gg, t).params(params);
+                    let opts = registry::ExecOptions::new(run.exp, gg, t)
+                        .params(params)
+                        .backend(cli.backend);
                     rows.push(algo.exec(&opts).into_row());
                 }
             }

@@ -124,8 +124,13 @@ impl Sweep {
 
 /// Summary statistics over one metric's per-trial samples.
 ///
-/// `ci95` is the half-width of the normal-approximation 95% confidence
-/// interval for the mean, `1.96·σ/√k` (0 for a single trial).
+/// `ci95` is the half-width of the 95% confidence interval for the mean,
+/// `t·σ/√k` with `t` the Student-t critical value for `k − 1` degrees of
+/// freedom (0 for a single trial). Small sweeps are the norm here — the
+/// CI gate runs `--quick --seeds 2` — and the normal approximation's 1.96
+/// understates the interval badly at that size (the k = 2 critical value
+/// is 12.71), so [`t_crit_95`] looks up the exact value for k < 30 and
+/// only falls back to 1.96 where the approximation is honest.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Stats {
     /// Sample mean.
@@ -136,8 +141,24 @@ pub struct Stats {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
-    /// 95% CI half-width for the mean (normal approximation).
+    /// 95% CI half-width for the mean (Student-t).
     pub ci95: f64,
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+/// Exact table through df = 29 (sample sizes below 30, where the normal
+/// approximation is meaningfully biased); 1.96 beyond.
+pub fn t_crit_95(df: usize) -> f64 {
+    const TABLE: [f64; 29] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045,
+    ];
+    match df {
+        0 => 0.0, // a single sample carries no interval at all
+        d if d <= TABLE.len() => TABLE[d - 1],
+        _ => 1.96,
+    }
 }
 
 impl Stats {
@@ -157,7 +178,7 @@ impl Stats {
             stddev,
             min: xs.iter().copied().fold(f64::INFINITY, f64::min),
             max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            ci95: 1.96 * stddev / k.sqrt(),
+            ci95: t_crit_95(xs.len() - 1) * stddev / k.sqrt(),
         }
     }
 }
@@ -456,7 +477,27 @@ mod tests {
         let s = Stats::from_samples(&[1.0, 2.0, 3.0]);
         assert!((s.mean - 2.0).abs() < 1e-12);
         assert!((s.stddev - 1.0).abs() < 1e-12);
-        assert!((s.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+        // k = 3 → t(df = 2) = 4.303, not the normal 1.96.
+        assert!((s.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_uses_student_t_for_small_samples() {
+        // k = 2 is the CI-gate configuration; the normal approximation's
+        // 1.96 understates the half-width by a factor of 6.5 there.
+        let s = Stats::from_samples(&[1.0, 3.0]);
+        let sd = 2f64.sqrt();
+        assert!((s.stddev - sd).abs() < 1e-12);
+        assert!((s.ci95 - 12.706 * sd / 2f64.sqrt()).abs() < 1e-9);
+        // One sample: no spread, no interval.
+        assert_eq!(Stats::from_samples(&[5.0]).ci95, 0.0);
+        // Critical values decrease monotonically toward the normal 1.96.
+        for df in 1..40 {
+            assert!(t_crit_95(df) >= t_crit_95(df + 1));
+            assert!(t_crit_95(df) >= 1.96);
+        }
+        assert_eq!(t_crit_95(29), 2.045);
+        assert_eq!(t_crit_95(30), 1.96);
     }
 
     #[test]

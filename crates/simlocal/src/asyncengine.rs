@@ -1,0 +1,885 @@
+//! The actor backend: vertex shards exchanging messages over a
+//! [`Transport`], pinned byte-identical to the sync engine.
+//!
+//! Where [`crate::engine`] iterates one shared slab, this backend splits
+//! the vertex set into contiguous **shards**, each owned by its own
+//! thread. A shard holds the private states of its vertices and a full
+//! mirror of the published-message slab; each round it steps its active
+//! vertices against that mirror, broadcasts one [`Batch`] of published
+//! messages, and then *drains*: the [`RoundBarrier`] releases round
+//! `r + 1` only once every live shard's round-`r` batch has been received
+//! and applied. A shard whose last vertex terminates marks its final
+//! batch `retiring`, deregistering from the barrier — peers stop
+//! expecting batches from it, so per-round traffic and work stay
+//! proportional to the active set, the same sparsity contract the sync
+//! engine keeps.
+//!
+//! ## Byte-identity
+//!
+//! A step is a pure function of `(state, previous-round messages,
+//! active-set snapshot, round, seed)` — randomness comes from the
+//! per-`(seed, vertex, round)` stream in [`crate::rng`] — and the barrier
+//! hands every shard exactly the sync engine's snapshot: messages as
+//! published at the end of round `r - 1`, activity as it stood when round
+//! `r` began. Outputs, termination rounds, and wire accounting therefore
+//! merge into a [`SimOutcome`] equal field-for-field to the sync engine's
+//! (`parallel_rounds`/`fast_rounds` excepted — those describe sync-engine
+//! execution paths and read 0 here), which the property tests in
+//! `tests/actor_backend.rs` pin across transports and shard counts.
+//!
+//! ## Initial messages
+//!
+//! Every processor is assumed to know the graph and ID assignment, so
+//! each shard derives the *round-1* message of every vertex locally from
+//! [`Protocol::init`] + [`Protocol::publish`] instead of exchanging an
+//! extra round-0 batch — matching the sync engine, which charges initial
+//! broadcasts zero wire bits.
+//!
+//! ## Failure semantics
+//!
+//! Shards are fail-stop. A shard that panics (or, over TCP, whose socket
+//! drops) before retiring cannot satisfy the barrier; peers detect this
+//! as a transport `Lost` event for a still-live shard — or, where link
+//! loss is invisible, as a stalled `recv` — and panic rather than hang
+//! (see [`crate::transport::RECV_STALL_TIMEOUT`]). Round-cap exhaustion
+//! is not a failure of this kind: every live shard hits the cap at the
+//! same round (they advance in lockstep), stops without broadcasting, and
+//! reports its local still-active count; the merge sums them into the
+//! same [`EngineError::RoundLimitExceeded`] the sync engine returns.
+//!
+//! ## Observers
+//!
+//! Observer hooks fire on the coordinating thread *after* the run, in
+//! the sync engine's deterministic `(round, vertex)` order: shards record
+//! their step events (only when the observer is enabled) and the merge
+//! replays them. Telemetry fields match the sync engine exactly, except
+//! per-round wall times, which measure shard-side round latency here.
+//! Failed runs (round cap) replay the rounds that completed, like the
+//! sync engine's as-you-go hooks. The replay buffer costs `O(RoundSum)`
+//! memory on observed runs; unobserved runs record nothing.
+
+use crate::engine::{EngineError, EngineStats, RunConfig, SimOutcome};
+use crate::metrics::RoundMetrics;
+use crate::observer::{NoObserver, Observer, RoundRecord};
+use crate::protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};
+use crate::transport::{channel_mesh, tcp_loopback_mesh, Batch, Recv, Transport, Update};
+use crate::wire::{WireCodec, WireSize};
+use graphcore::{Graph, IdAssignment, VertexId};
+use std::time::{Duration, Instant};
+
+/// Releases round `r + 1` only when every live shard's round-`r` batch
+/// has been received and applied, and tracks which shards have retired.
+///
+/// Peers run at most one round ahead (they cannot finish round `r`
+/// without this shard's round-`r` batch), so a batch for `round + 1` may
+/// arrive mid-drain and is buffered; anything further ahead is a protocol
+/// violation.
+pub struct RoundBarrier<M> {
+    live: Vec<bool>,
+    pending: Vec<Option<Batch<M>>>,
+}
+
+impl<M> RoundBarrier<M> {
+    /// Barrier for shard `me` in a `shards`-way mesh: every other shard
+    /// starts live.
+    pub fn new(shards: usize, me: usize) -> RoundBarrier<M> {
+        let mut live = vec![true; shards];
+        live[me] = false;
+        RoundBarrier {
+            live,
+            pending: (0..shards).map(|_| None).collect(),
+        }
+    }
+
+    /// Shards still expected to publish next round.
+    pub fn live_peers(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Receives until every live shard's round-`round` batch has been
+    /// handed to `apply`, buffering one-round-ahead arrivals and marking
+    /// retiring shards dead for subsequent rounds.
+    pub fn drain<T: Transport<M>>(
+        &mut self,
+        transport: &mut T,
+        round: u32,
+        mut apply: impl FnMut(Batch<M>),
+    ) {
+        let mut need = self.live_peers();
+        for slot in &mut self.pending {
+            if slot.as_ref().is_some_and(|b| b.round == round) {
+                let b = slot.take().expect("checked above");
+                need -= 1;
+                if b.retiring {
+                    self.live[b.from] = false;
+                }
+                apply(b);
+            }
+        }
+        while need > 0 {
+            match transport.recv() {
+                Recv::Batch(b) => {
+                    assert!(
+                        self.live[b.from],
+                        "batch from retired shard {} in round {round}",
+                        b.from
+                    );
+                    if b.round == round {
+                        need -= 1;
+                        if b.retiring {
+                            self.live[b.from] = false;
+                        }
+                        apply(b);
+                    } else if b.round == round + 1 {
+                        let prev = self.pending[b.from].replace(b);
+                        assert!(prev.is_none(), "peer ran two rounds ahead of the barrier");
+                    } else {
+                        panic!(
+                            "round-{} batch while draining round {round}: barrier violated",
+                            b.round
+                        );
+                    }
+                }
+                // A closed link is clean when the peer already retired —
+                // or when its retiring batch sits buffered one round
+                // ahead: per-peer FIFO means everything it owed this
+                // round arrived before that batch, so the shard finished
+                // its last round and left while we were still draining
+                // this one. A live shard vanishing otherwise is a crash.
+                Recv::Lost(p) => assert!(
+                    !self.live[p] || self.pending[p].as_ref().is_some_and(|b| b.retiring),
+                    "shard {p} disconnected before retiring (draining round {round})"
+                ),
+                Recv::Closed => {
+                    panic!("every incoming link closed while awaiting round {round}")
+                }
+            }
+        }
+    }
+}
+
+/// Balanced contiguous vertex ranges, one per shard: the first `n % k`
+/// shards own one extra vertex. Contiguity is what lets the merge (and
+/// the observer replay) recover global vertex order by concatenating
+/// shard results in shard order.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<(VertexId, VertexId)> {
+    let base = n / shards;
+    let extra = n % shards;
+    let mut lo = 0usize;
+    (0..shards)
+        .map(|s| {
+            let len = base + usize::from(s < extra);
+            let range = (lo as VertexId, (lo + len) as VertexId);
+            lo += len;
+            range
+        })
+        .collect()
+}
+
+/// All-active bit words for `n` vertices (the round-1 activity snapshot).
+fn full_words(n: usize) -> Vec<u64> {
+    let mut words = vec![u64::MAX; n.div_ceil(64)];
+    if !n.is_multiple_of(64) {
+        if let Some(last) = words.last_mut() {
+            *last = (1u64 << (n % 64)) - 1;
+        }
+    }
+    words
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], v: VertexId) {
+    words[(v as usize) >> 6] &= !(1u64 << (v as usize & 63));
+}
+
+/// One step event, recorded shard-side (observed runs only) and replayed
+/// in `(round, vertex)` order by the merge.
+struct StepEvent {
+    round: u32,
+    v: VertexId,
+    phase: PhaseId,
+    terminated: bool,
+}
+
+/// What one shard hands back to the merge.
+struct ShardResult<P: Protocol> {
+    outputs: Vec<Option<P::Output>>,
+    term: Vec<u32>,
+    msg_bits: u64,
+    max_msg_bits: u64,
+    /// `Some(count)` when the shard hit the round cap with `count`
+    /// vertices still active.
+    still_active: Option<usize>,
+    /// Step events in `(round, vertex)` order (observed runs only).
+    events: Vec<StepEvent>,
+    /// Per-round `(msg_bits, max_msg_bits, wall)` (observed runs only).
+    round_stats: Vec<(u64, u64, Duration)>,
+}
+
+/// The per-shard worker: owns `lo..hi`, mirrors the rest.
+#[allow(clippy::too_many_arguments)]
+fn shard_main<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
+    protocol: &P,
+    g: &Graph,
+    ids: &IdAssignment,
+    cfg: RunConfig,
+    sid: usize,
+    shards: usize,
+    lo: VertexId,
+    hi: VertexId,
+    mut transport: T,
+) -> ShardResult<P> {
+    let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
+    // Derive every vertex's initial message locally (init is pure), keep
+    // private states only for owned vertices.
+    let mut all: Vec<P::State> = g.vertices().map(|v| protocol.init(g, ids, v)).collect();
+    let mut msgs: Vec<P::Msg> = all.iter().map(|s| protocol.publish(s)).collect();
+    let mut states: Vec<P::State> = all.drain(lo as usize..hi as usize).collect();
+    drop(all);
+    let mut active_words = full_words(g.n());
+    let mut active: Vec<VertexId> = (lo..hi).collect();
+    let mut result = ShardResult::<P> {
+        outputs: vec![None; states.len()],
+        term: vec![0; states.len()],
+        msg_bits: 0,
+        max_msg_bits: 0,
+        still_active: None,
+        events: Vec::new(),
+        round_stats: Vec::new(),
+    };
+    let mut barrier = RoundBarrier::new(shards, sid);
+
+    if active.is_empty() {
+        // Nothing to own (more shards than vertices): deregister from the
+        // barrier immediately — peers consume this at their round 1.
+        transport.broadcast(Batch {
+            from: sid,
+            round: 1,
+            retiring: true,
+            entries: Vec::new(),
+        });
+        transport.linger();
+        return result;
+    }
+
+    let mut round: u32 = 0;
+    loop {
+        round += 1;
+        if round > max_rounds {
+            // Live shards advance in lockstep, so every one of them stops
+            // here in the same round without broadcasting; the merge sums
+            // the local counts into the sync engine's error.
+            result.still_active = Some(active.len());
+            return result;
+        }
+        let round_t0 = Ob::ENABLED.then(Instant::now);
+        let mut round_bits = 0u64;
+        let mut round_max = 0u64;
+        let mut entries: Vec<Update<P::Msg>> = Vec::with_capacity(active.len());
+        // Read phase: step owned active vertices against the mirror
+        // snapshot — nothing a step can observe is mutated until every
+        // owned vertex has stepped.
+        for &v in &active {
+            let vi = (v - lo) as usize;
+            if Ob::ENABLED {
+                result.events.push(StepEvent {
+                    round,
+                    v,
+                    phase: protocol.phase_of(&states[vi]),
+                    terminated: false,
+                });
+            }
+            let ctx = StepCtx {
+                graph: g,
+                ids,
+                v,
+                round,
+                state: &states[vi],
+                view: NeighborView {
+                    graph: g,
+                    v,
+                    msgs: &msgs,
+                    active_words: &active_words,
+                },
+                run_seed: cfg.seed,
+            };
+            let (s, out) = match protocol.step(ctx) {
+                Transition::Continue(s) => (s, None),
+                Transition::Terminate(s, o) => (s, Some(o)),
+            };
+            let m = protocol.publish(&s);
+            let mb = m.wire_bits();
+            round_bits += mb;
+            round_max = round_max.max(mb);
+            entries.push(Update {
+                v,
+                msg: m,
+                terminated: out.is_some(),
+            });
+            states[vi] = s;
+            if let Some(o) = out {
+                result.outputs[vi] = Some(o);
+                result.term[vi] = round;
+                if Ob::ENABLED {
+                    result.events.last_mut().expect("just pushed").terminated = true;
+                }
+            }
+        }
+        result.msg_bits += round_bits;
+        result.max_msg_bits = result.max_msg_bits.max(round_max);
+        if let Some(t0) = round_t0 {
+            result
+                .round_stats
+                .push((round_bits, round_max, t0.elapsed()));
+        }
+
+        // Retire phase, local half: fold this shard's updates into the
+        // mirror and the activity snapshot.
+        for e in &entries {
+            msgs[e.v as usize] = e.msg.clone();
+            if e.terminated {
+                clear_bit(&mut active_words, e.v);
+            }
+        }
+        active.retain(|&v| result.term[(v - lo) as usize] != round);
+        let retiring = active.is_empty();
+        transport.broadcast(Batch {
+            from: sid,
+            round,
+            retiring,
+            entries,
+        });
+        if retiring {
+            // Deregistered: peers stop expecting batches from this shard,
+            // and whatever they publish from here on is irrelevant to it
+            // — but leave gracefully so nothing in flight is lost.
+            transport.linger();
+            return result;
+        }
+        // Retire phase, remote half: the barrier hands over every live
+        // peer's round-`round` batch before round `round + 1` may begin.
+        barrier.drain(&mut transport, round, |batch| {
+            for e in batch.entries {
+                msgs[e.v as usize] = e.msg;
+                if e.terminated {
+                    clear_bit(&mut active_words, e.v);
+                }
+            }
+        });
+    }
+}
+
+/// Runs the shard workers on scoped threads and merges their results into
+/// the sync engine's `SimOutcome` shape.
+fn run_actors<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
+    protocol: &P,
+    g: &Graph,
+    ids: &IdAssignment,
+    cfg: RunConfig,
+    observer: &mut Ob,
+    endpoints: Vec<T>,
+) -> Result<SimOutcome<P::Output>, EngineError> {
+    assert_eq!(ids.len(), g.n(), "ID assignment must cover all vertices");
+    let run_t0 = Instant::now();
+    let shards = endpoints.len();
+    let ranges = shard_ranges(g.n(), shards);
+    let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
+
+    let results: Vec<ShardResult<P>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .zip(&ranges)
+            .enumerate()
+            .map(|(sid, (tr, &(lo, hi)))| {
+                scope.spawn(move || {
+                    shard_main::<P, Ob, T>(protocol, g, ids, cfg, sid, shards, lo, hi, tr)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panicked"))
+            .collect()
+    });
+
+    // Replay observer hooks in the sync engine's (round, vertex) order:
+    // shard ranges are contiguous and each shard's events are already
+    // sorted, so walking shards in order per round is vertex order. Runs
+    // even when the round cap was hit — the sync engine's hooks fire
+    // as-you-go, so completed rounds must be visible either way.
+    if Ob::ENABLED {
+        let rounds = results
+            .iter()
+            .map(|r| r.round_stats.len())
+            .max()
+            .unwrap_or(0);
+        let mut cursors = vec![0usize; shards];
+        for r in 1..=rounds as u32 {
+            let active_r: usize = results
+                .iter()
+                .zip(&cursors)
+                .map(|(res, &c)| res.events[c..].iter().take_while(|e| e.round == r).count())
+                .sum();
+            observer.on_round_start(r, active_r);
+            let mut bits = 0u64;
+            let mut max_bits = 0u64;
+            let mut wall = Duration::ZERO;
+            for (s, res) in results.iter().enumerate() {
+                while let Some(e) = res.events.get(cursors[s]) {
+                    if e.round != r {
+                        break;
+                    }
+                    observer.on_phase(e.v, r, e.phase);
+                    observer.on_step(e.v, r);
+                    if e.terminated {
+                        observer.on_terminate(e.v, r);
+                    }
+                    cursors[s] += 1;
+                }
+                if let Some(&(b, m, w)) = res.round_stats.get((r - 1) as usize) {
+                    bits += b;
+                    max_bits = max_bits.max(m);
+                    wall = wall.max(w);
+                }
+            }
+            observer.on_round_end(&RoundRecord {
+                round: r,
+                active: active_r,
+                publications: active_r,
+                msg_bits: bits,
+                max_msg_bits: max_bits,
+                wall,
+            });
+        }
+    }
+
+    let still_active: usize = results.iter().filter_map(|r| r.still_active).sum();
+    if results.iter().any(|r| r.still_active.is_some()) {
+        return Err(EngineError::RoundLimitExceeded {
+            max_rounds,
+            still_active,
+        });
+    }
+
+    let mut stats = EngineStats::default();
+    let mut outputs: Vec<P::Output> = Vec::with_capacity(g.n());
+    let mut termination_round: Vec<u32> = Vec::with_capacity(g.n());
+    for res in results {
+        stats.msg_bits += res.msg_bits;
+        stats.max_msg_bits = stats.max_msg_bits.max(res.max_msg_bits);
+        termination_round.extend(res.term);
+        outputs.extend(
+            res.outputs
+                .into_iter()
+                .map(|o| o.expect("terminated vertex must have an output")),
+        );
+    }
+    let rounds = termination_round.iter().copied().max().unwrap_or(0);
+    stats.rounds = rounds;
+    stats.steps = termination_round.iter().map(|&r| r as u64).sum();
+    stats.publications = stats.steps;
+    // A vertex is active in round r iff it terminates in round >= r:
+    // bucket by termination round, then suffix-sum.
+    let mut active_per_round = vec![0usize; rounds as usize];
+    for &t in &termination_round {
+        active_per_round[(t - 1) as usize] += 1;
+    }
+    for r in (0..active_per_round.len().saturating_sub(1)).rev() {
+        active_per_round[r] += active_per_round[r + 1];
+    }
+    stats.wall = run_t0.elapsed();
+    Ok(SimOutcome {
+        outputs,
+        metrics: RoundMetrics {
+            termination_round,
+            active_per_round,
+        },
+        stats,
+    })
+}
+
+/// Execution entry point for the actor backend — the [`Runner`]
+/// (crate::Runner) shape, plus a shard count and a transport choice:
+///
+/// ```
+/// use simlocal::asyncengine::ActorRunner;
+/// use simlocal::{Protocol, StepCtx, Transition};
+/// use graphcore::{gen, Graph, IdAssignment, VertexId};
+///
+/// struct EmitId;
+/// impl Protocol for EmitId {
+///     type State = ();
+///     type Msg = ();
+///     type Output = u64;
+///     fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+///     fn publish(&self, _: &()) {}
+///     fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u64> {
+///         Transition::Terminate((), ctx.my_id())
+///     }
+/// }
+///
+/// let g = gen::cycle(5);
+/// let ids = IdAssignment::identity(5);
+/// let out = ActorRunner::new(&EmitId, &g, &ids).shards(2).run().unwrap();
+/// assert_eq!(out.outputs, vec![0, 1, 2, 3, 4]);
+/// ```
+///
+/// `run`/`run_with` exchange batches over in-process channels and work
+/// for every protocol; `run_tcp`/`run_tcp_with` move them through a
+/// loopback TCP mesh and additionally require `Protocol::Msg:
+/// WireCodec`. `RunConfig::parallel` and the engine tuning knobs are
+/// sync-engine concerns and are ignored here; `seed` and `max_rounds`
+/// apply unchanged.
+pub struct ActorRunner<'a, P: Protocol> {
+    protocol: &'a P,
+    graph: &'a Graph,
+    ids: &'a IdAssignment,
+    cfg: RunConfig,
+    shards: usize,
+}
+
+impl<'a, P: Protocol> ActorRunner<'a, P> {
+    /// New actor runner with the default [`RunConfig`] and auto shard
+    /// count (the machine's available parallelism).
+    pub fn new(protocol: &'a P, graph: &'a Graph, ids: &'a IdAssignment) -> Self {
+        ActorRunner {
+            protocol,
+            graph,
+            ids,
+            cfg: RunConfig::default(),
+            shards: 0,
+        }
+    }
+
+    /// Sets the shard count; `0` restores the auto pick. The outcome is
+    /// byte-identical for every shard count — only concurrency changes.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: RunConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the run seed (randomized protocols).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Overrides the protocol's round cap.
+    pub fn max_rounds(mut self, cap: u32) -> Self {
+        self.cfg.max_rounds = Some(cap);
+        self
+    }
+
+    /// Shard count after resolving auto and clamping to the vertex count
+    /// (extra shards would only ever send one empty retiring batch).
+    fn resolved_shards(&self) -> usize {
+        let want = if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
+        } else {
+            self.shards
+        };
+        want.clamp(1, self.graph.n().max(1))
+    }
+
+    /// Runs over in-process channels, unobserved.
+    pub fn run(self) -> Result<SimOutcome<P::Output>, EngineError> {
+        self.run_with(&mut NoObserver)
+    }
+
+    /// Runs over in-process channels with `observer` attached (hooks are
+    /// replayed after the run in deterministic order — see module docs).
+    pub fn run_with<Ob: Observer>(
+        self,
+        observer: &mut Ob,
+    ) -> Result<SimOutcome<P::Output>, EngineError> {
+        let mesh = channel_mesh::<P::Msg>(self.resolved_shards());
+        run_actors::<P, Ob, _>(
+            self.protocol,
+            self.graph,
+            self.ids,
+            self.cfg,
+            observer,
+            mesh,
+        )
+    }
+
+    /// Runs over a loopback TCP mesh (length-prefixed [`WireCodec`]
+    /// frames), unobserved.
+    ///
+    /// # Panics
+    /// On socket setup failure (bind/connect/accept on 127.0.0.1).
+    pub fn run_tcp(self) -> Result<SimOutcome<P::Output>, EngineError>
+    where
+        P::Msg: WireCodec + 'static,
+    {
+        self.run_tcp_with(&mut NoObserver)
+    }
+
+    /// Runs over a loopback TCP mesh with `observer` attached.
+    ///
+    /// # Panics
+    /// On socket setup failure (bind/connect/accept on 127.0.0.1).
+    pub fn run_tcp_with<Ob: Observer>(
+        self,
+        observer: &mut Ob,
+    ) -> Result<SimOutcome<P::Output>, EngineError>
+    where
+        P::Msg: WireCodec + 'static,
+    {
+        let mesh = tcp_loopback_mesh::<P::Msg>(self.resolved_shards())
+            .expect("loopback TCP mesh setup failed");
+        run_actors::<P, Ob, _>(
+            self.protocol,
+            self.graph,
+            self.ids,
+            self.cfg,
+            observer,
+            mesh,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Runner;
+    use crate::observer::Telemetry;
+    use graphcore::gen;
+
+    /// Vertex v waits v rounds then outputs the round it terminated in.
+    struct Staircase;
+    impl Protocol for Staircase {
+        type State = ();
+        type Msg = ();
+        type Output = u32;
+        fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn publish(&self, _: &()) {}
+        fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
+            if ctx.round > ctx.v {
+                Transition::Terminate((), ctx.round)
+            } else {
+                Transition::Continue(())
+            }
+        }
+    }
+
+    /// Flood-max over u64 IDs; terminates after a fixed round count.
+    struct FloodMax {
+        rounds: u32,
+    }
+    impl Protocol for FloodMax {
+        type State = u64;
+        type Msg = u64;
+        type Output = u64;
+        fn init(&self, _: &Graph, ids: &IdAssignment, v: VertexId) -> u64 {
+            ids.id(v)
+        }
+        fn publish(&self, s: &u64) -> u64 {
+            *s
+        }
+        fn step(&self, ctx: StepCtx<'_, u64>) -> Transition<u64, u64> {
+            let best = ctx
+                .view
+                .neighbors()
+                .map(|(_, &s)| s)
+                .chain([*ctx.state])
+                .max()
+                .unwrap();
+            if ctx.round >= self.rounds {
+                Transition::Terminate(best, best)
+            } else {
+                Transition::Continue(best)
+            }
+        }
+    }
+
+    /// Never terminates — must hit the round cap.
+    struct Livelock;
+    impl Protocol for Livelock {
+        type State = ();
+        type Msg = ();
+        type Output = ();
+        fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+        fn publish(&self, _: &()) {}
+        fn step(&self, _: StepCtx<'_, ()>) -> Transition<(), ()> {
+            Transition::Continue(())
+        }
+        fn max_rounds(&self, _: &Graph) -> u32 {
+            10
+        }
+    }
+
+    fn ids(n: usize) -> IdAssignment {
+        IdAssignment::identity(n)
+    }
+
+    #[test]
+    fn ranges_are_balanced_and_cover() {
+        assert_eq!(shard_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(shard_ranges(2, 4), vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+        assert_eq!(shard_ranges(0, 2), vec![(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn matches_sync_engine_across_shard_counts() {
+        let g = gen::grid(6, 7);
+        let n = g.n();
+        let sync = Runner::new(&Staircase, &g, &ids(n)).run().unwrap();
+        for shards in [1, 3, 8] {
+            let actor = ActorRunner::new(&Staircase, &g, &ids(n))
+                .shards(shards)
+                .run()
+                .unwrap();
+            assert_eq!(actor.outputs, sync.outputs, "{shards} shards");
+            assert_eq!(actor.metrics, sync.metrics, "{shards} shards");
+            assert_eq!(actor.stats.steps, sync.stats.steps);
+            assert_eq!(actor.stats.rounds, sync.stats.rounds);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices() {
+        let g = gen::path(3);
+        let out = ActorRunner::new(&Staircase, &g, &ids(3))
+            .shards(64)
+            .run()
+            .unwrap();
+        assert_eq!(out.metrics.termination_round, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = graphcore::GraphBuilder::new(0).build();
+        let out = ActorRunner::new(&Staircase, &g, &ids(0))
+            .shards(2)
+            .run()
+            .unwrap();
+        assert_eq!(out.metrics.n(), 0);
+        assert_eq!(out.stats.rounds, 0);
+    }
+
+    #[test]
+    fn wire_accounting_matches_sync() {
+        let g = gen::grid(5, 5);
+        let n = g.n();
+        let sync = Runner::new(&FloodMax { rounds: 4 }, &g, &ids(n))
+            .run()
+            .unwrap();
+        let actor = ActorRunner::new(&FloodMax { rounds: 4 }, &g, &ids(n))
+            .shards(4)
+            .run()
+            .unwrap();
+        assert_eq!(actor.stats.msg_bits, sync.stats.msg_bits);
+        assert_eq!(actor.stats.max_msg_bits, sync.stats.max_msg_bits);
+        assert_eq!(actor.stats.publications, sync.stats.publications);
+    }
+
+    #[test]
+    fn round_cap_error_matches_sync() {
+        let g = gen::cycle(4);
+        let sync = Runner::new(&Livelock, &g, &ids(4)).run().unwrap_err();
+        let actor = ActorRunner::new(&Livelock, &g, &ids(4))
+            .shards(2)
+            .run()
+            .unwrap_err();
+        assert_eq!(actor, sync);
+        assert_eq!(
+            actor,
+            EngineError::RoundLimitExceeded {
+                max_rounds: 10,
+                still_active: 4
+            }
+        );
+    }
+
+    #[test]
+    fn telemetry_replay_matches_sync_observer() {
+        let g = gen::grid(4, 5);
+        let n = g.n();
+        let mut sync_t = Telemetry::new();
+        let sync = Runner::new(&Staircase, &g, &ids(n))
+            .run_with(&mut sync_t)
+            .unwrap();
+        let mut actor_t = Telemetry::new();
+        let actor = ActorRunner::new(&Staircase, &g, &ids(n))
+            .shards(3)
+            .run_with(&mut actor_t)
+            .unwrap();
+        assert_eq!(actor.outputs, sync.outputs);
+        assert_eq!(actor_t.active, sync_t.active);
+        assert_eq!(actor_t.publications, sync_t.publications);
+        assert_eq!(actor_t.msg_bits, sync_t.msg_bits);
+        assert_eq!(actor_t.max_msg_bits, sync_t.max_msg_bits);
+        assert_eq!(actor_t.terminations, sync_t.terminations);
+    }
+
+    #[test]
+    fn tcp_loopback_matches_channels() {
+        let g = gen::grid(4, 4);
+        let n = g.n();
+        let chan = ActorRunner::new(&FloodMax { rounds: 3 }, &g, &ids(n))
+            .shards(3)
+            .run()
+            .unwrap();
+        let tcp = ActorRunner::new(&FloodMax { rounds: 3 }, &g, &ids(n))
+            .shards(3)
+            .run_tcp()
+            .unwrap();
+        assert_eq!(tcp.outputs, chan.outputs);
+        assert_eq!(tcp.metrics, chan.metrics);
+        assert_eq!(tcp.stats.msg_bits, chan.stats.msg_bits);
+        assert_eq!(tcp.stats.max_msg_bits, chan.stats.max_msg_bits);
+    }
+
+    #[test]
+    fn barrier_buffers_one_round_ahead() {
+        // Direct barrier exercise: peer 1's round-2 batch arrives while
+        // round 1 is still draining peer 2.
+        struct Scripted {
+            queue: std::collections::VecDeque<Recv<u64>>,
+        }
+        impl Transport<u64> for Scripted {
+            fn broadcast(&mut self, _: Batch<u64>) {}
+            fn recv(&mut self) -> Recv<u64> {
+                self.queue.pop_front().expect("script exhausted")
+            }
+        }
+        let b = |from: usize, round: u32, retiring: bool| Batch::<u64> {
+            from,
+            round,
+            retiring,
+            entries: Vec::new(),
+        };
+        let mut tr = Scripted {
+            queue: [
+                Recv::Batch(b(1, 1, false)),
+                Recv::Batch(b(1, 2, true)),
+                Recv::Batch(b(2, 1, true)),
+                Recv::Lost(2),
+            ]
+            .into(),
+        };
+        let mut barrier = RoundBarrier::<u64>::new(3, 0);
+        let mut seen = Vec::new();
+        barrier.drain(&mut tr, 1, |b| seen.push((b.from, b.round)));
+        assert_eq!(seen, vec![(1, 1), (2, 1)]);
+        assert_eq!(barrier.live_peers(), 1, "shard 2 retired at round 1");
+        barrier.drain(&mut tr, 2, |b| seen.push((b.from, b.round)));
+        assert_eq!(
+            seen,
+            vec![(1, 1), (2, 1), (1, 2)],
+            "buffered batch consumed"
+        );
+        assert_eq!(barrier.live_peers(), 0);
+        // With no live peers the barrier needs nothing — and must not recv.
+        barrier.drain(&mut tr, 3, |_| panic!("no live peers"));
+    }
+}

@@ -65,6 +65,7 @@
 //! active set — so wall time tracks `RoundSum`, not `n × worst-case`.
 
 pub mod active;
+pub mod asyncengine;
 pub mod engine;
 pub mod metrics;
 pub mod observer;
@@ -72,9 +73,11 @@ pub mod protocol;
 pub mod reference;
 pub mod rng;
 pub mod trace;
+pub mod transport;
 pub mod wire;
 
 pub use active::ActiveSet;
+pub use asyncengine::{ActorRunner, RoundBarrier};
 pub use engine::{
     EngineError, EngineStats, EngineTuning, RunConfig, Runner, ScratchPolicy, SimOutcome, Toggle,
     DEFAULT_PAR_THRESHOLD, FAST_PATH_MAX_MSG_BYTES,
@@ -84,4 +87,5 @@ pub use observer::{NoObserver, Observer, RoundRecord, Tee, Telemetry};
 pub use protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};
 pub use reference::run_reference;
 pub use trace::{Histogram, PhaseBreakdown, Profile, TraceEvent, TraceLog};
-pub use wire::WireSize;
+pub use transport::{Batch, ChannelTransport, Recv, TcpTransport, Transport, Update};
+pub use wire::{WireCodec, WireSize};

@@ -233,3 +233,77 @@ mod more_tests {
         assert!(m.check_identities().is_err());
     }
 }
+
+#[cfg(test)]
+mod quantile_edge_cases {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_metrics_answer_every_quantile_with_zero() {
+        let m = RoundMetrics {
+            termination_round: vec![],
+            active_per_round: vec![],
+        };
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(m.percentile(p), 0);
+            assert_eq!(m.percentiles().rank(p), 0);
+        }
+        assert_eq!(m.median(), 0);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_min_and_max() {
+        let m = RoundMetrics {
+            termination_round: vec![7, 2, 9, 2, 4],
+            active_per_round: vec![5, 5, 4, 3, 2, 2, 2, 1, 1],
+        };
+        assert_eq!(m.percentile(0.0), 2);
+        assert_eq!(m.percentile(100.0), 9);
+        let p = m.percentiles();
+        assert_eq!(p.rank(0.0), 2);
+        assert_eq!(p.rank(100.0), 9);
+    }
+
+    #[test]
+    fn single_vertex_run_is_constant_across_quantiles() {
+        // A 1-vertex run has one termination round; every quantile — and
+        // the median — must report exactly it.
+        let m = RoundMetrics {
+            termination_round: vec![3],
+            active_per_round: vec![1, 1, 1],
+        };
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(m.percentile(p), 3);
+        }
+        assert_eq!(m.median(), 3);
+        assert!(m.check_identities().is_ok());
+    }
+
+    proptest! {
+        // The one-shot path and the sorted-once path are the same
+        // estimator: `RoundMetrics::percentile(p)` ≡ `Percentiles::rank(p)`
+        // for any rounds vector and any in-range `p`.
+        #[test]
+        fn percentile_equals_rank(
+            rounds in proptest::collection::vec(1u32..500, 0..64),
+            p_tenths in 0u32..=1000,
+        ) {
+            let p = p_tenths as f64 / 10.0;
+            let m = RoundMetrics {
+                termination_round: rounds,
+                active_per_round: vec![],
+            };
+            let sorted = m.percentiles();
+            prop_assert_eq!(m.percentile(p), sorted.rank(p));
+            prop_assert_eq!(m.median(), sorted.median());
+            // Nearest-rank always returns an observed value, bracketed by
+            // the extremes.
+            if m.n() > 0 {
+                prop_assert!(m.termination_round.contains(&sorted.rank(p)));
+                prop_assert!(sorted.rank(0.0) <= sorted.rank(p));
+                prop_assert!(sorted.rank(p) <= sorted.rank(100.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Shard-to-shard transport for the actor backend.
+//!
+//! The actor engine ([`crate::asyncengine`]) splits the vertex set into
+//! shards that exchange one [`Batch`] per shard per round — the round's
+//! published messages for the shard's stepped vertices, plus a `retiring`
+//! flag with which a drained shard deregisters from the round barrier.
+//! This module is the pluggable wire underneath that protocol:
+//!
+//! * [`Transport`] — the trait the engine drives: `broadcast` one batch to
+//!   every peer, `recv` the next incoming event;
+//! * [`ChannelTransport`] — in-process bounded mpsc channels
+//!   ([`channel_mesh`]), moving `Msg` values directly (no serialization);
+//! * [`TcpTransport`] — length-prefixed frames over TCP sockets
+//!   ([`tcp_loopback_mesh`]), for runs whose shards do not share an
+//!   address space; messages cross as bytes via
+//!   [`WireCodec`](crate::wire::WireCodec).
+//!
+//! Channel capacity and socket framing are transport concerns; *when* a
+//! shard may advance is not — the round barrier lives in the engine. The
+//! flow-control invariant that makes bounded channels deadlock-free is
+//! barrier-derived: a shard only steps round `r + 1` after draining every
+//! live peer's round-`r` batch, so no peer is ever more than one round
+//! ahead and at most two batches per peer are in flight. [`channel_mesh`]
+//! sizes its buffers to hold that worst case, so `broadcast` never blocks.
+
+use crate::wire::WireCodec;
+use graphcore::VertexId;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::time::Duration;
+
+/// How long a `recv` may sit idle before the transport declares the run
+/// wedged. The round barrier never waits for a retired peer, so a healthy
+/// run always has a batch on the way; a full minute of silence means a
+/// peer died without retiring (or livelocked), and a loud panic beats a
+/// silent hang.
+pub const RECV_STALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One stepped vertex's round result as it crosses the wire: the message
+/// it published, and whether that publication was its final broadcast.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update<M> {
+    /// The vertex that stepped.
+    pub v: VertexId,
+    /// The message it published this round.
+    pub msg: M,
+    /// Whether the vertex terminated (this is its final broadcast).
+    pub terminated: bool,
+}
+
+/// Everything one shard publishes in one round, in vertex order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Batch<M> {
+    /// Sending shard.
+    pub from: usize,
+    /// Round the updates belong to.
+    pub round: u32,
+    /// True when this is the shard's last batch: every vertex it owns has
+    /// terminated, and peers must stop expecting batches from it (this is
+    /// how a shard deregisters from the round barrier).
+    pub retiring: bool,
+    /// The round's published messages for the shard's stepped vertices.
+    pub entries: Vec<Update<M>>,
+}
+
+/// One incoming transport event.
+#[derive(Debug)]
+pub enum Recv<M> {
+    /// A peer's round batch.
+    Batch(Batch<M>),
+    /// The incoming link from this peer closed. Clean when the peer had
+    /// already retired; fatal (a crashed shard) when it had not — the
+    /// engine decides which, because liveness is barrier state.
+    Lost(usize),
+    /// Every incoming link is closed.
+    Closed,
+}
+
+/// A shard's endpoint: broadcast one batch per round, receive peers'.
+///
+/// Implementations deliver batches from any single peer in send order
+/// (per-peer FIFO); cross-peer interleaving is arbitrary. `broadcast` to
+/// an already-departed peer must be a no-op, not an error — retirement
+/// notices race with the final batches of other shards by design.
+pub trait Transport<M>: Send {
+    /// Sends `batch` to every other shard in the mesh.
+    fn broadcast(&mut self, batch: Batch<M>);
+    /// Blocks for the next incoming event.
+    fn recv(&mut self) -> Recv<M>;
+    /// Gracefully leaves the mesh after the shard's final broadcast.
+    ///
+    /// In-process channels lose nothing on drop, so the default does
+    /// exactly that. Transports with abortive-close hazards (TCP resets
+    /// discard in-flight frames when a socket closes with unread data)
+    /// override this to half-close, drain until every peer has left, and
+    /// only then tear down.
+    fn linger(self)
+    where
+        Self: Sized,
+    {
+    }
+}
+
+/// Capacity of a shard's inbox: at most two batches per peer are ever in
+/// flight (see the module docs), so this never makes `broadcast` block.
+fn inbox_capacity(shards: usize) -> usize {
+    2 * shards.max(1)
+}
+
+// ---------------------------------------------------------------------------
+// In-process channels
+// ---------------------------------------------------------------------------
+
+/// In-process transport: bounded mpsc channels in a full mesh, moving
+/// `Msg` values directly. Build one per shard with [`channel_mesh`].
+pub struct ChannelTransport<M> {
+    txs: Vec<Option<SyncSender<Batch<M>>>>,
+    rx: Receiver<Batch<M>>,
+}
+
+/// Builds a `shards`-way full mesh of bounded channels, one endpoint per
+/// shard. Buffers are sized so a barrier-respecting shard never blocks in
+/// `broadcast` (see the module docs for the two-in-flight argument).
+pub fn channel_mesh<M: Send>(shards: usize) -> Vec<ChannelTransport<M>> {
+    let cap = inbox_capacity(shards);
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards)
+        .map(|_| std::sync::mpsc::sync_channel::<Batch<M>>(cap))
+        .unzip();
+    rxs.into_iter()
+        .enumerate()
+        .map(|(me, rx)| ChannelTransport {
+            txs: txs
+                .iter()
+                .enumerate()
+                .map(|(j, tx)| (j != me).then(|| tx.clone()))
+                .collect(),
+            rx,
+        })
+        .collect()
+}
+
+impl<M: Clone + Send> Transport<M> for ChannelTransport<M> {
+    fn broadcast(&mut self, batch: Batch<M>) {
+        // A send error means the peer exited (retired and dropped its
+        // receiver) — by the trait contract that is a no-op.
+        for tx in self.txs.iter().flatten() {
+            let _ = tx.send(batch.clone());
+        }
+    }
+
+    fn recv(&mut self) -> Recv<M> {
+        match self.rx.recv_timeout(RECV_STALL_TIMEOUT) {
+            Ok(batch) => Recv::Batch(batch),
+            Err(RecvTimeoutError::Disconnected) => Recv::Closed,
+            Err(RecvTimeoutError::Timeout) => {
+                panic!(
+                    "actor transport stalled: no batch for {}s — a peer \
+                     shard died without retiring",
+                    RECV_STALL_TIMEOUT.as_secs()
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Length-prefixed TCP framing
+// ---------------------------------------------------------------------------
+
+/// Encodes one batch as a length-prefixed frame: a `u32` little-endian
+/// payload length, then `from`/`round`/`retiring`/entry count, then the
+/// entries (`v`, `terminated`, codec-encoded message).
+pub fn encode_frame<M: WireCodec>(batch: &Batch<M>) -> Vec<u8> {
+    let mut payload = Vec::new();
+    (batch.from as u32).encode(&mut payload);
+    batch.round.encode(&mut payload);
+    batch.retiring.encode(&mut payload);
+    (batch.entries.len() as u32).encode(&mut payload);
+    for e in &batch.entries {
+        e.v.encode(&mut payload);
+        e.terminated.encode(&mut payload);
+        e.msg.encode(&mut payload);
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    (payload.len() as u32).encode(&mut frame);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes one frame *payload* (the bytes after the length prefix).
+pub fn decode_payload<M: WireCodec>(mut buf: &[u8]) -> Option<Batch<M>> {
+    let buf = &mut buf;
+    let from = u32::decode(buf)? as usize;
+    let round = u32::decode(buf)?;
+    let retiring = bool::decode(buf)?;
+    let count = u32::decode(buf)? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = VertexId::decode(buf)?;
+        let terminated = bool::decode(buf)?;
+        let msg = M::decode(buf)?;
+        entries.push(Update { v, msg, terminated });
+    }
+    buf.is_empty().then_some(Batch {
+        from,
+        round,
+        retiring,
+        entries,
+    })
+}
+
+/// TCP transport: one duplex stream per peer pair, length-prefixed
+/// [`WireCodec`] frames. Build a loopback mesh with [`tcp_loopback_mesh`].
+///
+/// Each endpoint runs one reader thread per peer stream, decoding frames
+/// into the shard's inbox; dropping the endpoint shuts the sockets down,
+/// which unblocks and reaps those threads.
+pub struct TcpTransport<M> {
+    streams: Vec<(usize, TcpStream)>,
+    rx: Receiver<Recv<M>>,
+    /// Peers whose incoming link has already reported [`Recv::Lost`]
+    /// through `recv` — what remains is what `linger` must wait out.
+    lost_seen: usize,
+    // Keeps the inbox open while the endpoint lives even if every reader
+    // thread has exited (so `recv` reports per-peer `Lost`, not `Closed`).
+    _tx: SyncSender<Recv<M>>,
+}
+
+/// Builds a `shards`-way TCP full mesh over loopback: shard `i < j`
+/// connects to shard `j`'s listener, a one-`u32` handshake names the
+/// connector, and the resulting duplex stream serves both directions.
+///
+/// Multi-process runs would do the same dance with real addresses; the
+/// framing and handshake are address-agnostic, only the rendezvous here
+/// (all listeners in one process) is loopback-specific.
+pub fn tcp_loopback_mesh<M>(shards: usize) -> std::io::Result<Vec<TcpTransport<M>>>
+where
+    M: WireCodec + Send + 'static,
+{
+    let listeners: Vec<TcpListener> = (0..shards)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<std::io::Result<_>>()?;
+
+    let mut streams: Vec<Vec<(usize, TcpStream)>> = (0..shards).map(|_| Vec::new()).collect();
+    for i in 0..shards {
+        for j in (i + 1)..shards {
+            // Connector side: dial j and say who we are.
+            let mut out = TcpStream::connect(addrs[j])?;
+            out.write_all(&(i as u32).to_le_bytes())?;
+            // Acceptor side: the connect above is the only pending one on
+            // j's listener, so accept pairs them up deterministically.
+            let (mut inc, _) = listeners[j].accept()?;
+            let mut id = [0u8; 4];
+            inc.read_exact(&mut id)?;
+            let peer = u32::from_le_bytes(id) as usize;
+            debug_assert_eq!(peer, i, "handshake names the connector");
+            out.set_nodelay(true)?;
+            inc.set_nodelay(true)?;
+            streams[i].push((j, out));
+            streams[j].push((peer, inc));
+        }
+    }
+
+    streams
+        .into_iter()
+        .map(|peers| {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Recv<M>>(inbox_capacity(shards));
+            let mut kept = Vec::with_capacity(peers.len());
+            for (peer, stream) in peers {
+                let reader = stream.try_clone()?;
+                let tx = tx.clone();
+                // Reader threads exit on EOF (peer retired and closed) or
+                // on socket error; either way they report `Lost` so the
+                // engine can tell clean retirement from a crashed shard.
+                std::thread::spawn(move || read_frames(peer, reader, tx));
+                kept.push((peer, stream));
+            }
+            Ok(TcpTransport {
+                streams: kept,
+                rx,
+                lost_seen: 0,
+                _tx: tx,
+            })
+        })
+        .collect()
+}
+
+/// Reader-thread body: decode length-prefixed frames from `stream` into
+/// `tx` until the peer closes or the inbox goes away.
+fn read_frames<M: WireCodec>(peer: usize, mut stream: TcpStream, tx: SyncSender<Recv<M>>) {
+    loop {
+        let mut len = [0u8; 4];
+        if stream.read_exact(&mut len).is_err() {
+            // EOF or reset: the peer is gone, cleanly or not.
+            let _ = tx.send(Recv::Lost(peer));
+            return;
+        }
+        let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+        if stream.read_exact(&mut payload).is_err() {
+            let _ = tx.send(Recv::Lost(peer));
+            return;
+        }
+        let Some(batch) = decode_payload::<M>(&payload) else {
+            panic!("malformed frame from shard {peer}: {} bytes", payload.len());
+        };
+        if tx.send(Recv::Batch(batch)).is_err() {
+            return; // Endpoint dropped; stop reading.
+        }
+    }
+}
+
+impl<M: WireCodec + Send> Transport<M> for TcpTransport<M> {
+    fn broadcast(&mut self, batch: Batch<M>) {
+        let frame = encode_frame(&batch);
+        // A write error means the peer exited and closed its socket — by
+        // the trait contract that is a no-op.
+        for (_, stream) in &mut self.streams {
+            let _ = stream.write_all(&frame);
+        }
+    }
+
+    fn recv(&mut self) -> Recv<M> {
+        match self.rx.recv_timeout(RECV_STALL_TIMEOUT) {
+            Ok(event) => {
+                if let Recv::Lost(_) = event {
+                    self.lost_seen += 1;
+                }
+                event
+            }
+            Err(RecvTimeoutError::Disconnected) => Recv::Closed,
+            Err(RecvTimeoutError::Timeout) => {
+                panic!(
+                    "actor transport stalled: no frame for {}s — a peer \
+                     shard died without retiring",
+                    RECV_STALL_TIMEOUT.as_secs()
+                )
+            }
+        }
+    }
+
+    /// Graceful leave: half-close every stream (the FIN lands *after* the
+    /// final batch, so peers see an orderly end of stream), then keep
+    /// draining — discarding late round traffic — until every peer's link
+    /// has reported [`Recv::Lost`]. Closing a socket that still has
+    /// unread incoming data provokes a TCP reset, which may discard this
+    /// shard's own in-flight frames; draining to the very end is what
+    /// guarantees the close is clean.
+    fn linger(mut self) {
+        for (_, stream) in &self.streams {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        while self.lost_seen < self.streams.len() {
+            if let Recv::Closed = Transport::recv(&mut self) {
+                break;
+            }
+        }
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        for (_, stream) in &self.streams {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(from: usize, round: u32) -> Batch<u64> {
+        Batch {
+            from,
+            round,
+            retiring: round == 3,
+            entries: vec![
+                Update {
+                    v: 7,
+                    msg: 0xfeed_beef,
+                    terminated: false,
+                },
+                Update {
+                    v: 8,
+                    msg: round as u64,
+                    terminated: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let b = batch(2, 3);
+        let frame = encode_frame(&b);
+        let (len, payload) = frame.split_at(4);
+        assert_eq!(
+            u32::from_le_bytes(len.try_into().unwrap()) as usize,
+            payload.len()
+        );
+        assert_eq!(decode_payload::<u64>(payload), Some(b));
+    }
+
+    #[test]
+    fn frame_rejects_trailing_garbage() {
+        let mut frame = encode_frame(&batch(0, 1));
+        frame.push(0xff);
+        assert_eq!(decode_payload::<u64>(&frame[4..]), None);
+    }
+
+    #[test]
+    fn channel_mesh_broadcasts_to_all_peers() {
+        let mut mesh = channel_mesh::<u64>(3);
+        let mut t2 = mesh.pop().unwrap();
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        t0.broadcast(batch(0, 1));
+        for t in [&mut t1, &mut t2] {
+            match t.recv() {
+                Recv::Batch(b) => assert_eq!(b, batch(0, 1)),
+                other => panic!("expected batch, got {other:?}"),
+            }
+        }
+        // The sender's own inbox stays empty; dropping both peers closes it.
+        drop(t1);
+        drop(t2);
+        assert!(matches!(t0.recv(), Recv::Closed));
+    }
+
+    #[test]
+    fn channel_broadcast_to_departed_peer_is_noop() {
+        let mut mesh = channel_mesh::<u64>(2);
+        let t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        drop(t1);
+        t0.broadcast(batch(0, 1)); // must not panic
+    }
+
+    #[test]
+    fn tcp_mesh_round_trips_and_reports_loss() {
+        let mut mesh = tcp_loopback_mesh::<u64>(3).unwrap();
+        let mut t2 = mesh.pop().unwrap();
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        t0.broadcast(batch(0, 5));
+        for t in [&mut t1, &mut t2] {
+            match t.recv() {
+                Recv::Batch(b) => assert_eq!(b, batch(0, 5)),
+                other => panic!("expected batch, got {other:?}"),
+            }
+        }
+        // Bidirectional: a reply crosses the same stream pair.
+        t1.broadcast(batch(1, 5));
+        match t0.recv() {
+            Recv::Batch(b) => assert_eq!(b.from, 1),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        // Dropping an endpoint closes its sockets; peers see `Lost`.
+        drop(t1);
+        match t0.recv() {
+            Recv::Lost(peer) => assert_eq!(peer, 1),
+            other => panic!("expected lost, got {other:?}"),
+        }
+    }
+}

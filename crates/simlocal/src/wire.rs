@@ -14,6 +14,14 @@
 //! These numbers feed the CONGEST audit: an algorithm's messages fit the
 //! CONGEST model iff its per-round maximum stays within `O(log n)` bits
 //! (see `Bound::CongestWidth` in the bench crate).
+//!
+//! [`WireCodec`] is the companion trait for transports that actually move
+//! bytes (the actor backend's TCP framing, [`crate::transport`]): a
+//! canonical little-endian encoding with the same composition rules as
+//! [`WireSize`] (length-prefixed `Vec`s, presence-byte `Option`s,
+//! field-concatenated tuples and arrays). The in-process channel transport
+//! moves values directly and needs no codec, so `Protocol::Msg` only has
+//! to implement `WireCodec` when a run actually crosses a socket.
 
 /// Encoded size of a value on the wire, in bits.
 ///
@@ -93,6 +101,159 @@ exact_tuple!(A: 0, B: 1);
 exact_tuple!(A: 0, B: 1, C: 2);
 exact_tuple!(A: 0, B: 1, C: 2, D: 3);
 
+/// Canonical byte encoding for values that cross a real wire.
+///
+/// The actor backend's TCP transport serializes [`Protocol::Msg`]
+/// (crate::Protocol::Msg) values with this trait; the encoding is
+/// little-endian, self-delimiting, and mirrors [`WireSize`]'s composition
+/// rules (it is byte-padded, so `encode` may emit up to 7 bits more than
+/// `wire_bits` charges — accounting stays with `WireSize`, bytes on the
+/// socket come from here). `decode` consumes from the front of `buf` and
+/// returns `None` on truncated or malformed input.
+pub trait WireCodec: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `buf`, advancing it past the
+    /// consumed bytes. `None` means truncated or malformed input.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+/// Splits `n` bytes off the front of `buf`.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Some(head)
+}
+
+impl WireCodec for () {
+    fn encode(&self, _: &mut Vec<u8>) {}
+    fn decode(_: &mut &[u8]) -> Option<()> {
+        Some(())
+    }
+}
+
+impl WireCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<bool> {
+        match take(buf, 1)?[0] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! codec_prim {
+    ($($t:ty),* $(,)?) => {
+        $(impl WireCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Option<$t> {
+                let bytes = take(buf, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        })*
+    };
+}
+
+codec_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+/// `usize`/`isize` travel as 64-bit values, matching [`WireSize`].
+impl WireCodec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<usize> {
+        usize::try_from(u64::decode(buf)?).ok()
+    }
+}
+
+impl WireCodec for isize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as i64).encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<isize> {
+        isize::try_from(i64::decode(buf)?).ok()
+    }
+}
+
+/// One presence byte, plus the payload when present.
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(x) => {
+                out.push(1);
+                x.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Option<T>> {
+        match take(buf, 1)?[0] {
+            0 => Some(None),
+            1 => Some(Some(T::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+/// A 32-bit length prefix plus the elements, matching [`WireSize`].
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (u32::try_from(self.len()).expect("Vec longer than u32::MAX")).encode(out);
+        for x in self {
+            x.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Vec<T>> {
+        let len = u32::decode(buf)? as usize;
+        let mut v = Vec::with_capacity(len.min(buf.len()));
+        for _ in 0..len {
+            v.push(T::decode(buf)?);
+        }
+        Some(v)
+    }
+}
+
+/// Fixed-length: no prefix, just the elements.
+impl<T: WireCodec, const N: usize> WireCodec for [T; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for x in self {
+            x.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<[T; N]> {
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::decode(buf)?);
+        }
+        v.try_into().ok()
+    }
+}
+
+macro_rules! codec_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: WireCodec),+> WireCodec for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                Some(($($name::decode(buf)?,)+))
+            }
+        }
+    };
+}
+
+codec_tuple!(A: 0, B: 1);
+codec_tuple!(A: 0, B: 1, C: 2);
+codec_tuple!(A: 0, B: 1, C: 2, D: 3);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +315,52 @@ mod tests {
         let m = Composite { a: 0, b: 0 };
         assert_eq!(m.wire_bits(), 96);
         assert!(m.wire_bits() < 8 * std::mem::size_of::<Composite>() as u64);
+    }
+
+    fn round_trip<T: WireCodec + PartialEq + std::fmt::Debug>(x: T) {
+        let mut bytes = Vec::new();
+        x.encode(&mut bytes);
+        let mut buf = bytes.as_slice();
+        assert_eq!(T::decode(&mut buf), Some(x));
+        assert!(buf.is_empty(), "decode must consume the whole encoding");
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        round_trip(());
+        round_trip(true);
+        round_trip(0x1234_5678_9abc_def0u64);
+        round_trip(-7i32);
+        round_trip(3.5f64);
+        round_trip(usize::MAX);
+        round_trip(Some(42u32));
+        round_trip(None::<u32>);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip([9u16; 4]);
+        round_trip((1u8, 2u32));
+        round_trip((true, 0u64, -1i8, vec![7u32]));
+    }
+
+    #[test]
+    fn codec_rejects_truncated_input() {
+        let mut bytes = Vec::new();
+        0xdead_beefu64.encode(&mut bytes);
+        bytes.pop();
+        let mut buf = bytes.as_slice();
+        assert_eq!(u64::decode(&mut buf), None);
+        // A Vec whose length prefix promises more elements than follow.
+        let mut bytes = Vec::new();
+        7u32.encode(&mut bytes);
+        let mut buf = bytes.as_slice();
+        assert_eq!(Vec::<u64>::decode(&mut buf), None);
+    }
+
+    #[test]
+    fn codec_rejects_malformed_tags() {
+        let mut buf: &[u8] = &[2];
+        assert_eq!(bool::decode(&mut buf), None);
+        let mut buf: &[u8] = &[9, 1, 2, 3, 4];
+        assert_eq!(Option::<u32>::decode(&mut buf), None);
     }
 }
