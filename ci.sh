@@ -59,6 +59,21 @@ echo "== actor-backend smoke: table2 --quick --backend actor vs the same baselin
 ./target/release/bench-diff --check \
     results/table2.quick.json target/ci-results/table2.quick.actor.json --tol 0
 
+echo "== metrics smoke: table2 --quick --metrics, self-validated exposition"
+# A metrics-enabled quick sweep on the actor backend (per-shard series
+# plus transport counters), then the export pair validates itself:
+# parseable typed exposition without duplicate series, histogram
+# consistency, monotone counters across JSONL snapshots, final snapshot
+# agreeing with the exposition. Attaching --metrics must not change
+# results, so the rows still gate against the sync baseline at tol 0.
+./target/release/table2 --quick --seeds 2 --ids identity,random --backend actor \
+    --metrics target/ci-results/obs.prom \
+    --json target/ci-results/table2.quick.metrics.json > /dev/null
+./target/release/bench-diff --check \
+    results/table2.quick.json target/ci-results/table2.quick.metrics.json --tol 0
+./target/release/bench-diff --metrics-check \
+    target/ci-results/obs.prom target/ci-results/obs.prom.jsonl
+
 echo "== transport smoke: loopback-TCP round-trip pins to the sync engine"
 # Framed codec messages over real sockets: the fixed-config TCP tests
 # from the actor-backend suite, runnable in isolation so a transport

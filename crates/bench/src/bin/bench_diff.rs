@@ -18,7 +18,15 @@
 //!   missing/extra or measure different work); improvements pass and are
 //!   printed as a cue to refresh the baseline. See EXPERIMENTS.md for the
 //!   refresh procedure.
+//!
+//! - `--metrics-check PROM JSONL`: self-validation of a `--metrics`
+//!   export pair — the Prometheus exposition must parse cleanly (typed,
+//!   duplicate-free, histogram-consistent, render round-trip) and the
+//!   JSONL snapshot stream must be schema-valid with monotone counters
+//!   whose final state agrees with the exposition. No baseline: the
+//!   artifacts validate themselves.
 
+use benchharness::metricscheck::check_metrics;
 use benchharness::perf::{diff_perf, perf_notes, PerfSummary};
 use benchharness::results::{diff, wall_notes, SuiteResult};
 use std::path::PathBuf;
@@ -28,6 +36,7 @@ use std::process::exit;
 enum Mode {
     Check,
     Perf,
+    Metrics,
 }
 
 struct Args {
@@ -47,10 +56,14 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--check" => mode = Some(Mode::Check),
             "--perf" => mode = Some(Mode::Perf),
+            "--metrics-check" => mode = Some(Mode::Metrics),
             "--list" => {
                 println!("bench-diff gates:");
-                println!("  --check  correctness drift vs committed suite JSON (tol 0.05)");
-                println!("  --perf   one-sided throughput floor vs committed perf JSON (tol 0.25)");
+                println!("  --check          correctness drift vs committed suite JSON (tol 0.05)");
+                println!(
+                    "  --perf           one-sided throughput floor vs committed perf JSON (tol 0.25)"
+                );
+                println!("  --metrics-check  self-validate a --metrics export (PROM + JSONL pair)");
                 println!("\nbaselines compared here are produced by the suite binaries; their");
                 println!("rows are backend-independent (sync and actor are byte-identical).");
                 benchharness::print_backends();
@@ -86,9 +99,13 @@ fn parse_args() -> Result<Args, String> {
         // override so a known-loaded CI box can widen the gate without
         // editing ci.sh (EXPERIMENTS.md documents the policy).
         tol: match (tol, mode) {
+            (Some(_), Mode::Metrics) => {
+                return Err("--metrics-check takes no --tol (the checks are exact)".into());
+            }
             (Some(t), _) => t,
             (None, Mode::Check) => 0.05,
             (None, Mode::Perf) => perf_gate_tol_env()?.unwrap_or(0.25),
+            (None, Mode::Metrics) => 0.0,
         },
     })
 }
@@ -180,6 +197,38 @@ fn run_perf(args: &Args) {
     exit(1);
 }
 
+fn run_metrics(args: &Args) {
+    // `baseline` holds the exposition path, `fresh` the JSONL stream.
+    let load = |path: &PathBuf| match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: read {}: {e}", path.display());
+            exit(2);
+        }
+    };
+    let prom = load(&args.baseline);
+    let jsonl = load(&args.fresh);
+    let (series, snapshots, failures) = check_metrics(&prom, &jsonl);
+    if failures.is_empty() {
+        println!(
+            "bench-diff: {} is a valid metrics export ({series} series, \
+             {snapshots} snapshots in {})",
+            args.baseline.display(),
+            args.fresh.display()
+        );
+        return;
+    }
+    eprintln!(
+        "bench-diff: metrics export {} / {} is INVALID:",
+        args.baseline.display(),
+        args.fresh.display()
+    );
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    exit(1);
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -187,7 +236,8 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench-diff --check BASELINE.json FRESH.json [--tol 0.05]\n\
-                        bench-diff --perf  BASELINE.json FRESH.json [--tol 0.25]"
+                        bench-diff --perf  BASELINE.json FRESH.json [--tol 0.25]\n\
+                        bench-diff --metrics-check METRICS.prom METRICS.prom.jsonl"
             );
             exit(2);
         }
@@ -195,5 +245,6 @@ fn main() {
     match args.mode {
         Mode::Check => run_check(&args),
         Mode::Perf => run_perf(&args),
+        Mode::Metrics => run_metrics(&args),
     }
 }

@@ -82,13 +82,21 @@ fn main() {
         "id", "rounds", "vertex_rounds", "best_wall_ms", "vr/sec"
     );
     for e in &entries {
+        let mut obs = String::new();
+        if let Some(r) = e.fast_hit_rate {
+            obs.push_str(&format!("  fast_hit={:.1}%", r * 100.0));
+        }
+        if let Some(r) = e.barrier_wait_frac {
+            obs.push_str(&format!("  barrier_wait={:.1}%", r * 100.0));
+        }
         println!(
-            "{:<24} {:>7} {:>14} {:>14.3} {:>12}",
+            "{:<24} {:>7} {:>14} {:>14.3} {:>12}{}",
             e.id,
             e.rounds,
             e.vertex_rounds,
             e.best_wall_ns as f64 / 1e6,
-            fmt_throughput(e.vr_per_sec)
+            fmt_throughput(e.vr_per_sec),
+            obs
         );
     }
 

@@ -49,6 +49,7 @@ struct Args {
     out: PathBuf,
     parallel: bool,
     backend: Backend,
+    metrics: Option<PathBuf>,
     list: bool,
     congest_audit: bool,
 }
@@ -62,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("target/trace"),
         parallel: false,
         backend: Backend::default(),
+        metrics: None,
         list: false,
         congest_audit: false,
     };
@@ -76,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--parallel" => args.parallel = true,
             "--backend" => args.backend = Backend::parse(&val("--backend")?)?,
+            "--metrics" => args.metrics = Some(PathBuf::from(val("--metrics")?)),
             "--list" => args.list = true,
             "--congest-audit" => args.congest_audit = true,
             other => return Err(format!("unknown argument `{other}`")),
@@ -91,7 +94,8 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: trace [--algo NAME] [--n N] [--a A] [--seed S] [--out DIR] \
-                 [--parallel] [--backend sync|actor[:K]] [--list] [--congest-audit]"
+                 [--parallel] [--backend sync|actor[:K]] [--metrics PATH] [--list] \
+                 [--congest-audit]"
             );
             exit(2);
         }
@@ -149,12 +153,27 @@ fn main() {
 fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
     let gg = forest_workload(args.n, args.a, args.seed);
     let trial = Trial::identity(args.seed);
-    let out = spec.exec(
-        &ExecOptions::new("trace", &gg, &trial)
-            .parallel(args.parallel)
-            .backend(args.backend)
-            .observe(ObserveMode::Traced),
-    );
+    // `--metrics PATH`: attach an obs registry sized for the backend's
+    // shard count; its counters are merged into the Chrome export and
+    // written as a Prometheus exposition + JSONL snapshot at the end.
+    let reg = args.metrics.as_ref().map(|_| {
+        let shards = match args.backend {
+            Backend::Sync => 1,
+            Backend::Actor { shards: 0 } => std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1),
+            Backend::Actor { shards } => shards,
+        };
+        simlocal::obs::Registry::new(shards)
+    });
+    let mut opts = ExecOptions::new("trace", &gg, &trial)
+        .parallel(args.parallel)
+        .backend(args.backend)
+        .observe(ObserveMode::Traced);
+    if let Some(r) = &reg {
+        opts = opts.metrics(r);
+    }
+    let out = spec.exec(&opts);
     let (row, stats) = (out.row.unwrap(), out.stats);
     let breakdown = out.breakdown.unwrap();
     let (log, profile) = out.trace.unwrap();
@@ -255,15 +274,72 @@ fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
         Ok(()) => println!("\nwrote {}", jsonl_path.display()),
         Err(e) => failures.push(format!("write {}: {e}", jsonl_path.display())),
     }
+    // Obs counters (when attached) become Chrome counter events at the
+    // trace tail, so Perfetto shows the run totals next to the slices.
+    let counters = reg
+        .as_ref()
+        .map(|r| r.chrome_counters())
+        .unwrap_or_default();
     match fs::File::create(&chrome_path)
         .map_err(|e| e.to_string())
-        .and_then(|f| log.write_chrome_trace(io_buf(f)).map_err(|e| e.to_string()))
-    {
+        .and_then(|f| {
+            log.write_chrome_trace_with_counters(io_buf(f), &counters)
+                .map_err(|e| e.to_string())
+        }) {
         Ok(()) => println!("wrote {}", chrome_path.display()),
         Err(e) => failures.push(format!("write {}: {e}", chrome_path.display())),
     }
     failures.extend(validate_jsonl(&jsonl_path, &stats, n));
     failures.extend(validate_chrome(&chrome_path, &stats));
+    if let (Some(r), Some(path)) = (&reg, &args.metrics) {
+        match fs::write(path, r.prometheus_text()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => failures.push(format!("write {}: {e}", path.display())),
+        }
+        let snap = benchharness::spec::metrics_jsonl_path(path);
+        match fs::File::create(&snap)
+            .map_err(|e| e.to_string())
+            .and_then(|f| {
+                let mut w = io_buf(f);
+                r.write_jsonl_snapshot(&mut w, "trace")
+                    .map_err(|e| e.to_string())
+            }) {
+            Ok(()) => println!("wrote {}", snap.display()),
+            Err(e) => failures.push(format!("write {}: {e}", snap.display())),
+        }
+        use simlocal::obs::Metric;
+        println!(
+            "#obs trials={} engine_rounds={} actor_rounds={} steps={} msg_bits={} \
+             barrier_wait_ns={} transport_bytes_out={} prom={} jsonl={}",
+            r.total(Metric::HarnessTrials),
+            r.total(Metric::EngineRounds),
+            r.total(Metric::ActorRounds),
+            r.total(Metric::EngineSteps) + r.total(Metric::ActorSteps),
+            r.total(Metric::EngineMsgBits) + r.total(Metric::ActorMsgBits),
+            r.total(Metric::ActorBarrierWaitNs),
+            r.total(Metric::TransportBytesOut),
+            path.display(),
+            snap.display(),
+        );
+        // The engine's own counters must agree with its `EngineStats` —
+        // the same reconciliation the obs_identity proptests pin.
+        let (obs_steps, obs_bits) = match args.backend {
+            Backend::Sync => (r.total(Metric::EngineSteps), r.total(Metric::EngineMsgBits)),
+            Backend::Actor { .. } => (r.total(Metric::ActorSteps), r.total(Metric::ActorMsgBits)),
+        };
+        if obs_steps != stats.steps {
+            failures.push(format!(
+                "obs counted {obs_steps} steps but the engine reported {}",
+                stats.steps
+            ));
+        }
+        if obs_bits != stats.msg_bits {
+            failures.push(format!(
+                "obs counted {obs_bits} msg bits but the engine reported {}",
+                stats.msg_bits
+            ));
+        }
+    }
     failures
 }
 

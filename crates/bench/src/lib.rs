@@ -29,6 +29,7 @@
 //! regenerated from the [`suites`] tables.
 
 pub mod bounds;
+pub mod metricscheck;
 pub mod perf;
 pub mod registry;
 pub mod results;
@@ -345,6 +346,10 @@ pub struct Cli {
     pub backend: registry::Backend,
     /// Where to write the JSON results, if requested.
     pub json: Option<std::path::PathBuf>,
+    /// Where to write the Prometheus metrics exposition, if requested
+    /// (a JSONL snapshot stream goes to the same path + `.jsonl`).
+    /// Enables the [`simlocal::obs`] registry for every run.
+    pub metrics: Option<std::path::PathBuf>,
     /// Print the suite's registered experiments and exit 0.
     pub list: bool,
     /// Experiment ids to run (empty = all).
@@ -360,6 +365,7 @@ impl Cli {
             id_modes: vec![IdMode::Identity],
             backend: registry::Backend::default(),
             json: None,
+            metrics: None,
             list: false,
             filters: Vec::new(),
         };
@@ -390,10 +396,15 @@ impl Cli {
                     let v = it.next().ok_or("--json requires a path")?;
                     cli.json = Some(v.into());
                 }
+                "--metrics" => {
+                    let v = it.next().ok_or("--metrics requires a path")?;
+                    cli.metrics = Some(v.into());
+                }
                 other if other.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --quick, --seeds N, \
-                         --ids LIST, --backend sync|actor[:K], --json PATH, or --list)"
+                         --ids LIST, --backend sync|actor[:K], --json PATH, \
+                         --metrics PATH, or --list)"
                     ));
                 }
                 _ => cli.filters.push(arg),
@@ -410,7 +421,8 @@ impl Cli {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--quick] [--seeds N] [--ids identity,random,adversarial] \
-                     [--backend sync|actor[:K]] [--json PATH] [--list] [EXPERIMENT_ID...]"
+                     [--backend sync|actor[:K]] [--json PATH] [--metrics PATH] [--list] \
+                     [EXPERIMENT_ID...]"
                 );
                 std::process::exit(2);
             }
@@ -511,6 +523,7 @@ mod tests {
             id_modes: vec![IdMode::Identity],
             backend: registry::Backend::Sync,
             json: None,
+            metrics: None,
             list: false,
             filters: vec!["T1.1".into()],
         };

@@ -29,8 +29,9 @@ use std::path::Path;
 
 /// Version of the JSON schema written by [`PerfSummary::to_json`]. Bump on
 /// any incompatible change; `bench-diff --perf` refuses mismatched
-/// versions.
-pub const PERF_SCHEMA_VERSION: u64 = 1;
+/// versions. Version 2 added the optional obs-snapshot ratios
+/// (`fast_hit_rate`, `barrier_wait_frac`) to entries.
+pub const PERF_SCHEMA_VERSION: u64 = 2;
 
 /// Vertex count of the standard perf workloads (ROADMAP item 2's n = 2²⁰).
 pub const PERF_N: usize = 1 << 20;
@@ -56,6 +57,15 @@ pub struct PerfEntry {
     pub best_wall_ns: u64,
     /// `vertex_rounds / best_wall` in rounds/second — the gated number.
     pub vr_per_sec: f64,
+    /// Fraction of rounds the sync engine took its in-place fast path
+    /// (`simlocal_engine_fast_rounds_total / simlocal_engine_rounds_total`),
+    /// measured by one extra obs-enabled run after the timed reps. Context
+    /// only — never gated. `None` for entries where it does not apply.
+    pub fast_hit_rate: Option<f64>,
+    /// Fraction of actor-shard time spent blocked on the round barrier
+    /// (`Σ barrier_wait_ns / (Σ barrier_wait_ns + Σ compute_ns)` over
+    /// shards), from the same extra obs-enabled run. Context only.
+    pub barrier_wait_frac: Option<f64>,
 }
 
 /// A whole perf run: schema version, free-form context notes (hardware,
@@ -92,16 +102,24 @@ impl PerfSummary {
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let mut extras = String::new();
+            if let Some(r) = e.fast_hit_rate {
+                let _ = write!(extras, ", \"fast_hit_rate\": {}", fnum(r));
+            }
+            if let Some(r) = e.barrier_wait_frac {
+                let _ = write!(extras, ", \"barrier_wait_frac\": {}", fnum(r));
+            }
             let _ = writeln!(
                 out,
                 "    {{\"id\": {}, \"n\": {}, \"rounds\": {}, \"vertex_rounds\": {}, \
-                 \"best_wall_ns\": {}, \"vr_per_sec\": {}}}{}",
+                 \"best_wall_ns\": {}, \"vr_per_sec\": {}{}}}{}",
                 quote(&e.id),
                 e.n,
                 e.rounds,
                 e.vertex_rounds,
                 e.best_wall_ns,
                 fnum(e.vr_per_sec),
+                extras,
                 comma
             );
         }
@@ -129,6 +147,9 @@ impl PerfSummary {
             .as_array()?
             .iter()
             .map(|e| {
+                // Snapshot ratios are optional: absent on entries they do
+                // not apply to, and on documents written before they ran.
+                let opt_f64 = |key: &str| e.get(key).ok().map(|v| v.as_f64()).transpose();
                 Ok(PerfEntry {
                     id: e.get("id")?.as_str()?.to_string(),
                     n: e.get_u64("n")? as usize,
@@ -136,6 +157,8 @@ impl PerfSummary {
                     vertex_rounds: e.get_u64("vertex_rounds")?,
                     best_wall_ns: e.get_u64("best_wall_ns")?,
                     vr_per_sec: e.get("vr_per_sec")?.as_f64()?,
+                    fast_hit_rate: opt_f64("fast_hit_rate")?,
+                    barrier_wait_frac: opt_f64("barrier_wait_frac")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -265,6 +288,8 @@ pub fn measure(id: &str, n: usize, reps: usize, mut run: impl FnMut() -> EngineS
         vertex_rounds: first.steps,
         best_wall_ns,
         vr_per_sec: first.steps as f64 / (best_wall_ns.max(1) as f64 / 1e9),
+        fast_hit_rate: None,
+        barrier_wait_frac: None,
     }
 }
 
@@ -333,7 +358,7 @@ impl Protocol for FloodDecay {
 pub fn run_suite(n: usize, reps: usize) -> Vec<PerfEntry> {
     let g = gen::cycle(n);
     let ids = IdAssignment::identity(n);
-    vec![
+    let mut entries = vec![
         measure("decay_seq_n20", n, reps, || {
             Runner::new(&PureDecay, &g, &ids).run().unwrap().stats
         }),
@@ -358,7 +383,38 @@ pub fn run_suite(n: usize, reps: usize) -> Vec<PerfEntry> {
                 .unwrap()
                 .stats
         }),
-    ]
+    ];
+
+    // One extra, *untimed* obs-enabled run per instrumented entry. The
+    // timed reps above stay metrics-free so the gated wall numbers carry
+    // zero instrumentation overhead; the ratios ride along in the summary
+    // as context (diff_perf never compares them).
+    {
+        use simlocal::obs::{Metric, Registry};
+        let reg = Registry::new(1);
+        Runner::new(&PureDecay, &g, &ids)
+            .obs(&reg)
+            .run()
+            .expect("decay workload runs");
+        let rounds = reg.total(Metric::EngineRounds);
+        if let Some(e) = entries.iter_mut().find(|e| e.id == "decay_seq_n20") {
+            e.fast_hit_rate =
+                (rounds > 0).then(|| reg.total(Metric::EngineFastRounds) as f64 / rounds as f64);
+        }
+
+        let reg = Registry::new(4);
+        ActorRunner::new(&PureDecay, &g, &ids)
+            .shards(4)
+            .obs(&reg)
+            .run()
+            .expect("decay workload runs on the actor backend");
+        let wait = reg.total(Metric::ActorBarrierWaitNs);
+        let busy = wait + reg.total(Metric::ActorComputeNs);
+        if let Some(e) = entries.iter_mut().find(|e| e.id == "decay_actor_n20") {
+            e.barrier_wait_frac = (busy > 0).then(|| wait as f64 / busy as f64);
+        }
+    }
+    entries
 }
 
 /// Ids measured by [`run_suite`], for `--list` output.
@@ -444,6 +500,8 @@ mod tests {
                     vertex_rounds: 2048,
                     best_wall_ns: 1000,
                     vr_per_sec: 2.048e9,
+                    fast_hit_rate: Some(0.9375),
+                    barrier_wait_frac: None,
                 },
                 PerfEntry {
                     id: "b".into(),
@@ -452,6 +510,8 @@ mod tests {
                     vertex_rounds: 2048,
                     best_wall_ns: 2000,
                     vr_per_sec: 1.024e9,
+                    fast_hit_rate: None,
+                    barrier_wait_frac: Some(0.25),
                 },
             ],
         )
@@ -468,7 +528,20 @@ mod tests {
             assert_eq!(a.id, b.id);
             assert_eq!(a.vertex_rounds, b.vertex_rounds);
             assert!((a.vr_per_sec - b.vr_per_sec).abs() / b.vr_per_sec < 1e-6);
+            assert_eq!(a.fast_hit_rate, b.fast_hit_rate);
+            assert_eq!(a.barrier_wait_frac, b.barrier_wait_frac);
         }
+    }
+
+    #[test]
+    fn perf_gate_ignores_snapshot_ratios() {
+        // The obs ratios are context, not gated work: a fresh run whose
+        // ratios differ (or are absent) passes against the baseline.
+        let base = sample();
+        let mut fresh = sample();
+        fresh.entries[0].fast_hit_rate = Some(0.5);
+        fresh.entries[1].barrier_wait_frac = None;
+        assert!(diff_perf(&base, &fresh, 0.25).is_empty());
     }
 
     #[test]

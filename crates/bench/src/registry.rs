@@ -27,6 +27,7 @@
 use crate::{cfg, harness_observer, Row, Trial};
 use algos::{baselines, coloring, edge_coloring, forests, matching, mis, pipeline, rand_coloring};
 use graphcore::{gen::GenGraph, verify, Graph, IdAssignment, VertexId};
+use simlocal::obs::Metric as ObsMetric;
 use simlocal::{
     ActorRunner, EngineStats, EngineTuning, NoObserver, Observer, PhaseBreakdown, Profile,
     Protocol, Runner, SimOutcome, TraceLog,
@@ -303,6 +304,11 @@ pub struct ExecOptions<'a> {
     pub tuning: EngineTuning,
     /// Execution backend (sync engine or actor shards).
     pub backend: Backend,
+    /// Metrics registry handed to the runner (engine/actor/transport
+    /// series) and fed the harness-level trial timings. `None` (the
+    /// default) keeps every run on the zero-cost path. For the actor
+    /// backend the registry must be sized for the resolved shard count.
+    pub metrics: Option<&'a simlocal::obs::Registry>,
 }
 
 impl<'a> ExecOptions<'a> {
@@ -317,6 +323,7 @@ impl<'a> ExecOptions<'a> {
             observe: ObserveMode::default(),
             tuning: EngineTuning::default(),
             backend: Backend::default(),
+            metrics: None,
         }
     }
 
@@ -347,6 +354,12 @@ impl<'a> ExecOptions<'a> {
     /// Selects the execution backend.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attaches a metrics registry (see [`simlocal::obs`]).
+    pub fn metrics(mut self, registry: &'a simlocal::obs::Registry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 }
@@ -559,13 +572,22 @@ where
         obs: &mut Ob,
     ) -> SimOutcome<P::Output> {
         match o.backend {
-            Backend::Sync => Runner::new(p, &o.gg.graph, ids)
-                .config(Self::run_cfg(o))
-                .run_with(obs),
-            Backend::Actor { shards } => ActorRunner::new(p, &o.gg.graph, ids)
-                .shards(shards)
-                .config(Self::run_cfg(o))
-                .run_with(obs),
+            Backend::Sync => {
+                let mut r = Runner::new(p, &o.gg.graph, ids).config(Self::run_cfg(o));
+                if let Some(m) = o.metrics {
+                    r = r.obs(m);
+                }
+                r.run_with(obs)
+            }
+            Backend::Actor { shards } => {
+                let mut r = ActorRunner::new(p, &o.gg.graph, ids)
+                    .shards(shards)
+                    .config(Self::run_cfg(o));
+                if let Some(m) = o.metrics {
+                    r = r.obs(m);
+                }
+                r.run_with(obs)
+            }
         }
         .expect("protocol terminates")
     }
@@ -585,11 +607,25 @@ where
             trial,
             ..
         } = *o;
+        // Harness-level trial timings (queue = setup before the engine
+        // starts, run = engine wall, verify = extract + judge). Global
+        // series, so any shard handle works.
+        let mob = o.metrics.map(|r| r.handle(0));
+        let queue_t0 = mob.is_some().then(std::time::Instant::now);
         let p = (self.build)(gg, params);
         let ids = trial.ids(gg.graph.n());
         let cap = (self.cap)(&p, gg, &ids);
         let mut obs = simlocal::Tee(harness_observer(&p), mk_extra(&p));
+        if let (Some(m), Some(t0)) = (mob, queue_t0) {
+            m.add_elapsed(ObsMetric::HarnessQueueNs, t0);
+        }
+        let run_t0 = mob.is_some().then(std::time::Instant::now);
         let out = Self::run_backend(&p, &ids, o, &mut obs);
+        if let (Some(m), Some(t0)) = (mob, run_t0) {
+            m.add_elapsed(ObsMetric::HarnessRunNs, t0);
+            m.add(ObsMetric::HarnessTrials, 1);
+        }
+        let verify_t0 = mob.is_some().then(std::time::Instant::now);
         let (verdict, metrics) = match (self.extract)(&p, &gg.graph, &out) {
             Ok(Extracted { solution, commit }) => {
                 let verdict = self.problem.verify_output(&gg.graph, &solution, cap);
@@ -605,6 +641,9 @@ where
                 out.metrics.clone(),
             ),
         };
+        if let (Some(m), Some(t0)) = (mob, verify_t0) {
+            m.add_elapsed(ObsMetric::HarnessVerifyNs, t0);
+        }
         let row = Row::from_metrics(
             exp,
             &(self.label)(self.name, params),

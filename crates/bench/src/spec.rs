@@ -382,8 +382,20 @@ fn print_list(suite: &str, specs: &[ExperimentSpec]) {
     crate::perf::print_bench_index();
 }
 
+/// The metrics-JSONL sibling of a `--metrics PATH`: `PATH.jsonl`.
+pub fn metrics_jsonl_path(prom: &std::path::Path) -> std::path::PathBuf {
+    let mut os = prom.as_os_str().to_owned();
+    os.push(".jsonl");
+    std::path::PathBuf::from(os)
+}
+
 /// Produces all rows for one `Rows`-kind spec, honoring per-run filters.
-fn rows_for(cli: &Cli, workloads: &[WorkloadSpec], runs: &[RunSpec]) -> Vec<Row> {
+fn rows_for(
+    cli: &Cli,
+    metrics: Option<&simlocal::obs::Registry>,
+    workloads: &[WorkloadSpec],
+    runs: &[RunSpec],
+) -> Vec<Row> {
     let selected: Vec<&RunSpec> = runs.iter().filter(|r| cli.wants(r.exp)).collect();
     if selected.is_empty() || runs.is_empty() {
         return Vec::new();
@@ -408,9 +420,12 @@ fn rows_for(cli: &Cli, workloads: &[WorkloadSpec], runs: &[RunSpec]) -> Vec<Row>
         for gg in graphs.iter().filter(|g| g.graph.n() <= run.max_n) {
             for t in sweep.trials() {
                 for params in run.params.expand(gg.graph.n()) {
-                    let opts = registry::ExecOptions::new(run.exp, gg, t)
+                    let mut opts = registry::ExecOptions::new(run.exp, gg, t)
                         .params(params)
                         .backend(cli.backend);
+                    if let Some(m) = metrics {
+                        opts = opts.metrics(m);
+                    }
                     rows.push(algo.exec(&opts).into_row());
                 }
             }
@@ -428,6 +443,25 @@ pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> Suit
         print_list(suite, specs);
         std::process::exit(0);
     }
+    // `--metrics PATH`: one registry spans the whole invocation, sized
+    // for the backend's shard count (sync runs use only the global
+    // slots). A JSONL snapshot is appended after every experiment (tag =
+    // experiment id) and the final Prometheus exposition goes to PATH.
+    let metrics_reg = cli.metrics.as_ref().map(|_| {
+        let shards = match cli.backend {
+            registry::Backend::Sync => 1,
+            registry::Backend::Actor { shards: 0 } => std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1),
+            registry::Backend::Actor { shards } => shards,
+        };
+        simlocal::obs::Registry::new(shards)
+    });
+    let mut snapshots = cli.metrics.as_ref().map(|p| {
+        let path = metrics_jsonl_path(p);
+        std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("create metrics JSONL {}: {e}", path.display()))
+    });
     let mut all_rows: Vec<Row> = Vec::new();
     let mut inline: Vec<String> = Vec::new();
     let mut active_bounds: Vec<Bound> = vec![Bound::AllValid, Bound::PaletteWithinCap];
@@ -439,9 +473,13 @@ pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> Suit
                 bounds,
                 post,
             } => {
-                let rows = rows_for(cli, workloads, runs);
+                let rows = rows_for(cli, metrics_reg.as_ref(), workloads, runs);
                 if rows.is_empty() {
                     continue;
+                }
+                if let (Some(reg), Some(f)) = (&metrics_reg, &mut snapshots) {
+                    reg.write_jsonl_snapshot(f, spec.id)
+                        .expect("write metrics snapshot");
                 }
                 print_rows(spec.title, &rows);
                 if let Some(post) = post {
@@ -492,6 +530,28 @@ pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> Suit
     if let Some(path) = &cli.json {
         result.write(path).expect("write results JSON");
         println!("results written to {}", path.display());
+    }
+    if let (Some(reg), Some(path)) = (&metrics_reg, &cli.metrics) {
+        use simlocal::obs::Metric;
+        if let Some(f) = &mut snapshots {
+            reg.write_jsonl_snapshot(f, "final")
+                .expect("write final metrics snapshot");
+        }
+        std::fs::write(path, reg.prometheus_text())
+            .unwrap_or_else(|e| panic!("write metrics exposition {}: {e}", path.display()));
+        println!(
+            "#obs trials={} engine_rounds={} actor_rounds={} steps={} msg_bits={} \
+             barrier_wait_ns={} transport_bytes_out={} prom={} jsonl={}",
+            reg.total(Metric::HarnessTrials),
+            reg.total(Metric::EngineRounds),
+            reg.total(Metric::ActorRounds),
+            reg.total(Metric::EngineSteps) + reg.total(Metric::ActorSteps),
+            reg.total(Metric::EngineMsgBits) + reg.total(Metric::ActorMsgBits),
+            reg.total(Metric::ActorBarrierWaitNs),
+            reg.total(Metric::TransportBytesOut),
+            path.display(),
+            metrics_jsonl_path(path).display(),
+        );
     }
     if !inline.is_empty() {
         eprintln!("\n[{suite}] INLINE BOUND VIOLATIONS:");

@@ -35,17 +35,25 @@
 //! extra round-0 batch — matching the sync engine, which charges initial
 //! broadcasts zero wire bits.
 //!
-//! ## Failure semantics
+//! ## Failure semantics and the stall watchdog
 //!
 //! Shards are fail-stop. A shard that panics (or, over TCP, whose socket
 //! drops) before retiring cannot satisfy the barrier; peers detect this
 //! as a transport `Lost` event for a still-live shard — or, where link
-//! loss is invisible, as a stalled `recv` — and panic rather than hang
-//! (see [`crate::transport::RECV_STALL_TIMEOUT`]). Round-cap exhaustion
-//! is not a failure of this kind: every live shard hits the cap at the
-//! same round (they advance in lockstep), stops without broadcasting, and
-//! reports its local still-active count; the merge sums them into the
-//! same [`EngineError::RoundLimitExceeded`] the sync engine returns.
+//! loss is invisible, as a stalled `recv` after the watchdog timeout
+//! ([`crate::transport::RECV_STALL_TIMEOUT`], tightened per run with
+//! [`ActorRunner::stall_timeout`]). Either way the drain returns a
+//! [`BarrierStall`] instead of hanging, the shard exits with its partial
+//! state, and the merge turns the per-shard snapshots (last completed
+//! round, barrier state, link status, crash payloads) into one
+//! [`EngineError::Stalled`] naming the guilty shard. A shard thread that
+//! never returns at all (a livelocked `step`) is beyond an in-process
+//! watchdog's reach — fail-stop plus slow is the covered class.
+//! Round-cap exhaustion is not a failure of this kind: every live shard
+//! hits the cap at the same round (they advance in lockstep), stops
+//! without broadcasting, and reports its local still-active count; the
+//! merge sums them into the same [`EngineError::RoundLimitExceeded`] the
+//! sync engine returns.
 //!
 //! ## Observers
 //!
@@ -60,12 +68,52 @@
 
 use crate::engine::{EngineError, EngineStats, RunConfig, SimOutcome};
 use crate::metrics::RoundMetrics;
+use crate::obs::{Metric, Registry, ShardObs};
 use crate::observer::{NoObserver, Observer, RoundRecord};
 use crate::protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};
-use crate::transport::{channel_mesh, tcp_loopback_mesh, Batch, Recv, Transport, Update};
+use crate::transport::{
+    channel_mesh, tcp_loopback_mesh, Batch, Recv, Transport, TransportStats, Update,
+};
 use crate::wire::{WireCodec, WireSize};
 use graphcore::{Graph, IdAssignment, VertexId};
 use std::time::{Duration, Instant};
+
+/// Why a shard's barrier drain stopped making progress — the raw
+/// material of the watchdog diagnostic in [`EngineError::Stalled`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BarrierStall {
+    /// Round being drained when progress stopped.
+    pub round: u32,
+    /// The transport-level event behind the stall.
+    pub kind: StallKind,
+    /// Live peers whose round-`round` batch had not arrived (peers
+    /// already buffered one round ahead are excluded — they are not
+    /// the ones holding the barrier).
+    pub missing: Vec<usize>,
+}
+
+/// The transport-level event behind a [`BarrierStall`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// Nothing arrived within the stall timeout — a peer is wedged or
+    /// slow past the watchdog's patience.
+    Timeout,
+    /// This live peer's link dropped before it retired (a crashed
+    /// shard, detected by link loss rather than silence).
+    PeerLost(usize),
+    /// Every incoming link closed while batches were still owed.
+    Closed,
+}
+
+impl std::fmt::Display for StallKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallKind::Timeout => write!(f, "recv timed out"),
+            StallKind::PeerLost(p) => write!(f, "link to shard {p} lost before it retired"),
+            StallKind::Closed => write!(f, "every incoming link closed"),
+        }
+    }
+}
 
 /// Releases round `r + 1` only when every live shard's round-`r` batch
 /// has been received and applied, and tracks which shards have retired.
@@ -77,6 +125,9 @@ use std::time::{Duration, Instant};
 pub struct RoundBarrier<M> {
     live: Vec<bool>,
     pending: Vec<Option<Batch<M>>>,
+    /// Which peers delivered their batch in the current drain — what
+    /// lets a stall report name exactly who is being waited on.
+    seen: Vec<bool>,
 }
 
 impl<M> RoundBarrier<M> {
@@ -88,6 +139,7 @@ impl<M> RoundBarrier<M> {
         RoundBarrier {
             live,
             pending: (0..shards).map(|_| None).collect(),
+            seen: vec![false; shards],
         }
     }
 
@@ -99,17 +151,26 @@ impl<M> RoundBarrier<M> {
     /// Receives until every live shard's round-`round` batch has been
     /// handed to `apply`, buffering one-round-ahead arrivals and marking
     /// retiring shards dead for subsequent rounds.
+    ///
+    /// Genuine failures — a recv timeout, a live peer's link dropping
+    /// before it retired, every link closing with batches still owed —
+    /// return a [`BarrierStall`] so the engine's watchdog can abort with
+    /// a diagnostic instead of hanging. Protocol *violations* (a batch
+    /// from a retired shard, a peer running two rounds ahead) still
+    /// panic: they are bugs, not runtime conditions.
     pub fn drain<T: Transport<M>>(
         &mut self,
         transport: &mut T,
         round: u32,
         mut apply: impl FnMut(Batch<M>),
-    ) {
+    ) -> Result<(), BarrierStall> {
         let mut need = self.live_peers();
+        self.seen.iter_mut().for_each(|s| *s = false);
         for slot in &mut self.pending {
             if slot.as_ref().is_some_and(|b| b.round == round) {
                 let b = slot.take().expect("checked above");
                 need -= 1;
+                self.seen[b.from] = true;
                 if b.retiring {
                     self.live[b.from] = false;
                 }
@@ -126,6 +187,7 @@ impl<M> RoundBarrier<M> {
                     );
                     if b.round == round {
                         need -= 1;
+                        self.seen[b.from] = true;
                         if b.retiring {
                             self.live[b.from] = false;
                         }
@@ -146,14 +208,28 @@ impl<M> RoundBarrier<M> {
                 // round arrived before that batch, so the shard finished
                 // its last round and left while we were still draining
                 // this one. A live shard vanishing otherwise is a crash.
-                Recv::Lost(p) => assert!(
-                    !self.live[p] || self.pending[p].as_ref().is_some_and(|b| b.retiring),
-                    "shard {p} disconnected before retiring (draining round {round})"
-                ),
-                Recv::Closed => {
-                    panic!("every incoming link closed while awaiting round {round}")
+                Recv::Lost(p) => {
+                    let clean =
+                        !self.live[p] || self.pending[p].as_ref().is_some_and(|b| b.retiring);
+                    if !clean {
+                        return Err(self.stall(round, StallKind::PeerLost(p)));
+                    }
                 }
+                Recv::Closed => return Err(self.stall(round, StallKind::Closed)),
+                Recv::Stalled => return Err(self.stall(round, StallKind::Timeout)),
             }
+        }
+        Ok(())
+    }
+
+    fn stall(&self, round: u32, kind: StallKind) -> BarrierStall {
+        let missing = (0..self.live.len())
+            .filter(|&p| self.live[p] && !self.seen[p] && self.pending[p].is_none())
+            .collect();
+        BarrierStall {
+            round,
+            kind,
+            missing,
         }
     }
 }
@@ -210,10 +286,28 @@ struct ShardResult<P: Protocol> {
     /// `Some(count)` when the shard hit the round cap with `count`
     /// vertices still active.
     still_active: Option<usize>,
+    /// `Some` when the shard's barrier drain failed — the watchdog
+    /// snapshot the merge folds into [`EngineError::Stalled`].
+    stalled: Option<BarrierStall>,
+    /// Last round this shard fully completed (broadcast and drained).
+    last_round: u32,
     /// Step events in `(round, vertex)` order (observed runs only).
     events: Vec<StepEvent>,
     /// Per-round `(msg_bits, max_msg_bits, wall)` (observed runs only).
     round_stats: Vec<(u64, u64, Duration)>,
+}
+
+/// Mirrors a transport's cumulative I/O tallies into the registry's
+/// per-shard slots (absolute stores: the tallies are already sums).
+fn publish_transport(o: &ShardObs<'_>, s: TransportStats) {
+    o.set(Metric::TransportBatchesOut, s.batches_out);
+    o.set(Metric::TransportBatchesIn, s.batches_in);
+    o.set(Metric::TransportEntriesOut, s.entries_out);
+    o.set(Metric::TransportEntriesIn, s.entries_in);
+    o.set(Metric::TransportBytesOut, s.bytes_out);
+    o.set(Metric::TransportBytesIn, s.bytes_in);
+    o.set(Metric::TransportFramesIn, s.frames_in);
+    o.set(Metric::TransportInboxDepth, s.inbox_depth);
 }
 
 /// The per-shard worker: owns `lo..hi`, mirrors the rest.
@@ -228,7 +322,9 @@ fn shard_main<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
     lo: VertexId,
     hi: VertexId,
     mut transport: T,
+    obs: Option<&Registry>,
 ) -> ShardResult<P> {
+    let ob = obs.map(|r| r.handle(sid));
     let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
     // Derive every vertex's initial message locally (init is pure), keep
     // private states only for owned vertices.
@@ -244,6 +340,8 @@ fn shard_main<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
         msg_bits: 0,
         max_msg_bits: 0,
         still_active: None,
+        stalled: None,
+        last_round: 0,
         events: Vec::new(),
         round_stats: Vec::new(),
     };
@@ -258,6 +356,10 @@ fn shard_main<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
             retiring: true,
             entries: Vec::new(),
         });
+        if let Some(o) = &ob {
+            o.add(Metric::ActorRetire, 1);
+            publish_transport(o, transport.stats());
+        }
         transport.linger();
         return result;
     }
@@ -273,6 +375,8 @@ fn shard_main<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
             return result;
         }
         let round_t0 = Ob::ENABLED.then(Instant::now);
+        let compute_t0 = ob.is_some().then(Instant::now);
+        let stepped = active.len() as u64;
         let mut round_bits = 0u64;
         let mut round_max = 0u64;
         let mut entries: Vec<Update<P::Msg>> = Vec::with_capacity(active.len());
@@ -349,16 +453,31 @@ fn shard_main<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
             retiring,
             entries,
         });
+        if let (Some(o), Some(t0)) = (&ob, compute_t0) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            o.add(Metric::ActorComputeNs, ns);
+            o.observe(Metric::ActorComputeHistNs, ns);
+            o.add(Metric::ActorSteps, stepped);
+            o.add(Metric::ActorMsgBits, round_bits);
+        }
         if retiring {
             // Deregistered: peers stop expecting batches from this shard,
             // and whatever they publish from here on is irrelevant to it
             // — but leave gracefully so nothing in flight is lost.
+            result.last_round = round;
+            if let Some(o) = &ob {
+                o.add(Metric::ActorRounds, 1);
+                o.add(Metric::ActorRetire, 1);
+                publish_transport(o, transport.stats());
+            }
             transport.linger();
             return result;
         }
         // Retire phase, remote half: the barrier hands over every live
         // peer's round-`round` batch before round `round + 1` may begin.
-        barrier.drain(&mut transport, round, |batch| {
+        let wait_t0 = ob.is_some().then(Instant::now);
+        let live_before = barrier.live_peers();
+        let drained = barrier.drain(&mut transport, round, |batch| {
             for e in batch.entries {
                 msgs[e.v as usize] = e.msg;
                 if e.terminated {
@@ -366,6 +485,109 @@ fn shard_main<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
                 }
             }
         });
+        if let (Some(o), Some(t0)) = (&ob, wait_t0) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            o.add(Metric::ActorBarrierWaitNs, ns);
+            o.observe(Metric::ActorBarrierWaitHistNs, ns);
+            o.add(
+                Metric::ActorDeregister,
+                (live_before - barrier.live_peers()) as u64,
+            );
+            publish_transport(o, transport.stats());
+        }
+        if let Err(stall) = drained {
+            // Watchdog: hand the partial state back instead of hanging —
+            // the merge builds the diagnostic.
+            result.stalled = Some(stall);
+            return result;
+        }
+        result.last_round = round;
+        if let Some(o) = &ob {
+            o.add(Metric::ActorRounds, 1);
+        }
+    }
+}
+
+/// Best-effort text of a thread panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Folds per-shard failure snapshots into one [`EngineError::Stalled`]:
+/// names the guilty shard (a crashed one outright, otherwise the peer
+/// most shards were waiting on) and lists every shard's last completed
+/// round, barrier state, and link status.
+fn stall_error<P: Protocol>(joined: &[Result<ShardResult<P>, String>]) -> EngineError {
+    let shards = joined.len();
+    let mut missed = vec![0usize; shards];
+    let mut round = u32::MAX;
+    for res in joined.iter().flatten() {
+        if let Some(stall) = &res.stalled {
+            round = round.min(stall.round);
+            for &p in &stall.missing {
+                if p < shards {
+                    missed[p] += 1;
+                }
+            }
+        }
+    }
+    if round == u32::MAX {
+        // No shard recorded a stall round (e.g. every shard crashed):
+        // report the round after the furthest completed one.
+        round = joined
+            .iter()
+            .flatten()
+            .map(|r| r.last_round)
+            .max()
+            .unwrap_or(0)
+            + 1;
+    }
+    let guilty = joined
+        .iter()
+        .position(|r| r.is_err())
+        .or_else(|| {
+            missed
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .max_by_key(|&(_, &c)| c)
+                .map(|(p, _)| p)
+        })
+        .map(|p| format!("shard {p}"))
+        .unwrap_or_else(|| "an unidentified shard".to_string());
+    let lines: Vec<String> = joined
+        .iter()
+        .enumerate()
+        .map(|(sid, r)| match r {
+            Err(msg) => format!("shard {sid}: crashed ({msg})"),
+            Ok(res) => {
+                let state = match (&res.stalled, res.still_active) {
+                    (Some(stall), _) => format!(
+                        "stalled draining round {} ({}; awaiting {:?})",
+                        stall.round, stall.kind, stall.missing
+                    ),
+                    (None, Some(n)) => format!("hit the round cap with {n} active"),
+                    (None, None) => "retired cleanly".to_string(),
+                };
+                format!(
+                    "shard {sid}: last completed round {}, {state}",
+                    res.last_round
+                )
+            }
+        })
+        .collect();
+    EngineError::Stalled {
+        round,
+        diagnostic: format!(
+            "{guilty} stopped the run; per-shard state: [{}]",
+            lines.join("; ")
+        ),
     }
 }
 
@@ -377,6 +599,7 @@ fn run_actors<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
     ids: &IdAssignment,
     cfg: RunConfig,
     observer: &mut Ob,
+    obs: Option<&Registry>,
     endpoints: Vec<T>,
 ) -> Result<SimOutcome<P::Output>, EngineError> {
     assert_eq!(ids.len(), g.n(), "ID assignment must cover all vertices");
@@ -385,22 +608,35 @@ fn run_actors<P: Protocol, Ob: Observer, T: Transport<P::Msg>>(
     let ranges = shard_ranges(g.n(), shards);
     let max_rounds = cfg.max_rounds.unwrap_or_else(|| protocol.max_rounds(g));
 
-    let results: Vec<ShardResult<P>> = std::thread::scope(|scope| {
+    // Join errors become per-shard crash records, not propagated panics:
+    // a crashed shard is exactly the failure the watchdog exists to
+    // diagnose (its peers will have stalled waiting on it).
+    let joined: Vec<Result<ShardResult<P>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
             .zip(&ranges)
             .enumerate()
             .map(|(sid, (tr, &(lo, hi)))| {
                 scope.spawn(move || {
-                    shard_main::<P, Ob, T>(protocol, g, ids, cfg, sid, shards, lo, hi, tr)
+                    shard_main::<P, Ob, T>(protocol, g, ids, cfg, sid, shards, lo, hi, tr, obs)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard panicked"))
+            .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
             .collect()
     });
+    if joined.iter().any(|r| match r {
+        Err(_) => true,
+        Ok(res) => res.stalled.is_some(),
+    }) {
+        return Err(stall_error(&joined));
+    }
+    let results: Vec<ShardResult<P>> = joined
+        .into_iter()
+        .map(|r| r.expect("crash handled above"))
+        .collect();
 
     // Replay observer hooks in the sync engine's (round, vertex) order:
     // shard ranges are contiguous and each shard's events are already
@@ -536,6 +772,8 @@ pub struct ActorRunner<'a, P: Protocol> {
     ids: &'a IdAssignment,
     cfg: RunConfig,
     shards: usize,
+    stall_timeout: Option<Duration>,
+    obs: Option<&'a Registry>,
 }
 
 impl<'a, P: Protocol> ActorRunner<'a, P> {
@@ -548,7 +786,28 @@ impl<'a, P: Protocol> ActorRunner<'a, P> {
             ids,
             cfg: RunConfig::default(),
             shards: 0,
+            stall_timeout: None,
+            obs: None,
         }
+    }
+
+    /// Tightens the stall watchdog: how long a shard may sit at the
+    /// round barrier with nothing arriving before the run aborts with
+    /// [`EngineError::Stalled`] and a per-shard diagnostic (default
+    /// [`RECV_STALL_TIMEOUT`](crate::transport::RECV_STALL_TIMEOUT)).
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a metrics registry ([`crate::obs`]): shard threads
+    /// record rounds, steps, compute vs barrier-wait time, and
+    /// transport I/O into per-shard slots. The registry must be sized
+    /// for at least the resolved shard count. Outcomes are
+    /// byte-identical with or without a registry (proptest-pinned).
+    pub fn obs(mut self, registry: &'a Registry) -> Self {
+        self.obs = Some(registry);
+        self
     }
 
     /// Sets the shard count; `0` restores the auto pick. The outcome is
@@ -600,13 +859,19 @@ impl<'a, P: Protocol> ActorRunner<'a, P> {
         self,
         observer: &mut Ob,
     ) -> Result<SimOutcome<P::Output>, EngineError> {
-        let mesh = channel_mesh::<P::Msg>(self.resolved_shards());
+        let mut mesh = channel_mesh::<P::Msg>(self.resolved_shards());
+        if let Some(t) = self.stall_timeout {
+            for tr in &mut mesh {
+                tr.set_stall_timeout(t);
+            }
+        }
         run_actors::<P, Ob, _>(
             self.protocol,
             self.graph,
             self.ids,
             self.cfg,
             observer,
+            self.obs,
             mesh,
         )
     }
@@ -634,14 +899,20 @@ impl<'a, P: Protocol> ActorRunner<'a, P> {
     where
         P::Msg: WireCodec + 'static,
     {
-        let mesh = tcp_loopback_mesh::<P::Msg>(self.resolved_shards())
+        let mut mesh = tcp_loopback_mesh::<P::Msg>(self.resolved_shards())
             .expect("loopback TCP mesh setup failed");
+        if let Some(t) = self.stall_timeout {
+            for tr in &mut mesh {
+                tr.set_stall_timeout(t);
+            }
+        }
         run_actors::<P, Ob, _>(
             self.protocol,
             self.graph,
             self.ids,
             self.cfg,
             observer,
+            self.obs,
             mesh,
         )
     }
@@ -869,10 +1140,14 @@ mod tests {
         };
         let mut barrier = RoundBarrier::<u64>::new(3, 0);
         let mut seen = Vec::new();
-        barrier.drain(&mut tr, 1, |b| seen.push((b.from, b.round)));
+        barrier
+            .drain(&mut tr, 1, |b| seen.push((b.from, b.round)))
+            .unwrap();
         assert_eq!(seen, vec![(1, 1), (2, 1)]);
         assert_eq!(barrier.live_peers(), 1, "shard 2 retired at round 1");
-        barrier.drain(&mut tr, 2, |b| seen.push((b.from, b.round)));
+        barrier
+            .drain(&mut tr, 2, |b| seen.push((b.from, b.round)))
+            .unwrap();
         assert_eq!(
             seen,
             vec![(1, 1), (2, 1), (1, 2)],
@@ -880,6 +1155,52 @@ mod tests {
         );
         assert_eq!(barrier.live_peers(), 0);
         // With no live peers the barrier needs nothing — and must not recv.
-        barrier.drain(&mut tr, 3, |_| panic!("no live peers"));
+        barrier
+            .drain(&mut tr, 3, |_| panic!("no live peers"))
+            .unwrap();
+    }
+
+    #[test]
+    fn barrier_turns_failures_into_stall_reports() {
+        struct Scripted {
+            queue: std::collections::VecDeque<Recv<u64>>,
+        }
+        impl Transport<u64> for Scripted {
+            fn broadcast(&mut self, _: Batch<u64>) {}
+            fn recv(&mut self) -> Recv<u64> {
+                self.queue.pop_front().expect("script exhausted")
+            }
+        }
+        // A live peer's link dropping before it retired is a stall, and
+        // the report names exactly the peers still owed this round.
+        let mut tr = Scripted {
+            queue: [Recv::Lost(1)].into(),
+        };
+        let mut barrier = RoundBarrier::<u64>::new(2, 0);
+        let err = barrier.drain(&mut tr, 1, |_| {}).unwrap_err();
+        assert_eq!(err.kind, StallKind::PeerLost(1));
+        assert_eq!(err.round, 1);
+        assert_eq!(err.missing, vec![1]);
+        // A recv timeout reports every live peer still owed.
+        let mut tr = Scripted {
+            queue: [Recv::Stalled].into(),
+        };
+        let mut barrier = RoundBarrier::<u64>::new(3, 0);
+        let err = barrier.drain(&mut tr, 2, |_| {}).unwrap_err();
+        assert_eq!(err.kind, StallKind::Timeout);
+        assert_eq!(err.missing, vec![1, 2]);
+        // A peer that already delivered is not "missing".
+        let b = Batch::<u64> {
+            from: 1,
+            round: 3,
+            retiring: false,
+            entries: Vec::new(),
+        };
+        let mut tr = Scripted {
+            queue: [Recv::Batch(b), Recv::Stalled].into(),
+        };
+        let mut barrier = RoundBarrier::<u64>::new(3, 0);
+        let err = barrier.drain(&mut tr, 3, |_| {}).unwrap_err();
+        assert_eq!(err.missing, vec![2]);
     }
 }

@@ -74,6 +74,7 @@
 
 use crate::active::ActiveSet;
 use crate::metrics::RoundMetrics;
+use crate::obs::{Metric, Registry, ShardObs};
 use crate::observer::{NoObserver, Observer, RoundRecord};
 use crate::protocol::{NeighborView, Protocol, StepCtx, Transition};
 use crate::wire::WireSize;
@@ -309,6 +310,17 @@ pub enum EngineError {
         /// Vertices that had not terminated.
         still_active: usize,
     },
+    /// An actor-backend run stopped making round progress — a shard
+    /// crashed, a link broke, or the stall watchdog's timeout elapsed
+    /// without a full round completing. Instead of hanging on the
+    /// barrier, the run aborts with a per-shard diagnostic snapshot.
+    Stalled {
+        /// The earliest round any shard was draining when it stalled.
+        round: u32,
+        /// Human-readable snapshot: the guilty shard and every shard's
+        /// last completed round, barrier state, and link status.
+        diagnostic: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -321,6 +333,9 @@ impl std::fmt::Display for EngineError {
                 f,
                 "{still_active} vertices still active after {max_rounds} rounds"
             ),
+            EngineError::Stalled { round, diagnostic } => {
+                write!(f, "actor run stalled at round {round}: {diagnostic}")
+            }
         }
     }
 }
@@ -356,6 +371,7 @@ pub struct Runner<'a, P: Protocol> {
     graph: &'a Graph,
     ids: &'a IdAssignment,
     cfg: RunConfig,
+    obs: Option<&'a crate::obs::Registry>,
 }
 
 impl<'a, P: Protocol> Runner<'a, P> {
@@ -366,6 +382,7 @@ impl<'a, P: Protocol> Runner<'a, P> {
             graph,
             ids,
             cfg: RunConfig::default(),
+            obs: None,
         }
     }
 
@@ -406,6 +423,15 @@ impl<'a, P: Protocol> Runner<'a, P> {
         self
     }
 
+    /// Attaches a metrics registry (see [`crate::obs`]). Engine-level
+    /// series land in the registry's global slots; all recording is
+    /// per-round, so the per-vertex hot loop is untouched and the path
+    /// choice (fast vs classic) is identical with or without it.
+    pub fn obs(mut self, registry: &'a crate::obs::Registry) -> Self {
+        self.obs = Some(registry);
+        self
+    }
+
     /// Runs unobserved — the zero-overhead path.
     pub fn run(self) -> Result<SimOutcome<P::Output>, EngineError> {
         self.run_with(&mut NoObserver)
@@ -416,7 +442,14 @@ impl<'a, P: Protocol> Runner<'a, P> {
         self,
         observer: &mut Ob,
     ) -> Result<SimOutcome<P::Output>, EngineError> {
-        execute(self.protocol, self.graph, self.ids, self.cfg, observer)
+        execute(
+            self.protocol,
+            self.graph,
+            self.ids,
+            self.cfg,
+            observer,
+            self.obs,
+        )
     }
 }
 
@@ -490,6 +523,15 @@ fn fill_balanced_cuts(
     cuts.push(live.len());
 }
 
+/// Adds the elapsed time since `t0` to phase counter `m` — a no-op when
+/// either the obs handle or the phase mark is absent.
+#[inline]
+fn obs_lap(ob: Option<ShardObs<'_>>, m: Metric, t0: Option<Instant>) {
+    if let (Some(o), Some(t0)) = (ob, t0) {
+        o.add(m, t0.elapsed().as_nanos() as u64);
+    }
+}
+
 /// The sparse-round engine body, monomorphized over the observer.
 fn execute<P: Protocol, Ob: Observer>(
     protocol: &P,
@@ -497,6 +539,7 @@ fn execute<P: Protocol, Ob: Observer>(
     ids: &IdAssignment,
     cfg: RunConfig,
     observer: &mut Ob,
+    obs: Option<&Registry>,
 ) -> Result<SimOutcome<P::Output>, EngineError> {
     assert_eq!(ids.len(), g.n(), "ID assignment must cover all vertices");
     let n = g.n();
@@ -516,6 +559,12 @@ fn execute<P: Protocol, Ob: Observer>(
         }
     };
     let eager = tun.scratch == ScratchPolicy::Eager;
+    // Metrics handle — engine series are global (shard-agnostic), so the
+    // slot-0 handle serves. Every `ob` touch below runs a handful of
+    // times per round, never per vertex, and nothing here feeds back
+    // into the path choice above.
+    let ob = obs.map(|r| r.handle(0));
+    let obs_on = ob.is_some();
 
     let run_t0 = Instant::now();
     // The struct-of-arrays slabs. `msgs` is the visible snapshot that
@@ -563,6 +612,12 @@ fn execute<P: Protocol, Ob: Observer>(
             None
         };
         active_per_round.push(stepped);
+        let obs_round_t0 = obs_on.then(Instant::now);
+        let scratch_cap_before = if obs_on {
+            transitions.capacity() + worker_scratch.iter().map(Vec::capacity).sum::<usize>()
+        } else {
+            0
+        };
 
         let fan_out = workers > 1 && stepped >= tun.par_threshold;
         let mut round_bits = 0u64;
@@ -577,7 +632,10 @@ fn execute<P: Protocol, Ob: Observer>(
             stats.fast_rounds += 1;
             if fan_out {
                 stats.parallel_rounds += 1;
+                let scan_t0 = obs_on.then(Instant::now);
                 fill_balanced_cuts(g, active.live_words(), words, workers, &mut cuts);
+                obs_lap(ob, Metric::EngineScanNs, scan_t0);
+                let step_t0 = obs_on.then(Instant::now);
                 let states_p = SlabPtr::new(&mut states);
                 let msgs_next_p = SlabPtr::new(&mut msgs_next);
                 let outputs_p = SlabPtr::new(&mut outputs);
@@ -648,7 +706,9 @@ fn execute<P: Protocol, Ob: Observer>(
                     round_bits += sum;
                     round_max_bits = round_max_bits.max(max);
                 }
+                obs_lap(ob, Metric::EngineStepNs, step_t0);
             } else {
+                let step_t0 = obs_on.then(Instant::now);
                 active.for_each(|v| {
                     let vu = v as usize;
                     let ctx = StepCtx {
@@ -680,14 +740,17 @@ fn execute<P: Protocol, Ob: Observer>(
                         termination_round[vu] = round;
                     }
                 });
+                obs_lap(ob, Metric::EngineStepNs, step_t0);
             }
             // Retire sweep: expose the new messages and drop the
             // vertices that terminated this round from the active set.
+            let retire_t0 = obs_on.then(Instant::now);
             active.retire(|v| {
                 let vu = v as usize;
                 msgs[vu] = msgs_next[vu].clone();
                 termination_round[vu] == round
             });
+            obs_lap(ob, Metric::EngineRetireNs, retire_t0);
         } else {
             // Classic path: buffer transitions during the read phase,
             // apply them (and fire observer hooks, in vertex order,
@@ -711,7 +774,10 @@ fn execute<P: Protocol, Ob: Observer>(
             };
             if fan_out {
                 stats.parallel_rounds += 1;
+                let scan_t0 = obs_on.then(Instant::now);
                 fill_balanced_cuts(g, active.live_words(), words, workers, &mut cuts);
+                obs_lap(ob, Metric::EngineScanNs, scan_t0);
+                let step_t0 = obs_on.then(Instant::now);
                 let live = active.live_words();
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = cuts
@@ -741,10 +807,14 @@ fn execute<P: Protocol, Ob: Observer>(
                 for scratch in &mut worker_scratch {
                     transitions.append(scratch);
                 }
+                obs_lap(ob, Metric::EngineStepNs, step_t0);
             } else {
+                let step_t0 = obs_on.then(Instant::now);
                 active.for_each(|v| transitions.push(step_one(v)));
+                obs_lap(ob, Metric::EngineStepNs, step_t0);
             }
 
+            let publish_t0 = obs_on.then(Instant::now);
             for (v, t) in transitions.drain(..) {
                 let vu = v as usize;
                 if Ob::ENABLED {
@@ -770,7 +840,10 @@ fn execute<P: Protocol, Ob: Observer>(
                     observer.on_terminate(v, round);
                 }
             }
+            obs_lap(ob, Metric::EnginePublishNs, publish_t0);
+            let retire_t0 = obs_on.then(Instant::now);
             active.retire(|v| termination_round[v as usize] == round);
+            obs_lap(ob, Metric::EngineRetireNs, retire_t0);
         }
 
         // Zero-alloc audit: under Eager scratch, nothing the engine owns
@@ -788,6 +861,36 @@ fn execute<P: Protocol, Ob: Observer>(
         stats.publications += stepped as u64;
         stats.msg_bits += round_bits;
         stats.max_msg_bits = stats.max_msg_bits.max(round_max_bits);
+        if let Some(o) = ob {
+            o.add(Metric::EngineRounds, 1);
+            o.add(
+                if use_fast {
+                    Metric::EngineFastRounds
+                } else {
+                    Metric::EngineClassicRounds
+                },
+                1,
+            );
+            if fan_out {
+                o.add(Metric::EngineParallelRounds, 1);
+            }
+            o.add(Metric::EngineSteps, stepped as u64);
+            o.add(Metric::EnginePublications, stepped as u64);
+            o.add(Metric::EngineMsgBits, round_bits);
+            o.set(Metric::EngineActiveLast, active.count() as u64);
+            let scratch_cap_after =
+                transitions.capacity() + worker_scratch.iter().map(Vec::capacity).sum::<usize>();
+            if scratch_cap_after != scratch_cap_before {
+                o.add(Metric::EngineScratchReallocs, 1);
+            }
+            o.observe(
+                Metric::EngineRoundWallNs,
+                obs_round_t0
+                    .expect("timed when obs attached")
+                    .elapsed()
+                    .as_nanos() as u64,
+            );
+        }
         if Ob::ENABLED {
             observer.on_round_end(&RoundRecord {
                 round,

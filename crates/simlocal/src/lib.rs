@@ -68,6 +68,7 @@ pub mod active;
 pub mod asyncengine;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod observer;
 pub mod protocol;
 pub mod reference;
@@ -77,7 +78,7 @@ pub mod transport;
 pub mod wire;
 
 pub use active::ActiveSet;
-pub use asyncengine::{ActorRunner, RoundBarrier};
+pub use asyncengine::{ActorRunner, BarrierStall, RoundBarrier, StallKind};
 pub use engine::{
     EngineError, EngineStats, EngineTuning, RunConfig, Runner, ScratchPolicy, SimOutcome, Toggle,
     DEFAULT_PAR_THRESHOLD, FAST_PATH_MAX_MSG_BYTES,
@@ -87,5 +88,7 @@ pub use observer::{NoObserver, Observer, RoundRecord, Tee, Telemetry};
 pub use protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};
 pub use reference::run_reference;
 pub use trace::{Histogram, PhaseBreakdown, Profile, TraceEvent, TraceLog};
-pub use transport::{Batch, ChannelTransport, Recv, TcpTransport, Transport, Update};
+pub use transport::{
+    Batch, ChannelTransport, Recv, TcpTransport, Transport, TransportStats, Update,
+};
 pub use wire::{WireCodec, WireSize};

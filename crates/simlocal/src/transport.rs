@@ -27,14 +27,20 @@ use crate::wire::WireCodec;
 use graphcore::VertexId;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a `recv` may sit idle before the transport declares the run
-/// wedged. The round barrier never waits for a retired peer, so a healthy
-/// run always has a batch on the way; a full minute of silence means a
-/// peer died without retiring (or livelocked), and a loud panic beats a
-/// silent hang.
+/// Default stall timeout: how long a `recv` may sit idle before the
+/// transport reports [`Recv::Stalled`]. The round barrier never waits
+/// for a retired peer, so a healthy run always has a batch on the way;
+/// a full minute of silence means a peer died without retiring (or
+/// livelocked). The engine's watchdog turns the stall into a
+/// structured error with a diagnostic snapshot — a loud abort beats a
+/// silent hang. Tighten per run with
+/// [`ActorRunner::stall_timeout`](crate::ActorRunner::stall_timeout) or
+/// [`Transport::set_stall_timeout`].
 pub const RECV_STALL_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// One stepped vertex's round result as it crosses the wire: the message
@@ -75,6 +81,36 @@ pub enum Recv<M> {
     Lost(usize),
     /// Every incoming link is closed.
     Closed,
+    /// Nothing arrived within the stall timeout
+    /// ([`RECV_STALL_TIMEOUT`] unless overridden): the run is wedged.
+    /// The engine's watchdog turns this into a structured error with a
+    /// diagnostic snapshot instead of hanging.
+    Stalled,
+}
+
+/// Cumulative I/O accounting for one shard's transport endpoint.
+/// Counters only grow; `inbox_depth` is a point-in-time level
+/// (batches delivered to this shard's inbox but not yet received).
+/// Byte and frame counts are zero for transports that move values
+/// without serializing (the in-process channel mesh).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Batches delivered to peers.
+    pub batches_out: u64,
+    /// Vertex updates delivered to peers (entries across all batches).
+    pub entries_out: u64,
+    /// Encoded frame bytes written to the wire.
+    pub bytes_out: u64,
+    /// Batches received from peers.
+    pub batches_in: u64,
+    /// Vertex updates received from peers.
+    pub entries_in: u64,
+    /// Encoded frame bytes read off the wire by reader threads.
+    pub bytes_in: u64,
+    /// Frames decoded by reader threads.
+    pub frames_in: u64,
+    /// Batches queued in this shard's inbox right now.
+    pub inbox_depth: u64,
 }
 
 /// A shard's endpoint: broadcast one batch per round, receive peers'.
@@ -100,6 +136,15 @@ pub trait Transport<M>: Send {
         Self: Sized,
     {
     }
+    /// Replaces the stall timeout after which `recv` reports
+    /// [`Recv::Stalled`]. The default is a no-op for transports that
+    /// never stall (test doubles, in-memory scripts).
+    fn set_stall_timeout(&mut self, _timeout: Duration) {}
+    /// Cumulative I/O accounting for this endpoint. Transports that do
+    /// not meter return zeros.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 }
 
 /// Capacity of a shard's inbox: at most two batches per peer are ever in
@@ -112,11 +157,21 @@ fn inbox_capacity(shards: usize) -> usize {
 // In-process channels
 // ---------------------------------------------------------------------------
 
+/// A peer link: the sender plus the peer inbox's shared depth counter.
+type PeerTx<M> = (SyncSender<Batch<M>>, Arc<AtomicU64>);
+
 /// In-process transport: bounded mpsc channels in a full mesh, moving
 /// `Msg` values directly. Build one per shard with [`channel_mesh`].
+///
+/// Each inbox keeps a shared depth counter (senders increment, the
+/// owner decrements on receive) so [`Transport::stats`] can report
+/// channel occupancy without peeking into the channel itself.
 pub struct ChannelTransport<M> {
-    txs: Vec<Option<SyncSender<Batch<M>>>>,
+    txs: Vec<Option<PeerTx<M>>>,
     rx: Receiver<Batch<M>>,
+    depth: Arc<AtomicU64>,
+    stall_timeout: Duration,
+    stats: TransportStats,
 }
 
 /// Builds a `shards`-way full mesh of bounded channels, one endpoint per
@@ -127,15 +182,20 @@ pub fn channel_mesh<M: Send>(shards: usize) -> Vec<ChannelTransport<M>> {
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards)
         .map(|_| std::sync::mpsc::sync_channel::<Batch<M>>(cap))
         .unzip();
+    let depths: Vec<Arc<AtomicU64>> = (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
     rxs.into_iter()
         .enumerate()
         .map(|(me, rx)| ChannelTransport {
             txs: txs
                 .iter()
+                .zip(&depths)
                 .enumerate()
-                .map(|(j, tx)| (j != me).then(|| tx.clone()))
+                .map(|(j, (tx, depth))| (j != me).then(|| (tx.clone(), Arc::clone(depth))))
                 .collect(),
             rx,
+            depth: Arc::clone(&depths[me]),
+            stall_timeout: RECV_STALL_TIMEOUT,
+            stats: TransportStats::default(),
         })
         .collect()
 }
@@ -143,23 +203,41 @@ pub fn channel_mesh<M: Send>(shards: usize) -> Vec<ChannelTransport<M>> {
 impl<M: Clone + Send> Transport<M> for ChannelTransport<M> {
     fn broadcast(&mut self, batch: Batch<M>) {
         // A send error means the peer exited (retired and dropped its
-        // receiver) — by the trait contract that is a no-op.
-        for tx in self.txs.iter().flatten() {
-            let _ = tx.send(batch.clone());
+        // receiver) — by the trait contract that is a no-op. The depth
+        // bump happens before the send so the receiver's decrement can
+        // never observe it missing.
+        for (tx, depth) in self.txs.iter().flatten() {
+            depth.fetch_add(1, Relaxed);
+            if tx.send(batch.clone()).is_ok() {
+                self.stats.batches_out += 1;
+                self.stats.entries_out += batch.entries.len() as u64;
+            } else {
+                depth.fetch_sub(1, Relaxed);
+            }
         }
     }
 
     fn recv(&mut self) -> Recv<M> {
-        match self.rx.recv_timeout(RECV_STALL_TIMEOUT) {
-            Ok(batch) => Recv::Batch(batch),
-            Err(RecvTimeoutError::Disconnected) => Recv::Closed,
-            Err(RecvTimeoutError::Timeout) => {
-                panic!(
-                    "actor transport stalled: no batch for {}s — a peer \
-                     shard died without retiring",
-                    RECV_STALL_TIMEOUT.as_secs()
-                )
+        match self.rx.recv_timeout(self.stall_timeout) {
+            Ok(batch) => {
+                self.depth.fetch_sub(1, Relaxed);
+                self.stats.batches_in += 1;
+                self.stats.entries_in += batch.entries.len() as u64;
+                Recv::Batch(batch)
             }
+            Err(RecvTimeoutError::Disconnected) => Recv::Closed,
+            Err(RecvTimeoutError::Timeout) => Recv::Stalled,
+        }
+    }
+
+    fn set_stall_timeout(&mut self, timeout: Duration) {
+        self.stall_timeout = timeout;
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            inbox_depth: self.depth.load(Relaxed),
+            ..self.stats
         }
     }
 }
@@ -222,9 +300,23 @@ pub struct TcpTransport<M> {
     /// Peers whose incoming link has already reported [`Recv::Lost`]
     /// through `recv` — what remains is what `linger` must wait out.
     lost_seen: usize,
+    stall_timeout: Duration,
+    stats: TransportStats,
+    /// Counters the reader threads feed (they outlive borrows, so the
+    /// shared tallies ride an `Arc` instead of a registry reference).
+    inflow: Arc<Inflow>,
     // Keeps the inbox open while the endpoint lives even if every reader
     // thread has exited (so `recv` reports per-peer `Lost`, not `Closed`).
     _tx: SyncSender<Recv<M>>,
+}
+
+/// What the reader threads meter: wire bytes and frames in, plus the
+/// inbox depth (readers increment before enqueueing, `recv` decrements).
+#[derive(Default)]
+struct Inflow {
+    bytes: AtomicU64,
+    frames: AtomicU64,
+    depth: AtomicU64,
 }
 
 /// Builds a `shards`-way TCP full mesh over loopback: shard `i < j`
@@ -270,20 +362,25 @@ where
         .into_iter()
         .map(|peers| {
             let (tx, rx) = std::sync::mpsc::sync_channel::<Recv<M>>(inbox_capacity(shards));
+            let inflow = Arc::new(Inflow::default());
             let mut kept = Vec::with_capacity(peers.len());
             for (peer, stream) in peers {
                 let reader = stream.try_clone()?;
                 let tx = tx.clone();
+                let inflow = Arc::clone(&inflow);
                 // Reader threads exit on EOF (peer retired and closed) or
                 // on socket error; either way they report `Lost` so the
                 // engine can tell clean retirement from a crashed shard.
-                std::thread::spawn(move || read_frames(peer, reader, tx));
+                std::thread::spawn(move || read_frames(peer, reader, tx, inflow));
                 kept.push((peer, stream));
             }
             Ok(TcpTransport {
                 streams: kept,
                 rx,
                 lost_seen: 0,
+                stall_timeout: RECV_STALL_TIMEOUT,
+                stats: TransportStats::default(),
+                inflow,
                 _tx: tx,
             })
         })
@@ -291,8 +388,14 @@ where
 }
 
 /// Reader-thread body: decode length-prefixed frames from `stream` into
-/// `tx` until the peer closes or the inbox goes away.
-fn read_frames<M: WireCodec>(peer: usize, mut stream: TcpStream, tx: SyncSender<Recv<M>>) {
+/// `tx` until the peer closes or the inbox goes away, metering wire
+/// bytes and frames into `inflow`.
+fn read_frames<M: WireCodec>(
+    peer: usize,
+    mut stream: TcpStream,
+    tx: SyncSender<Recv<M>>,
+    inflow: Arc<Inflow>,
+) {
     loop {
         let mut len = [0u8; 4];
         if stream.read_exact(&mut len).is_err() {
@@ -308,7 +411,11 @@ fn read_frames<M: WireCodec>(peer: usize, mut stream: TcpStream, tx: SyncSender<
         let Some(batch) = decode_payload::<M>(&payload) else {
             panic!("malformed frame from shard {peer}: {} bytes", payload.len());
         };
+        inflow.bytes.fetch_add(4 + payload.len() as u64, Relaxed);
+        inflow.frames.fetch_add(1, Relaxed);
+        inflow.depth.fetch_add(1, Relaxed);
         if tx.send(Recv::Batch(batch)).is_err() {
+            inflow.depth.fetch_sub(1, Relaxed);
             return; // Endpoint dropped; stop reading.
         }
     }
@@ -320,26 +427,43 @@ impl<M: WireCodec + Send> Transport<M> for TcpTransport<M> {
         // A write error means the peer exited and closed its socket — by
         // the trait contract that is a no-op.
         for (_, stream) in &mut self.streams {
-            let _ = stream.write_all(&frame);
+            if stream.write_all(&frame).is_ok() {
+                self.stats.batches_out += 1;
+                self.stats.entries_out += batch.entries.len() as u64;
+                self.stats.bytes_out += frame.len() as u64;
+            }
         }
     }
 
     fn recv(&mut self) -> Recv<M> {
-        match self.rx.recv_timeout(RECV_STALL_TIMEOUT) {
+        match self.rx.recv_timeout(self.stall_timeout) {
             Ok(event) => {
-                if let Recv::Lost(_) = event {
-                    self.lost_seen += 1;
+                match &event {
+                    Recv::Lost(_) => self.lost_seen += 1,
+                    Recv::Batch(b) => {
+                        self.inflow.depth.fetch_sub(1, Relaxed);
+                        self.stats.batches_in += 1;
+                        self.stats.entries_in += b.entries.len() as u64;
+                    }
+                    _ => {}
                 }
                 event
             }
             Err(RecvTimeoutError::Disconnected) => Recv::Closed,
-            Err(RecvTimeoutError::Timeout) => {
-                panic!(
-                    "actor transport stalled: no frame for {}s — a peer \
-                     shard died without retiring",
-                    RECV_STALL_TIMEOUT.as_secs()
-                )
-            }
+            Err(RecvTimeoutError::Timeout) => Recv::Stalled,
+        }
+    }
+
+    fn set_stall_timeout(&mut self, timeout: Duration) {
+        self.stall_timeout = timeout;
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            bytes_in: self.inflow.bytes.load(Relaxed),
+            frames_in: self.inflow.frames.load(Relaxed),
+            inbox_depth: self.inflow.depth.load(Relaxed),
+            ..self.stats
         }
     }
 
@@ -355,8 +479,11 @@ impl<M: WireCodec + Send> Transport<M> for TcpTransport<M> {
             let _ = stream.shutdown(Shutdown::Write);
         }
         while self.lost_seen < self.streams.len() {
-            if let Recv::Closed = Transport::recv(&mut self) {
-                break;
+            match Transport::recv(&mut self) {
+                // A stall while lingering means a peer wedged after our
+                // own work finished; leaving is the only useful move.
+                Recv::Closed | Recv::Stalled => break,
+                _ => {}
             }
         }
     }
@@ -430,6 +557,57 @@ mod tests {
         drop(t1);
         drop(t2);
         assert!(matches!(t0.recv(), Recv::Closed));
+    }
+
+    #[test]
+    fn channel_recv_reports_stall_after_timeout() {
+        let mut mesh = channel_mesh::<u64>(2);
+        let mut t0 = mesh.remove(0);
+        t0.set_stall_timeout(Duration::from_millis(10));
+        assert!(matches!(t0.recv(), Recv::Stalled));
+    }
+
+    #[test]
+    fn channel_stats_meter_batches_entries_and_depth() {
+        let mut mesh = channel_mesh::<u64>(2);
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        t0.broadcast(batch(0, 1));
+        t0.broadcast(batch(0, 2));
+        assert_eq!(t0.stats().batches_out, 2);
+        assert_eq!(t0.stats().entries_out, 4);
+        assert_eq!(t0.stats().bytes_out, 0, "channels do not serialize");
+        assert_eq!(t1.stats().inbox_depth, 2);
+        assert!(matches!(t1.recv(), Recv::Batch(_)));
+        assert_eq!(t1.stats().inbox_depth, 1);
+        assert_eq!(t1.stats().batches_in, 1);
+        assert_eq!(t1.stats().entries_in, 2);
+    }
+
+    #[test]
+    fn tcp_stats_meter_wire_bytes_both_ways() {
+        let mut mesh = tcp_loopback_mesh::<u64>(2).unwrap();
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        let frame_len = encode_frame(&batch(0, 1)).len() as u64;
+        t0.broadcast(batch(0, 1));
+        assert_eq!(t0.stats().bytes_out, frame_len);
+        assert_eq!(t0.stats().batches_out, 1);
+        assert!(matches!(t1.recv(), Recv::Batch(_)));
+        let s1 = t1.stats();
+        assert_eq!(s1.bytes_in, frame_len, "wire bytes in == peer's out");
+        assert_eq!(s1.frames_in, 1);
+        assert_eq!(s1.batches_in, 1);
+        assert_eq!(s1.entries_in, 2);
+        assert_eq!(s1.inbox_depth, 0);
+    }
+
+    #[test]
+    fn tcp_recv_reports_stall_after_timeout() {
+        let mut mesh = tcp_loopback_mesh::<u64>(2).unwrap();
+        let mut t0 = mesh.remove(0);
+        t0.set_stall_timeout(Duration::from_millis(10));
+        assert!(matches!(t0.recv(), Recv::Stalled));
     }
 
     #[test]

@@ -6,10 +6,11 @@
 use distsym::algos::coloring::a2logn::ColoringA2LogN;
 use distsym::algos::mis::MisExtension;
 use distsym::algos::Partition;
-use distsym::graphcore::{gen, verify, GraphBuilder, IdAssignment};
-use distsym::simlocal::{EngineError, Runner};
+use distsym::graphcore::{gen, verify, Graph, GraphBuilder, IdAssignment, VertexId};
+use distsym::simlocal::{ActorRunner, EngineError, Protocol, Runner, StepCtx, Transition};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
 
 #[test]
 fn under_declared_arboricity_reports_livelock() {
@@ -18,7 +19,9 @@ fn under_declared_arboricity_reports_livelock() {
     let g = gen::clique(24);
     let ids = IdAssignment::identity(24);
     let err = Runner::new(&Partition::new(1), &g, &ids).run().unwrap_err();
-    let EngineError::RoundLimitExceeded { still_active, .. } = err;
+    let EngineError::RoundLimitExceeded { still_active, .. } = err else {
+        panic!("expected the round-cap error, got {err}");
+    };
     assert_eq!(still_active, 24, "everyone should still be stuck");
 }
 
@@ -126,6 +129,153 @@ fn builder_rejects_malformed_graphs() {
     assert!(r.is_err(), "self-loop must panic");
     let r = std::panic::catch_unwind(|| GraphBuilder::new(3).edge(0, 7));
     assert!(r.is_err(), "out-of-range endpoint must panic");
+}
+
+/// Runs forever (until round 20) but puts one vertex to sleep once —
+/// with one vertex per shard, that stalls exactly that shard's round.
+struct Sleeper {
+    slow: VertexId,
+    at_round: u32,
+    dur: Duration,
+}
+
+impl Protocol for Sleeper {
+    type State = ();
+    type Msg = ();
+    type Output = u32;
+    fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+    fn publish(&self, _: &()) {}
+    fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
+        if ctx.v == self.slow && ctx.round == self.at_round {
+            std::thread::sleep(self.dur);
+        }
+        if ctx.round >= 20 {
+            Transition::Terminate((), ctx.round)
+        } else {
+            Transition::Continue(())
+        }
+    }
+}
+
+/// Like [`Sleeper`], but the victim vertex panics instead of sleeping —
+/// a fail-stop shard crash.
+struct Panicker {
+    victim: VertexId,
+    at_round: u32,
+}
+
+impl Protocol for Panicker {
+    type State = ();
+    type Msg = ();
+    type Output = u32;
+    fn init(&self, _: &Graph, _: &IdAssignment, _: VertexId) {}
+    fn publish(&self, _: &()) {}
+    fn step(&self, ctx: StepCtx<'_, ()>) -> Transition<(), u32> {
+        if ctx.v == self.victim && ctx.round == self.at_round {
+            panic!("injected fault on vertex {}", ctx.v);
+        }
+        if ctx.round >= 20 {
+            Transition::Terminate((), ctx.round)
+        } else {
+            Transition::Continue(())
+        }
+    }
+}
+
+#[test]
+fn slow_shard_trips_the_watchdog_and_is_named() {
+    // Three vertices, one per shard; vertex 2 sleeps 400ms in round 2
+    // while the watchdog timeout is 40ms. Shards 0 and 1 must stall on
+    // the barrier and the diagnostic must blame shard 2.
+    let g = gen::cycle(3);
+    let ids = IdAssignment::identity(3);
+    let p = Sleeper {
+        slow: 2,
+        at_round: 2,
+        dur: Duration::from_millis(400),
+    };
+    let t0 = Instant::now();
+    let err = ActorRunner::new(&p, &g, &ids)
+        .shards(3)
+        .stall_timeout(Duration::from_millis(40))
+        .run()
+        .unwrap_err();
+    let elapsed = t0.elapsed();
+    let EngineError::Stalled { round, diagnostic } = err else {
+        panic!("expected a stall, got {err}");
+    };
+    assert_eq!(round, 2, "peers were draining round 2: {diagnostic}");
+    assert!(
+        diagnostic.starts_with("shard 2 stopped the run"),
+        "diagnostic must name the slow shard: {diagnostic}"
+    );
+    assert!(
+        diagnostic.contains("awaiting [2]"),
+        "stalled peers must list who they awaited: {diagnostic}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "watchdog must fire promptly, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn crashed_shard_is_reported_not_hung() {
+    // Vertex 1 (= shard 1) panics in round 2. The peers' recv times out,
+    // the join captures the panic, and the diagnostic says "crashed"
+    // with the payload — instead of the old forever-hang.
+    let g = gen::cycle(3);
+    let ids = IdAssignment::identity(3);
+    let p = Panicker {
+        victim: 1,
+        at_round: 2,
+    };
+    let err = ActorRunner::new(&p, &g, &ids)
+        .shards(3)
+        .stall_timeout(Duration::from_millis(40))
+        .run()
+        .unwrap_err();
+    let EngineError::Stalled { diagnostic, .. } = err else {
+        panic!("expected a stall, got {err}");
+    };
+    assert!(
+        diagnostic.starts_with("shard 1 stopped the run"),
+        "a crashed shard is guilty outright: {diagnostic}"
+    );
+    assert!(
+        diagnostic.contains("shard 1: crashed (injected fault on vertex 1)"),
+        "the panic payload must survive into the diagnostic: {diagnostic}"
+    );
+}
+
+#[test]
+fn tcp_peer_death_is_detected_as_link_loss_without_the_full_timeout() {
+    // Over TCP the dying shard's streams close, so the reader threads
+    // report the lost link immediately — no stall_timeout override
+    // needed, the run must still fail fast (default timeout is 30s).
+    let g = gen::cycle(3);
+    let ids = IdAssignment::identity(3);
+    let p = Panicker {
+        victim: 1,
+        at_round: 2,
+    };
+    let t0 = Instant::now();
+    let err = ActorRunner::new(&p, &g, &ids)
+        .shards(3)
+        .run_tcp()
+        .unwrap_err();
+    let elapsed = t0.elapsed();
+    let EngineError::Stalled { diagnostic, .. } = err else {
+        panic!("expected a stall, got {err}");
+    };
+    assert!(
+        diagnostic.starts_with("shard 1 stopped the run"),
+        "diagnostic must name the crashed shard: {diagnostic}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "link loss must beat the 30s recv timeout, took {elapsed:?}"
+    );
 }
 
 #[test]
