@@ -74,6 +74,21 @@ echo "== metrics smoke: table2 --quick --metrics, self-validated exposition"
 ./target/release/bench-diff --metrics-check \
     target/ci-results/obs.prom target/ci-results/obs.prom.jsonl
 
+echo "== parallel-scheduler gate: table2 --jobs 4 is byte-identical to the baseline"
+# The trial pipeline's determinism guarantee, end to end: a 4-worker run
+# of the same sweep must produce byte-identical results JSON to the
+# committed *sequential* baseline (tol 0 — wall-clock stats excluded as
+# always). The attached metrics export also revalidates (monotone
+# counters across snapshots, exposition/JSONL agreement) with the
+# scheduler/cache gauges and histograms present.
+./target/release/table2 --quick --seeds 2 --ids identity,random --jobs 4 \
+    --metrics target/ci-results/obs.jobs4.prom \
+    --json target/ci-results/table2.quick.jobs4.json > /dev/null
+./target/release/bench-diff --check \
+    results/table2.quick.json target/ci-results/table2.quick.jobs4.json --tol 0
+./target/release/bench-diff --metrics-check \
+    target/ci-results/obs.jobs4.prom target/ci-results/obs.jobs4.prom.jsonl
+
 echo "== transport smoke: loopback-TCP round-trip pins to the sync engine"
 # Framed codec messages over real sockets: the fixed-config TCP tests
 # from the actor-backend suite, runnable in isolation so a transport

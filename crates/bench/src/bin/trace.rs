@@ -33,9 +33,10 @@
 //! (default `rand_delta_plus_one`); `--list` prints the registry and exits.
 
 use benchharness::bounds::geometric_decay_violations;
+use benchharness::pipeline::{WorkloadCache, WorkloadKey};
 use benchharness::registry::{self, Backend, ExecOptions, ObserveMode, Params};
 use benchharness::results::Json;
-use benchharness::{forest_workload, Trial};
+use benchharness::Trial;
 use simlocal::EngineStats;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -151,7 +152,6 @@ fn main() {
 /// report, writes and validates both export files. Returns failure
 /// messages (empty = pass).
 fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
-    let gg = forest_workload(args.n, args.a, args.seed);
     let trial = Trial::identity(args.seed);
     // `--metrics PATH`: attach an obs registry sized for the backend's
     // shard count; its counters are merged into the Chrome export and
@@ -166,6 +166,16 @@ fn trace_run(spec: &registry::AlgoSpec, args: &Args) -> Vec<String> {
         };
         simlocal::obs::Registry::new(shards)
     });
+    // The workload comes through the pipeline's cache layer, so a trace
+    // run exercises (and, with `--metrics`, records) the same generation
+    // path the suites use.
+    let cache = WorkloadCache::new();
+    let key = WorkloadKey::Forest {
+        n: args.n,
+        a: args.a,
+        seed: args.seed,
+    };
+    let gg = cache.get(key, reg.as_ref());
     let mut opts = ExecOptions::new("trace", &gg, &trial)
         .parallel(args.parallel)
         .backend(args.backend)
@@ -356,7 +366,14 @@ fn io_buf(f: fs::File) -> std::io::BufWriter<fs::File> {
 fn congest_audit(args: &Args) -> Vec<String> {
     let n = args.n.min(4096);
     let a = args.a.max(2);
-    let gg = forest_workload(n, a, args.seed);
+    // One cache lookup per algorithm: the first generates, the rest hit —
+    // the audit doubles as a smoke test of the workload-cache layer.
+    let cache = WorkloadCache::new();
+    let key = WorkloadKey::Forest {
+        n,
+        a,
+        seed: args.seed,
+    };
     let trial = Trial::identity(args.seed);
     let log2n = (n.max(2) as f64).log2();
     println!(
@@ -375,6 +392,7 @@ fn congest_audit(args: &Args) -> Vec<String> {
             "ka" | "ka2" => Params::k(2),
             _ => Params::default(),
         };
+        let gg = cache.get(key, None);
         let row = spec
             .exec(&ExecOptions::new("audit", &gg, &trial).params(params))
             .into_row();
@@ -404,6 +422,11 @@ fn congest_audit(args: &Args) -> Vec<String> {
             spec.name, row.max_msg_bits, row.avg_msg_bits, eff_c, claimed
         );
     }
+    println!(
+        "workload cache: {} hits / {} misses (one generation shared across the registry)",
+        cache.hits(),
+        cache.misses()
+    );
     failures
 }
 

@@ -318,7 +318,9 @@ mod tests {
                 ..Stats::from_samples(&[va_mean])
             },
             wc: Stats::from_samples(&[4.0]),
+            median: Stats::from_samples(&[2.0]),
             p95: Stats::from_samples(&[3.0]),
+            wc_max: 4,
             wall_ms: Stats::from_samples(&[1.0]),
             avg_msg_bits: Stats::from_samples(&[64.0]),
             max_msg_bits_max: 34,

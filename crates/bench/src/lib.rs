@@ -31,6 +31,7 @@
 pub mod bounds;
 pub mod metricscheck;
 pub mod perf;
+pub mod pipeline;
 pub mod registry;
 pub mod results;
 pub mod spec;
@@ -330,6 +331,8 @@ pub fn hub_workload(n: usize, a: usize, hub_degree: usize, seed: u64) -> GenGrap
 /// `--quick` trims sweeps, `--seeds N` sets engine seeds per ID mode,
 /// `--ids identity,random,adversarial` picks ID-assignment modes,
 /// `--backend sync|actor[:K]` picks the execution backend,
+/// `--jobs N` sets the trial scheduler's worker-thread count (0 = NCPU;
+/// results are byte-identical for every N),
 /// `--json PATH` writes the run's [`SuiteResult`], `--list` prints the
 /// suite's experiment table and exits; every other `--` flag is an error
 /// (a typo used to be swallowed as an experiment filter and silently
@@ -344,6 +347,10 @@ pub struct Cli {
     /// Execution backend every run goes through (byte-identical outcomes;
     /// see [`registry::Backend`]).
     pub backend: registry::Backend,
+    /// Trial-scheduler worker threads (`--jobs`; 1 = the sequential
+    /// oracle path, 0 = one per available core). Orthogonal to
+    /// [`Cli::backend`], which parallelizes *within* one trial.
+    pub jobs: usize,
     /// Where to write the JSON results, if requested.
     pub json: Option<std::path::PathBuf>,
     /// Where to write the Prometheus metrics exposition, if requested
@@ -364,6 +371,7 @@ impl Cli {
             seeds: 1,
             id_modes: vec![IdMode::Identity],
             backend: registry::Backend::default(),
+            jobs: 1,
             json: None,
             metrics: None,
             list: false,
@@ -392,6 +400,12 @@ impl Cli {
                     let v = it.next().ok_or("--backend requires a value")?;
                     cli.backend = registry::Backend::parse(&v)?;
                 }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs requires a value")?;
+                    cli.jobs = v.parse::<usize>().map_err(|_| {
+                        format!("--jobs requires a non-negative integer (0 = NCPU), got `{v}`")
+                    })?;
+                }
                 "--json" => {
                     let v = it.next().ok_or("--json requires a path")?;
                     cli.json = Some(v.into());
@@ -403,8 +417,8 @@ impl Cli {
                 other if other.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{other}` (expected --quick, --seeds N, \
-                         --ids LIST, --backend sync|actor[:K], --json PATH, \
-                         --metrics PATH, or --list)"
+                         --ids LIST, --backend sync|actor[:K], --jobs N, \
+                         --json PATH, --metrics PATH, or --list)"
                     ));
                 }
                 _ => cli.filters.push(arg),
@@ -421,8 +435,8 @@ impl Cli {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--quick] [--seeds N] [--ids identity,random,adversarial] \
-                     [--backend sync|actor[:K]] [--json PATH] [--metrics PATH] [--list] \
-                     [EXPERIMENT_ID...]"
+                     [--backend sync|actor[:K]] [--jobs N] [--json PATH] [--metrics PATH] \
+                     [--list] [EXPERIMENT_ID...]"
                 );
                 std::process::exit(2);
             }
@@ -450,6 +464,17 @@ impl Cli {
     /// even in a default run.
     pub fn sweep_with_min_seeds(&self, min: u64) -> Sweep {
         Sweep::new(self.seeds.max(min), &self.id_modes)
+    }
+
+    /// Worker threads the trial scheduler should use: `--jobs N`
+    /// verbatim, with `0` resolved to the available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1),
+            j => j,
+        }
     }
 
     /// Labels of the selected ID modes (for [`SuiteResult`]).
@@ -522,6 +547,7 @@ mod tests {
             seeds: 1,
             id_modes: vec![IdMode::Identity],
             backend: registry::Backend::Sync,
+            jobs: 1,
             json: None,
             metrics: None,
             list: false,
@@ -589,5 +615,25 @@ mod tests {
             );
         }
         assert!(Cli::parse_from(["--backend"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn cli_parses_jobs() {
+        let default = Cli::parse_from(Vec::new()).unwrap();
+        assert_eq!(default.jobs, 1, "sequential oracle path by default");
+        assert_eq!(default.effective_jobs(), 1);
+        let four = Cli::parse_from(["--jobs", "4"].map(String::from)).unwrap();
+        assert_eq!(four.jobs, 4);
+        assert_eq!(four.effective_jobs(), 4);
+        let auto = Cli::parse_from(["--jobs", "0"].map(String::from)).unwrap();
+        assert_eq!(auto.jobs, 0, "--jobs 0 means one worker per core");
+        assert!(auto.effective_jobs() >= 1);
+        for bad in ["x", "-1", ""] {
+            assert!(
+                Cli::parse_from(["--jobs", bad].map(String::from)).is_err(),
+                "--jobs {bad} must be rejected"
+            );
+        }
+        assert!(Cli::parse_from(["--jobs"].map(String::from)).is_err());
     }
 }

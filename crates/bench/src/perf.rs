@@ -414,7 +414,70 @@ pub fn run_suite(n: usize, reps: usize) -> Vec<PerfEntry> {
             e.barrier_wait_frac = (busy > 0).then(|| wait as f64 / busy as f64);
         }
     }
+
+    // Harness trial throughput: the engine entries above gate the
+    // per-step cost, this one gates the whole pipeline around the engine
+    // (plan → cache → schedule → sink, including seeded graph
+    // generation, ID assignment, and verification).
+    entries.push(harness_table2_quick(reps));
     entries
+}
+
+/// Measures the full table2 quick plan (identity IDs, seed 0, sync
+/// backend, one worker) executed silently through the trial pipeline.
+/// For this entry `vr_per_sec` is **trials per second** — the sustained
+/// trial throughput of the harness itself; `rounds` carries the trial
+/// count, `n` the total vertices across trials, and `vertex_rounds` the
+/// summed `RoundSum`, so the perf gate's work-drift check still pins the
+/// measured workload to the suite declarations.
+fn harness_table2_quick(reps: usize) -> PerfEntry {
+    use crate::pipeline::{plan_rows, run_plan, CollectSink, WorkloadCache};
+    use crate::spec::SpecKind;
+    assert!(reps >= 1, "at least one rep");
+    let cli = crate::Cli::parse_from(["--quick".to_string()]).expect("static flags parse");
+    let specs = crate::suites::table2();
+    let mut best_wall_ns = u64::MAX;
+    let mut work: Option<(u64, u64, u64)> = None;
+    for _ in 0..reps {
+        let cache = WorkloadCache::new();
+        let mut next_id = 0u64;
+        let (mut trials, mut total_n, mut pubs) = (0u64, 0u64, 0u64);
+        let t0 = std::time::Instant::now();
+        for spec in &specs {
+            if let SpecKind::Rows {
+                workloads, runs, ..
+            } = &spec.kind
+            {
+                let plan = plan_rows(&cli, workloads, runs, &mut next_id);
+                let mut sink = CollectSink::default();
+                run_plan(&plan, 1, &cache, None, &mut sink);
+                trials += sink.rows.len() as u64;
+                total_n += sink.rows.iter().map(|r| r.n as u64).sum::<u64>();
+                pubs += sink.rows.iter().map(|r| r.pubs).sum::<u64>();
+            }
+        }
+        let wall = t0.elapsed().as_nanos() as u64;
+        match &work {
+            None => work = Some((trials, total_n, pubs)),
+            Some(w) => assert_eq!(
+                *w,
+                (trials, total_n, pubs),
+                "harness_table2_quick must be deterministic across reps"
+            ),
+        }
+        best_wall_ns = best_wall_ns.min(wall);
+    }
+    let (trials, total_n, pubs) = work.expect("at least one rep ran");
+    PerfEntry {
+        id: "harness_table2_quick".into(),
+        n: total_n as usize,
+        rounds: trials as u32,
+        vertex_rounds: pubs,
+        best_wall_ns,
+        vr_per_sec: trials as f64 / (best_wall_ns.max(1) as f64 / 1e9),
+        fast_hit_rate: None,
+        barrier_wait_frac: None,
+    }
 }
 
 /// Ids measured by [`run_suite`], for `--list` output.
@@ -424,6 +487,7 @@ pub fn suite_ids() -> Vec<&'static str> {
         "decay_classic_seq_n20",
         "flood_seq_n20",
         "decay_actor_n20",
+        "harness_table2_quick",
     ]
 }
 

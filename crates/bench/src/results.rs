@@ -24,7 +24,13 @@ use std::path::Path;
 /// (per-vertex wire-bit statistics) and `max_msg_bits_max` (largest single
 /// published message, the CONGEST-width witness). Both are gated by
 /// [`diff`]; wall clock remains informational.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: summaries gained the per-vertex termination-round distribution
+/// fields `median` (p50 statistics) and `wc_max` (largest worst-case round
+/// over the trials). Informational like wall clock: serialized and parsed
+/// but *not* gated by [`diff`] — p50/p95/max are reporting aids, the gated
+/// shape statistics (`va`, `wc`, `p95` means) already pin the distribution.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A whole harness run: configuration plus one summary per experiment
 /// configuration.
@@ -101,8 +107,9 @@ impl SuiteResult {
                 out,
                 "    {{\"exp\": {}, \"algo\": {}, \"family\": {}, \"n\": {}, \"a\": {}, \
                  \"trials\": {}, \"valid\": {}, \"colors_max\": {}, \"cap\": {}, \
-                 \"round_sum_max\": {}, \"max_msg_bits_max\": {},\n     \
-                 \"va\": {}, \"wc\": {}, \"p95\": {}, \"wall_ms\": {}, \"avg_msg_bits\": {},\n     \
+                 \"round_sum_max\": {}, \"max_msg_bits_max\": {}, \"wc_max\": {},\n     \
+                 \"va\": {}, \"wc\": {}, \"median\": {}, \"p95\": {}, \"wall_ms\": {}, \
+                 \"avg_msg_bits\": {},\n     \
                  \"active_decay\": [{}],\n     \"phases\": [{}]}}{}",
                 quote(&s.exp),
                 quote(&s.algo),
@@ -115,8 +122,10 @@ impl SuiteResult {
                 cap,
                 s.round_sum_max,
                 s.max_msg_bits_max,
+                s.wc_max,
                 stats_json(&s.va),
                 stats_json(&s.wc),
+                stats_json(&s.median),
                 stats_json(&s.p95),
                 stats_json(&s.wall_ms),
                 stats_json(&s.avg_msg_bits),
@@ -243,8 +252,10 @@ fn parse_summary(v: &Json) -> Result<TrialSummary, String> {
         },
         round_sum_max: v.get_u64("round_sum_max")?,
         max_msg_bits_max: v.get_u64("max_msg_bits_max")?,
+        wc_max: v.get_u64("wc_max")? as u32,
         va: stats("va")?,
         wc: stats("wc")?,
+        median: stats("median")?,
         p95: stats("p95")?,
         wall_ms: stats("wall_ms")?,
         avg_msg_bits: stats("avg_msg_bits")?,
@@ -701,7 +712,9 @@ mod tests {
                 ci95: 0.01,
             },
             wc: Stats::from_samples(&[3.0, 4.0]),
+            median: Stats::from_samples(&[1.0, 2.0]),
             p95: Stats::from_samples(&[3.0]),
+            wc_max: 4,
             wall_ms: Stats::from_samples(&[1.25]),
             avg_msg_bits: Stats::from_samples(&[130.5, 131.5]),
             max_msg_bits_max: 74,
@@ -789,6 +802,24 @@ mod tests {
         assert!(
             msgs.iter().any(|m| m.contains("max_msg_bits_max")),
             "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn distribution_fields_round_trip_but_are_not_gated() {
+        // Satellite: the per-vertex termination-round distribution fields
+        // (p50 stats + max witness) are carried in the JSON but, like wall
+        // clock, never gate the check.
+        let base = sample_suite();
+        let back = SuiteResult::from_json(&base.to_json()).unwrap();
+        assert_eq!(back.summaries[0].wc_max, 4);
+        assert!((back.summaries[0].median.mean - 1.5).abs() < 1e-9);
+        let mut fresh = base.clone();
+        fresh.summaries[0].median.mean = 99.0;
+        fresh.summaries[0].wc_max = 77;
+        assert!(
+            diff(&base, &fresh, 0.05).is_empty(),
+            "distribution fields must be informational"
         );
     }
 

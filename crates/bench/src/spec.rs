@@ -9,10 +9,11 @@
 //! emission, `--list`, and tail bound enforcement. The suite tables
 //! themselves live in [`crate::suites`].
 
+use crate::pipeline::{self, WorkloadCache, WorkloadKey};
 use crate::registry::{self, Params, Problem};
 use crate::{
-    bounds, forest_workload, hub_workload, n_sweep, print_rows, print_summaries, summarize, Bound,
-    Cli, Row, SuiteResult, TrialSummary,
+    bounds, n_sweep, print_rows, print_summaries, summarize, Bound, Cli, Row, SuiteResult,
+    TrialSummary,
 };
 use graphcore::gen::GenGraph;
 use std::fmt;
@@ -70,18 +71,27 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    /// Expands into concrete graphs, in deterministic order. `problem`
-    /// selects the hub degree policy (see [`hub_degree_for`]).
-    pub fn expand(&self, quick: bool, problem: Problem) -> Vec<GenGraph> {
+    /// Expands into cacheable [`WorkloadKey`]s, in deterministic order —
+    /// the planner's form of [`WorkloadSpec::expand`]. `problem` selects
+    /// the hub degree policy (see [`hub_degree_for`]), which the key
+    /// carries pre-resolved so equal keys mean equal graphs.
+    pub fn keys(&self, quick: bool, problem: Problem) -> Vec<WorkloadKey> {
         match self {
             WorkloadSpec::Forest { arbs, seed } => n_sweep(quick)
                 .into_iter()
-                .flat_map(|n| arbs.iter().map(move |&a| (n, a)))
-                .map(|(n, a)| forest_workload(n, a, *seed))
+                .flat_map(|n| {
+                    arbs.iter()
+                        .map(move |&a| WorkloadKey::Forest { n, a, seed: *seed })
+                })
                 .collect(),
             WorkloadSpec::Hub { a, seed } => n_sweep(quick)
                 .into_iter()
-                .map(|n| hub_workload(n, *a, hub_degree_for(n, problem), *seed))
+                .map(|n| WorkloadKey::Hub {
+                    n,
+                    a: *a,
+                    hub_degree: hub_degree_for(n, problem),
+                    seed: *seed,
+                })
                 .collect(),
             WorkloadSpec::ForestAt {
                 n_quick,
@@ -90,9 +100,23 @@ impl WorkloadSpec {
                 seed,
             } => {
                 let n = if quick { *n_quick } else { *n_full };
-                vec![forest_workload(n, *a, *seed)]
+                vec![WorkloadKey::Forest {
+                    n,
+                    a: *a,
+                    seed: *seed,
+                }]
             }
         }
+    }
+
+    /// Expands into concrete graphs, in deterministic order (generating
+    /// each [`WorkloadKey`] eagerly; the pipeline path goes through the
+    /// [`WorkloadCache`] instead).
+    pub fn expand(&self, quick: bool, problem: Problem) -> Vec<GenGraph> {
+        self.keys(quick, problem)
+            .iter()
+            .map(WorkloadKey::generate)
+            .collect()
     }
 }
 
@@ -378,6 +402,10 @@ fn print_list(suite: &str, specs: &[ExperimentSpec]) {
         }
     }
     println!("\nglobal bounds: all-valid, palette-within-cap");
+    println!(
+        "trial scheduler: --jobs N worker threads (default 1 = sequential oracle, \
+         0 = NCPU); results are byte-identical for every N"
+    );
     crate::print_backends();
     crate::perf::print_bench_index();
 }
@@ -389,55 +417,31 @@ pub fn metrics_jsonl_path(prom: &std::path::Path) -> std::path::PathBuf {
     std::path::PathBuf::from(os)
 }
 
-/// Produces all rows for one `Rows`-kind spec, honoring per-run filters.
+/// Produces all rows for one `Rows`-kind spec, honoring per-run filters —
+/// a thin shim over the pipeline layers: plan ([`pipeline::plan_rows`]) →
+/// schedule ([`pipeline::run_plan`], `--jobs` workers over the shared
+/// [`WorkloadCache`]) → sink ([`pipeline::CollectSink`]).
 fn rows_for(
     cli: &Cli,
     metrics: Option<&simlocal::obs::Registry>,
     workloads: &[WorkloadSpec],
     runs: &[RunSpec],
+    cache: &WorkloadCache,
+    next_id: &mut u64,
 ) -> Vec<Row> {
-    let selected: Vec<&RunSpec> = runs.iter().filter(|r| cli.wants(r.exp)).collect();
-    if selected.is_empty() || runs.is_empty() {
-        return Vec::new();
-    }
-    // All runs of a spec share the workload graphs; the hub-degree policy
-    // follows the problem of the spec's first run (specs never mix hub
-    // workloads across problems).
-    let problem = registry::get(runs[0].algo).problem;
-    let graphs: Vec<GenGraph> = workloads
-        .iter()
-        .flat_map(|w| w.expand(cli.quick, problem))
-        .collect();
-    let mut rows = Vec::new();
-    for run in selected {
-        let algo = registry::get(run.algo);
-        let min = if cli.quick {
-            run.min_seeds_quick
-        } else {
-            run.min_seeds_full
-        };
-        let sweep = cli.sweep_with_min_seeds(min);
-        for gg in graphs.iter().filter(|g| g.graph.n() <= run.max_n) {
-            for t in sweep.trials() {
-                for params in run.params.expand(gg.graph.n()) {
-                    let mut opts = registry::ExecOptions::new(run.exp, gg, t)
-                        .params(params)
-                        .backend(cli.backend);
-                    if let Some(m) = metrics {
-                        opts = opts.metrics(m);
-                    }
-                    rows.push(algo.exec(&opts).into_row());
-                }
-            }
-        }
-    }
-    rows
+    let plan = pipeline::plan_rows(cli, workloads, runs, next_id);
+    let mut sink = pipeline::CollectSink::default();
+    pipeline::run_plan(&plan, cli.effective_jobs(), cache, metrics, &mut sink);
+    sink.rows
 }
 
-/// The shared suite engine: executes every selected experiment of the
-/// declaration table, prints rows and summaries, writes JSON when asked,
-/// and enforces the collected bounds (exiting nonzero on violation).
-/// `--list` prints the table instead and exits 0.
+/// The shared suite engine: a thin shim over the pipeline layers. Every
+/// selected `Rows` experiment is planned ([`pipeline::plan_rows`]),
+/// scheduled across `--jobs` workers over one invocation-wide
+/// [`WorkloadCache`] ([`pipeline::run_plan`]), and collected through a
+/// [`pipeline::RowSink`](pipeline::RowSink); this function only owns the
+/// printing, JSON emission, and tail bound enforcement (exiting nonzero
+/// on violation). `--list` prints the table instead and exits 0.
 pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> SuiteResult {
     if cli.list {
         print_list(suite, specs);
@@ -462,6 +466,11 @@ pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> Suit
         std::fs::File::create(&path)
             .unwrap_or_else(|e| panic!("create metrics JSONL {}: {e}", path.display()))
     });
+    // One workload cache and one job-id space span the invocation, so
+    // graphs are shared across specs and every job of a suite run has a
+    // globally unique, stable id.
+    let cache = WorkloadCache::new();
+    let mut next_job_id = 0u64;
     let mut all_rows: Vec<Row> = Vec::new();
     let mut inline: Vec<String> = Vec::new();
     let mut active_bounds: Vec<Bound> = vec![Bound::AllValid, Bound::PaletteWithinCap];
@@ -473,7 +482,14 @@ pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> Suit
                 bounds,
                 post,
             } => {
-                let rows = rows_for(cli, metrics_reg.as_ref(), workloads, runs);
+                let rows = rows_for(
+                    cli,
+                    metrics_reg.as_ref(),
+                    workloads,
+                    runs,
+                    &cache,
+                    &mut next_job_id,
+                );
                 if rows.is_empty() {
                     continue;
                 }

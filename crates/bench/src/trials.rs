@@ -220,8 +220,16 @@ pub struct TrialSummary {
     pub va: Stats,
     /// Worst-case complexity statistics.
     pub wc: Stats,
+    /// Median (p50) termination-round statistics — with [`TrialSummary::p95`]
+    /// and [`TrialSummary::wc_max`], the per-vertex termination-round
+    /// distribution summary (p50/p95/max). Informational: serialized but
+    /// never gated by `bench-diff`.
+    pub median: Stats,
     /// 95th-percentile termination-round statistics.
     pub p95: Stats,
+    /// Largest worst-case round over all trials — the distribution's max
+    /// witness. Informational, like [`TrialSummary::median`].
+    pub wc_max: u32,
     /// Engine wall-clock statistics (milliseconds).
     pub wall_ms: Stats,
     /// Per-vertex wire-bit statistics (`msg_bits / n` per trial) — the
@@ -274,7 +282,9 @@ pub fn summarize(rows: &[Row]) -> Vec<TrialSummary> {
                 round_sum_max: g.iter().map(|r| r.pubs).max().unwrap_or(0),
                 va: f(|r| r.va),
                 wc: f(|r| r.wc as f64),
+                median: f(|r| r.median as f64),
                 p95: f(|r| r.p95 as f64),
+                wc_max: g.iter().map(|r| r.wc).max().unwrap_or(0),
                 wall_ms: f(|r| r.wall_ms),
                 avg_msg_bits: f(|r| r.avg_msg_bits),
                 max_msg_bits_max: g.iter().map(|r| r.max_msg_bits).max().unwrap_or(0),
@@ -391,6 +401,14 @@ pub fn print_summaries(title: &str, summaries: &[TrialSummary]) {
             s.round_sum_max,
             s.avg_msg_bits.mean,
             s.max_msg_bits_max
+        );
+    }
+    // Per-vertex termination-round distribution (p50/p95/max means over
+    // the group's trials) as a scrape line — informational, not gated.
+    for s in summaries {
+        println!(
+            "#dist,{},{},{},{},p50={:.2},p95={:.2},max={}",
+            s.exp, s.algo, s.n, s.a, s.median.mean, s.p95.mean, s.wc_max
         );
     }
     // Per-phase RoundSum breakdowns and active-decay series as scrape
@@ -539,6 +557,8 @@ mod tests {
         assert!(!s[0].valid, "one invalid trial poisons the group");
         assert_eq!(s[0].colors_max, 7);
         assert!((s[0].va.mean - 3.0).abs() < 1e-12);
+        assert!((s[0].median.mean - 1.0).abs() < 1e-12);
+        assert_eq!(s[0].wc_max, 4, "distribution max is the worst trial's wc");
         assert!(s[1].valid);
         assert_eq!(s[1].n, 200);
     }

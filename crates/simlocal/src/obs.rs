@@ -174,6 +174,19 @@ metric_table! {
      "Nanoseconds inside engine runs."),
     (HarnessVerifyNs, "simlocal_harness_verify_ns_total", Counter, false,
      "Nanoseconds verifying outputs after each run."),
+    // Trial pipeline (planner → cache → scheduler → sink; global).
+    (HarnessQueueDepth, "simlocal_harness_queue_depth", Gauge, false,
+     "Planned trial jobs not yet claimed by a scheduler worker."),
+    (HarnessJobsInFlight, "simlocal_harness_jobs_in_flight", Gauge, false,
+     "Trial jobs currently executing on scheduler workers."),
+    (HarnessCacheHits, "simlocal_harness_cache_hits_total", Counter, false,
+     "Workload-cache lookups served by an already-generated graph."),
+    (HarnessCacheMisses, "simlocal_harness_cache_misses_total", Counter, false,
+     "Workload-cache lookups that had to generate the graph."),
+    (HarnessCacheBytes, "simlocal_harness_cache_bytes_total", Counter, false,
+     "Approximate bytes of CSR graph data resident in the workload cache."),
+    (HarnessTrialWallNs, "simlocal_harness_trial_wall_ns", Histogram, false,
+     "Distribution of per-trial wall times as observed by the scheduler, nanoseconds."),
 }
 
 /// A log₂ histogram made of atomic slots, snapshot-convertible to
