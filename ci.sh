@@ -50,6 +50,23 @@ echo "== regression gate: table2 --quick vs committed baseline"
 ./target/release/bench-diff --check \
     results/table2.quick.json target/ci-results/table2.quick.json
 
+echo "== ingestion smoke: table2 T2.1f runs a file graph source end-to-end"
+# T2.1f ingests testdata/road_excerpt.txt through graphcore::io (sniff →
+# parse → normalize → CSR) and runs both MIS protocols on it; its rows
+# also ride in the table2 quick baseline above, so ingested results are
+# drift-gated like every generated workload. This isolated run makes a
+# parser/normalizer break fail by name rather than inside the diff.
+./target/release/table2 --quick --seeds 1 T2.1f > /dev/null
+
+echo "== dynamic-mode smoke: scenarios D.1 D.2 warm-start churn + locality bounds"
+# Each churn batch warm-starts from the recorded cold run, reactivating
+# only the vertices inside the protocol's dependence radius; the binary
+# enforces the UpdateLocality bounds (worst reactivated fraction per
+# batch) and exits nonzero if the engine fell back to a full re-solve.
+# The warm ≡ cold identity itself is proptest-pinned in the test suite
+# (crates/bench/tests/dynamic_identity.rs) run by the workspace wall.
+./target/release/scenarios --quick --seeds 2 --ids identity,random D.1 D.2 > /dev/null
+
 echo "== actor-backend smoke: table2 --quick --backend actor vs the same baseline"
 # The actor backend is pinned byte-identical to the sync engine, so its
 # rows must match the *sync* baseline exactly — tol 0, not the drift

@@ -77,6 +77,9 @@ pub struct Row {
     pub median: u32,
     /// 95th percentile termination round.
     pub p95: u32,
+    /// 99th percentile termination round — the distribution's deep tail,
+    /// between `p95` and the worst case. Informational like `median`.
+    pub p99: u32,
     /// Number of distinct colors in the output (0 for set problems).
     pub colors: usize,
     /// Whether the output passed its verifier *within the palette cap*.
@@ -106,6 +109,10 @@ pub struct Row {
     pub active_series: Vec<u64>,
     /// Per-phase `RoundSum` breakdown; the sums total [`Row::pubs`].
     pub phases: Vec<PhaseSum>,
+    /// Dynamic-mode rows only: the fraction of vertices the warm-start
+    /// engine reactivated for this edit batch (`reactivated / n`; 1.0 on
+    /// a full re-solve fallback). `None` for ordinary cold rows.
+    pub reactivated: Option<f64>,
 }
 
 impl Row {
@@ -124,7 +131,7 @@ impl Row {
         colors: usize,
         valid: bool,
     ) -> Row {
-        // One sort answers both quantile queries (median + p95 per row).
+        // One sort answers every quantile query (median/p95/p99 per row).
         let pct = m.percentiles();
         Row {
             exp: exp.into(),
@@ -136,6 +143,7 @@ impl Row {
             wc: m.worst_case(),
             median: pct.median(),
             p95: pct.rank(95.0),
+            p99: pct.rank(99.0),
             colors,
             valid,
             wall_ms: 0.0,
@@ -148,7 +156,15 @@ impl Row {
             ids: "identity",
             active_series: m.active_per_round.iter().map(|&a| a as u64).collect(),
             phases: Vec::new(),
+            reactivated: None,
         }
+    }
+
+    /// Marks this row as a dynamic-mode update-cost measurement that
+    /// reactivated the given fraction of vertices.
+    pub fn with_reactivated(mut self, frac: f64) -> Row {
+        self.reactivated = Some(frac);
+        self
     }
 
     /// Attaches the engine's wall-time, publication, and wire-size
@@ -200,7 +216,7 @@ pub fn harness_observer<P: Protocol>(p: &P) -> Tee<Telemetry, PhaseBreakdown> {
 pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
     println!(
-        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9} {:>10} {:>11} {:>7} {:>5} {:<11}",
+        "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9} {:>10} {:>11} {:>7} {:>5} {:<11}",
         "exp",
         "algo",
         "family",
@@ -210,6 +226,7 @@ pub fn print_rows(title: &str, rows: &[Row]) {
         "wc",
         "med",
         "p95",
+        "p99",
         "colors",
         "valid",
         "wall_ms",
@@ -221,7 +238,7 @@ pub fn print_rows(title: &str, rows: &[Row]) {
     );
     for r in rows {
         println!(
-            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9.3} {:>10} {:>11.1} {:>7} {:>5} {:<11}",
+            "{:<6} {:<22} {:<14} {:>8} {:>4} {:>9.2} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6} {:>9.3} {:>10} {:>11.1} {:>7} {:>5} {:<11}",
             r.exp,
             r.algo,
             r.family,
@@ -231,6 +248,7 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.wc,
             r.median,
             r.p95,
+            r.p99,
             r.colors,
             r.valid,
             r.wall_ms,
@@ -242,8 +260,14 @@ pub fn print_rows(title: &str, rows: &[Row]) {
         );
     }
     for r in rows {
+        // The trailing field is the dynamic-mode reactivated fraction
+        // (`-` for ordinary cold rows).
+        let react = r
+            .reactivated
+            .map(|f| format!("{f:.4}"))
+            .unwrap_or_else(|| "-".to_string());
         println!(
-            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{},{:.4},{},{},{},{:.2},{}",
+            "#csv,{},{},{},{},{},{:.4},{},{},{},{},{},{},{:.4},{},{},{},{:.2},{},{}",
             r.exp,
             r.algo,
             r.family,
@@ -253,6 +277,7 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.wc,
             r.median,
             r.p95,
+            r.p99,
             r.colors,
             r.valid,
             r.wall_ms,
@@ -260,7 +285,8 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.seed,
             r.ids,
             r.avg_msg_bits,
-            r.max_msg_bits
+            r.max_msg_bits,
+            react
         );
     }
 }

@@ -420,7 +420,51 @@ pub fn run_suite(n: usize, reps: usize) -> Vec<PerfEntry> {
     // (plan → cache → schedule → sink, including seeded graph
     // generation, ID assignment, and verification).
     entries.push(harness_table2_quick(reps));
+    // File-source ingestion throughput (Matrix Market parse + normalize).
+    entries.push(ingest_parse_n20(n, reps));
     entries
+}
+
+/// Measures [`graphcore::io`] ingestion throughput: parsing a Matrix
+/// Market document of `n` edges held in memory and normalizing it
+/// (dedupe, self-loop drop, component count, arboricity estimate). For
+/// this entry `vr_per_sec` is **edges per second** through parse +
+/// normalize; `rounds` is 1, `n` the normalized vertex count, and
+/// `vertex_rounds` the raw edge count, so the work-drift check still
+/// pins the measured document. The document is built outside the timed
+/// region — the gate covers ingestion, not formatting.
+fn ingest_parse_n20(n: usize, reps: usize) -> PerfEntry {
+    use graphcore::io::{normalize, parse_raw, FileFormat, NormalizeOptions};
+    assert!(reps >= 1, "at least one rep");
+    let text = graphcore::io::to_matrix_market(&gen::cycle(n));
+    let mut best_wall_ns = u64::MAX;
+    let mut work: Option<(usize, u64)> = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let raw = parse_raw(&text, FileFormat::MatrixMarket).expect("generated document parses");
+        let (graph, report) = normalize(&raw, NormalizeOptions::default());
+        let wall = t0.elapsed().as_nanos() as u64;
+        match &work {
+            None => work = Some((graph.n(), report.m_raw as u64)),
+            Some(w) => assert_eq!(
+                *w,
+                (graph.n(), report.m_raw as u64),
+                "ingest_parse_n20 must be deterministic across reps"
+            ),
+        }
+        best_wall_ns = best_wall_ns.min(wall);
+    }
+    let (vertices, m_raw) = work.expect("at least one rep ran");
+    PerfEntry {
+        id: "ingest_parse_n20".into(),
+        n: vertices,
+        rounds: 1,
+        vertex_rounds: m_raw,
+        best_wall_ns,
+        vr_per_sec: m_raw as f64 / (best_wall_ns.max(1) as f64 / 1e9),
+        fast_hit_rate: None,
+        barrier_wait_frac: None,
+    }
 }
 
 /// Measures the full table2 quick plan (identity IDs, seed 0, sync
@@ -488,6 +532,7 @@ pub fn suite_ids() -> Vec<&'static str> {
         "flood_seq_n20",
         "decay_actor_n20",
         "harness_table2_quick",
+        "ingest_parse_n20",
     ]
 }
 

@@ -73,6 +73,37 @@ pub enum WorkloadKey {
         /// Workload seed.
         seed: u64,
     },
+    /// An ingested edge-list / DIMACS / Matrix Market file
+    /// ([`graphcore::io::ingest_path`]), normalized (self-loops dropped,
+    /// parallel edges deduplicated, optionally restricted to the largest
+    /// component). The key carries the FNV-1a content hash resolved at
+    /// plan time, so a file edited between planning and generation is a
+    /// hard error rather than a silently different workload.
+    File {
+        /// Repo-relative path to the graph file.
+        path: &'static str,
+        /// [`graphcore::io::content_hash`] of the file bytes at plan time.
+        hash: u64,
+        /// Vertices after normalization (resolved at plan time).
+        n: usize,
+        /// Restrict to the largest connected component.
+        largest_component: bool,
+    },
+}
+
+/// Ingests `path` and wraps it as a [`GenGraph`] whose arboricity is the
+/// normalization report's degeneracy upper bound ([`graphcore::arboricity::
+/// ArboricityEstimate::safe_a`]) — the safe `a` to hand algorithms that
+/// require one when the true arboricity is unknown.
+pub fn file_workload(path: &str, largest_component: bool) -> GenGraph {
+    let opts = graphcore::io::NormalizeOptions { largest_component };
+    let (graph, report) = graphcore::io::ingest_path(std::path::Path::new(path), opts)
+        .unwrap_or_else(|e| panic!("ingest workload file: {e}"));
+    GenGraph {
+        graph,
+        arboricity: report.arboricity.safe_a(),
+        family: "ingested",
+    }
 }
 
 impl WorkloadKey {
@@ -81,12 +112,15 @@ impl WorkloadKey {
     /// planned without generating anything).
     pub fn n(&self) -> usize {
         match self {
-            WorkloadKey::Forest { n, .. } | WorkloadKey::Hub { n, .. } => *n,
+            WorkloadKey::Forest { n, .. }
+            | WorkloadKey::Hub { n, .. }
+            | WorkloadKey::File { n, .. } => *n,
         }
     }
 
     /// Generates the keyed graph. Deterministic: equal keys produce
-    /// byte-identical graphs.
+    /// byte-identical graphs (file keys re-check the content hash, so a
+    /// file mutated since plan time panics instead of drifting).
     pub fn generate(&self) -> GenGraph {
         match *self {
             WorkloadKey::Forest { n, a, seed } => forest_workload(n, a, seed),
@@ -96,6 +130,23 @@ impl WorkloadKey {
                 hub_degree,
                 seed,
             } => hub_workload(n, a, hub_degree, seed),
+            WorkloadKey::File {
+                path,
+                hash,
+                n,
+                largest_component,
+            } => {
+                let bytes = std::fs::read(path)
+                    .unwrap_or_else(|e| panic!("read workload file {path}: {e}"));
+                assert_eq!(
+                    graphcore::io::content_hash(&bytes),
+                    hash,
+                    "workload file {path} changed since plan time"
+                );
+                let gg = file_workload(path, largest_component);
+                assert_eq!(gg.graph.n(), n, "workload file {path} n drifted");
+                gg
+            }
         }
     }
 }
@@ -316,9 +367,9 @@ impl<W: std::io::Write> RowSink for JsonlRowSink<W> {
         writeln!(
             self.w,
             "{{\"job\": {}, \"exp\": {}, \"algo\": {}, \"family\": {}, \"n\": {}, \"a\": {}, \
-             \"va\": {}, \"wc\": {}, \"median\": {}, \"p95\": {}, \"colors\": {}, \"valid\": {}, \
-             \"pubs\": {}, \"msg_bits\": {}, \"avg_msg_bits\": {}, \"max_msg_bits\": {}, \
-             \"cap\": {}, \"seed\": {}, \"ids\": {}}}",
+             \"va\": {}, \"wc\": {}, \"median\": {}, \"p95\": {}, \"p99\": {}, \"colors\": {}, \
+             \"valid\": {}, \"pubs\": {}, \"msg_bits\": {}, \"avg_msg_bits\": {}, \
+             \"max_msg_bits\": {}, \"cap\": {}, \"seed\": {}, \"ids\": {}}}",
             job.id,
             quote(&row.exp),
             quote(&row.algo),
@@ -329,6 +380,7 @@ impl<W: std::io::Write> RowSink for JsonlRowSink<W> {
             row.wc,
             row.median,
             row.p95,
+            row.p99,
             row.colors,
             row.valid,
             row.pubs,

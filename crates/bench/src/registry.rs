@@ -26,11 +26,12 @@
 
 use crate::{cfg, harness_observer, Row, Trial};
 use algos::{baselines, coloring, edge_coloring, forests, matching, mis, pipeline, rand_coloring};
+use graphcore::churn::{self, ChurnPlan};
 use graphcore::{gen::GenGraph, verify, Graph, IdAssignment, VertexId};
 use simlocal::obs::Metric as ObsMetric;
 use simlocal::{
     ActorRunner, EngineStats, EngineTuning, NoObserver, Observer, PhaseBreakdown, Profile,
-    Protocol, Runner, SimOutcome, TraceLog,
+    Protocol, Runner, SimOutcome, TraceLog, WarmOutcome, WarmStart,
 };
 use std::sync::OnceLock;
 
@@ -189,8 +190,9 @@ impl Problem {
 }
 
 /// A problem solution in verifiable form, extracted from a protocol's
-/// [`SimOutcome`] by the algorithm's adapter.
-#[derive(Clone, Debug)]
+/// [`SimOutcome`] by the algorithm's adapter. `PartialEq` backs the
+/// dynamic-mode warm ≡ cold equivalence check.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Solution {
     /// Per-vertex colors.
     VertexColors(Vec<u64>),
@@ -417,6 +419,20 @@ pub trait ErasedAlgo: Send + Sync {
     /// The one execution path: construct, run as the options dictate,
     /// verify (unless bare), and return whatever the mode produced.
     fn exec(&self, opts: &ExecOptions<'_>) -> ExecOutcome;
+
+    /// Dynamic mode: cold-solve the workload once with a replay log
+    /// recorded, then warm-start ([`simlocal::warm`]) through each batch
+    /// of the seeded churn plan, returning one verified update-cost
+    /// [`Row`] per batch. A row's round metrics count only *recomputed*
+    /// work (frozen vertices terminate at round 0) and its `reactivated`
+    /// field is the reactivated-vertex fraction (1.0 when the protocol
+    /// declares no [`Protocol::dependence_radius`] and the engine falls
+    /// back to a full re-solve). `check_cold` additionally cold-solves
+    /// every edited graph and asserts the warm solution is identical —
+    /// the equivalence oracle the tests and the CI smoke run through.
+    /// Always executes on the sync engine (the warm path lives there);
+    /// the options' backend is ignored.
+    fn exec_dynamic(&self, opts: &ExecOptions<'_>, plan: &ChurnPlan, check_cold: bool) -> Vec<Row>;
 }
 
 /// One registered algorithm: identity, problem, paper-bound tag, optional
@@ -455,6 +471,18 @@ impl AlgoSpec {
     /// (spec engine, trace binary, benches) goes through.
     pub fn exec(&self, opts: &ExecOptions<'_>) -> ExecOutcome {
         self.algo.exec(opts)
+    }
+
+    /// See [`ErasedAlgo::exec_dynamic`] — the dynamic-mode entry point
+    /// behind the `scenarios` churn experiments and the warm ≡ cold
+    /// equivalence tests.
+    pub fn exec_dynamic(
+        &self,
+        opts: &ExecOptions<'_>,
+        plan: &ChurnPlan,
+        check_cold: bool,
+    ) -> Vec<Row> {
+        self.algo.exec_dynamic(opts, plan, check_cold)
     }
 
     /// Pre-redesign entry: standard-observed sequential run.
@@ -682,6 +710,106 @@ where
     fn cap_for(&self, gg: &GenGraph, params: Params, ids: &IdAssignment) -> usize {
         let p = (self.build)(gg, params);
         (self.cap)(&p, gg, ids)
+    }
+
+    fn exec_dynamic(&self, o: &ExecOptions<'_>, plan: &ChurnPlan, check_cold: bool) -> Vec<Row> {
+        let ExecOptions {
+            exp,
+            gg,
+            params,
+            trial,
+            ..
+        } = *o;
+        let ids = trial.ids(gg.graph.n());
+        // Cold recorded solve of the base graph seeds the warm chain.
+        let p0 = (self.build)(gg, params);
+        let (out0, mut replay) = Runner::new(&p0, &gg.graph, &ids)
+            .config(Self::run_cfg(o))
+            .run_recorded()
+            .expect("protocol terminates");
+        let mut outputs = out0.outputs;
+        let mut cur = gg.graph.clone();
+        let mut rows = Vec::with_capacity(plan.batches);
+        for (i, batch) in churn::churn_sequence(&gg.graph, plan).iter().enumerate() {
+            let edited = GenGraph {
+                graph: churn::apply(&cur, batch),
+                // The generators' structural guarantee does not survive
+                // editing, but the algorithms' `a` parameter must stay
+                // fixed across batches (a protocol keyed on a freshly
+                // recomputed `a` would violate the freeze rule anyway).
+                arboricity: gg.arboricity,
+                family: gg.family,
+            };
+            let p = (self.build)(&edited, params);
+            let touched = batch.endpoints();
+            let mut runner = Runner::new(&p, &edited.graph, &ids).config(Self::run_cfg(o));
+            if let Some(m) = o.metrics {
+                runner = runner.obs(m);
+            }
+            let WarmOutcome {
+                outcome,
+                replay: next_replay,
+                stats,
+            } = runner
+                .run_warm(WarmStart {
+                    replay: &replay,
+                    outputs: &outputs,
+                    old_graph: &cur,
+                    touched: &touched,
+                })
+                .expect("protocol terminates");
+            let cap = (self.cap)(&p, &edited, &ids);
+            // The headline metrics are always the warm engine's update
+            // cost (commit-based overrides would re-report cold work).
+            let (verdict, solution) = match (self.extract)(&p, &edited.graph, &outcome) {
+                Ok(Extracted { solution, .. }) => (
+                    self.problem.verify_output(&edited.graph, &solution, cap),
+                    Some(solution),
+                ),
+                Err(_) => (
+                    Verdict {
+                        colors: 0,
+                        valid: false,
+                    },
+                    None,
+                ),
+            };
+            if check_cold {
+                let pc = (self.build)(&edited, params);
+                let cold = Runner::new(&pc, &edited.graph, &ids)
+                    .config(Self::run_cfg(o))
+                    .run()
+                    .expect("protocol terminates");
+                let cold_solution = (self.extract)(&pc, &edited.graph, &cold)
+                    .ok()
+                    .map(|e| e.solution);
+                assert_eq!(
+                    solution, cold_solution,
+                    "warm batch {i} diverged from the cold re-solve"
+                );
+            }
+            let n = edited.graph.n();
+            rows.push(
+                Row::from_metrics(
+                    exp,
+                    &(self.label)(self.name, params),
+                    gg.family,
+                    n,
+                    gg.arboricity,
+                    &outcome.metrics,
+                    verdict.colors,
+                    verdict.valid,
+                )
+                .with_stats(&outcome.stats)
+                .with_trial(trial)
+                .with_cap(cap)
+                .with_reactivated(stats.reactivated as f64 / n.max(1) as f64),
+            );
+            replay = next_replay;
+            outputs = outcome.outputs;
+            cur = edited.graph;
+        }
+        rows
     }
 
     fn exec(&self, opts: &ExecOptions<'_>) -> ExecOutcome {

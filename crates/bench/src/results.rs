@@ -30,7 +30,14 @@ use std::path::Path;
 /// over the trials). Informational like wall clock: serialized and parsed
 /// but *not* gated by [`diff`] — p50/p95/max are reporting aids, the gated
 /// shape statistics (`va`, `wc`, `p95` means) already pin the distribution.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: summaries gained `p99` (99th-percentile termination-round
+/// statistics — informational like `median`, never gated) and the
+/// dynamic-mode field `reactivated_frac` (per-batch reactivated-vertex
+/// fraction statistics, `null` for cold groups). `reactivated_frac.mean`
+/// *is* gated when present: it is deterministic given the seeds and is
+/// the headline number of the update-cost experiments.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// A whole harness run: configuration plus one summary per experiment
 /// configuration.
@@ -103,13 +110,18 @@ impl SuiteResult {
                     )
                 })
                 .collect();
+            let react = match &s.reactivated_frac {
+                Some(r) => stats_json(r),
+                None => "null".to_string(),
+            };
             let _ = writeln!(
                 out,
                 "    {{\"exp\": {}, \"algo\": {}, \"family\": {}, \"n\": {}, \"a\": {}, \
                  \"trials\": {}, \"valid\": {}, \"colors_max\": {}, \"cap\": {}, \
                  \"round_sum_max\": {}, \"max_msg_bits_max\": {}, \"wc_max\": {},\n     \
-                 \"va\": {}, \"wc\": {}, \"median\": {}, \"p95\": {}, \"wall_ms\": {}, \
-                 \"avg_msg_bits\": {},\n     \
+                 \"va\": {}, \"wc\": {}, \"median\": {}, \"p95\": {}, \"p99\": {}, \
+                 \"wall_ms\": {}, \"avg_msg_bits\": {},\n     \
+                 \"reactivated_frac\": {},\n     \
                  \"active_decay\": [{}],\n     \"phases\": [{}]}}{}",
                 quote(&s.exp),
                 quote(&s.algo),
@@ -127,8 +139,10 @@ impl SuiteResult {
                 stats_json(&s.wc),
                 stats_json(&s.median),
                 stats_json(&s.p95),
+                stats_json(&s.p99),
                 stats_json(&s.wall_ms),
                 stats_json(&s.avg_msg_bits),
+                react,
                 decay.join(", "),
                 phases.join(", "),
                 comma
@@ -257,8 +271,13 @@ fn parse_summary(v: &Json) -> Result<TrialSummary, String> {
         wc: stats("wc")?,
         median: stats("median")?,
         p95: stats("p95")?,
+        p99: stats("p99")?,
         wall_ms: stats("wall_ms")?,
         avg_msg_bits: stats("avg_msg_bits")?,
+        reactivated_frac: match v.get("reactivated_frac")? {
+            Json::Null => None,
+            _ => Some(stats("reactivated_frac")?),
+        },
         active_decay: v
             .get("active_decay")?
             .as_array()?
@@ -361,6 +380,19 @@ pub fn diff(baseline: &SuiteResult, fresh: &SuiteResult, tol: f64) -> Vec<String
         num(&mut out, "va.mean", b.va.mean, f.va.mean);
         num(&mut out, "wc.mean", b.wc.mean, f.wc.mean);
         num(&mut out, "p95.mean", b.p95.mean, f.p95.mean);
+        // p99 is informational like median/wc_max. The dynamic-mode
+        // reactivated fraction IS gated: deterministic given the seeds,
+        // and it is the headline number of the update-cost experiments.
+        match (&b.reactivated_frac, &f.reactivated_frac) {
+            (Some(br), Some(fr)) => num(&mut out, "reactivated_frac.mean", br.mean, fr.mean),
+            (None, None) => {}
+            (br, fr) => out.push(format!(
+                "{}: reactivated_frac presence changed {} -> {}",
+                key(b),
+                br.is_some(),
+                fr.is_some()
+            )),
+        }
         num(
             &mut out,
             "avg_msg_bits.mean",
@@ -714,7 +746,9 @@ mod tests {
             wc: Stats::from_samples(&[3.0, 4.0]),
             median: Stats::from_samples(&[1.0, 2.0]),
             p95: Stats::from_samples(&[3.0]),
+            p99: Stats::from_samples(&[4.0]),
             wc_max: 4,
+            reactivated_frac: None,
             wall_ms: Stats::from_samples(&[1.25]),
             avg_msg_bits: Stats::from_samples(&[130.5, 131.5]),
             max_msg_bits_max: 74,
@@ -817,9 +851,47 @@ mod tests {
         let mut fresh = base.clone();
         fresh.summaries[0].median.mean = 99.0;
         fresh.summaries[0].wc_max = 77;
+        fresh.summaries[0].p99.mean = 88.0;
         assert!(
             diff(&base, &fresh, 0.05).is_empty(),
             "distribution fields must be informational"
+        );
+    }
+
+    #[test]
+    fn reactivated_frac_round_trips_and_is_gated() {
+        // Dynamic-mode summaries carry the reactivated-vertex fraction;
+        // cold summaries serialize it as `null`. Unlike the distribution
+        // fields it is deterministic given the churn seeds, so drift in
+        // the mean fails the gate — as does the field appearing or
+        // vanishing between baseline and fresh run.
+        let mut suite = sample_suite();
+        suite.summaries[0].reactivated_frac = Some(Stats::from_samples(&[0.1, 0.3]));
+        let back = SuiteResult::from_json(&suite.to_json()).unwrap();
+        let r = back.summaries[0].reactivated_frac.as_ref().unwrap();
+        assert!((r.mean - 0.2).abs() < 1e-9);
+        assert!((r.max - 0.3).abs() < 1e-9);
+        assert!(
+            back.summaries[1].reactivated_frac.is_none(),
+            "null round-trips"
+        );
+        assert!((back.summaries[0].p99.mean - 4.0).abs() < 1e-9);
+        assert!(diff(&suite, &back, 1e-6).is_empty());
+
+        let mut fresh = suite.clone();
+        fresh.summaries[0].reactivated_frac = Some(Stats::from_samples(&[0.9]));
+        let msgs = diff(&suite, &fresh, 0.05);
+        assert!(
+            msgs.iter().any(|m| m.contains("reactivated_frac.mean")),
+            "{msgs:?}"
+        );
+
+        let mut gone = suite.clone();
+        gone.summaries[0].reactivated_frac = None;
+        let msgs = diff(&suite, &gone, 0.05);
+        assert!(
+            msgs.iter().any(|m| m.contains("presence changed")),
+            "{msgs:?}"
         );
     }
 

@@ -68,6 +68,16 @@ pub enum WorkloadSpec {
         /// Workload seed.
         seed: u64,
     },
+    /// An ingested graph file (edge list, DIMACS, or Matrix Market —
+    /// format sniffed by [`graphcore::io::ingest_path`]), normalized and
+    /// cache-keyed by path + content hash. Fixed-size: `--quick` does not
+    /// trim it.
+    File {
+        /// Repo-relative path to the graph file.
+        path: &'static str,
+        /// Restrict to the largest connected component.
+        largest_component: bool,
+    },
 }
 
 impl WorkloadSpec {
@@ -106,6 +116,24 @@ impl WorkloadSpec {
                     seed: *seed,
                 }]
             }
+            // Planning a file workload resolves its identity: the content
+            // hash pins the bytes the cache key stands for, and one
+            // ingestion resolves `n` so `max_n` filters and parameter
+            // sweeps plan without touching the cache.
+            WorkloadSpec::File {
+                path,
+                largest_component,
+            } => {
+                let bytes = std::fs::read(path)
+                    .unwrap_or_else(|e| panic!("read workload file {path}: {e}"));
+                let gg = pipeline::file_workload(path, *largest_component);
+                vec![WorkloadKey::File {
+                    path,
+                    hash: graphcore::io::content_hash(&bytes),
+                    n: gg.graph.n(),
+                    largest_component: *largest_component,
+                }]
+            }
         }
     }
 
@@ -138,6 +166,17 @@ impl fmt::Display for WorkloadSpec {
                 f,
                 "forest_union(n={n_quick} quick / {n_full} full, a={a}, seed {seed})"
             ),
+            WorkloadSpec::File {
+                path,
+                largest_component,
+            } => {
+                let lcc = if *largest_component {
+                    ", largest-cc"
+                } else {
+                    ""
+                };
+                write!(f, "file({path}{lcc})")
+            }
         }
     }
 }
@@ -269,6 +308,23 @@ pub enum SpecKind {
         /// Optional post-processing over the produced rows.
         post: Option<PostFn>,
     },
+    /// A dynamic-graph experiment: cold-solve each workload once, then
+    /// replay a seeded [`graphcore::churn::ChurnPlan`] through the
+    /// warm-start engine ([`crate::registry::AlgoSpec::exec_dynamic`]),
+    /// producing one update-cost row per edit batch. The rows' va/wc/
+    /// median/p95/p99 measure rounds *recomputed* per batch (frozen
+    /// vertices cost 0), and each row carries the reactivated-vertex
+    /// fraction, which [`Bound::UpdateLocality`] gates.
+    Dynamic {
+        /// Workload builders, expanded in order.
+        workloads: Vec<WorkloadSpec>,
+        /// The `(exp, algo)` pairings to run.
+        runs: Vec<RunSpec>,
+        /// The seeded edit schedule every run replays.
+        plan: graphcore::churn::ChurnPlan,
+        /// Bounds enforced over this spec's summaries.
+        bounds: Vec<Bound>,
+    },
     /// A bespoke experiment (non-Row series like F.1/F.2, the §1.2
     /// scenarios, engine ablations) with a descriptive listing entry.
     Custom {
@@ -320,6 +376,27 @@ impl ExperimentSpec {
             *post = Some(f);
         }
         self
+    }
+
+    /// A dynamic (churn) spec.
+    pub fn dynamic(
+        id: &'static str,
+        title: &'static str,
+        workloads: Vec<WorkloadSpec>,
+        runs: Vec<RunSpec>,
+        plan: graphcore::churn::ChurnPlan,
+        bounds: Vec<Bound>,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            id,
+            title,
+            kind: SpecKind::Dynamic {
+                workloads,
+                runs,
+                plan,
+                bounds,
+            },
+        }
     }
 
     /// A custom-bodied spec.
@@ -389,6 +466,29 @@ fn print_list(suite: &str, specs: &[ExperimentSpec]) {
                     println!("  bound:     {b}");
                 }
             }
+            SpecKind::Dynamic {
+                workloads,
+                runs,
+                plan,
+                bounds,
+            } => {
+                for w in workloads {
+                    println!("  workload:  {w}");
+                }
+                println!("  churn:     {}", churn_label(plan));
+                for r in runs {
+                    let algo = registry::get(r.algo);
+                    println!(
+                        "  run:       {:<7} {} [{}] — warm-start update cost per batch",
+                        r.exp,
+                        r.algo,
+                        algo.problem.label()
+                    );
+                }
+                for b in bounds {
+                    println!("  bound:     {b}");
+                }
+            }
             SpecKind::Custom {
                 algos,
                 workloads,
@@ -408,6 +508,14 @@ fn print_list(suite: &str, specs: &[ExperimentSpec]) {
     );
     crate::print_backends();
     crate::perf::print_bench_index();
+}
+
+/// One-line description of a churn plan for listings and the index.
+fn churn_label(plan: &graphcore::churn::ChurnPlan) -> String {
+    format!(
+        "{} batches × (+{} / −{}) edges, seed {}",
+        plan.batches, plan.inserts_per_batch, plan.deletes_per_batch, plan.seed
+    )
 }
 
 /// The metrics-JSONL sibling of a `--metrics PATH`: `PATH.jsonl`.
@@ -433,6 +541,48 @@ fn rows_for(
     let mut sink = pipeline::CollectSink::default();
     pipeline::run_plan(&plan, cli.effective_jobs(), cache, metrics, &mut sink);
     sink.rows
+}
+
+/// Produces all update-cost rows for one `Dynamic` spec: per selected
+/// run × workload × trial, one [`registry::AlgoSpec::exec_dynamic`] call
+/// replays the churn plan through the warm-start engine and yields one
+/// row per edit batch. Executed inline (no job pipeline): a dynamic
+/// trial is a sequential chain of warm starts, so there is nothing to
+/// schedule out of order.
+fn dynamic_rows(
+    cli: &Cli,
+    metrics: Option<&simlocal::obs::Registry>,
+    workloads: &[WorkloadSpec],
+    runs: &[RunSpec],
+    plan: &graphcore::churn::ChurnPlan,
+    cache: &WorkloadCache,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for run in runs.iter().filter(|r| cli.wants(r.exp)) {
+        let algo = registry::get(run.algo);
+        let keys: Vec<WorkloadKey> = workloads
+            .iter()
+            .flat_map(|w| w.keys(cli.quick, algo.problem))
+            .collect();
+        let min = if cli.quick {
+            run.min_seeds_quick
+        } else {
+            run.min_seeds_full
+        };
+        for key in keys.iter().filter(|k| k.n() <= run.max_n) {
+            let gg = cache.get(*key, metrics);
+            for t in cli.sweep_with_min_seeds(min).trials() {
+                for params in run.params.expand(key.n()) {
+                    let mut opts = registry::ExecOptions::new(run.exp, &gg, t).params(params);
+                    if let Some(m) = metrics {
+                        opts = opts.metrics(m);
+                    }
+                    rows.extend(algo.exec_dynamic(&opts, plan, false));
+                }
+            }
+        }
+    }
+    rows
 }
 
 /// The shared suite engine: a thin shim over the pipeline layers. Every
@@ -522,6 +672,20 @@ pub fn execute(suite: &'static str, specs: &[ExperimentSpec], cli: &Cli) -> Suit
                 }
                 all_rows.extend(rows);
             }
+            SpecKind::Dynamic {
+                workloads,
+                runs,
+                plan,
+                bounds,
+            } => {
+                let rows = dynamic_rows(cli, metrics_reg.as_ref(), workloads, runs, plan, &cache);
+                if rows.is_empty() {
+                    continue;
+                }
+                print_rows(spec.title, &rows);
+                active_bounds.extend(bounds.iter().cloned());
+                all_rows.extend(rows);
+            }
             SpecKind::Custom { run, .. } => {
                 if cli.wants(spec.id) {
                     inline.extend(run(cli));
@@ -605,6 +769,34 @@ pub fn render_index(suites: &[(&'static str, Vec<ExperimentSpec>)]) -> String {
                     let workloads = workloads
                         .iter()
                         .map(|w| w.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    let checks = if bounds.is_empty() {
+                        "—".to_string()
+                    } else {
+                        bounds
+                            .iter()
+                            .map(|b| b.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    };
+                    (runs, workloads, checks)
+                }
+                SpecKind::Dynamic {
+                    workloads,
+                    runs,
+                    plan,
+                    bounds,
+                } => {
+                    let runs = runs
+                        .iter()
+                        .map(|r| format!("{}: {} (dynamic)", r.exp, r.algo))
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    let workloads = workloads
+                        .iter()
+                        .map(|w| w.to_string())
+                        .chain(std::iter::once(format!("churn: {}", churn_label(plan))))
                         .collect::<Vec<_>>()
                         .join("; ");
                     let checks = if bounds.is_empty() {

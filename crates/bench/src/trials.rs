@@ -227,6 +227,10 @@ pub struct TrialSummary {
     pub median: Stats,
     /// 95th-percentile termination-round statistics.
     pub p95: Stats,
+    /// 99th-percentile termination-round statistics — the deep tail
+    /// between p95 and the max witness. Informational, like
+    /// [`TrialSummary::median`]: serialized but never gated.
+    pub p99: Stats,
     /// Largest worst-case round over all trials — the distribution's max
     /// witness. Informational, like [`TrialSummary::median`].
     pub wc_max: u32,
@@ -244,6 +248,10 @@ pub struct TrialSummary {
     pub active_decay: Vec<f64>,
     /// Mean per-phase `RoundSum` breakdown, in `PhaseId` order.
     pub phases: Vec<PhaseAgg>,
+    /// Dynamic-mode groups only: statistics of the per-batch
+    /// reactivated-vertex fraction ([`Row::reactivated`]) — what
+    /// `Bound::UpdateLocality` gates. `None` for cold groups.
+    pub reactivated_frac: Option<Stats>,
 }
 
 /// Groups rows by `(exp, algo, family, n, a)` — the experiment
@@ -284,15 +292,33 @@ pub fn summarize(rows: &[Row]) -> Vec<TrialSummary> {
                 wc: f(|r| r.wc as f64),
                 median: f(|r| r.median as f64),
                 p95: f(|r| r.p95 as f64),
+                p99: f(|r| r.p99 as f64),
                 wc_max: g.iter().map(|r| r.wc).max().unwrap_or(0),
                 wall_ms: f(|r| r.wall_ms),
                 avg_msg_bits: f(|r| r.avg_msg_bits),
                 max_msg_bits_max: g.iter().map(|r| r.max_msg_bits).max().unwrap_or(0),
                 active_decay: mean_series(&g),
                 phases: mean_phases(&g),
+                reactivated_frac: reactivated_stats(&g),
             }
         })
         .collect()
+}
+
+/// Statistics of the group's dynamic-mode reactivated fractions, if any
+/// row carries one. Dynamic and cold rows never share a group (dynamic
+/// experiments have their own ids), so a partial group is a wiring bug.
+fn reactivated_stats(g: &[&Row]) -> Option<Stats> {
+    let fracs: Vec<f64> = g.iter().filter_map(|r| r.reactivated).collect();
+    if fracs.is_empty() {
+        return None;
+    }
+    assert_eq!(
+        fracs.len(),
+        g.len(),
+        "a group must be all-dynamic or all-cold"
+    );
+    Some(Stats::from_samples(&fracs))
 }
 
 /// Element-wise mean of the group's active-set series; a trial shorter
@@ -403,13 +429,24 @@ pub fn print_summaries(title: &str, summaries: &[TrialSummary]) {
             s.max_msg_bits_max
         );
     }
-    // Per-vertex termination-round distribution (p50/p95/max means over
-    // the group's trials) as a scrape line — informational, not gated.
+    // Per-vertex termination-round distribution (p50/p95/p99/max means
+    // over the group's trials) as a scrape line — informational, not
+    // gated.
     for s in summaries {
         println!(
-            "#dist,{},{},{},{},p50={:.2},p95={:.2},max={}",
-            s.exp, s.algo, s.n, s.a, s.median.mean, s.p95.mean, s.wc_max
+            "#dist,{},{},{},{},p50={:.2},p95={:.2},p99={:.2},max={}",
+            s.exp, s.algo, s.n, s.a, s.median.mean, s.p95.mean, s.p99.mean, s.wc_max
         );
+    }
+    // Dynamic-mode reactivation accounting (mean/max fraction of
+    // vertices the warm-start engine re-stepped per batch).
+    for s in summaries {
+        if let Some(r) = &s.reactivated_frac {
+            println!(
+                "#react,{},{},{},{},mean={:.4},max={:.4}",
+                s.exp, s.algo, s.n, s.a, r.mean, r.max
+            );
+        }
     }
     // Per-phase RoundSum breakdowns and active-decay series as scrape
     // lines (means over the group's trials).
@@ -463,6 +500,7 @@ mod tests {
             wc: va.ceil() as u32,
             median: 1,
             p95: 2,
+            p99: 3,
             colors,
             valid,
             wall_ms: 0.5,
@@ -478,6 +516,7 @@ mod tests {
                 name: "main".into(),
                 round_sum: (va * n as f64) as u64,
             }],
+            reactivated: None,
         }
     }
 
@@ -619,6 +658,25 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert!((s[0].avg_msg_bits.mean - 80.0).abs() < 1e-12);
         assert_eq!(s[0].max_msg_bits_max, 72, "worst message over the group");
+    }
+
+    #[test]
+    fn summarize_aggregates_p99_and_reactivated() {
+        let mut r1 = row("D", 100, 2.0, 0, true);
+        r1.reactivated = Some(0.1);
+        let mut r2 = row("D", 100, 4.0, 0, true);
+        r2.reactivated = Some(0.3);
+        let s = summarize(&[r1, r2]);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].p99.mean - 3.0).abs() < 1e-12);
+        let r = s[0]
+            .reactivated_frac
+            .expect("dynamic group carries fractions");
+        assert!((r.mean - 0.2).abs() < 1e-12);
+        assert!((r.max - 0.3).abs() < 1e-12);
+        // Cold rows leave the field empty.
+        let cold = summarize(&[row("E", 100, 2.0, 5, true)]);
+        assert_eq!(cold[0].reactivated_frac, None);
     }
 
     #[test]

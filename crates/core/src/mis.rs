@@ -108,6 +108,16 @@ impl Protocol for MisExtension {
         SMis::Active
     }
 
+    // LOCAL-safe: `init` is constant, the schedules are keyed only on the
+    // ID space and the partition cap (fixed across edge edits — churn
+    // never changes n), and `step` reads only the neighbor view, the
+    // round counter, and the vertex's own ID. A vertex's trajectory is
+    // therefore a function of its round-radius ball, so warm starts may
+    // freeze anything outside the edited region.
+    fn dependence_radius(&self, _: &Graph) -> Option<u32> {
+        Some(u32::MAX)
+    }
+
     fn publish(&self, state: &SMis) -> MisMsg {
         match state {
             SMis::Active => MisMsg::Active,
@@ -269,6 +279,14 @@ impl Protocol for LubyMis {
         // Priorities for round 1 are drawn in round 1 (the init value is a
         // placeholder nobody reads before then).
         SLuby::Drawing { priority: 0 }
+    }
+
+    // LOCAL-safe: priorities come from the per-(seed, vertex, round)
+    // stream, resolution reads only active neighbors, and `max_rounds`
+    // depends only on n (which edge churn never changes). No global
+    // topology reads, so the warm-start freeze rule applies.
+    fn dependence_radius(&self, _: &Graph) -> Option<u32> {
+        Some(u32::MAX)
     }
 
     fn publish(&self, state: &SLuby) -> SLuby {

@@ -21,7 +21,12 @@
 //! * [`verify`] — checkers for every solution concept in the paper: proper
 //!   vertex/edge colorings, list colorings, defective and arbdefective
 //!   colorings, MIS, maximal matching, forest decompositions, H-partitions;
-//! * [`subgraph`] — vertex-induced subgraph views.
+//! * [`subgraph`] — vertex-induced subgraph views;
+//! * [`io`] — edge-list / DIMACS / Matrix Market serialization plus the
+//!   lenient ingestion path (normalization + realized-arboricity report)
+//!   for real-world files;
+//! * [`churn`] — seeded edge insert/delete batches over a fixed vertex
+//!   set, the dynamic-graph workload model.
 //!
 //! All vertex identifiers are `u32` indices (`VertexId`); the paper's
 //! "unique IDs" are modeled by an explicit ID assignment so adversarial /
@@ -29,6 +34,7 @@
 
 pub mod arboricity;
 pub mod builder;
+pub mod churn;
 pub mod csr;
 pub mod gen;
 pub mod ids;

@@ -1,0 +1,63 @@
+//! Golden ingestion test over the committed `testdata/` fixtures.
+//!
+//! Pins n, m, the cleaning counters, and the realized arboricity bracket
+//! for each file, so a parser or normalization change that alters what a
+//! real topology ingests to fails loudly here rather than as a silent
+//! workload drift in the suites.
+
+use graphcore::io::{ingest_path, IngestReport, NormalizeOptions};
+use std::path::PathBuf;
+
+fn testdata(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../testdata/{file}"))
+}
+
+fn ingest(file: &str, largest_component: bool) -> (graphcore::Graph, IngestReport) {
+    ingest_path(&testdata(file), NormalizeOptions { largest_component })
+        .unwrap_or_else(|e| panic!("{file}: {e}"))
+}
+
+#[test]
+fn road_excerpt_golden() {
+    // 8×8 street grid with a river gap, two bridges, three diagonal
+    // connectors, and two duplicated survey rows (edge-list format).
+    let (g, rep) = ingest("road_excerpt.txt", false);
+    assert_eq!((g.n(), g.m()), (64, 109));
+    assert_eq!((rep.n_raw, rep.m_raw), (64, 111));
+    assert_eq!((rep.self_loops, rep.duplicates), (0, 2));
+    assert_eq!(rep.components, 1);
+    assert_eq!((rep.arboricity.lower, rep.arboricity.upper), (2, 2));
+    assert_eq!(g.max_degree(), 6);
+    assert!(g.check_invariants());
+}
+
+#[test]
+fn powerlaw_sample_golden() {
+    // Preferential-attachment sample with one stray diagonal entry
+    // (Matrix Market format): hub-heavy but arboricity 2.
+    let (g, rep) = ingest("powerlaw_sample.mtx", false);
+    assert_eq!((g.n(), g.m()), (80, 150));
+    assert_eq!((rep.self_loops, rep.duplicates), (1, 0));
+    assert_eq!(rep.components, 1);
+    assert_eq!((rep.arboricity.lower, rep.arboricity.upper), (2, 2));
+    assert_eq!(g.max_degree(), 25, "the hub: a ≪ Δ topology");
+}
+
+#[test]
+fn collab_excerpt_golden() {
+    // Overlapping 4-author paper cliques (DIMACS format); the id space
+    // is sparse, so most declared vertices are isolated.
+    let (g, rep) = ingest("collab_excerpt.col", false);
+    assert_eq!((g.n(), g.m()), (40, 51));
+    assert_eq!(
+        rep.components, 19,
+        "one collaboration core + 18 isolated ids"
+    );
+    assert_eq!((rep.arboricity.lower, rep.arboricity.upper), (3, 3));
+
+    // Largest-component mode compacts away the isolated ids.
+    let (g, rep) = ingest("collab_excerpt.col", true);
+    assert_eq!((g.n(), g.m()), (22, 51));
+    assert_eq!(rep.n_raw, 40, "report still records the raw size");
+    assert!(g.check_invariants());
+}

@@ -437,6 +437,31 @@ impl<'a, P: Protocol> Runner<'a, P> {
         self.run_with(&mut NoObserver)
     }
 
+    /// Cold run that also records the message log a later warm start
+    /// replays (see [`crate::warm`]). Sequential, unobserved, and
+    /// byte-identical in outputs to [`Runner::run`].
+    pub fn run_recorded(self) -> Result<crate::warm::Recorded<P>, EngineError> {
+        crate::warm::run_recorded(self.protocol, self.graph, self.ids, self.cfg)
+    }
+
+    /// Incremental re-solve after a batch of edge edits, warm-started
+    /// from a prior run's replay log. Outputs are byte-identical to a
+    /// cold re-solve on the edited graph; the outcome's metrics measure
+    /// the update cost (see [`crate::warm`] for the freeze rule).
+    pub fn run_warm(
+        self,
+        prior: crate::warm::WarmStart<'_, P::Msg, P::Output>,
+    ) -> Result<crate::warm::WarmOutcome<P::Msg, P::Output>, EngineError> {
+        crate::warm::run_warm(
+            self.protocol,
+            self.graph,
+            self.ids,
+            self.cfg,
+            self.obs,
+            prior,
+        )
+    }
+
     /// Runs with `observer` attached (per-round telemetry enabled).
     pub fn run_with<Ob: Observer>(
         self,

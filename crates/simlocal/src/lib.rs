@@ -75,6 +75,7 @@ pub mod reference;
 pub mod rng;
 pub mod trace;
 pub mod transport;
+pub mod warm;
 pub mod wire;
 
 pub use active::ActiveSet;
@@ -88,6 +89,8 @@ pub use observer::{NoObserver, Observer, RoundRecord, Tee, Telemetry};
 pub use protocol::{NeighborView, PhaseId, Protocol, StepCtx, Transition};
 pub use reference::run_reference;
 pub use trace::{Histogram, PhaseBreakdown, Profile, TraceEvent, TraceLog};
+pub use warm::{Replay, WarmOutcome, WarmStart, WarmStats};
+
 pub use transport::{
     Batch, ChannelTransport, Recv, TcpTransport, Transport, TransportStats, Update,
 };

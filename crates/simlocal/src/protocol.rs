@@ -66,6 +66,23 @@ pub trait Protocol: Sync {
         64 * n.ilog2() * n.ilog2() + 1024
     }
 
+    /// Locality declaration for the incremental re-solve engine
+    /// ([`crate::warm`]): `Some(r)` asserts that a vertex's whole
+    /// trajectory (states, messages, termination round, output) is a
+    /// function of the edges incident to its `min(own rounds, r) + 1`
+    /// ball — the `+ 1` covers [`Protocol::init`] reading the vertex's
+    /// own incident edges. Any protocol whose `init` and `step` respect
+    /// LOCAL locality (no global topology reads beyond `n`/`Δ`-style
+    /// constants fixed across edits) can declare `Some(u32::MAX)`;
+    /// protocols whose init scans global structure that churn can move
+    /// (e.g. a freshly computed `Δ` or arboricity) must keep the
+    /// default. `None` makes warm starts fall back to a full re-solve,
+    /// which is always sound.
+    fn dependence_radius(&self, g: &Graph) -> Option<u32> {
+        let _ = g;
+        None
+    }
+
     /// Names of the protocol's phases (subroutines of a composition), in
     /// [`PhaseId`] order. Single-stage protocols keep the default.
     fn phase_names(&self) -> &'static [&'static str] {
